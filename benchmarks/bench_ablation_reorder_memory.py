@@ -1,0 +1,65 @@
+"""Ablation: operator reordering / in-place update (paper §3.2, Table 4
+note).
+
+"In small batch training with sparse backpropagation, the cost of storing
+parameter gradients is close to peak memory usage in forward and backward"
+— the reorder pass applies each gradient the moment it is produced, so the
+gradient buffers never accumulate. Measured with the liveness profiler on
+real compiled graphs; cross-checked against the executor's observed peak
+elsewhere in the test suite.
+"""
+
+from repro.memory import profile_memory
+from repro.models import build_model, paper_scheme
+from repro.passes import default_schedule, memory_aware_schedule
+from repro.report import render_table
+from repro.runtime.compiler import CompileOptions, compile_training
+from repro.sparse import full_update
+from repro.train import SGD
+
+from conftest import banner
+
+MODELS = ["mobilenetv2", "resnet50", "bert"]
+
+
+def run():
+    rows = []
+    for model_key in MODELS:
+        # Batch 1: the "small batch training" regime the paper's reorder
+        # claim addresses (on-device fine-tuning runs at batch 1-8).
+        kwargs = {"batch": 1}
+        if model_key == "bert":
+            kwargs["seq_len"] = 64
+        forward = build_model(model_key, **kwargs)
+        for scheme_name, scheme in (("full", full_update(forward)),
+                                    ("sparse", paper_scheme(forward))):
+            program = compile_training(
+                forward, optimizer=SGD(0.01), scheme=scheme,
+                options=CompileOptions(reorder=False, applies_last=True,
+                                       materialize_state=False))
+            held = profile_memory(
+                program.graph, default_schedule(program.graph,
+                                                applies_last=True))
+            reordered = profile_memory(
+                program.graph, memory_aware_schedule(program.graph))
+            rows.append((model_key, scheme_name,
+                         held.peak_transient_bytes,
+                         reordered.peak_transient_bytes))
+    return rows
+
+
+def test_reorder_memory_ablation(benchmark):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("Ablation — operator reordering / immediate in-place updates")
+    table = [[m, s, f"{held / 1024:.0f}KB", f"{reord / 1024:.0f}KB",
+              f"{held / reord:.2f}x"]
+             for m, s, held, reord in rows]
+    print(render_table(
+        ["Model", "Scheme", "grads held (peak)", "reordered (peak)",
+         "saving"], table))
+    for model, scheme, held, reordered in rows:
+        assert reordered <= held, (model, scheme)
+    # The saving must be visible on at least the sparse schemes.
+    sparse_savings = [held / reordered
+                      for m, s, held, reordered in rows if s == "sparse"]
+    assert max(sparse_savings) > 1.1

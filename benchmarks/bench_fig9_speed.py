@@ -1,0 +1,209 @@
+"""Figure 9 (a–g): training throughput across platforms and frameworks.
+
+One sub-benchmark per paper panel: Jetson Nano (a), Jetson Orin + Llama (b),
+STM32 MCU (c), Apple M1 (d), Snapdragon CPU (e), Raspberry Pi (f),
+Snapdragon DSP (g). Cells are items/second from the device cost model
+applied to each framework's compiled schedule; paper values are printed
+alongside. Reproduction target: who wins and by roughly what factor.
+"""
+
+import pytest
+
+from repro.baselines import (FRAMEWORKS, simulate_inference_projection,
+                             simulate_training)
+from repro.devices import get_device
+from repro.models import build_model, paper_scheme
+from repro.report import render_table
+from repro.report.paper_data import (FIG9_APPLE_M1, FIG9_JETSON_NANO,
+                                     FIG9_MCU, FIG9_ORIN_LLAMA,
+                                     FIG9_RASPBERRY_PI,
+                                     FIG9_SNAPDRAGON_CPU,
+                                     FIG9_SNAPDRAGON_DSP)
+from repro.sparse import full_update
+from repro.train import Lion, SGD
+
+from conftest import banner
+
+CNN_MODELS = ["mcunet", "mobilenetv2", "resnet50"]
+NLP_MODELS = ["bert", "distilbert"]
+BASELINES = ["tensorflow", "pytorch", "jax", "mnn"]
+
+
+def _build(model_key, batch=8):
+    if model_key in NLP_MODELS:
+        return build_model(model_key, batch=batch, seq_len=64), "transformer"
+    if model_key == "llama7b":
+        return build_model(model_key, batch=1, seq_len=512), "transformer"
+    return build_model(model_key, batch=batch), "cnn"
+
+
+def panel(device_key, model_keys, frameworks=BASELINES, optimizer=None):
+    device = get_device(device_key)
+    grid = {}
+    for model_key in model_keys:
+        forward, family = _build(model_key)
+        scheme = paper_scheme(forward)
+        row = {}
+        for fw_key in frameworks:
+            result = simulate_training(
+                forward, FRAMEWORKS[fw_key], device, scheme=scheme,
+                optimizer=optimizer or SGD(0.01), model_family=family)
+            row[fw_key] = result.throughput_per_s if result else None
+        pe = FRAMEWORKS["pockengine"]
+        row["pockengine_full"] = simulate_training(
+            forward, pe, device, scheme=full_update(forward),
+            optimizer=optimizer or SGD(0.01),
+            model_family=family).throughput_per_s
+        row["pockengine_sparse"] = simulate_training(
+            forward, pe, device, scheme=scheme,
+            optimizer=optimizer or SGD(0.01),
+            model_family=family).throughput_per_s
+        grid[model_key] = row
+    return grid
+
+
+def show(title, grid, paper):
+    banner(title)
+    columns = BASELINES + ["pockengine_full", "pockengine_sparse"]
+    rows = []
+    for model, row in grid.items():
+        cells = [f"{row[c]:.2f}" if row.get(c) else "-" for c in columns]
+        ref = paper.get(model, {})
+        ref_pe = ref.get("pockengine_full"), ref.get("pockengine_sparse")
+        rows.append([model] + cells
+                    + [f"{ref_pe[0]}/{ref_pe[1]}" if ref_pe[0] else "n/a"])
+    print(render_table(["Model"] + columns + ["paper PE f/s"], rows))
+
+
+def _assert_pockengine_wins(grid):
+    for model, row in grid.items():
+        pe = row["pockengine_full"]
+        for fw in BASELINES:
+            if row.get(fw):
+                assert pe > row[fw], (model, fw)
+        assert row["pockengine_sparse"] > pe, model
+
+
+def test_fig9f_raspberry_pi(benchmark):
+    grid = benchmark.pedantic(
+        lambda: panel("raspberry_pi_4", CNN_MODELS + NLP_MODELS),
+        rounds=1, iterations=1)
+    show("Figure 9(f) — Raspberry Pi 4 CPU, items/sec", grid,
+         FIG9_RASPBERRY_PI)
+    _assert_pockengine_wins(grid)
+    # Paper headline: >10x over TensorFlow on Pi for MobileNetV2-class nets.
+    ratio = grid["mobilenetv2"]["pockengine_full"] \
+        / grid["mobilenetv2"]["tensorflow"]
+    assert 7.0 < ratio < 25.0  # paper: 13.3x
+
+
+def test_fig9a_jetson_nano(benchmark):
+    grid = benchmark.pedantic(
+        lambda: panel("jetson_nano", CNN_MODELS + NLP_MODELS,
+                      frameworks=["tensorflow", "pytorch"]),
+        rounds=1, iterations=1)
+    show("Figure 9(a) — Jetson Nano GPU, items/sec", grid, FIG9_JETSON_NANO)
+    for model, row in grid.items():
+        assert row["pockengine_full"] > row["pytorch"], model
+        assert row["pockengine_sparse"] > row["pockengine_full"], model
+    ratio = grid["mobilenetv2"]["pockengine_full"] \
+        / grid["mobilenetv2"]["pytorch"]
+    assert 1.5 < ratio < 8.0  # paper: ~2.9x
+
+
+def test_fig9b_orin_llama(benchmark):
+    def run():
+        forward, family = _build("llama7b")
+        orin = get_device("jetson_orin")
+        scheme = paper_scheme(forward)
+        out = {}
+        out["pytorch"] = simulate_training(
+            forward, FRAMEWORKS["pytorch"], orin,
+            scheme=full_update(forward), optimizer=Lion(1e-4),
+            model_family=family).throughput_per_s
+        pe = FRAMEWORKS["pockengine"]
+        out["pockengine_full"] = simulate_training(
+            forward, pe, orin, scheme=full_update(forward),
+            optimizer=Lion(1e-4), model_family=family).throughput_per_s
+        out["pockengine_sparse"] = simulate_training(
+            forward, pe, orin, scheme=scheme, optimizer=Lion(1e-4),
+            model_family=family).throughput_per_s
+        return out
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("Figure 9(b) — Jetson AGX Orin, LlamaV2-7B sentences/sec")
+    paper = FIG9_ORIN_LLAMA["llama7b"]
+    print(render_table(
+        ["framework", "measured (sent/s)", "paper"],
+        [[k, f"{v:.3f}", paper.get(k, "-")] for k, v in row.items()]))
+    assert row["pockengine_sparse"] > row["pockengine_full"] \
+        > row["pytorch"]
+    assert 4.0 < row["pockengine_sparse"] / row["pytorch"] < 16.0  # 8.5x
+
+
+def test_fig9c_mcu(benchmark):
+    def run():
+        out = {}
+        mcu = get_device("stm32f746")
+        for model_key in ("mcunet", "mobilenetv2_035"):
+            forward = build_model(model_key, batch=1)
+            scheme = paper_scheme(forward)
+            projected = simulate_inference_projection(
+                forward, FRAMEWORKS["tflite_micro"], mcu)
+            pe = FRAMEWORKS["pockengine"]
+            full = simulate_training(forward, pe, mcu,
+                                     scheme=full_update(forward))
+            sparse = simulate_training(forward, pe, mcu, scheme=scheme)
+            out[model_key] = {
+                "tflite_micro": projected.throughput_per_s,
+                "pockengine_full": full.throughput_per_s,
+                "pockengine_sparse": sparse.throughput_per_s,
+            }
+        return out
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1)
+    banner("Figure 9(c) — STM32F746 MCU, images/sec (TF-Lite projected)")
+    cols = ["tflite_micro", "pockengine_full", "pockengine_sparse"]
+    rows = [[m] + [f"{r[c]:.3f}" for c in cols]
+            + [str(FIG9_MCU.get(m, {}))] for m, r in grid.items()]
+    print(render_table(["Model"] + cols + ["paper"], rows))
+    for model, row in grid.items():
+        assert row["pockengine_full"] > 5 * row["tflite_micro"], model
+        assert row["pockengine_sparse"] > 1.5 * row["pockengine_full"], model
+
+
+def test_fig9d_apple_m1(benchmark):
+    grid = benchmark.pedantic(
+        lambda: panel("apple_m1", CNN_MODELS + NLP_MODELS,
+                      frameworks=["tensorflow", "pytorch"]),
+        rounds=1, iterations=1)
+    show("Figure 9(d) — Apple M1 GPU (Metal), items/sec", grid,
+         FIG9_APPLE_M1)
+    for model, row in grid.items():
+        assert row["pockengine_full"] > row["tensorflow"], model
+
+
+def test_fig9e_snapdragon_cpu(benchmark):
+    grid = benchmark.pedantic(
+        lambda: panel("snapdragon_cpu", CNN_MODELS + NLP_MODELS,
+                      frameworks=[]),
+        rounds=1, iterations=1)
+    show("Figure 9(e) — Snapdragon 8 Gen 1 CPU, items/sec", grid,
+         FIG9_SNAPDRAGON_CPU)
+    for model, row in grid.items():
+        assert row["pockengine_sparse"] > row["pockengine_full"], model
+
+
+def test_fig9g_snapdragon_dsp(benchmark):
+    grid = benchmark.pedantic(
+        lambda: panel("snapdragon_dsp", CNN_MODELS, frameworks=[]),
+        rounds=1, iterations=1)
+    show("Figure 9(g) — Snapdragon 8 Gen 1 DSP (SNPE), images/sec", grid,
+         FIG9_SNAPDRAGON_DSP)
+    # Baselines cannot run on the DSP at all (paper shows only PockEngine).
+    device = get_device("snapdragon_dsp")
+    forward = build_model("mcunet", batch=8)
+    for fw in ("pytorch", "tensorflow", "jax", "mnn"):
+        assert simulate_training(forward, FRAMEWORKS[fw], device) is None
+    for model, row in grid.items():
+        assert row["pockengine_sparse"] > row["pockengine_full"], model

@@ -1,0 +1,83 @@
+"""Table 3: language-model fine-tuning accuracy on GLUE-like tasks.
+
+BERT/DistilBERT micro encoders, pre-trained on the synthetic source token
+distribution, fine-tuned per scheme on seven named tasks.
+"""
+
+import numpy as np
+
+from repro.data import text_source, text_task
+from repro.data.tasks import TEXT_TASKS
+from repro.models import build_model, paper_scheme
+from repro.report import render_table
+from repro.report.paper_data import TABLE3_AVG_ACC
+from repro.runtime.compiler import compile_training
+from repro.sparse import bias_only, full_update
+from repro.train import Adam, Trainer, load_checkpoint, snapshot_weights
+
+from conftest import banner, fast_mode
+
+MODELS = ["distilbert_micro", "bert_micro"]
+VOCAB = 256
+SEQ = 16
+
+
+def pretrain(model_key):
+    forward = build_model(model_key, batch=8, seq_len=SEQ, num_classes=4)
+    source = text_source(vocab_size=VOCAB, seq_len=SEQ, n_train=256)
+    program = compile_training(forward, optimizer=Adam(2e-3),
+                               scheme=full_update(forward))
+    trainer = Trainer(program, forward, input_name="ids")
+    steps = 100 if fast_mode() else 220
+    trainer.fit(source.batches(8, np.random.default_rng(0), steps))
+    return forward, snapshot_weights(program, forward)
+
+
+def finetune(forward, checkpoint, scheme, task):
+    load_checkpoint(forward, checkpoint)
+    program = compile_training(forward, optimizer=Adam(2.5e-3), scheme=scheme)
+    trainer = Trainer(program, forward, input_name="ids")
+    steps = 100 if fast_mode() else 260
+    trainer.fit(task.batches(8, np.random.default_rng(1), steps))
+    return 100.0 * trainer.evaluate(task.x_test, task.y_test)
+
+
+def run_table3():
+    datasets = list(TEXT_TASKS) if not fast_mode() else list(TEXT_TASKS)[:2]
+    results = {}
+    for model_key in MODELS:
+        forward, checkpoint = pretrain(model_key)
+        for method, scheme in (
+            ("Full BP", full_update(forward)),
+            ("Bias Only", bias_only(forward)),
+            ("Sparse BP", paper_scheme(forward)),
+        ):
+            accs = {}
+            for name in datasets:
+                task = text_task(name, vocab_size=VOCAB, seq_len=SEQ,
+                                 n_train=256, n_test=128)
+                accs[name] = finetune(forward, checkpoint, scheme, task)
+            results[(model_key, method)] = accs
+    return results, datasets
+
+
+def test_table3_nlp_accuracy(benchmark):
+    results, datasets = benchmark.pedantic(run_table3, rounds=1,
+                                           iterations=1)
+    banner("Table 3 — language fine-tuning accuracy (%), synthetic "
+           "GLUE-like suites")
+    rows = []
+    for (model, method), accs in results.items():
+        avg = np.mean(list(accs.values()))
+        rows.append([model, method, f"{avg:.1f}"]
+                    + [f"{accs[d]:.1f}" for d in datasets])
+    print(render_table(["Model", "Method", "Avg"] + datasets, rows))
+    print("\nPaper averages (real GLUE):")
+    for model, vals in TABLE3_AVG_ACC.items():
+        print(f"  {model}: full {vals['full']}, bias {vals['bias']}, "
+              f"sparse {vals['sparse']}")
+
+    for model_key in MODELS:
+        avg = {m: np.mean(list(results[(model_key, m)].values()))
+               for m in ("Full BP", "Bias Only", "Sparse BP")}
+        assert avg["Sparse BP"] >= avg["Bias Only"] - 2.0, model_key

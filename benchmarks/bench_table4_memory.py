@@ -1,0 +1,90 @@
+"""Table 4: training memory, full vs sparse backpropagation.
+
+Full-size model graphs, PockEngine compilation, memory from the liveness
+profiler plus runtime base memory; "-" marks configurations exceeding the
+device's RAM (the paper's OOM dashes).
+"""
+
+from repro.baselines import FRAMEWORKS, simulate_training
+from repro.devices import get_device
+from repro.models import build_model, paper_scheme
+from repro.report import render_table
+from repro.report.paper_data import TABLE4_MEMORY
+from repro.sparse import full_update
+from repro.train import SGD, Lion
+
+from conftest import banner, fast_mode
+
+# (device, model key, batches, family, optimizer)
+CONFIGS = [
+    ("stm32f746", "mcunet", (1,), "cnn", SGD(0.01)),
+    ("jetson_nano", "mobilenetv2", (1, 4, 16), "cnn", SGD(0.01)),
+    ("jetson_nano", "resnet50", (1, 4, 16), "cnn", SGD(0.01)),
+    ("jetson_orin", "bert", (1, 4, 16), "transformer", SGD(0.01)),
+    ("jetson_orin", "llama7b", (1,), "transformer", Lion(1e-4)),
+]
+
+
+def measure_cell(device_key, model_key, batch, family, optimizer):
+    kwargs = {"batch": batch}
+    if family == "transformer":
+        kwargs["seq_len"] = 512 if model_key == "llama7b" else 128
+    forward = build_model(model_key, **kwargs)
+    device = get_device(device_key)
+    pe = FRAMEWORKS["pockengine"]
+    full = simulate_training(forward, pe, device,
+                             scheme=full_update(forward),
+                             optimizer=optimizer, model_family=family)
+    sparse = simulate_training(forward, pe, device,
+                               scheme=paper_scheme(forward),
+                               optimizer=optimizer, model_family=family)
+    return full, sparse
+
+
+def run_table4():
+    rows = []
+    for device_key, model_key, batches, family, optimizer in CONFIGS:
+        if fast_mode() and model_key == "llama7b":
+            continue
+        for batch in batches:
+            full, sparse = measure_cell(device_key, model_key, batch,
+                                        family, optimizer)
+            rows.append((device_key, model_key, batch, full, sparse))
+    return rows
+
+
+def _fmt(result):
+    if result.oom:
+        return f"- (needs {result.memory_mb:.0f}MB)"
+    if result.memory_mb > 1024:
+        return f"{result.memory_mb / 1024:.1f}GB"
+    return f"{result.memory_mb:.0f}MB"
+
+
+def test_table4_training_memory(benchmark):
+    rows = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    banner("Table 4 — training memory, Full-BP vs Sparse-BP (simulated "
+           "devices)")
+    paper = {(d, m, b): (f, s) for d, m, b, f, s in TABLE4_MEMORY}
+    table = []
+    for device, model, batch, full, sparse in rows:
+        ref = paper.get((device, model, batch))
+        table.append([
+            device, model, batch, _fmt(full), _fmt(sparse),
+            f"{full.memory_mb / sparse.memory_mb:.1f}x",
+            f"{ref[0]}/{ref[1]}MB" if ref else "n/a",
+        ])
+    print(render_table(
+        ["Device", "Model", "bs", "Full-BP", "Sparse-BP", "saving",
+         "paper (full/sparse)"], table))
+
+    for device, model, batch, full, sparse in rows:
+        assert sparse.memory_mb < full.memory_mb, (model, batch)
+    # Savings grow with batch size (paper's observation).
+    mbv2 = {batch: (full.memory_mb, sparse.memory_mb)
+            for device, model, batch, full, sparse in rows
+            if model == "mobilenetv2"}
+    if 1 in mbv2 and 16 in mbv2:
+        ratio_small = mbv2[1][0] / mbv2[1][1]
+        ratio_large = mbv2[16][0] / mbv2[16][1]
+        assert ratio_large > ratio_small

@@ -1,0 +1,124 @@
+"""LoRA vs sparse backpropagation: the Table 5 trade-off, end to end.
+
+Fine-tunes the same pre-trained micro-Llama three ways on the built-in
+instruction corpus — full backprop, real rank-4 LoRA adapters, and the
+paper's sparse scheme — then compares:
+
+* held-out loss (quality: all three should land close),
+* backward depth and compiled-graph size (why LoRA is *not* faster:
+  its backward still reaches block 0),
+* simulated iteration latency and memory on Jetson AGX Orin for the
+  full-size 7B graphs,
+* the LoRA merge: adapters fold back into the base weights for free.
+
+Run:  python examples/lora_vs_sparse.py
+"""
+
+import numpy as np
+
+from repro.baselines import FRAMEWORKS, simulate_training
+from repro.data import instruction_batches
+from repro.devices import get_device
+from repro.models import build_model, paper_scheme
+from repro.report import render_table
+from repro.runtime import interpret
+from repro.runtime.compiler import compile_training
+from repro.sparse import (LoRAConfig, full_update, inject_lora, lora_scheme,
+                          merge_lora)
+from repro.train import Adam, Lion, Trainer, load_checkpoint, \
+    snapshot_weights
+
+SEQ = 24
+BATCH = 4
+
+
+def pretrain(forward):
+    _, batches, heldout = instruction_batches(
+        seq_len=SEQ, batch_size=BATCH, steps=150, seed=0)
+    program = compile_training(forward, optimizer=Adam(2e-3),
+                               scheme=full_update(forward))
+    trainer = Trainer(program, forward, input_name="ids")
+    trainer.fit(batches)
+    return snapshot_weights(program, forward), heldout
+
+
+def heldout_loss(trainer, x_test, y_test):
+    losses = [trainer.mean_loss(x_test[i:i + BATCH], y_test[i:i + BATCH])
+              for i in range(0, len(x_test) - BATCH + 1, BATCH)]
+    return float(np.mean(losses))
+
+
+def main():
+    forward = build_model("llama_micro", batch=BATCH, seq_len=SEQ)
+    print("Pre-training micro-Llama on the instruction corpus...")
+    checkpoint, (x_test, y_test) = pretrain(forward)
+
+    rows = []
+    lora_graph = None
+    lora_program = None
+    for method in ("full", "sparse", "lora"):
+        _, batches, _ = instruction_batches(
+            seq_len=SEQ, batch_size=BATCH, steps=80, seed=1)
+        load_checkpoint(forward, checkpoint)
+        if method == "lora":
+            graph = inject_lora(forward, LoRAConfig(rank=4, alpha=8.0))
+            scheme = lora_scheme(graph)
+        else:
+            graph = forward
+            scheme = full_update(forward) if method == "full" \
+                else paper_scheme(forward)
+        program = compile_training(graph, optimizer=Adam(1e-3),
+                                   scheme=scheme)
+        trainer = Trainer(program, graph, input_name="ids")
+        trainer.fit(batches)
+        if method == "lora":
+            lora_graph, lora_program = graph, program
+
+        updates = sum(1 for n in program.graph.nodes
+                      if n.op_type.startswith("apply_"))
+        rows.append([method, f"{heldout_loss(trainer, x_test, y_test):.3f}",
+                     len(program.graph.nodes), updates])
+    print(render_table(
+        ["Method", "held-out loss", "train-graph nodes", "updated tensors"],
+        rows, title="Micro-Llama fine-tuning quality"))
+
+    # -- why LoRA doesn't speed up iteration: the 7B cost picture ---------
+    print("\nSimulating full-size LlamaV2-7B on Jetson AGX Orin...")
+    llama = build_model("llama7b", batch=1, seq_len=512)
+    llama_lora = inject_lora(llama, LoRAConfig(rank=8, alpha=16.0))
+    orin = get_device("jetson_orin")
+    pe = FRAMEWORKS["pockengine"]
+    sims = {
+        "full BP": simulate_training(llama, pe, orin, full_update(llama),
+                                     Lion(1e-4), "transformer"),
+        "LoRA r=8": simulate_training(llama_lora, pe, orin,
+                                      lora_scheme(llama_lora), Lion(1e-4),
+                                      "transformer"),
+        "sparse BP": simulate_training(llama, pe, orin, paper_scheme(llama),
+                                       Lion(1e-4), "transformer"),
+    }
+    table = [[name, f"{r.latency_ms / 1000:.2f}s",
+              f"{r.memory_mb / 1024:.1f}GB",
+              f"{512 / (r.latency_ms / 1000):.0f} tok/s"]
+             for name, r in sims.items()]
+    print(render_table(["Method", "iter latency", "memory", "throughput"],
+                       table, title="LlamaV2-7B, one iteration (PockEngine)"))
+    print("LoRA cuts memory (small optimizer state) but must backprop to "
+          "block 0;\nsparse BP prunes the backward depth and wins latency "
+          "too.")
+
+    # -- merge adapters for deployment -------------------------------------
+    for name in lora_graph.initializers:
+        if name in lora_program.state:
+            lora_graph.initializers[name] = lora_program.state[name]
+    merged = merge_lora(lora_graph)
+    ids = x_test[:BATCH]
+    a = interpret(lora_graph, {"ids": ids})[lora_graph.outputs[0]]
+    b = interpret(merged, {"ids": ids})[merged.outputs[0]]
+    print(f"\nAdapter merge: {len(lora_graph.nodes)} -> "
+          f"{len(merged.nodes)} nodes, max logit drift "
+          f"{np.abs(a - b).max():.2e} (free at inference).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: compile and run a sparse-backpropagation training step.
+
+Builds a small CNN, compiles three training programs (full backprop,
+bias-only, and a channel-sparse scheme), trains each on a synthetic task,
+and prints the compiled-graph sizes, measured peak memory, and accuracy —
+the whole PockEngine story in ~80 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (Conv2d, InputSpec, Linear, Sequential, Trainer,
+                   UpdateScheme, compile_training, trace)
+from repro.frontend import GlobalAvgPool
+from repro.sparse import bias_only, full_update
+from repro.train import Adam
+
+
+def build_model(rng):
+    head = Linear(16, 4, rng=rng)
+    head.meta["classifier"] = True
+    return Sequential(
+        Conv2d(3, 12, 3, padding=1, activation="relu", rng=rng),
+        Conv2d(12, 16, 3, padding=1, activation="relu", rng=rng),
+        GlobalAvgPool(),
+        head,
+    )
+
+
+def make_batch(rng, prototypes, batch=8, noise=0.35):
+    labels = rng.integers(0, len(prototypes), batch)
+    images = prototypes[labels] + noise * rng.standard_normal(
+        (batch,) + prototypes.shape[1:])
+    return images.astype(np.float32), labels.astype(np.int64)
+
+
+def main():
+    rng = np.random.default_rng(0)
+    model = build_model(rng)
+    forward = trace(model, [InputSpec("x", (8, 3, 8, 8))], name="quickcnn")
+    prototypes = rng.standard_normal((4, 3, 8, 8)).astype(np.float32)
+
+    schemes = {
+        "full backprop": full_update(forward),
+        "bias only": bias_only(forward),
+        "channel-sparse": UpdateScheme("sparse", {
+            "1.weight": 0.5, "1.bias": 1.0,   # half the conv2 input channels
+            "3.weight": 1.0, "3.bias": 1.0,   # classifier head
+        }),
+    }
+
+    print(f"{'scheme':16s} {'nodes':>6s} {'peak KB':>8s} "
+          f"{'final loss':>11s} {'accuracy':>9s}")
+    for name, scheme in schemes.items():
+        program = compile_training(forward, optimizer=Adam(5e-3),
+                                   scheme=scheme)
+        trainer = Trainer(program, forward)
+        loss = None
+        for _ in range(120):
+            loss = trainer.step(*make_batch(rng, prototypes))
+        x_test, y_test = make_batch(rng, prototypes, batch=64)
+        acc = trainer.evaluate(x_test, y_test, batch_size=8)
+        report = program.meta["report"]
+        print(f"{name:16s} {report.num_nodes:6d} "
+              f"{report.peak_transient_bytes / 1024:8.1f} "
+              f"{loss:11.4f} {acc:9.2%}")
+
+    print("\nSparse schemes compile to smaller graphs and lower peak "
+          "memory while reaching comparable accuracy - the PockEngine "
+          "claim, end to end.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the environment has setuptools without `wheel`, so
+PEP-517 editable installs fail; `pip install -e . --no-use-pep517` works."""
+
+from setuptools import setup
+
+setup()

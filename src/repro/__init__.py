@@ -1,0 +1,81 @@
+"""PockEngine reproduction: sparse and efficient fine-tuning in a pocket.
+
+A compilation-first training engine (MICRO 2023): compile-time autodiff,
+sparse backpropagation via backward-graph pruning, training-graph
+optimizations (fusion, reordering, Winograd and QKV merging for frozen
+weights, layout), a memory planner, a numpy executor, and analytical
+edge-device cost models. Supporting subsystems live in their own
+subpackages: int8 quantization (:mod:`repro.quant`), LoRA adapters
+(:mod:`repro.sparse.lora`), rematerialization/paging
+(:mod:`repro.memory.remat`), deployment artifacts (:mod:`repro.deploy`),
+and the runtime profiler (:mod:`repro.runtime.profiler`).
+
+Quickstart::
+
+    from repro import (InputSpec, Linear, Sequential, trace,
+                       compile_training, Trainer, SGD, bias_only)
+
+    model = Sequential(Linear(16, 32, activation="relu"), Linear(32, 4))
+    forward = trace(model, [InputSpec("x", (8, 16))])
+    program = compile_training(forward, optimizer=SGD(lr=0.1),
+                               scheme=bias_only(forward))
+    trainer = Trainer(program, forward)
+    trainer.step(x_batch, y_batch)
+"""
+
+from .errors import (AutodiffError, CompileError, DeviceError, ExecutionError,
+                     GraphError, MemoryPlanError, ReproError, SchemeError,
+                     ShapeError)
+from .frontend import (Conv2d, Embedding, InputSpec, LayerNorm, Linear,
+                       Module, Parameter, RMSNorm, Sequential,
+                       TransformerBlock, trace)
+from .ir import DType, Graph, GraphBuilder, TensorSpec, validate_graph
+from .runtime import Executor, Program, interpret
+from .runtime.compiler import (CompileOptions, compile_inference,
+                               compile_training)
+from .sparse import UpdateScheme, bias_only, full_update, last_blocks
+from .train import SGD, Adam, Lion, Trainer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Adam",
+    "AutodiffError",
+    "CompileError",
+    "CompileOptions",
+    "Conv2d",
+    "DType",
+    "DeviceError",
+    "Embedding",
+    "ExecutionError",
+    "Executor",
+    "Graph",
+    "GraphBuilder",
+    "GraphError",
+    "InputSpec",
+    "LayerNorm",
+    "Linear",
+    "Lion",
+    "MemoryPlanError",
+    "Module",
+    "Parameter",
+    "Program",
+    "RMSNorm",
+    "ReproError",
+    "SGD",
+    "SchemeError",
+    "Sequential",
+    "ShapeError",
+    "TensorSpec",
+    "Trainer",
+    "TransformerBlock",
+    "UpdateScheme",
+    "bias_only",
+    "compile_inference",
+    "compile_training",
+    "full_update",
+    "interpret",
+    "last_blocks",
+    "trace",
+    "validate_graph",
+]

@@ -1,0 +1,18 @@
+"""Compile-time automatic differentiation.
+
+PockEngine derives the backward graph ahead of time (paper Figure 7): the
+rules in :mod:`repro.autodiff.rules` emit ordinary inference ops, and
+:func:`build_backward` stitches them into the forward graph, stopping at the
+deepest tensor that requires a gradient.
+"""
+
+from .engine import BackwardResult, build_backward
+from .rules import GRAD_RULES, NON_DIFFERENTIABLE, GradientContext
+
+__all__ = [
+    "BackwardResult",
+    "GRAD_RULES",
+    "GradientContext",
+    "NON_DIFFERENTIABLE",
+    "build_backward",
+]

@@ -1,0 +1,17 @@
+"""Baseline framework models and the training simulator."""
+
+from .framework import (FRAMEWORKS, TABLE1_COLUMNS, FrameworkProfile,
+                        feature_row, get_framework)
+from .simulate import (SimulationResult, simulate_inference_projection,
+                       simulate_training)
+
+__all__ = [
+    "FRAMEWORKS",
+    "FrameworkProfile",
+    "SimulationResult",
+    "TABLE1_COLUMNS",
+    "feature_row",
+    "get_framework",
+    "simulate_inference_projection",
+    "simulate_training",
+]

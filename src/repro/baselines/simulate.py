@@ -1,0 +1,160 @@
+"""Training simulation: (model, framework, device, scheme) -> latency/memory.
+
+This is the harness behind Figure 9, Table 4, and Table 5: it compiles the
+model's training step the way each framework would (capabilities off/on per
+profile), schedules it accordingly, and prices the schedule on the target
+device. Because the numbers derive from the actual transformed graphs,
+every compiler pass shows up in the results exactly as it would on
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices import DeviceSpec, estimate_latency
+from ..ir import Graph
+from ..memory import profile_memory
+from ..runtime.compiler import CompileOptions, compile_training
+from ..sparse import UpdateScheme, full_update
+from ..train.optim import OptimizerSpec, SGD
+from .framework import FrameworkProfile
+
+
+@dataclass
+class SimulationResult:
+    """One cell of a speed/memory comparison."""
+
+    framework: str
+    device: str
+    model: str
+    scheme: str
+    latency_ms: float
+    throughput_per_s: float       # items (images / sentences) per second
+    memory_mb: float
+    oom: bool
+    num_kernels: int
+    num_nodes: int
+
+    @property
+    def available(self) -> bool:
+        return True
+
+
+UNAVAILABLE = None
+
+
+def simulate_training(
+    forward: Graph,
+    framework: FrameworkProfile,
+    device: DeviceSpec,
+    scheme: UpdateScheme | None = None,
+    optimizer: OptimizerSpec | None = None,
+    model_family: str = "cnn",
+    items_per_batch: int | None = None,
+) -> SimulationResult | None:
+    """Simulate one training iteration; None if the framework can't run it.
+
+    Args:
+        forward: forward graph (typically built under ``lazy_init`` for
+            full-size models).
+        framework: behaviour profile (see :mod:`.framework`).
+        device: target platform.
+        scheme: requested sparse scheme; frameworks without real sparse
+            support fall back to masked (compute-everything) or full.
+        optimizer: optimizer spec (memory includes its state).
+        model_family: 'cnn' or 'transformer' (availability filtering).
+        items_per_batch: items per iteration for throughput (defaults to
+            the first input's leading dimension).
+    """
+    if not framework.runs_on(device.kind):
+        return UNAVAILABLE
+    if framework.supported_families is not None \
+            and model_family not in framework.supported_families:
+        return UNAVAILABLE
+
+    optimizer = optimizer or SGD(lr=0.01)
+    requested = scheme or full_update(forward)
+    if framework.sparse_mode == "pruned":
+        effective, masked = requested, False
+    elif framework.sparse_mode == "masked":
+        effective, masked = requested, True
+    else:  # no sparse support at all: trains everything
+        effective, masked = full_update(forward), False
+
+    options = CompileOptions(
+        constant_folding=framework.fusion,
+        cse=framework.fusion,
+        rewrite=framework.fusion,
+        fusion=framework.fusion,
+        # merging frozen parallel linears requires a compile-time view of
+        # the update scheme, which only PockEngine's workflow has
+        parallel_fusion=framework.sparse_mode == "pruned",
+        winograd=framework.winograd,
+        layout=framework.layout,
+        reorder=framework.reorder,
+        applies_last=framework.holds_all_grads,
+        masked_sparse=masked,
+        materialize_state=False,
+        device=device,
+    )
+    program = compile_training(
+        forward, optimizer=optimizer, scheme=effective, options=options)
+
+    latency = estimate_latency(
+        program.graph,
+        program.schedule,
+        device,
+        interpreted=framework.interpreted,
+        runtime_autodiff=framework.runtime_autodiff,
+        kernel_quality=framework.quality_on(device.kind, model_family),
+        layout_optimized=framework.layout,
+    )
+    memory = profile_memory(program.graph, program.schedule)
+    total_mb = (memory.peak_total_bytes / (1 << 20)) \
+        * framework.allocator_overhead + framework.base_memory_on(device.kind)
+
+    if items_per_batch is None:
+        items_per_batch = forward.spec(forward.inputs[0]).shape[0] \
+            if forward.inputs else 1
+    latency_s = latency.total_us / 1e6
+    return SimulationResult(
+        framework=framework.key,
+        device=device.key,
+        model=forward.name,
+        scheme=effective.name,
+        latency_ms=latency.total_ms,
+        throughput_per_s=items_per_batch / latency_s if latency_s else 0.0,
+        memory_mb=total_mb,
+        oom=total_mb > device.ram_mb,
+        num_kernels=latency.num_kernels,
+        num_nodes=len(program.graph.nodes),
+    )
+
+
+def simulate_inference_projection(
+    forward: Graph,
+    framework: FrameworkProfile,
+    device: DeviceSpec,
+    optimizer: OptimizerSpec | None = None,
+) -> SimulationResult | None:
+    """Projected training latency for inference-only frameworks.
+
+    TF-Lite-Micro cannot train; the paper reports a projection — we model
+    it as a full-update training graph run with that framework's kernels
+    and interpreter overheads.
+    """
+    profile = FrameworkProfile(
+        key=framework.key,
+        name=framework.name,
+        interpreted=framework.interpreted,
+        runtime_autodiff=framework.runtime_autodiff,
+        sparse_mode="none",
+        holds_all_grads=True,
+        kernel_quality=framework.kernel_quality,
+        base_memory_mb=framework.base_memory_mb,
+        supported_kinds=framework.supported_kinds,
+        supports_training=True,
+        supported_families=None,
+    )
+    return simulate_training(forward, profile, device, optimizer=optimizer)

@@ -1,0 +1,230 @@
+"""Command-line interface: quick access to the simulators and reports.
+
+Usage::
+
+    python -m repro.cli features
+    python -m repro.cli simulate --model mobilenetv2 --device raspberry_pi_4
+    python -m repro.cli memory --model resnet50 --device jetson_nano --batch 4
+    python -m repro.cli scheme --model bert
+    python -m repro.cli profile --model mcunet --device stm32f746 --sparse
+    python -m repro.cli deploy --model mcunet_micro --out ./artifact
+    python -m repro.cli devices
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .baselines import FRAMEWORKS, TABLE1_COLUMNS, feature_row, \
+    simulate_training
+from .devices import DEVICES, get_device
+from .models import REGISTRY, build_model, paper_scheme
+from .report import render_table
+from .sparse import full_update
+from .train import SGD
+
+
+def _build(model_key: str, batch: int):
+    entry = REGISTRY[model_key]
+    kwargs = {"batch": batch}
+    if entry.family == "transformer" and "llama" in model_key:
+        kwargs["seq_len"] = 512 if model_key == "llama7b" else None
+    return build_model(model_key, **kwargs), entry.family
+
+
+def cmd_features(args) -> int:
+    rows = []
+    for key in ("pytorch", "tensorflow", "jax", "mnn", "tflite_micro",
+                "pockengine"):
+        profile = FRAMEWORKS[key]
+        features = feature_row(profile)
+        rows.append([profile.name] + [features[c] for c in TABLE1_COLUMNS])
+    print(render_table(["Framework"] + list(TABLE1_COLUMNS), rows))
+    return 0
+
+
+def cmd_devices(args) -> int:
+    rows = [
+        [d.key, d.kind, f"{d.peak_gflops:.1f}", f"{d.mem_bw_gbs:.1f}",
+         f"{d.ram_mb:.0f}", d.preferred_layout]
+        for d in DEVICES.values()
+    ]
+    print(render_table(
+        ["Device", "kind", "GFLOP/s", "GB/s", "RAM MB", "layout"], rows))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    forward, family = _build(args.model, args.batch)
+    device = get_device(args.device)
+    scheme = paper_scheme(forward) if args.sparse else full_update(forward)
+    rows = []
+    for fw_key in args.frameworks:
+        result = simulate_training(
+            forward, FRAMEWORKS[fw_key], device, scheme=scheme,
+            optimizer=SGD(0.01), model_family=family)
+        if result is None:
+            rows.append([fw_key, "-", "-", "-", "unavailable"])
+        else:
+            rows.append([
+                fw_key, f"{result.latency_ms:.1f}ms",
+                f"{result.throughput_per_s:.2f}/s",
+                f"{result.memory_mb:.0f}MB",
+                "OOM" if result.oom else "ok",
+            ])
+    print(render_table(
+        ["Framework", "latency", "throughput", "memory", "status"], rows,
+        title=f"{args.model} on {device.name} "
+              f"({'sparse' if args.sparse else 'full'} scheme, "
+              f"batch {args.batch})"))
+    return 0
+
+
+def cmd_memory(args) -> int:
+    from .memory import plan_arena, profile_memory
+    from .runtime.compiler import CompileOptions, compile_training
+
+    forward, _ = _build(args.model, args.batch)
+    scheme = paper_scheme(forward) if args.sparse else full_update(forward)
+    program = compile_training(
+        forward, optimizer=SGD(0.01), scheme=scheme,
+        options=CompileOptions(materialize_state=False,
+                               device=get_device(args.device)))
+    profile = profile_memory(program.graph, program.schedule)
+    plan = plan_arena(program.graph, program.schedule)
+    print(render_table(["metric", "value"], [
+        ["scheme", scheme.name],
+        ["graph nodes", len(program.graph.nodes)],
+        ["peak transient", f"{profile.peak_transient_bytes / 1024:.1f}KB"],
+        ["weights + state", f"{profile.resident_bytes / 1024:.1f}KB"],
+        ["peak total", f"{profile.peak_total_bytes / (1 << 20):.1f}MB"],
+        ["static arena", f"{plan.arena_bytes / 1024:.1f}KB"],
+    ]))
+    return 0
+
+
+def cmd_scheme(args) -> int:
+    forward, _ = _build(args.model, args.batch)
+    scheme = paper_scheme(forward)
+    meta = forward.metadata.get("params", {})
+    rows = [
+        [param, f"{ratio:.2f}", meta.get(param, {}).get("role", "?"),
+         meta.get(param, {}).get("block", "-")]
+        for param, ratio in sorted(scheme.updates.items())
+    ]
+    print(render_table(["Parameter", "ratio", "role", "block"], rows,
+                       title=f"paper scheme for {args.model}: {scheme.name} "
+                             f"({len(rows)} of "
+                             f"{len(forward.trainable)} tensors)"))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .runtime import analytical_profile
+    from .runtime.compiler import CompileOptions, compile_training
+
+    forward, _ = _build(args.model, args.batch)
+    device = get_device(args.device)
+    scheme = paper_scheme(forward) if args.sparse else full_update(forward)
+    program = compile_training(
+        forward, optimizer=SGD(0.01), scheme=scheme,
+        options=CompileOptions(materialize_state=False, device=device))
+    profile = analytical_profile(program.graph, program.schedule, device)
+    rows = [[op, count, f"{us / 1000:.2f}ms",
+             f"{us / profile.total_us:.1%}"]
+            for op, (count, us) in list(profile.by_op_type().items())[:12]]
+    print(render_table(
+        ["Op", "count", "time", "share"], rows,
+        title=f"{args.model} training step on {device.name} "
+              f"({scheme.name}): {profile.total_us / 1000:.1f}ms total"))
+    if args.trace:
+        path = profile.save_chrome_trace(args.trace)
+        print(f"\nchrome://tracing timeline written to {path}")
+    return 0
+
+
+def cmd_deploy(args) -> int:
+    from .deploy import estimate_binary_size, load_artifact, save_artifact
+    from .runtime.compiler import compile_training
+
+    forward, _ = _build(args.model, args.batch)
+    scheme = paper_scheme(forward) if args.sparse else full_update(forward)
+    program = compile_training(forward, optimizer=SGD(0.01), scheme=scheme)
+    save_artifact(program, args.out)
+    deployed = load_artifact(args.out)  # verify the round trip
+    report = estimate_binary_size(deployed.graph,
+                                  deployed.program.schedule)
+    print(render_table(["metric", "value"], [
+        ["artifact", args.out],
+        ["kernels linked", report.num_kernels],
+        ["code", f"{report.code_bytes / 1024:.1f}KB"],
+        ["weights", f"{report.weight_bytes / 1024:.1f}KB"],
+        ["arena", f"{deployed.arena_bytes / 1024:.1f}KB"],
+    ], title=f"deployable training artifact for {args.model}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PockEngine reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("features", help="Table-1 framework feature matrix")
+    sub.add_parser("devices", help="list simulated edge devices")
+
+    sim = sub.add_parser("simulate", help="simulate a training iteration")
+    sim.add_argument("--model", required=True, choices=sorted(REGISTRY))
+    sim.add_argument("--device", required=True, choices=sorted(DEVICES))
+    sim.add_argument("--batch", type=int, default=8)
+    sim.add_argument("--sparse", action="store_true",
+                     help="use the paper's sparse scheme")
+    sim.add_argument("--frameworks", nargs="+",
+                     default=["pytorch", "tensorflow", "pockengine"],
+                     choices=sorted(FRAMEWORKS))
+
+    mem = sub.add_parser("memory", help="memory plan for one configuration")
+    mem.add_argument("--model", required=True, choices=sorted(REGISTRY))
+    mem.add_argument("--device", default="raspberry_pi_4",
+                     choices=sorted(DEVICES))
+    mem.add_argument("--batch", type=int, default=1)
+    mem.add_argument("--sparse", action="store_true")
+
+    sch = sub.add_parser("scheme", help="show the paper scheme for a model")
+    sch.add_argument("--model", required=True, choices=sorted(REGISTRY))
+    sch.add_argument("--batch", type=int, default=1)
+
+    prof = sub.add_parser("profile",
+                          help="per-op latency breakdown on a device")
+    prof.add_argument("--model", required=True, choices=sorted(REGISTRY))
+    prof.add_argument("--device", default="raspberry_pi_4",
+                      choices=sorted(DEVICES))
+    prof.add_argument("--batch", type=int, default=1)
+    prof.add_argument("--sparse", action="store_true")
+    prof.add_argument("--trace", help="write a chrome://tracing JSON here")
+
+    dep = sub.add_parser("deploy",
+                         help="freeze a training step into an artifact")
+    dep.add_argument("--model", required=True, choices=sorted(REGISTRY))
+    dep.add_argument("--out", required=True)
+    dep.add_argument("--batch", type=int, default=1)
+    dep.add_argument("--sparse", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "features": cmd_features,
+        "devices": cmd_devices,
+        "simulate": cmd_simulate,
+        "memory": cmd_memory,
+        "scheme": cmd_scheme,
+        "profile": cmd_profile,
+        "deploy": cmd_deploy,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Synthetic datasets standing in for the paper's downstream suites."""
+
+from .instruct import (Tokenizer, build_corpus, build_tokenizer, encode_pair,
+                       instruction_batches)
+from .synthetic import (TaskData, TextTaskSpec, VisionTaskSpec,
+                        make_text_task, make_vision_task)
+from .tasks import (TEXT_SOURCE, TEXT_TASKS, VISION_SOURCE, VISION_TASKS,
+                    text_source, text_task, vision_source, vision_task)
+
+__all__ = [
+    "TEXT_SOURCE",
+    "TEXT_TASKS",
+    "TaskData",
+    "TextTaskSpec",
+    "Tokenizer",
+    "VISION_SOURCE",
+    "VISION_TASKS",
+    "VisionTaskSpec",
+    "build_corpus",
+    "build_tokenizer",
+    "encode_pair",
+    "instruction_batches",
+    "make_text_task",
+    "make_vision_task",
+    "text_source",
+    "text_task",
+    "vision_source",
+    "vision_task",
+]

@@ -1,0 +1,102 @@
+"""A tiny built-in instruction-tuning corpus (Alpaca stand-in).
+
+The paper fine-tunes LlamaV2-7B on 52K Alpaca records; offline we ship a
+deterministic template-generated corpus over a small vocabulary, enough to
+measurably drop held-out perplexity when llama_micro fine-tunes on it and
+to compare Full-BP vs Sparse-BP quality (Table 5's loss column proxy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_SUBJECTS = ["the cat", "a robot", "the chef", "my friend", "the bird"]
+_VERBS = ["likes", "makes", "sees", "finds", "wants"]
+_OBJECTS = ["apples", "music", "books", "rain", "tea"]
+
+_TEMPLATES = [
+    ("what does {s} {v} ?", "{s} {v} {o} ."),
+    ("tell me about {s} .", "{s} {v} {o} every day ."),
+    ("does {s} {v} {o} ?", "yes , {s} {v} {o} ."),
+    ("describe {o} .", "{o} are what {s} {v} ."),
+]
+
+BOS, EOS, PAD, SEP = "<bos>", "<eos>", "<pad>", "<sep>"
+
+
+@dataclass
+class Tokenizer:
+    """Word-level tokenizer over the corpus vocabulary."""
+
+    vocab: dict[str, int]
+
+    @property
+    def inverse(self) -> dict[int, str]:
+        return {i: w for w, i in self.vocab.items()}
+
+    def encode(self, text: str) -> list[int]:
+        return [self.vocab[w] for w in text.split() if w in self.vocab]
+
+    def decode(self, ids) -> str:
+        inv = self.inverse
+        return " ".join(inv.get(int(i), "?") for i in ids)
+
+    def __len__(self) -> int:
+        return len(self.vocab)
+
+
+def build_corpus() -> list[tuple[str, str]]:
+    """All (instruction, response) pairs — deterministic, 100 records."""
+    pairs = []
+    for template_q, template_a in _TEMPLATES:
+        for s in _SUBJECTS:
+            for v, o in zip(_VERBS, _OBJECTS):
+                pairs.append((
+                    template_q.format(s=s, v=v, o=o),
+                    template_a.format(s=s, v=v, o=o),
+                ))
+    return pairs
+
+
+def build_tokenizer(pairs: list[tuple[str, str]]) -> Tokenizer:
+    words = sorted({w for q, a in pairs for w in (q + " " + a).split()})
+    vocab = {PAD: 0, BOS: 1, EOS: 2, SEP: 3}
+    for w in words:
+        vocab[w] = len(vocab)
+    return Tokenizer(vocab)
+
+
+def encode_pair(tok: Tokenizer, question: str, answer: str,
+                seq_len: int) -> np.ndarray:
+    """``<bos> q <sep> a <eos>`` padded/truncated to ``seq_len + 1``."""
+    ids = ([tok.vocab[BOS]] + tok.encode(question) + [tok.vocab[SEP]]
+           + tok.encode(answer) + [tok.vocab[EOS]])
+    ids = ids[:seq_len + 1]
+    ids += [tok.vocab[PAD]] * (seq_len + 1 - len(ids))
+    return np.asarray(ids, dtype=np.int64)
+
+
+def instruction_batches(seq_len: int, batch_size: int, steps: int,
+                        seed: int = 0, holdout: int = 12):
+    """Yield ``(inputs, targets)`` causal-LM batches from the train split.
+
+    Returns the generator plus (held-out inputs, held-out targets) for
+    perplexity evaluation.
+    """
+    pairs = build_corpus()
+    tok = build_tokenizer(pairs)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(pairs))
+    test_idx, train_idx = order[:holdout], order[holdout:]
+    encoded = np.stack([encode_pair(tok, q, a, seq_len) for q, a in pairs])
+
+    def generator():
+        for _ in range(steps):
+            pick = rng.choice(train_idx, batch_size)
+            rows = encoded[pick]
+            yield rows[:, :-1], rows[:, 1:]
+
+    test_rows = encoded[test_idx]
+    return tok, generator(), (test_rows[:, :-1], test_rows[:, 1:])

@@ -1,0 +1,61 @@
+"""Named downstream tasks mirroring the paper's evaluation suites.
+
+Vision (paper Table 2): Cars, CIFAR, CUB, Flowers, Foods, Pets, VWW.
+Language (paper Table 3): CoLA, MNLI, MRPC, QNLI, QQP, RTE, SST-2.
+
+Specs vary class count, noise, and shift so the accuracy spread across
+datasets resembles the paper's (harder fine-grained sets, easier binary
+ones). The *source* task (shift = 0) is what backbones pre-train on.
+"""
+
+from __future__ import annotations
+
+from .synthetic import (TaskData, TextTaskSpec, VisionTaskSpec,
+                        make_text_task, make_vision_task)
+
+VISION_SOURCE = VisionTaskSpec("imagenet_source", 10, noise=0.55, shift=0.0,
+                               seed=7)
+
+VISION_TASKS: dict[str, VisionTaskSpec] = {
+    spec.name: spec
+    for spec in [
+        VisionTaskSpec("cars", 8, noise=0.55, shift=0.30, seed=11),
+        VisionTaskSpec("cifar", 10, noise=0.45, shift=0.22, seed=12),
+        VisionTaskSpec("cub", 8, noise=0.60, shift=0.32, seed=13),
+        VisionTaskSpec("flowers", 8, noise=0.40, shift=0.20, seed=14),
+        VisionTaskSpec("foods", 8, noise=0.55, shift=0.28, seed=15),
+        VisionTaskSpec("pets", 6, noise=0.45, shift=0.25, seed=16),
+        VisionTaskSpec("vww", 2, noise=0.60, shift=0.20, seed=17),
+    ]
+}
+
+TEXT_SOURCE = TextTaskSpec("books_source", 4, noise=0.30, shift=0.0, seed=21)
+
+TEXT_TASKS: dict[str, TextTaskSpec] = {
+    spec.name: spec
+    for spec in [
+        TextTaskSpec("cola", 2, noise=0.55, shift=0.40, seed=31),
+        TextTaskSpec("mnli", 3, noise=0.45, shift=0.35, seed=32),
+        TextTaskSpec("mrpc", 2, noise=0.50, shift=0.30, seed=33),
+        TextTaskSpec("qnli", 2, noise=0.40, shift=0.30, seed=34),
+        TextTaskSpec("qqp", 2, noise=0.40, shift=0.25, seed=35),
+        TextTaskSpec("rte", 2, noise=0.60, shift=0.45, seed=36),
+        TextTaskSpec("sst2", 2, noise=0.35, shift=0.25, seed=37),
+    ]
+}
+
+
+def vision_task(name: str, **kwargs) -> TaskData:
+    return make_vision_task(VISION_TASKS[name], **kwargs)
+
+
+def text_task(name: str, **kwargs) -> TaskData:
+    return make_text_task(TEXT_TASKS[name], **kwargs)
+
+
+def vision_source(**kwargs) -> TaskData:
+    return make_vision_task(VISION_SOURCE, **kwargs)
+
+
+def text_source(**kwargs) -> TaskData:
+    return make_text_task(TEXT_SOURCE, **kwargs)

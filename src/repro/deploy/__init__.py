@@ -1,0 +1,25 @@
+"""Deployment: self-contained artifacts and the slim-binary size model.
+
+PockEngine "compiles used operators only to ship slim binaries" and runs
+"without host language" (paper Table 1, §2.5). This package provides the
+matching final stage: :func:`save_artifact` freezes a compiled program
+(graph, schedule, arena plan, weights) into a directory any minimal
+runtime can execute, and :mod:`~repro.deploy.binsize` accounts for the
+flash footprint of linking exactly the kernels the schedule uses.
+"""
+
+from .artifact import DeployedProgram, load_artifact, save_artifact
+from .binsize import (FRAMEWORK_BINARY_BYTES, KERNEL_CODE_BYTES,
+                      RUNTIME_CORE_BYTES, BinarySizeReport,
+                      estimate_binary_size)
+
+__all__ = [
+    "BinarySizeReport",
+    "DeployedProgram",
+    "FRAMEWORK_BINARY_BYTES",
+    "KERNEL_CODE_BYTES",
+    "RUNTIME_CORE_BYTES",
+    "estimate_binary_size",
+    "load_artifact",
+    "save_artifact",
+]

@@ -1,0 +1,126 @@
+"""Deployable artifacts: freeze a compiled program, reload it anywhere.
+
+An artifact is a directory:
+
+* ``manifest.json`` — format version, model name, execution order, the
+  static arena plan, the list of kernels the binary must link, and the
+  program's meta entries (loss/label names for training artifacts),
+* ``graph.json`` / ``graph.npz`` — the ONNX-like graph-def plus weights
+  (the existing :mod:`repro.ir.serialize` format).
+
+The loader needs only the kernel registry and the executor — none of the
+compiler passes — mirroring how the real engine ships a binary that knows
+nothing about autodiff or graph optimization.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import GraphError
+from ..ir import Graph
+from ..ir.serialize import FORMAT_VERSION, load_graph, save_graph
+from ..memory.planner import plan_arena
+from ..runtime.executor import Executor
+from ..runtime.program import Program
+
+MANIFEST = "manifest.json"
+
+
+@dataclass
+class DeployedProgram:
+    """A reloaded artifact, ready to execute."""
+
+    graph: Graph
+    program: Program
+    required_kernels: tuple[str, ...]
+    arena_bytes: int
+    meta: dict
+
+    def run(self, feeds: dict[str, np.ndarray] | None = None
+            ) -> dict[str, np.ndarray]:
+        """Execute one step (inference forward, or a full training step
+        for artifacts compiled from a training program)."""
+        return Executor(self.program).run(feeds)
+
+    @property
+    def flash_bytes(self) -> int:
+        """Weights + code footprint per the binary-size model."""
+        from .binsize import estimate_binary_size
+
+        return estimate_binary_size(self.graph).total_bytes
+
+
+def _meta_to_json(meta: dict) -> dict:
+    """Keep only the JSON-safe, load-time-useful meta entries."""
+    out = {}
+    for key in ("loss", "logits", "labels"):
+        value = meta.get(key)
+        if isinstance(value, str):
+            out[key] = value
+    return out
+
+
+def save_artifact(program: Program, path: str | Path) -> Path:
+    """Write ``program`` to ``path`` (a directory, created if missing)."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    graph = program.graph
+    save_graph(graph, path / "graph")
+    arena = plan_arena(graph, program.schedule)
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "model": graph.name,
+        "schedule": [node.name for node in program.schedule],
+        "kernels": sorted({node.op_type for node in program.schedule}),
+        "arena": {
+            "bytes": arena.arena_bytes,
+            "offsets": arena.offsets,
+        },
+        "meta": _meta_to_json(program.meta),
+    }
+    (path / MANIFEST).write_text(json.dumps(manifest, indent=1))
+    return path
+
+
+def load_artifact(path: str | Path) -> DeployedProgram:
+    """Reload an artifact saved by :func:`save_artifact`.
+
+    Raises:
+        GraphError: on a missing/garbled manifest, a schedule referencing
+            unknown nodes, or a kernel the runtime does not provide.
+    """
+    path = Path(path)
+    try:
+        manifest = json.loads((path / MANIFEST).read_text())
+    except FileNotFoundError:
+        raise GraphError(f"no artifact manifest in {path}") from None
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"garbled artifact manifest: {exc}") from None
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported artifact version {manifest.get('format_version')}")
+
+    graph = load_graph(path / "graph")
+    by_name = {node.name: node for node in graph.nodes}
+    try:
+        schedule = [by_name[name] for name in manifest["schedule"]]
+    except KeyError as exc:
+        raise GraphError(f"schedule references unknown node {exc}") from None
+
+    from ..kernels import KERNELS
+    missing = [k for k in manifest["kernels"] if k not in KERNELS]
+    if missing:
+        raise GraphError(f"runtime lacks kernels for {missing}")
+
+    return DeployedProgram(
+        graph=graph,
+        program=Program.from_graph(graph, schedule),
+        required_kernels=tuple(manifest["kernels"]),
+        arena_bytes=int(manifest["arena"]["bytes"]),
+        meta=dict(manifest.get("meta", {})),
+    )

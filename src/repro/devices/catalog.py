@@ -1,0 +1,127 @@
+"""The six edge platforms the paper evaluates (plus helpers).
+
+Numbers start from public hardware specifications and are lightly
+calibrated so *ratios* between frameworks land near the paper's (see
+DESIGN.md §5 "Calibration" and EXPERIMENTS.md for paper-vs-measured).
+"""
+
+from __future__ import annotations
+
+from ..errors import DeviceError
+from .spec import DeviceSpec
+
+_CPU_EFF = {"gemm": 0.60, "elementwise": 0.12, "reduce": 0.18,
+            "normalize": 0.15, "pool": 0.25, "gather": 0.10, "update": 0.15}
+_GPU_EFF = {"gemm": 0.55, "elementwise": 0.10, "reduce": 0.12,
+            "normalize": 0.12, "pool": 0.20, "gather": 0.08, "update": 0.12}
+_DSP_EFF = {"gemm": 0.70, "elementwise": 0.20, "reduce": 0.20,
+            "normalize": 0.18, "pool": 0.30, "gather": 0.10, "update": 0.20}
+_MCU_EFF = {"gemm": 0.55, "elementwise": 0.30, "reduce": 0.30,
+            "normalize": 0.25, "pool": 0.40, "gather": 0.20, "update": 0.30}
+
+DEVICES: dict[str, DeviceSpec] = {
+    spec.key: spec
+    for spec in [
+        DeviceSpec(
+            key="raspberry_pi_4",
+            name="Raspberry Pi 4 (4x Cortex-A72)",
+            kind="cpu",
+            peak_gflops=26.0,          # NEON fp32, TVM-tuned sgemm
+            int8_gops=52.0,            # NEON sdot, 2x fp32 throughput
+            mem_bw_gbs=6.0,
+            kernel_launch_us=1.5,
+            host_dispatch_us=220.0,    # Python dispatch on a 1.5 GHz A72
+            ram_mb=4096,
+            preferred_layout="NHWC",
+            op_efficiency=_CPU_EFF,
+        ),
+        DeviceSpec(
+            key="jetson_nano",
+            name="NVIDIA Jetson Nano (128-core Maxwell)",
+            kind="gpu",
+            peak_gflops=235.0,
+            fp16_gflops=470.0,
+            mem_bw_gbs=25.6,
+            kernel_launch_us=14.0,
+            host_dispatch_us=150.0,    # Python on the slow A57 host cores
+            ram_mb=4096,
+            preferred_layout="NCHW",
+            op_efficiency=_GPU_EFF,
+        ),
+        DeviceSpec(
+            key="jetson_orin",
+            name="NVIDIA Jetson AGX Orin (Ampere GPU)",
+            kind="gpu",
+            peak_gflops=5300.0,
+            fp16_gflops=21000.0,
+            int8_gops=42000.0,         # Ampere int8 tensor cores (dense)
+            mem_bw_gbs=204.8,
+            kernel_launch_us=8.0,
+            host_dispatch_us=14.0,
+            ram_mb=65536,
+            preferred_layout="NCHW",
+            op_efficiency=_GPU_EFF,
+        ),
+        DeviceSpec(
+            key="apple_m1",
+            name="Apple M1 (8-core GPU, Metal)",
+            kind="gpu",
+            peak_gflops=2600.0,
+            fp16_gflops=5200.0,
+            mem_bw_gbs=68.0,
+            kernel_launch_us=18.0,     # Metal command-buffer dispatch
+            host_dispatch_us=7.0,
+            ram_mb=16384,
+            preferred_layout="NCHW",
+            op_efficiency=_GPU_EFF,
+        ),
+        DeviceSpec(
+            key="snapdragon_cpu",
+            name="Snapdragon 8 Gen 1 CPU (Kryo)",
+            kind="cpu",
+            peak_gflops=58.0,
+            int8_gops=116.0,           # Kryo i8mm dot product
+            mem_bw_gbs=51.2,
+            kernel_launch_us=1.0,
+            host_dispatch_us=35.0,
+            ram_mb=12288,
+            preferred_layout="NHWC",
+            op_efficiency=_CPU_EFF,
+        ),
+        DeviceSpec(
+            key="snapdragon_dsp",
+            name="Snapdragon 8 Gen 1 Hexagon DSP (SNPE)",
+            kind="dsp",
+            peak_gflops=1600.0,        # HVX vector engine, fp16-class math
+            int8_gops=3200.0,          # HVX int8 MACs, 2x the fp16 rate
+            mem_bw_gbs=51.2,
+            kernel_launch_us=22.0,     # RPC offload per graph segment
+            host_dispatch_us=35.0,
+            ram_mb=12288,
+            preferred_layout="NHWC",
+            op_efficiency=_DSP_EFF,
+        ),
+        DeviceSpec(
+            key="stm32f746",
+            name="STM32F746 (Cortex-M7 @ 216 MHz)",
+            kind="mcu",
+            peak_gflops=0.085,
+            int8_gops=0.34,            # SMLAD dual-MAC vs soft fp32
+            mem_bw_gbs=0.55,
+            kernel_launch_us=0.0,      # bare-metal, statically linked
+            host_dispatch_us=900.0,    # if an interpreter could even fit
+            ram_mb=0.3125,             # 320 KB SRAM
+            preferred_layout="NHWC",
+            op_efficiency=_MCU_EFF,
+        ),
+    ]
+}
+
+
+def get_device(key: str) -> DeviceSpec:
+    try:
+        return DEVICES[key]
+    except KeyError:
+        raise DeviceError(
+            f"unknown device {key!r}; available: {sorted(DEVICES)}"
+        ) from None

@@ -1,0 +1,84 @@
+"""Energy model for on-device training vs cloud offloading.
+
+The paper's introduction motivates near-sensor training with energy: "it
+saves energy from data transmission (which is much more expensive than
+computation)". This module quantifies both sides:
+
+* compute energy of one training iteration from the compiled schedule
+  (pJ/FLOP and pJ/byte constants per device class),
+* radio energy of shipping the same training data to a cloud server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Graph, op_bytes, op_flops
+from ..ir.node import Node
+from .spec import DeviceSpec
+
+#: energy constants per device kind: (pJ per FLOP, pJ per DRAM byte)
+_ENERGY_BY_KIND = {
+    "cpu": (45.0, 180.0),
+    "gpu": (12.0, 120.0),
+    "dsp": (6.0, 100.0),
+    "mcu": (90.0, 60.0),   # SRAM-only traffic is cheap; compute is not
+}
+
+#: radio energy for uplink transmission, nJ per byte (Wi-Fi/LTE class).
+RADIO_NJ_PER_BYTE = 230.0
+
+
+@dataclass
+class EnergyReport:
+    """Energy of one training iteration, in millijoules."""
+
+    compute_mj: float
+    memory_mj: float
+
+    @property
+    def total_mj(self) -> float:
+        return self.compute_mj + self.memory_mj
+
+
+def estimate_energy(graph: Graph, schedule: list[Node],
+                    device: DeviceSpec) -> EnergyReport:
+    """Energy of executing ``schedule`` once on ``device``."""
+    pj_flop, pj_byte = _ENERGY_BY_KIND[device.kind]
+    flops = 0
+    moved = 0
+    for node in schedule:
+        in_specs = [graph.spec(i) for i in node.inputs]
+        out_specs = [graph.spec(o) for o in node.outputs]
+        flops += op_flops(node.op_type, in_specs, out_specs, node.attrs)
+        moved += op_bytes(in_specs, out_specs)
+    return EnergyReport(
+        compute_mj=flops * pj_flop * 1e-9,
+        memory_mj=moved * pj_byte * 1e-9,
+    )
+
+
+def transmission_energy_mj(num_bytes: int) -> float:
+    """Radio energy to upload ``num_bytes`` of training data, in mJ."""
+    return num_bytes * RADIO_NJ_PER_BYTE * 1e-6
+
+
+def local_vs_cloud(graph: Graph, schedule: list[Node], device: DeviceSpec,
+                   steps: int, bytes_per_step: int) -> dict[str, float]:
+    """Compare local fine-tuning energy with shipping the data out.
+
+    Args:
+        steps: training iterations performed locally.
+        bytes_per_step: raw sensor data consumed per iteration (what cloud
+            training would have to upload).
+
+    Returns:
+        ``{"local_mj": ..., "upload_mj": ..., "ratio": upload/local}``.
+    """
+    local = estimate_energy(graph, schedule, device).total_mj * steps
+    upload = transmission_energy_mj(bytes_per_step * steps)
+    return {
+        "local_mj": local,
+        "upload_mj": upload,
+        "ratio": upload / local if local else float("inf"),
+    }

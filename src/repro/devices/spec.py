@@ -1,0 +1,49 @@
+"""Edge-device specifications for the analytical cost model.
+
+Each :class:`DeviceSpec` captures the handful of quantities that determine
+training latency and feasibility on real silicon: effective peak FLOP/s
+(with per-op-class efficiency), memory bandwidth, per-kernel launch cost,
+the cost of one host-language (Python) operator dispatch on that CPU, and
+RAM capacity. DESIGN.md documents why modelling these — applied to the
+*actual compiled schedule* — preserves the paper's comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: operator class -> efficiency (fraction of peak FLOP/s attainable)
+Efficiency = dict[str, float]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One edge platform."""
+
+    key: str
+    name: str
+    kind: str                      # cpu | gpu | dsp | mcu
+    peak_gflops: float             # effective fp32 peak
+    mem_bw_gbs: float              # DRAM/SRAM bandwidth
+    kernel_launch_us: float        # per-kernel dispatch on the accelerator
+    host_dispatch_us: float        # one interpreted-framework op on this CPU
+    ram_mb: float
+    preferred_layout: str = "NCHW"
+    fp16_gflops: float | None = None   # effective fp16 peak (if supported)
+    int8_gops: float | None = None     # effective int8 peak (if supported)
+    op_efficiency: Efficiency = field(default_factory=dict)
+
+    def peak_for(self, dtype_itemsize: int) -> float:
+        """Effective peak GFLOP/s (GOP/s for int8) for an element width."""
+        if dtype_itemsize == 1 and self.int8_gops:
+            return self.int8_gops
+        if dtype_itemsize <= 2 and self.fp16_gflops:
+            return self.fp16_gflops
+        return self.peak_gflops
+
+    def efficiency(self, op_class: str) -> float:
+        return self.op_efficiency.get(op_class, 0.25)
+
+    @property
+    def ram_bytes(self) -> int:
+        return int(self.ram_mb * 1024 * 1024)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the PockEngine reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch engine failures without accidentally swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ShapeError(ReproError):
+    """An operator received inputs whose shapes are incompatible."""
+
+
+class GraphError(ReproError):
+    """A graph is structurally invalid (dangling refs, duplicate names, ...)."""
+
+
+class CompileError(ReproError):
+    """The compilation pipeline could not produce a program."""
+
+
+class AutodiffError(ReproError):
+    """No gradient rule exists, or differentiation failed."""
+
+
+class SchemeError(ReproError):
+    """A sparse-update scheme references unknown tensors or is malformed."""
+
+
+class MemoryPlanError(ReproError):
+    """Memory planning failed (overlapping lifetimes, over-capacity, ...)."""
+
+
+class ExecutionError(ReproError):
+    """The runtime executor failed while running a compiled program."""
+
+
+class DeviceError(ReproError):
+    """An unknown device was requested or a cost model query is invalid."""

@@ -1,0 +1,34 @@
+"""Model frontends: the module system, tracer, and alternative importers."""
+
+from .attention import FeedForward, MultiHeadAttention, TransformerBlock
+from .functional import Sym
+from .graphdef import export_graph_def, from_layer_config, import_graph_def
+from . import keras_like
+from .layers import (Activation, AvgPool2d, Conv2d, Embedding, GlobalAvgPool,
+                     LayerNorm, Linear, MaxPool2d, RMSNorm)
+from .module import Module, Parameter, Sequential
+from .tracer import InputSpec, trace
+
+__all__ = [
+    "Activation",
+    "AvgPool2d",
+    "Conv2d",
+    "Embedding",
+    "FeedForward",
+    "GlobalAvgPool",
+    "InputSpec",
+    "keras_like",
+    "LayerNorm",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "MultiHeadAttention",
+    "Parameter",
+    "RMSNorm",
+    "Sequential",
+    "Sym",
+    "export_graph_def",
+    "from_layer_config",
+    "import_graph_def",
+    "trace",
+]

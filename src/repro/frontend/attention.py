@@ -1,0 +1,111 @@
+"""Transformer building blocks: multi-head attention, FFN, blocks.
+
+Separate Q/K/V/O projections keep the scheme granularity the paper uses
+("the weights in the attention module and the first linear layer in the
+FFN are more important", Figure 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import Sym
+from .layers import LayerNorm, Linear, RMSNorm
+from .module import Module, Parameter
+
+
+class MultiHeadAttention(Module):
+    """Standard scaled-dot-product multi-head self-attention."""
+
+    def __init__(self, dim: int, num_heads: int, causal: bool = False,
+                 max_len: int = 512,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim {dim} not divisible by heads {num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.causal = causal
+        self.q = Linear(dim, dim, rng=rng)
+        self.k = Linear(dim, dim, rng=rng)
+        self.v = Linear(dim, dim, rng=rng)
+        self.o = Linear(dim, dim, rng=rng)
+        if causal:
+            mask = np.triu(np.full((max_len, max_len), -1e9, dtype=np.float32),
+                           k=1)
+            self.mask = Parameter(mask[None, None], role="buffer",
+                                  trainable=False)
+        else:
+            self.mask = None
+
+    def forward(self, x: Sym) -> Sym:
+        batch, seq, dim = x.shape
+        heads, hd = self.num_heads, self.head_dim
+
+        def split(sym: Sym) -> Sym:
+            return sym.reshape((batch, seq, heads, hd)).transpose((0, 2, 1, 3))
+
+        q = split(self.q(x))
+        k = split(self.k(x))
+        v = split(self.v(x))
+        scores = (q @ k.transpose((0, 1, 3, 2))) * (1.0 / np.sqrt(hd))
+        if self.mask is not None:
+            mask = Sym(x.b, self.mask.value_name)
+            window = mask.slice(2, 0, seq).slice(3, 0, seq)
+            scores = scores + window
+        attn = scores.softmax(axis=-1)
+        ctx = (attn @ v).transpose((0, 2, 1, 3)).reshape((batch, seq, dim))
+        return self.o(ctx)
+
+
+class FeedForward(Module):
+    """Two-layer FFN; ``fc1`` is the scheme-selected "first linear"."""
+
+    def __init__(self, dim: int, hidden: int, activation: str = "gelu",
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.fc1 = Linear(dim, hidden, activation=activation, rng=rng)
+        self.fc1.meta["role_in_block"] = "ffn_first"
+        self.fc2 = Linear(hidden, dim, rng=rng)
+        self.fc2.meta["role_in_block"] = "ffn_second"
+
+    def forward(self, x: Sym) -> Sym:
+        return self.fc2(self.fc1(x))
+
+
+class TransformerBlock(Module):
+    """Pre-/post-norm encoder or decoder block.
+
+    Args:
+        dim: model width.
+        num_heads: attention heads.
+        ffn_hidden: FFN hidden width.
+        causal: causal masking (decoder-style, Llama).
+        pre_norm: pre-norm (Llama) vs post-norm (BERT).
+        norm: "layernorm" or "rmsnorm".
+    """
+
+    def __init__(self, dim: int, num_heads: int, ffn_hidden: int,
+                 causal: bool = False, pre_norm: bool = False,
+                 norm: str = "layernorm", activation: str = "gelu",
+                 max_len: int = 512,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        norm_cls = RMSNorm if norm == "rmsnorm" else LayerNorm
+        self.pre_norm = pre_norm
+        self.attn = MultiHeadAttention(dim, num_heads, causal=causal,
+                                       max_len=max_len, rng=rng)
+        self.attn.meta["role_in_block"] = "attention"
+        self.norm1 = norm_cls(dim)
+        self.ffn = FeedForward(dim, ffn_hidden, activation=activation, rng=rng)
+        self.norm2 = norm_cls(dim)
+
+    def forward(self, x: Sym) -> Sym:
+        if self.pre_norm:
+            x = x + self.attn(self.norm1(x))
+            x = x + self.ffn(self.norm2(x))
+        else:
+            x = self.norm1(x + self.attn(x))
+            x = self.norm2(x + self.ffn(x))
+        return x

@@ -1,0 +1,82 @@
+"""Alternative frontends: declarative graph-defs and ONNX-like documents.
+
+The paper's engine accepts PyTorch / TensorFlow / Jax / ONNX models; we
+mirror that frontend diversity with two additional entry points besides the
+module tracer:
+
+* :func:`from_layer_config` — a declarative, JSON-friendly sequential model
+  description (the shape a TensorFlow/Keras exporter would produce),
+* :func:`import_graph_def` / :func:`export_graph_def` — the ONNX-like
+  serialized graph documents from :mod:`repro.ir.serialize`.
+
+All three converge on the same IR, which is the point.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..errors import CompileError
+from ..ir import Graph, graph_from_dict, graph_to_dict
+from .layers import (Activation, AvgPool2d, Conv2d, GlobalAvgPool, Linear,
+                     MaxPool2d)
+from .module import Module, Sequential
+
+_LAYER_BUILDERS = {
+    "linear": lambda cfg, rng: Linear(
+        cfg["in"], cfg["out"], bias=cfg.get("bias", True),
+        activation=cfg.get("activation"), rng=rng),
+    "conv2d": lambda cfg, rng: Conv2d(
+        cfg["in"], cfg["out"], cfg["kernel"], stride=cfg.get("stride", 1),
+        padding=cfg.get("padding", 0), groups=cfg.get("groups", 1),
+        bias=cfg.get("bias", True), activation=cfg.get("activation"),
+        rng=rng),
+    "maxpool2d": lambda cfg, rng: MaxPool2d(
+        cfg["kernel"], cfg.get("stride"), cfg.get("padding", 0)),
+    "avgpool2d": lambda cfg, rng: AvgPool2d(
+        cfg["kernel"], cfg.get("stride"), cfg.get("padding", 0)),
+    "global_avg_pool": lambda cfg, rng: GlobalAvgPool(),
+    "activation": lambda cfg, rng: Activation(cfg["kind"]),
+    "flatten": lambda cfg, rng: _Flatten(),
+}
+
+
+class _Flatten(Module):
+    def forward(self, x):
+        shape = x.shape
+        return x.reshape((shape[0], -1))
+
+
+def from_layer_config(layers: list[dict[str, Any]],
+                      seed: int = 0) -> Sequential:
+    """Build a sequential model from a declarative layer list.
+
+    Example::
+
+        from_layer_config([
+            {"type": "conv2d", "in": 3, "out": 8, "kernel": 3,
+             "padding": 1, "activation": "relu"},
+            {"type": "global_avg_pool"},
+            {"type": "linear", "in": 8, "out": 10},
+        ])
+    """
+    rng = np.random.default_rng(seed)
+    built = []
+    for i, cfg in enumerate(layers):
+        kind = cfg.get("type")
+        if kind not in _LAYER_BUILDERS:
+            raise CompileError(f"layer {i}: unknown type {kind!r}")
+        built.append(_LAYER_BUILDERS[kind](cfg, rng))
+    return Sequential(*built)
+
+
+def import_graph_def(doc: dict[str, Any]) -> Graph:
+    """Load an ONNX-like graph document produced by :func:`export_graph_def`."""
+    return graph_from_dict(doc)
+
+
+def export_graph_def(graph: Graph) -> dict[str, Any]:
+    """Serialize a graph to an ONNX-like JSON-safe document."""
+    return graph_to_dict(graph, include_weights=True)

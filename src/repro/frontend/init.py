@@ -1,0 +1,82 @@
+"""Weight initialization helpers (all take an explicit RNG for determinism).
+
+Lazy mode: full-size paper models (ResNet-50, BERT-base, LlamaV2-7B) are
+built as *graphs* for memory/latency simulation but never executed — their
+weights would cost tens of gigabytes. Inside :func:`lazy_init`, every
+initializer returns a zero-stride broadcast view, so a 7B-parameter model
+costs a few bytes of real memory while every ``TensorSpec`` still reports
+true shapes and sizes. Programs that will actually run copy their state,
+which materialises real (writable) buffers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+import numpy as np
+
+_LAZY = threading.local()
+
+
+@contextlib.contextmanager
+def lazy_init(dtype=np.float32):
+    """Context manager: initializers become zero-stride placeholder views."""
+    previous = getattr(_LAZY, "dtype", None)
+    _LAZY.dtype = np.dtype(dtype)
+    try:
+        yield
+    finally:
+        _LAZY.dtype = previous
+
+
+def lazy_dtype():
+    """The active lazy dtype, or None when initializers are materialised."""
+    return getattr(_LAZY, "dtype", None)
+
+
+def _placeholder(shape: tuple[int, ...], fill: float) -> np.ndarray:
+    dtype = lazy_dtype()
+    return np.broadcast_to(np.asarray(fill, dtype=dtype), shape)
+
+
+def kaiming_uniform(rng: np.random.Generator, shape: tuple[int, ...],
+                    fan_in: int | None = None) -> np.ndarray:
+    """He-uniform init, the default for conv/linear weights feeding ReLU."""
+    if lazy_dtype() is not None:
+        return _placeholder(shape, 0.0)
+    if fan_in is None:
+        fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    bound = float(np.sqrt(6.0 / max(fan_in, 1)))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(rng: np.random.Generator,
+                   shape: tuple[int, ...]) -> np.ndarray:
+    """Glorot-uniform init, used for attention/projection weights."""
+    if lazy_dtype() is not None:
+        return _placeholder(shape, 0.0)
+    fan_in = int(np.prod(shape[:-1])) if len(shape) > 1 else shape[0]
+    fan_out = shape[-1]
+    bound = float(np.sqrt(6.0 / max(fan_in + fan_out, 1)))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal(rng: np.random.Generator, shape: tuple[int, ...],
+           std: float = 0.02) -> np.ndarray:
+    """Truncated-style normal init used by BERT-family embeddings."""
+    if lazy_dtype() is not None:
+        return _placeholder(shape, 0.0)
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    if lazy_dtype() is not None:
+        return _placeholder(shape, 0.0)
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    if lazy_dtype() is not None:
+        return _placeholder(shape, 1.0)
+    return np.ones(shape, dtype=np.float32)

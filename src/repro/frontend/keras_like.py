@@ -1,0 +1,234 @@
+"""A Keras/TF-style frontend: shape-inferring layers, built on first use.
+
+The paper's compiler ingests "models defined in PyTorch/TensorFlow/Jax".
+The primary frontend here is the PyTorch-like module system; this module
+is the TensorFlow-flavoured one — layers declare only their *output*
+configuration (``Dense(64)``, ``Conv2D(32, 3, padding="same")``) and the
+input dimensions are inferred at build time, exactly as ``model.build()``
+does in Keras.
+
+``build_sequential`` lowers a layer list to the existing module system
+and traces it, so everything downstream (schemes, compiler, deployment)
+is frontend-agnostic — the unified-IR property of paper Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CompileError
+from ..ir import DType, Graph
+from .functional import Sym
+from .layers import (Activation as _Activation, AvgPool2d, Conv2d,
+                     GlobalAvgPool, Linear, MaxPool2d)
+from .module import Module, Sequential
+from .tracer import InputSpec, trace
+
+
+class KerasLayer:
+    """Base: a layer spec that can lower itself once shapes are known."""
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def to_module(self, input_shape: tuple[int, ...],
+                  rng: np.random.Generator) -> Module:
+        raise NotImplementedError
+
+
+def _conv_pad(padding: str | int, kernel_size: int) -> int:
+    if padding == "same":
+        return kernel_size // 2
+    if padding == "valid":
+        return 0
+    if isinstance(padding, int):
+        return padding
+    raise CompileError(f"padding must be 'same', 'valid' or an int, "
+                       f"got {padding!r}")
+
+
+def _spatial(size: int, kernel: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise CompileError(
+            f"layer output would be empty (size {size}, kernel {kernel}, "
+            f"stride {stride}, padding {pad})")
+    return out
+
+
+@dataclass
+class Dense(KerasLayer):
+    """Fully connected layer; input features inferred at build."""
+
+    units: int
+    activation: str | None = None
+    use_bias: bool = True
+
+    def output_shape(self, s):
+        return s[:-1] + (self.units,)
+
+    def to_module(self, s, rng):
+        return Linear(s[-1], self.units, bias=self.use_bias,
+                      activation=self.activation, rng=rng)
+
+
+@dataclass
+class Conv2D(KerasLayer):
+    """2-D convolution (NCHW); input channels inferred at build."""
+
+    filters: int
+    kernel_size: int
+    strides: int = 1
+    padding: str | int = "valid"
+    groups: int = 1
+    activation: str | None = None
+    use_bias: bool = True
+
+    def _pad(self):
+        return _conv_pad(self.padding, self.kernel_size)
+
+    def output_shape(self, s):
+        if len(s) != 4:
+            raise CompileError(f"Conv2D expects NCHW input, got {s}")
+        n, _, h, w = s
+        pad = self._pad()
+        return (n, self.filters,
+                _spatial(h, self.kernel_size, self.strides, pad),
+                _spatial(w, self.kernel_size, self.strides, pad))
+
+    def to_module(self, s, rng):
+        return Conv2d(s[1], self.filters, self.kernel_size,
+                      stride=self.strides, padding=self._pad(),
+                      groups=self.groups, bias=self.use_bias,
+                      activation=self.activation, rng=rng)
+
+
+@dataclass
+class DepthwiseConv2D(KerasLayer):
+    """Depthwise convolution: one filter per input channel."""
+
+    kernel_size: int
+    strides: int = 1
+    padding: str | int = "same"
+    activation: str | None = None
+
+    def output_shape(self, s):
+        return Conv2D(s[1], self.kernel_size, self.strides, self.padding,
+                      groups=s[1]).output_shape(s)
+
+    def to_module(self, s, rng):
+        channels = s[1]
+        return Conv2d(channels, channels, self.kernel_size,
+                      stride=self.strides,
+                      padding=_conv_pad(self.padding, self.kernel_size),
+                      groups=channels, activation=self.activation, rng=rng)
+
+
+@dataclass
+class MaxPooling2D(KerasLayer):
+    pool_size: int = 2
+    strides: int | None = None
+
+    def output_shape(self, s):
+        stride = self.strides or self.pool_size
+        n, c, h, w = s
+        return (n, c, _spatial(h, self.pool_size, stride, 0),
+                _spatial(w, self.pool_size, stride, 0))
+
+    def to_module(self, s, rng):
+        return MaxPool2d(self.pool_size, stride=self.strides)
+
+
+@dataclass
+class AveragePooling2D(KerasLayer):
+    pool_size: int = 2
+    strides: int | None = None
+
+    def output_shape(self, s):
+        return MaxPooling2D(self.pool_size, self.strides).output_shape(s)
+
+    def to_module(self, s, rng):
+        return AvgPool2d(self.pool_size, stride=self.strides)
+
+
+@dataclass
+class GlobalAveragePooling2D(KerasLayer):
+    def output_shape(self, s):
+        return (s[0], s[1])
+
+    def to_module(self, s, rng):
+        return GlobalAvgPool()
+
+
+class _FlattenModule(Module):
+    def __init__(self, flat: int) -> None:
+        super().__init__()
+        self.flat = flat
+
+    def forward(self, x: Sym) -> Sym:
+        batch = x.shape[0]
+        return Sym(x.b, x.b.reshape(x.name, (batch, self.flat)))
+
+
+@dataclass
+class Flatten(KerasLayer):
+    def output_shape(self, s):
+        flat = int(np.prod(s[1:]))
+        return (s[0], flat)
+
+    def to_module(self, s, rng):
+        return _FlattenModule(int(np.prod(s[1:])))
+
+
+@dataclass
+class ReLU(KerasLayer):
+    def output_shape(self, s):
+        return s
+
+    def to_module(self, s, rng):
+        return _Activation("relu")
+
+
+@dataclass
+class ActivationLayer(KerasLayer):
+    kind: str
+
+    def output_shape(self, s):
+        return s
+
+    def to_module(self, s, rng):
+        return _Activation(self.kind)
+
+
+def build_sequential(
+    layers: list[KerasLayer],
+    input_shape: tuple[int, ...],
+    name: str = "keras_model",
+    seed: int = 0,
+    input_dtype: DType = DType.FLOAT32,
+) -> Graph:
+    """Build + trace a layer stack; ``input_shape`` includes the batch dim.
+
+    Shape inference runs front-to-back, each layer lowers to a concrete
+    module, and the resulting :class:`Sequential` traces into the same IR
+    every other frontend produces.
+    """
+    model, shape = build_model(layers, input_shape, seed=seed)
+    spec = InputSpec("x", tuple(input_shape), input_dtype)
+    return trace(model, [spec], name=name)
+
+
+def build_model(layers: list[KerasLayer], input_shape: tuple[int, ...],
+                seed: int = 0) -> tuple[Sequential, tuple[int, ...]]:
+    """Lower layer specs to modules; returns (model, output_shape)."""
+    if not layers:
+        raise CompileError("a model needs at least one layer")
+    rng = np.random.default_rng(seed)
+    shape = tuple(input_shape)
+    modules = []
+    for layer in layers:
+        modules.append(layer.to_module(shape, rng))
+        shape = layer.output_shape(shape)
+    return Sequential(*modules), shape

@@ -1,0 +1,181 @@
+"""Standard neural-network layers for the module frontend.
+
+Normalization note: following the paper's setup ("all normalization layers
+are fused into the linear operations"), vision models here use convolutions
+with bias — the BN scale/shift having been folded — so there is no separate
+BatchNorm module. Transformers use explicit LayerNorm / RMSNorm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .functional import Sym
+from .module import Module, Parameter
+
+_DEFAULT_RNG = np.random.default_rng(0)
+
+
+def _rng(rng: np.random.Generator | None) -> np.random.Generator:
+    return rng if rng is not None else _DEFAULT_RNG
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with optional activation.
+
+    The weight is stored ``[in_features, out_features]`` so the channel-
+    sparse update's input-feature slice is axis 0.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 activation: str | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = _rng(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+        self.weight = Parameter(
+            init.kaiming_uniform(rng, (in_features, out_features),
+                                 fan_in=in_features))
+        self.bias = Parameter(init.zeros((out_features,)), role="bias") \
+            if bias else None
+
+    def forward(self, x: Sym) -> Sym:
+        out = x.b.matmul(x.name, self.weight.value_name)
+        if self.bias is not None:
+            axis = len(x.b.shape(out)) - 1
+            out = x.b.bias_add(out, self.bias.value_name, axis=axis)
+        sym = Sym(x.b, out)
+        if self.activation:
+            sym = getattr(sym, self.activation)()
+        return sym
+
+
+class Conv2d(Module):
+    """2-D convolution (NCHW / OIHW) with optional bias and activation."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, groups: int = 1,
+                 bias: bool = True, activation: str | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = _rng(rng)
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        self.activation = activation
+        shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
+        self.weight = Parameter(init.kaiming_uniform(rng, shape, fan_in=fan_in))
+        self.bias = Parameter(init.zeros((out_channels,)), role="bias") \
+            if bias else None
+
+    def forward(self, x: Sym) -> Sym:
+        out = x.b.conv2d(x.name, self.weight.value_name,
+                         stride=self.stride, padding=self.padding,
+                         groups=self.groups)
+        if self.bias is not None:
+            out = x.b.bias_add(out, self.bias.value_name, axis=1)
+        sym = Sym(x.b, out)
+        if self.activation:
+            sym = getattr(sym, self.activation)()
+        return sym
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(init.ones((dim,)), role="norm_scale")
+        self.beta = Parameter(init.zeros((dim,)), role="norm_shift")
+
+    def forward(self, x: Sym) -> Sym:
+        out = x.b.emit(
+            "layernorm",
+            [x.name, self.gamma.value_name, self.beta.value_name],
+            {"eps": self.eps},
+        )
+        return Sym(x.b, out)
+
+
+class RMSNorm(Module):
+    """RMS normalization (the Llama-family variant)."""
+
+    def __init__(self, dim: int, eps: float = 1e-6) -> None:
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(init.ones((dim,)), role="norm_scale")
+
+    def forward(self, x: Sym) -> Sym:
+        out = x.b.emit("rmsnorm", [x.name, self.gamma.value_name],
+                       {"eps": self.eps})
+        return Sym(x.b, out)
+
+
+class Embedding(Module):
+    """Token embedding lookup."""
+
+    def __init__(self, vocab_size: int, dim: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.vocab_size = vocab_size
+        self.weight = Parameter(
+            init.normal(_rng(rng), (vocab_size, dim)), role="embedding")
+
+    def forward(self, ids: Sym) -> Sym:
+        out = ids.b.emit("embedding", [self.weight.value_name, ids.name])
+        return Sym(ids.b, out)
+
+
+class GlobalAvgPool(Module):
+    """Spatial mean over H and W: [N,C,H,W] -> [N,C]."""
+
+    def forward(self, x: Sym) -> Sym:
+        return Sym(x.b, x.b.emit("global_avg_pool", [x.name]))
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel: int, stride: int | None = None,
+                 padding: int = 0) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+        self.padding = padding
+
+    def forward(self, x: Sym) -> Sym:
+        out = x.b.emit("maxpool2d", [x.name], {
+            "kernel": self.kernel, "stride": self.stride,
+            "padding": self.padding,
+        })
+        return Sym(x.b, out)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel: int, stride: int | None = None,
+                 padding: int = 0) -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+        self.padding = padding
+
+    def forward(self, x: Sym) -> Sym:
+        out = x.b.emit("avgpool2d", [x.name], {
+            "kernel": self.kernel, "stride": self.stride,
+            "padding": self.padding,
+        })
+        return Sym(x.b, out)
+
+
+class Activation(Module):
+    """Standalone activation module (relu, relu6, gelu, sigmoid, tanh)."""
+
+    def __init__(self, kind: str) -> None:
+        super().__init__()
+        self.kind = kind
+
+    def forward(self, x: Sym) -> Sym:
+        return getattr(x, self.kind)()

@@ -1,0 +1,120 @@
+"""A minimal PyTorch-like module system used as the primary frontend.
+
+Models are defined as trees of :class:`Module` objects holding
+:class:`Parameter` leaves; :func:`repro.frontend.tracer.trace` walks the
+tree, registers every parameter as a graph initializer, and records the
+provenance metadata (module path, role, block tags) that sparse-update
+schemes use to select "the first conv of the last k blocks".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable (or frozen) tensor owned by a module.
+
+    Attributes:
+        array: the numpy payload (mutated in place by training).
+        role: semantic role — ``weight``, ``bias``, ``norm_scale``,
+            ``norm_shift`` or ``embedding`` — consumed by update schemes.
+        trainable: whether the optimizer may ever touch this tensor
+            (schemes further narrow the updated subset).
+    """
+
+    def __init__(self, array: np.ndarray, role: str = "weight",
+                 trainable: bool = True) -> None:
+        self.array = np.asarray(array)
+        self.role = role
+        self.trainable = trainable
+        #: set by the tracer: value name inside the traced graph
+        self.value_name: str | None = None
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.array.shape)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape}, role={self.role!r})"
+
+
+class Module:
+    """Base class for all model components.
+
+    Subclasses assign parameters and sub-modules as attributes; bookkeeping
+    happens automatically. ``self.meta`` holds free-form tags (e.g.
+    ``{"block": 3, "role_in_block": "first_pw"}``) that the tracer merges
+    along the ownership chain into per-parameter metadata.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_params", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "meta", {})
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if isinstance(value, Parameter):
+            self._params[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal -----------------------------------------------------------
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def named_parameters(
+        self, prefix: str = "", meta: dict | None = None
+    ) -> Iterator[tuple[str, Parameter, dict]]:
+        """Yield ``(dotted_path, parameter, merged_meta)`` for every leaf."""
+        merged = dict(meta or {})
+        merged.update(self.meta)
+        for name, param in self._params.items():
+            path = f"{prefix}.{name}" if prefix else name
+            yield path, param, dict(merged)
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(child_prefix, merged)
+
+    def num_parameters(self) -> int:
+        return sum(p.array.size for _, p, _ in self.named_parameters())
+
+    # -- forward -------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement forward()"
+        )
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Runs children in order; indexable like a list."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._order: list[str] = []
+        for i, layer in enumerate(layers):
+            name = str(i)
+            setattr(self, name, layer)
+            self._order.append(name)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def forward(self, x):
+        for name in self._order:
+            x = self._modules[name](x)
+        return x

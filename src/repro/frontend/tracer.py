@@ -1,0 +1,68 @@
+"""Tracing: turn a module tree's forward pass into an IR graph.
+
+The tracer registers every parameter as an initializer named by its module
+path, records per-parameter provenance metadata under
+``graph.metadata["params"]``, then calls ``forward`` on symbolic tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CompileError
+from ..ir import DType, Graph, GraphBuilder
+from .functional import Sym
+from .module import Module
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """Declares one graph input for tracing."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: DType = DType.FLOAT32
+
+
+def trace(model: Module, inputs: list[InputSpec],
+          name: str = "model") -> Graph:
+    """Trace ``model`` over symbolic inputs and return the forward graph.
+
+    Parameter value names equal their dotted module paths, so schemes can be
+    written against stable, human-readable names. ``graph.metadata["params"]``
+    maps each name to ``{"role": ..., "trainable": ..., **module tags}``.
+    """
+    builder = GraphBuilder(name)
+    param_meta: dict[str, dict] = {}
+    seen: dict[int, str] = {}
+    for path, param, meta in model.named_parameters():
+        if id(param) in seen:  # weight tying: register once
+            param.value_name = seen[id(param)]
+            continue
+        trainable = param.trainable and param.role != "buffer"
+        value = builder.initializer(path, param.array, trainable=trainable)
+        param.value_name = value
+        seen[id(param)] = value
+        param_meta[value] = {
+            "role": param.role,
+            "trainable": trainable,
+            **meta,
+        }
+
+    syms = [
+        Sym(builder, builder.input(spec.name, spec.shape, spec.dtype))
+        for spec in inputs
+    ]
+    result = model(*syms)
+    if isinstance(result, Sym):
+        result = (result,)
+    for sym in result:
+        if not isinstance(sym, Sym):
+            raise CompileError(
+                f"forward returned {type(sym).__name__}, expected Sym"
+            )
+        builder.mark_output(sym.name)
+
+    graph = builder.graph
+    graph.metadata["params"] = param_meta
+    return graph

@@ -1,0 +1,37 @@
+"""Intermediate representation: graphs, tensors, operators.
+
+This is the unified IR the paper describes — the same operator set is used
+for forward inference, the compile-time-derived backward pass, and the
+optimizer step, so inference-grade backends can execute training.
+"""
+
+from .builder import GraphBuilder
+from .dtype import DType
+from .graph import Graph
+from .node import Node
+from .ops import OPS, OpSchema, broadcast_shapes, get_schema, op_bytes, op_flops
+from .printer import format_graph, summarize
+from .serialize import graph_from_dict, graph_to_dict, load_graph, save_graph
+from .tensor import TensorSpec
+from .validate import validate_graph
+
+__all__ = [
+    "DType",
+    "Graph",
+    "GraphBuilder",
+    "Node",
+    "OPS",
+    "OpSchema",
+    "TensorSpec",
+    "broadcast_shapes",
+    "format_graph",
+    "get_schema",
+    "graph_from_dict",
+    "graph_to_dict",
+    "load_graph",
+    "op_bytes",
+    "op_flops",
+    "save_graph",
+    "summarize",
+    "validate_graph",
+]

@@ -1,0 +1,42 @@
+"""Human-readable text rendering of IR graphs (for debugging and docs)."""
+
+from __future__ import annotations
+
+from .graph import Graph
+
+
+def format_graph(graph: Graph, max_nodes: int | None = None) -> str:
+    """Render a graph as indented pseudo-assembly.
+
+    Args:
+        graph: the graph to render.
+        max_nodes: truncate the body after this many nodes (None = all).
+    """
+    lines = [f"graph {graph.name} {{"]
+    for name in graph.inputs:
+        lines.append(f"  input  {graph.spec(name)}")
+    n_params = len(graph.initializers)
+    n_train = len(graph.trainable)
+    lines.append(f"  # {n_params} initializers ({n_train} trainable)")
+    body = graph.nodes if max_nodes is None else graph.nodes[:max_nodes]
+    for node in body:
+        lines.append(f"  {node}")
+    if max_nodes is not None and len(graph.nodes) > max_nodes:
+        lines.append(f"  ... {len(graph.nodes) - max_nodes} more nodes")
+    for name in graph.outputs:
+        lines.append(f"  output {graph.spec(name)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def summarize(graph: Graph) -> str:
+    """One-line structural summary used in logs and reports."""
+    from collections import Counter
+
+    counts = Counter(node.op_type for node in graph.nodes)
+    top = ", ".join(f"{op}x{n}" for op, n in counts.most_common(5))
+    return (
+        f"{graph.name}: {len(graph.nodes)} nodes, "
+        f"{len(graph.initializers)} initializers "
+        f"({len(graph.trainable)} trainable) [{top}]"
+    )

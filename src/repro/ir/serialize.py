@@ -1,0 +1,138 @@
+"""Graph serialization: an ONNX-like JSON structure plus an .npz sidecar.
+
+The paper's engine interoperates through "standard ONNX format"; we mirror
+that with a JSON graph-def (structure, shapes, attributes) and store tensor
+payloads in a companion ``.npz`` so graphs survive round trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..errors import GraphError
+from .dtype import DType
+from .graph import Graph
+from .node import Node
+from .tensor import TensorSpec
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: Graph, include_weights: bool = True) -> dict[str, Any]:
+    """Convert a graph to a JSON-safe dict.
+
+    When ``include_weights`` is True, initializer payloads are embedded as
+    nested lists (fine for small graphs / tests); otherwise only shapes are
+    kept and the caller is expected to save weights separately.
+    """
+    doc: dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "inputs": list(graph.inputs),
+        "outputs": list(graph.outputs),
+        "values": {
+            name: {"shape": list(spec.shape), "dtype": spec.dtype.value}
+            for name, spec in graph.values.items()
+        },
+        "nodes": [
+            {
+                "op_type": n.op_type,
+                "name": n.name,
+                "inputs": list(n.inputs),
+                "outputs": list(n.outputs),
+                "attrs": _attrs_to_json(n.attrs),
+            }
+            for n in graph.nodes
+        ],
+        "trainable": sorted(graph.trainable),
+        "metadata": graph.metadata,
+    }
+    if include_weights:
+        doc["initializers"] = {
+            name: {"dtype": str(arr.dtype), "data": arr.tolist()}
+            for name, arr in graph.initializers.items()
+        }
+    else:
+        doc["initializers"] = {name: None for name in graph.initializers}
+    return doc
+
+
+def graph_from_dict(doc: dict[str, Any],
+                    weights: dict[str, np.ndarray] | None = None) -> Graph:
+    """Reconstruct a graph from :func:`graph_to_dict` output."""
+    if doc.get("format_version") != FORMAT_VERSION:
+        raise GraphError(f"unsupported format version {doc.get('format_version')}")
+    graph = Graph(doc["name"])
+    for name, value in doc["values"].items():
+        graph.add_value(
+            TensorSpec(name, tuple(value["shape"]), DType(value["dtype"]))
+        )
+    graph.inputs = list(doc["inputs"])
+    graph.outputs = list(doc["outputs"])
+    for entry in doc["nodes"]:
+        graph.add_node(
+            Node(
+                entry["op_type"],
+                entry["name"],
+                tuple(entry["inputs"]),
+                tuple(entry["outputs"]),
+                _attrs_from_json(entry["attrs"]),
+            )
+        )
+    for name, payload in doc.get("initializers", {}).items():
+        if weights is not None and name in weights:
+            array = weights[name]
+        elif payload is not None:
+            array = np.asarray(payload["data"], dtype=payload["dtype"])
+            array = array.reshape(tuple(doc["values"][name]["shape"]))
+        else:
+            raise GraphError(f"no payload for initializer {name!r}")
+        graph.add_initializer(name, array)
+    graph.trainable = set(doc.get("trainable", ()))
+    graph.metadata = dict(doc.get("metadata", {}))
+    return graph
+
+
+def save_graph(graph: Graph, path: str | Path) -> None:
+    """Write ``<path>.json`` (structure) and ``<path>.npz`` (weights)."""
+    path = Path(path)
+    doc = graph_to_dict(graph, include_weights=False)
+    path.with_suffix(".json").write_text(json.dumps(doc, indent=1))
+    np.savez(path.with_suffix(".npz"), **graph.initializers)
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Inverse of :func:`save_graph`."""
+    path = Path(path)
+    doc = json.loads(path.with_suffix(".json").read_text())
+    with np.load(path.with_suffix(".npz")) as payload:
+        weights = {name: payload[name] for name in payload.files}
+    return graph_from_dict(doc, weights=weights)
+
+
+def _attrs_to_json(attrs: dict[str, Any]) -> dict[str, Any]:
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, tuple):
+            value = {"__tuple__": [_attrs_to_json({"v": v})["v"] for v in value]}
+        elif isinstance(value, np.integer):
+            value = int(value)
+        elif isinstance(value, np.floating):
+            value = float(value)
+        out[key] = value
+    return out
+
+
+def _attrs_from_json(attrs: dict[str, Any]) -> dict[str, Any]:
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, dict) and "__tuple__" in value:
+            value = tuple(value["__tuple__"])
+        elif isinstance(value, list):
+            value = tuple(value)
+        out[key] = value
+    return out

@@ -1,0 +1,52 @@
+"""Tensor metadata: the IR describes tensors by shape and dtype only.
+
+Actual numeric storage lives either in ``Graph.initializers`` (weights,
+constants) or inside the runtime executor's value environment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .dtype import DType
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Static description of a tensor: name, shape, and element type.
+
+    Shapes are concrete (no symbolic dimensions): PockEngine compiles one
+    program per (model, batch size, sequence length) configuration, which
+    matches the paper's static-graph design.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: DType = DType.FLOAT32
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
+        for dim in self.shape:
+            if dim < 0:
+                raise ValueError(f"negative dimension in {self.name}: {self.shape}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        return math.prod(self.shape) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes needed to store this tensor densely."""
+        return self.num_elements * self.dtype.itemsize
+
+    def with_name(self, name: str) -> "TensorSpec":
+        return TensorSpec(name, self.shape, self.dtype)
+
+    def __str__(self) -> str:
+        dims = "x".join(str(d) for d in self.shape) or "scalar"
+        return f"{self.name}:{self.dtype.value}[{dims}]"

@@ -1,0 +1,63 @@
+"""Structural and semantic validation of IR graphs.
+
+Run after every compiler pass in debug mode: passes must preserve validity.
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError, ShapeError
+from .graph import Graph
+from .ops import get_schema
+
+
+def validate_graph(graph: Graph) -> None:
+    """Raise :class:`GraphError`/:class:`ShapeError` when a graph is invalid.
+
+    Checks performed:
+
+    * every node's op type is registered and arity/attrs are accepted,
+    * every value a node reads is an input, initializer, or produced earlier,
+    * no value is produced twice,
+    * node output specs match what shape inference predicts,
+    * all graph outputs exist,
+    * the node list is a valid topological order.
+    """
+    available = set(graph.inputs) | set(graph.initializers)
+    produced: set[str] = set()
+    for node in graph.nodes:
+        schema = get_schema(node.op_type)
+        schema.check_arity(len(node.inputs))
+        unknown = set(node.attrs) - set(schema.attrs)
+        if unknown:
+            raise GraphError(
+                f"node {node.name!r} has unknown attrs {sorted(unknown)}"
+            )
+        for inp in node.inputs:
+            if inp not in available:
+                raise GraphError(
+                    f"node {node.name!r} reads {inp!r} before it is defined"
+                )
+        in_specs = [graph.spec(i) for i in node.inputs]
+        inferred = schema.infer(in_specs, node.attrs)
+        if len(inferred) != len(node.outputs):
+            raise GraphError(
+                f"node {node.name!r} has {len(node.outputs)} outputs, "
+                f"inference yields {len(inferred)}"
+            )
+        for out, (shape, dtype) in zip(node.outputs, inferred):
+            if out in produced:
+                raise GraphError(f"value {out!r} produced twice")
+            produced.add(out)
+            spec = graph.spec(out)
+            if spec.shape != tuple(shape) or spec.dtype != dtype:
+                raise ShapeError(
+                    f"node {node.name!r} output {out!r} declared "
+                    f"{spec.shape}/{spec.dtype.value}, inferred "
+                    f"{tuple(shape)}/{dtype.value}"
+                )
+            available.add(out)
+    for out in graph.outputs:
+        if out not in graph.values:
+            raise GraphError(f"graph output {out!r} has no spec")
+        if out not in available:
+            raise GraphError(f"graph output {out!r} is never produced")

@@ -1,0 +1,57 @@
+"""Reference numpy kernels for every registered operator.
+
+The executor dispatches through :data:`KERNELS`; each kernel takes the
+node's input arrays and attribute dict and returns the output arrays.
+Kernels never mutate their inputs, with the single documented exception of
+the ``apply_*`` optimizer ops which update parameters and optimizer state
+in place (that in-place behaviour is what the reorder pass exploits to
+shrink gradient-buffer lifetimes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+Kernel = Callable[[list[np.ndarray], dict[str, Any]], list[np.ndarray]]
+
+KERNELS: dict[str, Kernel] = {}
+
+
+def kernel(name: str) -> Callable[[Kernel], Kernel]:
+    """Decorator registering a kernel for operator ``name``."""
+
+    def wrap(fn: Kernel) -> Kernel:
+        KERNELS[name] = fn
+        return fn
+
+    return wrap
+
+
+def run_op(op_type: str, inputs: list[np.ndarray],
+           attrs: dict[str, Any]) -> list[np.ndarray]:
+    """Execute one operator; raises :class:`ExecutionError` on failure."""
+    try:
+        fn = KERNELS[op_type]
+    except KeyError:
+        raise ExecutionError(f"no kernel registered for op {op_type!r}") from None
+    return fn(inputs, attrs)
+
+
+# Importing the submodules populates the registry.
+from . import conv2d  # noqa: E402,F401
+from . import elementwise  # noqa: E402,F401
+from . import embedding  # noqa: E402,F401
+from . import matmul  # noqa: E402,F401
+from . import norm  # noqa: E402,F401
+from . import optim  # noqa: E402,F401
+from . import pooling  # noqa: E402,F401
+from . import quantized  # noqa: E402,F401
+from . import reduce  # noqa: E402,F401
+from . import shape  # noqa: E402,F401
+from . import winograd  # noqa: E402,F401
+
+__all__ = ["KERNELS", "kernel", "run_op"]

@@ -1,0 +1,143 @@
+"""Convolution kernels: im2col forward, transposed-conv input gradient,
+im2col-matmul weight gradient. Grouped (incl. depthwise) convolutions are
+supported throughout.
+
+Layout is NCHW with OIHW weights; the layout pass may annotate nodes with a
+``layout`` attribute for cost modelling, but numeric kernels always compute
+in NCHW (the transform only affects the *device cost model*, matching how we
+simulate hardware rather than own it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import kernel
+from .elementwise import apply_activation
+
+
+def _pair(value) -> tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, sh: int, sw: int,
+           ph: int, pw: int) -> tuple[np.ndarray, int, int]:
+    """Unfold ``x`` [N,C,H,W] into columns [N, C*kh*kw, Ho*Wo]."""
+    n, c, h, w = x.shape
+    ho = (h + 2 * ph - kh) // sh + 1
+    wo = (w + 2 * pw - kw) // sw + 1
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    cols = np.empty((n, c, kh, kw, ho, wo), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            cols[:, :, i, j] = xp[:, :, i:i + sh * ho:sh, j:j + sw * wo:sw]
+    return cols.reshape(n, c * kh * kw, ho * wo), ho, wo
+
+
+def col2im(cols: np.ndarray, x_shape: tuple[int, ...], kh: int, kw: int,
+           sh: int, sw: int, ph: int, pw: int) -> np.ndarray:
+    """Fold columns [N, C*kh*kw, Ho*Wo] back, accumulating overlaps."""
+    n, c, h, w = x_shape
+    ho = (h + 2 * ph - kh) // sh + 1
+    wo = (w + 2 * pw - kw) // sw + 1
+    cols = cols.reshape(n, c, kh, kw, ho, wo)
+    xp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            xp[:, :, i:i + sh * ho:sh, j:j + sw * wo:sw] += cols[:, :, i, j]
+    return xp[:, :, ph:ph + h, pw:pw + w]
+
+
+def conv2d_forward(x: np.ndarray, w: np.ndarray, stride=1, padding=0,
+                   groups: int = 1) -> np.ndarray:
+    """Plain (direct, im2col-backed) convolution forward."""
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    n, cin, _, _ = x.shape
+    cout, cin_g, kh, kw = w.shape
+    if groups == 1:
+        cols, ho, wo = im2col(x, kh, kw, sh, sw, ph, pw)
+        # (cout, k) @ (n, k, l) broadcasts over the batch dim -> (n, cout, l)
+        y = w.reshape(cout, -1) @ cols
+        return y.reshape(n, cout, ho, wo)
+    # Grouped path: split channels, convolve per group, concatenate.
+    outs = []
+    cg_out = cout // groups
+    for g in range(groups):
+        xg = x[:, g * cin_g:(g + 1) * cin_g]
+        wg = w[g * cg_out:(g + 1) * cg_out]
+        cols, ho, wo = im2col(xg, kh, kw, sh, sw, ph, pw)
+        yg = wg.reshape(cg_out, -1) @ cols
+        outs.append(yg.reshape(n, cg_out, ho, wo))
+    return np.concatenate(outs, axis=1)
+
+
+@kernel("conv2d")
+def _conv2d(inputs, attrs):
+    x, w = inputs[0], inputs[1]
+    algo = attrs.get("algo", "direct")
+    if algo == "winograd":
+        from .winograd import winograd_conv2d
+
+        y = winograd_conv2d(x, w, padding=attrs.get("padding", 0))
+    else:
+        y = conv2d_forward(x, w, attrs.get("stride", 1),
+                           attrs.get("padding", 0),
+                           int(attrs.get("groups", 1)))
+    if len(inputs) == 3:  # fused bias
+        y = y + inputs[2].reshape(1, -1, 1, 1)
+    return [apply_activation(y, attrs.get("activation"))]
+
+
+@kernel("conv2d_dx")
+def _conv2d_dx(inputs, attrs):
+    grad, w = inputs
+    sh, sw = _pair(attrs.get("stride", 1))
+    ph, pw = _pair(attrs.get("padding", 0))
+    groups = int(attrs.get("groups", 1))
+    in_shape = tuple(int(d) for d in attrs["input_shape"])
+    n, cin, h, wdim = in_shape
+    cout, cin_g, kh, kw = w.shape
+    if groups == 1:
+        g2 = grad.reshape(n, cout, -1)
+        dcols = np.einsum("ok,nol->nkl", w.reshape(cout, -1), g2,
+                          optimize=True)
+        return [col2im(dcols, in_shape, kh, kw, sh, sw, ph, pw)]
+    cg_out = cout // groups
+    dx = np.empty(in_shape, dtype=grad.dtype)
+    for g in range(groups):
+        gg = grad[:, g * cg_out:(g + 1) * cg_out].reshape(n, cg_out, -1)
+        wg = w[g * cg_out:(g + 1) * cg_out].reshape(cg_out, -1)
+        dcols = np.einsum("ok,nol->nkl", wg, gg, optimize=True)
+        gshape = (n, cin_g, h, wdim)
+        dx[:, g * cin_g:(g + 1) * cin_g] = col2im(
+            dcols, gshape, kh, kw, sh, sw, ph, pw)
+    return [dx]
+
+
+@kernel("conv2d_dw")
+def _conv2d_dw(inputs, attrs):
+    x, grad = inputs
+    sh, sw = _pair(attrs.get("stride", 1))
+    ph, pw = _pair(attrs.get("padding", 0))
+    groups = int(attrs.get("groups", 1))
+    kh, kw = _pair(attrs["kernel_hw"])
+    n, cin, _, _ = x.shape
+    cout = grad.shape[1]
+    cin_g = cin // groups
+    if groups == 1:
+        cols, _, _ = im2col(x, kh, kw, sh, sw, ph, pw)
+        g2 = grad.reshape(n, cout, -1)
+        dw = np.einsum("nol,nkl->ok", g2, cols, optimize=True)
+        return [dw.reshape(cout, cin, kh, kw)]
+    cg_out = cout // groups
+    dw = np.empty((cout, cin_g, kh, kw), dtype=x.dtype)
+    for g in range(groups):
+        xg = x[:, g * cin_g:(g + 1) * cin_g]
+        gg = grad[:, g * cg_out:(g + 1) * cg_out].reshape(n, cg_out, -1)
+        cols, _, _ = im2col(xg, kh, kw, sh, sw, ph, pw)
+        dwg = np.einsum("nol,nkl->ok", gg, cols, optimize=True)
+        dw[g * cg_out:(g + 1) * cg_out] = dwg.reshape(cg_out, cin_g, kh, kw)
+    return [dw]

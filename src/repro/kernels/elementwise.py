@@ -1,0 +1,136 @@
+"""Elementwise kernels: arithmetic, activations, comparisons, casts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import kernel
+
+_SQRT_2_OVER_PI = np.float32(np.sqrt(2.0 / np.pi))
+
+
+@kernel("add")
+def _add(inputs, attrs):
+    return [inputs[0] + inputs[1]]
+
+
+@kernel("sub")
+def _sub(inputs, attrs):
+    return [inputs[0] - inputs[1]]
+
+
+@kernel("mul")
+def _mul(inputs, attrs):
+    return [inputs[0] * inputs[1]]
+
+
+@kernel("div")
+def _div(inputs, attrs):
+    return [inputs[0] / inputs[1]]
+
+
+@kernel("maximum")
+def _maximum(inputs, attrs):
+    return [np.maximum(inputs[0], inputs[1])]
+
+
+@kernel("minimum")
+def _minimum(inputs, attrs):
+    return [np.minimum(inputs[0], inputs[1])]
+
+
+@kernel("neg")
+def _neg(inputs, attrs):
+    return [-inputs[0]]
+
+
+@kernel("exp")
+def _exp(inputs, attrs):
+    return [np.exp(inputs[0])]
+
+
+@kernel("log")
+def _log(inputs, attrs):
+    return [np.log(inputs[0])]
+
+
+@kernel("sqrt")
+def _sqrt(inputs, attrs):
+    return [np.sqrt(inputs[0])]
+
+
+@kernel("abs")
+def _abs(inputs, attrs):
+    return [np.abs(inputs[0])]
+
+
+@kernel("sign")
+def _sign(inputs, attrs):
+    return [np.sign(inputs[0])]
+
+
+@kernel("step")
+def _step(inputs, attrs):
+    # Heaviside with step(0) = 0: the subgradient convention used for ReLU.
+    x = inputs[0]
+    return [(x > 0).astype(x.dtype)]
+
+
+@kernel("equal")
+def _equal(inputs, attrs):
+    return [(inputs[0] == inputs[1]).astype(np.float32)]
+
+
+@kernel("cast")
+def _cast(inputs, attrs):
+    return [inputs[0].astype(attrs["dtype"])]
+
+
+def apply_activation(y: np.ndarray, activation: str | None) -> np.ndarray:
+    """Apply a fused activation; used by conv2d/matmul kernels."""
+    if activation in (None, "none"):
+        return y
+    if activation == "relu":
+        return np.maximum(y, 0)
+    if activation == "relu6":
+        return np.clip(y, 0, 6)
+    if activation == "gelu":
+        return gelu(y)
+    raise ValueError(f"unknown fused activation {activation!r}")
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """tanh-approximated GELU (the variant BERT uses)."""
+    inner = _SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)
+    return (0.5 * x * (1.0 + np.tanh(inner))).astype(x.dtype)
+
+
+@kernel("relu")
+def _relu(inputs, attrs):
+    return [np.maximum(inputs[0], 0)]
+
+
+@kernel("relu6")
+def _relu6(inputs, attrs):
+    return [np.clip(inputs[0], 0, 6)]
+
+
+@kernel("gelu")
+def _gelu(inputs, attrs):
+    return [gelu(inputs[0])]
+
+
+@kernel("sigmoid")
+def _sigmoid(inputs, attrs):
+    x = inputs[0]
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return [out]
+
+
+@kernel("tanh")
+def _tanh(inputs, attrs):
+    return [np.tanh(inputs[0])]

@@ -1,0 +1,31 @@
+"""Embedding lookup, its scatter-add gradient, and one-hot encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import kernel
+
+
+@kernel("embedding")
+def _embedding(inputs, attrs):
+    table, ids = inputs
+    return [table[ids]]
+
+
+@kernel("embedding_grad")
+def _embedding_grad(inputs, attrs):
+    ids, grad = inputs
+    rows = int(attrs["num_rows"])
+    dim = grad.shape[-1]
+    out = np.zeros((rows, dim), dtype=grad.dtype)
+    np.add.at(out, ids.ravel(), grad.reshape(-1, dim))
+    return [out]
+
+
+@kernel("onehot")
+def _onehot(inputs, attrs):
+    (ids,) = inputs
+    depth = int(attrs["depth"])
+    eye = np.eye(depth, dtype=np.float32)
+    return [eye[ids]]

@@ -1,0 +1,35 @@
+"""Matmul kernel with optional fused bias and activation.
+
+The fusion pass rewrites ``matmul -> bias_add -> relu`` chains into a single
+``matmul`` node carrying a third (bias) input and an ``activation``
+attribute, mirroring what vendor inference libraries do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import kernel
+from .elementwise import apply_activation
+
+
+@kernel("matmul")
+def _matmul(inputs, attrs):
+    a, b = inputs[0], inputs[1]
+    if attrs.get("trans_a"):
+        a = np.swapaxes(a, -1, -2)
+    if attrs.get("trans_b"):
+        b = np.swapaxes(b, -1, -2)
+    y = a @ b
+    if len(inputs) == 3:  # fused bias
+        y = y + inputs[2]
+    return [apply_activation(y, attrs.get("activation"))]
+
+
+@kernel("bias_add")
+def _bias_add(inputs, attrs):
+    x, b = inputs
+    axis = int(attrs.get("axis", 1))
+    shape = [1] * x.ndim
+    shape[axis] = b.shape[0]
+    return [x + b.reshape(shape)]

@@ -1,0 +1,43 @@
+"""Normalization and softmax kernels (numerically stable)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import kernel
+
+
+@kernel("softmax")
+def _softmax(inputs, attrs):
+    x = inputs[0]
+    axis = int(attrs.get("axis", -1))
+    shifted = x - x.max(axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return [ex / ex.sum(axis=axis, keepdims=True)]
+
+
+@kernel("log_softmax")
+def _log_softmax(inputs, attrs):
+    x = inputs[0]
+    axis = int(attrs.get("axis", -1))
+    shifted = x - x.max(axis=axis, keepdims=True)
+    logsum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    return [shifted - logsum]
+
+
+@kernel("layernorm")
+def _layernorm(inputs, attrs):
+    x, gamma, beta = inputs
+    eps = float(attrs.get("eps", 1e-5))
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    xhat = (x - mean) / np.sqrt(var + eps)
+    return [(xhat * gamma + beta).astype(x.dtype)]
+
+
+@kernel("rmsnorm")
+def _rmsnorm(inputs, attrs):
+    x, gamma = inputs
+    eps = float(attrs.get("eps", 1e-6))
+    ms = np.mean(x * x, axis=-1, keepdims=True)
+    return [(x / np.sqrt(ms + eps) * gamma).astype(x.dtype)]

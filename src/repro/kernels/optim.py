@@ -1,0 +1,117 @@
+"""In-place optimizer apply kernels.
+
+These are the only kernels that mutate inputs: ``param`` (and optimizer
+state) are updated in place and the param array is returned as the output.
+The ``slice_k``/``slice_axis`` attributes implement the paper's sub-layer
+(channel-sparse) update: the provided gradient covers only the leading ``k``
+input channels, so only that slice of the parameter/state is touched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import kernel
+
+
+def _param_view(param: np.ndarray, attrs) -> np.ndarray:
+    """View of the parameter slice being updated (whole tensor by default)."""
+    k = attrs.get("slice_k")
+    if k is None:
+        return param
+    axis = int(attrs.get("slice_axis", 0))
+    index = [slice(None)] * param.ndim
+    index[axis] = slice(0, int(k))
+    return param[tuple(index)]
+
+
+def _accumulation_gate(inputs, attrs):
+    """Handle gradient accumulation (``accum_steps`` attr).
+
+    Returns ``(core_inputs, grad)``: the inputs without the trailing
+    [accumulator, tick] state, and the gradient to apply — ``None`` on
+    micro-steps where the update is deferred.
+    """
+    n = int(attrs.get("accum_steps", 1))
+    if n <= 1:
+        return inputs, inputs[1]
+    core, accum, tick = inputs[:-2], inputs[-2], inputs[-1]
+    accum += inputs[1]
+    tick += 1.0
+    if int(tick.reshape(-1)[0]) % n:
+        return core, None
+    grad = accum / n
+    accum[...] = 0.0
+    return core, grad
+
+
+@kernel("apply_sgd")
+def _apply_sgd(inputs, attrs):
+    inputs, grad = _accumulation_gate(inputs, attrs)
+    param = inputs[0]
+    if grad is None:
+        return [param]
+    lr = float(attrs["lr"])
+    momentum = float(attrs.get("momentum", 0.0))
+    wd = float(attrs.get("weight_decay", 0.0))
+    view = _param_view(param, attrs)
+    if wd:
+        grad = grad + wd * view
+    if momentum:
+        mom = inputs[2]
+        mom *= momentum
+        mom += grad
+        update = mom
+    else:
+        update = grad
+    view -= lr * update
+    return [param]
+
+
+@kernel("apply_adam")
+def _apply_adam(inputs, attrs):
+    inputs, grad = _accumulation_gate(inputs, attrs)
+    param, _, m, v, step = inputs
+    if grad is None:
+        return [param]
+    lr = float(attrs["lr"])
+    b1 = float(attrs.get("beta1", 0.9))
+    b2 = float(attrs.get("beta2", 0.999))
+    eps = float(attrs.get("eps", 1e-8))
+    wd = float(attrs.get("weight_decay", 0.0))
+    view = _param_view(param, attrs)
+    if wd:
+        grad = grad + wd * view
+    step += 1.0
+    t = float(step.reshape(-1)[0])
+    m *= b1
+    m += (1 - b1) * grad
+    v *= b2
+    v += (1 - b2) * grad * grad
+    mhat = m / (1 - b1 ** t)
+    vhat = v / (1 - b2 ** t)
+    view -= lr * mhat / (np.sqrt(vhat) + eps)
+    return [param]
+
+
+@kernel("apply_lion")
+def _apply_lion(inputs, attrs):
+    # Lion (Chen et al. 2023): sign-of-interpolated-momentum update. The
+    # paper fine-tunes LlamaV2 with Lion because it keeps a single state
+    # buffer (memory-efficient vs Adam's two).
+    inputs, grad = _accumulation_gate(inputs, attrs)
+    param, _, m = inputs
+    if grad is None:
+        return [param]
+    lr = float(attrs["lr"])
+    b1 = float(attrs.get("beta1", 0.9))
+    b2 = float(attrs.get("beta2", 0.99))
+    wd = float(attrs.get("weight_decay", 0.0))
+    view = _param_view(param, attrs)
+    update = np.sign(b1 * m + (1 - b1) * grad)
+    if wd:
+        update = update + wd * view
+    view -= lr * update
+    m *= b2
+    m += (1 - b2) * grad
+    return [param]

@@ -1,0 +1,168 @@
+"""Quantized kernels: fake-quant (QAT), linear quantize/dequantize, and
+fused int8 conv/matmul with int32 accumulation and requantization.
+
+These mirror the integer execution path of vendor edge libraries (SNPE,
+TinyEngine): weights are symmetric int8 (optionally per-output-channel),
+activations are asymmetric int8, accumulation happens in int32, and the
+requantization step folds the bias and the activation clamp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import kernel
+from .conv2d import conv2d_forward
+
+INT8_MIN, INT8_MAX = -128, 127
+
+
+def _as_array(value, dtype=np.float32) -> np.ndarray:
+    """Attrs hold python scalars or tuples; normalise to an ndarray."""
+    return np.asarray(value, dtype=dtype)
+
+
+def _channel_shape(param: np.ndarray, ndim: int, axis: int) -> np.ndarray:
+    """Reshape a per-channel parameter for broadcasting along ``axis``."""
+    if param.ndim == 0:
+        return param
+    shape = [1] * ndim
+    shape[axis] = param.shape[0]
+    return param.reshape(shape)
+
+
+def quantize_array(x: np.ndarray, scale, zero_point, bits: int = 8,
+                   axis: int | None = None) -> np.ndarray:
+    """Round ``x`` to the integer grid ``round(x/scale) + zero_point``."""
+    scale = _as_array(scale)
+    zp = _as_array(zero_point)
+    if axis is not None:
+        scale = _channel_shape(scale, x.ndim, axis)
+        zp = _channel_shape(zp, x.ndim, axis)
+    lo, hi = _int_range(bits)
+    q = np.round(x / scale) + zp
+    return np.clip(q, lo, hi).astype(np.int8 if bits == 8 else np.int32)
+
+
+def dequantize_array(q: np.ndarray, scale, zero_point,
+                     axis: int | None = None) -> np.ndarray:
+    scale = _as_array(scale)
+    zp = _as_array(zero_point)
+    if axis is not None:
+        scale = _channel_shape(scale, q.ndim, axis)
+        zp = _channel_shape(zp, q.ndim, axis)
+    return ((q.astype(np.float32) - zp) * scale).astype(np.float32)
+
+
+def _int_range(bits: int) -> tuple[int, int]:
+    bits = int(bits)
+    return -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+
+
+@kernel("fake_quant")
+def _fake_quant(inputs, attrs):
+    (x,) = inputs
+    bits = int(attrs.get("bits", 8))
+    axis = attrs.get("axis")
+    q = quantize_array(x, attrs["scale"], attrs.get("zero_point", 0),
+                       bits=bits, axis=axis)
+    return [dequantize_array(q, attrs["scale"], attrs.get("zero_point", 0),
+                             axis=axis)]
+
+
+@kernel("quantize_linear")
+def _quantize_linear(inputs, attrs):
+    (x,) = inputs
+    return [quantize_array(x, attrs["scale"], attrs.get("zero_point", 0),
+                           bits=int(attrs.get("bits", 8)),
+                           axis=attrs.get("axis"))]
+
+
+@kernel("dequantize_linear")
+def _dequantize_linear(inputs, attrs):
+    (q,) = inputs
+    return [dequantize_array(q, attrs["scale"], attrs.get("zero_point", 0),
+                             axis=attrs.get("axis"))]
+
+
+def _requantize(acc: np.ndarray, multiplier: np.ndarray, out_zp: int,
+                activation: str | None, out_scale) -> np.ndarray:
+    """int32 accumulator -> int8 output, folding the activation clamp.
+
+    ``multiplier`` is ``x_scale * w_scale / out_scale`` (per-channel when the
+    weight scale is per-channel and already broadcast-shaped).
+    """
+    y = np.round(acc.astype(np.float64) * multiplier) + out_zp
+    lo, hi = INT8_MIN, INT8_MAX
+    if activation == "relu":
+        lo = max(lo, int(out_zp))
+    elif activation == "relu6":
+        lo = max(lo, int(out_zp))
+        hi = min(hi, int(round(6.0 / float(np.max(out_scale))) + out_zp))
+    return np.clip(y, lo, hi).astype(np.int8)
+
+
+@kernel("conv2d_i8")
+def _conv2d_i8(inputs, attrs):
+    x, w = inputs[0], inputs[1]
+    x_zp = int(attrs.get("x_zero_point", 0))
+    # Symmetric weights: fold the activation zero-point into the int32
+    # accumulation, exactly as TinyEngine precomputes it.
+    acc = conv2d_forward(
+        x.astype(np.int32) - x_zp, w.astype(np.int32),
+        attrs.get("stride", 1), attrs.get("padding", 0),
+        int(attrs.get("groups", 1)),
+    )
+    if len(inputs) == 3:
+        acc = acc + inputs[2].reshape(1, -1, 1, 1)
+    x_scale = float(attrs["x_scale"])
+    w_scale = _as_array(attrs["w_scale"], np.float64)
+    out_scale = float(attrs["out_scale"])
+    multiplier = x_scale * w_scale / out_scale
+    if multiplier.ndim:  # per-output-channel
+        multiplier = multiplier.reshape(1, -1, 1, 1)
+    return [_requantize(acc, multiplier, int(attrs.get("out_zero_point", 0)),
+                        attrs.get("activation"), out_scale)]
+
+
+@kernel("add_i8")
+def _add_i8(inputs, attrs):
+    # Residual adds stay on the int8 grid: both operands are rescaled to
+    # the output grid with fixed-point multipliers (simulated in float64),
+    # summed, and clamped — no dequantize round trip, no extra kernels.
+    a, b = inputs
+    out_scale = float(attrs["out_scale"])
+    out_zp = int(attrs.get("out_zero_point", 0))
+    ra = (a.astype(np.float64) - int(attrs.get("a_zero_point", 0))) \
+        * (float(attrs["a_scale"]) / out_scale)
+    rb = (b.astype(np.float64) - int(attrs.get("b_zero_point", 0))) \
+        * (float(attrs["b_scale"]) / out_scale)
+    y = np.round(ra + rb) + out_zp
+    lo = out_zp if attrs.get("activation") == "relu" else INT8_MIN
+    return [np.clip(y, lo, INT8_MAX).astype(np.int8)]
+
+
+@kernel("global_avg_pool_i8")
+def _global_avg_pool_i8(inputs, attrs):
+    # Accumulate in int32, divide with rounding; scale is unchanged
+    # because the mean of values on a grid stays within the grid's range.
+    (x,) = inputs
+    acc = x.astype(np.int32).sum(axis=(2, 3))
+    count = x.shape[2] * x.shape[3]
+    y = np.round(acc / count)
+    return [np.clip(y, INT8_MIN, INT8_MAX).astype(np.int8)]
+
+
+@kernel("matmul_i8")
+def _matmul_i8(inputs, attrs):
+    a, b = inputs[0], inputs[1]
+    a_zp = int(attrs.get("x_zero_point", 0))
+    acc = (a.astype(np.int32) - a_zp) @ b.astype(np.int32)
+    if len(inputs) == 3:
+        acc = acc + inputs[2]
+    x_scale = float(attrs["x_scale"])
+    w_scale = _as_array(attrs["w_scale"], np.float64)
+    out_scale = float(attrs["out_scale"])
+    multiplier = x_scale * w_scale / out_scale  # per-column when per-channel
+    return [_requantize(acc, multiplier, int(attrs.get("out_zero_point", 0)),
+                        attrs.get("activation"), out_scale)]

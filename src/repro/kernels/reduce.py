@@ -1,0 +1,36 @@
+"""Reduction kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import kernel
+
+
+def _axes(attrs, ndim: int):
+    axes = attrs.get("axes")
+    if axes is None:
+        return tuple(range(ndim))
+    return tuple(int(a) for a in axes)
+
+
+@kernel("reduce_sum")
+def _reduce_sum(inputs, attrs):
+    x = inputs[0]
+    return [x.sum(axis=_axes(attrs, x.ndim),
+                  keepdims=bool(attrs.get("keepdims", False)), dtype=x.dtype)]
+
+
+@kernel("reduce_mean")
+def _reduce_mean(inputs, attrs):
+    x = inputs[0]
+    return [x.mean(axis=_axes(attrs, x.ndim),
+                   keepdims=bool(attrs.get("keepdims", False)),
+                   dtype=x.dtype)]
+
+
+@kernel("reduce_max")
+def _reduce_max(inputs, attrs):
+    x = inputs[0]
+    return [x.max(axis=_axes(attrs, x.ndim),
+                  keepdims=bool(attrs.get("keepdims", False)))]

@@ -1,0 +1,42 @@
+"""Shape-manipulation kernels: reshape, transpose, slice, concat, pad."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import kernel
+
+
+@kernel("reshape")
+def _reshape(inputs, attrs):
+    return [inputs[0].reshape(tuple(attrs["shape"]))]
+
+
+@kernel("transpose")
+def _transpose(inputs, attrs):
+    return [np.transpose(inputs[0], tuple(attrs["perm"]))]
+
+
+@kernel("slice")
+def _slice(inputs, attrs):
+    x = inputs[0]
+    axis, start, end = attrs["axis"], attrs["start"], attrs["end"]
+    index = [slice(None)] * x.ndim
+    index[axis] = slice(start, end)
+    return [np.ascontiguousarray(x[tuple(index)])]
+
+
+@kernel("concat")
+def _concat(inputs, attrs):
+    return [np.concatenate(inputs, axis=attrs["axis"])]
+
+
+@kernel("pad")
+def _pad(inputs, attrs):
+    pads = [tuple(p) for p in attrs["pads"]]
+    return [np.pad(inputs[0], pads)]
+
+
+@kernel("broadcast_to")
+def _broadcast_to(inputs, attrs):
+    return [np.broadcast_to(inputs[0], tuple(attrs["shape"])).copy()]

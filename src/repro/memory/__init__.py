@@ -1,0 +1,27 @@
+"""Memory analysis: tensor liveness, peak-usage profiling, arena planning.
+
+Training memory is the binding constraint on edge devices (paper Table 4);
+this package turns a compiled schedule into the numbers the paper reports —
+peak transient bytes, parameter/optimizer-state bytes, and a static arena
+layout for MCU-class targets.
+"""
+
+from .liveness import Lifetime, value_lifetimes
+from .planner import ArenaPlan, plan_arena
+from .profiler import MemoryProfile, profile_memory
+from .remat import (Eviction, PagingPlan, RematResult, plan_paging,
+                    rematerialize)
+
+__all__ = [
+    "ArenaPlan",
+    "Eviction",
+    "Lifetime",
+    "MemoryProfile",
+    "PagingPlan",
+    "RematResult",
+    "plan_arena",
+    "plan_paging",
+    "profile_memory",
+    "rematerialize",
+    "value_lifetimes",
+]

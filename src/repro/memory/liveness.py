@@ -1,0 +1,75 @@
+"""Tensor lifetime analysis over a concrete schedule.
+
+A value is *live* from the step that produces it until the last step that
+consumes it. Graph inputs and initializers are born before step 0; graph
+outputs (and in-place optimizer outputs) die after the last step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MemoryPlanError
+from ..ir import Graph
+from ..ir.node import Node
+from ..ir.ops import get_schema
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """Half-open interval of schedule steps during which a value is live."""
+
+    start: int  # step producing the value (-1 for inputs/initializers)
+    end: int    # last step consuming it (len(schedule) if a graph output)
+
+    def overlaps(self, other: "Lifetime") -> bool:
+        return not (self.end < other.start or other.end < self.start)
+
+
+def value_lifetimes(graph: Graph, schedule: list[Node]) -> dict[str, Lifetime]:
+    """Compute the lifetime of every value under ``schedule``.
+
+    Raises:
+        MemoryPlanError: if the schedule references unknown values or uses a
+            value before it is produced.
+    """
+    position = {node.name: i for i, node in enumerate(schedule)}
+    if len(position) != len(schedule):
+        raise MemoryPlanError("schedule contains duplicate nodes")
+
+    start: dict[str, int] = {}
+    for name in graph.inputs:
+        start[name] = -1
+    for name in graph.initializers:
+        start[name] = -1
+
+    end: dict[str, int] = {name: -1 for name in start}
+    horizon = len(schedule)
+
+    for i, node in enumerate(schedule):
+        for inp in node.inputs:
+            if inp not in start:
+                raise MemoryPlanError(
+                    f"step {i} ({node.name}) reads {inp!r} before production"
+                )
+            end[inp] = max(end[inp], i)
+        for out in node.outputs:
+            if out in start:
+                raise MemoryPlanError(f"value {out!r} produced twice")
+            start[out] = i
+            end[out] = i
+
+    for name in graph.outputs:
+        if name in end:
+            end[name] = horizon
+    # In-place optimizer updates keep their parameter alive forever.
+    for node in schedule:
+        if get_schema(node.op_type).inplace:
+            end[node.inputs[0]] = horizon
+            for out in node.outputs:
+                end[out] = horizon
+
+    return {
+        name: Lifetime(start[name], end[name])
+        for name in start
+    }

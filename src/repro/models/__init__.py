@@ -1,0 +1,44 @@
+"""Model zoo: the paper's six evaluation models plus micro variants."""
+
+from .bert import BertClassifier, BertConfig, build_bert
+from .llama import Llama, LlamaConfig, build_llama
+from .mcunet import MCUNet, MCUNetConfig, build_mcunet
+from .mobilenetv2 import (InvertedBottleneck, MobileNetV2, MobileNetV2Config,
+                          build_mobilenetv2)
+from .registry import REGISTRY, ModelEntry, build_model
+from .resnet import Bottleneck, ResNet, ResNetConfig, build_resnet
+from .schemes import (PAPER_SCHEMES, bert_scheme, distilbert_scheme,
+                      llama_scheme, lora_like_scheme, mcunet_scheme,
+                      mobilenetv2_scheme, paper_scheme, resnet50_scheme)
+
+__all__ = [
+    "BertClassifier",
+    "BertConfig",
+    "Bottleneck",
+    "InvertedBottleneck",
+    "Llama",
+    "LlamaConfig",
+    "MCUNet",
+    "MCUNetConfig",
+    "MobileNetV2",
+    "MobileNetV2Config",
+    "ModelEntry",
+    "PAPER_SCHEMES",
+    "REGISTRY",
+    "ResNet",
+    "ResNetConfig",
+    "bert_scheme",
+    "build_bert",
+    "build_llama",
+    "build_mcunet",
+    "build_mobilenetv2",
+    "build_model",
+    "build_resnet",
+    "distilbert_scheme",
+    "llama_scheme",
+    "lora_like_scheme",
+    "mcunet_scheme",
+    "mobilenetv2_scheme",
+    "paper_scheme",
+    "resnet50_scheme",
+]

@@ -1,0 +1,102 @@
+"""BERT / DistilBERT-style encoders for GLUE-like classification.
+
+Post-norm transformer encoder with learned position embeddings and a
+CLS-token classification head. The paper's scheme updates "the biases of
+the last 6 blocks (out of 12) and the weights of the attention module and
+the first linear in FFN for the last 4 blocks" (BERT-base); DistilBERT
+halves everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..frontend import (Embedding, InputSpec, LayerNorm, Linear, Module,
+                        TransformerBlock, trace)
+from ..frontend.functional import Sym
+from ..frontend.init import lazy_init
+from ..frontend.module import Parameter
+from ..frontend import init as finit
+from ..ir import DType, Graph
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    name: str
+    vocab_size: int
+    dim: int
+    num_heads: int
+    ffn_hidden: int
+    num_blocks: int
+    max_len: int
+    num_classes: int
+
+
+CONFIGS = {
+    "bert": BertConfig("bert", 30522, 768, 12, 3072, 12, 128, 2),
+    "distilbert": BertConfig("distilbert", 30522, 768, 12, 3072, 6, 128, 2),
+    "bert_micro": BertConfig("bert_micro", 256, 32, 2, 64, 4, 16, 4),
+    "distilbert_micro": BertConfig(
+        "distilbert_micro", 256, 32, 2, 64, 2, 16, 4),
+}
+
+
+class BertClassifier(Module):
+    def __init__(self, config: BertConfig, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.token_emb = Embedding(config.vocab_size, config.dim, rng=rng)
+        self.pos_emb = Parameter(
+            finit.normal(rng, (1, config.max_len, config.dim)),
+            role="embedding")
+        self.emb_norm = LayerNorm(config.dim)
+        self.block_names: list[str] = []
+        for index in range(config.num_blocks):
+            block = TransformerBlock(
+                config.dim, config.num_heads, config.ffn_hidden,
+                causal=False, pre_norm=False, norm="layernorm",
+                activation="gelu", max_len=config.max_len, rng=rng)
+            block.meta["block"] = index
+            name = f"blocks_{index}"
+            setattr(self, name, block)
+            self.block_names.append(name)
+        self.classifier = Linear(config.dim, config.num_classes, rng=rng)
+        self.classifier.meta["classifier"] = True
+
+    def forward(self, ids: Sym) -> Sym:
+        batch, seq = ids.shape
+        h = self.token_emb(ids)
+        pos = Sym(ids.b, self.pos_emb.value_name).slice(1, 0, seq)
+        h = self.emb_norm(h + pos)
+        for name in self.block_names:
+            h = self._modules[name](h)
+        cls = h.slice(1, 0, 1).reshape((batch, self.config.dim))
+        return self.classifier(cls)
+
+
+def build_bert(variant: str = "bert_micro", batch: int = 8,
+               seq_len: int | None = None, num_classes: int | None = None,
+               seed: int = 0, lazy: bool | None = None) -> Graph:
+    """Trace a BERT-family classifier into a forward graph."""
+    config = CONFIGS[variant]
+    if num_classes is not None:
+        config = BertConfig(config.name, config.vocab_size, config.dim,
+                            config.num_heads, config.ffn_hidden,
+                            config.num_blocks, config.max_len, num_classes)
+    seq_len = seq_len or config.max_len
+    spec = [InputSpec("ids", (batch, seq_len), DType.INT64)]
+    if lazy is None:
+        lazy = "micro" not in variant
+    if lazy:
+        with lazy_init():
+            graph = trace(BertClassifier(config, seed=seed), spec,
+                          name=config.name)
+    else:
+        graph = trace(BertClassifier(config, seed=seed), spec,
+                      name=config.name)
+    graph.metadata["family"] = "transformer"
+    graph.metadata["num_blocks"] = config.num_blocks
+    return graph

@@ -1,0 +1,97 @@
+"""MCUNet-5FPS-like model (Lin et al. 2020): a tiny MBConv network.
+
+The exact 5FPS architecture is NAS-derived; we reproduce its published
+shape — 17 MBConv blocks with mixed kernel sizes {3,5,7} and expansions
+{1,3,6} at 128x128 input, ~0.6M parameters — which is what the schemes and
+cost models depend on (paper Figure 5 shows the per-block pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..frontend import Conv2d, GlobalAvgPool, InputSpec, Linear, Module, trace
+from ..frontend.init import lazy_init
+from ..ir import Graph
+from .mobilenetv2 import InvertedBottleneck
+
+
+@dataclass(frozen=True)
+class MCUNetConfig:
+    name: str
+    resolution: int
+    num_classes: int
+    #: (expansion, out channels, kernel, stride) per block
+    blocks: tuple[tuple[int, int, int, int], ...]
+    stem_channels: int = 16
+
+
+# Block pattern mirrors paper Figure 5(a): MB1 3x3, MB3 5x5, MB3 3x3, ...
+FULL_BLOCKS = (
+    (1, 8, 3, 1), (3, 16, 5, 2), (3, 16, 3, 1), (3, 16, 7, 1),
+    (3, 24, 3, 2), (3, 24, 5, 1), (3, 24, 5, 1), (6, 40, 7, 2),
+    (3, 40, 5, 1), (3, 40, 5, 1), (6, 48, 5, 1), (3, 48, 5, 1),
+    (3, 96, 5, 2), (3, 96, 7, 1), (6, 96, 7, 1), (3, 160, 5, 2),
+    (6, 160, 7, 1),
+)
+
+CONFIGS = {
+    "mcunet": MCUNetConfig("mcunet", 128, 1000, FULL_BLOCKS),
+    "mcunet_vww": MCUNetConfig("mcunet_vww", 128, 2, FULL_BLOCKS),
+    "mcunet_micro": MCUNetConfig(
+        "mcunet_micro", 16, 10,
+        ((1, 8, 3, 1), (3, 8, 3, 1), (3, 12, 3, 2), (3, 16, 3, 1),
+         (3, 16, 3, 1)),
+        stem_channels=8),
+}
+
+
+class MCUNet(Module):
+    def __init__(self, config: MCUNetConfig, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.stem = Conv2d(3, config.stem_channels, 3,
+                           stride=2 if config.resolution > 32 else 1,
+                           padding=1, activation="relu6", rng=rng)
+        cin = config.stem_channels
+        self.block_names: list[str] = []
+        for index, (t, c, k, s) in enumerate(config.blocks):
+            block = InvertedBottleneck(cin, c, s, t, kernel=k, rng=rng)
+            block.meta["block"] = index
+            name = f"blocks_{index}"
+            setattr(self, name, block)
+            self.block_names.append(name)
+            cin = c
+        self.pool = GlobalAvgPool()
+        self.classifier = Linear(cin, config.num_classes, rng=rng)
+        self.classifier.meta["classifier"] = True
+
+    def forward(self, x):
+        x = self.stem(x)
+        for name in self.block_names:
+            x = self._modules[name](x)
+        return self.classifier(self.pool(x))
+
+
+def build_mcunet(variant: str = "mcunet_micro", batch: int = 8,
+                 num_classes: int | None = None, seed: int = 0,
+                 lazy: bool | None = None) -> Graph:
+    """Trace an MCUNet variant into a forward graph."""
+    config = CONFIGS[variant]
+    if num_classes is not None:
+        config = MCUNetConfig(config.name, config.resolution, num_classes,
+                              config.blocks, config.stem_channels)
+    if lazy is None:
+        lazy = "micro" not in variant
+    spec = [InputSpec("x", (batch, 3, config.resolution, config.resolution))]
+    if lazy:
+        with lazy_init():
+            graph = trace(MCUNet(config, seed=seed), spec, name=config.name)
+    else:
+        graph = trace(MCUNet(config, seed=seed), spec, name=config.name)
+    graph.metadata["family"] = "cnn"
+    graph.metadata["num_blocks"] = len(config.blocks)
+    return graph

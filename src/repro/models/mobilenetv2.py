@@ -1,0 +1,154 @@
+"""MobileNetV2 (Sandler et al. 2018) with fused normalization.
+
+Inverted-bottleneck blocks tagged with ``block``/``role_in_block`` metadata:
+the paper's scheme updates "the biases and the weights of the first 1x1
+convolution for the last 7 blocks (out of 19)" — ``first_pw`` is that conv.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..frontend import Conv2d, GlobalAvgPool, InputSpec, Linear, Module, trace
+from ..frontend.init import lazy_init
+from ..ir import Graph
+
+
+@dataclass(frozen=True)
+class MobileNetV2Config:
+    name: str
+    width_mult: float
+    resolution: int
+    num_classes: int
+    #: (expansion t, out channels c, repeats n, stride s) per stage
+    stages: tuple[tuple[int, int, int, int], ...]
+    stem_channels: int = 32
+    head_channels: int = 1280
+
+    @property
+    def num_blocks(self) -> int:
+        return sum(n for _, _, n, _ in self.stages)
+
+
+FULL_STAGES = (
+    (1, 16, 1, 1), (6, 24, 2, 2), (6, 32, 3, 2), (6, 64, 4, 2),
+    (6, 96, 3, 1), (6, 160, 3, 2), (6, 320, 1, 1),
+)
+
+CONFIGS = {
+    "mobilenetv2": MobileNetV2Config(
+        "mobilenetv2", 1.0, 224, 1000, FULL_STAGES),
+    "mobilenetv2_035": MobileNetV2Config(
+        "mobilenetv2_035", 0.35, 224, 1000, FULL_STAGES),
+    # Executable scale for accuracy experiments: same block topology, tiny.
+    "mobilenetv2_micro": MobileNetV2Config(
+        "mobilenetv2_micro", 1.0, 16, 10,
+        ((1, 8, 1, 1), (3, 12, 2, 1), (3, 16, 2, 2), (3, 24, 2, 1)),
+        stem_channels=8, head_channels=32),
+}
+
+
+def _scale(channels: int, mult: float) -> int:
+    return max(4, int(round(channels * mult / 4) * 4)) if mult != 1.0 \
+        else channels
+
+
+class InvertedBottleneck(Module):
+    """MBConv: expand (1x1) -> depthwise (kxk) -> project (1x1)."""
+
+    def __init__(self, cin: int, cout: int, stride: int, expansion: int,
+                 kernel: int = 3,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        hidden = cin * expansion
+        self.use_residual = stride == 1 and cin == cout
+        self.expand = None
+        if expansion != 1:
+            self.expand = Conv2d(cin, hidden, 1, activation="relu6", rng=rng)
+            self.expand.meta["role_in_block"] = "first_pw"
+        self.depthwise = Conv2d(hidden, hidden, kernel, stride=stride,
+                                padding=kernel // 2, groups=hidden,
+                                activation="relu6", rng=rng)
+        self.depthwise.meta["role_in_block"] = "depthwise"
+        self.project = Conv2d(hidden, cout, 1, rng=rng)
+        self.project.meta["role_in_block"] = "second_pw"
+        if expansion == 1:
+            # No expand conv: the depthwise is first; tag the project too.
+            self.depthwise.meta["role_in_block"] = "first_pw"
+
+    def forward(self, x):
+        out = x
+        if self.expand is not None:
+            out = self.expand(out)
+        out = self.depthwise(out)
+        out = self.project(out)
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class MobileNetV2(Module):
+    def __init__(self, config: MobileNetV2Config, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.config = config
+        mult = config.width_mult
+        stem = _scale(config.stem_channels, mult)
+        self.stem = Conv2d(3, stem, 3, stride=2 if config.resolution > 32
+                           else 1, padding=1, activation="relu6", rng=rng)
+        cin = stem
+        index = 0
+        self.block_names: list[str] = []
+        for t, c, n, s in config.stages:
+            cout = _scale(c, mult)
+            for i in range(n):
+                block = InvertedBottleneck(
+                    cin, cout, s if i == 0 else 1, t, rng=rng)
+                block.meta["block"] = index
+                name = f"blocks_{index}"
+                setattr(self, name, block)
+                self.block_names.append(name)
+                cin = cout
+                index += 1
+        head = _scale(config.head_channels, mult)
+        self.head_conv = Conv2d(cin, head, 1, activation="relu6", rng=rng)
+        self.pool = GlobalAvgPool()
+        self.classifier = Linear(head, config.num_classes, rng=rng)
+        self.classifier.meta["classifier"] = True
+
+    def forward(self, x):
+        x = self.stem(x)
+        for name in self.block_names:
+            x = self._modules[name](x)
+        x = self.head_conv(x)
+        return self.classifier(self.pool(x))
+
+
+def build_mobilenetv2(variant: str = "mobilenetv2_micro", batch: int = 8,
+                      num_classes: int | None = None, seed: int = 0,
+                      lazy: bool | None = None) -> Graph:
+    """Trace a MobileNetV2 variant into a forward graph.
+
+    Full-size variants default to lazy (placeholder) weights — they exist
+    for cost/memory simulation, not execution.
+    """
+    config = CONFIGS[variant]
+    if num_classes is not None:
+        config = MobileNetV2Config(
+            config.name, config.width_mult, config.resolution, num_classes,
+            config.stages, config.stem_channels, config.head_channels)
+    if lazy is None:
+        lazy = "micro" not in variant
+    spec = [InputSpec("x", (batch, 3, config.resolution, config.resolution))]
+    if lazy:
+        with lazy_init():
+            model = MobileNetV2(config, seed=seed)
+            graph = trace(model, spec, name=config.name)
+    else:
+        model = MobileNetV2(config, seed=seed)
+        graph = trace(model, spec, name=config.name)
+    graph.metadata["family"] = "cnn"
+    graph.metadata["num_blocks"] = config.num_blocks
+    return graph

@@ -1,0 +1,68 @@
+"""Model registry: one place mapping names to builders and metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ReproError
+from ..ir import Graph
+from .bert import build_bert
+from .llama import build_llama
+from .mcunet import build_mcunet
+from .mobilenetv2 import build_mobilenetv2
+from .resnet import build_resnet
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    key: str
+    display: str
+    family: str                 # 'cnn' | 'transformer'
+    build: Callable[..., Graph]
+    micro: bool                 # executable at test scale?
+
+
+REGISTRY: dict[str, ModelEntry] = {
+    e.key: e
+    for e in [
+        ModelEntry("mcunet", "MCUNet-5FPS", "cnn",
+                   lambda **kw: build_mcunet("mcunet", **kw), False),
+        ModelEntry("mcunet_micro", "MCUNet (micro)", "cnn",
+                   lambda **kw: build_mcunet("mcunet_micro", **kw), True),
+        ModelEntry("mobilenetv2", "MobileNetV2", "cnn",
+                   lambda **kw: build_mobilenetv2("mobilenetv2", **kw), False),
+        ModelEntry("mobilenetv2_035", "MobileNetV2-0.35", "cnn",
+                   lambda **kw: build_mobilenetv2("mobilenetv2_035", **kw),
+                   False),
+        ModelEntry("mobilenetv2_micro", "MobileNetV2 (micro)", "cnn",
+                   lambda **kw: build_mobilenetv2("mobilenetv2_micro", **kw),
+                   True),
+        ModelEntry("resnet50", "ResNet-50", "cnn",
+                   lambda **kw: build_resnet("resnet50", **kw), False),
+        ModelEntry("resnet_micro", "ResNet (micro)", "cnn",
+                   lambda **kw: build_resnet("resnet_micro", **kw), True),
+        ModelEntry("bert", "BERT-base", "transformer",
+                   lambda **kw: build_bert("bert", **kw), False),
+        ModelEntry("distilbert", "DistilBERT", "transformer",
+                   lambda **kw: build_bert("distilbert", **kw), False),
+        ModelEntry("bert_micro", "BERT (micro)", "transformer",
+                   lambda **kw: build_bert("bert_micro", **kw), True),
+        ModelEntry("distilbert_micro", "DistilBERT (micro)", "transformer",
+                   lambda **kw: build_bert("distilbert_micro", **kw), True),
+        ModelEntry("llama7b", "LlamaV2-7B", "transformer",
+                   lambda **kw: build_llama("llama7b", **kw), False),
+        ModelEntry("llama_micro", "Llama (micro)", "transformer",
+                   lambda **kw: build_llama("llama_micro", **kw), True),
+    ]
+}
+
+
+def build_model(key: str, **kwargs) -> Graph:
+    try:
+        entry = REGISTRY[key]
+    except KeyError:
+        raise ReproError(
+            f"unknown model {key!r}; available: {sorted(REGISTRY)}"
+        ) from None
+    return entry.build(**kwargs)

@@ -1,0 +1,125 @@
+"""ResNet-50 (He et al. 2016) with fused normalization.
+
+Bottleneck blocks (1x1 reduce, 3x3, 1x1 expand); the paper's scheme updates
+"the biases and the weights of the first 1x1 convolution for the last 8
+blocks (out of 16)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..frontend import (Activation, Conv2d, GlobalAvgPool, InputSpec, Linear,
+                        MaxPool2d, Module, trace)
+from ..frontend.init import lazy_init
+from ..ir import Graph
+
+
+@dataclass(frozen=True)
+class ResNetConfig:
+    name: str
+    resolution: int
+    num_classes: int
+    stage_blocks: tuple[int, ...]       # blocks per stage
+    stage_channels: tuple[int, ...]     # bottleneck width per stage
+    stem_channels: int = 64
+    expansion: int = 4
+
+    @property
+    def num_blocks(self) -> int:
+        return sum(self.stage_blocks)
+
+
+CONFIGS = {
+    "resnet50": ResNetConfig("resnet50", 224, 1000, (3, 4, 6, 3),
+                             (64, 128, 256, 512)),
+    "resnet_micro": ResNetConfig("resnet_micro", 16, 10, (1, 2, 1), (8, 12, 16),
+                                 stem_channels=8, expansion=2),
+}
+
+
+class Bottleneck(Module):
+    def __init__(self, cin: int, width: int, stride: int, expansion: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        cout = width * expansion
+        self.reduce = Conv2d(cin, width, 1, activation="relu", rng=rng)
+        self.reduce.meta["role_in_block"] = "first_pw"
+        self.conv3 = Conv2d(width, width, 3, stride=stride, padding=1,
+                            activation="relu", rng=rng)
+        self.conv3.meta["role_in_block"] = "spatial"
+        self.expand = Conv2d(width, cout, 1, rng=rng)
+        self.expand.meta["role_in_block"] = "second_pw"
+        self.downsample = None
+        if stride != 1 or cin != cout:
+            self.downsample = Conv2d(cin, cout, 1, stride=stride, rng=rng)
+            self.downsample.meta["role_in_block"] = "downsample"
+        self.act = Activation("relu")
+
+    def forward(self, x):
+        identity = x if self.downsample is None else self.downsample(x)
+        out = self.expand(self.conv3(self.reduce(x)))
+        return self.act(out + identity)
+
+
+class ResNet(Module):
+    def __init__(self, config: ResNetConfig, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.config = config
+        big_input = config.resolution > 64
+        self.stem = Conv2d(3, config.stem_channels, 7 if big_input else 3,
+                           stride=2 if big_input else 1,
+                           padding=3 if big_input else 1,
+                           activation="relu", rng=rng)
+        self.pool0 = MaxPool2d(3, 2, padding=1) if big_input else None
+        cin = config.stem_channels
+        index = 0
+        self.block_names: list[str] = []
+        for stage, (n, width) in enumerate(
+                zip(config.stage_blocks, config.stage_channels)):
+            for i in range(n):
+                stride = 2 if (i == 0 and stage > 0) else 1
+                block = Bottleneck(cin, width, stride, config.expansion,
+                                   rng=rng)
+                block.meta["block"] = index
+                name = f"blocks_{index}"
+                setattr(self, name, block)
+                self.block_names.append(name)
+                cin = width * config.expansion
+                index += 1
+        self.pool = GlobalAvgPool()
+        self.classifier = Linear(cin, config.num_classes, rng=rng)
+        self.classifier.meta["classifier"] = True
+
+    def forward(self, x):
+        x = self.stem(x)
+        if self.pool0 is not None:
+            x = self.pool0(x)
+        for name in self.block_names:
+            x = self._modules[name](x)
+        return self.classifier(self.pool(x))
+
+
+def build_resnet(variant: str = "resnet_micro", batch: int = 8,
+                 num_classes: int | None = None, seed: int = 0,
+                 lazy: bool | None = None) -> Graph:
+    """Trace a ResNet variant into a forward graph."""
+    config = CONFIGS[variant]
+    if num_classes is not None:
+        config = ResNetConfig(config.name, config.resolution, num_classes,
+                              config.stage_blocks, config.stage_channels,
+                              config.stem_channels, config.expansion)
+    if lazy is None:
+        lazy = "micro" not in variant
+    spec = [InputSpec("x", (batch, 3, config.resolution, config.resolution))]
+    if lazy:
+        with lazy_init():
+            graph = trace(ResNet(config, seed=seed), spec, name=config.name)
+    else:
+        graph = trace(ResNet(config, seed=seed), spec, name=config.name)
+    graph.metadata["family"] = "cnn"
+    graph.metadata["num_blocks"] = config.num_blocks
+    return graph

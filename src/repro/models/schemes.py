@@ -1,0 +1,172 @@
+"""The paper's sparse-backpropagation schemes, per model (§4.1).
+
+Each helper reads the ``block`` / ``role_in_block`` metadata the model
+builders attach, selects the paper's tensors, and returns an
+:class:`~repro.sparse.UpdateScheme`. Block counts scale down automatically
+for micro variants (e.g. "last 7 of 19" becomes "last ceil(7/19 * n)").
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import SchemeError
+from ..ir import Graph
+from ..sparse import UpdateScheme
+
+#: weight roles the paper selects per family
+_CNN_WEIGHT_ROLES = {"first_pw"}
+_TRANSFORMER_WEIGHT_ROLES = {"attention", "ffn_first"}
+
+
+def _blocks(graph: Graph) -> list[int]:
+    meta = graph.metadata.get("params", {})
+    blocks = sorted({m["block"] for m in meta.values() if "block" in m})
+    if not blocks:
+        raise SchemeError(f"graph {graph.name!r} has no block metadata")
+    return blocks
+
+
+def _scaled(k: int, paper_total: int, actual_total: int) -> int:
+    """Scale "last k of paper_total" to an actual block count."""
+    if actual_total >= paper_total:
+        return k
+    return max(1, math.ceil(k * actual_total / paper_total))
+
+
+def _build(graph: Graph, name: str, bias_blocks: set[int],
+           weight_blocks: set[int], weight_roles: set[str],
+           ratios: dict[int, float] | None = None) -> UpdateScheme:
+    """Assemble a scheme from block selections.
+
+    Args:
+        bias_blocks: blocks whose bias/norm tensors update.
+        weight_blocks: blocks whose selected-role weights update.
+        weight_roles: which ``role_in_block`` tags count as selected.
+        ratios: optional per-block channel ratio for the selected weights.
+    """
+    meta = graph.metadata.get("params", {})
+    ratios = ratios or {}
+    updates: dict[str, float] = {}
+    for param in sorted(graph.trainable):
+        m = meta.get(param, {})
+        block = m.get("block")
+        role = m.get("role", "weight")
+        if m.get("classifier"):
+            updates[param] = 1.0
+            continue
+        if block is None:
+            continue
+        if role in ("bias", "norm_scale", "norm_shift"):
+            if block in bias_blocks:
+                updates[param] = 1.0
+        elif role in ("weight",):
+            if block in weight_blocks \
+                    and m.get("role_in_block") in weight_roles:
+                updates[param] = float(ratios.get(block, 1.0))
+    if not updates:
+        raise SchemeError(f"scheme {name!r} selected nothing on {graph.name}")
+    return UpdateScheme(name, updates)
+
+
+def mcunet_scheme(graph: Graph) -> UpdateScheme:
+    """Biases of the last 7 blocks; first-conv weights of the 4 blocks below
+    the last 2, with channel ratios {100%, 100%, 50%, 100%} (§4.1)."""
+    blocks = _blocks(graph)
+    n = len(blocks)
+    k_bias = _scaled(7, 17, n)
+    k_w = min(_scaled(4, 17, n), n)
+    bias_blocks = set(blocks[-k_bias:])
+    weight_list = blocks[-(k_w + 2):-2] if n > k_w + 2 else blocks[-k_w:]
+    pattern = (1.0, 1.0, 0.5, 1.0)
+    ratios = {b: pattern[i % 4] for i, b in enumerate(weight_list)}
+    return _build(graph, "mcunet_sparse", bias_blocks, set(weight_list),
+                  _CNN_WEIGHT_ROLES, ratios)
+
+
+def mobilenetv2_scheme(graph: Graph) -> UpdateScheme:
+    """Biases + first 1x1 conv weights of the last 7 blocks (of 17+2)."""
+    blocks = _blocks(graph)
+    k = _scaled(7, 17, len(blocks))
+    chosen = set(blocks[-k:])
+    return _build(graph, "mbv2_sparse", chosen, chosen, _CNN_WEIGHT_ROLES)
+
+
+def resnet50_scheme(graph: Graph) -> UpdateScheme:
+    """Biases + first 1x1 conv weights of the last 8 blocks (of 16)."""
+    blocks = _blocks(graph)
+    k = _scaled(8, 16, len(blocks))
+    chosen = set(blocks[-k:])
+    return _build(graph, "resnet_sparse", chosen, chosen, _CNN_WEIGHT_ROLES)
+
+
+def bert_scheme(graph: Graph) -> UpdateScheme:
+    """Biases of the last 6 blocks (of 12); attention + FFN-first weights of
+    the last 4 blocks."""
+    blocks = _blocks(graph)
+    n = len(blocks)
+    bias_blocks = set(blocks[-_scaled(6, 12, n):])
+    weight_blocks = set(blocks[-_scaled(4, 12, n):])
+    return _build(graph, "bert_sparse", bias_blocks, weight_blocks,
+                  _TRANSFORMER_WEIGHT_ROLES)
+
+
+def distilbert_scheme(graph: Graph) -> UpdateScheme:
+    """Biases of the last 3 blocks (of 6); weights of the last 2."""
+    blocks = _blocks(graph)
+    n = len(blocks)
+    bias_blocks = set(blocks[-_scaled(3, 6, n):])
+    weight_blocks = set(blocks[-_scaled(2, 6, n):])
+    return _build(graph, "distilbert_sparse", bias_blocks, weight_blocks,
+                  _TRANSFORMER_WEIGHT_ROLES)
+
+
+def llama_scheme(graph: Graph) -> UpdateScheme:
+    """Norm scales + attention + FFN-first weights of the last 5 blocks
+    (of 32)."""
+    blocks = _blocks(graph)
+    k = _scaled(5, 32, len(blocks))
+    chosen = set(blocks[-k:])
+    return _build(graph, "llama_sparse", chosen, chosen,
+                  _TRANSFORMER_WEIGHT_ROLES)
+
+
+def lora_like_scheme(graph: Graph, rank_ratio: float = 0.02) -> UpdateScheme:
+    """LoRA-cost stand-in for Table 5's PyTorch-LoRA row.
+
+    LoRA adds rank-r adapters to attention projections in *every* block, so
+    backward must reach the first block (no depth pruning) while the
+    per-weight update cost is tiny. A channel-sparse update with a small
+    ratio on every attention projection has the same cost structure; see
+    DESIGN.md §2 for the substitution argument.
+    """
+    meta = graph.metadata.get("params", {})
+    updates: dict[str, float] = {}
+    for param in sorted(graph.trainable):
+        m = meta.get(param, {})
+        if m.get("role_in_block") == "attention" and m.get("role") == "weight":
+            updates[param] = rank_ratio
+        if m.get("classifier"):
+            updates[param] = 1.0
+    if not updates:
+        raise SchemeError("model has no attention weights for LoRA scheme")
+    return UpdateScheme("lora_like", updates)
+
+
+#: model name prefix -> paper scheme builder
+PAPER_SCHEMES = {
+    "mcunet": mcunet_scheme,
+    "mobilenetv2": mobilenetv2_scheme,
+    "resnet": resnet50_scheme,
+    "bert": bert_scheme,
+    "distilbert": distilbert_scheme,
+    "llama": llama_scheme,
+}
+
+
+def paper_scheme(graph: Graph) -> UpdateScheme:
+    """Dispatch to the paper's scheme for this graph by model-name prefix."""
+    for prefix, builder in PAPER_SCHEMES.items():
+        if graph.name.startswith(prefix):
+            return builder(graph)
+    raise SchemeError(f"no paper scheme for model {graph.name!r}")

@@ -1,0 +1,59 @@
+"""Pass infrastructure: every optimization is a Graph -> Graph rewrite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..ir import Graph, validate_graph
+
+
+@dataclass
+class PassContext:
+    """Side information passes may consult.
+
+    Attributes:
+        updated_params: parameters the current scheme updates — frozen
+            weights are what enable Winograd selection and constant folding
+            through weight-dependent subgraphs.
+        device: optional target device (layout selection).
+        options: free-form knobs.
+    """
+
+    updated_params: set[str] = field(default_factory=set)
+    device: Any = None
+    options: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class PassResult:
+    changed: bool = False
+    stats: dict[str, Any] = field(default_factory=dict)
+
+
+class Pass:
+    """Base class; subclasses implement :meth:`run`."""
+
+    name = "pass"
+
+    def run(self, graph: Graph, ctx: PassContext) -> PassResult:
+        raise NotImplementedError
+
+
+class PassManager:
+    """Applies a pipeline of passes, validating after each in debug mode."""
+
+    def __init__(self, passes: list[Pass], debug: bool = False) -> None:
+        self.passes = list(passes)
+        self.debug = debug
+
+    def run(self, graph: Graph, ctx: PassContext | None = None
+            ) -> dict[str, PassResult]:
+        ctx = ctx or PassContext()
+        report: dict[str, PassResult] = {}
+        for p in self.passes:
+            result = p.run(graph, ctx)
+            report[p.name] = result
+            if self.debug:
+                validate_graph(graph)
+        return report

@@ -1,0 +1,52 @@
+"""Common-subexpression elimination.
+
+Training graphs repeat work the forward pass already did (e.g. gradient
+rules that recompute normalization statistics); CSE merges identical
+(op, inputs, attrs) nodes so each expression is evaluated once.
+"""
+
+from __future__ import annotations
+
+from ..ir import Graph
+from ..ir.ops import get_schema
+from .base import Pass, PassContext, PassResult
+
+
+class CommonSubexpressionEliminationPass(Pass):
+    name = "cse"
+
+    def run(self, graph: Graph, ctx: PassContext) -> PassResult:
+        removed_total = 0
+        while True:
+            removed = self._one_round(graph)
+            removed_total += removed
+            if not removed:
+                break
+        return PassResult(changed=removed_total > 0,
+                          stats={"removed": removed_total})
+
+    @staticmethod
+    def _one_round(graph: Graph) -> int:
+        seen: dict[tuple, tuple[str, ...]] = {}
+        replace: dict[str, str] = {}
+        survivors = []
+        removed = 0
+        for node in graph.topological_order():
+            node.inputs = tuple(replace.get(i, i) for i in node.inputs)
+            if get_schema(node.op_type).inplace:
+                survivors.append(node)
+                continue
+            key = (node.op_type, node.inputs, node.attr_key())
+            if key in seen:
+                canonical = seen[key]
+                for old, new in zip(node.outputs, canonical):
+                    replace[old] = new
+                removed += 1
+                continue
+            seen[key] = node.outputs
+            survivors.append(node)
+        if removed:
+            graph.nodes = survivors
+            graph.outputs = [replace.get(o, o) for o in graph.outputs]
+            graph._drop_orphan_values()
+        return removed

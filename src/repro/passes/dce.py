@@ -1,0 +1,14 @@
+"""Dead-code elimination as a pipeline pass."""
+
+from __future__ import annotations
+
+from ..ir import Graph
+from .base import Pass, PassContext, PassResult
+
+
+class DeadCodeEliminationPass(Pass):
+    name = "dce"
+
+    def run(self, graph: Graph, ctx: PassContext) -> PassResult:
+        removed = graph.dead_code_elimination()
+        return PassResult(changed=removed > 0, stats={"removed": removed})

@@ -1,0 +1,32 @@
+"""Data-layout selection (paper §3.2, "layout transforms").
+
+NCHW is optimal for GPU-class accelerators; edge CPUs and DSPs prefer NHWC.
+Real PockEngine rewrites tensor layouts at compile time; we record the
+decision in graph metadata and let the device cost model price convolution
+efficiency accordingly (numeric kernels always compute NCHW — the hardware
+being simulated, not owned, per DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from ..ir import Graph
+from .base import Pass, PassContext, PassResult
+
+
+class LayoutSelectionPass(Pass):
+    name = "layout"
+
+    def run(self, graph: Graph, ctx: PassContext) -> PassResult:
+        device = ctx.device
+        preferred = getattr(device, "preferred_layout", "NCHW")
+        previous = graph.metadata.get("layout", "NCHW")
+        graph.metadata["layout"] = preferred
+        n_spatial = sum(
+            1 for node in graph.nodes
+            if node.op_type in ("conv2d", "conv2d_i8", "conv2d_dx",
+                                "conv2d_dw", "maxpool2d", "avgpool2d")
+        )
+        return PassResult(
+            changed=preferred != previous,
+            stats={"layout": preferred, "spatial_ops": n_spatial},
+        )

@@ -1,0 +1,41 @@
+"""Int8 quantization: QAT fake-quant training and integer deployment.
+
+The paper's vendor backends (SNPE, TinyEngine) execute integer models;
+this package provides the matching compiler path:
+
+* observe activation ranges (:mod:`~repro.quant.calibrate`),
+* train with simulated rounding (:func:`insert_fake_quant` + the STE
+  gradient rule in autodiff),
+* correct quantized-gradient magnitudes (:mod:`~repro.quant.qas`),
+* emit a pure int8 inference graph (:func:`quantize_inference_graph`).
+"""
+
+from .calibrate import QUANTIZED_OPS, collect_ranges, watched_values
+from .convert import (INT8_PASSTHROUGH, QuantConfig, insert_fake_quant,
+                      quantize_inference_graph)
+from .observers import (MinMaxObserver, MovingAverageObserver, Observer,
+                        PercentileObserver)
+from .params import QuantParams, params_from_range, weight_params
+from .qas import (GRID_PARAMS_KEY, apply_qas, int8_grid_training_graph,
+                  qas_scales)
+
+__all__ = [
+    "QUANTIZED_OPS",
+    "INT8_PASSTHROUGH",
+    "QuantConfig",
+    "QuantParams",
+    "Observer",
+    "MinMaxObserver",
+    "MovingAverageObserver",
+    "PercentileObserver",
+    "collect_ranges",
+    "watched_values",
+    "insert_fake_quant",
+    "quantize_inference_graph",
+    "params_from_range",
+    "weight_params",
+    "apply_qas",
+    "qas_scales",
+    "int8_grid_training_graph",
+    "GRID_PARAMS_KEY",
+]

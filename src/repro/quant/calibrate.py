@@ -1,0 +1,96 @@
+"""Calibration: run representative batches and record activation ranges.
+
+The converter needs a float range for every activation it will quantize.
+``collect_ranges`` executes the forward graph over calibration batches with
+every watched value exposed as an extra output, feeding one observer per
+value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..ir import Graph
+from ..runtime.executor import Executor
+from ..runtime.program import Program
+from .observers import MinMaxObserver, Observer
+
+#: Ops whose inputs and outputs the converter quantizes.
+QUANTIZED_OPS = ("conv2d", "matmul")
+
+#: Ops the converter folds into the int8 op's requantization step; their
+#: outputs are quantization points too, so calibration must watch them.
+_CHAIN_OPS = ("bias_add", "relu", "relu6")
+
+
+def watched_values(graph: Graph, ops: tuple[str, ...] = QUANTIZED_OPS
+                   ) -> list[str]:
+    """Values whose ranges calibration must learn: the non-weight inputs
+    and the outputs of every op the converter will turn into int8, plus
+    the outputs of the bias/activation chains it folds into them."""
+    watched: list[str] = []
+    seen: set[str] = set()
+
+    def watch(name: str) -> None:
+        if name not in seen:
+            seen.add(name)
+            watched.append(name)
+
+    consumers = graph.consumer_map()
+    for node in graph.nodes:
+        if node.op_type == "add":
+            # Residual adds execute on the int8 grid (add_i8); calibration
+            # needs both operand ranges and the sum's range.
+            for name in node.inputs:
+                if name not in graph.initializers:
+                    watch(name)
+            watch(node.outputs[0])
+            continue
+        if node.op_type not in ops:
+            continue
+        for name in node.inputs:
+            if name not in graph.initializers:
+                watch(name)
+        tail = node.outputs[0]
+        watch(tail)
+        # Follow the single-consumer bias/activation chain the converter
+        # will fold, so the fused op's output range is known.
+        while True:
+            users = consumers.get(tail, [])
+            if len(users) != 1 or users[0].op_type not in _CHAIN_OPS:
+                break
+            tail = users[0].outputs[0]
+            watch(tail)
+    return watched
+
+
+def collect_ranges(
+    graph: Graph,
+    batches: Iterable[dict[str, np.ndarray]],
+    values: list[str] | None = None,
+    observer_factory: Callable[[], Observer] = MinMaxObserver,
+) -> dict[str, Observer]:
+    """Observe ``values`` (default: every quantization point) over batches.
+
+    Returns one observer per watched value; pass the dict straight to the
+    converters in :mod:`repro.quant.convert`.
+    """
+    if values is None:
+        values = watched_values(graph)
+    probe = graph.clone()
+    for name in values:
+        if name not in probe.outputs:
+            probe.outputs.append(name)
+    executor = Executor(Program.from_graph(probe))
+    observers = {name: observer_factory() for name in values}
+    ran = False
+    for feeds in batches:
+        ran = True
+        results = executor.run(feeds)
+        for name, observer in observers.items():
+            observer.observe(results[name])
+    if not ran:
+        raise ValueError("calibration needs at least one batch")
+    return observers

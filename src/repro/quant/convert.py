@@ -1,0 +1,313 @@
+"""Graph quantization: QAT instrumentation and int8 deployment conversion.
+
+Two entry points:
+
+* :func:`insert_fake_quant` — wrap the weights and input activations of
+  every conv/matmul with ``fake_quant`` nodes. The resulting graph trains
+  normally (the STE gradient rule passes through the rounding), which is
+  quantization-aware training.
+* :func:`quantize_inference_graph` — rebuild the forward graph on the int8
+  ops (``conv2d_i8``/``matmul_i8`` with folded bias + activation,
+  ``quantize_linear``/``dequantize_linear`` at domain boundaries). This is
+  the form the paper's integer backends (SNPE, TinyEngine) execute;
+  unsupported ops transparently fall back to float.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CompileError
+from ..ir import Graph, GraphBuilder
+from ..ir.node import Node
+from .calibrate import QUANTIZED_OPS
+from .observers import Observer
+from .params import QuantParams, params_from_range, weight_params
+
+#: Shape-only ops that operate on int8 tensors without touching values.
+INT8_PASSTHROUGH = {"maxpool2d", "reshape", "transpose", "slice"}
+
+_FOLDABLE_ACTIVATIONS = {"relu", "relu6"}
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """Precision choices for conversion."""
+
+    weight_bits: int = 8
+    act_bits: int = 8
+    per_channel: bool = True       # per-output-channel weight scales
+    symmetric_acts: bool = False   # activations are asymmetric by default
+
+
+def _resolve_params(entry, bits: int, symmetric: bool) -> QuantParams:
+    """Accept an Observer, a (lo, hi) pair, or ready-made QuantParams."""
+    if isinstance(entry, QuantParams):
+        return entry
+    if isinstance(entry, Observer):
+        return entry.make_params(bits=bits, symmetric=symmetric)
+    lo, hi = entry
+    return params_from_range(lo, hi, bits=bits, symmetric=symmetric)
+
+
+def _weight_axis(op_type: str) -> int:
+    # conv weights are OIHW (out channels first); matmul weights are
+    # (in, out) so the per-channel axis is the output column.
+    return 0 if op_type == "conv2d" else 1
+
+
+class _ActRanges:
+    """Lookup helper turning calibration results into activation params."""
+
+    def __init__(self, ranges: dict, config: QuantConfig) -> None:
+        self.ranges = ranges
+        self.config = config
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.ranges
+
+    def params(self, name: str) -> QuantParams:
+        try:
+            entry = self.ranges[name]
+        except KeyError:
+            raise CompileError(
+                f"no calibrated range for activation {name!r}; "
+                "re-run calibration with this value watched"
+            ) from None
+        return _resolve_params(entry, self.config.act_bits,
+                               self.config.symmetric_acts)
+
+
+# ---------------------------------------------------------------------------
+# QAT: fake-quant instrumentation
+# ---------------------------------------------------------------------------
+
+def insert_fake_quant(
+    forward: Graph,
+    act_ranges: dict,
+    config: QuantConfig | None = None,
+    ops: tuple[str, ...] = QUANTIZED_OPS,
+) -> Graph:
+    """Return a clone of ``forward`` with fake-quant on every quantization
+    point (weights and input activations of ``ops``).
+
+    ``act_ranges`` maps value names to observers / (lo, hi) pairs /
+    QuantParams, as produced by :func:`repro.quant.calibrate.collect_ranges`.
+    """
+    config = config or QuantConfig()
+    acts = _ActRanges(act_ranges, config)
+    graph = forward.clone()
+    b = GraphBuilder(graph=graph)
+    wrapped: dict[str, str] = {}  # source value -> fake-quant output
+
+    def wrap(name: str, params: QuantParams) -> str:
+        if name not in wrapped:
+            wrapped[name] = b.emit("fake_quant", [name], params.attrs(),
+                                   name_hint=f"fq.{name}")
+        return wrapped[name]
+
+    for node in list(graph.nodes):
+        if node.op_type not in ops:
+            continue
+        new_inputs = list(node.inputs)
+        for idx, src in enumerate(node.inputs):
+            if src in wrapped.values():
+                continue
+            if src in graph.initializers:
+                if idx != 1:
+                    continue  # only the weight operand is quantized
+                params = weight_params(
+                    graph.initializers[src], bits=config.weight_bits,
+                    per_channel=config.per_channel,
+                    axis=_weight_axis(node.op_type))
+            else:
+                if src not in acts:
+                    continue  # unwatched activation stays float
+                params = acts.params(src)
+            new_inputs[idx] = wrap(src, params)
+        node.inputs = tuple(new_inputs)
+    graph.nodes = graph.topological_order()
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Deployment: int8 graph construction
+# ---------------------------------------------------------------------------
+
+def quantize_inference_graph(
+    forward: Graph,
+    act_ranges: dict,
+    config: QuantConfig | None = None,
+) -> Graph:
+    """Rebuild ``forward`` as an int8 inference graph.
+
+    conv2d/matmul nodes (with a constant weight) become fused int8 ops;
+    directly following single-consumer ``bias_add`` and relu/relu6 nodes
+    fold into the requantization step. Shape-only ops ride along in int8;
+    anything else falls back to float via ``dequantize_linear``.
+    """
+    config = config or QuantConfig()
+    if config.act_bits != 8 or config.weight_bits != 8:
+        raise CompileError("int8 deployment requires 8-bit config")
+    acts = _ActRanges(act_ranges, config)
+    out = Graph(f"{forward.name}.int8")
+    b = GraphBuilder(graph=out)
+
+    fmap: dict[str, str] = {}                       # src -> float value
+    qmap: dict[str, tuple[str, QuantParams]] = {}   # src -> (int8 value, qp)
+    consumers = forward.consumer_map()
+    folded: set[str] = set()                        # node names folded away
+
+    for name in forward.inputs:
+        spec = forward.spec(name)
+        fmap[name] = b.input(name, spec.shape, spec.dtype)
+
+    def float_of(src: str) -> str:
+        if src in fmap:
+            return fmap[src]
+        if src in qmap:
+            q, qp = qmap[src]
+            fmap[src] = b.emit("dequantize_linear", [q], qp.attrs(),
+                               name_hint=f"dq.{src}")
+            return fmap[src]
+        if src in forward.initializers:
+            fmap[src] = b.initializer(src, forward.initializers[src])
+            return fmap[src]
+        raise CompileError(f"value {src!r} has no converted producer")
+
+    def int8_of(src: str) -> tuple[str, QuantParams]:
+        if src not in qmap:
+            params = acts.params(src)
+            q = b.emit("quantize_linear", [float_of(src)], params.attrs(),
+                       name_hint=f"q.{src}")
+            qmap[src] = (q, params)
+        return qmap[src]
+
+    def match_chain(node: Node, mutate: bool
+                    ) -> tuple[str | None, str | None, str]:
+        """Find the (bias_add?, activation?) chain hanging off ``node``.
+
+        Returns the bias initializer name, the activation kind, and the
+        chain's final value; with ``mutate`` the chain nodes are marked as
+        folded so the main loop skips them.
+        """
+        bias_name: str | None = None
+        activation: str | None = None
+        tail = node.outputs[0]
+        users = consumers.get(tail, [])
+        if len(users) == 1 and users[0].op_type == "bias_add" \
+                and tail not in forward.outputs:
+            cand = users[0]
+            expected_axis = 1 if node.op_type == "conv2d" else (
+                len(forward.spec(tail).shape) - 1)
+            if int(cand.attrs.get("axis", 1)) == expected_axis \
+                    and cand.inputs[1] in forward.initializers:
+                bias_name = cand.inputs[1]
+                if mutate:
+                    folded.add(cand.name)
+                tail = cand.outputs[0]
+                users = consumers.get(tail, [])
+        if len(users) == 1 and users[0].op_type in _FOLDABLE_ACTIVATIONS \
+                and tail not in forward.outputs:
+            act_node = users[0]
+            activation = act_node.op_type
+            if mutate:
+                folded.add(act_node.name)
+            tail = act_node.outputs[0]
+        return bias_name, activation, tail
+
+    def convert_linear(node: Node) -> None:
+        weight_src = node.inputs[1]
+        bias_src, activation, tail = match_chain(node, mutate=True)
+        x_q, x_params = int8_of(node.inputs[0])
+        w = forward.initializers[weight_src]
+        w_params = weight_params(w, bits=8, per_channel=config.per_channel,
+                                 axis=_weight_axis(node.op_type))
+        w_q = b.initializer(f"{weight_src}.q", w_params.quantize(w))
+        out_params = acts.params(tail)
+        attrs = {
+            "x_scale": x_params.scale,
+            "x_zero_point": x_params.zero_point,
+            "w_scale": w_params.scale,
+            "out_scale": out_params.scale,
+            "out_zero_point": out_params.zero_point,
+            "activation": activation,
+        }
+        inputs = [x_q, w_q]
+        if bias_src is not None:
+            bias = forward.initializers[bias_src]
+            mult = np.float64(x_params.scale) * np.asarray(
+                w_params.scale, dtype=np.float64)
+            bias_i32 = np.round(bias / mult).astype(np.int32)
+            inputs.append(b.initializer(f"{bias_src}.q", bias_i32))
+        if node.op_type == "conv2d":
+            attrs.update(stride=node.attrs.get("stride", 1),
+                         padding=node.attrs.get("padding", 0),
+                         groups=int(node.attrs.get("groups", 1)))
+            y = b.emit("conv2d_i8", inputs, attrs, name_hint=f"i8.{tail}")
+        else:
+            y = b.emit("matmul_i8", inputs, attrs, name_hint=f"i8.{tail}")
+        qmap[tail] = (y, out_params)
+
+    def convertible(node: Node) -> bool:
+        if node.op_type not in QUANTIZED_OPS or len(node.inputs) != 2:
+            return False
+        if node.inputs[1] not in forward.initializers:
+            return False
+        if node.attrs.get("activation") not in (None, "none"):
+            return False  # run conversion before fusion, not after
+        if node.op_type == "matmul" \
+                and forward.spec(node.inputs[1]).rank != 2:
+            return False
+        _, _, tail = match_chain(node, mutate=False)
+        input_ranged = node.inputs[0] in qmap or node.inputs[0] in acts
+        return input_ranged and tail in acts
+
+    def int8_addable(node: Node) -> bool:
+        if node.op_type != "add" or node.outputs[0] not in acts:
+            return False
+        return all(src in qmap or src in acts for src in node.inputs)
+
+    for node in forward.topological_order():
+        if node.name in folded:
+            continue
+        if convertible(node):
+            convert_linear(node)
+        elif int8_addable(node):
+            (aq, ap), (bq, bp) = (int8_of(src) for src in node.inputs)
+            out_params = acts.params(node.outputs[0])
+            y = b.emit("add_i8", [aq, bq], {
+                "a_scale": ap.scale, "a_zero_point": ap.zero_point,
+                "b_scale": bp.scale, "b_zero_point": bp.zero_point,
+                "out_scale": out_params.scale,
+                "out_zero_point": out_params.zero_point,
+                "activation": None,
+            }, name_hint=f"i8.{node.outputs[0]}")
+            qmap[node.outputs[0]] = (y, out_params)
+        elif node.op_type == "global_avg_pool" \
+                and node.inputs[0] in qmap:
+            q, qp = qmap[node.inputs[0]]
+            y = b.emit("global_avg_pool_i8", [q],
+                       name_hint=f"i8.{node.outputs[0]}")
+            qmap[node.outputs[0]] = (y, qp)
+        elif node.op_type in INT8_PASSTHROUGH \
+                and node.inputs[0] in qmap:
+            q, qp = qmap[node.inputs[0]]
+            y = b.emit(node.op_type, [q], dict(node.attrs),
+                       name_hint=f"i8.{node.outputs[0]}")
+            qmap[node.outputs[0]] = (y, qp)
+        else:
+            inputs = [float_of(i) for i in node.inputs]
+            outs = b.emit(node.op_type, inputs, dict(node.attrs),
+                          name_hint=node.outputs[0],
+                          n_outputs=len(node.outputs))
+            outs = [outs] if isinstance(outs, str) else outs
+            for src, new in zip(node.outputs, outs):
+                fmap[src] = new
+
+    for src in forward.outputs:
+        b.mark_output(float_of(src))
+    out.metadata["quantized_from"] = forward.name
+    return out

@@ -1,0 +1,109 @@
+"""Range observers used during calibration.
+
+An observer watches a stream of tensors for one graph value and summarises
+the float range the quantizer must cover. Three policies are provided:
+
+* :class:`MinMaxObserver` — exact running min/max (the SNPE default),
+* :class:`MovingAverageObserver` — EMA of per-batch extrema, robust to a
+  single outlier batch (the TF-Lite QAT default),
+* :class:`PercentileObserver` — clips the tails, trading saturation error
+  for resolution on heavy-tailed activations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CompileError
+from .params import QuantParams, params_from_range
+
+
+class Observer:
+    """Base class: accumulate statistics, then emit :class:`QuantParams`."""
+
+    def observe(self, x: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def range(self) -> tuple[float, float]:
+        raise NotImplementedError
+
+    @property
+    def ready(self) -> bool:
+        try:
+            self.range()
+        except CompileError:
+            return False
+        return True
+
+    def make_params(self, bits: int = 8,
+                    symmetric: bool = False) -> QuantParams:
+        lo, hi = self.range()
+        return params_from_range(lo, hi, bits=bits, symmetric=symmetric)
+
+
+class MinMaxObserver(Observer):
+    """Exact running extrema over everything observed."""
+
+    def __init__(self) -> None:
+        self._lo = np.inf
+        self._hi = -np.inf
+
+    def observe(self, x: np.ndarray) -> None:
+        self._lo = min(self._lo, float(np.min(x)))
+        self._hi = max(self._hi, float(np.max(x)))
+
+    def range(self) -> tuple[float, float]:
+        if self._lo > self._hi:
+            raise CompileError("observer saw no data")
+        return self._lo, self._hi
+
+
+class MovingAverageObserver(Observer):
+    """EMA of per-batch extrema; ``momentum`` is the history weight."""
+
+    def __init__(self, momentum: float = 0.9) -> None:
+        if not 0.0 <= momentum < 1.0:
+            raise CompileError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._lo: float | None = None
+        self._hi: float | None = None
+
+    def observe(self, x: np.ndarray) -> None:
+        lo, hi = float(np.min(x)), float(np.max(x))
+        if self._lo is None:
+            self._lo, self._hi = lo, hi
+        else:
+            m = self.momentum
+            self._lo = m * self._lo + (1 - m) * lo
+            self._hi = m * self._hi + (1 - m) * hi
+
+    def range(self) -> tuple[float, float]:
+        if self._lo is None:
+            raise CompileError("observer saw no data")
+        return self._lo, self._hi
+
+
+class PercentileObserver(Observer):
+    """Range covering the central ``percentile`` % of observed values.
+
+    Keeps a reservoir of per-batch percentiles rather than raw samples, so
+    memory stays bounded on long calibration runs.
+    """
+
+    def __init__(self, percentile: float = 99.9) -> None:
+        if not 50.0 < percentile <= 100.0:
+            raise CompileError(
+                f"percentile must be in (50, 100], got {percentile}")
+        self.percentile = percentile
+        self._los: list[float] = []
+        self._his: list[float] = []
+
+    def observe(self, x: np.ndarray) -> None:
+        tail = (100.0 - self.percentile) / 2.0
+        self._los.append(float(np.percentile(x, tail)))
+        self._his.append(float(np.percentile(x, 100.0 - tail)))
+
+    def range(self) -> tuple[float, float]:
+        if not self._los:
+            raise CompileError("observer saw no data")
+        return float(np.mean(self._los)), float(np.mean(self._his))

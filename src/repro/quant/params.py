@@ -1,0 +1,101 @@
+"""Quantization parameters: the (scale, zero-point) affine grid.
+
+One :class:`QuantParams` describes how a float tensor maps onto a signed
+integer grid — per-tensor, or per-channel along one axis (the form used for
+conv/linear weights). All quantized IR ops carry these values as plain node
+attributes so graphs stay serializable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CompileError
+from ..kernels.quantized import dequantize_array, quantize_array
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Affine quantization grid ``q = round(x / scale) + zero_point``."""
+
+    scale: float | tuple[float, ...]
+    zero_point: int | tuple[int, ...] = 0
+    bits: int = 8
+    axis: int | None = None
+
+    def __post_init__(self) -> None:
+        scales = np.atleast_1d(np.asarray(self.scale, dtype=np.float64))
+        if np.any(scales <= 0):
+            raise CompileError("quantization scale must be positive")
+        if self.axis is None and scales.size > 1:
+            raise CompileError("per-channel params require an axis")
+
+    @property
+    def qmin(self) -> int:
+        return -(2 ** (self.bits - 1))
+
+    @property
+    def qmax(self) -> int:
+        return 2 ** (self.bits - 1) - 1
+
+    @property
+    def per_channel(self) -> bool:
+        return self.axis is not None
+
+    def attrs(self) -> dict:
+        """Node-attribute form consumed by the quantized IR ops."""
+        return {
+            "scale": self.scale,
+            "zero_point": self.zero_point,
+            "bits": self.bits,
+            "axis": self.axis,
+        }
+
+    # -- numpy-side application (used by converters and tests) -------------
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        return quantize_array(x, self.scale, self.zero_point,
+                              bits=self.bits, axis=self.axis)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        return dequantize_array(q, self.scale, self.zero_point,
+                                axis=self.axis)
+
+    def fake(self, x: np.ndarray) -> np.ndarray:
+        """Quantize-dequantize round trip (what ``fake_quant`` computes)."""
+        return self.dequantize(self.quantize(x))
+
+
+def params_from_range(lo: float, hi: float, bits: int = 8,
+                      symmetric: bool = False) -> QuantParams:
+    """Per-tensor params covering the observed float range ``[lo, hi]``.
+
+    Asymmetric (affine) is the activation default; ``symmetric`` centres
+    the grid on zero, which is what integer GEMMs want for weights.
+    """
+    lo, hi = float(min(lo, 0.0)), float(max(hi, 0.0))  # grid must contain 0
+    qmin, qmax = -(2 ** (bits - 1)), 2 ** (bits - 1) - 1
+    if symmetric:
+        bound = max(abs(lo), abs(hi), 1e-12)
+        return QuantParams(scale=bound / qmax, zero_point=0, bits=bits)
+    span = max(hi - lo, 1e-12)
+    scale = span / (qmax - qmin)
+    zero_point = int(round(qmin - lo / scale))
+    zero_point = max(qmin, min(qmax, zero_point))
+    return QuantParams(scale=scale, zero_point=zero_point, bits=bits)
+
+
+def weight_params(w: np.ndarray, bits: int = 8, per_channel: bool = True,
+                  axis: int = 0) -> QuantParams:
+    """Symmetric weight params, per-output-channel by default (SNPE-style)."""
+    qmax = 2 ** (bits - 1) - 1
+    if not per_channel:
+        bound = max(float(np.max(np.abs(w))), 1e-12)
+        return QuantParams(scale=bound / qmax, zero_point=0, bits=bits)
+    reduce_axes = tuple(i for i in range(w.ndim) if i != axis)
+    bounds = np.maximum(np.max(np.abs(w), axis=reduce_axes), 1e-12)
+    scales = tuple(float(b) / qmax for b in bounds)
+    zeros = tuple(0 for _ in scales)
+    return QuantParams(scale=scales, zero_point=zeros, bits=bits, axis=axis)

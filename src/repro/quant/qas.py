@@ -1,0 +1,103 @@
+"""Quantization-Aware Scaling (QAS) and int8-grid training graphs.
+
+PockEngine's MCU backend (TinyEngine) trains *real* int8 graphs: the stored
+weight is the integer tensor ``W̄ = W / s_w`` (magnitudes ~128), not the
+float master. Differentiating that graph yields ``G_W̄ = s_w · G_W`` — the
+weight grew by ``1/s_w`` while its gradient shrank by ``s_w``, so the
+update-to-weight ratio is off by ``s_w²`` and plain SGD barely moves.
+"On-Device Training Under 256KB Memory" (Lin et al., NeurIPS 2022 —
+reference [41] of the paper) fixes this by scaling each quantized
+parameter's gradient by ``1 / s_w²``, restoring float training dynamics
+with zero extra memory.
+
+This module provides both halves:
+
+* :func:`int8_grid_training_graph` — rewrite a QAT graph so trainable
+  weights are stored on the int8 grid (the true-int8 regime, simulated in
+  fp32 containers so the numeric executor can run it),
+* :func:`qas_scales` / :func:`apply_qas` — the compensation, folded into
+  the learning rate of the compiled ``apply_*`` nodes (equivalent to
+  gradient scaling for SGD, and free at runtime because the factor is a
+  compile-time constant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import Graph, GraphBuilder
+
+#: metadata key mapping parameter name -> mean quantization scale
+GRID_PARAMS_KEY = "int8_grid_params"
+
+
+def int8_grid_training_graph(qat_graph: Graph) -> Graph:
+    """Store every fake-quantized trainable weight on its int8 grid.
+
+    For each trainable initializer ``W`` feeding a ``fake_quant`` node with
+    scale ``s``, the returned clone stores ``W̄ = W / s`` and reconstructs
+    ``W = W̄ * s`` in-graph before the fake-quant. Gradients then flow to
+    ``W̄`` exactly as they would in a true int8 engine — which is why
+    training it *without* :func:`apply_qas` stalls.
+    """
+    graph = qat_graph.clone()
+    b = GraphBuilder(graph=graph)
+    grid_params: dict[str, float] = dict(
+        graph.metadata.get(GRID_PARAMS_KEY, {}))
+
+    for node in list(graph.nodes):
+        if node.op_type != "fake_quant":
+            continue
+        param = node.inputs[0]
+        if param not in graph.trainable or param in grid_params:
+            continue
+        scale = np.asarray(node.attrs["scale"], dtype=np.float64)
+        axis = node.attrs.get("axis")
+        w = graph.initializers[param]
+        if axis is not None and scale.ndim:
+            shape = [1] * w.ndim
+            shape[int(axis)] = scale.shape[0]
+            scale = scale.reshape(shape)
+        graph.initializers[param] = (w / scale).astype(w.dtype)
+        s_const = b.initializer(f"{param}.scale", scale.astype(np.float32))
+        recon = b.emit("mul", [param, s_const], name_hint=f"grid.{param}")
+        node.inputs = (recon,) + tuple(node.inputs[1:])
+        grid_params[param] = float(np.mean(scale))
+
+    graph.metadata[GRID_PARAMS_KEY] = grid_params
+    graph.nodes = graph.topological_order()
+    return graph
+
+
+def qas_scales(graph: Graph) -> dict[str, float]:
+    """Per-parameter QAS factors ``1 / s_w²`` for int8-grid parameters.
+
+    Only parameters registered by :func:`int8_grid_training_graph` (via
+    graph metadata) need compensation; fp32-master QAT weights train
+    correctly without it and are not returned.
+    """
+    grid_params: dict[str, float] = graph.metadata.get(GRID_PARAMS_KEY, {})
+    return {param: 1.0 / (s * s) for param, s in grid_params.items()}
+
+
+def apply_qas(graph: Graph, scales: dict[str, float] | None = None) -> int:
+    """Fold QAS factors into the optimizer nodes of a compiled training
+    graph (in place). Returns the number of parameters rescaled.
+
+    SGD's update is linear in the gradient history, so scaling ``lr`` is
+    exactly gradient scaling. Adam and Lion normalise gradient magnitude
+    away, so QAS is a no-op for them — their nodes are left untouched.
+    """
+    scales = qas_scales(graph) if scales is None else scales
+    touched = 0
+    for node in graph.nodes:
+        if node.op_type != "apply_sgd":
+            continue
+        param = node.inputs[0]
+        factor = scales.get(param)
+        if factor is None:
+            continue
+        node.attrs["lr"] = float(node.attrs["lr"]) * factor
+        node.attrs["qas_scale"] = factor
+        touched += 1
+    return touched

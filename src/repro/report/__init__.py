@@ -1,0 +1,6 @@
+"""Reporting: ASCII tables and the paper's reference numbers."""
+
+from . import paper_data
+from .table import ratio, render_series, render_table
+
+__all__ = ["paper_data", "ratio", "render_series", "render_table"]

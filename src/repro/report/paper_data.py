@@ -1,0 +1,131 @@
+"""Reference numbers transcribed from the paper, for paper-vs-measured
+comparison in benchmarks and EXPERIMENTS.md.
+
+All throughputs are items/second from the Figure 9 data tables embedded in
+the paper source; memory from Table 4; Llama fine-tuning from Table 5.
+``None`` marks combinations the paper leaves blank (framework unavailable
+on that platform / model).
+"""
+
+from __future__ import annotations
+
+# Figure 9 (f): Raspberry Pi 4 CPU, images (sentences)/sec.
+FIG9_RASPBERRY_PI = {
+    # model: {framework: throughput}
+    "mcunet": {"tensorflow": 0.515, "pytorch": 0.681, "jax": 0.543,
+               "mnn": 0.751, "pockengine_full": 7.86,
+               "pockengine_sparse": 11.22},
+    "mobilenetv2": {"tensorflow": 0.445, "pytorch": 0.506, "jax": 0.514,
+                    "mnn": 0.560, "pockengine_full": 5.90,
+                    "pockengine_sparse": 9.46},
+    "resnet50": {"tensorflow": 0.147, "pytorch": 0.180, "jax": 0.140,
+                 "mnn": 0.205, "pockengine_full": 0.759,
+                 "pockengine_sparse": 1.325},
+    "bert": {"tensorflow": 0.270, "pytorch": 0.393, "jax": 0.244,
+             "mnn": None, "pockengine_full": 2.579,
+             "pockengine_sparse": 3.735},
+    "distilbert": {"tensorflow": 0.378, "pytorch": 0.515, "jax": 0.499,
+                   "mnn": None, "pockengine_full": 4.817,
+                   "pockengine_sparse": 6.910},
+}
+
+# Figure 9 (a): Jetson Nano GPU, items/sec.
+FIG9_JETSON_NANO = {
+    "mcunet": {"tensorflow": 48.3, "pytorch": 41.5,
+               "pockengine_full": 116.0, "pockengine_sparse": 257.4},
+    "mobilenetv2": {"tensorflow": 27.9, "pytorch": 34.4,
+                    "pockengine_full": 101.2, "pockengine_sparse": 172.3},
+    "resnet50": {"tensorflow": 14.7, "pytorch": 21.9,
+                 "pockengine_full": 32.5, "pockengine_sparse": 55.7},
+    "bert": {"tensorflow": 16.8, "pytorch": 22.1,
+             "pockengine_full": 40.6, "pockengine_sparse": 53.8},
+    "distilbert": {"tensorflow": 33.2, "pytorch": 35.1,
+                   "pockengine_full": 86.8, "pockengine_sparse": 110.4},
+}
+
+# Figure 9 (b): Jetson AGX Orin, LlamaV2-7B sentences/sec.
+FIG9_ORIN_LLAMA = {
+    "llama7b": {"pytorch": 0.128, "pockengine_full": 0.560,
+                "pockengine_sparse": 1.090},
+}
+
+# Figure 9 (c): STM32F746 MCU, images/sec (TF projected).
+FIG9_MCU = {
+    "mcunet": {"tflite_micro": 0.0746, "pockengine_full": 0.766,
+               "pockengine_sparse": 1.832},
+    "mobilenetv2_035": {"tflite_micro": 0.118, "pockengine_full": 1.087,
+                        "pockengine_sparse": 2.681},
+}
+
+# Figure 9 (e): Snapdragon 8 Gen 1 CPU, items/sec.
+FIG9_SNAPDRAGON_CPU = {
+    "mcunet": {"pockengine_full": 10.12, "pockengine_sparse": 23.12},
+    "mobilenetv2": {"pockengine_full": 5.61, "pockengine_sparse": 10.92},
+    "resnet50": {"pockengine_full": 0.833, "pockengine_sparse": 1.189},
+    "bert": {"pockengine_full": 2.010, "pockengine_sparse": 2.990},
+    "distilbert": {"pockengine_full": 2.995, "pockengine_sparse": 5.450},
+}
+
+# Figure 9 (g): Snapdragon 8 Gen 1 DSP (SNPE), images/sec.
+FIG9_SNAPDRAGON_DSP = {
+    "mcunet": {"pockengine_full": 1292.0, "pockengine_sparse": 1804.1},
+    "mobilenetv2": {"pockengine_full": 988.1, "pockengine_sparse": 1625.0},
+    "resnet50": {"pockengine_full": 316.6, "pockengine_sparse": 584.8},
+}
+
+# Figure 9 (d): Apple M1 GPU, items/sec (read off the chart).
+FIG9_APPLE_M1 = {
+    "mcunet": {"tensorflow": 7.0, "pytorch": 5.0,
+               "pockengine_full": 33.0, "pockengine_sparse": 51.0},
+    "mobilenetv2": {"tensorflow": 5.0, "pytorch": 9.0,
+                    "pockengine_full": 14.0, "pockengine_sparse": 21.0},
+    "resnet50": {"tensorflow": 4.0, "pytorch": 9.0,
+                 "pockengine_full": 9.0, "pockengine_sparse": 15.0},
+    "bert": {"tensorflow": 10.0, "pytorch": 12.0,
+             "pockengine_full": 22.0, "pockengine_sparse": 37.0},
+    "distilbert": {"tensorflow": 12.0, "pytorch": 14.0,
+                   "pockengine_full": 23.0, "pockengine_sparse": 52.0},
+}
+
+# Table 4: training memory, MB (None = cannot fit / not reported).
+TABLE4_MEMORY = [
+    # (device, model, batch, full_mb, sparse_mb)
+    ("stm32f746", "mcunet", 1, 3.6, 0.169),
+    ("jetson_nano", "mobilenetv2", 1, 729, 435),
+    ("jetson_nano", "mobilenetv2", 4, 910, 501),
+    ("jetson_nano", "mobilenetv2", 16, 1228.8, 819),
+    ("jetson_nano", "resnet50", 1, 827, 663),
+    ("jetson_nano", "resnet50", 4, 1126.4, 723),
+    ("jetson_nano", "resnet50", 16, 2150.4, 885),
+    ("jetson_orin", "bert", 1, 1740.8, 1433.6),
+    ("jetson_orin", "bert", 4, 3686.4, 1945.6),
+    ("jetson_orin", "bert", 16, 5836.8, 2355.2),
+    ("jetson_orin", "llama7b", 1, 44134.4, 31948.8),
+]
+
+# Table 5: LlamaV2-7B instruction tuning on Jetson AGX Orin.
+TABLE5_LLAMA = {
+    # row: (iteration latency s, GPU memory GB, loss, alpaca win %, mt-bench)
+    ("pytorch", "full"): (7.7, 45.1, 0.761, 44.1, 6.1),
+    ("pytorch", "lora"): (7.3, 30.9, 0.801, 43.1, 5.1),
+    ("pockengine", "full"): (1.8, 43.1, 0.768, 43.7, 6.1),
+    ("pockengine", "sparse"): (0.9, 31.2, 0.779, 43.1, 5.7),
+}
+
+# §4.2 sparse-BP speedup over full-BP per model (embedded chart data).
+SPARSE_SPEEDUP = {
+    "mcunet": 1.3, "mobilenetv2": 1.3, "resnet50": 1.6,
+    "bert": 1.5, "distilbert": 1.4,
+}
+
+# Table 2 / Table 3 average accuracies (for ordering comparison).
+TABLE2_AVG_ACC = {
+    "mcunet": {"full": 74.1, "bias": 72.7, "sparse": 74.8},
+    "mobilenetv2": {"full": 89.2, "bias": 87.3, "sparse": 88.5},
+    "resnet50": {"full": 90.5, "bias": 87.8, "sparse": 90.3},
+}
+
+TABLE3_AVG_ACC = {
+    "distilbert": {"full": 76.9, "bias": 72.8, "sparse": 77.0},
+    "bert": {"full": 81.8, "bias": 78.1, "sparse": 81.7},
+}

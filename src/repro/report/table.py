@@ -1,0 +1,58 @@
+"""ASCII table/series rendering shared by benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Render a monospace table with per-column alignment."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, values: Sequence[float], width: int = 40,
+                  fmt: str = "{:.3f}") -> str:
+    """Render a numeric series as a labelled ASCII bar chart row block."""
+    if not values:
+        return f"{name}: (empty)"
+    top = max(abs(v) for v in values) or 1.0
+    lines = [name]
+    for i, v in enumerate(values):
+        bar = "#" * max(1, int(width * abs(v) / top))
+        lines.append(f"  [{i:3d}] {fmt.format(v):>10} {bar}")
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ratio(a: float | None, b: float | None) -> str:
+    """Format a/b as 'N.Nx' (dash when undefined)."""
+    if not a or not b:
+        return "-"
+    return f"{a / b:.1f}x"

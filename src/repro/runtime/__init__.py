@@ -1,0 +1,21 @@
+"""Runtime: compiled programs and the numpy executor.
+
+The compiler entry points (:func:`repro.runtime.compiler.compile_training`)
+live in :mod:`repro.runtime.compiler`; they are re-exported here once the
+pass pipeline is assembled.
+"""
+
+from .executor import Executor, interpret
+from .profiler import (NodeTiming, RuntimeProfile, analytical_profile,
+                       profile_run)
+from .program import Program
+
+__all__ = [
+    "Executor",
+    "NodeTiming",
+    "Program",
+    "RuntimeProfile",
+    "analytical_profile",
+    "interpret",
+    "profile_run",
+]

@@ -1,0 +1,220 @@
+"""The compilation pipeline: trace -> autodiff -> prune -> optimize -> plan.
+
+This is the module that realises the paper's Figure 4 workflow:
+
+1. take a forward graph (from any frontend),
+2. append the loss,
+3. derive the backward graph at **compile time** for exactly the tensors
+   the sparse-update scheme selects (pruned by construction),
+4. attach the optimizer as in-place graph nodes,
+5. run graph optimizations (folding, CSE, fusion, Winograd, layout),
+6. schedule memory-aware (operator reordering + immediate updates),
+7. emit an executable :class:`~repro.runtime.program.Program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..autodiff import build_backward
+from ..errors import CompileError
+from ..ir import Graph, GraphBuilder
+from ..memory import profile_memory
+from ..passes import (AlgebraicRewritePass, BiasActivationFusionPass,
+                      CommonSubexpressionEliminationPass, ConstantFoldingPass,
+                      DeadCodeEliminationPass, ElementwiseGroupPass,
+                      LayoutSelectionPass, ParallelLinearFusionPass,
+                      PassContext, PassManager, WinogradSelectionPass,
+                      default_schedule, memory_aware_schedule)
+from ..sparse import ResolvedScheme, UpdateScheme, full_update
+from ..train.loss import add_loss
+from ..train.optim import OptimizerSpec, SGD, attach_optimizer
+from .program import Program
+
+
+@dataclass
+class CompileOptions:
+    """Feature switches; defaults are "everything on" (PockEngine mode).
+
+    Baseline framework simulations flip these off to model conventional
+    runtime-autodiff engines.
+    """
+
+    constant_folding: bool = True
+    cse: bool = True
+    rewrite: bool = True
+    fusion: bool = True
+    #: merge frozen same-input linear branches (Q/K/V) into one wide matmul
+    parallel_fusion: bool = True
+    winograd: bool = True
+    layout: bool = True
+    reorder: bool = True
+    #: conventional frameworks keep every gradient until the optimizer step
+    applies_last: bool = False
+    #: "masked" sparse support: compute the full backward, mask updates
+    masked_sparse: bool = False
+    #: False for simulation-only compiles of full-size models: program state
+    #: keeps zero-stride placeholder views instead of copying real buffers
+    materialize_state: bool = True
+    device: Any = None
+    debug_validate: bool = False
+
+
+@dataclass
+class CompileReport:
+    """What compilation did — surfaced in program.meta["report"]."""
+
+    scheme: str
+    num_nodes: int
+    pass_stats: dict[str, dict] = field(default_factory=dict)
+    peak_transient_bytes: int = 0
+    resident_bytes: int = 0
+
+
+def compile_training(
+    forward: Graph,
+    *,
+    loss: str = "softmax_ce",
+    logits: str | None = None,
+    optimizer: OptimizerSpec | None = None,
+    scheme: UpdateScheme | None = None,
+    options: CompileOptions | None = None,
+) -> Program:
+    """Compile a complete training step for ``forward``.
+
+    Args:
+        forward: traced forward graph (left untouched; it is cloned).
+        loss: loss kind (``softmax_ce`` or ``mse``).
+        logits: model output to attach the loss to (default: first output).
+        optimizer: optimizer spec (default ``SGD(lr=0.01)``).
+        scheme: sparse-update scheme (default: full update).
+        options: compilation switches.
+
+    Returns:
+        An executable Program whose meta carries ``loss``, ``logits``,
+        ``labels`` value names and the compile report.
+    """
+    options = options or CompileOptions()
+    optimizer = optimizer or SGD(lr=0.01)
+    graph = forward.clone()
+    graph.name = f"{forward.name}.train"
+    builder = GraphBuilder(graph=graph)
+
+    logits = logits or (graph.outputs[0] if graph.outputs else None)
+    if logits is None:
+        raise CompileError("forward graph has no outputs to attach a loss to")
+    labels, loss_value = add_loss(builder, loss, logits)
+
+    if scheme is None:  # explicit emptiness must error, not become full
+        scheme = full_update(graph)
+    resolved = scheme.resolve(graph)
+    if not resolved.updates:
+        raise CompileError(f"scheme {scheme.name!r} updates nothing")
+
+    if options.masked_sparse:
+        # Conventional-framework behaviour: differentiate every trainable
+        # tensor, then only apply the scheme's updates (gradients for the
+        # rest are computed and thrown away).
+        wrt = sorted(graph.trainable)
+        backward = build_backward(graph, loss_value, wrt, slice_k={})
+        grads = {p: backward.grads[p] for p in resolved.updates}
+    else:
+        backward = build_backward(
+            graph, loss_value, resolved.params, slice_k=resolved.slice_k
+        )
+        grads = {p: backward.grads[p] for p in resolved.updates}
+
+    attach_optimizer(builder, grads, optimizer,
+                     slice_k=resolved.slice_k,
+                     slice_axis=resolved.slice_axis)
+
+    # Gradients were marked as graph outputs by autodiff so DCE keeps them;
+    # once the optimizer consumes them they need not stay outputs (keeping
+    # them alive would defeat the reordering memory win). Masked-sparse mode
+    # keeps every gradient as an output, matching frameworks that park all
+    # gradients in `.grad` slots until the separate optimizer step.
+    if not options.masked_sparse:
+        consumed = set(backward.grads.values())
+        graph.outputs = [
+            o for o in graph.outputs
+            if o not in consumed or o == loss_value
+        ]
+
+    ctx = PassContext(updated_params=set(resolved.updates),
+                      device=options.device)
+    pipeline = []
+    if options.constant_folding:
+        pipeline.append(ConstantFoldingPass())
+    if options.cse:
+        pipeline.append(CommonSubexpressionEliminationPass())
+    if options.rewrite:
+        pipeline.append(AlgebraicRewritePass())
+    pipeline.append(DeadCodeEliminationPass())
+    if options.parallel_fusion:
+        pipeline.append(ParallelLinearFusionPass())
+    if options.fusion:
+        pipeline.append(BiasActivationFusionPass())
+    if options.winograd:
+        pipeline.append(WinogradSelectionPass())
+    if options.layout:
+        pipeline.append(LayoutSelectionPass())
+    if options.fusion:
+        pipeline.append(ElementwiseGroupPass())
+    manager = PassManager(pipeline, debug=options.debug_validate)
+    pass_report = manager.run(graph, ctx)
+
+    if options.reorder:
+        schedule = memory_aware_schedule(graph)
+    else:
+        schedule = default_schedule(graph, applies_last=options.applies_last)
+
+    program = Program.from_graph(graph, schedule,
+                                 copy_state=options.materialize_state)
+    profile = profile_memory(graph, schedule)
+    program.meta.update(
+        loss=loss_value,
+        logits=logits,
+        labels=labels,
+        scheme=resolved,
+        optimizer=optimizer,
+        report=CompileReport(
+            scheme=scheme.name,
+            num_nodes=len(graph.nodes),
+            pass_stats={k: v.stats for k, v in pass_report.items()},
+            peak_transient_bytes=profile.peak_transient_bytes,
+            resident_bytes=profile.resident_bytes,
+        ),
+    )
+    return program
+
+
+def compile_inference(forward: Graph,
+                      options: CompileOptions | None = None) -> Program:
+    """Compile a forward-only program with inference optimizations."""
+    options = options or CompileOptions()
+    graph = forward.clone()
+    graph.name = f"{forward.name}.infer"
+    ctx = PassContext(updated_params=set(), device=options.device)
+    pipeline = []
+    if options.constant_folding:
+        pipeline.append(ConstantFoldingPass())
+    if options.cse:
+        pipeline.append(CommonSubexpressionEliminationPass())
+    if options.rewrite:
+        pipeline.append(AlgebraicRewritePass())
+    pipeline.append(DeadCodeEliminationPass())
+    if options.parallel_fusion:
+        pipeline.append(ParallelLinearFusionPass())
+    if options.fusion:
+        pipeline.append(BiasActivationFusionPass())
+    if options.winograd:
+        pipeline.append(WinogradSelectionPass())
+    if options.layout:
+        pipeline.append(LayoutSelectionPass())
+    if options.fusion:
+        pipeline.append(ElementwiseGroupPass())
+    PassManager(pipeline, debug=options.debug_validate).run(graph, ctx)
+    schedule = memory_aware_schedule(graph) if options.reorder \
+        else default_schedule(graph)
+    return Program.from_graph(graph, schedule)

@@ -1,0 +1,143 @@
+"""The numpy executor: runs compiled programs and measures real memory.
+
+The executor is deliberately dumb — all intelligence lives in the compiler.
+It walks the schedule, dispatches kernels, frees buffers the moment their
+reference count drops to zero, and records the observed peak of transient
+bytes (which tests cross-check against the analytical profiler).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..ir import Graph
+from ..ir.node import Node
+from ..kernels import run_op
+from ..ir.ops import get_schema
+from .program import Program
+
+#: Per-node observer: (node, seconds) after each kernel completes.
+NodeObserver = Callable[[Node, float], None]
+
+
+class Executor:
+    """Executes a :class:`Program` over its mutable state."""
+
+    def __init__(self, program: Program,
+                 observer: NodeObserver | None = None) -> None:
+        self.program = program
+        self.observer = observer
+        self.peak_transient_bytes = 0
+        self.last_transient_bytes = 0
+
+    def run(self, feeds: dict[str, np.ndarray] | None = None
+            ) -> dict[str, np.ndarray]:
+        """Execute one step; returns the graph outputs by name."""
+        program = self.program
+        graph = program.graph
+        feeds = dict(feeds or {})
+        for name in graph.inputs:
+            if name not in feeds:
+                raise ExecutionError(f"missing feed for graph input {name!r}")
+            expected = graph.spec(name)
+            got = np.asarray(feeds[name])
+            if tuple(got.shape) != expected.shape:
+                raise ExecutionError(
+                    f"feed {name!r} has shape {got.shape}, "
+                    f"expected {expected.shape}"
+                )
+            feeds[name] = got.astype(expected.dtype.np, copy=False)
+
+        env: dict[str, np.ndarray] = {}
+        env.update(feeds)
+        refcounts = dict(program.consumer_counts)
+        keep = set(program.outputs)
+        # Input batches occupy memory until their last use, exactly as the
+        # analytical profiler accounts them.
+        transient = sum(array.nbytes for array in feeds.values())
+        peak = transient
+
+        for node in program.schedule:
+            inputs = []
+            state_inputs = []
+            for name in node.inputs:
+                if name in env:
+                    inputs.append(env[name])
+                elif name in program.state:
+                    inputs.append(program.state[name])
+                    state_inputs.append(program.state[name])
+                else:
+                    raise ExecutionError(
+                        f"node {node.name!r} input {name!r} unavailable"
+                    )
+            began = time.perf_counter() if self.observer else 0.0
+            try:
+                results = run_op(node.op_type, inputs, node.attrs)
+            except ExecutionError:
+                raise
+            except Exception as exc:  # pragma: no cover - defensive
+                raise ExecutionError(
+                    f"kernel {node.op_type!r} failed at node "
+                    f"{node.name!r}: {exc}"
+                ) from exc
+            if self.observer:
+                self.observer(node, time.perf_counter() - began)
+
+            # Kernels like transpose/reshape return views. A view of a
+            # *parameter* would silently observe later in-place optimizer
+            # updates (the reorder pass schedules those early), so results
+            # aliasing mutable state are materialised.
+            if state_inputs and not get_schema(node.op_type).inplace:
+                results = [
+                    value.copy() if any(np.shares_memory(value, s)
+                                        for s in state_inputs) else value
+                    for value in results
+                ]
+
+            inplace = get_schema(node.op_type).inplace
+            for out, value in zip(node.outputs, results):
+                env[out] = value
+                if not inplace:
+                    transient += value.nbytes
+            peak = max(peak, transient)
+
+            # Outputs nobody consumes (dead values in unoptimized graphs)
+            # are released immediately after production.
+            if not inplace:
+                for out in node.outputs:
+                    if refcounts.get(out, 0) == 0 and out not in keep \
+                            and out in env:
+                        transient -= env[out].nbytes
+                        del env[out]
+
+            # Release inputs (including feeds) whose last consumer just ran.
+            for name in node.inputs:
+                refcounts[name] -= 1
+                if (refcounts[name] == 0 and name in env
+                        and name not in program.state
+                        and name not in keep):
+                    transient -= env[name].nbytes
+                    del env[name]
+
+        self.peak_transient_bytes = peak
+        self.last_transient_bytes = transient
+        outputs = {}
+        for name in program.outputs:
+            if name in env:
+                outputs[name] = env[name]
+            elif name in program.state:
+                outputs[name] = program.state[name]
+            else:
+                raise ExecutionError(f"output {name!r} was never produced")
+        return outputs
+
+
+def interpret(graph: Graph, feeds: dict[str, np.ndarray] | None = None,
+              copy_state: bool = True) -> dict[str, np.ndarray]:
+    """One-shot convenience: build a program for ``graph`` and run it."""
+    program = Program.from_graph(graph, copy_state=copy_state)
+    return Executor(program).run(feeds)

@@ -1,0 +1,143 @@
+"""Runtime profiling: per-op breakdowns and chrome-trace export.
+
+Two event sources feed one report type:
+
+* :func:`profile_run` — wall-clock timings from the numpy executor
+  (the measurement plane),
+* :func:`analytical_profile` — per-node costs from the device roofline
+  model (the simulation plane; what a kernel-level profiler on the real
+  device would show).
+
+Either result renders as a per-op-type summary table or exports to the
+``chrome://tracing`` / Perfetto JSON format for timeline inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..devices import DeviceSpec, estimate_latency
+from ..ir import Graph
+from ..ir.node import Node
+from .executor import Executor
+from .program import Program
+
+
+@dataclass(frozen=True)
+class NodeTiming:
+    """One executed (or modelled) kernel."""
+
+    name: str
+    op_type: str
+    start_us: float
+    duration_us: float
+
+
+@dataclass
+class RuntimeProfile:
+    """Per-node timings for one iteration."""
+
+    source: str                      # 'executor' or a device key
+    timings: list[NodeTiming] = field(default_factory=list)
+
+    @property
+    def total_us(self) -> float:
+        return sum(t.duration_us for t in self.timings)
+
+    def by_op_type(self) -> dict[str, tuple[int, float]]:
+        """op_type -> (count, total microseconds), heaviest first."""
+        counts: dict[str, int] = defaultdict(int)
+        totals: dict[str, float] = defaultdict(float)
+        for t in self.timings:
+            counts[t.op_type] += 1
+            totals[t.op_type] += t.duration_us
+        return {
+            op: (counts[op], totals[op])
+            for op in sorted(totals, key=lambda o: -totals[o])
+        }
+
+    def top(self, n: int = 10) -> list[NodeTiming]:
+        """The ``n`` slowest individual kernels."""
+        return sorted(self.timings, key=lambda t: -t.duration_us)[:n]
+
+    def to_chrome_trace(self) -> dict:
+        """Perfetto/chrome://tracing 'traceEvents' document."""
+        return {
+            "displayTimeUnit": "ms",
+            "traceEvents": [
+                {
+                    "name": t.name,
+                    "cat": t.op_type,
+                    "ph": "X",
+                    "ts": t.start_us,
+                    "dur": t.duration_us,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"op_type": t.op_type, "source": self.source},
+                }
+                for t in self.timings
+            ],
+        }
+
+    def save_chrome_trace(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome_trace()))
+        return path
+
+
+def profile_run(program: Program,
+                feeds: dict[str, np.ndarray] | None = None,
+                warmup: int = 1, repeats: int = 3) -> RuntimeProfile:
+    """Measure per-kernel wall time over ``repeats`` runs (median).
+
+    Warmup runs absorb numpy's lazy allocations; medians damp scheduler
+    noise. Training programs mutate parameters in place, so warmup and
+    repeat runs do advance the model — profile a throwaway program copy
+    when that matters.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    samples: list[list[tuple[Node, float]]] = []
+
+    for iteration in range(warmup + repeats):
+        events: list[tuple[Node, float]] = []
+        executor = Executor(program,
+                            observer=lambda n, s: events.append((n, s)))
+        executor.run(feeds)
+        if iteration >= warmup:
+            samples.append(events)
+
+    profile = RuntimeProfile(source="executor")
+    cursor = 0.0
+    for i, (node, _) in enumerate(samples[0]):
+        median_s = float(np.median([run[i][1] for run in samples]))
+        duration = median_s * 1e6
+        profile.timings.append(NodeTiming(
+            name=node.name, op_type=node.op_type,
+            start_us=cursor, duration_us=duration))
+        cursor += duration
+    return profile
+
+
+def analytical_profile(graph: Graph, schedule: list[Node],
+                       device: DeviceSpec, **kwargs) -> RuntimeProfile:
+    """Per-node latency breakdown from the device cost model.
+
+    Keyword arguments pass through to
+    :func:`repro.devices.estimate_latency` (``interpreted``,
+    ``kernel_quality``, ...).
+    """
+    events: list[tuple[str, str, float]] = []
+    estimate_latency(graph, schedule, device, events=events, **kwargs)
+    profile = RuntimeProfile(source=device.key)
+    cursor = 0.0
+    for name, op_type, us in events:
+        profile.timings.append(NodeTiming(
+            name=name, op_type=op_type, start_us=cursor, duration_us=us))
+        cursor += us
+    return profile

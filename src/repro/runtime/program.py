@@ -1,0 +1,80 @@
+"""Compiled programs: a graph plus schedule, state, and bookkeeping.
+
+A :class:`Program` is what the compiler hands the runtime: the transformed
+graph, a concrete node schedule, mutable state (parameters and optimizer
+buffers, copied once from the graph initializers), and the reference counts
+the executor uses to free buffers eagerly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..ir import Graph
+from ..ir.node import Node
+from ..ir.ops import get_schema
+
+
+@dataclass
+class Program:
+    """An executable training or inference step."""
+
+    graph: Graph
+    schedule: list[Node]
+    state: dict[str, np.ndarray]
+    outputs: list[str]
+    #: value name -> number of schedule consumers (for eager freeing)
+    consumer_counts: dict[str, int] = field(default_factory=dict)
+    #: free-form compiler report (passes applied, savings measured, ...)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_graph(cls, graph: Graph, schedule: list[Node] | None = None,
+                   copy_state: bool = True) -> "Program":
+        if schedule is None:
+            schedule = graph.topological_order()
+        counts: dict[str, int] = {}
+        for node in schedule:
+            for inp in node.inputs:
+                counts[inp] = counts.get(inp, 0) + 1
+        state = {
+            name: (array.copy() if copy_state else array)
+            for name, array in graph.initializers.items()
+        }
+        return cls(
+            graph=graph,
+            schedule=list(schedule),
+            state=state,
+            outputs=list(graph.outputs),
+            consumer_counts=counts,
+        )
+
+    def validate_schedule(self) -> None:
+        """Check the schedule is a permutation of the graph in topo order."""
+        if len(self.schedule) != len(self.graph.nodes):
+            raise ExecutionError(
+                f"schedule has {len(self.schedule)} nodes, graph has "
+                f"{len(self.graph.nodes)}"
+            )
+        available = set(self.graph.inputs) | set(self.graph.initializers)
+        for node in self.schedule:
+            for inp in node.inputs:
+                if inp not in available:
+                    raise ExecutionError(
+                        f"schedule uses {inp!r} before it is produced"
+                    )
+            available.update(node.outputs)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.schedule)
+
+    def state_bytes(self) -> int:
+        return sum(a.nbytes for a in self.state.values())
+
+    def inplace_nodes(self) -> list[Node]:
+        return [n for n in self.schedule if get_schema(n.op_type).inplace]

@@ -1,0 +1,35 @@
+"""Sparse backpropagation: schemes, pruning, sensitivity, and search."""
+
+from .cost_model import (OPTIMIZER_STATE_SLOTS, SchemeCost,
+                         scheme_backward_flops, scheme_memory_cost)
+from .lora import (LoRAConfig, inject_lora, lora_scheme, merge_lora)
+from .pruning import PruneReport, backward_op_count, prune_training_graph
+from .scheme import (ResolvedScheme, UpdateScheme, bias_only, by_predicate,
+                     full_update, last_blocks)
+from .search import SearchResult, SearchSpace, evolutionary_search
+from .sensitivity import SensitivityResult, analyze_sensitivity
+
+__all__ = [
+    "LoRAConfig",
+    "OPTIMIZER_STATE_SLOTS",
+    "PruneReport",
+    "ResolvedScheme",
+    "SchemeCost",
+    "SearchResult",
+    "SearchSpace",
+    "SensitivityResult",
+    "UpdateScheme",
+    "analyze_sensitivity",
+    "backward_op_count",
+    "bias_only",
+    "by_predicate",
+    "evolutionary_search",
+    "full_update",
+    "inject_lora",
+    "last_blocks",
+    "lora_scheme",
+    "merge_lora",
+    "prune_training_graph",
+    "scheme_backward_flops",
+    "scheme_memory_cost",
+]

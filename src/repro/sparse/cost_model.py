@@ -1,0 +1,109 @@
+"""Analytical training-cost model for scheme search (paper Eq. 1 constraint).
+
+The evolutionary search evaluates thousands of candidate schemes; compiling
+each one would be too slow, so this module estimates the scheme-dependent
+memory terms directly from the forward graph:
+
+* saved activations: each updated weight requires its consumer's input
+  activation (scaled by the channel ratio) to survive until backward,
+* gradient buffers and optimizer state for every updated tensor.
+
+The estimate intentionally tracks *scheme-dependent* memory only; tests
+check it is monotone and consistent with the exact profiler's ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Graph
+from .scheme import ResolvedScheme, UpdateScheme
+
+#: extra state slots per parameter for each optimizer family
+OPTIMIZER_STATE_SLOTS = {"sgd": 0.0, "momentum": 1.0, "lion": 1.0, "adam": 2.0}
+
+
+@dataclass
+class SchemeCost:
+    """Scheme-dependent memory components, in bytes."""
+
+    saved_activation_bytes: int
+    gradient_bytes: int
+    optimizer_state_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return (self.saved_activation_bytes + self.gradient_bytes
+                + self.optimizer_state_bytes)
+
+
+def scheme_memory_cost(graph: Graph, scheme: UpdateScheme | ResolvedScheme,
+                       optimizer: str = "sgd") -> SchemeCost:
+    """Estimate the scheme-dependent training memory on ``graph`` (forward).
+
+    Args:
+        graph: the *forward* graph (pre-autodiff).
+        scheme: the candidate update scheme.
+        optimizer: one of ``sgd``, ``momentum``, ``lion``, ``adam``.
+    """
+    resolved = scheme.resolve(graph) if isinstance(scheme, UpdateScheme) \
+        else scheme
+    slots = OPTIMIZER_STATE_SLOTS[optimizer]
+    consumers = graph.consumer_map()
+
+    saved = 0
+    grads = 0
+    state = 0
+    for param, ratio in resolved.updates.items():
+        spec = graph.spec(param)
+        is_weight = len(spec.shape) >= 2
+        grad_elems = spec.num_elements * (ratio if is_weight else 1.0)
+        grad_bytes = int(grad_elems) * spec.dtype.itemsize
+        grads += grad_bytes
+        state += int(slots * grad_bytes)
+        if not is_weight:
+            continue  # bias/norm gradients need no saved activation
+        for node in consumers.get(param, ()):
+            if node.op_type not in ("matmul", "conv2d"):
+                continue
+            act = graph.spec(node.inputs[0])
+            saved += int(act.nbytes * ratio)
+    return SchemeCost(
+        saved_activation_bytes=saved,
+        gradient_bytes=grads,
+        optimizer_state_bytes=state,
+    )
+
+
+def scheme_backward_flops(graph: Graph,
+                          scheme: UpdateScheme | ResolvedScheme) -> int:
+    """Estimate backward-pass FLOPs under ``scheme``.
+
+    dW costs ≈ forward FLOPs of the consumer op (scaled by ratio); dX chains
+    cost ≈ forward FLOPs of every op from the earliest updated tensor to the
+    loss. Used by the search's optional latency constraint.
+    """
+    from ..ir.ops import op_flops
+
+    resolved = scheme.resolve(graph) if isinstance(scheme, UpdateScheme) \
+        else scheme
+    updated = set(resolved.updates)
+    order = graph.topological_order()
+
+    # Values that (transitively) depend on an updated parameter need dX.
+    tainted: set[str] = set(updated)
+    dw_flops = 0
+    dx_flops = 0
+    for node in order:
+        in_specs = [graph.spec(i) for i in node.inputs]
+        out_specs = [graph.spec(o) for o in node.outputs]
+        fwd = op_flops(node.op_type, in_specs, out_specs, node.attrs)
+        touched = any(i in tainted for i in node.inputs)
+        if touched:
+            tainted.update(node.outputs)
+            dx_flops += fwd
+        for inp in node.inputs:
+            if inp in updated and node.op_type in ("matmul", "conv2d"):
+                ratio = resolved.updates.get(inp, 1.0)
+                dw_flops += int(fwd * ratio)
+    return dw_flops + dx_flops

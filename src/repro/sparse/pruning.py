@@ -1,0 +1,103 @@
+"""Backward-graph pruning: turn a scheme into measured savings.
+
+Two equivalent routes exist, mirroring the paper's narrative:
+
+1. :func:`repro.runtime.compiler.compile_training` passes the scheme to
+   autodiff so the pruned backward is *constructed* directly (the fast
+   path used everywhere).
+2. :func:`prune_training_graph` takes an already-built **full** training
+   graph and removes the optimizer applications outside the scheme, then
+   dead-code-eliminates everything that fed only them — exactly the
+   "graph pruning + DCE" mechanism in paper §3.1. Tests assert both routes
+   produce identical surviving gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SchemeError
+from ..ir import Graph
+from ..ir.ops import get_schema
+from .scheme import ResolvedScheme, UpdateScheme
+
+
+@dataclass
+class PruneReport:
+    """What pruning removed."""
+
+    nodes_before: int
+    nodes_after: int
+    applies_removed: int
+
+    @property
+    def nodes_removed(self) -> int:
+        return self.nodes_before - self.nodes_after
+
+
+def prune_training_graph(graph: Graph,
+                         scheme: UpdateScheme | ResolvedScheme) -> PruneReport:
+    """Prune a full training graph down to ``scheme`` in place.
+
+    The graph must contain one ``apply_*`` node per trainable parameter
+    (i.e. a full-update training graph). Channel-sparse ratios cannot be
+    realised by pruning alone and are rejected here — use the compiler
+    path for those.
+    """
+    resolved = scheme.resolve(graph) if isinstance(scheme, UpdateScheme) \
+        else scheme
+    if resolved.slice_k:
+        raise SchemeError(
+            "prune_training_graph cannot realise channel-sparse ratios; "
+            "pass the scheme to compile_training instead"
+        )
+    keep = set(resolved.updates)
+    before = len(graph.nodes)
+    removed_applies = 0
+    dropped_outputs: set[str] = set()
+    survivors = []
+    for node in graph.nodes:
+        if get_schema(node.op_type).inplace and node.inputs[0] not in keep:
+            removed_applies += 1
+            dropped_outputs.update(node.outputs)
+            continue
+        survivors.append(node)
+    graph.nodes = survivors
+    graph.outputs = [o for o in graph.outputs if o not in dropped_outputs]
+    graph.dead_code_elimination()
+    return PruneReport(
+        nodes_before=before,
+        nodes_after=len(graph.nodes),
+        applies_removed=removed_applies,
+    )
+
+
+def backward_op_count(graph: Graph) -> int:
+    """Number of backward/optimizer nodes in a training graph.
+
+    Diagnostic for the paper's "backpropagation stops here" figure: forward
+    nodes are those the model outputs depend on; everything else is the
+    backward slice, which shrinks as the scheme freezes deeper layers.
+    """
+    model_outputs = [
+        o for o in graph.outputs
+        if not any(o in node.outputs for node in graph.nodes
+                   if get_schema(node.op_type).inplace)
+    ]
+    producers = graph.producer_map()
+    # Forward slice: ancestors of the non-loss model outputs, approximated
+    # by the ancestry of every graph input's consumers up to the outputs.
+    forward: set[str] = set()
+    stack = [o for o in model_outputs if o in producers]
+    seen: set[str] = set()
+    while stack:
+        value = stack.pop()
+        if value in seen:
+            continue
+        seen.add(value)
+        node = producers.get(value)
+        if node is None:
+            continue
+        forward.add(node.name)
+        stack.extend(node.inputs)
+    return len(graph.nodes) - len(forward)

@@ -1,0 +1,184 @@
+"""Sparse-update schemes: which tensors train, and how much of each.
+
+A scheme maps parameter names to an update ratio:
+
+* ``1.0`` — full update of the tensor,
+* ``0 < r < 1`` — sub-layer (channel-sparse) update: only the first
+  ``k = round(r * in_channels)`` input channels of the weight are updated,
+  which also means only that slice of the input activation must be saved
+  for backward (paper §2.6, Figure 3),
+* absent — frozen.
+
+Bias/norm tensors only support ratio 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchemeError
+from ..ir import Graph
+
+
+@dataclass
+class UpdateScheme:
+    """User-facing scheme: parameter name -> update ratio."""
+
+    name: str
+    updates: dict[str, float] = field(default_factory=dict)
+
+    def resolve(self, graph: Graph) -> "ResolvedScheme":
+        """Validate against ``graph`` and compute channel-slice geometry."""
+        slice_k: dict[str, int] = {}
+        slice_axis: dict[str, int] = {}
+        for param, ratio in self.updates.items():
+            if param not in graph.initializers:
+                raise SchemeError(
+                    f"scheme {self.name!r} references unknown parameter "
+                    f"{param!r}"
+                )
+            if param not in graph.trainable:
+                raise SchemeError(
+                    f"scheme {self.name!r} updates non-trainable tensor "
+                    f"{param!r}"
+                )
+            if not (0.0 < ratio <= 1.0):
+                raise SchemeError(
+                    f"scheme {self.name!r}: ratio for {param!r} must be in "
+                    f"(0, 1], got {ratio}"
+                )
+            if ratio >= 1.0:
+                continue
+            shape = graph.spec(param).shape
+            if len(shape) == 2:       # linear weight [in, out]
+                axis, channels = 0, shape[0]
+            elif len(shape) == 4:     # conv weight [out, in, kh, kw]
+                axis, channels = 1, shape[1]
+            else:
+                raise SchemeError(
+                    f"channel-sparse ratio on {param!r} requires a 2-D or "
+                    f"4-D weight, got shape {shape}"
+                )
+            k = max(1, int(round(ratio * channels)))
+            if k >= channels:
+                continue  # rounds up to a full update
+            slice_k[param] = k
+            slice_axis[param] = axis
+        return ResolvedScheme(
+            name=self.name,
+            updates=dict(self.updates),
+            slice_k=slice_k,
+            slice_axis=slice_axis,
+        )
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+
+@dataclass
+class ResolvedScheme:
+    """A scheme validated against a concrete graph."""
+
+    name: str
+    updates: dict[str, float]
+    slice_k: dict[str, int]
+    slice_axis: dict[str, int]
+
+    @property
+    def params(self) -> list[str]:
+        return list(self.updates)
+
+
+# ---------------------------------------------------------------------------
+# Scheme constructors
+# ---------------------------------------------------------------------------
+
+def full_update(graph: Graph, name: str = "full") -> UpdateScheme:
+    """Conventional full backpropagation: every trainable tensor updates."""
+    return UpdateScheme(name, {p: 1.0 for p in sorted(graph.trainable)})
+
+
+def bias_only(graph: Graph, include_classifier: bool = True,
+              name: str = "bias_only") -> UpdateScheme:
+    """Update biases (and optionally the classifier head) only.
+
+    Bias-only updates need no saved activations at all (paper §2.6), which
+    is the strongest memory reduction short of freezing everything.
+    """
+    meta = graph.metadata.get("params", {})
+    updates: dict[str, float] = {}
+    classifier = _classifier_params(graph) if include_classifier else set()
+    for param in sorted(graph.trainable):
+        role = meta.get(param, {}).get("role", "weight")
+        if role in ("bias", "norm_scale", "norm_shift") or param in classifier:
+            updates[param] = 1.0
+    if not updates:
+        raise SchemeError("model has no bias/norm tensors for bias_only")
+    return UpdateScheme(name, updates)
+
+
+def by_predicate(graph: Graph, predicate, name: str = "custom",
+                 ratios: dict[str, float] | None = None) -> UpdateScheme:
+    """Build a scheme from ``predicate(param_name, param_meta) -> bool``.
+
+    ``ratios`` optionally overrides the ratio for specific parameters.
+    """
+    meta = graph.metadata.get("params", {})
+    ratios = ratios or {}
+    updates = {
+        param: float(ratios.get(param, 1.0))
+        for param in sorted(graph.trainable)
+        if predicate(param, meta.get(param, {}))
+    }
+    if not updates:
+        raise SchemeError(f"scheme {name!r} selected no parameters")
+    return UpdateScheme(name, updates)
+
+
+def last_blocks(graph: Graph, k: int, total: int | None = None,
+                weights: bool = True, biases: bool = True,
+                weight_pred=None, name: str | None = None,
+                ratios: dict[str, float] | None = None) -> UpdateScheme:
+    """Scheme updating the last ``k`` blocks (by ``block`` metadata tag).
+
+    ``weight_pred(meta) -> bool`` further narrows which weights inside the
+    selected blocks update (e.g. only the first pointwise conv).
+    """
+    meta = graph.metadata.get("params", {})
+    blocks = sorted({
+        m["block"] for m in meta.values() if "block" in m
+    })
+    if not blocks:
+        raise SchemeError("graph has no 'block' metadata tags")
+    if total is None:
+        total = len(blocks)
+    selected = set(blocks[-k:]) if k > 0 else set()
+
+    def predicate(param: str, m: dict) -> bool:
+        if m.get("block") not in selected:
+            return False
+        role = m.get("role", "weight")
+        if role in ("bias", "norm_scale", "norm_shift"):
+            return biases
+        if not weights:
+            return False
+        if weight_pred is not None and not weight_pred(m):
+            return False
+        return True
+
+    scheme = by_predicate(
+        graph, predicate,
+        name=name or f"last{k}of{total}", ratios=ratios)
+    # Classifier head always trains (standard transfer-learning practice).
+    for param in _classifier_params(graph):
+        scheme.updates.setdefault(param, 1.0)
+    return scheme
+
+
+def _classifier_params(graph: Graph) -> set[str]:
+    """Parameters tagged as the classifier/readout head."""
+    meta = graph.metadata.get("params", {})
+    return {
+        p for p, m in meta.items()
+        if m.get("role_in_block") == "classifier" or m.get("classifier")
+    }

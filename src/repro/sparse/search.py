@@ -1,0 +1,155 @@
+"""Evolutionary search for the sparse-update scheme (paper Eq. 1).
+
+Maximise the summed accuracy contribution of the selected tensors subject
+to a memory constraint::
+
+    max  sum(dacc_bias[k] for k in biases) + sum(dacc_W[i, r_i])
+    s.t. Memory(selection) <= budget
+
+Contributions are assumed additive (the paper's simplification), so a
+genome is just one choice per candidate tensor: a ratio from its option
+list for weights, on/off for biases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import SchemeError
+from ..ir import Graph
+from .cost_model import scheme_memory_cost
+from .scheme import UpdateScheme
+from .sensitivity import SensitivityResult
+
+
+@dataclass
+class SearchSpace:
+    """Candidate tensors and their allowed update ratios."""
+
+    #: weight name -> ratios to choose from (0 means frozen)
+    weight_options: dict[str, tuple[float, ...]]
+    #: bias/norm names that may toggle on
+    bias_candidates: tuple[str, ...] = ()
+    #: tensors always updated (e.g. the classifier head)
+    always: tuple[str, ...] = ()
+
+
+@dataclass
+class SearchResult:
+    scheme: UpdateScheme
+    fitness: float
+    memory_bytes: int
+    history: list[float] = field(default_factory=list)
+
+
+def evolutionary_search(
+    graph: Graph,
+    space: SearchSpace,
+    sensitivity: SensitivityResult,
+    memory_budget_bytes: int,
+    optimizer: str = "sgd",
+    population: int = 64,
+    generations: int = 40,
+    mutation_rate: float = 0.15,
+    seed: int = 0,
+    bias_contribution: Callable[[str], float] | None = None,
+) -> SearchResult:
+    """Run the evolutionary search and return the best feasible scheme.
+
+    Infeasible genomes are penalised proportionally to their memory excess
+    rather than discarded, which keeps the population exploring near the
+    constraint boundary.
+    """
+    rng = np.random.default_rng(seed)
+    weights = list(space.weight_options)
+    biases = list(space.bias_candidates)
+    if not weights and not biases:
+        raise SchemeError("empty search space")
+
+    def bias_gain(name: str) -> float:
+        if bias_contribution is not None:
+            return bias_contribution(name)
+        return sensitivity.contribution(name, 1.0)
+
+    def random_genome() -> tuple:
+        w = tuple(
+            space.weight_options[name][
+                rng.integers(len(space.weight_options[name]))]
+            for name in weights
+        )
+        b = tuple(bool(rng.integers(2)) for _ in biases)
+        return w, b
+
+    def to_scheme(genome: tuple, name: str = "evolved") -> UpdateScheme:
+        w, b = genome
+        updates = {p: 1.0 for p in space.always}
+        for param, ratio in zip(weights, w):
+            if ratio > 0:
+                updates[param] = float(ratio)
+        for param, on in zip(biases, b):
+            if on:
+                updates[param] = 1.0
+        return UpdateScheme(name, updates)
+
+    def fitness(genome: tuple) -> tuple[float, int]:
+        w, b = genome
+        gain = sum(
+            sensitivity.contribution(param, ratio)
+            for param, ratio in zip(weights, w) if ratio > 0
+        )
+        gain += sum(
+            bias_gain(param) for param, on in zip(biases, b) if on
+        )
+        cost = scheme_memory_cost(graph, to_scheme(genome),
+                                  optimizer=optimizer).total_bytes
+        if cost > memory_budget_bytes:
+            excess = (cost - memory_budget_bytes) / max(memory_budget_bytes, 1)
+            gain -= 10.0 * excess  # heavy but smooth penalty
+        return gain, cost
+
+    def mutate(genome: tuple) -> tuple:
+        w, b = list(genome[0]), list(genome[1])
+        for i, name in enumerate(weights):
+            if rng.random() < mutation_rate:
+                options = space.weight_options[name]
+                w[i] = options[rng.integers(len(options))]
+        for i in range(len(b)):
+            if rng.random() < mutation_rate:
+                b[i] = not b[i]
+        return tuple(w), tuple(b)
+
+    def crossover(a: tuple, b: tuple) -> tuple:
+        wa, ba = a
+        wb, bb = b
+        w = tuple(wa[i] if rng.random() < 0.5 else wb[i]
+                  for i in range(len(wa)))
+        bc = tuple(ba[i] if rng.random() < 0.5 else bb[i]
+                   for i in range(len(ba)))
+        return w, bc
+
+    pop = [random_genome() for _ in range(population)]
+    scored = [(fitness(g), g) for g in pop]
+    history: list[float] = []
+    for _ in range(generations):
+        scored.sort(key=lambda item: -item[0][0])
+        history.append(scored[0][0][0])
+        elite = [g for _, g in scored[:max(2, population // 8)]]
+        children = list(elite)
+        while len(children) < population:
+            a = elite[rng.integers(len(elite))]
+            b = scored[rng.integers(len(scored))][1]
+            children.append(mutate(crossover(a, b)))
+        pop = children
+        scored = [(fitness(g), g) for g in pop]
+
+    scored.sort(key=lambda item: -item[0][0])
+    (best_fitness, best_cost), best = scored[0]
+    return SearchResult(
+        scheme=to_scheme(best),
+        fitness=best_fitness,
+        memory_bytes=best_cost,
+        history=history,
+    )

@@ -1,0 +1,88 @@
+"""Per-tensor contribution analysis (paper §3.1).
+
+Following the paper: fine-tune only one tensor (plus the classifier) until
+(near-)convergence, record the accuracy delta versus a frozen baseline, and
+repeat for every candidate tensor. The resulting "contribution" table feeds
+the evolutionary scheme search, under the paper's assumption that
+contributions are additive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..ir import Graph
+from .scheme import UpdateScheme
+
+#: evaluate(scheme) -> downstream accuracy after a short fine-tune
+EvaluateFn = Callable[[UpdateScheme], float]
+
+
+@dataclass
+class SensitivityResult:
+    """Accuracy contribution per candidate, relative to the frozen baseline."""
+
+    baseline_accuracy: float
+    #: (param name, ratio) -> accuracy delta
+    contributions: dict[tuple[str, float], float] = field(default_factory=dict)
+
+    def contribution(self, param: str, ratio: float = 1.0) -> float:
+        key = (param, ratio)
+        if key in self.contributions:
+            return self.contributions[key]
+        # Interpolate between measured ratios if an exact one is missing.
+        measured = sorted(
+            (r, delta) for (p, r), delta in self.contributions.items()
+            if p == param
+        )
+        if not measured:
+            return 0.0
+        lower = [(r, d) for r, d in measured if r <= ratio]
+        upper = [(r, d) for r, d in measured if r >= ratio]
+        if lower and upper:
+            (r0, d0), (r1, d1) = lower[-1], upper[0]
+            if r1 == r0:
+                return d0
+            t = (ratio - r0) / (r1 - r0)
+            return d0 + t * (d1 - d0)
+        return measured[-1][1] if lower else measured[0][1]
+
+    def top(self, k: int = 10) -> list[tuple[str, float, float]]:
+        ranked = sorted(self.contributions.items(), key=lambda kv: -kv[1])
+        return [(p, r, d) for (p, r), d in ranked[:k]]
+
+
+def analyze_sensitivity(
+    graph: Graph,
+    candidates: list[str],
+    evaluate: EvaluateFn,
+    ratios: tuple[float, ...] = (1.0,),
+    baseline_scheme: UpdateScheme | None = None,
+) -> SensitivityResult:
+    """Measure each candidate tensor's accuracy contribution.
+
+    Args:
+        graph: forward graph (used only for validation inside ``resolve``).
+        candidates: parameter names to probe (typically conv/linear weights).
+        evaluate: runs a short fine-tune with the given scheme and returns
+            downstream accuracy. The caller owns data/model/seeds.
+        ratios: channel ratios to probe per weight (paper probes the full
+            tensor and fractional updates for MCU-scale models).
+        baseline_scheme: what "frozen" means — defaults to classifier-only
+            (an empty scheme is usually degenerate for transfer learning).
+    """
+    if baseline_scheme is None:
+        baseline_scheme = UpdateScheme("baseline", {})
+    baseline = evaluate(baseline_scheme)
+    result = SensitivityResult(baseline_accuracy=baseline)
+    for param in candidates:
+        for ratio in ratios:
+            probe = UpdateScheme(
+                f"probe:{param}@{ratio}",
+                {**baseline_scheme.updates, param: ratio},
+            )
+            probe.resolve(graph)  # validate before paying for training
+            acc = evaluate(probe)
+            result.contributions[(param, ratio)] = acc - baseline
+    return result

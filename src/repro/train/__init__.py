@@ -1,0 +1,27 @@
+"""Training: losses, in-graph optimizers, the trainer loop, metrics."""
+
+from .loss import add_loss, mean_squared_error, softmax_cross_entropy
+from .metrics import RunningMean, accuracy, perplexity
+from .optim import SGD, Adam, Lion, OptimizerSpec, attach_optimizer
+from .session import FineTuneResult, FineTuningSession
+from .trainer import TrainHistory, Trainer, load_checkpoint, snapshot_weights
+
+__all__ = [
+    "Adam",
+    "FineTuneResult",
+    "FineTuningSession",
+    "Lion",
+    "OptimizerSpec",
+    "RunningMean",
+    "SGD",
+    "TrainHistory",
+    "Trainer",
+    "accuracy",
+    "add_loss",
+    "attach_optimizer",
+    "load_checkpoint",
+    "snapshot_weights",
+    "mean_squared_error",
+    "perplexity",
+    "softmax_cross_entropy",
+]

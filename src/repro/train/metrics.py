@@ -1,0 +1,32 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy; accepts [N, C] or [N, T, V] logits."""
+    pred = logits.argmax(axis=-1)
+    return float((pred == labels).mean())
+
+
+def perplexity(mean_nll: float) -> float:
+    """Perplexity from mean negative log-likelihood."""
+    return float(np.exp(min(mean_nll, 30.0)))
+
+
+class RunningMean:
+    """Streaming mean for loss curves."""
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def update(self, value: float, weight: int = 1) -> None:
+        self.total += float(value) * weight
+        self.count += weight
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")

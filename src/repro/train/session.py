@@ -1,0 +1,107 @@
+"""High-level fine-tuning session API.
+
+Wraps the pretrain -> snapshot -> (re)compile-with-scheme -> fine-tune ->
+evaluate workflow that every transfer-learning experiment repeats, with the
+checkpoint-before-compile ordering handled correctly (constant folding
+bakes frozen weights; see :func:`repro.train.trainer.load_checkpoint`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ir import Graph
+from ..sparse import UpdateScheme, full_update
+from .optim import Adam, OptimizerSpec
+from .trainer import Trainer, load_checkpoint, snapshot_weights
+
+
+@dataclass
+class FineTuneResult:
+    scheme: str
+    final_loss: float
+    accuracy: float | None
+    num_nodes: int
+    peak_transient_bytes: int
+    losses: list[float] = field(default_factory=list, repr=False)
+
+
+class FineTuningSession:
+    """Owns a forward graph and a (pre-trained) weight checkpoint."""
+
+    def __init__(self, forward: Graph, optimizer: OptimizerSpec | None = None,
+                 input_name: str | None = None) -> None:
+        self.forward = forward
+        self.optimizer = optimizer or Adam(2e-3)
+        self.input_name = input_name
+        self.checkpoint: dict[str, np.ndarray] | None = None
+
+    # -- pretraining ---------------------------------------------------------
+
+    def pretrain(self, batches, optimizer: OptimizerSpec | None = None,
+                 max_steps: int | None = None) -> float:
+        """Full-BP training from the current weights; snapshots the result."""
+        from ..runtime.compiler import compile_training
+
+        if self.checkpoint is not None:
+            load_checkpoint(self.forward, self.checkpoint)
+        program = compile_training(
+            self.forward, optimizer=optimizer or self.optimizer,
+            scheme=full_update(self.forward))
+        trainer = Trainer(program, self.forward, input_name=self.input_name)
+        mean_loss = trainer.fit(batches, max_steps=max_steps)
+        self.checkpoint = snapshot_weights(program, self.forward)
+        return mean_loss
+
+    def load(self, checkpoint: dict[str, np.ndarray]) -> None:
+        self.checkpoint = {k: np.array(v, copy=True)
+                           for k, v in checkpoint.items()}
+
+    # -- fine-tuning -----------------------------------------------------------
+
+    def finetune(self, scheme: UpdateScheme, batches,
+                 eval_data: tuple[np.ndarray, np.ndarray] | None = None,
+                 optimizer: OptimizerSpec | None = None,
+                 max_steps: int | None = None) -> FineTuneResult:
+        """Fine-tune from the checkpoint under ``scheme``.
+
+        The checkpoint (if any) is installed into the forward graph before
+        compilation so frozen-weight folding sees the right values; the
+        session's stored checkpoint itself is never mutated.
+        """
+        from ..runtime.compiler import compile_training
+
+        if self.checkpoint is not None:
+            load_checkpoint(self.forward, self.checkpoint)
+        program = compile_training(
+            self.forward, optimizer=optimizer or self.optimizer,
+            scheme=scheme)
+        trainer = Trainer(program, self.forward, input_name=self.input_name)
+        trainer.fit(batches, max_steps=max_steps)
+        accuracy = None
+        if eval_data is not None:
+            accuracy = trainer.evaluate(*eval_data)
+        report = program.meta["report"]
+        return FineTuneResult(
+            scheme=scheme.name,
+            final_loss=trainer.history.final_loss,
+            accuracy=accuracy,
+            num_nodes=report.num_nodes,
+            peak_transient_bytes=report.peak_transient_bytes,
+            losses=list(trainer.history.losses),
+        )
+
+    def compare(self, schemes: dict[str, UpdateScheme], batch_factory,
+                eval_data: tuple[np.ndarray, np.ndarray] | None = None,
+                ) -> dict[str, FineTuneResult]:
+        """Fine-tune once per scheme from the same checkpoint.
+
+        ``batch_factory()`` must return a fresh batch iterator per call so
+        every scheme sees identical data.
+        """
+        return {
+            name: self.finetune(scheme, batch_factory(), eval_data=eval_data)
+            for name, scheme in schemes.items()
+        }

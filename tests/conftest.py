@@ -1,0 +1,103 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autodiff import build_backward
+from repro.ir import DType, GraphBuilder
+from repro.runtime import interpret
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def make_mlp_graph(batch=4, din=5, dhidden=6, dout=3, seed=0,
+                   activation="relu"):
+    """A two-layer MLP forward graph used across many tests."""
+    rng = np.random.default_rng(seed)
+    b = GraphBuilder("mlp")
+    x = b.input("x", (batch, din))
+    w1 = b.initializer("w1", rng.standard_normal((din, dhidden))
+                       .astype(np.float32) * 0.5, trainable=True)
+    b1 = b.initializer("b1", np.zeros(dhidden, np.float32), trainable=True)
+    w2 = b.initializer("w2", rng.standard_normal((dhidden, dout))
+                       .astype(np.float32) * 0.5, trainable=True)
+    b2 = b.initializer("b2", np.zeros(dout, np.float32), trainable=True)
+    h = b.bias_add(b.matmul(x, w1), b1, axis=1)
+    h = b.emit(activation, [h])
+    logits = b.bias_add(b.matmul(h, w2), b2, axis=1)
+    b.mark_output(logits)
+    return b, {"x": x, "w1": w1, "b1": b1, "w2": w2, "b2": b2,
+               "logits": logits}
+
+
+def numeric_grad(f, x, eps=1e-3):
+    """Central finite differences of scalar-valued f at array x."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    for _ in it:
+        i = it.multi_index
+        hi, lo = x.copy(), x.copy()
+        hi[i] += eps
+        lo[i] -= eps
+        grad[i] = (f(hi.astype(np.float32)) - f(lo.astype(np.float32))) \
+            / (2 * eps)
+    return grad
+
+
+def gradcheck_single_op(op_type, in_shapes, attrs=None, seed=0, tol=2e-2,
+                        make_inputs=None, loss="sumsq"):
+    """Check the registered gradient rule for one op against finite diffs.
+
+    Builds loss = mean(y*y) over the op's output, differentiates w.r.t.
+    every float input, and compares with numeric gradients.
+    """
+    rng = np.random.default_rng(seed)
+    attrs = attrs or {}
+    if make_inputs is not None:
+        arrays = make_inputs(rng)
+    else:
+        arrays = [rng.standard_normal(s).astype(np.float32) * 0.8
+                  for s in in_shapes]
+
+    def build(values):
+        b = GraphBuilder("g")
+        names = []
+        for i, arr in enumerate(values):
+            if np.issubdtype(arr.dtype, np.integer):
+                names.append(b.initializer(f"i{i}", arr))
+            else:
+                names.append(b.initializer(f"i{i}", arr, trainable=True))
+        y = b.emit(op_type, names, attrs)
+        sq = b.mul(y, y)
+        loss_v = b.reduce_mean(sq)
+        b.mark_output(loss_v)
+        return b, names, loss_v
+
+    b, names, loss_v = build(arrays)
+    float_inputs = [n for n, a in zip(names, arrays)
+                    if not np.issubdtype(a.dtype, np.integer)]
+    result = build_backward(b.graph, loss_v, float_inputs)
+    out = interpret(b.graph)
+    for idx, (name, arr) in enumerate(zip(names, arrays)):
+        if name not in float_inputs:
+            continue
+
+        def f(candidate, idx=idx):
+            trial = [a.copy() for a in arrays]
+            trial[idx] = candidate
+            b2, _, loss2 = build(trial)
+            return float(interpret(b2.graph)[loss2])
+
+        got = out[result.grads[name]]
+        want = numeric_grad(f, arr)
+        err = np.abs(got - want).max()
+        scale = max(np.abs(want).max(), 1.0)
+        assert err / scale < tol, (
+            f"{op_type} grad for input {idx}: err {err:.2e} scale {scale:.2e}"
+        )

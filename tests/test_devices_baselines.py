@@ -1,0 +1,243 @@
+"""Device cost model and baseline framework simulations."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines import (FRAMEWORKS, TABLE1_COLUMNS, feature_row,
+                             get_framework, simulate_inference_projection,
+                             simulate_training)
+from repro.devices import (DEVICES, estimate_latency, get_device, op_class)
+from repro.errors import DeviceError
+from repro.models import build_model, paper_scheme
+from repro.runtime.compiler import CompileOptions, compile_training
+from repro.sparse import full_update
+from repro.train import SGD
+
+from conftest import make_mlp_graph
+
+
+@pytest.fixture(scope="module")
+def mcunet_graph():
+    return build_model("mcunet_micro", batch=2)
+
+
+def _program(graph, **opts):
+    return compile_training(graph, optimizer=SGD(0.01),
+                            options=CompileOptions(materialize_state=False,
+                                                   **opts))
+
+
+class TestDeviceCatalog:
+    def test_all_paper_platforms_present(self):
+        for key in ("raspberry_pi_4", "jetson_nano", "jetson_orin",
+                    "apple_m1", "snapdragon_cpu", "snapdragon_dsp",
+                    "stm32f746"):
+            assert key in DEVICES
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(DeviceError):
+            get_device("cray")
+
+    def test_fp16_peak(self):
+        orin = get_device("jetson_orin")
+        assert orin.peak_for(2) > orin.peak_for(4)
+        pi = get_device("raspberry_pi_4")
+        assert pi.peak_for(2) == pi.peak_for(4)  # no fp16 units modelled
+
+    def test_mcu_ram_tiny(self):
+        assert get_device("stm32f746").ram_mb < 1
+
+    def test_op_class_depthwise(self):
+        assert op_class("conv2d", {"groups": 8}) == "depthwise"
+        assert op_class("conv2d", {"groups": 1}) == "gemm"
+        assert op_class("softmax", {}) == "normalize"
+
+
+class TestLatencyModel:
+    def test_interpreted_adds_dispatch(self, mcunet_graph):
+        program = _program(mcunet_graph)
+        device = get_device("raspberry_pi_4")
+        compiled = estimate_latency(program.graph, program.schedule, device)
+        eager = estimate_latency(program.graph, program.schedule, device,
+                                 interpreted=True, runtime_autodiff=True)
+        assert eager.total_us > compiled.total_us
+        assert eager.dispatch_us > 0 and eager.autodiff_us > 0
+
+    def test_kernel_quality_scales_compute(self, mcunet_graph):
+        program = _program(mcunet_graph)
+        device = get_device("raspberry_pi_4")
+        fast = estimate_latency(program.graph, program.schedule, device)
+        slow = estimate_latency(program.graph, program.schedule, device,
+                                kernel_quality=0.25)
+        assert slow.compute_us > fast.compute_us
+
+    def test_winograd_reduces_latency(self):
+        """Frozen 3x3 convs bound to Winograd run measurably faster."""
+        g = build_model("resnet_micro", batch=2)
+        scheme = paper_scheme(g)
+        device = get_device("raspberry_pi_4")
+        with_wino = compile_training(
+            g, optimizer=SGD(0.01), scheme=scheme,
+            options=CompileOptions(materialize_state=False))
+        without = compile_training(
+            g, optimizer=SGD(0.01), scheme=scheme,
+            options=CompileOptions(materialize_state=False, winograd=False))
+        t_with = estimate_latency(with_wino.graph, with_wino.schedule,
+                                  device).total_us
+        t_without = estimate_latency(without.graph, without.schedule,
+                                     device).total_us
+        assert t_with < t_without
+
+    def test_fusion_reduces_kernel_count(self, mcunet_graph):
+        device = get_device("raspberry_pi_4")
+        fused = _program(mcunet_graph)
+        unfused = _program(mcunet_graph, fusion=False)
+        r_fused = estimate_latency(fused.graph, fused.schedule, device)
+        r_unfused = estimate_latency(unfused.graph, unfused.schedule, device)
+        assert r_fused.num_kernels < r_unfused.num_kernels
+
+    def test_fp16_graph_faster_on_orin(self):
+        g = build_model("llama_micro", batch=1, seq_len=8)
+        program = _program(g)
+        orin = get_device("jetson_orin")
+        base = estimate_latency(program.graph, program.schedule, orin)
+        assert base.total_us > 0
+
+
+class TestFrameworkProfiles:
+    def test_table1_feature_matrix(self):
+        rows = {key: feature_row(p) for key, p in FRAMEWORKS.items()}
+        pe = rows["pockengine"]
+        assert all(pe[c].startswith("yes") for c in TABLE1_COLUMNS)
+        assert rows["pytorch"]["Support Sparse-BP"] == "no"
+        assert rows["pytorch"]["Compile-Time AutoDiff"] == "no"
+        assert rows["tflite_micro"]["Support Training"] == "no"
+        assert rows["mnn"]["Run without Host Language"] == "yes"
+
+    def test_unknown_framework(self):
+        with pytest.raises(DeviceError):
+            get_framework("caffe")
+
+    def test_transformer_penalty_applies_to_gemm(self):
+        pt = FRAMEWORKS["pytorch"]
+        cnn_q = pt.quality_on("gpu", "cnn")
+        tfm_q = pt.quality_on("gpu", "transformer")
+        assert tfm_q["gemm"] < cnn_q["gemm"]
+        assert tfm_q["default"] == cnn_q["default"]
+
+
+class TestSimulation:
+    def test_unavailable_framework_returns_none(self, mcunet_graph):
+        assert simulate_training(mcunet_graph, FRAMEWORKS["pytorch"],
+                                 get_device("snapdragon_dsp")) is None
+        assert simulate_training(mcunet_graph, FRAMEWORKS["mnn"],
+                                 get_device("raspberry_pi_4"),
+                                 model_family="transformer") is None
+
+    def test_pockengine_beats_interpreted_baselines(self, mcunet_graph):
+        device = get_device("raspberry_pi_4")
+        scheme = full_update(mcunet_graph)
+        pe = simulate_training(mcunet_graph, FRAMEWORKS["pockengine"],
+                               device, scheme=scheme)
+        for fw in ("pytorch", "tensorflow", "jax", "mnn"):
+            base = simulate_training(mcunet_graph, FRAMEWORKS[fw], device,
+                                     scheme=scheme)
+            assert pe.throughput_per_s > 2 * base.throughput_per_s, fw
+
+    def test_sparse_faster_and_smaller_than_full(self, mcunet_graph):
+        device = get_device("raspberry_pi_4")
+        pe = FRAMEWORKS["pockengine"]
+        full = simulate_training(mcunet_graph, pe, device,
+                                 scheme=full_update(mcunet_graph))
+        sparse = simulate_training(mcunet_graph, pe, device,
+                                   scheme=paper_scheme(mcunet_graph))
+        assert sparse.throughput_per_s > full.throughput_per_s
+        assert sparse.memory_mb < full.memory_mb
+
+    def test_masked_sparse_gains_nothing_for_baselines(self, mcunet_graph):
+        """Paper claim: existing frameworks cannot convert sparse-BP into
+        measured speedup — masked sparse runs the full backward."""
+        device = get_device("raspberry_pi_4")
+        pt = FRAMEWORKS["pytorch"]
+        full = simulate_training(mcunet_graph, pt, device,
+                                 scheme=full_update(mcunet_graph))
+        sparse = simulate_training(mcunet_graph, pt, device,
+                                   scheme=paper_scheme(mcunet_graph))
+        # Masked sparse still runs the full backward: the only savings are
+        # the skipped apply ops — nothing like PockEngine's pruned speedup.
+        assert sparse.latency_ms > 0.85 * full.latency_ms
+        pe = FRAMEWORKS["pockengine"]
+        pe_full = simulate_training(mcunet_graph, pe, device,
+                                    scheme=full_update(mcunet_graph))
+        pe_sparse = simulate_training(mcunet_graph, pe, device,
+                                      scheme=paper_scheme(mcunet_graph))
+        masked_speedup = full.latency_ms / sparse.latency_ms
+        pruned_speedup = pe_full.latency_ms / pe_sparse.latency_ms
+        assert pruned_speedup > masked_speedup + 0.15
+
+    def test_oom_detection_on_mcu(self):
+        g = build_model("mcunet_micro", batch=8)
+        result = simulate_training(g, FRAMEWORKS["pockengine"],
+                                   get_device("stm32f746"),
+                                   scheme=full_update(g))
+        assert result.memory_mb > 0
+
+    def test_inference_projection_for_tflite_micro(self, mcunet_graph):
+        result = simulate_inference_projection(
+            mcunet_graph, FRAMEWORKS["tflite_micro"],
+            get_device("stm32f746"))
+        assert result is not None and result.latency_ms > 0
+
+    def test_items_per_batch_override(self, mcunet_graph):
+        device = get_device("raspberry_pi_4")
+        r1 = simulate_training(mcunet_graph, FRAMEWORKS["pockengine"],
+                               device, items_per_batch=2)
+        r2 = simulate_training(mcunet_graph, FRAMEWORKS["pockengine"],
+                               device, items_per_batch=4)
+        assert r2.throughput_per_s == pytest.approx(
+            2 * r1.throughput_per_s, rel=1e-6)
+
+
+class TestViewOps:
+    def test_views_free_when_compiled(self):
+        from repro.devices import estimate_latency, get_device
+        from repro.ir import GraphBuilder
+
+        b = GraphBuilder("g")
+        x = b.input("x", (4, 8))
+        y = b.reshape(x, (8, 4))
+        z = b.slice(y, 0, 0, 4)
+        b.mark_output(b.emit("tanh", [z]))
+        device = get_device("raspberry_pi_4")
+        schedule = b.graph.topological_order()
+        report = estimate_latency(b.graph, schedule, device)
+        # Only tanh counts as a kernel; reshape/slice are pointer ops.
+        assert report.num_kernels == 1
+
+    def test_views_still_pay_host_dispatch_when_interpreted(self):
+        from repro.devices import estimate_latency, get_device
+        from repro.ir import GraphBuilder
+
+        b = GraphBuilder("g")
+        x = b.input("x", (4, 8))
+        y = b.reshape(x, (8, 4))
+        b.mark_output(b.emit("tanh", [y]))
+        device = get_device("raspberry_pi_4")
+        schedule = b.graph.topological_order()
+        compiled = estimate_latency(b.graph, schedule, device)
+        eager = estimate_latency(b.graph, schedule, device,
+                                 interpreted=True)
+        # Eager pays dispatch for BOTH nodes (PyTorch dispatches views).
+        assert eager.dispatch_us \
+            == pytest.approx(2 * device.host_dispatch_us)
+        assert eager.total_us > compiled.total_us
+
+    def test_int8_peak_used_for_int8_tensors(self):
+        from repro.devices import get_device
+
+        dsp = get_device("snapdragon_dsp")
+        assert dsp.peak_for(1) > dsp.peak_for(4)
+        nano = get_device("jetson_nano")  # no int8 unit: falls to fp16
+        assert nano.peak_for(1) == nano.peak_for(2)

@@ -1,0 +1,183 @@
+"""Frontend: module system, tracing, alternative graph-def importers."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import (Conv2d, Embedding, GlobalAvgPool, InputSpec,
+                            LayerNorm, Linear, Module, Parameter, RMSNorm,
+                            Sequential, TransformerBlock,
+                            export_graph_def, from_layer_config,
+                            import_graph_def, trace)
+from repro.frontend.init import lazy_init, lazy_dtype
+from repro.ir import DType, validate_graph
+from repro.runtime import interpret
+
+
+class TestModule:
+    def test_parameter_registration(self):
+        layer = Linear(4, 3)
+        names = {path for path, _, _ in layer.named_parameters()}
+        assert names == {"weight", "bias"}
+
+    def test_nested_paths(self):
+        model = Sequential(Linear(4, 4), Linear(4, 2, bias=False))
+        names = {path for path, _, _ in model.named_parameters()}
+        assert names == {"0.weight", "0.bias", "1.weight"}
+
+    def test_meta_merging_along_chain(self):
+        block = Sequential(Linear(2, 2))
+        block.meta["block"] = 7
+        block[0].meta["role_in_block"] = "first"
+        model = Sequential(block)
+        metas = {path: meta for path, _, meta in model.named_parameters()}
+        assert metas["0.0.weight"]["block"] == 7
+        assert metas["0.0.weight"]["role_in_block"] == "first"
+
+    def test_num_parameters(self):
+        assert Linear(4, 3).num_parameters() == 4 * 3 + 3
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_sequential_indexing(self):
+        model = Sequential(Linear(2, 2), Linear(2, 2))
+        assert isinstance(model[1], Linear)
+        assert len(model) == 2
+
+
+class TestTrace:
+    def test_param_names_are_paths(self):
+        model = Sequential(Linear(4, 3))
+        g = trace(model, [InputSpec("x", (2, 4))])
+        assert "0.weight" in g.initializers
+        assert "0.weight" in g.trainable
+
+    def test_param_metadata_recorded(self):
+        model = Sequential(Conv2d(3, 4, 3, padding=1), GlobalAvgPool(),
+                           Linear(4, 2))
+        model[0].meta["block"] = 0
+        g = trace(model, [InputSpec("x", (1, 3, 8, 8))])
+        meta = g.metadata["params"]
+        assert meta["0.weight"]["block"] == 0
+        assert meta["0.bias"]["role"] == "bias"
+
+    def test_weight_tying_registers_once(self):
+        class Tied(Module):
+            def __init__(self):
+                super().__init__()
+                self.emb = Embedding(11, 4)
+                self.head = Linear(4, 11, bias=False)
+                self.head.weight = self.emb.weight  # tie (shapes differ ok?)
+
+            def forward(self, ids):
+                h = self.emb(ids)
+                b = ids.b
+                flat = h.reshape((-1, 4))
+                out = flat @ type(h)(b, self.emb.weight.value_name) \
+                    .transpose((1, 0))
+                return out
+
+        g = trace(Tied(), [InputSpec("ids", (2, 3), DType.INT64)])
+        assert sum(1 for n in g.initializers if "weight" in n) == 1
+
+    def test_traced_graph_runs(self):
+        rng = np.random.default_rng(0)
+        model = Sequential(
+            Conv2d(3, 4, 3, padding=1, activation="relu", rng=rng),
+            GlobalAvgPool(),
+            Linear(4, 2, rng=rng),
+        )
+        g = trace(model, [InputSpec("x", (2, 3, 6, 6))])
+        validate_graph(g)
+        out = interpret(g, {"x": np.ones((2, 3, 6, 6), np.float32)})
+        assert list(out.values())[0].shape == (2, 2)
+
+    def test_transformer_block_traces_and_runs(self):
+        rng = np.random.default_rng(0)
+
+        class Tiny(Module):
+            def __init__(self):
+                super().__init__()
+                self.emb = Embedding(17, 8, rng=rng)
+                self.block = TransformerBlock(8, 2, 16, rng=rng)
+
+            def forward(self, ids):
+                return self.block(self.emb(ids)).mean(axes=(1,))
+
+        g = trace(Tiny(), [InputSpec("ids", (2, 5), DType.INT64)])
+        validate_graph(g)
+        out = interpret(g, {"ids": np.zeros((2, 5), np.int64)})
+        assert list(out.values())[0].shape == (2, 8)
+
+    def test_causal_block_masks_future(self):
+        rng = np.random.default_rng(0)
+
+        class CausalProbe(Module):
+            def __init__(self):
+                super().__init__()
+                self.emb = Embedding(7, 8, rng=rng)
+                self.block = TransformerBlock(8, 2, 16, causal=True,
+                                              pre_norm=True, norm="rmsnorm",
+                                              max_len=8, rng=rng)
+
+            def forward(self, ids):
+                return self.block(self.emb(ids))
+
+        g = trace(CausalProbe(), [InputSpec("ids", (1, 6), DType.INT64)])
+        base = np.array([[1, 2, 3, 4, 5, 6]], np.int64)
+        changed = base.copy()
+        changed[0, -1] = 0  # only the last token differs
+        out1 = list(interpret(g, {"ids": base}).values())[0]
+        out2 = list(interpret(g, {"ids": changed}).values())[0]
+        # Earlier positions must be unaffected by the future token.
+        np.testing.assert_allclose(out1[0, :5], out2[0, :5], atol=1e-5)
+        assert not np.allclose(out1[0, 5], out2[0, 5])
+
+
+class TestLazyInit:
+    def test_placeholders_cost_nothing(self):
+        with lazy_init():
+            layer = Linear(1024, 1024)
+        assert layer.weight.array.strides == (0, 0)
+        assert lazy_dtype() is None  # context exited
+
+    def test_lazy_dtype_fp16(self):
+        with lazy_init(dtype=np.float16):
+            layer = Linear(8, 8)
+        assert layer.weight.array.dtype == np.float16
+
+    def test_norm_scales_are_ones(self):
+        with lazy_init():
+            norm = LayerNorm(8)
+        assert float(norm.gamma.array[0]) == 1.0
+
+
+class TestGraphDefFrontends:
+    def test_layer_config_builds_and_runs(self):
+        model = from_layer_config([
+            {"type": "conv2d", "in": 3, "out": 4, "kernel": 3, "padding": 1,
+             "activation": "relu"},
+            {"type": "maxpool2d", "kernel": 2},
+            {"type": "global_avg_pool"},
+            {"type": "linear", "in": 4, "out": 2},
+        ])
+        g = trace(model, [InputSpec("x", (1, 3, 8, 8))])
+        out = interpret(g, {"x": np.ones((1, 3, 8, 8), np.float32)})
+        assert list(out.values())[0].shape == (1, 2)
+
+    def test_layer_config_unknown_type(self):
+        with pytest.raises(Exception):
+            from_layer_config([{"type": "warp_drive"}])
+
+    def test_graph_def_roundtrip_preserves_semantics(self):
+        rng = np.random.default_rng(1)
+        model = Sequential(Linear(4, 3, activation="relu", rng=rng),
+                           Linear(3, 2, rng=rng))
+        g = trace(model, [InputSpec("x", (2, 4))])
+        doc = export_graph_def(g)
+        back = import_graph_def(doc)
+        x = rng.standard_normal((2, 4)).astype(np.float32)
+        out1 = list(interpret(g, {"x": x}).values())[0]
+        out2 = list(interpret(back, {"x": x}).values())[0]
+        np.testing.assert_allclose(out1, out2, atol=1e-6)

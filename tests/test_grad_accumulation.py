@@ -1,0 +1,121 @@
+"""Gradient accumulation (paper Table 5: batch 1, accumulate 16)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompileError
+from repro.runtime import Executor
+from repro.runtime.compiler import compile_training
+from repro.train import SGD, Adam, Lion
+from repro.train.optim import optimizer_state_bytes
+
+from conftest import make_mlp_graph
+
+
+def run_steps(program, xs, ys):
+    executor = Executor(program)
+    for x, y in zip(xs, ys):
+        executor.run({"x": x, program.meta["labels"]: y})
+    return program
+
+
+class TestEquivalence:
+    def test_microbatches_equal_full_batch_sgd(self, rng):
+        X = rng.standard_normal((4, 5)).astype(np.float32)
+        Y = rng.integers(0, 3, 4).astype(np.int64)
+
+        full_builder, _ = make_mlp_graph(batch=4, seed=3)
+        full = compile_training(full_builder.graph, optimizer=SGD(0.1))
+        run_steps(full, [X], [Y])
+
+        micro_builder, _ = make_mlp_graph(batch=1, seed=3)
+        micro = compile_training(micro_builder.graph,
+                                 optimizer=SGD(0.1, accum_steps=4))
+        run_steps(micro, [X[i:i + 1] for i in range(4)],
+                  [Y[i:i + 1] for i in range(4)])
+
+        for name in ("w1", "b1", "w2", "b2"):
+            np.testing.assert_allclose(full.state[name],
+                                       micro.state[name], atol=1e-6)
+
+    def test_momentum_accumulation_matches(self, rng):
+        X = rng.standard_normal((2, 5)).astype(np.float32)
+        Y = rng.integers(0, 3, 2).astype(np.int64)
+        full_builder, _ = make_mlp_graph(batch=2, seed=5)
+        full = compile_training(full_builder.graph,
+                                optimizer=SGD(0.1, momentum=0.9))
+        run_steps(full, [X, X], [Y, Y])  # two optimizer steps
+
+        micro_builder, _ = make_mlp_graph(batch=1, seed=5)
+        micro = compile_training(
+            micro_builder.graph,
+            optimizer=SGD(0.1, momentum=0.9, accum_steps=2))
+        xs = [X[0:1], X[1:2], X[0:1], X[1:2]]
+        ys = [Y[0:1], Y[1:2], Y[0:1], Y[1:2]]
+        run_steps(micro, xs, ys)
+        np.testing.assert_allclose(full.state["w1"], micro.state["w1"],
+                                   atol=1e-5)
+
+
+class TestGating:
+    @pytest.mark.parametrize("optimizer", [
+        SGD(0.05, accum_steps=3),
+        Adam(0.01, accum_steps=3),
+        Lion(0.01, accum_steps=3),
+    ])
+    def test_no_update_until_nth_microstep(self, optimizer, rng):
+        builder, _ = make_mlp_graph(batch=1, seed=1)
+        program = compile_training(builder.graph, optimizer=optimizer)
+        executor = Executor(program)
+        before = program.state["w1"].copy()
+        x = rng.standard_normal((1, 5)).astype(np.float32)
+        y = rng.integers(0, 3, 1).astype(np.int64)
+        for step in range(3):
+            executor.run({"x": x, program.meta["labels"]: y})
+            if step < 2:
+                np.testing.assert_array_equal(program.state["w1"], before)
+        assert not np.array_equal(program.state["w1"], before)
+
+    def test_second_cycle_also_updates(self, rng):
+        builder, _ = make_mlp_graph(batch=1, seed=1)
+        program = compile_training(builder.graph,
+                                   optimizer=SGD(0.1, accum_steps=2))
+        executor = Executor(program)
+        x = rng.standard_normal((1, 5)).astype(np.float32)
+        y = rng.integers(0, 3, 1).astype(np.int64)
+        snapshots = []
+        for _ in range(4):
+            executor.run({"x": x, program.meta["labels"]: y})
+            snapshots.append(program.state["w1"].copy())
+        np.testing.assert_array_equal(snapshots[0], snapshots[1] * 0
+                                      + snapshots[0])  # shape sanity
+        assert not np.array_equal(snapshots[1], snapshots[3])
+
+    def test_accumulator_reset_between_cycles(self, rng):
+        builder, _ = make_mlp_graph(batch=1, seed=1)
+        program = compile_training(builder.graph,
+                                   optimizer=SGD(0.1, accum_steps=2))
+        executor = Executor(program)
+        x = rng.standard_normal((1, 5)).astype(np.float32)
+        y = rng.integers(0, 3, 1).astype(np.int64)
+        executor.run({"x": x, program.meta["labels"]: y})
+        executor.run({"x": x, program.meta["labels"]: y})
+        accum = program.state["w1.accum"]
+        np.testing.assert_allclose(accum, 0.0, atol=1e-12)
+
+
+class TestAccounting:
+    def test_accumulator_counted_as_optimizer_state(self):
+        builder, _ = make_mlp_graph(batch=1)
+        program = compile_training(builder.graph,
+                                   optimizer=SGD(0.05, accum_steps=4))
+        plain = compile_training(make_mlp_graph(batch=1)[0].graph,
+                                 optimizer=SGD(0.05))
+        assert optimizer_state_bytes(program.graph) \
+            > optimizer_state_bytes(plain.graph)
+
+    def test_rejects_nonpositive_accum(self):
+        builder, _ = make_mlp_graph(batch=1)
+        with pytest.raises(CompileError, match="accum_steps"):
+            compile_training(builder.graph,
+                             optimizer=SGD(0.05, accum_steps=0))

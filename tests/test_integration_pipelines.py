@@ -1,0 +1,144 @@
+"""End-to-end pipelines across subsystems.
+
+Each test chains several packages the way a user would — the kind of
+integration that unit tests on individual passes cannot catch.
+"""
+
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.data import vision_task
+from repro.deploy import estimate_binary_size, load_artifact, save_artifact
+from repro.devices import estimate_latency, get_device
+from repro.frontend.keras_like import (Conv2D, Dense,
+                                       GlobalAveragePooling2D,
+                                       build_sequential)
+from repro.ir import validate_graph
+from repro.memory import profile_memory, rematerialize
+from repro.quant import collect_ranges, quantize_inference_graph
+from repro.runtime import Executor, Program, profile_run
+from repro.runtime.compiler import compile_training
+from repro.sparse import LoRAConfig, inject_lora, lora_scheme
+from repro.train import SGD, Trainer
+
+
+@pytest.fixture(scope="module")
+def keras_cnn():
+    return build_sequential([
+        Conv2D(8, 3, padding="same", activation="relu"),
+        Conv2D(8, 3, strides=2, padding="same", activation="relu"),
+        GlobalAveragePooling2D(),
+        Dense(6),  # matches the 6-class 'pets' task
+    ], input_shape=(8, 3, 12, 12), seed=4)
+
+
+def test_keras_to_trained_int8_artifact(keras_cnn, rng):
+    """keras frontend -> sparse training -> calibration -> int8 -> artifact
+    -> reload -> same predictions."""
+    forward = keras_cnn.clone()
+    task = vision_task("pets", resolution=12, n_train=96, n_test=32)
+    program = compile_training(forward, optimizer=SGD(0.1))
+    trainer = Trainer(program, forward, input_name="x")
+    trainer.fit(task.batches(8, rng, steps=30))
+
+    # install trained weights, quantize, freeze
+    for name in forward.initializers:
+        if name in program.state:
+            forward.initializers[name] = program.state[name].copy()
+    calib = [{"x": task.x_train[i:i + 8].astype(np.float32)}
+             for i in range(0, 24, 8)]
+    int8 = quantize_inference_graph(forward, collect_ranges(forward, calib))
+    validate_graph(int8)
+
+    with tempfile.TemporaryDirectory() as root:
+        save_artifact(Program.from_graph(int8), root)
+        deployed = load_artifact(root)
+        feeds = calib[0]
+        direct = Executor(Program.from_graph(int8)).run(feeds)
+        reloaded = deployed.run(feeds)
+        np.testing.assert_array_equal(
+            direct[int8.outputs[0]], reloaded[deployed.program.outputs[0]])
+    report = estimate_binary_size(int8)
+    assert report.weight_bytes < sum(
+        a.nbytes for a in forward.initializers.values()) / 2
+
+
+def test_lora_training_composes_with_remat(rng):
+    """LoRA graph + rematerialization compose: the transformed adapter
+    training step stays numerically sound and still learns.
+
+    Transformer training peaks sit on plateaus of simultaneously-consumed
+    tensors, so greedy remat cannot always hit an arbitrary budget there
+    (unlike the CNN cases in test_remat) — the composition guarantee is
+    never-worse memory plus unchanged training semantics.
+    """
+    from repro.models import build_model
+
+    base = build_model("bert_micro", batch=2, seq_len=8, num_classes=2)
+    lora = inject_lora(base, LoRAConfig(rank=2))
+    program = compile_training(lora, optimizer=SGD(0.1),
+                               scheme=lora_scheme(lora))
+    peak = profile_memory(program.graph, program.schedule).peak_total_bytes
+    result = rematerialize(program.graph, program.schedule,
+                           int(peak * 0.8), max_evictions=32)
+    assert result.peak_after <= result.peak_before
+    remat_prog = Program.from_graph(result.graph, result.schedule)
+    executor = Executor(remat_prog)
+    feeds = {
+        base.inputs[0]: rng.integers(
+            0, 50, base.spec(base.inputs[0]).shape).astype(np.int64),
+        program.meta["labels"]: rng.integers(0, 2, 2).astype(np.int64),
+    }
+    losses = [float(executor.run(feeds)[program.meta["loss"]])
+              for _ in range(12)]
+    assert losses[-1] < losses[0]
+
+
+def test_profiler_agrees_with_cost_model_ranking(keras_cnn):
+    """The analytical profiler's heaviest op class on an MCU should be
+    convolution — matching the latency report's per-class split."""
+    from repro.runtime import analytical_profile
+
+    program = compile_training(keras_cnn.clone(), optimizer=SGD(0.1))
+    device = get_device("stm32f746")
+    profile = analytical_profile(program.graph, program.schedule, device)
+    heaviest = next(iter(profile.by_op_type()))
+    assert heaviest.startswith("conv2d")
+    report = estimate_latency(program.graph, program.schedule, device)
+    assert profile.total_us == pytest.approx(report.total_us)
+
+
+def test_measured_profile_on_deployed_artifact(keras_cnn, rng):
+    """Wall-clock profiling works on reloaded artifacts too."""
+    program = compile_training(keras_cnn.clone(), optimizer=SGD(0.1))
+    with tempfile.TemporaryDirectory() as root:
+        save_artifact(program, root)
+        deployed = load_artifact(root)
+        feeds = {
+            "x": rng.standard_normal((8, 3, 12, 12)).astype(np.float32),
+            program.meta["labels"]: rng.integers(0, 4, 8).astype(np.int64),
+        }
+        profile = profile_run(deployed.program, feeds, warmup=0, repeats=1)
+        assert len(profile.timings) == len(deployed.program.schedule)
+
+
+def test_sparse_scheme_survives_artifact_roundtrip(rng):
+    """A pruned sparse training step stays pruned after freeze/reload:
+    the backward never descends into the frozen prefix."""
+    from repro.models import build_model, paper_scheme
+
+    forward = build_model("mobilenetv2_micro", batch=2)
+    program = compile_training(forward, optimizer=SGD(0.05),
+                               scheme=paper_scheme(forward))
+    with tempfile.TemporaryDirectory() as root:
+        save_artifact(program, root)
+        deployed = load_artifact(root)
+    ops = {n.op_type for n in deployed.program.schedule}
+    assert "conv2d_dx" in ops  # chain rule inside the updated suffix
+    n_dx = sum(1 for n in deployed.program.schedule
+               if n.op_type == "conv2d_dx")
+    full = compile_training(forward, optimizer=SGD(0.05))
+    n_dx_full = sum(1 for n in full.schedule if n.op_type == "conv2d_dx")
+    assert n_dx < n_dx_full

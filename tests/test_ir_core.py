@@ -1,0 +1,79 @@
+"""IR fundamentals: dtypes, tensor specs, nodes."""
+
+import numpy as np
+import pytest
+
+from repro.ir import DType, TensorSpec
+from repro.ir.node import Node
+
+
+class TestDType:
+    def test_itemsizes(self):
+        assert DType.FLOAT32.itemsize == 4
+        assert DType.FLOAT16.itemsize == 2
+        assert DType.INT64.itemsize == 8
+        assert DType.BOOL.itemsize == 1
+
+    def test_numpy_roundtrip(self):
+        for dt in DType:
+            assert DType.from_numpy(dt.np) is dt
+
+    def test_from_numpy_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            DType.from_numpy(np.dtype("complex64"))
+
+    def test_is_float(self):
+        assert DType.FLOAT32.is_float
+        assert DType.FLOAT16.is_float
+        assert not DType.INT64.is_float
+
+
+class TestTensorSpec:
+    def test_nbytes(self):
+        spec = TensorSpec("t", (2, 3, 4), DType.FLOAT32)
+        assert spec.num_elements == 24
+        assert spec.nbytes == 96
+
+    def test_scalar(self):
+        spec = TensorSpec("s", ())
+        assert spec.num_elements == 1
+        assert spec.rank == 0
+
+    def test_fp16_halves_bytes(self):
+        a = TensorSpec("a", (10, 10), DType.FLOAT32)
+        b = TensorSpec("b", (10, 10), DType.FLOAT16)
+        assert a.nbytes == 2 * b.nbytes
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("t", (2, -1))
+
+    def test_with_name(self):
+        spec = TensorSpec("a", (2,))
+        renamed = spec.with_name("b")
+        assert renamed.name == "b" and renamed.shape == (2,)
+
+    def test_str(self):
+        assert "float32" in str(TensorSpec("a", (2, 3)))
+
+
+class TestNode:
+    def test_replace_input(self):
+        node = Node("add", "n", ("a", "b"), ("c",))
+        node.replace_input("a", "z")
+        assert node.inputs == ("z", "b")
+
+    def test_attr_key_order_independent(self):
+        n1 = Node("conv2d", "a", ("x", "w"), ("y",),
+                  {"stride": 2, "padding": 1})
+        n2 = Node("conv2d", "b", ("x", "w"), ("y2",),
+                  {"padding": 1, "stride": 2})
+        assert n1.attr_key() == n2.attr_key()
+
+    def test_attr_key_freezes_nested(self):
+        node = Node("pad", "p", ("x",), ("y",), {"pads": [(1, 2), (0, 0)]})
+        assert isinstance(hash(node.attr_key()), int)
+
+    def test_str_contains_op(self):
+        node = Node("mul", "m", ("a", "b"), ("c",))
+        assert "mul" in str(node)

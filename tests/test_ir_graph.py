@@ -1,0 +1,161 @@
+"""Graph structure: topological order, DCE, cloning, validation,
+serialization round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.ir import (GraphBuilder, graph_from_dict, graph_to_dict,
+                      load_graph, save_graph, summarize, validate_graph)
+from repro.ir.node import Node
+
+from conftest import make_mlp_graph
+
+
+class TestTopology:
+    def test_topological_order_valid(self):
+        b, names = make_mlp_graph()
+        order = b.graph.topological_order()
+        position = {n.name: i for i, n in enumerate(order)}
+        producers = b.graph.producer_map()
+        for node in order:
+            for inp in node.inputs:
+                if inp in producers:
+                    assert position[producers[inp].name] < position[node.name]
+
+    def test_cycle_detected(self):
+        b, _ = make_mlp_graph()
+        node = b.graph.nodes[0]
+        # Wire the first node to consume the last node's output -> cycle.
+        last_out = b.graph.nodes[-1].outputs[0]
+        node.inputs = (last_out,) + node.inputs[1:]
+        with pytest.raises(GraphError):
+            b.graph.topological_order()
+
+    def test_undefined_input_detected(self):
+        b, _ = make_mlp_graph()
+        b.graph.nodes[0].inputs = ("ghost",) + b.graph.nodes[0].inputs[1:]
+        with pytest.raises(GraphError):
+            b.graph.topological_order()
+
+    def test_producer_and_consumer_maps(self):
+        b, names = make_mlp_graph()
+        producers = b.graph.producer_map()
+        consumers = b.graph.consumer_map()
+        assert names["logits"] in producers
+        assert any(n.op_type == "matmul" for n in consumers[names["x"]])
+
+
+class TestDCE:
+    def test_removes_unused_chain(self):
+        b, names = make_mlp_graph()
+        before = len(b.graph.nodes)
+        dead = b.emit("relu", [names["logits"]])  # not marked output
+        dead2 = b.emit("relu", [dead])
+        assert len(b.graph.nodes) == before + 2
+        removed = b.graph.dead_code_elimination()
+        assert removed == 2
+        assert len(b.graph.nodes) == before
+
+    def test_keeps_outputs(self):
+        b, names = make_mlp_graph()
+        removed = b.graph.dead_code_elimination()
+        assert removed == 0
+        validate_graph(b.graph)
+
+    def test_drops_orphan_initializers(self):
+        b, names = make_mlp_graph()
+        b.initializer("unused", np.zeros(3, np.float32))
+        b.graph.dead_code_elimination()
+        assert "unused" not in b.graph.initializers
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        b, names = make_mlp_graph()
+        clone = b.graph.clone()
+        clone.nodes.pop()
+        clone.nodes[0].attrs["stride"] = 9
+        assert len(b.graph.nodes) == len(clone.nodes) + 1
+        assert "stride" not in b.graph.nodes[0].attrs
+
+    def test_clone_shares_weights(self):
+        b, _ = make_mlp_graph()
+        clone = b.graph.clone()
+        assert clone.initializers["w1"] is b.graph.initializers["w1"]
+
+    def test_num_params(self):
+        b, _ = make_mlp_graph(din=5, dhidden=6, dout=3)
+        assert b.graph.num_params() == 5 * 6 + 6 + 6 * 3 + 3
+
+
+class TestValidate:
+    def test_valid_graph_passes(self):
+        b, _ = make_mlp_graph()
+        validate_graph(b.graph)
+
+    def test_detects_wrong_output_spec(self):
+        b, names = make_mlp_graph()
+        from repro.ir.tensor import TensorSpec
+
+        bad = b.graph.nodes[-1].outputs[0]
+        b.graph.values[bad] = TensorSpec(bad, (99, 99))
+        with pytest.raises(Exception):
+            validate_graph(b.graph)
+
+    def test_detects_double_production(self):
+        b, _ = make_mlp_graph()
+        node = b.graph.nodes[1]
+        dup = Node(node.op_type, "dup", node.inputs, node.outputs,
+                   dict(node.attrs))
+        b.graph.nodes.append(dup)
+        with pytest.raises(GraphError):
+            validate_graph(b.graph)
+
+    def test_detects_missing_graph_output(self):
+        b, _ = make_mlp_graph()
+        b.graph.outputs.append("nonexistent")
+        with pytest.raises(GraphError):
+            validate_graph(b.graph)
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        b, _ = make_mlp_graph()
+        doc = graph_to_dict(b.graph)
+        back = graph_from_dict(doc)
+        validate_graph(back)
+        assert [n.op_type for n in back.nodes] == \
+            [n.op_type for n in b.graph.nodes]
+        np.testing.assert_array_equal(back.initializers["w1"],
+                                      b.graph.initializers["w1"])
+        assert back.trainable == b.graph.trainable
+
+    def test_file_roundtrip(self, tmp_path):
+        b, _ = make_mlp_graph()
+        save_graph(b.graph, tmp_path / "model")
+        back = load_graph(tmp_path / "model")
+        validate_graph(back)
+        np.testing.assert_array_equal(back.initializers["w2"],
+                                      b.graph.initializers["w2"])
+
+    def test_roundtrip_preserves_attrs(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 3, 8, 8))
+        w = b.initializer("w", np.zeros((4, 3, 3, 3), np.float32))
+        y = b.conv2d(x, w, stride=2, padding=1)
+        b.mark_output(y)
+        back = graph_from_dict(graph_to_dict(b.graph))
+        assert back.nodes[0].attrs["stride"] == 2
+
+    def test_rejects_bad_version(self):
+        b, _ = make_mlp_graph()
+        doc = graph_to_dict(b.graph)
+        doc["format_version"] = 99
+        with pytest.raises(GraphError):
+            graph_from_dict(doc)
+
+    def test_summarize_mentions_counts(self):
+        b, _ = make_mlp_graph()
+        text = summarize(b.graph)
+        assert "nodes" in text and "trainable" in text

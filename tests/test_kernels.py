@@ -1,0 +1,241 @@
+"""Kernel correctness against numpy references, including Winograd."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import run_op
+from repro.kernels.conv2d import col2im, conv2d_forward, im2col
+from repro.kernels.winograd import transform_weights, winograd_conv2d
+
+
+def naive_conv2d(x, w, stride=1, padding=0, groups=1):
+    """O(N^7) reference convolution."""
+    n, cin, h, wd = x.shape
+    cout, cin_g, kh, kw = w.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    ho = (h + 2 * padding - kh) // stride + 1
+    wo = (wd + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, cout, ho, wo), dtype=np.float32)
+    cg_out = cout // groups
+    for b in range(n):
+        for o in range(cout):
+            g = o // cg_out
+            for i in range(ho):
+                for j in range(wo):
+                    patch = xp[b, g * cin_g:(g + 1) * cin_g,
+                               i * stride:i * stride + kh,
+                               j * stride:j * stride + kw]
+                    out[b, o, i, j] = (patch * w[o]).sum()
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding,groups", [
+        (1, 0, 1), (1, 1, 1), (2, 1, 1), (2, 0, 1), (1, 1, 4), (1, 2, 2),
+    ])
+    def test_matches_naive(self, rng, stride, padding, groups):
+        x = rng.standard_normal((2, 4, 7, 7)).astype(np.float32)
+        w = rng.standard_normal((8, 4 // groups, 3, 3)).astype(np.float32)
+        got = conv2d_forward(x, w, stride, padding, groups)
+        want = naive_conv2d(x, w, stride, padding, groups)
+        np.testing.assert_allclose(got, want, atol=1e-4)
+
+    def test_depthwise(self, rng):
+        x = rng.standard_normal((2, 6, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((6, 1, 3, 3)).astype(np.float32)
+        got = conv2d_forward(x, w, 1, 1, groups=6)
+        want = naive_conv2d(x, w, 1, 1, groups=6)
+        np.testing.assert_allclose(got, want, atol=1e-4)
+
+    def test_im2col_col2im_adjoint(self, rng):
+        """col2im is the transpose of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float64)
+        cols, ho, wo = im2col(x, 3, 3, 2, 2, 1, 1)
+        y = rng.standard_normal(cols.shape)
+        lhs = (cols * y).sum()
+        rhs = (x * col2im(y, x.shape, 3, 3, 2, 2, 1, 1)).sum()
+        assert abs(lhs - rhs) < 1e-9
+
+    def test_fused_bias_activation(self, rng):
+        x = rng.standard_normal((1, 3, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        bias = rng.standard_normal(4).astype(np.float32)
+        [y] = run_op("conv2d", [x, w, bias],
+                     {"padding": 1, "activation": "relu"})
+        ref = np.maximum(
+            conv2d_forward(x, w, 1, 1) + bias.reshape(1, -1, 1, 1), 0)
+        np.testing.assert_allclose(y, ref, atol=1e-4)
+
+
+class TestConvGrads:
+    def test_dx_matches_numeric(self, rng):
+        x = rng.standard_normal((1, 2, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        g = rng.standard_normal((1, 3, 5, 5)).astype(np.float32)
+        [dx] = run_op("conv2d_dx", [g, w],
+                      {"padding": 1, "input_shape": x.shape})
+        eps = 1e-3
+        # spot-check a few coordinates
+        for idx in [(0, 0, 0, 0), (0, 1, 2, 3), (0, 1, 4, 4)]:
+            hi, lo = x.copy(), x.copy()
+            hi[idx] += eps
+            lo[idx] -= eps
+            num = ((conv2d_forward(hi, w, 1, 1) * g).sum()
+                   - (conv2d_forward(lo, w, 1, 1) * g).sum()) / (2 * eps)
+            assert abs(dx[idx] - num) < 1e-2
+
+    def test_dw_matches_numeric(self, rng):
+        x = rng.standard_normal((2, 2, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        g = rng.standard_normal((2, 3, 3, 3)).astype(np.float32)
+        [dw] = run_op("conv2d_dw", [x, g],
+                      {"stride": 2, "padding": 1, "kernel_hw": (3, 3)})
+        eps = 1e-3
+        for idx in [(0, 0, 0, 0), (2, 1, 1, 2), (1, 0, 2, 2)]:
+            hi, lo = w.copy(), w.copy()
+            hi[idx] += eps
+            lo[idx] -= eps
+            num = ((conv2d_forward(x, hi, 2, 1) * g).sum()
+                   - (conv2d_forward(x, lo, 2, 1) * g).sum()) / (2 * eps)
+            assert abs(dw[idx] - num) < 1e-2
+
+    def test_grouped_dx_dw_shapes(self, rng):
+        x = rng.standard_normal((1, 4, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((4, 1, 3, 3)).astype(np.float32)
+        g = rng.standard_normal((1, 4, 6, 6)).astype(np.float32)
+        [dx] = run_op("conv2d_dx", [g, w],
+                      {"padding": 1, "groups": 4, "input_shape": x.shape})
+        [dw] = run_op("conv2d_dw", [x, g],
+                      {"padding": 1, "groups": 4, "kernel_hw": (3, 3)})
+        assert dx.shape == x.shape and dw.shape == w.shape
+
+
+class TestWinograd:
+    @pytest.mark.parametrize("hw,padding", [(8, 1), (7, 1), (6, 0), (9, 1)])
+    def test_matches_direct(self, rng, hw, padding):
+        x = rng.standard_normal((2, 3, hw, hw)).astype(np.float32)
+        w = rng.standard_normal((5, 3, 3, 3)).astype(np.float32)
+        got = winograd_conv2d(x, w, padding=padding)
+        want = conv2d_forward(x, w, 1, padding)
+        np.testing.assert_allclose(got, want, atol=1e-3)
+
+    def test_precomputed_transform(self, rng):
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        u = transform_weights(w)
+        got = winograd_conv2d(x, w, padding=1, u=u)
+        want = conv2d_forward(x, w, 1, 1)
+        np.testing.assert_allclose(got, want, atol=1e-3)
+
+    def test_rejects_non_3x3(self, rng):
+        with pytest.raises(ValueError):
+            winograd_conv2d(np.zeros((1, 1, 8, 8), np.float32),
+                            np.zeros((1, 1, 5, 5), np.float32))
+
+    def test_kernel_dispatch_via_algo_attr(self, rng):
+        x = rng.standard_normal((1, 3, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        [direct] = run_op("conv2d", [x, w], {"padding": 1})
+        [wino] = run_op("conv2d", [x, w], {"padding": 1, "algo": "winograd"})
+        np.testing.assert_allclose(direct, wino, atol=1e-3)
+
+
+class TestPooling:
+    def test_maxpool(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        [y] = run_op("maxpool2d", [x], {"kernel": 2, "stride": 2})
+        assert y.shape == (1, 2, 2, 2)
+        assert y[0, 0, 0, 0] == x[0, 0, :2, :2].max()
+
+    def test_maxpool_grad_routes_to_argmax(self):
+        x = np.array([[[[1., 5.], [2., 3.]]]], dtype=np.float32)
+        g = np.array([[[[7.]]]], dtype=np.float32)
+        [dx] = run_op("maxpool2d_grad", [x, g], {"kernel": 2, "stride": 2})
+        assert dx[0, 0, 0, 1] == 7.0
+        assert dx.sum() == 7.0
+
+    def test_avgpool_grad_uniform(self):
+        g = np.ones((1, 1, 1, 1), dtype=np.float32)
+        [dx] = run_op("avgpool2d_grad", [g],
+                      {"kernel": 2, "stride": 2, "input_shape": (1, 1, 2, 2)})
+        np.testing.assert_allclose(dx, 0.25 * np.ones((1, 1, 2, 2)))
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        [y] = run_op("global_avg_pool", [x], {})
+        np.testing.assert_allclose(y, x.mean(axis=(2, 3)), atol=1e-6)
+
+
+class TestNormSoftmax:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = (rng.standard_normal((3, 7)) * 10).astype(np.float32)
+        [y] = run_op("softmax", [x], {"axis": -1})
+        np.testing.assert_allclose(y.sum(-1), np.ones(3), atol=1e-5)
+
+    def test_softmax_stable_for_large_inputs(self):
+        x = np.array([[1000.0, 1000.0]], dtype=np.float32)
+        [y] = run_op("softmax", [x], {"axis": -1})
+        assert np.isfinite(y).all()
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.standard_normal((2, 5)).astype(np.float32)
+        [ls] = run_op("log_softmax", [x], {"axis": -1})
+        [s] = run_op("softmax", [x], {"axis": -1})
+        np.testing.assert_allclose(np.exp(ls), s, atol=1e-5)
+
+    def test_layernorm_normalizes(self, rng):
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+        gamma, beta = np.ones(8, np.float32), np.zeros(8, np.float32)
+        [y] = run_op("layernorm", [x, gamma, beta], {"eps": 1e-5})
+        np.testing.assert_allclose(y.mean(-1), np.zeros(4), atol=1e-5)
+        np.testing.assert_allclose(y.std(-1), np.ones(4), atol=1e-3)
+
+    def test_rmsnorm(self, rng):
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+        gamma = np.full(8, 2.0, np.float32)
+        [y] = run_op("rmsnorm", [x, gamma], {"eps": 1e-6})
+        rms = np.sqrt((x * x).mean(-1, keepdims=True) + 1e-6)
+        np.testing.assert_allclose(y, 2 * x / rms, atol=1e-5)
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        table = rng.standard_normal((10, 4)).astype(np.float32)
+        ids = np.array([[1, 3], [9, 1]])
+        [y] = run_op("embedding", [table, ids], {})
+        np.testing.assert_array_equal(y[0, 0], table[1])
+        np.testing.assert_array_equal(y[1, 0], table[9])
+
+    def test_grad_accumulates_duplicates(self):
+        ids = np.array([[0, 0, 2]])
+        g = np.ones((1, 3, 4), dtype=np.float32)
+        [dt] = run_op("embedding_grad", [ids, g], {"num_rows": 5})
+        assert dt[0].sum() == 8.0  # two hits on row 0
+        assert dt[2].sum() == 4.0
+        assert dt[1].sum() == 0.0
+
+    def test_onehot(self):
+        [y] = run_op("onehot", [np.array([2, 0])], {"depth": 3})
+        np.testing.assert_array_equal(
+            y, np.array([[0, 0, 1], [1, 0, 0]], np.float32))
+
+
+@given(st.integers(1, 4), st.integers(1, 6), st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_elementwise_ops_match_numpy(n, h, w):
+    rng = np.random.default_rng(n * 100 + h * 10 + w)
+    x = rng.standard_normal((n, h, w)).astype(np.float32)
+    y = rng.standard_normal((n, h, w)).astype(np.float32)
+    checks = {
+        "add": x + y, "sub": x - y, "mul": x * y,
+        "maximum": np.maximum(x, y), "minimum": np.minimum(x, y),
+    }
+    for op, want in checks.items():
+        [got] = run_op(op, [x, y], {})
+        np.testing.assert_allclose(got, want, atol=1e-6)
+    [got] = run_op("relu6", [x * 10], {})
+    np.testing.assert_allclose(got, np.clip(x * 10, 0, 6), atol=1e-6)
+    [got] = run_op("step", [x], {})
+    np.testing.assert_array_equal(got, (x > 0).astype(np.float32))

@@ -1,0 +1,106 @@
+"""Optimizer apply kernels: math vs reference, in-place and sliced updates."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import run_op
+
+
+class TestSGD:
+    def test_plain(self):
+        p = np.array([1.0, 2.0], np.float32)
+        g = np.array([0.5, -1.0], np.float32)
+        run_op("apply_sgd", [p, g], {"lr": 0.1})
+        np.testing.assert_allclose(p, [0.95, 2.1], atol=1e-6)
+
+    def test_momentum(self):
+        p = np.zeros(2, np.float32)
+        m = np.zeros(2, np.float32)
+        g = np.ones(2, np.float32)
+        run_op("apply_sgd", [p, g, m], {"lr": 0.1, "momentum": 0.9})
+        run_op("apply_sgd", [p, g, m], {"lr": 0.1, "momentum": 0.9})
+        # v1 = 1, v2 = 1.9 -> p = -(0.1 + 0.19)
+        np.testing.assert_allclose(p, [-0.29, -0.29], atol=1e-6)
+
+    def test_weight_decay(self):
+        p = np.array([10.0], np.float32)
+        g = np.zeros(1, np.float32)
+        run_op("apply_sgd", [p, g], {"lr": 0.1, "weight_decay": 0.1})
+        np.testing.assert_allclose(p, [10.0 - 0.1 * 1.0], atol=1e-6)
+
+    def test_inplace(self):
+        p = np.zeros(3, np.float32)
+        [out] = run_op("apply_sgd", [p, np.ones(3, np.float32)], {"lr": 1.0})
+        assert out is p
+
+    def test_slice_update_touches_only_prefix(self):
+        p = np.zeros((4, 2), np.float32)
+        g = np.ones((2, 2), np.float32)
+        run_op("apply_sgd", [p, g], {"lr": 1.0, "slice_k": 2,
+                                     "slice_axis": 0})
+        assert (p[:2] == -1).all()
+        assert (p[2:] == 0).all()
+
+    def test_slice_axis1_for_conv(self):
+        p = np.zeros((3, 4, 1, 1), np.float32)
+        g = np.ones((3, 2, 1, 1), np.float32)
+        run_op("apply_sgd", [p, g], {"lr": 1.0, "slice_k": 2,
+                                     "slice_axis": 1})
+        assert (p[:, :2] == -1).all() and (p[:, 2:] == 0).all()
+
+
+class TestAdam:
+    def test_first_step_equals_lr_sign(self):
+        p = np.zeros(2, np.float32)
+        g = np.array([3.0, -7.0], np.float32)
+        m = np.zeros(2, np.float32)
+        v = np.zeros(2, np.float32)
+        t = np.zeros(1, np.float32)
+        run_op("apply_adam", [p, g, m, v, t],
+               {"lr": 0.01, "beta1": 0.9, "beta2": 0.999, "eps": 1e-8})
+        # With bias correction, first Adam step is ~ -lr * sign(g).
+        np.testing.assert_allclose(p, [-0.01, 0.01], atol=1e-4)
+        assert t[0] == 1.0
+
+    def test_matches_reference_over_steps(self, rng):
+        p = rng.standard_normal(5).astype(np.float32)
+        ref_p = p.copy().astype(np.float64)
+        m = np.zeros(5, np.float32)
+        v = np.zeros(5, np.float32)
+        t = np.zeros(1, np.float32)
+        ref_m = np.zeros(5)
+        ref_v = np.zeros(5)
+        for step in range(1, 6):
+            g = rng.standard_normal(5).astype(np.float32)
+            run_op("apply_adam", [p, g, m, v, t],
+                   {"lr": 0.1, "beta1": 0.9, "beta2": 0.999, "eps": 1e-8})
+            ref_m = 0.9 * ref_m + 0.1 * g
+            ref_v = 0.999 * ref_v + 0.001 * g * g
+            mh = ref_m / (1 - 0.9 ** step)
+            vh = ref_v / (1 - 0.999 ** step)
+            ref_p -= 0.1 * mh / (np.sqrt(vh) + 1e-8)
+        np.testing.assert_allclose(p, ref_p, atol=1e-4)
+
+
+class TestLion:
+    def test_sign_update(self):
+        p = np.zeros(3, np.float32)
+        g = np.array([5.0, -0.1, 0.0], np.float32)
+        m = np.zeros(3, np.float32)
+        run_op("apply_lion", [p, g, m], {"lr": 0.1, "beta1": 0.9,
+                                         "beta2": 0.99})
+        np.testing.assert_allclose(p, [-0.1, 0.1, 0.0], atol=1e-6)
+
+    def test_momentum_update(self):
+        p = np.zeros(1, np.float32)
+        g = np.ones(1, np.float32)
+        m = np.zeros(1, np.float32)
+        run_op("apply_lion", [p, g, m], {"lr": 0.1, "beta1": 0.9,
+                                         "beta2": 0.99})
+        np.testing.assert_allclose(m, [0.01], atol=1e-7)
+
+    def test_single_state_buffer_vs_adam_two(self):
+        from repro.train import Adam, Lion
+
+        assert Lion().state_slots == 1
+        assert Adam().state_slots == 2

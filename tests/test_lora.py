@@ -1,0 +1,188 @@
+"""LoRA adapters: injection, training, backward depth, and merge-back."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemeError
+from repro.ir import validate_graph
+from repro.memory import profile_memory
+from repro.models import build_model, paper_scheme
+from repro.runtime import Executor, interpret
+from repro.runtime.compiler import CompileOptions, compile_training
+from repro.sparse import (LoRAConfig, full_update, inject_lora, lora_scheme,
+                          merge_lora)
+from repro.train import SGD
+from repro.train.optim import optimizer_state_bytes
+
+
+@pytest.fixture(scope="module")
+def base():
+    return build_model("bert_micro", batch=2, seq_len=8, num_classes=2)
+
+
+@pytest.fixture
+def token_feeds(base, rng):
+    return {base.inputs[0]: rng.integers(
+        0, 50, base.spec(base.inputs[0]).shape).astype(np.int64)}
+
+
+class TestInjection:
+    def test_adapters_on_attention_weights(self, base):
+        lora = inject_lora(base, LoRAConfig(rank=4))
+        adapters = lora.metadata["lora_adapters"]
+        meta = base.metadata["params"]
+        for weight in adapters:
+            assert meta[weight]["role_in_block"] == "attention"
+        validate_graph(lora)
+
+    def test_base_weights_frozen(self, base):
+        lora = inject_lora(base, LoRAConfig(rank=4))
+        for weight in lora.metadata["lora_adapters"]:
+            assert weight not in lora.trainable
+        for entry in lora.metadata["lora_adapters"].values():
+            assert entry["a"] in lora.trainable
+            assert entry["b"] in lora.trainable
+
+    def test_zero_init_is_exact_noop(self, base, token_feeds):
+        lora = inject_lora(base, LoRAConfig(rank=4))
+        want = interpret(base, token_feeds)[base.outputs[0]]
+        got = interpret(lora, token_feeds)[lora.outputs[0]]
+        np.testing.assert_array_equal(want, got)
+
+    def test_adapter_shapes(self, base):
+        lora = inject_lora(base, LoRAConfig(rank=3))
+        for weight, entry in lora.metadata["lora_adapters"].items():
+            in_dim, out_dim = lora.spec(weight).shape
+            assert lora.spec(entry["a"]).shape == (in_dim, 3)
+            assert lora.spec(entry["b"]).shape == (3, out_dim)
+
+    def test_all_linears_mode(self, base):
+        narrow = inject_lora(base, LoRAConfig(rank=2))
+        wide = inject_lora(base, LoRAConfig(rank=2, target_roles=None))
+        assert len(wide.metadata["lora_adapters"]) \
+            > len(narrow.metadata["lora_adapters"])
+
+    def test_rejects_bad_rank(self, base):
+        with pytest.raises(SchemeError, match="rank"):
+            inject_lora(base, LoRAConfig(rank=0))
+
+    def test_rejects_no_targets(self, base):
+        with pytest.raises(SchemeError, match="target"):
+            inject_lora(base, LoRAConfig(target_roles=("no_such_role",)))
+
+    def test_original_graph_untouched(self, base):
+        nodes = len(base.nodes)
+        trainable = set(base.trainable)
+        inject_lora(base, LoRAConfig(rank=4))
+        assert len(base.nodes) == nodes
+        assert base.trainable == trainable
+
+
+class TestTraining:
+    def test_adapters_learn(self, base, token_feeds, rng):
+        lora = inject_lora(base, LoRAConfig(rank=4, alpha=8.0))
+        program = compile_training(lora, optimizer=SGD(0.1),
+                                   scheme=lora_scheme(lora))
+        executor = Executor(program)
+        labels = rng.integers(0, 2, 2).astype(np.int64)
+        losses = [float(executor.run(
+            {**token_feeds, program.meta["labels"]: labels}
+        )[program.meta["loss"]]) for _ in range(20)]
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_base_weights_do_not_move(self, base, token_feeds, rng):
+        lora = inject_lora(base, LoRAConfig(rank=4))
+        # parallel fusion would merge (and rename) the frozen QKV bases;
+        # disable it so the original weights stay addressable.
+        program = compile_training(
+            lora, optimizer=SGD(0.1), scheme=lora_scheme(lora),
+            options=CompileOptions(parallel_fusion=False))
+        frozen = next(iter(lora.metadata["lora_adapters"]))
+        before = program.state[frozen].copy()
+        executor = Executor(program)
+        labels = rng.integers(0, 2, 2).astype(np.int64)
+        for _ in range(3):
+            executor.run({**token_feeds, program.meta["labels"]: labels})
+        np.testing.assert_array_equal(program.state[frozen], before)
+
+    def test_lora_frozen_bases_unlock_qkv_fusion(self, base):
+        # Freezing Q/K/V for LoRA makes them mergeable — the same
+        # frozen-weight synergy the paper describes for Winograd.
+        lora = inject_lora(base, LoRAConfig(rank=4))
+        program = compile_training(lora, optimizer=SGD(0.1),
+                                   scheme=lora_scheme(lora))
+        stats = program.meta["report"].pass_stats.get("parallel_fusion", {})
+        assert stats.get("groups", 0) >= 1
+
+    def test_optimizer_state_is_tiny(self, base):
+        from repro.train import Adam
+        lora = inject_lora(base, LoRAConfig(rank=4))
+        lora_prog = compile_training(lora, optimizer=Adam(1e-3),
+                                     scheme=lora_scheme(lora))
+        full_prog = compile_training(base, optimizer=Adam(1e-3),
+                                     scheme=full_update(base))
+        assert optimizer_state_bytes(lora_prog.graph) \
+            < optimizer_state_bytes(full_prog.graph) / 4
+
+    def test_backward_reaches_first_block_unlike_sparse(self, base):
+        """The paper's Table 5 argument: LoRA's backward must descend to
+        every adapted block, so pruning cannot shorten it; sparse-BP's
+        can stop early."""
+        lora = inject_lora(base, LoRAConfig(rank=4))
+        lora_prog = compile_training(lora, optimizer=SGD(0.1),
+                                     scheme=lora_scheme(lora))
+        sparse_prog = compile_training(base, optimizer=SGD(0.1),
+                                       scheme=paper_scheme(base))
+
+        def earliest_updated_block(program, graph):
+            meta = graph.metadata.get("params", {})
+            blocks = []
+            for node in program.graph.nodes:
+                if not node.op_type.startswith("apply_"):
+                    continue
+                param = node.inputs[0]
+                root = param.rsplit(".lora_", 1)[0]
+                info = meta.get(root) or meta.get(param) or {}
+                if "block" in info:
+                    blocks.append(info["block"])
+            return min(blocks) if blocks else None
+
+        lora_first = earliest_updated_block(lora_prog, lora)
+        sparse_first = earliest_updated_block(sparse_prog, base)
+        assert lora_first == 0
+        assert sparse_first > 0
+
+
+class TestMerge:
+    def test_merge_restores_base_structure(self, base, token_feeds, rng):
+        lora = inject_lora(base, LoRAConfig(rank=4))
+        # give the adapters some real values
+        for entry in lora.metadata["lora_adapters"].values():
+            lora.initializers[entry["b"]] = (
+                rng.standard_normal(lora.spec(entry["b"]).shape) * 0.02
+            ).astype(np.float32)
+        merged = merge_lora(lora)
+        validate_graph(merged)
+        assert len(merged.nodes) == len(base.nodes)
+        assert "lora_adapters" not in merged.metadata
+
+    def test_merge_is_numerically_exact(self, base, token_feeds, rng):
+        lora = inject_lora(base, LoRAConfig(rank=4, alpha=4.0))
+        for entry in lora.metadata["lora_adapters"].values():
+            lora.initializers[entry["b"]] = (
+                rng.standard_normal(lora.spec(entry["b"]).shape) * 0.02
+            ).astype(np.float32)
+        merged = merge_lora(lora)
+        want = interpret(lora, token_feeds)[lora.outputs[0]]
+        got = interpret(merged, token_feeds)[merged.outputs[0]]
+        np.testing.assert_allclose(want, got, atol=1e-5)
+
+    def test_merge_requires_adapters(self, base):
+        with pytest.raises(SchemeError, match="adapters"):
+            merge_lora(base)
+
+    def test_adapter_weights_removed_after_merge(self, base):
+        lora = inject_lora(base, LoRAConfig(rank=4))
+        merged = merge_lora(lora)
+        for name in merged.initializers:
+            assert ".lora_" not in name

@@ -1,0 +1,142 @@
+"""Losses, printers, serialization corner cases, and error paths."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompileError
+from repro.ir import DType, GraphBuilder, format_graph
+from repro.runtime import interpret
+from repro.train.loss import (add_loss, mean_squared_error,
+                              softmax_cross_entropy)
+from repro.train.optim import attach_optimizer, SGD, optimizer_state_bytes
+from repro.autodiff import build_backward
+
+
+class TestCrossEntropy:
+    def _loss(self, logits, labels):
+        b = GraphBuilder("g")
+        lg = b.initializer("logits", logits.astype(np.float32))
+        lb = b.initializer("labels", labels.astype(np.int64))
+        loss = softmax_cross_entropy(b, lg, lb)
+        b.mark_output(loss)
+        return float(interpret(b.graph)[loss])
+
+    def test_matches_reference(self, rng):
+        logits = rng.standard_normal((4, 5))
+        labels = rng.integers(0, 5, 4)
+        shifted = logits - logits.max(-1, keepdims=True)
+        logp = shifted - np.log(np.exp(shifted).sum(-1, keepdims=True))
+        want = -logp[np.arange(4), labels].mean()
+        assert self._loss(logits, labels) == pytest.approx(want, abs=1e-5)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -20.0)
+        logits[0, 1] = 20.0
+        logits[1, 2] = 20.0
+        assert self._loss(logits, np.array([1, 2])) < 1e-4
+
+    def test_sequence_labels(self, rng):
+        """Language-model shape: [N, T, V] logits vs [N, T] labels."""
+        b = GraphBuilder("g")
+        lg = b.initializer("logits",
+                           rng.standard_normal((2, 3, 5)).astype(np.float32))
+        lb = b.initializer("labels", rng.integers(0, 5, (2, 3)))
+        loss = softmax_cross_entropy(b, lg, lb)
+        b.mark_output(loss)
+        value = float(interpret(b.graph)[loss])
+        assert 0 < value < 10
+
+    def test_shape_mismatch_raises(self):
+        b = GraphBuilder("g")
+        lg = b.initializer("logits", np.zeros((4, 5), np.float32))
+        lb = b.initializer("labels", np.zeros(3, np.int64))
+        with pytest.raises(CompileError):
+            softmax_cross_entropy(b, lg, lb)
+
+    def test_gradient_is_softmax_minus_onehot(self, rng):
+        logits = rng.standard_normal((4, 5)).astype(np.float32)
+        labels = rng.integers(0, 5, 4)
+        b = GraphBuilder("g")
+        lg = b.initializer("logits", logits, trainable=True)
+        lb = b.initializer("labels", labels.astype(np.int64))
+        loss = softmax_cross_entropy(b, lg, lb)
+        b.mark_output(loss)
+        res = build_backward(b.graph, loss, ["logits"])
+        got = interpret(b.graph)[res.grads["logits"]]
+        ex = np.exp(logits - logits.max(-1, keepdims=True))
+        soft = ex / ex.sum(-1, keepdims=True)
+        onehot = np.eye(5)[labels]
+        np.testing.assert_allclose(got, (soft - onehot) / 4, atol=1e-5)
+
+
+class TestMSE:
+    def test_value(self, rng):
+        pred = rng.standard_normal((3, 4)).astype(np.float32)
+        target = rng.standard_normal((3, 4)).astype(np.float32)
+        b = GraphBuilder("g")
+        p = b.initializer("p", pred)
+        t = b.initializer("t", target)
+        loss = mean_squared_error(b, p, t)
+        b.mark_output(loss)
+        assert float(interpret(b.graph)[loss]) == pytest.approx(
+            ((pred - target) ** 2).mean(), abs=1e-6)
+
+    def test_add_loss_unknown_kind(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 3))
+        y = b.emit("relu", [x])
+        b.mark_output(y)
+        with pytest.raises(CompileError):
+            add_loss(b, "hinge", y)
+
+
+class TestOptimizerAttachment:
+    def _grads(self):
+        b = GraphBuilder("g")
+        w = b.initializer("w", np.zeros((4, 2), np.float32), trainable=True)
+        g = b.initializer("w_grad", np.ones((4, 2), np.float32))
+        return b, {"w": "w_grad"}
+
+    def test_sgd_momentum_state_created(self):
+        b, grads = self._grads()
+        attach_optimizer(b, grads, SGD(0.1, momentum=0.9))
+        assert "w.momentum" in b.graph.initializers
+        assert optimizer_state_bytes(b.graph) == 4 * 2 * 4
+
+    def test_plain_sgd_no_state(self):
+        b, grads = self._grads()
+        attach_optimizer(b, grads, SGD(0.1))
+        assert optimizer_state_bytes(b.graph) == 0
+
+    def test_sliced_state_matches_grad_shape(self):
+        b = GraphBuilder("g")
+        w = b.initializer("w", np.zeros((8, 2), np.float32), trainable=True)
+        g = b.initializer("w_grad", np.ones((4, 2), np.float32))
+        attach_optimizer(b, {"w": "w_grad"}, SGD(0.1, momentum=0.9),
+                         slice_k={"w": 4}, slice_axis={"w": 0})
+        assert b.graph.initializers["w.momentum"].shape == (4, 2)
+
+    def test_unknown_param_rejected(self):
+        b = GraphBuilder("g")
+        g = b.initializer("grad", np.ones(2, np.float32))
+        with pytest.raises(CompileError):
+            attach_optimizer(b, {"ghost": "grad"}, SGD(0.1))
+
+
+class TestPrinter:
+    def test_format_graph_truncation(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2,))
+        h = x
+        for _ in range(10):
+            h = b.emit("relu", [h])
+        b.mark_output(h)
+        text = format_graph(b.graph, max_nodes=3)
+        assert "more nodes" in text
+        full = format_graph(b.graph)
+        assert full.count("relu") >= 10
+
+    def test_dtype_in_listing(self):
+        b = GraphBuilder("g")
+        b.input("ids", (2, 3), DType.INT64)
+        assert "int64" in format_graph(b.graph)

@@ -1,0 +1,165 @@
+"""Liveness analysis, memory profiler, arena planner — including the
+cross-check that the analytical profiler matches the executor's measured
+peak exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryPlanError
+from repro.ir import GraphBuilder
+from repro.memory import (plan_arena, profile_memory, value_lifetimes)
+from repro.runtime import Executor, Program
+from repro.runtime.compiler import CompileOptions, compile_training
+from repro.sparse import UpdateScheme, bias_only, full_update
+from repro.train import SGD
+
+from conftest import make_mlp_graph
+
+
+class TestLiveness:
+    def test_basic_intervals(self):
+        b, names = make_mlp_graph()
+        schedule = b.graph.topological_order()
+        lives = value_lifetimes(b.graph, schedule)
+        assert lives[names["x"]].start == -1
+        out = names["logits"]
+        assert lives[out].end == len(schedule)  # graph output lives on
+
+    def test_intermediate_dies_at_last_use(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        h = b.emit("relu", [x])
+        y = b.emit("tanh", [h])
+        b.mark_output(y)
+        lives = value_lifetimes(b.graph, b.graph.topological_order())
+        assert lives[h].start == 0 and lives[h].end == 1
+
+    def test_use_before_production_rejected(self):
+        b, _ = make_mlp_graph()
+        schedule = list(reversed(b.graph.topological_order()))
+        with pytest.raises(MemoryPlanError):
+            value_lifetimes(b.graph, schedule)
+
+    def test_inplace_outputs_pinned(self):
+        b, _ = make_mlp_graph()
+        program = compile_training(b.graph, optimizer=SGD(0.1))
+        lives = value_lifetimes(program.graph, program.schedule)
+        for node in program.inplace_nodes():
+            assert lives[node.inputs[0]].end == len(program.schedule)
+
+
+class TestProfilerMatchesExecutor:
+    @pytest.mark.parametrize("scheme_kind", ["full", "bias", "channel"])
+    def test_peak_transient_exact(self, scheme_kind):
+        b, _ = make_mlp_graph(batch=8, din=12, dhidden=16, dout=4)
+        if scheme_kind == "full":
+            scheme = full_update(b.graph)
+        elif scheme_kind == "bias":
+            scheme = UpdateScheme("b", {"b1": 1.0, "b2": 1.0})
+        else:
+            scheme = UpdateScheme("c", {"w1": 0.5, "w2": 1.0})
+        program = compile_training(b.graph, optimizer=SGD(0.1),
+                                   scheme=scheme)
+        profile = profile_memory(program.graph, program.schedule)
+        executor = Executor(program)
+        executor.run({"x": np.ones((8, 12), np.float32),
+                      "labels": np.zeros(8, np.int64)})
+        assert executor.peak_transient_bytes == profile.peak_transient_bytes
+
+    def test_resident_counts_params_and_state(self):
+        b, _ = make_mlp_graph()
+        program = compile_training(b.graph, optimizer=SGD(0.1, momentum=0.9))
+        profile = profile_memory(program.graph, program.schedule)
+        assert profile.resident_bytes == program.state_bytes()
+
+    def test_timeline_when_requested(self):
+        b, _ = make_mlp_graph()
+        profile = profile_memory(b.graph, keep_timeline=True)
+        assert len(profile.timeline) == len(b.graph.nodes)
+        assert max(profile.timeline) == profile.peak_transient_bytes
+
+
+class TestSparseMemorySavings:
+    def test_bias_only_below_full(self):
+        b, _ = make_mlp_graph(batch=16, din=32, dhidden=64, dout=8)
+        full_prog = compile_training(b.graph, optimizer=SGD(0.1),
+                                     scheme=full_update(b.graph))
+        bias_prog = compile_training(
+            b.graph, optimizer=SGD(0.1),
+            scheme=UpdateScheme("b", {"b1": 1.0, "b2": 1.0}))
+        full_peak = profile_memory(full_prog.graph,
+                                   full_prog.schedule).peak_total_bytes
+        bias_peak = profile_memory(bias_prog.graph,
+                                   bias_prog.schedule).peak_total_bytes
+        assert bias_peak < full_peak
+
+    def test_reorder_reduces_gradient_buffer_peak(self):
+        """Paper §3.2: applying updates immediately vs holding all grads."""
+        b, _ = make_mlp_graph(batch=4, din=64, dhidden=128, dout=32)
+        held = compile_training(
+            b.graph, optimizer=SGD(0.1),
+            options=CompileOptions(reorder=False, applies_last=True))
+        reordered = compile_training(b.graph, optimizer=SGD(0.1))
+        peak_held = profile_memory(held.graph, held.schedule)
+        peak_reord = profile_memory(reordered.graph, reordered.schedule)
+        assert peak_reord.peak_transient_bytes \
+            < peak_held.peak_transient_bytes
+
+
+class TestArenaPlanner:
+    def test_plan_validates(self):
+        b, _ = make_mlp_graph()
+        program = compile_training(b.graph, optimizer=SGD(0.1))
+        plan = plan_arena(program.graph, program.schedule)
+        plan.validate(program.graph)
+        assert plan.arena_bytes > 0
+
+    def test_arena_at_least_peak_and_bounded(self):
+        b, _ = make_mlp_graph(batch=8, din=16, dhidden=24, dout=4)
+        program = compile_training(b.graph, optimizer=SGD(0.1))
+        plan = plan_arena(program.graph, program.schedule, alignment=1)
+        profile = profile_memory(program.graph, program.schedule)
+        assert plan.arena_bytes >= profile.peak_transient_bytes
+        # Greedy best-fit should stay within 2x of the lower bound here.
+        assert plan.arena_bytes <= 2 * profile.peak_transient_bytes
+
+    def test_overlap_detection_fires(self):
+        b, _ = make_mlp_graph()
+        program = compile_training(b.graph, optimizer=SGD(0.1))
+        plan = plan_arena(program.graph, program.schedule)
+        if len(plan.offsets) >= 2:
+            # Force two live-overlapping tensors to the same offset.
+            names = sorted(plan.offsets,
+                           key=lambda n: -program.graph.spec(n).nbytes)
+            a = names[0]
+            overlapping = [
+                n for n in names[1:]
+                if plan.lifetimes[n].overlaps(plan.lifetimes[a])
+            ]
+            if overlapping:
+                plan.offsets[overlapping[0]] = plan.offsets[a]
+                with pytest.raises(MemoryPlanError):
+                    plan.validate(program.graph)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_graph_plans_never_overlap(self, seed):
+        """Property: arena placement never overlaps live tensors."""
+        rng = np.random.default_rng(seed)
+        b = GraphBuilder("g")
+        values = [b.input("x", (int(rng.integers(1, 8)), 4))]
+        for i in range(int(rng.integers(2, 10))):
+            src = values[int(rng.integers(0, len(values)))]
+            if rng.random() < 0.5:
+                values.append(b.emit("relu", [src]))
+            else:
+                other = values[int(rng.integers(0, len(values)))]
+                if b.shape(src) == b.shape(other):
+                    values.append(b.add(src, other))
+                else:
+                    values.append(b.emit("tanh", [src]))
+        b.mark_output(values[-1])
+        plan = plan_arena(b.graph)
+        plan.validate(b.graph)

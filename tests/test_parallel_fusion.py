@@ -1,0 +1,194 @@
+"""Parallel-linear (QKV) fusion pass."""
+
+import numpy as np
+import pytest
+
+from repro.ir import GraphBuilder, validate_graph
+from repro.passes import ParallelLinearFusionPass, PassContext
+from repro.runtime import interpret
+
+
+def qkv_graph(rng, batch=2, seq=4, dim=8, bias=True, branches=3):
+    """``branches`` parallel linears off one shared activation."""
+    b = GraphBuilder("qkv")
+    x = b.input("x", (batch, seq, dim))
+    outs = []
+    for i in range(branches):
+        w = b.initializer(f"w{i}", (rng.standard_normal((dim, dim)) * 0.3)
+                          .astype(np.float32))
+        y = b.matmul(x, w)
+        if bias:
+            bias_name = b.initializer(
+                f"b{i}", rng.standard_normal(dim).astype(np.float32))
+            y = b.bias_add(y, bias_name, axis=2)
+        outs.append(y)
+    total = outs[0]
+    for y in outs[1:]:
+        total = b.add(total, y)
+    b.mark_output(total)
+    return b.graph, outs
+
+
+def run_pass(graph, updated=()):
+    return ParallelLinearFusionPass().run(
+        graph, PassContext(updated_params=set(updated)))
+
+
+class TestMatching:
+    def test_merges_three_branches(self, rng):
+        graph, _ = qkv_graph(rng)
+        result = run_pass(graph)
+        assert result.changed
+        assert result.stats == {"groups": 1, "branches": 3}
+        matmuls = [n for n in graph.nodes if n.op_type == "matmul"]
+        assert len(matmuls) == 1
+        validate_graph(graph)
+
+    def test_merges_without_bias(self, rng):
+        graph, _ = qkv_graph(rng, bias=False)
+        result = run_pass(graph)
+        assert result.stats["groups"] == 1
+        assert all(n.op_type != "bias_add" for n in graph.nodes)
+
+    def test_concatenated_weight_shape(self, rng):
+        graph, _ = qkv_graph(rng, dim=8)
+        run_pass(graph)
+        (mm,) = [n for n in graph.nodes if n.op_type == "matmul"]
+        assert graph.spec(mm.inputs[1]).shape == (8, 24)
+
+    def test_skips_updated_weights(self, rng):
+        graph, _ = qkv_graph(rng)
+        result = run_pass(graph, updated={"w0"})
+        # w0 is training; only w1/w2 may merge.
+        assert result.stats["branches"] == 2
+        assert "w0" in graph.initializers
+
+    def test_skips_when_all_updated(self, rng):
+        graph, _ = qkv_graph(rng)
+        result = run_pass(graph, updated={"w0", "w1", "w2"})
+        assert not result.changed
+
+    def test_skips_single_branch(self, rng):
+        graph, _ = qkv_graph(rng, branches=1)
+        assert not run_pass(graph).changed
+
+    def test_skips_shared_weight(self, rng):
+        # A weight consumed twice (e.g. tied embeddings) must not merge.
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 8))
+        w = b.initializer("w", rng.standard_normal((8, 8))
+                          .astype(np.float32))
+        y1, y2 = b.matmul(x, w), b.matmul(x, w)
+        b.mark_output(b.add(y1, y2))
+        assert not run_pass(b.graph).changed
+
+    def test_skips_mismatched_input_dims(self, rng):
+        b = GraphBuilder("g")
+        x1 = b.input("x1", (2, 8))
+        x2 = b.input("x2", (2, 8))
+        w1 = b.initializer("w1", rng.standard_normal((8, 4))
+                           .astype(np.float32))
+        w2 = b.initializer("w2", rng.standard_normal((8, 4))
+                           .astype(np.float32))
+        b.mark_output(b.add(b.matmul(x1, w1), b.matmul(x2, w2)))
+        assert not run_pass(b.graph).changed  # different activations
+
+    def test_original_weights_dce_removed(self, rng):
+        graph, _ = qkv_graph(rng)
+        run_pass(graph)
+        for i in range(3):
+            assert f"w{i}" not in graph.initializers
+
+
+class TestNumerics:
+    def test_equivalence_with_bias(self, rng):
+        graph, outs = qkv_graph(rng)
+        x = rng.standard_normal((2, 4, 8)).astype(np.float32)
+        want = interpret(graph, {"x": x})[graph.outputs[0]]
+        run_pass(graph)
+        got = interpret(graph, {"x": x})[graph.outputs[0]]
+        np.testing.assert_allclose(want, got, rtol=1e-5)
+
+    def test_equivalence_without_bias(self, rng):
+        graph, _ = qkv_graph(rng, bias=False, branches=4)
+        x = rng.standard_normal((2, 4, 8)).astype(np.float32)
+        want = interpret(graph, {"x": x})[graph.outputs[0]]
+        run_pass(graph)
+        got = interpret(graph, {"x": x})[graph.outputs[0]]
+        np.testing.assert_allclose(want, got, rtol=1e-5)
+
+    def test_branch_outputs_as_graph_outputs(self, rng):
+        # Merged branch values can themselves be graph outputs.
+        graph, outs = qkv_graph(rng, bias=False)
+        for out in outs:
+            graph.outputs.append(out)
+        x = rng.standard_normal((2, 4, 8)).astype(np.float32)
+        want = interpret(graph, {"x": x})
+        run_pass(graph)
+        validate_graph(graph)
+        got = interpret(graph, {"x": x})
+        for a, b in zip(want.values(), got.values()):
+            np.testing.assert_allclose(a, b, rtol=1e-5)
+
+
+class TestOnRealModels:
+    def test_bert_sparse_training_graph_merges_frozen_prefix(self):
+        from repro.models import build_model, paper_scheme
+        from repro.runtime.compiler import compile_training
+        from repro.train import SGD
+
+        forward = build_model("bert_micro", batch=2, seq_len=8,
+                              num_classes=2)
+        program = compile_training(forward, optimizer=SGD(0.01),
+                                   scheme=paper_scheme(forward))
+        stats = program.meta["report"].pass_stats["parallel_fusion"]
+        assert stats["groups"] >= 1
+        validate_graph(program.graph)
+
+    def test_full_update_training_graph_has_no_merges(self):
+        from repro.models import build_model
+        from repro.runtime.compiler import compile_training
+        from repro.sparse import full_update
+        from repro.train import SGD
+
+        forward = build_model("bert_micro", batch=2, seq_len=8,
+                              num_classes=2)
+        program = compile_training(forward, optimizer=SGD(0.01),
+                                   scheme=full_update(forward))
+        stats = program.meta["report"].pass_stats.get("parallel_fusion", {})
+        assert stats.get("groups", 0) == 0
+
+    def test_inference_graph_merges_all_attention(self):
+        from repro.models import build_model
+        from repro.runtime.compiler import CompileOptions, compile_inference
+
+        forward = build_model("bert_micro", batch=2, seq_len=8,
+                              num_classes=2)
+        on = compile_inference(forward)
+        off = compile_inference(
+            forward, options=CompileOptions(parallel_fusion=False))
+        mm = lambda p: sum(1 for n in p.graph.nodes  # noqa: E731
+                           if n.op_type == "matmul")
+        assert mm(on) < mm(off)
+
+    def test_training_step_numerics_unchanged(self, rng):
+        from repro.models import build_model, paper_scheme
+        from repro.runtime import Executor
+        from repro.runtime.compiler import CompileOptions, compile_training
+        from repro.train import SGD
+
+        forward = build_model("bert_micro", batch=2, seq_len=8,
+                              num_classes=2)
+        scheme = paper_scheme(forward)
+        feeds = {forward.inputs[0]: rng.integers(
+            0, 50, forward.spec(forward.inputs[0]).shape).astype(np.int64)}
+        labels = rng.integers(0, 2, 2).astype(np.int64)
+        losses = {}
+        for enabled in (True, False):
+            program = compile_training(
+                forward, optimizer=SGD(0.01), scheme=scheme,
+                options=CompileOptions(parallel_fusion=enabled))
+            out = Executor(program).run(
+                {**feeds, program.meta["labels"]: labels})
+            losses[enabled] = float(out[program.meta["loss"]])
+        assert losses[True] == pytest.approx(losses[False], rel=1e-5)

@@ -1,0 +1,235 @@
+"""Cross-cutting property-based tests on compiler invariants.
+
+These pin down the invariants everything else relies on:
+
+* any valid schedule of the same graph computes the same outputs,
+* the memory-aware schedule never exceeds the naive schedule's peak,
+* full serialization round-trips random graphs exactly,
+* reordering the optimizer applies does not change the trained weights,
+* pruned-sparse and masked-sparse training move shared parameters
+  identically (the paper's correctness premise for graph pruning).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import GraphBuilder, graph_from_dict, graph_to_dict, \
+    validate_graph
+from repro.memory import profile_memory
+from repro.passes import default_schedule, memory_aware_schedule
+from repro.runtime import Executor, Program
+from repro.runtime.compiler import CompileOptions, compile_training
+from repro.sparse import UpdateScheme
+from repro.train import SGD
+
+from conftest import make_mlp_graph
+
+
+def random_dag(seed: int) -> tuple:
+    """A random elementwise/matmul DAG over a (4, 6) input."""
+    rng = np.random.default_rng(seed)
+    b = GraphBuilder("g")
+    x = b.input("x", (4, 6))
+    pool = [x]
+    for i in range(int(rng.integers(3, 10))):
+        pick = pool[int(rng.integers(len(pool)))]
+        kind = rng.integers(0, 4)
+        if kind == 0:
+            pool.append(b.emit("tanh", [pick]))
+        elif kind == 1:
+            other = pool[int(rng.integers(len(pool)))]
+            pool.append(b.add(pick, other))
+        elif kind == 2:
+            w = b.initializer(f"w{i}", rng.standard_normal(
+                (6, 6)).astype(np.float32) * 0.3, trainable=True)
+            pool.append(b.matmul(pick, w))
+        else:
+            pool.append(b.emit("sigmoid", [pick]))
+    b.mark_output(pool[-1])
+    feed = rng.standard_normal((4, 6)).astype(np.float32)
+    return b.graph, feed
+
+
+@given(st.integers(0, 2000))
+@settings(max_examples=30, deadline=None)
+def test_any_valid_schedule_computes_same_outputs(seed):
+    graph, feed = random_dag(seed)
+    out_name = graph.outputs[0]
+    baseline = Executor(Program.from_graph(graph)).run({"x": feed})[out_name]
+    smart = memory_aware_schedule(graph)
+    program = Program.from_graph(graph, smart)
+    program.validate_schedule()
+    result = Executor(program).run({"x": feed})[out_name]
+    np.testing.assert_allclose(result, baseline, atol=1e-6)
+
+
+@given(st.integers(0, 2000))
+@settings(max_examples=30, deadline=None)
+def test_memory_aware_schedule_never_worse(seed):
+    graph, _ = random_dag(seed)
+    naive = profile_memory(graph, default_schedule(graph))
+    smart = profile_memory(graph, memory_aware_schedule(graph))
+    assert smart.peak_transient_bytes <= naive.peak_transient_bytes
+
+
+@given(st.integers(0, 2000))
+@settings(max_examples=30, deadline=None)
+def test_serialization_roundtrip_random_graphs(seed):
+    graph, feed = random_dag(seed)
+    back = graph_from_dict(graph_to_dict(graph))
+    validate_graph(back)
+    out = graph.outputs[0]
+    a = Executor(Program.from_graph(graph)).run({"x": feed})[out]
+    c = Executor(Program.from_graph(back)).run({"x": feed})[out]
+    np.testing.assert_allclose(a, c, atol=1e-6)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_reordering_does_not_change_training_result(seed):
+    """Applying each gradient immediately vs holding all gradients until a
+    final optimizer phase must produce identical weights: the gradients are
+    all computed from the same (pre-update) forward pass either way."""
+    feeds = {
+        "x": np.random.default_rng(seed).standard_normal(
+            (4, 5)).astype(np.float32),
+        "labels": np.array([0, 1, 2, 0], np.int64),
+    }
+    states = {}
+    for reorder in (True, False):
+        b, _ = make_mlp_graph(seed=seed)
+        program = compile_training(
+            b.graph, optimizer=SGD(0.1, momentum=0.9),
+            options=CompileOptions(reorder=reorder,
+                                   applies_last=not reorder))
+        ex = Executor(program)
+        for _ in range(5):
+            ex.run(feeds)
+        states[reorder] = program.state
+    for key in states[True]:
+        np.testing.assert_allclose(states[True][key], states[False][key],
+                                   atol=1e-5, err_msg=key)
+
+
+@pytest.mark.parametrize("scheme_updates", [
+    {"w2": 1.0, "b2": 1.0},
+    {"b1": 1.0, "b2": 1.0},
+    {"w1": 1.0, "b1": 1.0, "w2": 1.0, "b2": 1.0},
+])
+def test_pruned_equals_masked_on_shared_params(scheme_updates):
+    """Graph pruning is purely an efficiency transform: the parameters a
+    scheme updates receive exactly the gradients masked (full-compute)
+    training would give them."""
+    feeds = {
+        "x": np.random.default_rng(7).standard_normal(
+            (4, 5)).astype(np.float32),
+        "labels": np.array([1, 0, 2, 1], np.int64),
+    }
+    scheme = UpdateScheme("s", scheme_updates)
+    results = {}
+    for masked in (False, True):
+        b, _ = make_mlp_graph(seed=3)
+        program = compile_training(
+            b.graph, optimizer=SGD(0.2), scheme=scheme,
+            options=CompileOptions(masked_sparse=masked))
+        ex = Executor(program)
+        for _ in range(3):
+            ex.run(feeds)
+        results[masked] = program.state
+    for param in scheme_updates:
+        np.testing.assert_allclose(results[False][param],
+                                   results[True][param], atol=1e-5,
+                                   err_msg=param)
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=15, deadline=None)
+def test_executor_peak_matches_profiler_on_random_graphs(seed):
+    graph, feed = random_dag(seed)
+    schedule = memory_aware_schedule(graph)
+    program = Program.from_graph(graph, schedule)
+    ex = Executor(program)
+    ex.run({"x": feed})
+    profile = profile_memory(graph, schedule)
+    assert ex.peak_transient_bytes == profile.peak_transient_bytes
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=10, deadline=None)
+def test_artifact_roundtrip_random_graphs(seed):
+    """save_artifact/load_artifact preserves outputs for arbitrary DAGs."""
+    import tempfile
+
+    from repro.deploy import load_artifact, save_artifact
+
+    graph, feed = random_dag(seed)
+    program = Program.from_graph(graph)
+    with tempfile.TemporaryDirectory() as root:
+        save_artifact(program, root)
+        deployed = load_artifact(root)
+        want = Executor(program).run({"x": feed})
+        got = deployed.run({"x": feed})
+        for name in program.outputs:
+            np.testing.assert_allclose(want[name], got[name], rtol=1e-6)
+
+
+@given(st.integers(0, 1000), st.floats(0.4, 0.95))
+@settings(max_examples=10, deadline=None)
+def test_remat_equivalence_on_random_graphs(seed, fraction):
+    """Rematerialization preserves outputs on arbitrary DAGs too, not
+    just on training graphs."""
+    from repro.memory import rematerialize
+
+    graph, feed = random_dag(seed)
+    schedule = graph.topological_order()
+    base = profile_memory(graph, schedule)
+    result = rematerialize(graph, schedule,
+                           int(base.peak_total_bytes * fraction))
+    validate_graph(result.graph)
+    want = Executor(Program.from_graph(graph, schedule)).run({"x": feed})
+    got = Executor(Program.from_graph(result.graph, result.schedule)) \
+        .run({"x": feed})
+    for name in graph.outputs:
+        np.testing.assert_allclose(want[name], got[name], rtol=1e-5)
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=15, deadline=None)
+def test_arena_plan_never_overlaps_random_graphs(seed):
+    from repro.memory import plan_arena
+
+    graph, _ = random_dag(seed)
+    schedule = memory_aware_schedule(graph)
+    plan = plan_arena(graph, schedule)
+    plan.validate(graph)  # raises on any overlap
+    peak = profile_memory(graph, schedule).peak_transient_bytes
+    # The arena can pad for alignment but must cover the peak's tensors.
+    assert plan.arena_bytes >= 0
+    assert plan.arena_bytes <= max(4 * peak, 1024)
+
+
+@given(st.integers(1, 40), st.integers(1, 40), st.integers(1, 6))
+@settings(max_examples=25, deadline=None)
+def test_keras_dense_stack_shapes_match_trace(units1, units2, batch):
+    """Layer-spec shape inference always agrees with traced-graph shapes."""
+    from repro.frontend.keras_like import Dense, build_sequential
+
+    graph = build_sequential([Dense(units1, activation="relu"),
+                              Dense(units2)], (batch, 7))
+    assert graph.spec(graph.outputs[0]).shape == (batch, units2)
+    validate_graph(graph)
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=10, deadline=None)
+def test_rewrite_pass_preserves_random_dag_outputs(seed):
+    from repro.passes import AlgebraicRewritePass, PassContext
+
+    graph, feed = random_dag(seed)
+    want = Executor(Program.from_graph(graph)).run({"x": feed})
+    AlgebraicRewritePass().run(graph, PassContext())
+    validate_graph(graph)
+    got = Executor(Program.from_graph(graph)).run({"x": feed})
+    for name in graph.outputs:
+        np.testing.assert_allclose(want[name], got[name], rtol=1e-5)

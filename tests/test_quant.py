@@ -1,0 +1,534 @@
+"""Quantization: params, observers, calibration, QAT, int8 conversion, QAS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CompileError
+from repro.ir import DType, GraphBuilder, validate_graph
+from repro.kernels import run_op
+from repro.quant import (MinMaxObserver, MovingAverageObserver,
+                         PercentileObserver, QuantConfig, QuantParams,
+                         apply_qas, collect_ranges, insert_fake_quant,
+                         int8_grid_training_graph, params_from_range,
+                         qas_scales, quantize_inference_graph,
+                         watched_values, weight_params)
+from repro.runtime import Executor, interpret
+from repro.runtime.compiler import compile_training
+from repro.train import SGD
+
+from conftest import make_mlp_graph
+
+
+def small_convnet(rng, batch=2, with_bias=True):
+    """conv-bias-relu x2 -> gap -> matmul classifier."""
+    b = GraphBuilder("net")
+    x = b.input("x", (batch, 3, 8, 8))
+    w1 = b.initializer(
+        "w1", (rng.standard_normal((8, 3, 3, 3)) * 0.2).astype(np.float32),
+        trainable=True)
+    h = b.conv2d(x, w1, stride=1, padding=1)
+    if with_bias:
+        b1 = b.initializer("b1", np.zeros(8, np.float32), trainable=True)
+        h = b.bias_add(h, b1, axis=1)
+    h = b.emit("relu", [h])
+    w2 = b.initializer(
+        "w2", (rng.standard_normal((8, 8, 3, 3)) * 0.2).astype(np.float32),
+        trainable=True)
+    h = b.conv2d(h, w2, stride=2, padding=1)
+    if with_bias:
+        b2 = b.initializer("b2", np.zeros(8, np.float32), trainable=True)
+        h = b.bias_add(h, b2, axis=1)
+    h = b.emit("relu", [h])
+    h = b.emit("global_avg_pool", [h])
+    h = b.reshape(h, (batch, 8))
+    wf = b.initializer(
+        "wf", (rng.standard_normal((8, 4)) * 0.3).astype(np.float32),
+        trainable=True)
+    b.mark_output(b.matmul(h, wf))
+    return b.graph
+
+
+class TestQuantParams:
+    def test_round_trip_error_bounded_by_scale(self, rng):
+        x = rng.standard_normal(1000).astype(np.float32) * 3
+        p = params_from_range(float(x.min()), float(x.max()))
+        err = np.abs(p.fake(x) - x)
+        assert float(err.max()) <= float(np.max(p.scale)) / 2 + 1e-6
+
+    def test_symmetric_has_zero_zero_point(self):
+        p = params_from_range(-1.5, 0.7, symmetric=True)
+        assert p.zero_point == 0
+        assert p.scale == pytest.approx(1.5 / 127)
+
+    def test_range_always_contains_zero(self):
+        # All-positive data must still represent 0 exactly.
+        p = params_from_range(2.0, 5.0)
+        assert p.dequantize(np.array([p.zero_point], np.int8))[0] == 0.0
+
+    def test_per_channel_weight_params(self, rng):
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        w[2] *= 10  # one loud channel must not hurt the others
+        p = weight_params(w, per_channel=True, axis=0)
+        assert p.axis == 0 and len(p.scale) == 4
+        err = np.abs(p.fake(w) - w)
+        for c in range(4):
+            assert err[c].max() <= p.scale[c] / 2 + 1e-6
+
+    def test_per_tensor_weight_params_suffer_loud_channel(self, rng):
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        w[2] *= 10
+        per_tensor = weight_params(w, per_channel=False)
+        per_channel = weight_params(w, per_channel=True, axis=0)
+        quiet = [0, 1, 3]
+        err_t = np.abs(per_tensor.fake(w) - w)[quiet].max()
+        err_c = np.abs(per_channel.fake(w) - w)[quiet].max()
+        assert err_c < err_t
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(CompileError):
+            QuantParams(scale=0.0)
+
+    def test_rejects_per_channel_without_axis(self):
+        with pytest.raises(CompileError):
+            QuantParams(scale=(0.1, 0.2))
+
+    @given(lo=st.floats(-100, 0), width=st.floats(1e-3, 200))
+    @settings(max_examples=50, deadline=None)
+    def test_quantize_stays_in_int8_range(self, lo, width):
+        p = params_from_range(lo, lo + width)
+        x = np.linspace(lo - width, lo + 2 * width, 64, dtype=np.float32)
+        q = p.quantize(x)
+        assert q.dtype == np.int8
+        assert q.min() >= -128 and q.max() <= 127
+
+
+class TestObservers:
+    def test_minmax_tracks_extremes(self, rng):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0, 2.0]))
+        obs.observe(np.array([-3.0, 0.5]))
+        assert obs.range() == (-3.0, 2.0)
+
+    def test_unobserved_raises(self):
+        with pytest.raises(CompileError):
+            MinMaxObserver().range()
+        assert not MinMaxObserver().ready
+
+    def test_moving_average_damps_outlier(self):
+        obs = MovingAverageObserver(momentum=0.9)
+        for _ in range(20):
+            obs.observe(np.array([-1.0, 1.0]))
+        obs.observe(np.array([-100.0, 100.0]))
+        lo, hi = obs.range()
+        assert hi < 15  # a single outlier cannot blow up the range
+
+    def test_percentile_clips_tails(self, rng):
+        x = rng.standard_normal(100_000).astype(np.float32)
+        x[0] = 1e6
+        obs = PercentileObserver(percentile=99.0)
+        obs.observe(x)
+        lo, hi = obs.range()
+        assert hi < 10
+
+    def test_percentile_validates_argument(self):
+        with pytest.raises(CompileError):
+            PercentileObserver(percentile=10.0)
+
+    def test_moving_average_validates_momentum(self):
+        with pytest.raises(CompileError):
+            MovingAverageObserver(momentum=1.5)
+
+
+class TestKernels:
+    def test_fake_quant_idempotent(self, rng):
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        attrs = {"scale": 0.05, "zero_point": 3, "bits": 8, "axis": None}
+        (once,) = run_op("fake_quant", [x], attrs)
+        (twice,) = run_op("fake_quant", [once], attrs)
+        np.testing.assert_array_equal(once, twice)
+
+    def test_quantize_dequantize_inverse_on_grid(self, rng):
+        p = QuantParams(scale=0.1, zero_point=-5)
+        grid = (np.arange(-20, 20) * 0.1).astype(np.float32)
+        (q,) = run_op("quantize_linear", [grid], p.attrs())
+        (back,) = run_op("dequantize_linear", [q], p.attrs())
+        np.testing.assert_allclose(back, grid, atol=1e-6)
+
+    def test_matmul_i8_matches_float_reference(self, rng):
+        a = rng.standard_normal((6, 10)).astype(np.float32)
+        w = (rng.standard_normal((10, 4)) * 0.4).astype(np.float32)
+        ap = params_from_range(float(a.min()), float(a.max()))
+        wp = weight_params(w, axis=1)
+        ref = a @ w
+        op = params_from_range(float(ref.min()), float(ref.max()))
+        (y,) = run_op("matmul_i8", [ap.quantize(a), wp.quantize(w)], {
+            "x_scale": ap.scale, "x_zero_point": ap.zero_point,
+            "w_scale": wp.scale, "out_scale": op.scale,
+            "out_zero_point": op.zero_point, "activation": None,
+        })
+        got = op.dequantize(y)
+        assert np.abs(got - ref).max() < 12 * float(np.max(op.scale))
+
+    def test_conv2d_i8_with_bias_and_relu(self, rng):
+        x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        w = (rng.standard_normal((4, 3, 3, 3)) * 0.3).astype(np.float32)
+        bias = rng.standard_normal(4).astype(np.float32)
+        from repro.kernels.conv2d import conv2d_forward
+        ref = np.maximum(
+            conv2d_forward(x, w, 1, 1) + bias.reshape(1, -1, 1, 1), 0)
+        xp = params_from_range(float(x.min()), float(x.max()))
+        wp = weight_params(w, axis=0)
+        op = params_from_range(0.0, float(ref.max()))
+        mult = np.float64(xp.scale) * np.asarray(wp.scale)
+        bias_i32 = np.round(bias / mult).astype(np.int32)
+        (y,) = run_op("conv2d_i8",
+                      [xp.quantize(x), wp.quantize(w), bias_i32], {
+                          "stride": 1, "padding": 1, "groups": 1,
+                          "x_scale": xp.scale, "x_zero_point": xp.zero_point,
+                          "w_scale": wp.scale, "out_scale": op.scale,
+                          "out_zero_point": op.zero_point,
+                          "activation": "relu",
+                      })
+        got = op.dequantize(y)
+        assert got.min() >= -1e-6  # relu folded into requantization
+        assert np.abs(got - ref).max() < 20 * float(np.max(op.scale))
+
+    def test_add_i8_matches_float_add(self, rng):
+        a = rng.standard_normal((3, 5)).astype(np.float32)
+        c = rng.standard_normal((3, 5)).astype(np.float32) * 2
+        ap = params_from_range(float(a.min()), float(a.max()))
+        cp = params_from_range(float(c.min()), float(c.max()))
+        ref = a + c
+        op = params_from_range(float(ref.min()), float(ref.max()))
+        (y,) = run_op("add_i8", [ap.quantize(a), cp.quantize(c)], {
+            "a_scale": ap.scale, "a_zero_point": ap.zero_point,
+            "b_scale": cp.scale, "b_zero_point": cp.zero_point,
+            "out_scale": op.scale, "out_zero_point": op.zero_point,
+            "activation": None,
+        })
+        got = op.dequantize(y)
+        assert np.abs(got - ref).max() < 4 * float(np.max(op.scale))
+
+    def test_global_avg_pool_i8_matches_float(self, rng):
+        x = rng.standard_normal((2, 4, 6, 6)).astype(np.float32)
+        p = params_from_range(float(x.min()), float(x.max()))
+        (y,) = run_op("global_avg_pool_i8", [p.quantize(x)], {})
+        got = p.dequantize(y)
+        ref = x.mean(axis=(2, 3))
+        assert y.shape == (2, 4)
+        assert np.abs(got - ref).max() < 2 * float(np.max(p.scale))
+
+    def test_quantized_ops_shape_inference(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 3), DType.INT8)
+        w = b.initializer("w", np.zeros((3, 4), np.int8))
+        y = b.emit("matmul_i8", [x, w],
+                   {"x_scale": 0.1, "x_zero_point": 0, "w_scale": 0.1,
+                    "out_scale": 0.1, "out_zero_point": 0,
+                    "activation": None})
+        assert b.spec(y).shape == (2, 4)
+        assert b.spec(y).dtype == DType.INT8
+
+    def test_matmul_i8_rejects_float_operands(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 3))
+        w = b.initializer("w", np.zeros((3, 4), np.int8))
+        with pytest.raises(Exception):
+            b.emit("matmul_i8", [x, w], {"x_scale": 0.1, "w_scale": 0.1,
+                                         "out_scale": 0.1})
+
+
+class TestCalibration:
+    def test_watched_values_cover_chain_tails(self, rng):
+        g = small_convnet(rng)
+        watched = watched_values(g)
+        # Every conv/matmul output plus the post-bias/relu values.
+        relu_outs = [n.outputs[0] for n in g.nodes if n.op_type == "relu"]
+        for out in relu_outs:
+            assert out in watched
+
+    def test_collect_ranges_sees_every_watched_value(self, rng):
+        g = small_convnet(rng)
+        batches = [{"x": rng.standard_normal((2, 3, 8, 8))
+                    .astype(np.float32)} for _ in range(3)]
+        observers = collect_ranges(g, batches)
+        assert set(observers) == set(watched_values(g))
+        assert all(o.ready for o in observers.values())
+
+    def test_collect_ranges_requires_batches(self, rng):
+        g = small_convnet(rng)
+        with pytest.raises(ValueError):
+            collect_ranges(g, [])
+
+
+class TestQATConversion:
+    def test_fake_quant_inserted_on_weights_and_acts(self, rng):
+        g = small_convnet(rng)
+        batches = [{"x": rng.standard_normal((2, 3, 8, 8))
+                    .astype(np.float32)}]
+        qat = insert_fake_quant(g, collect_ranges(g, batches))
+        validate_graph(qat)
+        fq = [n for n in qat.nodes if n.op_type == "fake_quant"]
+        # 3 weights + 3 input activations (x, relu1 out, flattened features)
+        assert len(fq) == 6
+
+    def test_qat_output_close_to_float(self, rng):
+        g = small_convnet(rng)
+        batches = [{"x": rng.standard_normal((2, 3, 8, 8))
+                    .astype(np.float32)} for _ in range(3)]
+        qat = insert_fake_quant(g, collect_ranges(g, batches))
+        ref = interpret(g, batches[0])[g.outputs[0]]
+        got = interpret(qat, batches[0])[qat.outputs[0]]
+        assert np.abs(ref - got).max() < 0.05
+
+    def test_qat_graph_trains(self, rng):
+        g = small_convnet(rng)
+        batches = [{"x": rng.standard_normal((2, 3, 8, 8))
+                    .astype(np.float32)}]
+        qat = insert_fake_quant(g, collect_ranges(g, batches))
+        program = compile_training(qat, optimizer=SGD(0.1))
+        executor = Executor(program)
+        labels = np.array([0, 1], np.int64)
+        losses = []
+        for _ in range(60):
+            out = executor.run(
+                {"x": batches[0]["x"], program.meta["labels"]: labels})
+            losses.append(float(out[program.meta["loss"]]))
+        assert losses[-1] < losses[0] * 0.6
+
+    def test_shared_weight_wrapped_once(self, rng):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 4))
+        w = b.initializer("w", rng.standard_normal((4, 4))
+                          .astype(np.float32), trainable=True)
+        h = b.emit("relu", [b.matmul(x, w)])
+        b.mark_output(b.matmul(h, w))  # same weight used twice
+        batches = [{"x": rng.standard_normal((2, 4)).astype(np.float32)}]
+        qat = insert_fake_quant(b.graph, collect_ranges(b.graph, batches))
+        fq_on_w = [n for n in qat.nodes
+                   if n.op_type == "fake_quant" and n.inputs[0] == w]
+        assert len(fq_on_w) == 1
+
+
+class TestInt8Deployment:
+    def test_all_linear_ops_converted(self, rng):
+        g = small_convnet(rng)
+        batches = [{"x": rng.standard_normal((2, 3, 8, 8))
+                    .astype(np.float32)} for _ in range(3)]
+        i8 = quantize_inference_graph(g, collect_ranges(g, batches))
+        validate_graph(i8)
+        ops = {n.op_type for n in i8.nodes}
+        assert "conv2d" not in ops and "matmul" not in ops
+        assert "conv2d_i8" in ops and "matmul_i8" in ops
+        # bias and relu folded away entirely
+        assert "bias_add" not in ops and "relu" not in ops
+
+    def test_int8_output_close_to_float(self, rng):
+        g = small_convnet(rng)
+        batches = [{"x": rng.standard_normal((2, 3, 8, 8))
+                    .astype(np.float32)} for _ in range(4)]
+        i8 = quantize_inference_graph(g, collect_ranges(g, batches))
+        ref = interpret(g, batches[0])[g.outputs[0]]
+        got = interpret(i8, batches[0])[i8.outputs[0]]
+        assert np.abs(ref - got).max() < 0.05
+
+    def test_int8_argmax_agrees_with_float(self, rng):
+        g = small_convnet(rng, batch=8)
+        batches = [{"x": rng.standard_normal((8, 3, 8, 8))
+                    .astype(np.float32)} for _ in range(4)]
+        i8 = quantize_inference_graph(g, collect_ranges(g, batches))
+        ref = interpret(g, batches[0])[g.outputs[0]]
+        got = interpret(i8, batches[0])[i8.outputs[0]]
+        agree = (ref.argmax(1) == got.argmax(1)).mean()
+        assert agree >= 0.75
+
+    def test_int8_graph_is_smaller_in_memory(self, rng):
+        from repro.memory import profile_memory
+        g = small_convnet(rng)
+        batches = [{"x": rng.standard_normal((2, 3, 8, 8))
+                    .astype(np.float32)} for _ in range(2)]
+        i8 = quantize_inference_graph(g, collect_ranges(g, batches))
+        p32, p8 = profile_memory(g), profile_memory(i8)
+        assert p8.peak_total_bytes < p32.peak_total_bytes / 2
+
+    def test_int8_tensors_are_int8(self, rng):
+        g = small_convnet(rng)
+        batches = [{"x": rng.standard_normal((2, 3, 8, 8))
+                    .astype(np.float32)}]
+        i8 = quantize_inference_graph(g, collect_ranges(g, batches))
+        for node in i8.nodes:
+            if node.op_type in ("conv2d_i8", "matmul_i8"):
+                assert i8.spec(node.outputs[0]).dtype == DType.INT8
+
+    def test_residual_add_stays_on_int8_grid(self, rng):
+        # MCUNet/ResNet residual adds must convert to add_i8 — falling
+        # back to float costs two extra kernels per block on real DSPs.
+        b = GraphBuilder("res")
+        x = b.input("x", (2, 4, 6, 6))
+        w1 = b.initializer(
+            "w1", (rng.standard_normal((4, 4, 3, 3)) * 0.2)
+            .astype(np.float32), trainable=True)
+        h = b.emit("relu", [b.conv2d(x, w1, padding=1)])
+        skip = b.add(h, x)
+        gap = b.emit("global_avg_pool", [skip])
+        wf = b.initializer(
+            "wf", (rng.standard_normal((4, 3)) * 0.4).astype(np.float32),
+            trainable=True)
+        b.mark_output(b.matmul(gap, wf))
+        g = b.graph
+        batches = [{"x": rng.standard_normal((2, 4, 6, 6))
+                    .astype(np.float32)} for _ in range(3)]
+        i8 = quantize_inference_graph(g, collect_ranges(g, batches))
+        validate_graph(i8)
+        ops = {n.op_type for n in i8.nodes}
+        assert "add_i8" in ops and "global_avg_pool_i8" in ops
+        assert "add" not in ops and "global_avg_pool" not in ops
+        ref = interpret(g, batches[0])[g.outputs[0]]
+        got = interpret(i8, batches[0])[i8.outputs[0]]
+        assert np.abs(ref - got).max() < 0.1
+
+    def test_full_mcunet_micro_converts_numerically(self, rng):
+        from repro.models import build_model
+        g = build_model("mcunet_micro", batch=2, num_classes=3)
+        feeds = {g.inputs[0]: rng.standard_normal(
+            g.spec(g.inputs[0]).shape).astype(np.float32)}
+        i8 = quantize_inference_graph(g, collect_ranges(g, [feeds]))
+        validate_graph(i8)
+        ops = {n.op_type for n in i8.nodes}
+        assert "conv2d" not in ops, "all convs should be int8"
+        ref = interpret(g, feeds)[g.outputs[0]]
+        got = interpret(i8, feeds)[i8.outputs[0]]
+        assert (ref.argmax(1) == got.argmax(1)).mean() >= 0.5
+
+    def test_per_channel_beats_per_tensor_on_imbalanced_conv(self, rng):
+        # Conv weights with wildly different per-channel magnitudes:
+        # per-channel scales (the SNPE default) must quantize the quiet
+        # channels' outputs more accurately than one shared scale.
+        b = GraphBuilder("g")
+        x = b.input("x", (4, 3, 8, 8))
+        w = (rng.standard_normal((8, 3, 3, 3)) * 0.2).astype(np.float32)
+        w[0] *= 10.0  # one loud output channel
+        wn = b.initializer("w", w, trainable=True)
+        b.mark_output(b.conv2d(x, wn, padding=1))
+        g = b.graph
+        batches = [{"x": rng.standard_normal((4, 3, 8, 8))
+                    .astype(np.float32)} for _ in range(3)]
+        ranges = collect_ranges(g, batches)
+        quiet = slice(1, None)  # all channels except the loud one
+        errs = {}
+        for per_channel in (True, False):
+            i8 = quantize_inference_graph(
+                g, ranges, QuantConfig(per_channel=per_channel))
+            ref = interpret(g, batches[0])[g.outputs[0]]
+            got = interpret(i8, batches[0])[i8.outputs[0]]
+            errs[per_channel] = float(
+                np.abs(ref - got)[:, quiet].max())
+        assert errs[True] < errs[False]
+
+    def test_rejects_non_8bit_config(self, rng):
+        g = small_convnet(rng)
+        batches = [{"x": rng.standard_normal((2, 3, 8, 8))
+                    .astype(np.float32)}]
+        with pytest.raises(CompileError):
+            quantize_inference_graph(g, collect_ranges(g, batches),
+                                     QuantConfig(weight_bits=4))
+
+    def test_missing_ranges_fall_back_to_float(self, rng):
+        # With only the input range calibrated, no linear op can prove its
+        # output range, so conversion degrades gracefully to the original
+        # float ops and the graph stays numerically identical.
+        g = small_convnet(rng)
+        converted = quantize_inference_graph(g, {g.inputs[0]: (-3.0, 3.0)})
+        validate_graph(converted)
+        ops = {n.op_type for n in converted.nodes}
+        assert "conv2d_i8" not in ops and "matmul_i8" not in ops
+        x = {"x": rng.standard_normal((2, 3, 8, 8)).astype(np.float32)}
+        np.testing.assert_allclose(
+            interpret(g, x)[g.outputs[0]],
+            interpret(converted, x)[converted.outputs[0]], atol=1e-6)
+
+    def test_missing_range_lookup_raises_with_value_name(self):
+        from repro.quant.convert import _ActRanges
+        acts = _ActRanges({}, QuantConfig())
+        with pytest.raises(CompileError, match="calibrated range"):
+            acts.params("hidden.3")
+
+
+class TestQAS:
+    def _setup(self, rng):
+        # Bias-free on purpose: fp32 biases train without QAS and would
+        # mask the stall this class asserts on.
+        b = GraphBuilder("mlp")
+        x = b.input("x", (4, 5))
+        w1 = b.initializer("w1", (rng.standard_normal((5, 12)) * 0.4)
+                           .astype(np.float32), trainable=True)
+        h = b.emit("relu", [b.matmul(x, w1)])
+        w2 = b.initializer("w2", (rng.standard_normal((12, 3)) * 0.4)
+                           .astype(np.float32), trainable=True)
+        b.mark_output(b.matmul(h, w2))
+        g = b.graph
+        batches = [{"x": rng.standard_normal((4, 5)).astype(np.float32)}
+                   for _ in range(3)]
+        qat = insert_fake_quant(g, collect_ranges(g, batches))
+        return g, qat, batches
+
+    def test_grid_graph_preserves_forward(self, rng):
+        _, qat, batches = self._setup(rng)
+        grid = int8_grid_training_graph(qat)
+        validate_graph(grid)
+        ref = interpret(qat, batches[0])[qat.outputs[0]]
+        got = interpret(grid, batches[0])[grid.outputs[0]]
+        np.testing.assert_allclose(ref, got, atol=1e-4)
+
+    def test_grid_weights_have_int8_magnitudes(self, rng):
+        _, qat, _ = self._setup(rng)
+        grid = int8_grid_training_graph(qat)
+        for param in grid.metadata["int8_grid_params"]:
+            mags = np.abs(grid.initializers[param])
+            assert mags.max() > 10, "weight should live on the int8 grid"
+
+    def test_qas_factors_are_inverse_square_scales(self, rng):
+        _, qat, _ = self._setup(rng)
+        grid = int8_grid_training_graph(qat)
+        for param, factor in qas_scales(grid).items():
+            s = grid.metadata["int8_grid_params"][param]
+            assert factor == pytest.approx(1.0 / (s * s))
+
+    def test_grid_training_stalls_without_qas_learns_with(self, rng):
+        _, qat, _ = self._setup(rng)
+        grid = int8_grid_training_graph(qat)
+        X = rng.standard_normal((4, 5)).astype(np.float32)
+        Y = rng.integers(0, 3, size=4).astype(np.int64)
+
+        def run(graph, use_qas):
+            program = compile_training(graph, optimizer=SGD(0.1))
+            if use_qas:
+                assert apply_qas(program.graph) > 0
+            executor = Executor(program)
+            losses = [float(executor.run(
+                {"x": X, program.meta["labels"]: Y})[program.meta["loss"]])
+                for _ in range(25)]
+            return losses
+
+        stalled = run(grid, use_qas=False)
+        assert stalled[-1] > stalled[0] * 0.95
+        learned = run(grid, use_qas=True)
+        assert learned[-1] < learned[0] * 0.7
+        # QAS uses the per-tensor mean of per-channel scales, so dynamics
+        # track the float run closely but not bit-exactly.
+        float_ref = run(qat, use_qas=False)
+        assert learned[-1] == pytest.approx(float_ref[-1], rel=0.25)
+
+    def test_apply_qas_noop_without_grid_params(self, rng):
+        _, qat, _ = self._setup(rng)
+        program = compile_training(qat, optimizer=SGD(0.1))
+        assert apply_qas(program.graph) == 0
+
+    @given(scale=st.floats(1e-4, 0.5))
+    @settings(max_examples=25, deadline=None)
+    def test_qas_factor_roundtrip(self, scale):
+        g = GraphBuilder("g").graph
+        g.metadata["int8_grid_params"] = {"w": scale}
+        assert qas_scales(g)["w"] == pytest.approx(1.0 / scale ** 2)

@@ -1,0 +1,264 @@
+"""Rematerialization and paging (the POET-style baseline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import GraphBuilder, validate_graph
+from repro.memory import (plan_paging, profile_memory, rematerialize)
+from repro.models import build_model
+from repro.runtime import Executor, Program
+from repro.runtime.compiler import compile_training
+from repro.train import SGD
+
+from conftest import make_mlp_graph
+
+
+def mobilenet_training_program(batch=4):
+    forward = build_model("mobilenetv2_micro", batch=batch)
+    return compile_training(forward, optimizer=SGD(0.05))
+
+
+def chain_graph(depth=6, width=64):
+    """A deep elementwise chain whose intermediates all stay live at the
+    end (every stage feeds the final sum) — maximal remat opportunity."""
+    b = GraphBuilder("chain")
+    x = b.input("x", (width,))
+    stages = [x]
+    value = x
+    for _ in range(depth):
+        value = b.emit("tanh", [value])
+        stages.append(value)
+    total = stages[0]
+    for stage in stages[1:]:
+        total = b.add(total, stage)
+    b.mark_output(total)
+    return b.graph
+
+
+class TestRematerialize:
+    def test_reduces_peak_under_budget(self):
+        program = mobilenet_training_program()
+        base = profile_memory(program.graph, program.schedule)
+        budget = int(base.peak_total_bytes * 0.7)
+        result = rematerialize(program.graph, program.schedule, budget)
+        assert result.fits
+        assert result.peak_after <= budget
+        assert result.peak_before == base.peak_total_bytes
+        validate_graph(result.graph)
+
+    def test_numeric_equivalence_on_training_step(self, rng):
+        program = mobilenet_training_program()
+        base = profile_memory(program.graph, program.schedule)
+        result = rematerialize(program.graph, program.schedule,
+                               int(base.peak_total_bytes * 0.7))
+        forward_in = program.graph.inputs[0]
+        feeds = {
+            forward_in: rng.standard_normal(
+                program.graph.spec(forward_in).shape).astype(np.float32),
+            program.meta["labels"]: rng.integers(0, 10, 4).astype(np.int64),
+        }
+        loss_name = program.meta["loss"]
+        base_loss = Executor(program).run(feeds)[loss_name]
+        remat_prog = Program.from_graph(result.graph, result.schedule)
+        remat_loss = Executor(remat_prog).run(feeds)[loss_name]
+        np.testing.assert_allclose(base_loss, remat_loss, rtol=1e-5)
+
+    def test_executor_measures_the_saving(self, rng):
+        # The analytical saving must be real: the executor's own peak
+        # tracking (actual nbytes of live arrays) drops too.
+        program = mobilenet_training_program()
+        base = profile_memory(program.graph, program.schedule)
+        result = rematerialize(program.graph, program.schedule,
+                               int(base.peak_total_bytes * 0.7))
+        forward_in = program.graph.inputs[0]
+        feeds = {
+            forward_in: rng.standard_normal(
+                program.graph.spec(forward_in).shape).astype(np.float32),
+            program.meta["labels"]: rng.integers(0, 10, 4).astype(np.int64),
+        }
+        ex_base = Executor(program)
+        ex_base.run(feeds)
+        ex_remat = Executor(Program.from_graph(result.graph,
+                                               result.schedule))
+        ex_remat.run(feeds)
+        assert ex_remat.peak_transient_bytes \
+            < ex_base.peak_transient_bytes * 0.8
+
+    def test_costs_extra_computation(self):
+        # The paper's argument against remat (§2.2): memory comes back,
+        # compute goes up.
+        program = mobilenet_training_program()
+        base = profile_memory(program.graph, program.schedule)
+        result = rematerialize(program.graph, program.schedule,
+                               int(base.peak_total_bytes * 0.7))
+        assert result.extra_flops > 0
+        assert len(result.schedule) > len(program.schedule)
+
+    def test_generous_budget_is_identity(self):
+        program = mobilenet_training_program()
+        base = profile_memory(program.graph, program.schedule)
+        result = rematerialize(program.graph, program.schedule,
+                               base.peak_total_bytes + 1)
+        assert result.fits and not result.evictions
+        assert result.extra_flops == 0
+
+    def test_impossible_budget_reports_not_fits(self):
+        program = mobilenet_training_program()
+        result = rematerialize(program.graph, program.schedule,
+                               budget_bytes=1)
+        assert not result.fits
+        assert result.peak_after <= result.peak_before
+
+    def test_duplicate_consumer_rewires_once(self, rng):
+        # Regression: add(v, v) lists v's consumer step twice; the trial
+        # undo used to restore the half-rewritten inputs and corrupt the
+        # graph.
+        from repro.ir import GraphBuilder, validate_graph
+
+        b = GraphBuilder("g")
+        x = b.input("x", (64, 64))
+        h = b.emit("tanh", [x])
+        big = b.matmul(h, b.initializer(
+            "w", rng.standard_normal((64, 64)).astype(np.float32)))
+        doubled = b.add(h, h)  # duplicate consumption of h
+        b.mark_output(b.add(big, doubled))
+        schedule = b.graph.topological_order()
+        result = rematerialize(b.graph, schedule, budget_bytes=1,
+                               max_evictions=8)
+        validate_graph(result.graph)
+        feed = {"x": rng.standard_normal((64, 64)).astype(np.float32)}
+        want = Executor(Program.from_graph(b.graph, schedule)).run(feed)
+        got = Executor(Program.from_graph(result.graph,
+                                          result.schedule)).run(feed)
+        for name in b.graph.outputs:
+            np.testing.assert_allclose(want[name], got[name], rtol=1e-6)
+
+    def test_peak_never_increases_even_on_transformers(self):
+        # Transformer peaks sit on plateaus where naive eviction can
+        # *extend* producer-input lifetimes across the peak; the rollback
+        # logic must guarantee monotone non-increasing peaks anyway.
+        from repro.models import build_model
+
+        forward = build_model("bert_micro", batch=2, seq_len=8,
+                              num_classes=2)
+        program = compile_training(forward, optimizer=SGD(0.05))
+        result = rematerialize(program.graph, program.schedule,
+                               budget_bytes=1, max_evictions=48)
+        assert result.peak_after <= result.peak_before
+
+    def test_respects_max_evictions(self):
+        program = mobilenet_training_program()
+        result = rematerialize(program.graph, program.schedule,
+                               budget_bytes=1, max_evictions=3)
+        assert len(result.evictions) <= 3
+
+    def test_never_recomputes_optimizer_updates(self):
+        program = mobilenet_training_program()
+        result = rematerialize(program.graph, program.schedule,
+                               budget_bytes=1, max_evictions=200)
+        for ev in result.evictions:
+            node = next(n for n in result.schedule
+                        if n.name == ev.recompute)
+            assert not node.op_type.startswith("apply_")
+
+    def test_original_program_untouched(self):
+        program = mobilenet_training_program()
+        nodes_before = len(program.graph.nodes)
+        inputs_before = [tuple(n.inputs) for n in program.schedule]
+        base = profile_memory(program.graph, program.schedule)
+        rematerialize(program.graph, program.schedule,
+                      int(base.peak_total_bytes * 0.7))
+        assert len(program.graph.nodes) == nodes_before
+        assert [tuple(n.inputs) for n in program.schedule] == inputs_before
+
+    @given(fraction=st.floats(0.5, 0.95))
+    @settings(max_examples=10, deadline=None)
+    def test_property_equivalence_under_any_budget(self, fraction):
+        rng = np.random.default_rng(7)
+        builder, names = make_mlp_graph(batch=4, din=6, dhidden=16, dout=3)
+        program = compile_training(builder.graph, optimizer=SGD(0.05))
+        base = profile_memory(program.graph, program.schedule)
+        result = rematerialize(program.graph, program.schedule,
+                               int(base.peak_total_bytes * fraction))
+        validate_graph(result.graph)
+        feeds = {
+            "x": rng.standard_normal((4, 6)).astype(np.float32),
+            program.meta["labels"]: rng.integers(0, 3, 4).astype(np.int64),
+        }
+        loss_name = program.meta["loss"]
+        want = Executor(program).run(feeds)[loss_name]
+        got = Executor(Program.from_graph(result.graph, result.schedule)
+                       ).run(feeds)[loss_name]
+        np.testing.assert_allclose(want, got, rtol=1e-5)
+
+
+class TestPaging:
+    def test_paging_fits_budget_with_traffic(self):
+        program = mobilenet_training_program()
+        base = profile_memory(program.graph, program.schedule)
+        plan = plan_paging(program.graph, program.schedule,
+                           int(base.peak_total_bytes * 0.7))
+        assert plan.fits
+        assert plan.peak_after <= int(base.peak_total_bytes * 0.7)
+        assert plan.flash_traffic_bytes \
+            >= 2 * max(1, len(plan.paged_values))
+
+    def test_generous_budget_pages_nothing(self):
+        program = mobilenet_training_program()
+        base = profile_memory(program.graph, program.schedule)
+        plan = plan_paging(program.graph, program.schedule,
+                           base.peak_total_bytes + 1)
+        assert plan.fits and not plan.paged_values
+        assert plan.flash_traffic_bytes == 0
+
+    def test_transfer_time_scales_with_bandwidth(self):
+        program = mobilenet_training_program()
+        base = profile_memory(program.graph, program.schedule)
+        plan = plan_paging(program.graph, program.schedule,
+                           int(base.peak_total_bytes * 0.6))
+        slow = plan.transfer_ms(0.05)
+        fast = plan.transfer_ms(0.5)
+        assert slow == pytest.approx(10 * fast)
+
+    def test_transfer_rejects_bad_bandwidth(self):
+        from repro.errors import MemoryPlanError
+        program = mobilenet_training_program()
+        plan = plan_paging(program.graph, program.schedule, 10 ** 12)
+        with pytest.raises(MemoryPlanError):
+            plan.transfer_ms(0.0)
+
+    def test_paging_beats_nothing_on_chain(self):
+        graph = chain_graph(depth=8, width=4096)
+        plan = plan_paging(graph, budget_bytes=1)
+        assert plan.peak_after < plan.peak_before
+
+
+class TestRematVsSparse:
+    def test_sparse_bp_beats_remat_on_both_axes(self):
+        """The paper's §2.2 comparison: under the same memory budget,
+        sparse-BP costs *less* compute than full-BP while remat costs
+        *more* — sparse wins both memory and time."""
+        from repro.models import paper_scheme
+        from repro.ir import op_flops
+
+        forward = build_model("mobilenetv2_micro", batch=4)
+        full = compile_training(forward, optimizer=SGD(0.05))
+        sparse = compile_training(forward, optimizer=SGD(0.05),
+                                  scheme=paper_scheme(forward))
+        sparse_peak = profile_memory(sparse.graph,
+                                     sparse.schedule).peak_total_bytes
+        result = rematerialize(full.graph, full.schedule, sparse_peak)
+
+        def total_flops(graph, schedule):
+            return sum(op_flops(n.op_type,
+                                [graph.spec(i) for i in n.inputs],
+                                [graph.spec(o) for o in n.outputs],
+                                n.attrs) for n in schedule)
+
+        full_flops = total_flops(full.graph, full.schedule)
+        sparse_flops = total_flops(sparse.graph, sparse.schedule)
+        remat_flops = total_flops(result.graph, result.schedule)
+        assert sparse_flops < full_flops
+        assert remat_flops > full_flops

@@ -1,0 +1,250 @@
+"""Algebraic rewrite pass: each rule, plus random-graph semantic
+preservation (property test)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import GraphBuilder, validate_graph
+from repro.passes import AlgebraicRewritePass, PassContext
+from repro.runtime import interpret
+
+
+def _apply(graph):
+    return AlgebraicRewritePass().run(graph, PassContext())
+
+
+class TestIdentityRules:
+    def test_double_transpose_cancels(self, rng):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 3, 4))
+        t1 = b.transpose(x, (2, 0, 1))
+        t2 = b.transpose(t1, (1, 2, 0))
+        out = b.emit("relu", [t2])
+        b.mark_output(out)
+        result = _apply(b.graph)
+        assert result.changed
+        validate_graph(b.graph)
+        assert all(n.op_type != "transpose" for n in b.graph.nodes)
+        xa = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            interpret(b.graph, {"x": xa})[out], np.maximum(xa, 0))
+
+    def test_transpose_chain_merges(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 3, 4))
+        t1 = b.transpose(x, (1, 0, 2))
+        t2 = b.transpose(t1, (0, 2, 1))
+        b.mark_output(t2)
+        _apply(b.graph)
+        transposes = [n for n in b.graph.nodes if n.op_type == "transpose"]
+        assert len(transposes) == 1
+        validate_graph(b.graph)
+
+    def test_reshape_chain_merges(self, rng):
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 12))
+        r1 = b.reshape(x, (2, 3, 4))
+        r2 = b.reshape(r1, (24,))
+        b.mark_output(r2)
+        _apply(b.graph)
+        assert len(b.graph.nodes) == 1
+        xa = rng.standard_normal((2, 12)).astype(np.float32)
+        np.testing.assert_allclose(
+            interpret(b.graph, {"x": xa})[r2], xa.reshape(24))
+
+    def test_double_neg_cancels(self, rng):
+        b = GraphBuilder("g")
+        x = b.input("x", (3,))
+        out = b.emit("tanh", [b.neg(b.neg(x))])
+        b.mark_output(out)
+        _apply(b.graph)
+        assert all(n.op_type != "neg" for n in b.graph.nodes)
+        xa = rng.standard_normal(3).astype(np.float32)
+        np.testing.assert_allclose(interpret(b.graph, {"x": xa})[out],
+                                   np.tanh(xa), atol=1e-6)
+
+    def test_useless_cast_pad_slice_removed(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (4, 4))
+        c = b.emit("cast", [x], {"dtype": "float32"})
+        p = b.emit("pad", [c], {"pads": ((0, 0), (0, 0))})
+        s = b.slice(p, 0, 0, 4)
+        out = b.emit("relu", [s])
+        b.mark_output(out)
+        result = _apply(b.graph)
+        assert result.stats["rewrites"] >= 3
+        assert len(b.graph.nodes) == 1
+
+    def test_mul_one_add_zero_removed(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (3,))
+        one = b.constant(np.float32(1.0))
+        zero = b.constant(np.float32(0.0))
+        out = b.emit("sigmoid", [b.add(b.mul(x, one), zero)])
+        b.mark_output(out)
+        _apply(b.graph)
+        ops = [n.op_type for n in b.graph.nodes]
+        assert "mul" not in ops and "add" not in ops
+
+    def test_mul_by_real_constant_kept(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (3,))
+        two = b.constant(np.float32(2.0))
+        out = b.mul(x, two)
+        b.mark_output(out)
+        result = _apply(b.graph)
+        assert not result.changed
+
+    def test_broadcasting_mul_one_not_removed(self):
+        """mul(scalar_x, ones_vector) changes shape -> must be kept."""
+        b = GraphBuilder("g")
+        x = b.input("x", (1,))
+        ones = b.initializer("ones", np.ones(1, np.float32))
+        out = b.mul(x, ones)
+        b.mark_output(out)
+        # Same shape here, so it may be removed — but a true broadcast:
+        b2 = GraphBuilder("g2")
+        x2 = b2.input("x", (3, 1))
+        one = b2.constant(np.float32(1.0))
+        broad = b2.broadcast_to(b2.mul(x2, one), (3, 4))
+        b2.mark_output(broad)
+        _apply(b2.graph)
+        validate_graph(b2.graph)
+
+    def test_output_rewiring(self, rng):
+        """A removed node whose output is a graph output gets rewired."""
+        b = GraphBuilder("g")
+        x = b.input("x", (2, 2))
+        t = b.transpose(b.transpose(x, (1, 0)), (1, 0))
+        b.mark_output(t)
+        _apply(b.graph)
+        xa = rng.standard_normal((2, 2)).astype(np.float32)
+        out = interpret(b.graph, {"x": xa})
+        np.testing.assert_allclose(list(out.values())[0], xa)
+
+
+@given(st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_rewrites_preserve_semantics_on_random_graphs(seed):
+    """Property: random graphs with rewrite opportunities compute the same
+    function before and after the pass."""
+    rng = np.random.default_rng(seed)
+    b = GraphBuilder("g")
+    x = b.input("x", (2, 3, 4))
+    value = x
+    for _ in range(int(rng.integers(2, 8))):
+        choice = rng.integers(0, 6)
+        shape = b.shape(value)
+        if choice == 0:
+            perm = tuple(rng.permutation(len(shape)).tolist())
+            value = b.transpose(value, perm)
+        elif choice == 1:
+            value = b.reshape(value, (-1,))
+            value = b.reshape(value, (2, 3, 4))
+        elif choice == 2:
+            value = b.neg(b.neg(value))
+        elif choice == 3:
+            value = b.mul(value, b.constant(np.float32(1.0)))
+        elif choice == 4:
+            value = b.emit("tanh", [value])
+        else:
+            value = b.add(value, b.constant(np.float32(0.0)))
+    b.mark_output(value)
+
+    xa = rng.standard_normal((2, 3, 4)).astype(np.float32)
+    before = interpret(b.graph, {"x": xa})[b.graph.outputs[0]]
+    AlgebraicRewritePass().run(b.graph, PassContext())
+    validate_graph(b.graph)
+    after = interpret(b.graph, {"x": xa})[b.graph.outputs[0]]
+    np.testing.assert_allclose(before, after, atol=1e-6)
+
+
+def test_rewrite_shrinks_real_training_graph():
+    """Autodiff emits transpose-into-matmul chains that the pass folds."""
+    from repro.models import build_model
+    from repro.runtime.compiler import CompileOptions, compile_training
+    from repro.train import SGD
+
+    forward = build_model("bert_micro", batch=2, seq_len=8, num_classes=2)
+    program = compile_training(
+        forward, optimizer=SGD(0.01),
+        options=CompileOptions(materialize_state=False, fusion=False,
+                               cse=False, constant_folding=False,
+                               rewrite=False))
+    before = len(program.graph.nodes)
+    result = AlgebraicRewritePass().run(program.graph, PassContext())
+    validate_graph(program.graph)
+    assert result.stats["rewrites"] > 0
+    assert len(program.graph.nodes) < before
+    folded = [n for n in program.graph.nodes if n.op_type == "matmul"
+              and (n.attrs.get("trans_a") or n.attrs.get("trans_b"))]
+    assert folded, "expected matmul nodes with folded transposes"
+
+
+class TestMatmulTransposeFolding:
+    def test_folds_weight_transpose(self, rng):
+        b = GraphBuilder("g")
+        x = b.input("x", (4, 6))
+        w = b.initializer(
+            "w", rng.standard_normal((5, 6)).astype(np.float32))
+        y = b.matmul(x, b.transpose(w, (1, 0)))
+        b.mark_output(y)
+        result = _apply(b.graph)
+        assert result.stats["rewrites"] > 0
+        validate_graph(b.graph)
+        assert all(n.op_type != "transpose" for n in b.graph.nodes)
+        (mm,) = [n for n in b.graph.nodes if n.op_type == "matmul"]
+        assert mm.attrs.get("trans_b") is True
+        xa = rng.standard_normal((4, 6)).astype(np.float32)
+        np.testing.assert_allclose(
+            interpret(b.graph, {"x": xa})[y],
+            xa @ b.graph.initializers["w"].T, rtol=1e-5)
+
+    def test_folds_both_sides_batched(self, rng):
+        b = GraphBuilder("g")
+        a = b.input("a", (2, 3, 4, 6))
+        c = b.input("c", (2, 3, 5, 4))
+        y = b.matmul(b.transpose(a, (0, 1, 3, 2)),
+                     b.transpose(c, (0, 1, 3, 2)))
+        b.mark_output(y)
+        _apply(b.graph)
+        validate_graph(b.graph)
+        (mm,) = [n for n in b.graph.nodes if n.op_type == "matmul"]
+        assert mm.attrs.get("trans_a") and mm.attrs.get("trans_b")
+        aa = rng.standard_normal((2, 3, 4, 6)).astype(np.float32)
+        ca = rng.standard_normal((2, 3, 5, 4)).astype(np.float32)
+        want = np.swapaxes(aa, -1, -2) @ np.swapaxes(ca, -1, -2)
+        np.testing.assert_allclose(
+            interpret(b.graph, {"a": aa, "c": ca})[y], want, rtol=1e-5)
+
+    def test_skips_non_last_two_perm(self, rng):
+        b = GraphBuilder("g")
+        a = b.input("a", (4, 2, 3, 6))
+        c = b.input("c", (2, 3, 6, 5))
+        # (1, 2, 0, 3) moves a batch axis; it must NOT fold.
+        y = b.matmul(b.transpose(a, (1, 2, 0, 3)), c)
+        b.mark_output(y)
+        result = _apply(b.graph)
+        assert not result.changed
+        assert any(n.op_type == "transpose" for n in b.graph.nodes)
+
+    def test_double_fold_cancels_flag(self, rng):
+        """transpose on an already-trans_b matmul toggles the flag off."""
+        b = GraphBuilder("g")
+        x = b.input("x", (4, 6))
+        w = b.initializer(
+            "w", rng.standard_normal((6, 5)).astype(np.float32))
+        t1 = b.transpose(w, (1, 0))
+        t2 = b.transpose(t1, (1, 0))
+        y = b.matmul(x, t2)
+        b.mark_output(y)
+        _apply(b.graph)
+        validate_graph(b.graph)
+        (mm,) = [n for n in b.graph.nodes if n.op_type == "matmul"]
+        assert not mm.attrs.get("trans_b", False)
+        xa = rng.standard_normal((4, 6)).astype(np.float32)
+        np.testing.assert_allclose(
+            interpret(b.graph, {"x": xa})[y],
+            xa @ b.graph.initializers["w"], rtol=1e-5)

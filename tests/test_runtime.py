@@ -1,0 +1,182 @@
+"""Runtime: programs, executor semantics, compiler pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.ir import GraphBuilder, validate_graph
+from repro.runtime import Executor, Program, interpret
+from repro.runtime.compiler import (CompileOptions, compile_inference,
+                                    compile_training)
+from repro.sparse import UpdateScheme, full_update
+from repro.train import SGD, Adam, Lion
+
+from conftest import make_mlp_graph
+
+
+class TestExecutor:
+    def test_missing_feed_raises(self):
+        b, _ = make_mlp_graph()
+        with pytest.raises(ExecutionError):
+            interpret(b.graph, {})
+
+    def test_wrong_feed_shape_raises(self):
+        b, _ = make_mlp_graph()
+        with pytest.raises(ExecutionError):
+            interpret(b.graph, {"x": np.ones((1, 1), np.float32)})
+
+    def test_feed_dtype_coerced(self):
+        b, names = make_mlp_graph()
+        out = interpret(b.graph, {"x": np.ones((4, 5), np.float64)})
+        assert out[names["logits"]].dtype == np.float32
+
+    def test_outputs_complete(self):
+        b, names = make_mlp_graph()
+        out = interpret(b.graph, {"x": np.zeros((4, 5), np.float32)})
+        assert set(out) == {names["logits"]}
+
+    def test_eager_free_peak_below_total(self):
+        """A deep chain must not hold all intermediates simultaneously."""
+        b = GraphBuilder("g")
+        x = b.input("x", (64, 64))
+        h = x
+        for _ in range(10):
+            h = b.emit("relu", [h])
+        b.mark_output(h)
+        program = Program.from_graph(b.graph)
+        ex = Executor(program)
+        ex.run({"x": np.ones((64, 64), np.float32)})
+        one = 64 * 64 * 4
+        assert ex.peak_transient_bytes <= 2 * one
+
+    def test_state_persists_across_runs(self):
+        b, _ = make_mlp_graph()
+        program = compile_training(b.graph, optimizer=SGD(0.5))
+        ex = Executor(program)
+        w_before = program.state["w1"].copy()
+        feeds = {"x": np.ones((4, 5), np.float32),
+                 "labels": np.zeros(4, np.int64)}
+        ex.run(feeds)
+        assert not np.allclose(program.state["w1"], w_before)
+
+    def test_program_state_copy_isolated(self):
+        b, _ = make_mlp_graph()
+        p1 = compile_training(b.graph, optimizer=SGD(0.5))
+        p2 = compile_training(b.graph, optimizer=SGD(0.5))
+        Executor(p1).run({"x": np.ones((4, 5), np.float32),
+                          "labels": np.zeros(4, np.int64)})
+        np.testing.assert_array_equal(p2.state["w1"],
+                                      b.graph.initializers["w1"])
+
+    def test_validate_schedule(self):
+        b, _ = make_mlp_graph()
+        program = Program.from_graph(b.graph)
+        program.validate_schedule()
+        program.schedule.reverse()
+        with pytest.raises(ExecutionError):
+            program.validate_schedule()
+
+
+class TestCompiler:
+    def test_training_program_validates(self):
+        b, _ = make_mlp_graph()
+        program = compile_training(b.graph, optimizer=Adam(1e-3))
+        validate_graph(program.graph)
+        program.validate_schedule()
+
+    def test_loss_decreases_with_each_optimizer(self, rng):
+        for opt in (SGD(0.2, momentum=0.9), Adam(0.05), Lion(0.02)):
+            b, _ = make_mlp_graph(seed=1)
+            program = compile_training(b.graph, optimizer=opt)
+            ex = Executor(program)
+            x = rng.standard_normal((4, 5)).astype(np.float32)
+            y = np.array([0, 1, 2, 0], np.int64)
+            loss_name = program.meta["loss"]
+            losses = [float(ex.run({"x": x, "labels": y})[loss_name])
+                      for _ in range(25)]
+            assert losses[-1] < losses[0], f"{opt} failed to reduce loss"
+
+    def test_mse_loss_path(self, rng):
+        b, names = make_mlp_graph()
+        program = compile_training(b.graph, loss="mse", optimizer=SGD(0.05))
+        ex = Executor(program)
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        target = np.zeros((4, 3), np.float32)
+        l0 = float(ex.run({"x": x, "labels": target})[program.meta["loss"]])
+        for _ in range(20):
+            l1 = float(ex.run({"x": x, "labels": target})[
+                program.meta["loss"]])
+        assert l1 < l0
+
+    def test_masked_sparse_computes_full_backward(self):
+        b, _ = make_mlp_graph()
+        scheme = UpdateScheme("s", {"w2": 1.0})
+        pruned = compile_training(b.graph, optimizer=SGD(0.1), scheme=scheme)
+        masked = compile_training(
+            b.graph, optimizer=SGD(0.1), scheme=scheme,
+            options=CompileOptions(masked_sparse=True, fusion=False,
+                                   cse=False, constant_folding=False))
+        assert len(masked.graph.nodes) > len(pruned.graph.nodes)
+        # Both move the updated weight identically.
+        x = np.ones((4, 5), np.float32)
+        y = np.zeros(4, np.int64)
+        Executor(pruned).run({"x": x, "labels": y})
+        Executor(masked).run({"x": x, "labels": y})
+        np.testing.assert_allclose(pruned.state["w2"], masked.state["w2"],
+                                   atol=1e-5)
+        np.testing.assert_array_equal(masked.state["w1"],
+                                      b.graph.initializers["w1"])
+
+    def test_sparse_program_smaller_and_equal_result(self):
+        """Pruned-sparse and full programs agree on the tensors both update."""
+        b, _ = make_mlp_graph(seed=2)
+        scheme = UpdateScheme("s", {"w2": 1.0, "b2": 1.0})
+        sparse = compile_training(b.graph, optimizer=SGD(0.1), scheme=scheme)
+        full = compile_training(b.graph, optimizer=SGD(0.1))
+        assert len(sparse.graph.nodes) < len(full.graph.nodes)
+        x = np.ones((4, 5), np.float32) * 0.3
+        y = np.array([0, 1, 2, 0], np.int64)
+        Executor(sparse).run({"x": x, "labels": y})
+        Executor(full).run({"x": x, "labels": y})
+        np.testing.assert_allclose(sparse.state["w2"], full.state["w2"],
+                                   atol=1e-5)
+
+    def test_compile_report_populated(self):
+        b, _ = make_mlp_graph()
+        program = compile_training(b.graph, optimizer=SGD(0.1))
+        report = program.meta["report"]
+        assert report.num_nodes == len(program.graph.nodes)
+        assert "fuse_bias_act" in report.pass_stats
+        assert report.peak_transient_bytes > 0
+
+    def test_channel_sparse_trains(self, rng):
+        b, _ = make_mlp_graph(din=8, seed=3)
+        scheme = UpdateScheme("c", {"w1": 0.5, "w2": 1.0, "b2": 1.0})
+        program = compile_training(b.graph, optimizer=SGD(0.2), scheme=scheme)
+        ex = Executor(program)
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+        y = np.array([0, 1, 2, 0], np.int64)
+        w1_before = program.state["w1"].copy()
+        losses = [float(ex.run({"x": x, "labels": y})[program.meta["loss"]])
+                  for _ in range(20)]
+        assert losses[-1] < losses[0]
+        # Only the first 4 input-feature rows of w1 moved.
+        assert not np.allclose(program.state["w1"][:4], w1_before[:4])
+        np.testing.assert_array_equal(program.state["w1"][4:], w1_before[4:])
+
+    def test_compile_inference(self):
+        b, names = make_mlp_graph()
+        program = compile_inference(b.graph)
+        out = Executor(program).run({"x": np.zeros((4, 5), np.float32)})
+        assert names["logits"] in out
+
+    def test_no_outputs_rejected(self):
+        b = GraphBuilder("g")
+        b.input("x", (1,))
+        with pytest.raises(Exception):
+            compile_training(b.graph)
+
+    def test_empty_scheme_rejected(self):
+        b, _ = make_mlp_graph()
+        with pytest.raises(Exception):
+            compile_training(b.graph, scheme=UpdateScheme("empty", {}))

@@ -1,0 +1,172 @@
+"""FineTuningSession, the energy model, the CLI, and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.data import vision_source, vision_task
+from repro.devices import (estimate_energy, get_device, local_vs_cloud,
+                           transmission_energy_mj)
+from repro.models import build_model, paper_scheme
+from repro.report import ratio, render_series, render_table
+from repro.runtime.compiler import CompileOptions, compile_training
+from repro.sparse import bias_only, full_update
+from repro.train import Adam, FineTuningSession
+from repro.train import SGD
+
+
+class TestFineTuningSession:
+    def test_pretrain_then_compare(self):
+        forward = build_model("mobilenetv2_micro", batch=8, num_classes=10)
+        session = FineTuningSession(forward, optimizer=Adam(3e-3))
+        source = vision_source(n_train=128)
+        rng = np.random.default_rng(0)
+        loss = session.pretrain(source.batches(8, rng, 60))
+        assert np.isfinite(loss)
+        assert session.checkpoint is not None
+
+        task = vision_task("pets", n_train=96, n_test=48)
+        results = session.compare(
+            {"full": full_update(forward), "bias": bias_only(forward)},
+            batch_factory=lambda: task.batches(
+                8, np.random.default_rng(1), 40),
+            eval_data=(task.x_test, task.y_test),
+        )
+        assert results["bias"].num_nodes < results["full"].num_nodes
+        assert results["bias"].peak_transient_bytes \
+            < results["full"].peak_transient_bytes
+        for r in results.values():
+            assert 0.0 <= r.accuracy <= 1.0
+            assert len(r.losses) == 40
+
+    def test_checkpoint_not_mutated_by_finetune(self):
+        forward = build_model("mobilenetv2_micro", batch=4, num_classes=10)
+        session = FineTuningSession(forward, optimizer=Adam(5e-3))
+        source = vision_source(n_train=64, n_test=16)
+        session.pretrain(source.batches(4, np.random.default_rng(0), 20))
+        snapshot = {k: v.copy() for k, v in session.checkpoint.items()}
+        task = vision_task("vww", n_train=32, n_test=16, resolution=16)
+        session.finetune(full_update(forward),
+                         task.batches(4, np.random.default_rng(1), 10))
+        for key, value in snapshot.items():
+            np.testing.assert_array_equal(session.checkpoint[key], value)
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def program(self):
+        forward = build_model("mcunet_micro", batch=1)
+        return compile_training(
+            forward, optimizer=SGD(0.01),
+            options=CompileOptions(materialize_state=False))
+
+    def test_energy_positive_and_additive(self, program):
+        device = get_device("stm32f746")
+        report = estimate_energy(program.graph, program.schedule, device)
+        assert report.compute_mj > 0 and report.memory_mj > 0
+        assert report.total_mj == pytest.approx(
+            report.compute_mj + report.memory_mj)
+
+    def test_sparse_uses_less_energy(self):
+        forward = build_model("mcunet_micro", batch=1)
+        device = get_device("stm32f746")
+        opts = CompileOptions(materialize_state=False)
+        full = compile_training(forward, optimizer=SGD(0.01), options=opts)
+        sparse = compile_training(forward, optimizer=SGD(0.01),
+                                  scheme=paper_scheme(forward), options=opts)
+        e_full = estimate_energy(full.graph, full.schedule, device)
+        e_sparse = estimate_energy(sparse.graph, sparse.schedule, device)
+        assert e_sparse.total_mj < e_full.total_mj
+
+    def test_transmission_energy_linear(self):
+        assert transmission_energy_mj(2_000_000) == pytest.approx(
+            2 * transmission_energy_mj(1_000_000))
+
+    def test_local_vs_cloud_paper_motivation(self, program):
+        """Paper §1: transmission is much more expensive than computation —
+        for a tiny model, local training beats uploading raw images."""
+        device = get_device("stm32f746")
+        image_bytes = 3 * 128 * 128  # one int8 camera frame
+        verdict = local_vs_cloud(program.graph, program.schedule, device,
+                                 steps=100, bytes_per_step=image_bytes)
+        assert verdict["upload_mj"] > 0
+        assert verdict["ratio"] > 0.05  # comparable order of magnitude
+
+
+class TestCLI:
+    def test_features(self, capsys):
+        assert cli_main(["features"]) == 0
+        out = capsys.readouterr().out
+        assert "PockEngine" in out and "PyTorch" in out
+
+    def test_devices(self, capsys):
+        assert cli_main(["devices"]) == 0
+        assert "stm32f746" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert cli_main([
+            "simulate", "--model", "mcunet_micro",
+            "--device", "raspberry_pi_4", "--sparse",
+            "--frameworks", "pytorch", "pockengine",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pockengine" in out
+
+    def test_simulate_unavailable_framework_marked(self, capsys):
+        assert cli_main([
+            "simulate", "--model", "mcunet_micro",
+            "--device", "snapdragon_dsp",
+            "--frameworks", "pytorch", "pockengine",
+        ]) == 0
+        assert "unavailable" in capsys.readouterr().out
+
+    def test_memory(self, capsys):
+        assert cli_main(["memory", "--model", "mcunet_micro",
+                         "--sparse"]) == 0
+        assert "static arena" in capsys.readouterr().out
+
+    def test_scheme(self, capsys):
+        assert cli_main(["scheme", "--model", "bert_micro"]) == 0
+        out = capsys.readouterr().out
+        assert "attention" in out or "bias" in out
+
+    def test_profile(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert cli_main(["profile", "--model", "mcunet_micro",
+                         "--device", "stm32f746", "--sparse",
+                         "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "conv2d" in out and "share" in out
+        assert trace.exists()
+        import json
+        assert json.loads(trace.read_text())["traceEvents"]
+
+    def test_deploy(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifact"
+        assert cli_main(["deploy", "--model", "mcunet_micro",
+                         "--out", str(out_dir), "--sparse"]) == 0
+        out = capsys.readouterr().out
+        assert "kernels linked" in out
+        assert (out_dir / "manifest.json").exists()
+
+    def test_bad_model_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["simulate", "--model", "nope",
+                      "--device", "raspberry_pi_4"])
+
+
+class TestReportRendering:
+    def test_render_table_aligns(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["xx", None]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # equal widths
+        assert "-" in lines[-1]  # None renders as dash
+
+    def test_render_series(self):
+        text = render_series("losses", [1.0, 0.5, 0.25])
+        assert text.count("#") >= 3
+
+    def test_ratio(self):
+        assert ratio(10.0, 2.0) == "5.0x"
+        assert ratio(None, 2.0) == "-"
+        assert ratio(1.0, 0.0) == "-"

@@ -1,0 +1,226 @@
+"""Sparse-update schemes, pruning equivalence, cost model, and search."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemeError
+from repro.ir import GraphBuilder
+from repro.models import build_model, paper_scheme
+from repro.runtime.compiler import CompileOptions, compile_training
+from repro.sparse import (SearchSpace, SensitivityResult, UpdateScheme,
+                          analyze_sensitivity, backward_op_count, bias_only,
+                          evolutionary_search, full_update,
+                          prune_training_graph, scheme_backward_flops,
+                          scheme_memory_cost)
+from repro.train import SGD
+
+from conftest import make_mlp_graph
+
+
+class TestSchemeResolve:
+    def test_full_update_covers_trainables(self):
+        b, _ = make_mlp_graph()
+        scheme = full_update(b.graph)
+        assert set(scheme.updates) == b.graph.trainable
+
+    def test_unknown_param_rejected(self):
+        b, _ = make_mlp_graph()
+        with pytest.raises(SchemeError):
+            UpdateScheme("s", {"ghost": 1.0}).resolve(b.graph)
+
+    def test_bad_ratio_rejected(self):
+        b, _ = make_mlp_graph()
+        with pytest.raises(SchemeError):
+            UpdateScheme("s", {"w1": 1.5}).resolve(b.graph)
+        with pytest.raises(SchemeError):
+            UpdateScheme("s", {"w1": 0.0}).resolve(b.graph)
+
+    def test_ratio_on_bias_rejected(self):
+        b, _ = make_mlp_graph()
+        with pytest.raises(SchemeError):
+            UpdateScheme("s", {"b1": 0.5}).resolve(b.graph)
+
+    def test_channel_slice_geometry_linear(self):
+        b, _ = make_mlp_graph(din=8)
+        resolved = UpdateScheme("s", {"w1": 0.5}).resolve(b.graph)
+        assert resolved.slice_k["w1"] == 4
+        assert resolved.slice_axis["w1"] == 0
+
+    def test_channel_slice_geometry_conv(self):
+        b = GraphBuilder("g")
+        x = b.input("x", (1, 8, 4, 4))
+        w = b.initializer("w", np.zeros((4, 8, 3, 3), np.float32),
+                          trainable=True)
+        y = b.conv2d(x, w, padding=1)
+        b.mark_output(y)
+        resolved = UpdateScheme("s", {"w": 0.25}).resolve(b.graph)
+        assert resolved.slice_k["w"] == 2
+        assert resolved.slice_axis["w"] == 1
+
+    def test_ratio_rounding_to_full(self):
+        b, _ = make_mlp_graph(din=2)
+        resolved = UpdateScheme("s", {"w1": 0.99}).resolve(b.graph)
+        assert "w1" not in resolved.slice_k  # rounds to full update
+
+    def test_non_trainable_rejected(self):
+        b, _ = make_mlp_graph()
+        b.initializer("frozen", np.zeros(2, np.float32))
+        # keep it referenced so DCE doesn't drop it
+        with pytest.raises(SchemeError):
+            UpdateScheme("s", {"frozen": 1.0}).resolve(b.graph)
+
+
+class TestSchemeBuilders:
+    def test_bias_only_on_model(self):
+        g = build_model("mobilenetv2_micro", batch=2)
+        scheme = bias_only(g)
+        meta = g.metadata["params"]
+        for param in scheme.updates:
+            role = meta[param]["role"]
+            assert role in ("bias", "norm_scale", "norm_shift") \
+                or meta[param].get("classifier")
+
+    def test_paper_scheme_selects_last_blocks(self):
+        g = build_model("mobilenetv2_micro", batch=2)
+        scheme = paper_scheme(g)
+        meta = g.metadata["params"]
+        blocks = sorted({m["block"] for m in meta.values() if "block" in m})
+        touched = {meta[p].get("block") for p in scheme.updates
+                   if "block" in meta[p]}
+        assert touched and max(touched) == blocks[-1]
+        assert min(touched) > blocks[0]  # early blocks frozen
+
+    def test_paper_scheme_first_pw_only(self):
+        g = build_model("mobilenetv2_micro", batch=2)
+        scheme = paper_scheme(g)
+        meta = g.metadata["params"]
+        for p in scheme.updates:
+            if meta[p].get("role") == "weight" and "block" in meta[p]:
+                assert meta[p]["role_in_block"] == "first_pw"
+
+
+class TestPruning:
+    def _training_graph(self, scheme=None, masked=False):
+        b, _ = make_mlp_graph()
+        options = CompileOptions(fusion=False, winograd=False, layout=False,
+                                 reorder=False, cse=False,
+                                 constant_folding=False, masked_sparse=masked)
+        return compile_training(b.graph, optimizer=SGD(0.1), scheme=scheme,
+                                options=options), b.graph
+
+    def test_prune_full_graph_matches_direct_sparse(self):
+        scheme = UpdateScheme("s", {"w2": 1.0, "b2": 1.0})
+        direct, fwd = self._training_graph(scheme)
+        full, _ = self._training_graph(None)
+        report = prune_training_graph(full.graph, scheme)
+        assert report.applies_removed == 2
+        assert report.nodes_after < report.nodes_before
+        direct_ops = sorted(n.op_type for n in direct.graph.nodes)
+        pruned_ops = sorted(n.op_type for n in full.graph.nodes)
+        assert direct_ops == pruned_ops
+
+    def test_prune_rejects_channel_sparse(self):
+        full, _ = self._training_graph(None)
+        with pytest.raises(SchemeError):
+            prune_training_graph(full.graph, UpdateScheme("s", {"w1": 0.5}))
+
+    def test_backward_op_count_shrinks_with_shallow_scheme(self):
+        deep, _ = self._training_graph(UpdateScheme("s", {"w1": 1.0}))
+        shallow, _ = self._training_graph(UpdateScheme("s", {"w2": 1.0}))
+        assert backward_op_count(shallow.graph) \
+            < backward_op_count(deep.graph)
+
+
+class TestCostModel:
+    def test_bias_only_needs_no_activations(self):
+        b, _ = make_mlp_graph()
+        cost = scheme_memory_cost(b.graph,
+                                  UpdateScheme("s", {"b1": 1.0, "b2": 1.0}))
+        assert cost.saved_activation_bytes == 0
+        assert cost.gradient_bytes > 0
+
+    def test_ratio_scales_activation_cost(self):
+        b, _ = make_mlp_graph(din=8)
+        full = scheme_memory_cost(b.graph, UpdateScheme("s", {"w1": 1.0}))
+        half = scheme_memory_cost(b.graph, UpdateScheme("s", {"w1": 0.5}))
+        assert half.saved_activation_bytes == full.saved_activation_bytes // 2
+
+    def test_optimizer_state_slots(self):
+        b, _ = make_mlp_graph()
+        scheme = UpdateScheme("s", {"w1": 1.0})
+        sgd = scheme_memory_cost(b.graph, scheme, optimizer="sgd")
+        adam = scheme_memory_cost(b.graph, scheme, optimizer="adam")
+        assert sgd.optimizer_state_bytes == 0
+        assert adam.optimizer_state_bytes == 2 * adam.gradient_bytes
+
+    def test_monotone_in_scheme_size(self):
+        g = build_model("mcunet_micro", batch=2)
+        small = scheme_memory_cost(g, paper_scheme(g))
+        big = scheme_memory_cost(g, full_update(g))
+        assert small.total_bytes < big.total_bytes
+
+    def test_backward_flops_sparse_below_full(self):
+        g = build_model("mcunet_micro", batch=2)
+        assert scheme_backward_flops(g, paper_scheme(g)) \
+            < scheme_backward_flops(g, full_update(g))
+
+
+class TestSensitivityAndSearch:
+    def test_sensitivity_records_deltas(self):
+        b, _ = make_mlp_graph()
+        accs = {"baseline": 0.5, "w1": 0.6, "w2": 0.8}
+
+        def evaluate(scheme):
+            for name in ("w1", "w2"):
+                if name in scheme.updates:
+                    return accs[name]
+            return accs["baseline"]
+
+        result = analyze_sensitivity(b.graph, ["w1", "w2"], evaluate)
+        assert result.contribution("w2") == pytest.approx(0.3)
+        assert result.contribution("w1") == pytest.approx(0.1)
+        assert result.top(1)[0][0] == "w2"
+
+    def test_contribution_interpolates_ratio(self):
+        result = SensitivityResult(0.0, {("w", 0.5): 0.1, ("w", 1.0): 0.3})
+        assert result.contribution("w", 0.75) == pytest.approx(0.2)
+        assert result.contribution("w", 0.25) == pytest.approx(0.1)
+
+    def test_search_finds_planted_optimum_within_budget(self):
+        b, _ = make_mlp_graph(din=8, dhidden=8)
+        # Plant: w2 is worth much more than w1 per byte.
+        sens = SensitivityResult(0.0, {
+            ("w1", 0.5): 0.01, ("w1", 1.0): 0.02,
+            ("w2", 0.5): 0.20, ("w2", 1.0): 0.40,
+        })
+        space = SearchSpace(
+            weight_options={"w1": (0, 0.5, 1.0), "w2": (0, 0.5, 1.0)},
+            bias_candidates=("b1", "b2"),
+        )
+        budget = scheme_memory_cost(
+            b.graph, UpdateScheme("m", {"w2": 1.0, "b1": 1.0, "b2": 1.0})
+        ).total_bytes + 64
+        result = evolutionary_search(
+            b.graph, space, sens, budget, population=32, generations=20,
+            seed=1, bias_contribution=lambda n: 0.05)
+        assert result.memory_bytes <= budget
+        assert result.scheme.updates.get("w2") == 1.0
+        assert "w1" not in result.scheme.updates
+
+    def test_search_history_improves(self):
+        b, _ = make_mlp_graph()
+        sens = SensitivityResult(0.0, {("w1", 1.0): 0.1, ("w2", 1.0): 0.2})
+        space = SearchSpace(weight_options={"w1": (0, 1.0), "w2": (0, 1.0)},
+                            bias_candidates=("b1",))
+        result = evolutionary_search(
+            b.graph, space, sens, memory_budget_bytes=1 << 30,
+            population=16, generations=10, seed=0,
+            bias_contribution=lambda n: 0.01)
+        assert result.history[-1] >= result.history[0]
+        assert result.fitness == pytest.approx(0.31, abs=1e-6)
+
+    def test_empty_space_rejected(self):
+        b, _ = make_mlp_graph()
+        with pytest.raises(SchemeError):
+            evolutionary_search(b.graph, SearchSpace(weight_options={}),
+                                SensitivityResult(0.0), 1 << 20)
