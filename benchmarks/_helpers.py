@@ -1,0 +1,25 @@
+"""Importable helpers shared by the benchmark modules.
+
+These used to live in ``benchmarks/conftest.py``, but test modules under
+``tests/`` also do ``from conftest import ...``; when pytest collected both
+directories in one run, whichever conftest imported first claimed the
+``conftest`` module name and the other directory's imports broke. Plain
+helpers now live here (benchmark files import them directly); only pytest
+fixtures stay in the conftest.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def fast_mode() -> bool:
+    """Shrink training-based benches (fewer steps/datasets) for smoke runs."""
+    return os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

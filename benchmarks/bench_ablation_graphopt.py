@@ -16,7 +16,7 @@ from repro.report import render_table
 from repro.sparse import full_update
 from repro.train import SGD
 
-from conftest import banner
+from _helpers import banner
 
 
 def run():

@@ -29,7 +29,7 @@ from repro.runtime.compiler import (CompileOptions, compile_inference,
                                     compile_training)
 from repro.train import SGD
 
-from conftest import banner, fast_mode
+from _helpers import banner, fast_mode
 
 
 def _deploy_comparison():

@@ -18,7 +18,7 @@ from repro.report import render_table
 from repro.runtime.compiler import CompileOptions, compile_training
 from repro.train import SGD
 
-from conftest import banner, fast_mode
+from _helpers import banner, fast_mode
 
 #: QSPI-flash class bandwidth POET assumes for its paging store (GB/s).
 FLASH_BW_GBS = 0.08

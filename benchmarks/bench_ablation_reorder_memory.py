@@ -17,7 +17,7 @@ from repro.runtime.compiler import CompileOptions, compile_training
 from repro.sparse import full_update
 from repro.train import SGD
 
-from conftest import banner
+from _helpers import banner
 
 MODELS = ["mobilenetv2", "resnet50", "bert"]
 

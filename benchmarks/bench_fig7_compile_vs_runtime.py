@@ -16,7 +16,7 @@ from repro.sparse import full_update
 from repro.train import SGD, add_loss
 from repro.ir import GraphBuilder
 
-from conftest import banner
+from _helpers import banner
 
 
 def overhead_comparison():

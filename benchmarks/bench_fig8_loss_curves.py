@@ -14,7 +14,7 @@ from repro.runtime.compiler import compile_training
 from repro.sparse import full_update
 from repro.train import Adam, Trainer, load_checkpoint, snapshot_weights
 
-from conftest import banner, fast_mode
+from _helpers import banner, fast_mode
 
 SEQ = 16
 VOCAB = 256

@@ -22,7 +22,7 @@ from repro.report.paper_data import (FIG9_APPLE_M1, FIG9_JETSON_NANO,
 from repro.sparse import full_update
 from repro.train import Lion, SGD
 
-from conftest import banner
+from _helpers import banner
 
 CNN_MODELS = ["mcunet", "mobilenetv2", "resnet50"]
 NLP_MODELS = ["bert", "distilbert"]

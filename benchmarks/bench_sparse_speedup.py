@@ -12,7 +12,7 @@ from repro.report.paper_data import SPARSE_SPEEDUP
 from repro.sparse import bias_only, full_update
 from repro.train import SGD
 
-from conftest import banner
+from _helpers import banner
 
 MODELS = ["mcunet", "mobilenetv2", "resnet50", "bert", "distilbert"]
 

@@ -8,7 +8,7 @@ the table is consistent with the measurements by construction).
 from repro.baselines import FRAMEWORKS, TABLE1_COLUMNS, feature_row
 from repro.report import render_table
 
-from conftest import banner
+from _helpers import banner
 
 ROW_ORDER = ["pytorch", "tensorflow", "jax", "mnn", "tflite_micro",
              "pockengine"]

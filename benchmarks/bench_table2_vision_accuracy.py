@@ -18,7 +18,7 @@ from repro.runtime.compiler import compile_training
 from repro.sparse import bias_only, full_update
 from repro.train import Adam, Trainer, load_checkpoint, snapshot_weights
 
-from conftest import banner, fast_mode
+from _helpers import banner, fast_mode
 
 MODELS = ["mcunet_micro", "mobilenetv2_micro", "resnet_micro"]
 PAPER_KEYS = {"mcunet_micro": "mcunet", "mobilenetv2_micro": "mobilenetv2",

@@ -15,7 +15,7 @@ from repro.runtime.compiler import compile_training
 from repro.sparse import bias_only, full_update
 from repro.train import Adam, Trainer, load_checkpoint, snapshot_weights
 
-from conftest import banner, fast_mode
+from _helpers import banner, fast_mode
 
 MODELS = ["distilbert_micro", "bert_micro"]
 VOCAB = 256

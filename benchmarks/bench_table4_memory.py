@@ -13,7 +13,7 @@ from repro.report.paper_data import TABLE4_MEMORY
 from repro.sparse import full_update
 from repro.train import SGD, Lion
 
-from conftest import banner, fast_mode
+from _helpers import banner, fast_mode
 
 # (device, model key, batches, family, optimizer)
 CONFIGS = [

@@ -23,7 +23,7 @@ from repro.sparse import LoRAConfig, full_update, inject_lora, lora_scheme
 from repro.train import (Adam, Lion, Trainer, load_checkpoint,
                          perplexity, snapshot_weights)
 
-from conftest import banner, fast_mode
+from _helpers import banner, fast_mode
 
 SEQ = 512
 

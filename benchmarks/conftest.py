@@ -1,30 +1,21 @@
-"""Shared helpers for the benchmark harness.
+"""Fixtures for the benchmark harness.
 
 Every benchmark regenerates one table or figure from the paper's evaluation
 and prints a paper-vs-measured comparison. ``pytest benchmarks/
 --benchmark-only`` runs them all; set ``REPRO_BENCH_FAST=1`` to shrink the
 training-based benches (fewer steps/datasets) for smoke runs.
+
+Plain helpers (``banner``, ``fast_mode``) live in ``benchmarks/_helpers.py``
+so that this conftest never has to be imported by name — see that module's
+docstring for why.
 """
 
 from __future__ import annotations
-
-import os
 
 import numpy as np
 import pytest
 
 
-def fast_mode() -> bool:
-    return os.environ.get("REPRO_BENCH_FAST", "0") == "1"
-
-
 @pytest.fixture(scope="session")
 def bench_rng():
     return np.random.default_rng(0)
-
-
-def banner(title: str) -> None:
-    print()
-    print("=" * 72)
-    print(title)
-    print("=" * 72)

@@ -1,6 +1,47 @@
 """Legacy setup shim: the environment has setuptools without `wheel`, so
 PEP-517 editable installs fail; `pip install -e . --no-use-pep517` works."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-pockengine",
+    version="1.0.0",
+    description=(
+        "PockEngine reproduction: sparse and efficient fine-tuning in a "
+        "pocket (MICRO 2023) — compile-time autodiff, sparse backprop, "
+        "training-graph optimization, and a multi-tenant serving layer"
+    ),
+    long_description=(
+        "A compilation-first training engine reproduction: compile-time "
+        "autodiff, sparse backpropagation via backward-graph pruning, "
+        "training-graph optimizations (fusion, reordering, Winograd, "
+        "layout), a memory planner, a numpy executor, analytical edge-"
+        "device cost models, and repro.serve — a multi-tenant fine-"
+        "tuning service with a compiled-program cache and micro-batch "
+        "scheduler."
+    ),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering :: Artificial Intelligence",
+    ],
+)

@@ -38,6 +38,22 @@ from .train import SGD, Adam, Lion, Trainer
 
 __version__ = "1.0.0"
 
+#: serving-layer names resolved lazily (the subsystem pulls in the model
+#: registry; `import repro` stays light for users who never serve)
+_SERVE_EXPORTS = ("FineTuneService", "MetricsRegistry", "ProgramCache")
+
+
+def __getattr__(name: str):
+    if name in _SERVE_EXPORTS:
+        from . import serve
+
+        return getattr(serve, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SERVE_EXPORTS))
+
 __all__ = [
     "Adam",
     "AutodiffError",
@@ -49,6 +65,7 @@ __all__ = [
     "Embedding",
     "ExecutionError",
     "Executor",
+    "FineTuneService",
     "Graph",
     "GraphBuilder",
     "GraphError",
@@ -57,9 +74,11 @@ __all__ = [
     "Linear",
     "Lion",
     "MemoryPlanError",
+    "MetricsRegistry",
     "Module",
     "Parameter",
     "Program",
+    "ProgramCache",
     "RMSNorm",
     "ReproError",
     "SGD",

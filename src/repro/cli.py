@@ -165,6 +165,67 @@ def cmd_deploy(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import time
+
+    import numpy as np
+
+    from .serve import FineTuneService
+
+    # argparse already restricts --model to micro (test-scale executable)
+    # registry entries, so no runtime re-check is needed here.
+    for name in ("tenants", "steps", "max_batch", "workers",
+                 "cache_capacity"):
+        if getattr(args, name) < 1:
+            print(f"error: --{name.replace('_', '-')} must be >= 1",
+                  file=sys.stderr)
+            return 2
+
+    rng = np.random.default_rng(args.seed)
+    with FineTuneService(cache_capacity=args.cache_capacity,
+                         max_batch=args.max_batch,
+                         workers=args.workers) as service:
+        scheme = "paper" if args.sparse else "full"
+        sessions = [
+            service.create_session(args.model, scheme=scheme,
+                                   tenant=f"tenant-{i:02d}")
+            for i in range(args.tenants)
+        ]
+        family = sessions[0].family
+        service.warm(sessions[0].id)
+
+        def example():
+            if np.issubdtype(family.example_dtype, np.integer):
+                x = rng.integers(0, 8, size=family.example_shape)
+            else:
+                x = rng.standard_normal(family.example_shape)
+            y = rng.integers(0, family.num_classes, size=family.label_shape)
+            return (x.astype(family.example_dtype),
+                    y.astype(family.label_dtype))
+
+        began = time.perf_counter()
+        futures = []
+        for _ in range(args.steps):       # interleaved tenant traffic
+            for session in sessions:
+                x, y = example()
+                futures.append(service.submit(session.id, x, y))
+        for future in futures:
+            future.result()
+        elapsed = time.perf_counter() - began
+
+        requests = len(futures)
+        print(render_table(["tenant", "steps", "examples", "last loss"], [
+            [s.tenant, s.steps, s.examples, f"{s.last_loss:.4f}"]
+            for s in sessions
+        ], title=f"{args.model} ({scheme} scheme) — {args.tenants} tenants"))
+        print()
+        print(service.render_metrics())
+        print()
+        print(f"{requests} requests in {elapsed:.2f}s = "
+              f"{requests / elapsed:.1f} steps/s")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="PockEngine reproduction CLI")
@@ -209,6 +270,24 @@ def build_parser() -> argparse.ArgumentParser:
     dep.add_argument("--out", required=True)
     dep.add_argument("--batch", type=int, default=1)
     dep.add_argument("--sparse", action="store_true")
+
+    srv = sub.add_parser(
+        "serve", help="run a multi-tenant fine-tuning service demo")
+    srv.add_argument("--model", default="mcunet_micro",
+                     choices=sorted(k for k, e in REGISTRY.items()
+                                    if e.micro))
+    srv.add_argument("--tenants", type=int, default=8)
+    srv.add_argument("--steps", type=int, default=16,
+                     help="step requests per tenant")
+    srv.add_argument("--max-batch", type=int, default=8,
+                     help="largest micro-batch the scheduler coalesces")
+    srv.add_argument("--workers", type=int, default=2)
+    srv.add_argument("--cache-capacity", type=int, default=32)
+    srv.add_argument("--sparse", action="store_true", default=True,
+                     help="use the paper's sparse scheme (default)")
+    srv.add_argument("--full", dest="sparse", action="store_false",
+                     help="full-update scheme instead of sparse")
+    srv.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -222,6 +301,7 @@ def main(argv: list[str] | None = None) -> int:
         "scheme": cmd_scheme,
         "profile": cmd_profile,
         "deploy": cmd_deploy,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -39,3 +39,7 @@ class ExecutionError(ReproError):
 
 class DeviceError(ReproError):
     """An unknown device was requested or a cost model query is invalid."""
+
+
+class ServeError(ReproError):
+    """The fine-tuning service was misused (unknown session, closed, ...)."""

@@ -11,7 +11,9 @@ from .graph import Graph
 from .node import Node
 from .ops import OPS, OpSchema, broadcast_shapes, get_schema, op_bytes, op_flops
 from .printer import format_graph, summarize
-from .serialize import graph_from_dict, graph_to_dict, load_graph, save_graph
+from .serialize import (canonical_graph_bytes, graph_fingerprint,
+                        graph_from_dict, graph_to_dict, load_graph,
+                        save_graph)
 from .tensor import TensorSpec
 from .validate import validate_graph
 
@@ -24,8 +26,10 @@ __all__ = [
     "OpSchema",
     "TensorSpec",
     "broadcast_shapes",
+    "canonical_graph_bytes",
     "format_graph",
     "get_schema",
+    "graph_fingerprint",
     "graph_from_dict",
     "graph_to_dict",
     "load_graph",

@@ -7,6 +7,7 @@ payloads in a companion ``.npz`` so graphs survive round trips exactly.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
@@ -95,6 +96,62 @@ def graph_from_dict(doc: dict[str, Any],
     graph.trainable = set(doc.get("trainable", ()))
     graph.metadata = dict(doc.get("metadata", {}))
     return graph
+
+
+def canonical_graph_bytes(graph: Graph, include_weights: bool = False) -> bytes:
+    """A deterministic byte encoding of ``graph`` suitable for hashing.
+
+    Structure, value specs, node list, trainable set, and metadata are
+    encoded as canonical JSON (sorted keys, no whitespace). Initializer
+    *payloads* are never embedded; when ``include_weights`` is True each
+    array contributes a digest of its raw bytes instead, so two graphs with
+    identical structure but different weights hash differently without the
+    cost of serializing full tensors.
+    """
+    doc = graph_to_dict(graph, include_weights=False)
+    if include_weights:
+        doc["initializers"] = {
+            name: _array_digest(arr)
+            for name, arr in graph.initializers.items()
+        }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                      default=_json_default).encode()
+
+
+def graph_fingerprint(graph: Graph, include_weights: bool = False) -> str:
+    """A stable hex digest of ``graph``.
+
+    Equal graphs (same structure/shapes/attrs, and — with
+    ``include_weights`` — same initializer payloads) always produce the
+    same fingerprint across processes; any structural change produces a
+    different one. This is the identity the serving layer's program cache
+    keys on (:mod:`repro.serve.keys`).
+    """
+    return hashlib.sha256(
+        canonical_graph_bytes(graph, include_weights=include_weights)
+    ).hexdigest()
+
+
+def _array_digest(arr: np.ndarray) -> dict[str, Any]:
+    payload = np.ascontiguousarray(arr)
+    return {
+        "dtype": str(payload.dtype),
+        "shape": list(payload.shape),
+        "sha256": hashlib.sha256(payload.tobytes()).hexdigest(),
+    }
+
+
+def _json_default(value: Any):
+    """Canonicalize the odd non-JSON value metadata can carry."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, np.ndarray):
+        return _array_digest(value)
+    raise TypeError(f"cannot canonicalize {type(value).__name__} for hashing")
 
 
 def save_graph(graph: Graph, path: str | Path) -> None:

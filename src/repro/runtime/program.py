@@ -8,7 +8,8 @@ the executor uses to free buffers eagerly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 import numpy as np
@@ -17,6 +18,7 @@ from ..errors import ExecutionError
 from ..ir import Graph
 from ..ir.node import Node
 from ..ir.ops import get_schema
+from ..ir.serialize import canonical_graph_bytes
 
 
 @dataclass
@@ -78,3 +80,49 @@ class Program:
 
     def inplace_nodes(self) -> list[Node]:
         return [n for n in self.schedule if get_schema(n.op_type).inplace]
+
+    def fingerprint(self) -> str:
+        """Stable identity of the *compiled* artifact.
+
+        Covers the transformed graph structure, the schedule order, and the
+        output list — everything that determines what executing this
+        program computes, but not the mutable state values (two tenants
+        running different weights through one compiled program share a
+        fingerprint). Deterministic across processes.
+        """
+        digest = hashlib.sha256(canonical_graph_bytes(self.graph))
+        for node in self.schedule:
+            digest.update(node.name.encode())
+            digest.update(b"\x00")
+        digest.update("|".join(self.outputs).encode())
+        return digest.hexdigest()
+
+    def mutable_state_names(self) -> set[str]:
+        """State entries that executing one step writes into.
+
+        In-place ``apply_*`` nodes mutate their state-resident inputs (the
+        parameter plus optimizer slots / accumulation buffers); everything
+        else in ``state`` — frozen weights, folded constants — is read-only.
+        This is exactly the set a multi-tenant server must replicate per
+        session while sharing the rest (:mod:`repro.serve.sessions`).
+        """
+        names: set[str] = set()
+        for node in self.inplace_nodes():
+            names.update(inp for inp in node.inputs if inp in self.state)
+        return names
+
+    def with_state(self, overlay: dict[str, np.ndarray]) -> "Program":
+        """A view of this program whose state is ``{**state, **overlay}``.
+
+        Graph, schedule, consumer counts, and meta are shared (read-only at
+        run time); only the state mapping is rebuilt. In-place kernels
+        mutate the overlay's arrays, so callers providing a fresh overlay
+        for each tenant get isolated training state over one compiled
+        program.
+        """
+        unknown = set(overlay) - set(self.state)
+        if unknown:
+            raise ExecutionError(
+                f"state overlay names not in program state: {sorted(unknown)}"
+            )
+        return replace(self, state={**self.state, **overlay})

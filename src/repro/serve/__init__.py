@@ -1,0 +1,51 @@
+"""`repro.serve`: a multi-tenant fine-tuning service over the compiler.
+
+The paper front-loads all training intelligence into compilation so the
+runtime step is cheap; this package makes that pay off under traffic. A
+long-lived :class:`FineTuneService` compiles each *configuration* once
+(:class:`ProgramCache`, keyed by the canonical hashes in
+:mod:`repro.serve.keys`), keeps per-tenant mutable state decoupled from the
+shared immutable programs (:class:`SessionManager`), coalesces
+single-example step requests into bucketed micro-batches on a worker pool
+(:class:`BatchScheduler`), and reports throughput / cache hit rate /
+latency quantiles through a :class:`MetricsRegistry`.
+
+Quickstart::
+
+    from repro.serve import FineTuneService
+
+    with FineTuneService(max_batch=8, workers=4) as service:
+        session = service.create_session("mcunet_micro", scheme="paper")
+        futures = [service.submit(session.id, x, y)
+                   for x, y in example_stream]
+        losses = [f.result().loss for f in futures]
+        print(service.render_metrics())
+"""
+
+from .cache import CacheEntry, CacheStats, ProgramCache
+from .keys import key_document, program_key
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .scheduler import (BatchScheduler, StepRequest, StepResult,
+                        bucket_sizes)
+from .service import FineTuneService, ProgramFamily
+from .sessions import SessionManager, TenantSession
+
+__all__ = [
+    "BatchScheduler",
+    "CacheEntry",
+    "CacheStats",
+    "Counter",
+    "FineTuneService",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProgramCache",
+    "ProgramFamily",
+    "SessionManager",
+    "StepRequest",
+    "StepResult",
+    "TenantSession",
+    "bucket_sizes",
+    "key_document",
+    "program_key",
+]

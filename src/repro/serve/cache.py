@@ -1,0 +1,148 @@
+"""The compiled-program cache: LRU + single-flight compilation.
+
+Compilation is the expensive part of the engine by design; the cache makes
+it a once-per-configuration cost under concurrent traffic:
+
+* **LRU eviction** bounded by entry count (programs are small on the Python
+  side; the dominant memory is template state, which eviction releases).
+* **Single-flight builds**: when many tenants miss on the same key at once,
+  exactly one thread compiles while the rest wait on a per-key latch and
+  then read the finished entry. No duplicate compile work, no lock held
+  across compilation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..runtime import Program
+
+
+@dataclass
+class CacheEntry:
+    """One cached compiled program plus bookkeeping."""
+
+    key: str
+    program: Program
+    compile_seconds: float
+    hits: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    compile_seconds_total: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class ProgramCache:
+    """Thread-safe LRU cache of compiled :class:`Program` objects."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self._building: dict[str, threading.Event] = {}
+        self.stats = CacheStats()
+
+    def get_or_build(self, key: str,
+                     build: Callable[[], Program]) -> CacheEntry:
+        """Return the entry for ``key``, compiling via ``build`` on a miss.
+
+        Concurrent misses on one key run ``build`` exactly once; the other
+        callers block until it lands and count as hits (they did not pay
+        for compilation). If the winning build raises, waiters retry — one
+        of them becomes the new builder.
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    entry.hits += 1
+                    self.stats.hits += 1
+                    return entry
+                latch = self._building.get(key)
+                if latch is None:
+                    latch = threading.Event()
+                    self._building[key] = latch
+                    self.stats.misses += 1
+                    break  # this thread builds
+            latch.wait()
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    entry.hits += 1
+                    self.stats.hits += 1
+                    return entry
+            # builder failed; loop and race to become the next builder
+
+        began = time.perf_counter()
+        try:
+            program = build()
+        except BaseException:
+            # Release waiters; with no entry present they retry the build.
+            with self._lock:
+                self._building.pop(key, None)
+            latch.set()
+            raise
+        elapsed = time.perf_counter() - began
+        entry = CacheEntry(key=key, program=program, compile_seconds=elapsed)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self.stats.compile_seconds_total += elapsed
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            self._building.pop(key, None)
+        latch.set()
+        return entry
+
+    def peek(self, key: str) -> CacheEntry | None:
+        """Look up without touching LRU order or stats."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def evict(self, key: str) -> bool:
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.stats.evictions += 1
+                return True
+            return False
+
+    def clear(self) -> None:
+        with self._lock:
+            self.stats.evictions += len(self._entries)
+            self._entries.clear()
+
+    def entries(self) -> list[CacheEntry]:
+        """Snapshot of live entries, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -1,0 +1,188 @@
+"""Service metrics: counters, gauges, and quantile histograms.
+
+A tiny in-process registry in the spirit of Prometheus clients, sized for
+the serving layer's needs: throughput counters, cache hit rates, and
+p50/p95 step/request latencies. Histograms keep a bounded ring of recent
+observations, so quantiles reflect steady-state behaviour rather than the
+cold start. Rendering goes through :func:`repro.report.render_table` like
+every other report in the repo.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from ..report import render_table
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins value (e.g. live session count, peak bytes)."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is higher (high-water mark)."""
+        with self._lock:
+            self._value = max(self._value, float(value))
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Quantile sketch over a ring buffer of recent observations."""
+
+    def __init__(self, name: str, help: str = "",
+                 window: int = 2048) -> None:
+        self.name = name
+        self.help = help
+        self._ring = np.zeros(window, dtype=np.float64)
+        self._next = 0
+        self._count = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._ring[self._next % len(self._ring)] = value
+            self._next += 1
+            self._count += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile over the retained window (0 when empty)."""
+        with self._lock:
+            n = min(self._count, len(self._ring))
+            if n == 0:
+                return 0.0
+            return float(np.quantile(self._ring[:n], q))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self._count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+        }
+
+
+class MetricsRegistry:
+    """Named metric store shared by the cache, scheduler, and sessions."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(name, Histogram, help)
+
+    def _get_or_create(self, name: str, kind, help: str):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, help)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def replace_prefixed(self, prefixes: tuple[str, ...],
+                         values: dict[str, float]) -> None:
+        """Re-publish a dynamic gauge group atomically.
+
+        Gauges whose names start with one of ``prefixes`` but are absent
+        from ``values`` are dropped; every entry of ``values`` is set. This
+        keeps per-object gauge groups (e.g. per cached program) bounded by
+        the live object set instead of growing with everything ever seen.
+        """
+        with self._lock:
+            for name in list(self._metrics):
+                if name.startswith(prefixes) and name not in values:
+                    del self._metrics[name]
+        for name, value in values.items():
+            self.gauge(name).set(value)
+
+    def as_dict(self) -> dict[str, float | dict[str, float]]:
+        """Flat snapshot: scalars for counters/gauges, summaries for hists."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict[str, float | dict[str, float]] = {}
+        for name, metric in sorted(metrics.items()):
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out
+
+    def render(self, title: str | None = "service metrics") -> str:
+        """ASCII table of every registered metric."""
+        rows: list[Sequence[object]] = []
+        for name, value in self.as_dict().items():
+            if isinstance(value, dict):
+                rows.append([
+                    name,
+                    f"n={value['count']:.0f} mean={value['mean']:.3f} "
+                    f"p50={value['p50']:.3f} p95={value['p95']:.3f}",
+                ])
+            else:
+                rows.append([name, value])
+        return render_table(["metric", "value"], rows, title=title)

@@ -1,0 +1,241 @@
+"""Micro-batch scheduler: coalesce same-session step requests, fan out.
+
+Requests arrive as single training examples. The scheduler keeps a FIFO
+queue per session, and a dispatcher thread that cuts the head of a queue
+into the largest power-of-two micro-batch that fits (``bucket sizes`` —
+each bucket size maps to a separately cached program variant compiled for
+that batch, which is why the program cache keys include input shapes).
+Batches run on a thread worker pool.
+
+Invariants:
+
+* per-session FIFO order — a session's requests are executed in arrival
+  order, never concurrently with each other (tenant state is mutable);
+* round-robin fairness across sessions with pending work;
+* work conservation — a dispatchable batch is dispatched immediately, the
+  scheduler never waits for a bucket to fill.
+
+Semantics of a coalesced batch: one optimizer update from the mean loss
+over its examples (exactly gradient accumulation at the serving layer).
+``max_batch=1`` degrades to strict per-request sequential SGD.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ServeError
+from .metrics import MetricsRegistry
+from .sessions import TenantSession
+
+
+@dataclass
+class StepRequest:
+    """A single-example training step submitted to the service."""
+
+    session: TenantSession
+    x: np.ndarray
+    y: np.ndarray
+    future: Future = field(default_factory=Future)
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """What a fulfilled step future resolves to."""
+
+    session_id: str
+    loss: float
+    step: int          #: session step counter after this update
+    batch_size: int    #: examples coalesced into the update
+    program_key: str
+
+
+def bucket_sizes(max_batch: int) -> list[int]:
+    """Allowed micro-batch sizes: powers of two up to, plus, ``max_batch``."""
+    if max_batch < 1:
+        raise ServeError(f"max_batch must be >= 1, got {max_batch}")
+    sizes = {1, max_batch}
+    size = 2
+    while size <= max_batch:
+        sizes.add(size)
+        size *= 2
+    return sorted(sizes)
+
+
+#: Executes one coalesced batch for one session; returns the shared result
+#: fields (loss, program key) the scheduler expands into per-request
+#: StepResults.
+BatchRunner = Callable[[TenantSession, list[StepRequest]], StepResult]
+
+
+class BatchScheduler:
+    """Groups step requests into micro-batches and runs them on a pool."""
+
+    def __init__(self, run_batch: BatchRunner, *, max_batch: int = 8,
+                 workers: int = 2,
+                 metrics: MetricsRegistry | None = None) -> None:
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        self.max_batch = max_batch
+        self._buckets = bucket_sizes(max_batch)
+        self._run_batch = run_batch
+        self._metrics = metrics or MetricsRegistry()
+        self._batch_hist = self._metrics.histogram(
+            "serve.batch_size", "examples coalesced per executed step")
+        self._request_latency = self._metrics.histogram(
+            "serve.request_latency_ms", "submit-to-result latency")
+        self._batches_total = self._metrics.counter(
+            "serve.batches_total", "micro-batches executed")
+
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._queues: dict[str, deque[StepRequest]] = {}
+        self._ready: deque[str] = deque()   # sessions awaiting dispatch
+        self._sessions: dict[str, TenantSession] = {}
+        self._inflight: set[str] = set()
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve")
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch",
+            daemon=True)
+        self._dispatcher.start()
+
+    # -- producer side -------------------------------------------------------
+
+    def submit(self, session: TenantSession, x: np.ndarray,
+               y: np.ndarray) -> Future:
+        """Enqueue one single-example step; returns a Future[StepResult]."""
+        request = StepRequest(session=session, x=x, y=y)
+        with self._work:
+            if self._closed:
+                raise ServeError("scheduler is closed")
+            queue = self._queues.get(session.id)
+            if queue is None:
+                queue = self._queues[session.id] = deque()
+                self._sessions[session.id] = session
+            queue.append(request)
+            if session.id not in self._inflight \
+                    and session.id not in self._ready:
+                self._ready.append(session.id)
+            self._work.notify()
+        return request.future
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every queued request has been executed."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._queues or self._inflight:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+        return True
+
+    def pending(self, session_id: str) -> bool:
+        """Whether ``session_id`` has queued or in-flight requests."""
+        with self._work:
+            return session_id in self._queues or session_id in self._inflight
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally wait for queued work to finish.
+
+        With ``wait=False``, still-queued requests are cancelled (their
+        futures report ``CancelledError``) instead of hanging forever;
+        batches already on a worker run to completion in the background.
+        """
+        if wait:
+            self.drain()
+        with self._work:
+            if self._closed:
+                return
+            self._closed = True
+            stranded = [request for queue in self._queues.values()
+                        for request in queue]
+            self._queues.clear()
+            self._sessions.clear()
+            self._ready.clear()
+            self._work.notify_all()
+        for request in stranded:
+            request.future.cancel()
+        self._dispatcher.join(timeout=5)
+        self._pool.shutdown(wait=wait)
+
+    # -- dispatcher / workers ------------------------------------------------
+
+    def _cut_batch(self, queue: deque[StepRequest]) -> list[StepRequest]:
+        pending = len(queue)
+        size = 1
+        for bucket in self._buckets:
+            if bucket <= min(pending, self.max_batch):
+                size = bucket
+        return [queue.popleft() for _ in range(size)]
+
+    def _dispatch_loop(self) -> None:
+        # The dispatcher only marks a session in-flight and hands it to the
+        # pool; the worker cuts the actual micro-batch when it *starts*
+        # executing. Requests that arrive while the session waits for a
+        # free worker still coalesce into the batch — dispatch-time cutting
+        # would freeze the batch too early and waste coalescing under load.
+        while True:
+            with self._work:
+                while not self._ready and not self._closed:
+                    self._work.wait()
+                if self._closed and not self._ready:
+                    return
+                session_id = self._ready.popleft()
+                self._inflight.add(session_id)
+            self._pool.submit(self._execute, session_id)
+
+    def _execute(self, session_id: str) -> None:
+        with self._work:
+            session = self._sessions.get(session_id)
+            if session is None:
+                # close(wait=False) cancelled this session's queue between
+                # dispatch and execution; nothing left to run.
+                self._inflight.discard(session_id)
+                self._idle.notify_all()
+                return
+            queue = self._queues[session_id]
+            batch = self._cut_batch(queue)
+            if not queue:
+                del self._queues[session_id]
+                del self._sessions[session_id]
+        # Client-cancelled requests drop out of the batch here; marking the
+        # rest as running also makes their futures uncancellable, so the
+        # optimizer step and the resolved results can't disagree.
+        batch = [request for request in batch
+                 if request.future.set_running_or_notify_cancel()]
+        try:
+            if batch:
+                result = self._run_batch(session, batch)
+                done = time.perf_counter()
+                self._batches_total.inc()
+                self._batch_hist.observe(len(batch))
+                for request in batch:
+                    self._request_latency.observe(
+                        (done - request.submitted_at) * 1e3)
+                    request.future.set_result(result)
+        except BaseException as exc:  # noqa: BLE001 - futures carry it
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+        finally:
+            with self._work:
+                self._inflight.discard(session_id)
+                if session_id in self._queues \
+                        and session_id not in self._ready:
+                    self._ready.append(session_id)
+                    self._work.notify()
+                self._idle.notify_all()

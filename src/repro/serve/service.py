@@ -1,0 +1,427 @@
+"""`FineTuneService`: the multi-tenant fine-tuning front door.
+
+Composition of the serving layer (paper workflow, made long-lived):
+
+* :class:`ProgramFamily` — one fine-tuning *configuration* (model builder,
+  scheme, optimizer, options, loss). Owns the per-batch-size program
+  variants, fetched through the shared :class:`ProgramCache` under
+  canonical keys from :mod:`repro.serve.keys`.
+* :class:`~repro.serve.sessions.SessionManager` — per-tenant mutable state
+  over the shared programs.
+* :class:`~repro.serve.scheduler.BatchScheduler` — coalesces single-example
+  step requests into bucketed micro-batches on a worker pool.
+* :class:`~repro.serve.metrics.MetricsRegistry` — throughput, cache hit
+  rate, latency quantiles, per-program peak transient bytes.
+
+The model argument is a registry key (``"mcunet_micro"``) or a callable
+``batch -> Graph`` (with an explicit ``model_id``), because micro-batching
+needs the forward graph rebuilt at each bucket's batch size.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import Future
+from time import perf_counter
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import ServeError
+from ..ir import Graph
+from ..models import build_model, paper_scheme
+from ..runtime.compiler import CompileOptions, compile_training
+from ..sparse import UpdateScheme, bias_only, full_update
+from ..train.optim import OptimizerSpec, SGD
+from .cache import CacheEntry, ProgramCache
+from .keys import program_key
+from .metrics import Gauge, MetricsRegistry
+from .scheduler import BatchScheduler, StepRequest, StepResult
+from .sessions import SessionManager, TenantSession
+
+#: named scheme resolvers usable as ``scheme="paper"`` etc.
+SCHEME_RESOLVERS: dict[str, Callable[[Graph], UpdateScheme]] = {
+    "paper": paper_scheme,
+    "full": full_update,
+    "bias_only": bias_only,
+}
+
+
+class ProgramFamily:
+    """One fine-tuning configuration and its cached program variants."""
+
+    def __init__(self, service: "FineTuneService",
+                 build: Callable[[int], Graph],
+                 model_id: str,
+                 scheme: UpdateScheme,
+                 optimizer: OptimizerSpec,
+                 options: CompileOptions,
+                 loss: str,
+                 logits: str | None,
+                 forward_1: Graph | None = None) -> None:
+        self._service = service
+        self._build = build
+        self.model_id = model_id
+        self.scheme = scheme
+        self.optimizer = optimizer
+        self.options = options
+        self.loss = loss
+        self.logits = logits
+        self._lock = threading.Lock()
+        #: bucket batch size -> canonical program key (forward graphs are
+        #: rebuilt and fingerprinted once per bucket, not per request)
+        self._bucket_keys: dict[int, str] = {}
+        self._forwards: dict[int, Graph] = {}
+        if forward_1 is not None:
+            self._forwards[1] = forward_1
+
+        # The template variant pins the family identity, the mutable-state
+        # template sessions copy, and the feed names/shapes.
+        entry = self.bucket(1)
+        program = entry.program
+        self.key = entry.key
+        self.labels_name: str = program.meta["labels"]
+        self.loss_name: str = program.meta["loss"]
+        data_inputs = [name for name in program.graph.inputs
+                       if name != self.labels_name]
+        if len(data_inputs) != 1:
+            raise ServeError(
+                f"model {model_id!r} must have exactly one data input, "
+                f"got {data_inputs}"
+            )
+        self.input_name = data_inputs[0]
+        self.example_shape = tuple(
+            program.graph.spec(self.input_name).shape[1:])
+        self.example_dtype = program.graph.spec(self.input_name).dtype.np
+        self.label_shape = tuple(
+            program.graph.spec(self.labels_name).shape[1:])
+        self.label_dtype = program.graph.spec(self.labels_name).dtype.np
+        logits_name = program.meta["logits"]
+        self.num_classes = int(program.graph.spec(logits_name).shape[-1])
+        self._mutable_names = sorted(program.mutable_state_names())
+        self._template = {name: program.state[name]
+                          for name in self._mutable_names}
+
+    def bucket(self, batch: int) -> CacheEntry:
+        """The compiled program variant for micro-batches of ``batch``."""
+        with self._lock:
+            key = self._bucket_keys.get(batch)
+            forward = self._forwards.get(batch)
+        if key is None:
+            if forward is None:
+                forward = self._build(batch)
+            key = program_key(forward, scheme=self.scheme,
+                              optimizer=self.optimizer, options=self.options,
+                              loss=self.loss, logits=self.logits)
+            with self._lock:
+                self._bucket_keys[batch] = key
+                self._forwards[batch] = forward
+        cache = self._service.cache
+        return cache.get_or_build(
+            key, lambda: self._compile(forward, key))
+
+    def _compile(self, forward: Graph, key: str):
+        began = perf_counter()
+        program = compile_training(
+            forward, loss=self.loss, logits=self.logits,
+            optimizer=self.optimizer, scheme=self.scheme,
+            options=self.options)
+        self._service._record_compile(self, key, program,
+                                      (perf_counter() - began) * 1e3)
+        return program
+
+    def template_state(self) -> dict[str, np.ndarray]:
+        """The initial mutable state new sessions copy (shared template)."""
+        return self._template
+
+    def mutable_names(self) -> list[str]:
+        return list(self._mutable_names)
+
+
+class FineTuneService:
+    """Long-lived, multi-tenant serving layer over the one-shot compiler."""
+
+    def __init__(self, *, cache_capacity: int = 32, max_batch: int = 8,
+                 workers: int = 2,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.metrics = metrics or MetricsRegistry()
+        self.cache = ProgramCache(capacity=cache_capacity)
+        self.sessions = SessionManager()
+        self.scheduler = BatchScheduler(
+            self._run_batch, max_batch=max_batch, workers=workers,
+            metrics=self.metrics)
+        self._families: dict[str, ProgramFamily] = {}
+        self._family_lock = threading.Lock()
+        self._closed = False
+
+        self._steps_total = self.metrics.counter(
+            "serve.steps_total", "optimizer updates executed")
+        self._examples_total = self.metrics.counter(
+            "serve.examples_total", "training examples consumed")
+        self._step_latency = self.metrics.histogram(
+            "serve.step_latency_ms", "executor wall time per micro-batch")
+        self._compile_latency = self.metrics.histogram(
+            "serve.compile_ms", "compile wall time per cache miss")
+        self._live_sessions = self.metrics.gauge(
+            "serve.sessions_live", "open tenant sessions")
+
+    # -- session lifecycle ---------------------------------------------------
+
+    def create_session(
+        self,
+        model: str | Callable[[int], Graph],
+        *,
+        scheme: UpdateScheme | str = "paper",
+        optimizer: OptimizerSpec | None = None,
+        options: CompileOptions | None = None,
+        loss: str = "softmax_ce",
+        logits: str | None = None,
+        tenant: str | None = None,
+        weights: dict[str, np.ndarray] | None = None,
+        model_kwargs: dict[str, Any] | None = None,
+        model_id: str | None = None,
+    ) -> TenantSession:
+        """Open a tenant session; compiles (or reuses) its program family.
+
+        ``model`` is a registry key or a ``batch -> Graph`` callable;
+        callables need an explicit ``model_id`` for cache identity.
+        ``weights`` optionally seeds the session's *mutable* state (the
+        scheme's updated parameters and optimizer slots).
+        """
+        self._check_open()
+        family = self._family_for(model, scheme=scheme, optimizer=optimizer,
+                                  options=options, loss=loss, logits=logits,
+                                  model_kwargs=model_kwargs,
+                                  model_id=model_id)
+        session = self.sessions.create(family, tenant=tenant,
+                                       weights=weights)
+        self._live_sessions.set(len(self.sessions))
+        return session
+
+    def close_session(self, session_id: str) -> dict[str, np.ndarray]:
+        """Retire a session; returns its final mutable state snapshot.
+
+        Refuses while the session still has queued or in-flight step
+        requests — a snapshot taken mid-stream would not be final. Resolve
+        or await the outstanding futures (or :meth:`drain`) first.
+
+        The check is best-effort against *concurrent* submitters: a
+        ``submit`` for the same session racing this call can slip a step
+        in after the snapshot. Don't do that — a tenant closing its own
+        session must stop submitting first (await its futures); the
+        serving layer only guarantees that tenants can't affect *each
+        other*.
+        """
+        session = self.sessions.get(session_id)
+        if self.scheduler.pending(session_id):
+            raise ServeError(
+                f"session {session_id} has outstanding step requests; "
+                f"await its futures or drain() before closing"
+            )
+        snapshot = session.snapshot()
+        self.sessions.close(session_id)
+        self._live_sessions.set(len(self.sessions))
+        return snapshot
+
+    def snapshot(self, session_id: str) -> dict[str, np.ndarray]:
+        return self.sessions.get(session_id).snapshot()
+
+    def load_weights(self, session_id: str,
+                     weights: dict[str, np.ndarray]) -> None:
+        self.sessions.get(session_id).load(weights)
+
+    # -- stepping ------------------------------------------------------------
+
+    def submit(self, session_id: str, x: np.ndarray,
+               y: np.ndarray) -> Future:
+        """Enqueue one single-example step; returns a Future[StepResult]."""
+        self._check_open()
+        session = self.sessions.get(session_id)
+        family = session.family
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if x.shape != family.example_shape:
+            raise ServeError(
+                f"example for {family.model_id!r} must have shape "
+                f"{family.example_shape}, got {x.shape} (submit one "
+                f"example per request; the scheduler does the batching)"
+            )
+        if y.shape != family.label_shape:
+            raise ServeError(
+                f"label must have shape {family.label_shape}, got {y.shape}"
+            )
+        return self.scheduler.submit(
+            session,
+            x.astype(family.example_dtype, copy=False),
+            y.astype(family.label_dtype, copy=False),
+        )
+
+    def step(self, session_id: str, x: np.ndarray,
+             y: np.ndarray) -> StepResult:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(session_id, x, y).result()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        return self.scheduler.drain(timeout=timeout)
+
+    def warm(self, session_id: str, batches: list[int] | None = None) -> None:
+        """Precompile program variants so first requests hit the cache."""
+        family = self.sessions.get(session_id).family
+        from .scheduler import bucket_sizes
+        for batch in batches or bucket_sizes(self.scheduler.max_batch):
+            family.bucket(batch)
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot of service metrics, cache stats included."""
+        self._sync_cache_metrics()
+        return self.metrics.as_dict()
+
+    def render_metrics(self, title: str = "repro.serve metrics") -> str:
+        self._sync_cache_metrics()
+        return self.metrics.render(title=title)
+
+    def _sync_cache_metrics(self) -> None:
+        stats = self.cache.stats
+        self.metrics.gauge(
+            "serve.cache.entries", "live cached programs").set(len(self.cache))
+        self.metrics.gauge("serve.cache.hits").set(stats.hits)
+        self.metrics.gauge("serve.cache.misses").set(stats.misses)
+        self.metrics.gauge("serve.cache.evictions").set(stats.evictions)
+        self.metrics.gauge("serve.cache.hit_rate").set(stats.hit_rate)
+        self.metrics.gauge(
+            "serve.cache.compile_seconds_total").set(
+                stats.compile_seconds_total)
+        per_program: dict[str, float] = {}
+        for entry in self.cache.entries():
+            short = entry.key[:12]
+            gauge = entry.meta.get("peak_gauge")
+            if gauge is not None:
+                per_program[
+                    f"serve.peak_transient_bytes[{short}]"] = gauge.value
+            report = entry.program.meta.get("report")
+            if report is not None:
+                per_program[
+                    f"serve.compiled_peak_transient_bytes[{short}]"
+                ] = report.peak_transient_bytes
+        self.metrics.replace_prefixed(
+            ("serve.peak_transient_bytes[",
+             "serve.compiled_peak_transient_bytes["), per_program)
+
+    # -- internals -----------------------------------------------------------
+
+    def _family_for(self, model, *, scheme, optimizer, options, loss,
+                    logits, model_kwargs, model_id) -> ProgramFamily:
+        optimizer = optimizer or SGD(lr=0.01)
+        options = options or CompileOptions()
+        model_kwargs = dict(model_kwargs or {})
+        if callable(model) and not isinstance(model, str):
+            if model_id is None:
+                raise ServeError(
+                    "callable model builders need an explicit model_id"
+                )
+            build = lambda batch: model(batch, **model_kwargs)  # noqa: E731
+        else:
+            model_id = model_id or str(model)
+            build = lambda batch: build_model(  # noqa: E731
+                model, batch=batch, **model_kwargs)
+
+        # Cheap pre-key so identical create_session calls reuse the family
+        # without rebuilding/fingerprinting the forward graph every time.
+        probe = json.dumps({
+            "model_id": model_id,
+            "kwargs": {k: repr(v) for k, v in sorted(model_kwargs.items())},
+            "scheme": scheme if isinstance(scheme, str)
+            else [scheme.name, sorted(scheme.updates.items())],
+            "optimizer": repr(optimizer),
+            "options": repr(options),
+            "loss": loss,
+            "logits": logits,
+        }, sort_keys=True)
+        with self._family_lock:
+            family = self._families.get(probe)
+        if family is not None:
+            return family
+
+        # Built once, reused both for named-scheme resolution and as the
+        # family's bucket-1 template graph.
+        forward_1 = build(1)
+        if isinstance(scheme, str):
+            try:
+                resolver = SCHEME_RESOLVERS[scheme]
+            except KeyError:
+                raise ServeError(
+                    f"unknown scheme {scheme!r}; named schemes: "
+                    f"{sorted(SCHEME_RESOLVERS)}"
+                ) from None
+            scheme = resolver(forward_1)
+        family = ProgramFamily(self, build, model_id, scheme, optimizer,
+                               options, loss, logits, forward_1=forward_1)
+        with self._family_lock:
+            # Two threads may have built the family concurrently; the
+            # canonical program key decides the winner so both end up
+            # sharing one object (and one cache entry either way).
+            existing = self._families.get(probe)
+            if existing is not None:
+                return existing
+            self._families[probe] = family
+        return family
+
+    def _run_batch(self, session: TenantSession,
+                   batch: list[StepRequest]) -> StepResult:
+        family = session.family
+        entry = family.bucket(len(batch))
+        executor = session.executor_for(entry.key, entry.program)
+        if len(batch) == 1:
+            x = batch[0].x[None, ...]
+            y = batch[0].y[None, ...]
+        else:
+            x = np.stack([request.x for request in batch])
+            y = np.stack([request.y for request in batch])
+        began = perf_counter()
+        with session.lock:
+            out = executor.run({family.input_name: x,
+                                family.labels_name: y})
+        elapsed_ms = (perf_counter() - began) * 1e3
+        loss = float(out[family.loss_name])
+        session.record(loss, len(batch))
+        self._steps_total.inc()
+        self._examples_total.inc(len(batch))
+        self._step_latency.observe(elapsed_ms)
+        # High-water mark travels with the cache entry (and dies with it on
+        # eviction); _sync_cache_metrics publishes only live entries, so
+        # per-program gauge cardinality stays bounded by the cache.
+        peak = entry.meta.setdefault(
+            "peak_gauge", Gauge(f"peak[{entry.key[:12]}]"))
+        peak.max(executor.peak_transient_bytes)
+        return StepResult(
+            session_id=session.id,
+            loss=loss,
+            step=session.steps,
+            batch_size=len(batch),
+            program_key=entry.key,
+        )
+
+    def _record_compile(self, family: ProgramFamily, key: str, program,
+                        elapsed_ms: float) -> None:
+        self._compile_latency.observe(elapsed_ms)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServeError("service is closed")
+
+    def close(self, wait: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.scheduler.close(wait=wait)
+
+    def __enter__(self) -> "FineTuneService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,153 @@
+"""Per-tenant session state over shared compiled programs.
+
+A compiled :class:`~repro.runtime.Program` is immutable apart from its
+``state`` mapping, and one training step only ever writes the entries that
+in-place ``apply_*`` nodes touch — the scheme's updated parameters plus
+their optimizer slots (:meth:`Program.mutable_state_names`). That makes a
+program shareable across any number of tenants: each session owns a private
+copy of exactly the mutable entries, and executes through a program *view*
+(:meth:`Program.with_state`) that overlays them on the shared template.
+
+Frozen weights, folded constants, graph, schedule: all shared, read-only.
+Two sessions can therefore never observe each other's training state — the
+only arrays a step writes belong to the session that ran it. (The paper's
+sparse-update story is what makes this overlay small: a session's footprint
+is the updated tensors, not the model.)
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from ..errors import ServeError
+from ..runtime import Executor, Program
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from .service import ProgramFamily
+
+
+class TenantSession:
+    """One tenant's mutable fine-tuning state bound to a program family."""
+
+    def __init__(self, session_id: str, tenant: str,
+                 family: "ProgramFamily",
+                 template_state: dict[str, np.ndarray]) -> None:
+        self.id = session_id
+        self.tenant = tenant
+        self.family = family
+        #: private overlay: updated params + optimizer slots, mutated in
+        #: place by the apply kernels through program views
+        self.state = {name: array.copy()
+                      for name, array in template_state.items()}
+        #: serializes steps; the scheduler also guarantees one in-flight
+        #: batch per session, this is the defence in depth for direct use
+        self.lock = threading.RLock()
+        self.steps = 0
+        self.examples = 0
+        self.last_loss = math.nan
+        self.loss_history: deque[float] = deque(maxlen=512)
+        self._executors: dict[str, Executor] = {}
+
+    def executor_for(self, key: str, program: Program) -> Executor:
+        """The session's executor over ``program`` with its state overlaid.
+
+        Executors are created once per (session, compiled program) and
+        reused for every subsequent step — the steady-state step path
+        allocates no new engine objects.
+        """
+        executor = self._executors.get(key)
+        if executor is None:
+            executor = Executor(program.with_state(self.state))
+            self._executors[key] = executor
+        return executor
+
+    def record(self, loss: float, batch_size: int) -> None:
+        with self.lock:
+            self.steps += 1
+            self.examples += batch_size
+            self.last_loss = loss
+            self.loss_history.append(loss)
+
+    def snapshot(self) -> dict[str, np.ndarray]:
+        """Copies of the session's mutable state (checkpointable)."""
+        with self.lock:
+            return {name: array.copy() for name, array in self.state.items()}
+
+    def load(self, weights: dict[str, np.ndarray]) -> None:
+        """Install values into the session's mutable state.
+
+        Copies **into** the existing arrays (never rebinds) so every live
+        executor view observes the new values. Only mutable entries can be
+        loaded: frozen weights are shared across tenants by construction —
+        a tenant needing different frozen weights is a different model,
+        i.e. a different program family.
+        """
+        with self.lock:
+            for name, value in weights.items():
+                target = self.state.get(name)
+                if target is None:
+                    raise ServeError(
+                        f"session {self.id}: {name!r} is not part of the "
+                        f"mutable session state; loadable entries: "
+                        f"{sorted(self.state)}"
+                    )
+                value = np.asarray(value)
+                if value.shape != target.shape:
+                    raise ServeError(
+                        f"session {self.id}: {name!r} expects shape "
+                        f"{target.shape}, got {value.shape}"
+                    )
+                target[...] = value.astype(target.dtype, copy=False)
+
+    def state_bytes(self) -> int:
+        return sum(array.nbytes for array in self.state.values())
+
+
+class SessionManager:
+    """Creates, resolves, and retires tenant sessions (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, TenantSession] = {}
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    def create(self, family: "ProgramFamily", tenant: str | None = None,
+               weights: dict[str, np.ndarray] | None = None) -> TenantSession:
+        with self._lock:
+            session_id = f"sess-{self._next_id:04d}"
+            self._next_id += 1
+        tenant = tenant or session_id
+        session = TenantSession(session_id, tenant, family,
+                                family.template_state())
+        if weights:
+            session.load(weights)
+        with self._lock:
+            self._sessions[session_id] = session
+        return session
+
+    def get(self, session_id: str) -> TenantSession:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise ServeError(f"unknown session {session_id!r}")
+        return session
+
+    def close(self, session_id: str) -> TenantSession:
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise ServeError(f"unknown session {session_id!r}")
+        return session
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __iter__(self) -> Iterator[TenantSession]:
+        with self._lock:
+            return iter(list(self._sessions.values()))

@@ -1,0 +1,600 @@
+"""Tests for the `repro.serve` subsystem.
+
+Covers the satellite checklist: program-key stability and sensitivity,
+cache LRU/eviction/single-flight, concurrent tenant isolation (weights
+never cross sessions), and scheduler batching correctness against plain
+sequential execution.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.frontend import InputSpec, Linear, Sequential, trace
+from repro.ir import Graph, graph_fingerprint
+from repro.runtime import Executor
+from repro.runtime.compiler import CompileOptions, compile_training
+from repro.serve import (FineTuneService, MetricsRegistry, ProgramCache,
+                         bucket_sizes, program_key)
+from repro.sparse import UpdateScheme, full_update
+from repro.train import SGD
+
+from conftest import make_mlp_graph
+
+
+def build_mlp(batch: int, seed: int = 0) -> Graph:
+    """A deterministic little MLP rebuildable at any batch size."""
+    builder, _ = make_mlp_graph(batch=batch, din=5, dhidden=6, dout=3,
+                                seed=seed)
+    return builder.graph
+
+
+def mlp_example(rng):
+    return (rng.standard_normal(5).astype(np.float32),
+            np.int64(rng.integers(0, 3)))
+
+
+# ---------------------------------------------------------------------------
+# program keys / fingerprints
+# ---------------------------------------------------------------------------
+
+class TestProgramKey:
+
+    def test_same_graph_same_key(self):
+        a, b = build_mlp(4), build_mlp(4)
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+        key_a = program_key(a, scheme=full_update(a), optimizer=SGD(0.01))
+        key_b = program_key(b, scheme=full_update(b), optimizer=SGD(0.01))
+        assert key_a == key_b
+
+    def test_fingerprint_roundtrips_serialization(self, tmp_path):
+        from repro.ir import load_graph, save_graph
+
+        graph = build_mlp(4)
+        save_graph(graph, tmp_path / "mlp")
+        loaded = load_graph(tmp_path / "mlp")
+        assert graph_fingerprint(graph, include_weights=True) == \
+            graph_fingerprint(loaded, include_weights=True)
+
+    def test_changed_scheme_changes_key(self):
+        graph = build_mlp(4)
+        base = program_key(graph, scheme=full_update(graph),
+                           optimizer=SGD(0.01))
+        biased = program_key(graph,
+                             scheme=UpdateScheme("bias", {"b1": 1.0,
+                                                          "b2": 1.0}),
+                             optimizer=SGD(0.01))
+        sliced = program_key(
+            graph,
+            scheme=UpdateScheme("slice", {"w1": 0.5, "b1": 1.0}),
+            optimizer=SGD(0.01))
+        assert len({base, biased, sliced}) == 3
+
+    def test_scheme_name_is_cosmetic(self):
+        graph = build_mlp(4)
+        a = UpdateScheme("alpha", {"b1": 1.0})
+        b = UpdateScheme("beta", {"b1": 1.0})
+        key = lambda s: program_key(graph, scheme=s, optimizer=SGD(0.01))  # noqa: E731
+        assert key(a) == key(b)
+
+    def test_options_optimizer_shapes_weights_change_key(self):
+        graph = build_mlp(4)
+        base = program_key(graph, scheme=full_update(graph),
+                           optimizer=SGD(0.01))
+        assert base != program_key(graph, scheme=full_update(graph),
+                                   optimizer=SGD(0.02))
+        assert base != program_key(
+            graph, scheme=full_update(graph), optimizer=SGD(0.01),
+            options=CompileOptions(reorder=False))
+        other_batch = build_mlp(8)
+        assert base != program_key(other_batch,
+                                   scheme=full_update(other_batch),
+                                   optimizer=SGD(0.01))
+        other_weights = build_mlp(4, seed=7)
+        assert base != program_key(other_weights,
+                                   scheme=full_update(other_weights),
+                                   optimizer=SGD(0.01))
+        # ... unless weights are excluded from the key on purpose
+        assert program_key(graph, scheme=full_update(graph),
+                           optimizer=SGD(0.01), include_weights=False) == \
+            program_key(other_weights, scheme=full_update(other_weights),
+                        optimizer=SGD(0.01), include_weights=False)
+
+    def test_program_fingerprint_stable(self):
+        graph = build_mlp(4)
+        p1 = compile_training(graph, optimizer=SGD(0.01),
+                              scheme=full_update(graph))
+        p2 = compile_training(build_mlp(4), optimizer=SGD(0.01),
+                              scheme=full_update(build_mlp(4)))
+        assert p1.fingerprint() == p2.fingerprint()
+
+    def test_mutable_state_names(self):
+        graph = build_mlp(4)
+        program = compile_training(
+            graph, optimizer=SGD(0.01, momentum=0.9),
+            scheme=UpdateScheme("bias", {"b1": 1.0, "b2": 1.0}))
+        mutable = program.mutable_state_names()
+        assert "b1" in mutable and "b2" in mutable
+        assert "w1" not in mutable  # frozen under bias_only
+        # momentum slots ride along with their parameters
+        assert any("b1" in name and name != "b1" for name in mutable)
+
+    def test_with_state_rejects_unknown_names(self):
+        graph = build_mlp(4)
+        program = compile_training(graph, optimizer=SGD(0.01),
+                                   scheme=full_update(graph))
+        with pytest.raises(Exception):
+            program.with_state({"nope": np.zeros(3, np.float32)})
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+
+def _dummy_program(tag: str):
+    graph = build_mlp(2)
+    program = compile_training(graph, optimizer=SGD(0.01),
+                               scheme=full_update(graph))
+    program.meta["tag"] = tag
+    return program
+
+
+class TestProgramCache:
+
+    def test_hit_after_miss(self):
+        cache = ProgramCache(capacity=4)
+        builds = []
+        make = lambda: builds.append(1) or _dummy_program("a")  # noqa: E731
+        first = cache.get_or_build("k", make)
+        second = cache.get_or_build("k", make)
+        assert first.program is second.program
+        assert len(builds) == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = ProgramCache(capacity=2)
+        cache.get_or_build("a", lambda: _dummy_program("a"))
+        cache.get_or_build("b", lambda: _dummy_program("b"))
+        cache.get_or_build("a", lambda: _dummy_program("a"))  # refresh a
+        cache.get_or_build("c", lambda: _dummy_program("c"))  # evicts b
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+        # b recompiles on next demand
+        rebuilt = []
+        cache.get_or_build("b", lambda: rebuilt.append(1)
+                           or _dummy_program("b"))
+        assert rebuilt
+
+    def test_single_flight_concurrent_misses(self):
+        cache = ProgramCache(capacity=4)
+        builds = []
+        gate = threading.Event()
+
+        def slow_build():
+            builds.append(threading.get_ident())
+            gate.wait(timeout=5)
+            return _dummy_program("slow")
+
+        entries = [None] * 8
+
+        def worker(i):
+            entries[i] = cache.get_or_build("k", slow_build)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        gate.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(builds) == 1, "concurrent misses must compile once"
+        assert all(e is entries[0] for e in entries)
+        assert cache.stats.misses == 1 and cache.stats.hits == 7
+
+    def test_failed_build_releases_waiters(self):
+        cache = ProgramCache(capacity=4)
+
+        def boom():
+            raise RuntimeError("compile failed")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_build("k", boom)
+        # the key is not poisoned
+        entry = cache.get_or_build("k", lambda: _dummy_program("ok"))
+        assert entry.program.meta["tag"] == "ok"
+
+
+# ---------------------------------------------------------------------------
+# sessions / isolation
+# ---------------------------------------------------------------------------
+
+class TestSessionIsolation:
+
+    def test_two_tenants_never_share_weights(self):
+        rng = np.random.default_rng(0)
+        with FineTuneService(max_batch=1, workers=2) as service:
+            s1 = service.create_session(build_mlp, model_id="mlp",
+                                        scheme="full", tenant="alice")
+            s2 = service.create_session(build_mlp, model_id="mlp",
+                                        scheme="full", tenant="bob")
+            # one program family, one cache entry per bucket — shared
+            assert s1.family is s2.family
+            before = service.snapshot(s2.id)
+
+            for _ in range(6):
+                x, y = mlp_example(rng)
+                service.step(s1.id, x, y)
+
+            after = service.snapshot(s2.id)
+            for name in before:
+                np.testing.assert_array_equal(before[name], after[name])
+            # and alice actually trained
+            trained = service.snapshot(s1.id)
+            assert any(not np.array_equal(trained[n], before[n])
+                       for n in trained)
+
+    def test_concurrent_tenant_streams_stay_isolated(self):
+        """Interleaved concurrent traffic == each tenant trained alone."""
+        def run_alone(seed_stream):
+            graph = build_mlp(1)
+            program = compile_training(graph, optimizer=SGD(0.01),
+                                       scheme=full_update(graph))
+            executor = Executor(program)
+            for x, y in seed_stream:
+                executor.run({"x": x[None, ...], "labels": y[None, ...]})
+            return {k: program.state[k].copy()
+                    for k in program.mutable_state_names()}
+
+        streams = {}
+        for tenant in range(4):
+            rng = np.random.default_rng(100 + tenant)
+            streams[tenant] = [mlp_example(rng) for _ in range(8)]
+
+        expected = {t: run_alone(stream) for t, stream in streams.items()}
+
+        with FineTuneService(max_batch=1, workers=4) as service:
+            sessions = {
+                t: service.create_session(build_mlp, model_id="mlp",
+                                          scheme="full", tenant=f"t{t}")
+                for t in streams
+            }
+            futures = []
+            for step in range(8):  # interleave all tenants each round
+                for t, stream in streams.items():
+                    x, y = stream[step]
+                    futures.append(service.submit(sessions[t].id, x, y))
+            for future in futures:
+                future.result(timeout=30)
+
+            for t, session in sessions.items():
+                got = service.snapshot(session.id)
+                for name, value in expected[t].items():
+                    np.testing.assert_allclose(
+                        got[name], value, rtol=1e-6, atol=1e-7,
+                        err_msg=f"tenant {t} diverged on {name}")
+
+    def test_load_weights_rejects_frozen_and_bad_shapes(self):
+        with FineTuneService(max_batch=1, workers=1) as service:
+            session = service.create_session(
+                build_mlp, model_id="mlp",
+                scheme=UpdateScheme("bias", {"b1": 1.0, "b2": 1.0}))
+            with pytest.raises(ServeError):
+                service.load_weights(session.id,
+                                     {"w1": np.zeros((5, 6), np.float32)})
+            with pytest.raises(ServeError):
+                service.load_weights(session.id,
+                                     {"b1": np.zeros(2, np.float32)})
+            service.load_weights(session.id,
+                                 {"b1": np.ones(6, np.float32)})
+            assert np.all(service.snapshot(session.id)["b1"] == 1.0)
+
+    def test_unknown_session_and_close(self):
+        with FineTuneService(max_batch=1, workers=1) as service:
+            with pytest.raises(ServeError):
+                service.submit("sess-9999", np.zeros(5, np.float32),
+                               np.int64(0))
+            session = service.create_session(build_mlp, model_id="mlp",
+                                             scheme="full")
+            snapshot = service.close_session(session.id)
+            assert snapshot
+            with pytest.raises(ServeError):
+                service.snapshot(session.id)
+
+    def test_close_session_refuses_while_requests_outstanding(self):
+        """A 'final' snapshot must actually be final: drain first."""
+        from repro.serve import BatchScheduler, StepResult
+
+        class StubSession:
+            def __init__(self, sid):
+                self.id = sid
+
+        release = threading.Event()
+
+        def runner(session, batch):
+            assert release.wait(timeout=10)
+            return StepResult(session_id=session.id, loss=0.0, step=0,
+                              batch_size=len(batch), program_key="k")
+
+        scheduler = BatchScheduler(runner, max_batch=2, workers=1)
+        try:
+            session = StubSession("s")
+            future = scheduler.submit(session, np.int64(0), np.int64(0))
+            assert scheduler.pending("s")
+            release.set()
+            future.result(timeout=30)
+            assert scheduler.drain(timeout=10)
+            assert not scheduler.pending("s")
+        finally:
+            scheduler.close()
+
+        rng = np.random.default_rng(9)
+        with FineTuneService(max_batch=1, workers=1) as service:
+            session = service.create_session(build_mlp, model_id="mlp",
+                                             scheme="full")
+            futures = [service.submit(session.id, *mlp_example(rng))
+                       for _ in range(4)]
+            # Either the requests are still pending (close refuses) or the
+            # worker already finished them (close succeeds) — both are
+            # correct; what must never happen is a snapshot racing live
+            # mutation, so refusal is only required while work is pending.
+            if service.scheduler.pending(session.id):
+                with pytest.raises(ServeError):
+                    service.close_session(session.id)
+            for future in futures:
+                future.result(timeout=30)
+            service.drain()
+            snapshot = service.close_session(session.id)
+            assert snapshot
+
+
+# ---------------------------------------------------------------------------
+# scheduler
+# ---------------------------------------------------------------------------
+
+class TestScheduler:
+
+    def test_bucket_sizes(self):
+        assert bucket_sizes(1) == [1]
+        assert bucket_sizes(8) == [1, 2, 4, 8]
+        assert bucket_sizes(6) == [1, 2, 4, 6]
+        with pytest.raises(ServeError):
+            bucket_sizes(0)
+
+    def test_unbatched_scheduler_matches_sequential(self):
+        """max_batch=1: served losses == a plain sequential Trainer's."""
+        rng = np.random.default_rng(3)
+        stream = [mlp_example(rng) for _ in range(10)]
+
+        graph = build_mlp(1)
+        program = compile_training(graph, optimizer=SGD(0.01),
+                                   scheme=full_update(graph))
+        executor = Executor(program)
+        expected_losses = []
+        for x, y in stream:
+            out = executor.run({"x": x[None, ...], "labels": y[None, ...]})
+            expected_losses.append(float(out[program.meta["loss"]]))
+
+        with FineTuneService(max_batch=1, workers=1) as service:
+            session = service.create_session(build_mlp, model_id="mlp",
+                                             scheme="full")
+            got = [service.step(session.id, x, y).loss for x, y in stream]
+
+        np.testing.assert_allclose(got, expected_losses, rtol=1e-6)
+
+    def test_coalesced_batch_matches_manual_batched_step(self):
+        """A coalesced micro-batch == one step of a batch-k program.
+
+        Drives the service's batch runner directly (no scheduler timing
+        races): four single-example requests coalesced into one batch must
+        produce exactly the loss and post-step state of running the stacked
+        batch through a batch-4 compiled program.
+        """
+        from repro.serve import StepRequest
+
+        rng = np.random.default_rng(4)
+        examples = [mlp_example(rng) for _ in range(4)]
+        xs = np.stack([x for x, _ in examples])
+        ys = np.stack([y for _, y in examples])
+
+        graph = build_mlp(4)
+        program = compile_training(graph, optimizer=SGD(0.01),
+                                   scheme=full_update(graph))
+        out = Executor(program).run({"x": xs, "labels": ys})
+        expected_loss = float(out[program.meta["loss"]])
+        expected_state = {k: program.state[k].copy()
+                          for k in program.mutable_state_names()}
+
+        with FineTuneService(max_batch=4, workers=1) as service:
+            session = service.create_session(build_mlp, model_id="mlp",
+                                             scheme="full")
+            batch = [StepRequest(session=session, x=x, y=y)
+                     for x, y in examples]
+            result = service._run_batch(session, batch)
+            got_state = service.snapshot(session.id)
+
+        assert result.batch_size == 4
+        np.testing.assert_allclose(result.loss, expected_loss, rtol=1e-6)
+        assert sorted(got_state) == sorted(expected_state)
+        for name, value in expected_state.items():
+            np.testing.assert_allclose(got_state[name], value, rtol=1e-6,
+                                       atol=1e-7, err_msg=name)
+
+    def test_scheduler_coalesces_backlog_and_keeps_fifo(self):
+        """While the one worker is busy, a session's backlog coalesces."""
+        from repro.serve import BatchScheduler, StepResult
+
+        class StubSession:
+            def __init__(self, sid):
+                self.id = sid
+
+        calls = []
+        started = threading.Event()
+        release = threading.Event()
+
+        def runner(session, batch):
+            if session.id == "blocker":
+                started.set()
+                assert release.wait(timeout=10)
+            calls.append((session.id, [int(r.x) for r in batch]))
+            return StepResult(session_id=session.id, loss=0.0, step=0,
+                              batch_size=len(batch), program_key="k")
+
+        scheduler = BatchScheduler(runner, max_batch=4, workers=1)
+        try:
+            blocker, tenant = StubSession("blocker"), StubSession("a")
+            scheduler.submit(blocker, np.int64(0), np.int64(0))
+            assert started.wait(timeout=10)
+            # Worker is stalled: six requests pile up for session "a".
+            futures = [scheduler.submit(tenant, np.int64(i), np.int64(0))
+                       for i in range(6)]
+            release.set()
+            for future in futures:
+                future.result(timeout=30)
+            assert scheduler.drain(timeout=10)
+        finally:
+            scheduler.close()
+
+        tenant_calls = [payload for sid, payload in calls if sid == "a"]
+        # backlog of 6 -> one batch of 4, then the remaining 2
+        assert tenant_calls == [[0, 1, 2, 3], [4, 5]]
+
+    def test_cancelled_request_drops_out_without_poisoning_batch(self):
+        """Cancelling one queued request must not fail its batch-mates."""
+        from concurrent.futures import CancelledError
+
+        from repro.serve import BatchScheduler, StepResult
+
+        class StubSession:
+            def __init__(self, sid):
+                self.id = sid
+
+        executed = []
+        started = threading.Event()
+        release = threading.Event()
+
+        def runner(session, batch):
+            if session.id == "blocker":
+                started.set()
+                assert release.wait(timeout=10)
+            executed.append((session.id, [int(r.x) for r in batch]))
+            return StepResult(session_id=session.id, loss=0.0, step=0,
+                              batch_size=len(batch), program_key="k")
+
+        scheduler = BatchScheduler(runner, max_batch=4, workers=1)
+        try:
+            scheduler.submit(StubSession("blocker"), np.int64(0),
+                             np.int64(0))
+            assert started.wait(timeout=10)
+            tenant = StubSession("a")
+            futures = [scheduler.submit(tenant, np.int64(i), np.int64(0))
+                       for i in range(3)]
+            assert futures[1].cancel()
+            release.set()
+            results = [futures[0].result(timeout=30),
+                       futures[2].result(timeout=30)]
+            with pytest.raises(CancelledError):
+                futures[1].result(timeout=1)
+        finally:
+            scheduler.close()
+        # the cancelled example never executed; its batch-mates did
+        ran = [x for sid, payload in executed if sid == "a" for x in payload]
+        assert sorted(ran) == [0, 2]
+        assert all(np.isfinite(r.loss) for r in results)
+
+    def test_close_without_wait_cancels_stranded_requests(self):
+        """close(wait=False) must not leave queued futures hanging."""
+        from concurrent.futures import CancelledError
+
+        from repro.serve import BatchScheduler, StepResult
+
+        class StubSession:
+            def __init__(self, sid):
+                self.id = sid
+
+        started = threading.Event()
+        release = threading.Event()
+
+        def runner(session, batch):
+            started.set()
+            assert release.wait(timeout=10)
+            return StepResult(session_id=session.id, loss=0.0, step=0,
+                              batch_size=len(batch), program_key="k")
+
+        scheduler = BatchScheduler(runner, max_batch=1, workers=1)
+        session = StubSession("s")
+        first = scheduler.submit(session, np.int64(0), np.int64(0))
+        assert started.wait(timeout=10)
+        second = scheduler.submit(session, np.int64(1), np.int64(0))
+        scheduler.close(wait=False)
+        release.set()
+        assert first.result(timeout=30).batch_size == 1
+        with pytest.raises(CancelledError):
+            second.result(timeout=5)
+
+    def test_batching_fairness_across_sessions(self):
+        rng = np.random.default_rng(6)
+        with FineTuneService(max_batch=8, workers=2) as service:
+            sessions = [service.create_session(build_mlp, model_id="mlp",
+                                               scheme="full",
+                                               tenant=f"t{i}")
+                        for i in range(3)]
+            futures = []
+            for _ in range(8):
+                for session in sessions:
+                    x, y = mlp_example(rng)
+                    futures.append(service.submit(session.id, x, y))
+            results = [f.result(timeout=30) for f in futures]
+            by_session = {}
+            for r in results:
+                by_session.setdefault(r.session_id, []).append(r)
+            assert set(len(v) for v in by_session.values()) == {8}
+            for rs in by_session.values():
+                steps = [r.step for r in rs]
+                assert steps == sorted(steps), "per-session FIFO violated"
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+class TestMetrics:
+
+    def test_histogram_quantiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert hist.count == 100
+        assert abs(hist.quantile(0.5) - 50.5) < 1.5
+        assert abs(hist.quantile(0.95) - 95.0) < 1.5
+        summary = hist.summary()
+        assert summary["count"] == 100
+
+    def test_registry_renders_and_rejects_kind_conflicts(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        registry.gauge("b").set(7)
+        registry.histogram("c").observe(1.0)
+        table = registry.render()
+        assert "a" in table and "p95" in table
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_service_metrics_populated(self):
+        rng = np.random.default_rng(7)
+        with FineTuneService(max_batch=2, workers=1) as service:
+            session = service.create_session(build_mlp, model_id="mlp",
+                                             scheme="full")
+            for _ in range(4):
+                x, y = mlp_example(rng)
+                service.step(session.id, x, y)
+            stats = service.stats()
+        assert stats["serve.steps_total"] == 4
+        assert stats["serve.examples_total"] == 4
+        assert stats["serve.cache.misses"] >= 1
+        assert stats["serve.step_latency_ms"]["count"] == 4
+        assert any(k.startswith("serve.peak_transient_bytes") for k in stats)
