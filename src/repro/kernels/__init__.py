@@ -6,6 +6,25 @@ Kernels never mutate their inputs, with the single documented exception of
 the ``apply_*`` optimizer ops which update parameters and optimizer state
 in place (that in-place behaviour is what the reorder pass exploits to
 shrink gradient-buffer lifetimes).
+
+Beyond the base registry, kernels can advertise properties the compiled
+execution plan (:mod:`repro.runtime.plan`) exploits to reach a zero-alloc
+steady-state step:
+
+* ``view=True`` kernels (:data:`VIEW_OPS`) may return an array aliasing one
+  of their inputs (reshape/transpose/slice). The plan never recycles the
+  buffers such values touch. Every kernel that can return an input alias
+  MUST be registered with ``view=True`` — the arena's safety analysis
+  depends on this list being complete.
+* :data:`OUT_KERNELS` are variants accepting a preallocated output buffer
+  (``fn(inputs, attrs, out) -> out``); they must write results bitwise
+  identical to the base kernel. :data:`OUT_ALIAS_SAFE` marks those whose
+  ``out`` may alias an input of the same shape (elementwise ufuncs), which
+  enables input donation.
+* :data:`DONATING_KERNELS` are variants that may clobber the inputs listed
+  in :data:`DONATED_INPUTS` as scratch (the in-place optimizer applies use
+  the dying gradient buffer to avoid temporaries). Outputs must again be
+  bitwise identical to the base kernel's.
 """
 
 from __future__ import annotations
@@ -17,15 +36,64 @@ import numpy as np
 from ..errors import ExecutionError
 
 Kernel = Callable[[list[np.ndarray], dict[str, Any]], list[np.ndarray]]
+OutKernel = Callable[[list[np.ndarray], dict[str, Any], np.ndarray],
+                     np.ndarray]
 
 KERNELS: dict[str, Kernel] = {}
 
+#: ops whose kernel may return a view aliasing an input array
+VIEW_OPS: set[str] = set()
 
-def kernel(name: str) -> Callable[[Kernel], Kernel]:
-    """Decorator registering a kernel for operator ``name``."""
+#: single-output variants writing into a caller-provided buffer
+OUT_KERNELS: dict[str, OutKernel] = {}
+
+#: out-capable ops where ``out`` may alias a same-shape input
+OUT_ALIAS_SAFE: set[str] = set()
+
+#: variants that may clobber specific inputs as scratch space
+DONATING_KERNELS: dict[str, Kernel] = {}
+
+#: op -> input indices the donating variant may clobber
+DONATED_INPUTS: dict[str, tuple[int, ...]] = {}
+
+
+def kernel(name: str, *, view: bool = False) -> Callable[[Kernel], Kernel]:
+    """Decorator registering a kernel for operator ``name``.
+
+    ``view=True`` declares that the kernel may return an array aliasing an
+    input; the execution plan then excludes the involved buffers from arena
+    recycling.
+    """
 
     def wrap(fn: Kernel) -> Kernel:
         KERNELS[name] = fn
+        if view:
+            VIEW_OPS.add(name)
+        return fn
+
+    return wrap
+
+
+def out_kernel(name: str, *, alias_safe: bool = False
+               ) -> Callable[[OutKernel], OutKernel]:
+    """Decorator registering an ``out=``-writing variant for ``name``."""
+
+    def wrap(fn: OutKernel) -> OutKernel:
+        OUT_KERNELS[name] = fn
+        if alias_safe:
+            OUT_ALIAS_SAFE.add(name)
+        return fn
+
+    return wrap
+
+
+def donating_kernel(name: str, clobbers: tuple[int, ...]
+                    ) -> Callable[[Kernel], Kernel]:
+    """Decorator registering a variant allowed to clobber ``clobbers``."""
+
+    def wrap(fn: Kernel) -> Kernel:
+        DONATING_KERNELS[name] = fn
+        DONATED_INPUTS[name] = tuple(clobbers)
         return fn
 
     return wrap
@@ -54,4 +122,15 @@ from . import reduce  # noqa: E402,F401
 from . import shape  # noqa: E402,F401
 from . import winograd  # noqa: E402,F401
 
-__all__ = ["KERNELS", "kernel", "run_op"]
+__all__ = [
+    "DONATED_INPUTS",
+    "DONATING_KERNELS",
+    "KERNELS",
+    "OUT_ALIAS_SAFE",
+    "OUT_KERNELS",
+    "VIEW_OPS",
+    "donating_kernel",
+    "kernel",
+    "out_kernel",
+    "run_op",
+]

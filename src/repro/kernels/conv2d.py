@@ -16,10 +16,37 @@ from . import kernel
 from .elementwise import apply_activation
 
 
+#: parsed stride/padding pairs, keyed by the raw attr value. Conv graphs
+#: carry a handful of distinct configurations but the kernels parse them on
+#: every step, so a tiny memo removes the per-call int() churn.
+_PAIR_CACHE: dict = {}
+
+
 def _pair(value) -> tuple[int, int]:
-    if isinstance(value, (tuple, list)):
-        return int(value[0]), int(value[1])
-    return int(value), int(value)
+    key = (value[0], value[1]) if isinstance(value, (tuple, list)) else value
+    try:
+        return _PAIR_CACHE[key]
+    except KeyError:
+        pass
+    except TypeError:  # unhashable attr value — parse without caching
+        key = None
+    pair = (int(value[0]), int(value[1])) \
+        if isinstance(value, (tuple, list)) else (int(value), int(value))
+    if key is not None:
+        _PAIR_CACHE[key] = pair
+    return pair
+
+
+def _pad2d(x: np.ndarray, ph: int, pw: int) -> np.ndarray:
+    """Zero-pad H/W. np.pad's generic machinery costs tens of µs per call,
+    which dominates small-resolution convs; a zeros+assign is ~5x cheaper
+    and padding-free convs (every 1x1) skip the copy entirely."""
+    if ph == 0 and pw == 0:
+        return x
+    n, c, h, w = x.shape
+    xp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=x.dtype)
+    xp[:, :, ph:ph + h, pw:pw + w] = x
+    return xp
 
 
 def im2col(x: np.ndarray, kh: int, kw: int, sh: int, sw: int,
@@ -28,7 +55,7 @@ def im2col(x: np.ndarray, kh: int, kw: int, sh: int, sw: int,
     n, c, h, w = x.shape
     ho = (h + 2 * ph - kh) // sh + 1
     wo = (w + 2 * pw - kw) // sw + 1
-    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    xp = _pad2d(x, ph, pw)
     cols = np.empty((n, c, kh, kw, ho, wo), dtype=x.dtype)
     for i in range(kh):
         for j in range(kw):
@@ -50,6 +77,19 @@ def col2im(cols: np.ndarray, x_shape: tuple[int, ...], kh: int, kw: int,
     return xp[:, :, ph:ph + h, pw:pw + w]
 
 
+#: im2col scratch bound for grouped convs: chunks of groups are unfolded
+#: and matmul'd together (a per-group Python loop is an order of magnitude
+#: slower on depthwise MBConv stacks, but unfolding *all* groups at once
+#: would multiply kernel-side scratch ~groups-fold on big inputs — scratch
+#: the transient-bytes accounting can't see).
+_GROUP_SCRATCH_CAP = 16 << 20
+
+
+def _group_chunk(groups: int, bytes_per_group: int) -> int:
+    """How many groups to unfold per chunk under the scratch cap."""
+    return max(1, min(groups, _GROUP_SCRATCH_CAP // max(1, bytes_per_group)))
+
+
 def conv2d_forward(x: np.ndarray, w: np.ndarray, stride=1, padding=0,
                    groups: int = 1) -> np.ndarray:
     """Plain (direct, im2col-backed) convolution forward."""
@@ -62,16 +102,23 @@ def conv2d_forward(x: np.ndarray, w: np.ndarray, stride=1, padding=0,
         # (cout, k) @ (n, k, l) broadcasts over the batch dim -> (n, cout, l)
         y = w.reshape(cout, -1) @ cols
         return y.reshape(n, cout, ho, wo)
-    # Grouped path: split channels, convolve per group, concatenate.
-    outs = []
+    # Grouped path: batched matmul over (batch, group) chunks — im2col's
+    # column layout is channel-major, so each group's rows are contiguous.
     cg_out = cout // groups
-    for g in range(groups):
-        xg = x[:, g * cin_g:(g + 1) * cin_g]
-        wg = w[g * cg_out:(g + 1) * cg_out]
+    k = cin_g * kh * kw
+    ho = (x.shape[2] + 2 * ph - kh) // sh + 1
+    wo = (x.shape[3] + 2 * pw - kw) // sw + 1
+    chunk = _group_chunk(groups, n * k * ho * wo * x.itemsize)
+    wg = w.reshape(groups, cg_out, k)
+    outs = []
+    for g0 in range(0, groups, chunk):
+        g1 = min(groups, g0 + chunk)
+        xg = x[:, g0 * cin_g:g1 * cin_g]
         cols, ho, wo = im2col(xg, kh, kw, sh, sw, ph, pw)
-        yg = wg.reshape(cg_out, -1) @ cols
-        outs.append(yg.reshape(n, cg_out, ho, wo))
-    return np.concatenate(outs, axis=1)
+        colsg = cols.reshape(n, g1 - g0, k, ho * wo)
+        yg = np.matmul(wg[None, g0:g1], colsg)  # (n, g1-g0, cg_out, l)
+        outs.append(yg.reshape(n, (g1 - g0) * cg_out, ho, wo))
+    return outs[0] if len(outs) == 1 else np.concatenate(outs, axis=1)
 
 
 @kernel("conv2d")
@@ -102,18 +149,29 @@ def _conv2d_dx(inputs, attrs):
     cout, cin_g, kh, kw = w.shape
     if groups == 1:
         g2 = grad.reshape(n, cout, -1)
-        dcols = np.einsum("ok,nol->nkl", w.reshape(cout, -1), g2,
-                          optimize=True)
+        # Batched w^T @ grad (einsum would re-derive its contraction path
+        # on every call, ~50µs of pure overhead per node).
+        dcols = np.matmul(w.reshape(cout, -1).transpose()[None], g2)
         return [col2im(dcols, in_shape, kh, kw, sh, sw, ph, pw)]
+    # Grouped path, vectorised over group chunks: scatter each chunk's
+    # column gradients into a channel-major block and fold it back with one
+    # col2im per chunk (scratch bounded by _GROUP_SCRATCH_CAP).
     cg_out = cout // groups
+    k = cin_g * kh * kw
+    l = grad.shape[2] * grad.shape[3]
+    g2 = grad.reshape(n, groups, cg_out, l)
+    wgT = w.reshape(groups, cg_out, k).transpose(0, 2, 1)
+    chunk = _group_chunk(groups, n * k * l * grad.itemsize)
+    if chunk >= groups:
+        dcols = np.matmul(wgT[None], g2).reshape(n, cin * kh * kw, l)
+        return [col2im(dcols, in_shape, kh, kw, sh, sw, ph, pw)]
     dx = np.empty(in_shape, dtype=grad.dtype)
-    for g in range(groups):
-        gg = grad[:, g * cg_out:(g + 1) * cg_out].reshape(n, cg_out, -1)
-        wg = w[g * cg_out:(g + 1) * cg_out].reshape(cg_out, -1)
-        dcols = np.einsum("ok,nol->nkl", wg, gg, optimize=True)
-        gshape = (n, cin_g, h, wdim)
-        dx[:, g * cin_g:(g + 1) * cin_g] = col2im(
-            dcols, gshape, kh, kw, sh, sw, ph, pw)
+    for g0 in range(0, groups, chunk):
+        g1 = min(groups, g0 + chunk)
+        dcols = np.matmul(wgT[None, g0:g1], g2[:, g0:g1])
+        dcols = dcols.reshape(n, (g1 - g0) * k, l)
+        dx[:, g0 * cin_g:g1 * cin_g] = col2im(
+            dcols, (n, (g1 - g0) * cin_g, h, wdim), kh, kw, sh, sw, ph, pw)
     return [dx]
 
 
@@ -130,14 +188,22 @@ def _conv2d_dw(inputs, attrs):
     if groups == 1:
         cols, _, _ = im2col(x, kh, kw, sh, sw, ph, pw)
         g2 = grad.reshape(n, cout, -1)
-        dw = np.einsum("nol,nkl->ok", g2, cols, optimize=True)
+        dw = np.tensordot(g2, cols, axes=([0, 2], [0, 2]))
         return [dw.reshape(cout, cin, kh, kw)]
+    # Grouped path: batched grad @ cols^T per (batch, group) chunk,
+    # reduced over the batch (scratch bounded by _GROUP_SCRATCH_CAP).
     cg_out = cout // groups
+    k = cin_g * kh * kw
+    l = grad.shape[2] * grad.shape[3]
+    g2 = grad.reshape(n, groups, cg_out, l)
+    chunk = _group_chunk(groups, n * k * l * x.itemsize)
     dw = np.empty((cout, cin_g, kh, kw), dtype=x.dtype)
-    for g in range(groups):
-        xg = x[:, g * cin_g:(g + 1) * cin_g]
-        gg = grad[:, g * cg_out:(g + 1) * cg_out].reshape(n, cg_out, -1)
+    for g0 in range(0, groups, chunk):
+        g1 = min(groups, g0 + chunk)
+        xg = x[:, g0 * cin_g:g1 * cin_g]
         cols, _, _ = im2col(xg, kh, kw, sh, sw, ph, pw)
-        dwg = np.einsum("nol,nkl->ok", gg, cols, optimize=True)
-        dw[g * cg_out:(g + 1) * cg_out] = dwg.reshape(cg_out, cin_g, kh, kw)
+        colsg = cols.reshape(n, g1 - g0, k, l)
+        dwg = np.matmul(g2[:, g0:g1], colsg.transpose(0, 1, 3, 2)).sum(axis=0)
+        dw[g0 * cg_out:g1 * cg_out] = dwg.reshape(
+            (g1 - g0) * cg_out, cin_g, kh, kw)
     return [dw]

@@ -4,9 +4,38 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import kernel
+from . import kernel, out_kernel
 
 _SQRT_2_OVER_PI = np.float32(np.sqrt(2.0 / np.pi))
+
+# out= variants: the execution plan hands these a recycled (or donated)
+# buffer so steady-state steps allocate no new arrays. Each must produce
+# bits identical to its base kernel — same ufunc, same operand order.
+# alias_safe=True means out may be one of the same-shape inputs (true for
+# elementwise ufuncs, which read element i before writing element i).
+
+def _binary_out(ufunc):
+    def run(inputs, attrs, out):
+        return ufunc(inputs[0], inputs[1], out=out)
+    return run
+
+
+def _unary_out(ufunc):
+    def run(inputs, attrs, out):
+        return ufunc(inputs[0], out=out)
+    return run
+
+
+for _name, _ufunc in [("add", np.add), ("sub", np.subtract),
+                      ("mul", np.multiply), ("div", np.true_divide),
+                      ("maximum", np.maximum), ("minimum", np.minimum)]:
+    out_kernel(_name, alias_safe=True)(_binary_out(_ufunc))
+
+for _name, _ufunc in [("neg", np.negative), ("exp", np.exp),
+                      ("log", np.log), ("sqrt", np.sqrt),
+                      ("abs", np.abs), ("sign", np.sign),
+                      ("tanh", np.tanh)]:
+    out_kernel(_name, alias_safe=True)(_unary_out(_ufunc))
 
 
 @kernel("add")
@@ -76,14 +105,30 @@ def _step(inputs, attrs):
     return [(x > 0).astype(x.dtype)]
 
 
+@out_kernel("step", alias_safe=True)
+def _step_out(inputs, attrs, out):
+    return np.greater(inputs[0], 0, out=out, casting="unsafe")
+
+
 @kernel("equal")
 def _equal(inputs, attrs):
     return [(inputs[0] == inputs[1]).astype(np.float32)]
 
 
+@out_kernel("equal", alias_safe=True)
+def _equal_out(inputs, attrs, out):
+    return np.equal(inputs[0], inputs[1], out=out, casting="unsafe")
+
+
 @kernel("cast")
 def _cast(inputs, attrs):
     return [inputs[0].astype(attrs["dtype"])]
+
+
+@out_kernel("cast")
+def _cast_out(inputs, attrs, out):
+    np.copyto(out, inputs[0], casting="unsafe")
+    return out
 
 
 def apply_activation(y: np.ndarray, activation: str | None) -> np.ndarray:
@@ -110,9 +155,19 @@ def _relu(inputs, attrs):
     return [np.maximum(inputs[0], 0)]
 
 
+@out_kernel("relu", alias_safe=True)
+def _relu_out(inputs, attrs, out):
+    return np.maximum(inputs[0], 0, out=out)
+
+
 @kernel("relu6")
 def _relu6(inputs, attrs):
     return [np.clip(inputs[0], 0, 6)]
+
+
+@out_kernel("relu6", alias_safe=True)
+def _relu6_out(inputs, attrs, out):
+    return np.clip(inputs[0], 0, 6, out=out)
 
 
 @kernel("gelu")
@@ -120,15 +175,25 @@ def _gelu(inputs, attrs):
     return [gelu(inputs[0])]
 
 
+def _sigmoid_into(x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    # Writes to out[pos] never disturb the x[~pos] reads (disjoint masks),
+    # so out may alias x.
+    pos = x >= 0
+    neg_exp = np.exp(x[~pos])
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    out[~pos] = neg_exp / (1.0 + neg_exp)
+    return out
+
+
 @kernel("sigmoid")
 def _sigmoid(inputs, attrs):
     x = inputs[0]
-    out = np.empty_like(x)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
-    return [out]
+    return [_sigmoid_into(x, np.empty_like(x))]
+
+
+@out_kernel("sigmoid", alias_safe=True)
+def _sigmoid_out(inputs, attrs, out):
+    return _sigmoid_into(inputs[0], out)
 
 
 @kernel("tanh")

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import kernel
+from . import kernel, out_kernel
 from .elementwise import apply_activation
 
 
@@ -33,3 +33,14 @@ def _bias_add(inputs, attrs):
     shape = [1] * x.ndim
     shape[axis] = b.shape[0]
     return [x + b.reshape(shape)]
+
+
+@out_kernel("bias_add", alias_safe=True)
+def _bias_add_out(inputs, attrs, out):
+    # alias_safe: a donated buffer matches out's (= x's) shape, so it can
+    # only ever be x, never the broadcast bias.
+    x, b = inputs
+    axis = int(attrs.get("axis", 1))
+    shape = [1] * x.ndim
+    shape[axis] = b.shape[0]
+    return np.add(x, b.reshape(shape), out=out)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import kernel
+from . import donating_kernel, kernel
 
 
 def _param_view(param: np.ndarray, attrs) -> np.ndarray:
@@ -45,8 +45,10 @@ def _accumulation_gate(inputs, attrs):
     return core, grad
 
 
-@kernel("apply_sgd")
-def _apply_sgd(inputs, attrs):
+def _sgd_step(inputs, attrs, donate: bool):
+    """Shared SGD body; every numpy op matches the original temp-allocating
+    sequence bitwise, ``donate`` only redirects writes into the dying
+    gradient buffer instead of fresh temporaries."""
     inputs, grad = _accumulation_gate(inputs, attrs)
     param = inputs[0]
     if grad is None:
@@ -55,8 +57,16 @@ def _apply_sgd(inputs, attrs):
     momentum = float(attrs.get("momentum", 0.0))
     wd = float(attrs.get("weight_decay", 0.0))
     view = _param_view(param, attrs)
+    # With accumulation the gate already handed us a private averaged-grad
+    # temporary, which is always safe to clobber.
+    scratch = grad if (donate or int(attrs.get("accum_steps", 1)) > 1) \
+        else None
     if wd:
-        grad = grad + wd * view
+        if scratch is None:
+            grad = grad + wd * view
+            scratch = grad  # the fresh sum is ours to clobber below
+        else:
+            grad = np.add(grad, wd * view, out=scratch)
     if momentum:
         mom = inputs[2]
         mom *= momentum
@@ -64,8 +74,22 @@ def _apply_sgd(inputs, attrs):
         update = mom
     else:
         update = grad
-    view -= lr * update
+    if scratch is None:
+        view -= lr * update
+    else:
+        np.multiply(update, lr, out=scratch)
+        np.subtract(view, scratch, out=view)
     return [param]
+
+
+@kernel("apply_sgd")
+def _apply_sgd(inputs, attrs):
+    return _sgd_step(inputs, attrs, donate=False)
+
+
+@donating_kernel("apply_sgd", clobbers=(1,))
+def _apply_sgd_donating(inputs, attrs):
+    return _sgd_step(inputs, attrs, donate=True)
 
 
 @kernel("apply_adam")

@@ -7,17 +7,19 @@ import numpy as np
 from . import kernel
 
 
-@kernel("reshape")
+@kernel("reshape", view=True)
 def _reshape(inputs, attrs):
     return [inputs[0].reshape(tuple(attrs["shape"]))]
 
 
-@kernel("transpose")
+@kernel("transpose", view=True)
 def _transpose(inputs, attrs):
     return [np.transpose(inputs[0], tuple(attrs["perm"]))]
 
 
-@kernel("slice")
+# view=True: ascontiguousarray returns the sliced view itself whenever the
+# slice happens to be contiguous.
+@kernel("slice", view=True)
 def _slice(inputs, attrs):
     x = inputs[0]
     axis, start, end = attrs["axis"], attrs["start"], attrs["end"]

@@ -6,16 +6,20 @@ pass pipeline is assembled.
 """
 
 from .executor import Executor, interpret
+from .plan import BufferArena, ExecutionPlan, build_plan
 from .profiler import (NodeTiming, RuntimeProfile, analytical_profile,
                        profile_run)
 from .program import Program
 
 __all__ = [
+    "BufferArena",
+    "ExecutionPlan",
     "Executor",
     "NodeTiming",
     "Program",
     "RuntimeProfile",
     "analytical_profile",
+    "build_plan",
     "interpret",
     "profile_run",
 ]

@@ -171,6 +171,11 @@ def compile_training(
 
     program = Program.from_graph(graph, schedule,
                                  copy_state=options.materialize_state)
+    if options.materialize_state:
+        # Pay the lowering cost here, with compilation, so the first step a
+        # tenant runs is already the zero-interpretation fast path.
+        # Simulation-only compiles (placeholder state) skip it.
+        program.plan()
     profile = profile_memory(graph, schedule)
     program.meta.update(
         loss=loss_value,
@@ -217,4 +222,6 @@ def compile_inference(forward: Graph,
     PassManager(pipeline, debug=options.debug_validate).run(graph, ctx)
     schedule = memory_aware_schedule(graph) if options.reorder \
         else default_schedule(graph)
-    return Program.from_graph(graph, schedule)
+    program = Program.from_graph(graph, schedule)
+    program.plan()
+    return program

@@ -1,9 +1,22 @@
 """The numpy executor: runs compiled programs and measures real memory.
 
-The executor is deliberately dumb — all intelligence lives in the compiler.
-It walks the schedule, dispatches kernels, frees buffers the moment their
-reference count drops to zero, and records the observed peak of transient
-bytes (which tests cross-check against the analytical profiler).
+Two backends share one feed-validation front door:
+
+* ``"plan"`` (default) — executes the program's compiled
+  :class:`~repro.runtime.plan.ExecutionPlan`: slot-indexed registers,
+  pre-bound kernels, precomputed free-lists, and a per-executor
+  :class:`~repro.runtime.plan.BufferArena` recycling intermediate buffers
+  across steps. Transient-byte accounting was simulated at plan-build time
+  (byte-exact against the interpreter), so the step itself does none.
+* ``"interpreter"`` — the legacy per-node loop, kept as the cross-check
+  oracle for the plan path and as the backend of :func:`interpret`. It is
+  deliberately dumb: walks the schedule, dispatches kernels by name, frees
+  buffers the moment their reference count drops to zero, and records the
+  observed peak of transient bytes.
+
+Both backends produce byte-identical outputs, state, and
+``peak_transient_bytes`` (tests cross-check against the analytical
+profiler).
 """
 
 from __future__ import annotations
@@ -18,27 +31,52 @@ from ..ir import Graph
 from ..ir.node import Node
 from ..kernels import run_op
 from ..ir.ops import get_schema
+from .plan import BufferArena, ExecutionPlan
 from .program import Program
 
 #: Per-node observer: (node, seconds) after each kernel completes.
 NodeObserver = Callable[[Node, float], None]
+
+BACKENDS = ("plan", "interpreter")
 
 
 class Executor:
     """Executes a :class:`Program` over its mutable state."""
 
     def __init__(self, program: Program,
-                 observer: NodeObserver | None = None) -> None:
+                 observer: NodeObserver | None = None,
+                 backend: str = "plan") -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown executor backend {backend!r}; options: {BACKENDS}")
         self.program = program
         self.observer = observer
+        self.backend = backend
         self.peak_transient_bytes = 0
         self.last_transient_bytes = 0
+        #: fresh output buffers the last plan-backed run had to allocate
+        #: (0 in steady state for fully out=-covered programs)
+        self.last_step_fresh_allocs = 0
+        #: per-executor recycling pool — sessions never share buffers
+        self.arena = BufferArena()
+        self._registers: list[np.ndarray | None] | None = None
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        return self.program.plan()
 
     def run(self, feeds: dict[str, np.ndarray] | None = None
             ) -> dict[str, np.ndarray]:
         """Execute one step; returns the graph outputs by name."""
-        program = self.program
-        graph = program.graph
+        feeds = self._validate_feeds(feeds)
+        if self.backend == "plan":
+            return self._run_plan(feeds)
+        return self._run_interpreter(feeds)
+
+    def _validate_feeds(self, feeds: dict[str, np.ndarray] | None
+                        ) -> dict[str, np.ndarray]:
+        """Shape-check, dtype-coerce, and reject unknown feed names."""
+        graph = self.program.graph
         feeds = dict(feeds or {})
         for name in graph.inputs:
             if name not in feeds:
@@ -51,11 +89,115 @@ class Executor:
                     f"expected {expected.shape}"
                 )
             feeds[name] = got.astype(expected.dtype.np, copy=False)
+        if len(feeds) != len(graph.inputs):
+            extra = sorted(set(feeds) - set(graph.inputs))
+            raise ExecutionError(
+                f"unknown feed name(s) {extra}; graph inputs are "
+                f"{sorted(graph.inputs)}"
+            )
+        return feeds
+
+    # -- plan backend --------------------------------------------------------
+
+    def _run_plan(self, feeds: dict[str, np.ndarray]
+                  ) -> dict[str, np.ndarray]:
+        plan = self.plan
+        regs = self._registers
+        if regs is None or len(regs) != plan.num_slots:
+            regs = self._registers = [None] * plan.num_slots
+            self.arena.caps = plan.arena_caps
+        state = self.program.state
+        # Re-bound every step (not pre-bound at plan build) so the one plan
+        # serves every with_state overlay and survives state rebinding.
+        for slot, name in plan.state_bindings:
+            regs[slot] = state[name]
+        for name, slot in plan.feed_specs:
+            regs[slot] = feeds[name]
+
+        arena = self.arena
+        observer = self.observer
+        fresh_allocs = 0
+        perf_counter = time.perf_counter
+
+        for instr in plan.instructions:
+            inputs = [regs[slot] for slot in instr.input_slots]
+            began = perf_counter() if observer is not None else 0.0
+            try:
+                out_fn = instr.out_kernel
+                # The out= path requires C-contiguous inputs: ufuncs follow
+                # their operands' memory order, so a view-layout input would
+                # naturally produce a non-C result, and forcing it into a C
+                # buffer shifts downstream BLAS onto different (1-ulp
+                # different) code paths. Non-contiguous inputs fall back to
+                # the base kernel, preserving bitwise interpreter parity.
+                if out_fn is not None and \
+                        all(a.flags.c_contiguous for a in inputs):
+                    donate = instr.donate_slot
+                    buf = regs[donate] if donate >= 0 \
+                        else arena.take(instr.out_key)
+                    if buf is None:
+                        buf = np.empty(instr.out_shape, instr.out_dtype)
+                        fresh_allocs += 1
+                    results = (out_fn(inputs, instr.attrs, buf),)
+                else:
+                    results = instr.kernel(inputs, instr.attrs)
+                    fresh_allocs += instr.fresh_outputs
+            except ExecutionError:
+                raise
+            except Exception as exc:  # pragma: no cover - defensive
+                raise ExecutionError(
+                    f"kernel {instr.node.op_type!r} failed at node "
+                    f"{instr.node.name!r}: {exc}"
+                ) from exc
+            if observer is not None:
+                observer(instr.node, perf_counter() - began)
+
+            # View-capable kernels over mutable state: materialise results
+            # aliasing a parameter (same semantics as the interpreter).
+            if instr.check_state_slots:
+                state_arrays = [regs[s] for s in instr.check_state_slots]
+                results = [
+                    value.copy() if any(np.shares_memory(value, s)
+                                        for s in state_arrays) else value
+                    for value in results
+                ]
+
+            outs = instr.output_slots
+            if len(outs) == 1:
+                regs[outs[0]] = results[0]
+            else:
+                for slot, value in zip(outs, results):
+                    regs[slot] = value
+
+            for slot, key in instr.frees:
+                if key is not None:
+                    value = regs[slot]
+                    # Pool only standard-layout buffers: a view-shaped
+                    # (non-C) array handed to a later out= instruction
+                    # would leak its layout into the result.
+                    if value.flags.c_contiguous:
+                        arena.give(key, value)
+                regs[slot] = None
+
+        self.peak_transient_bytes = plan.peak_transient_bytes
+        self.last_transient_bytes = plan.final_transient_bytes
+        self.last_step_fresh_allocs = fresh_allocs
+        outputs = {name: regs[slot] for name, slot in plan.output_slots}
+        for slot in plan.clear_slots:  # don't pin feeds/outputs across steps
+            regs[slot] = None
+        return outputs
+
+    # -- interpreter backend -------------------------------------------------
+
+    def _run_interpreter(self, feeds: dict[str, np.ndarray]
+                         ) -> dict[str, np.ndarray]:
+        program = self.program
 
         env: dict[str, np.ndarray] = {}
         env.update(feeds)
         refcounts = dict(program.consumer_counts)
         keep = set(program.outputs)
+        fresh_allocs = 0  # every non-inplace output is a fresh buffer here
         # Input batches occupy memory until their last use, exactly as the
         # analytical profiler accounts them.
         transient = sum(array.nbytes for array in feeds.values())
@@ -87,22 +229,23 @@ class Executor:
             if self.observer:
                 self.observer(node, time.perf_counter() - began)
 
+            inplace = get_schema(node.op_type).inplace
             # Kernels like transpose/reshape return views. A view of a
             # *parameter* would silently observe later in-place optimizer
             # updates (the reorder pass schedules those early), so results
             # aliasing mutable state are materialised.
-            if state_inputs and not get_schema(node.op_type).inplace:
+            if state_inputs and not inplace:
                 results = [
                     value.copy() if any(np.shares_memory(value, s)
                                         for s in state_inputs) else value
                     for value in results
                 ]
 
-            inplace = get_schema(node.op_type).inplace
             for out, value in zip(node.outputs, results):
                 env[out] = value
                 if not inplace:
                     transient += value.nbytes
+                    fresh_allocs += 1
             peak = max(peak, transient)
 
             # Outputs nobody consumes (dead values in unoptimized graphs)
@@ -125,6 +268,7 @@ class Executor:
 
         self.peak_transient_bytes = peak
         self.last_transient_bytes = transient
+        self.last_step_fresh_allocs = fresh_allocs
         outputs = {}
         for name in program.outputs:
             if name in env:
@@ -138,6 +282,10 @@ class Executor:
 
 def interpret(graph: Graph, feeds: dict[str, np.ndarray] | None = None,
               copy_state: bool = True) -> dict[str, np.ndarray]:
-    """One-shot convenience: build a program for ``graph`` and run it."""
+    """One-shot convenience: build a program for ``graph`` and run it.
+
+    Uses the legacy interpreter backend — no plan lowering, no arena — so
+    it stays the reference oracle for the compiled path.
+    """
     program = Program.from_graph(graph, copy_state=copy_state)
-    return Executor(program).run(feeds)
+    return Executor(program, backend="interpreter").run(feeds)

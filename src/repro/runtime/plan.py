@@ -1,0 +1,349 @@
+"""Compiled execution plans: pay per-step interpretation cost at compile time.
+
+The legacy interpreter re-derives per-node facts on every step: name-keyed
+dict lookups, schema fetches, string kernel dispatch, ``np.shares_memory``
+aliasing scans, refcount bookkeeping, and a fresh allocation per
+intermediate. :func:`build_plan` lowers a :class:`~repro.runtime.program.
+Program` **once** into a flat instruction stream where all of that is
+precomputed:
+
+* every value name is resolved to an integer slot in one registers list
+  (feeds, mutable state, and intermediates share the space);
+* kernel functions are pre-bound — no string dispatch, no schema lookups;
+* the state-aliasing materialisation check runs only for instructions that
+  both touch mutable state and use a view-capable kernel
+  (:data:`repro.kernels.VIEW_OPS`);
+* per-instruction free-lists replace runtime refcounting, and the
+  transient-byte timeline is simulated at build time (byte-exact against
+  the interpreter, hence against ``memory.profile_memory``) so the step
+  does zero accounting;
+* a :class:`BufferArena` recycles freed intermediate buffers across steps,
+  feeding ``out=``-capable kernels so a fixed-shape training step reaches a
+  (near-)zero-alloc steady state. Safety is static: only buffers produced
+  by fresh-output kernels with no view-op consumers are ever recycled, so a
+  recycled buffer can never alias a live value, a returned output, a feed,
+  or mutable state.
+
+The plan depends only on the graph, schedule, outputs, and state *names* —
+never on state values — so one plan is shared by every
+:meth:`Program.with_state` tenant overlay (they share the ``meta`` dict the
+plan is cached in). Registers and arena live on the executor: concurrent
+sessions never share buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..ir.node import Node
+from ..ir.ops import get_schema
+from ..kernels import (DONATED_INPUTS, DONATING_KERNELS, KERNELS,
+                       OUT_ALIAS_SAFE, OUT_KERNELS, VIEW_OPS)
+
+#: arena bucket key: exact (shape, dtype) — fixed-shape steps re-request
+#: identical buffers every step, so exact matching recycles everything.
+ArenaKey = tuple[tuple[int, ...], Any]
+
+
+class BufferArena:
+    """Size/dtype-bucketed free-lists of recycled intermediate buffers.
+
+    One arena per executor. ``give`` receives buffers the plan proved
+    unaliased at their death; ``take`` hands them back to ``out=``-capable
+    instructions. Counters feed the steady-state-allocation metrics.
+
+    ``caps`` bounds each pool at the number of instructions that can
+    actually re-request that key (the plan computes this); buffers past the
+    cap are dropped to the allocator instead of accumulating — shapes only
+    ever produced but never consumed would otherwise grow the pool by a
+    fixed amount every step.
+    """
+
+    __slots__ = ("_pools", "caps", "takes", "misses", "recycled", "dropped")
+
+    def __init__(self, caps: dict[ArenaKey, int] | None = None) -> None:
+        self._pools: dict[ArenaKey, list[np.ndarray]] = {}
+        #: per-key pool bound; None = unbounded
+        self.caps = caps
+        self.takes = 0
+        self.misses = 0
+        self.recycled = 0
+        self.dropped = 0
+
+    def take(self, key: ArenaKey) -> np.ndarray | None:
+        pool = self._pools.get(key)
+        if pool:
+            self.takes += 1
+            return pool.pop()
+        self.misses += 1
+        return None
+
+    def give(self, key: ArenaKey, array: np.ndarray) -> None:
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = self._pools[key] = []
+        if self.caps is not None and len(pool) >= self.caps.get(key, 0):
+            self.dropped += 1
+            return
+        self.recycled += 1
+        pool.append(array)
+
+    def buffers(self) -> list[np.ndarray]:
+        """Snapshot of every pooled buffer (for safety checks/tests)."""
+        return [a for pool in self._pools.values() for a in pool]
+
+    def retained_bytes(self) -> int:
+        return sum(a.nbytes for a in self.buffers())
+
+    def clear(self) -> None:
+        self._pools.clear()
+
+
+class Instruction:
+    """One lowered node: slots in, slots out, everything else pre-resolved."""
+
+    __slots__ = ("node", "kernel", "attrs", "input_slots", "output_slots",
+                 "out_kernel", "out_key", "out_shape", "out_dtype",
+                 "donate_slot", "check_state_slots", "frees",
+                 "fresh_outputs")
+
+    def __init__(self, node: Node, kernel, attrs, input_slots, output_slots,
+                 out_kernel, out_key, out_shape, out_dtype, donate_slot,
+                 check_state_slots, frees, fresh_outputs) -> None:
+        self.node = node
+        self.kernel = kernel
+        self.attrs = attrs
+        self.input_slots = input_slots
+        self.output_slots = output_slots
+        #: out=-writing variant (single-output, non-inplace ops only)
+        self.out_kernel = out_kernel
+        self.out_key = out_key
+        self.out_shape = out_shape
+        self.out_dtype = out_dtype
+        #: slot whose dying buffer the out= kernel writes into (-1: none)
+        self.donate_slot = donate_slot
+        #: mutable-state slots to scan with shares_memory (view ops only)
+        self.check_state_slots = check_state_slots
+        #: (slot, arena_key_or_None) freed after this instruction; a key
+        #: means the buffer is provably unaliased and returns to the arena
+        self.frees = frees
+        #: non-inplace outputs allocated fresh when the out= path is not
+        #: taken (feeds the steady-state allocation metric)
+        self.fresh_outputs = fresh_outputs
+
+
+class ExecutionPlan:
+    """A Program lowered to a slot-indexed instruction stream."""
+
+    __slots__ = ("num_slots", "feed_specs", "state_bindings", "instructions",
+                 "output_slots", "clear_slots", "arena_caps",
+                 "peak_transient_bytes", "final_transient_bytes")
+
+    def __init__(self, num_slots, feed_specs, state_bindings, instructions,
+                 output_slots, clear_slots, arena_caps,
+                 peak_transient_bytes, final_transient_bytes) -> None:
+        self.num_slots = num_slots
+        #: (name, slot) per graph input, in declaration order
+        self.feed_specs = feed_specs
+        #: (slot, name) pairs re-bound from program.state at every step
+        self.state_bindings = state_bindings
+        self.instructions = instructions
+        #: (name, slot) per program output
+        self.output_slots = output_slots
+        #: non-state slots reset after each run (don't pin caller arrays)
+        self.clear_slots = clear_slots
+        #: per-key pool bounds for this plan's BufferArena instances
+        self.arena_caps = arena_caps
+        #: static replica of the interpreter's measured transient peak
+        self.peak_transient_bytes = peak_transient_bytes
+        self.final_transient_bytes = final_transient_bytes
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.instructions)
+
+
+def build_plan(program) -> ExecutionPlan:
+    """Lower ``program`` into an :class:`ExecutionPlan`.
+
+    Raises:
+        ExecutionError: on an op without a registered kernel, or an output
+            name nothing produces.
+    """
+    graph = program.graph
+    schedule = program.schedule
+    state_names = set(program.state)
+    keep = set(program.outputs)
+
+    slots: dict[str, int] = {}
+
+    def slot_of(name: str) -> int:
+        slot = slots.get(name)
+        if slot is None:
+            slot = slots[name] = len(slots)
+        return slot
+
+    for name in graph.inputs:
+        slot_of(name)
+    for name in sorted(state_names):
+        slot_of(name)
+
+    producer_op: dict[str, str] = {}
+    consumer_ops: dict[str, list[str]] = {}
+    for node in schedule:
+        for out in node.outputs:
+            producer_op[out] = node.op_type
+        for inp in node.inputs:
+            consumer_ops.setdefault(inp, []).append(node.op_type)
+
+    spec_cache: dict[str, Any] = {}
+
+    def spec(name: str):
+        value = spec_cache.get(name)
+        if value is None:
+            value = spec_cache[name] = graph.spec(name)
+        return value
+
+    def recyclable(name: str) -> bool:
+        """True when the buffer behind ``name`` is provably unaliased at
+        the moment its last consumer retires."""
+        op = producer_op.get(name)
+        if op is None:
+            return False  # feeds and state are caller-owned
+        if op in VIEW_OPS or get_schema(op).inplace:
+            return False  # may alias another value / mutable state
+        if name in keep:
+            return False  # returned to the caller, who may hold it
+        return all(c not in VIEW_OPS for c in consumer_ops.get(name, ()))
+
+    def arena_key(name: str) -> ArenaKey:
+        s = spec(name)
+        return (tuple(s.shape), s.dtype.np)
+
+    # --- lower nodes and simulate the interpreter's byte accounting ------
+    counts = dict(program.consumer_counts)
+    live = set(graph.inputs)
+    transient = sum(spec(name).nbytes for name in graph.inputs)
+    peak = transient
+    instructions: list[Instruction] = []
+
+    for node in schedule:
+        op = node.op_type
+        base_kernel = KERNELS.get(op)
+        if base_kernel is None:
+            raise ExecutionError(f"no kernel registered for op {op!r}")
+        schema = get_schema(op)
+        inplace = schema.inplace
+        try:
+            input_slots = tuple(slots[name] for name in node.inputs)
+        except KeyError as exc:
+            raise ExecutionError(
+                f"node {node.name!r} input {exc.args[0]!r} unavailable"
+            ) from None
+        output_slots = tuple(slot_of(name) for name in node.outputs)
+
+        # The interpreter materialises results aliasing mutable state; only
+        # view-capable kernels with state inputs can produce such results.
+        check_state_slots = ()
+        if not inplace and op in VIEW_OPS:
+            check_state_slots = tuple(
+                slot_of(name) for name in node.inputs if name in state_names)
+
+        # Accounting, mirroring Executor's interpreter loop exactly.
+        for out in node.outputs:
+            live.add(out)
+            if not inplace:
+                transient += spec(out).nbytes
+        if transient > peak:
+            peak = transient
+
+        frees: list[tuple[int, ArenaKey | None]] = []
+        if not inplace:  # dead outputs are released immediately
+            for out in node.outputs:
+                if counts.get(out, 0) == 0 and out not in keep \
+                        and out in live:
+                    transient -= spec(out).nbytes
+                    live.discard(out)
+                    frees.append((slots[out],
+                                  arena_key(out) if recyclable(out)
+                                  else None))
+        dying_inputs: list[str] = []
+        for name in node.inputs:
+            counts[name] -= 1
+            if counts[name] == 0 and name in live \
+                    and name not in state_names and name not in keep:
+                transient -= spec(name).nbytes
+                live.discard(name)
+                dying_inputs.append(name)
+
+        # out= + donation: single-output ops with a registered out-variant
+        # get a recycled arena buffer; alias-safe ones may instead write
+        # straight into a same-shape input dying at this instruction.
+        out_kernel = out_key = out_shape = out_dtype = None
+        donate_slot = -1
+        if not inplace and len(node.outputs) == 1:
+            out_kernel = OUT_KERNELS.get(op)
+            if out_kernel is not None:
+                out_name = node.outputs[0]
+                out_spec = spec(out_name)
+                out_shape = tuple(out_spec.shape)
+                out_dtype = out_spec.dtype.np
+                out_key = (out_shape, out_dtype)
+                if op in OUT_ALIAS_SAFE:
+                    for name in dying_inputs:
+                        if recyclable(name) and arena_key(name) == out_key:
+                            donate_slot = slots[name]
+                            break
+
+        kernel = base_kernel
+        if op in DONATING_KERNELS:
+            clobbered = DONATED_INPUTS[op]
+            if all(i < len(node.inputs)
+                   and node.inputs[i] in dying_inputs
+                   and recyclable(node.inputs[i]) for i in clobbered):
+                kernel = DONATING_KERNELS[op]
+
+        for name in dying_inputs:
+            slot = slots[name]
+            if slot == donate_slot:
+                # The donated buffer lives on as this node's output.
+                frees.append((slot, None))
+            else:
+                frees.append((slot,
+                              arena_key(name) if recyclable(name) else None))
+
+        instructions.append(Instruction(
+            node=node, kernel=kernel, attrs=node.attrs,
+            input_slots=input_slots, output_slots=output_slots,
+            out_kernel=out_kernel, out_key=out_key, out_shape=out_shape,
+            out_dtype=out_dtype, donate_slot=donate_slot,
+            check_state_slots=check_state_slots, frees=tuple(frees),
+            fresh_outputs=0 if inplace else len(node.outputs)))
+
+    for name in program.outputs:
+        if name not in slots:
+            raise ExecutionError(f"output {name!r} is never produced")
+
+    state_slots = {slots[name] for name in state_names if name in slots}
+    clear_slots = tuple(slot for name, slot in slots.items()
+                        if slot not in state_slots)
+    arena_caps: dict[ArenaKey, int] = {}
+    for instr in instructions:
+        if instr.out_kernel is not None and instr.donate_slot < 0:
+            arena_caps[instr.out_key] = arena_caps.get(instr.out_key, 0) + 1
+    return ExecutionPlan(
+        num_slots=len(slots),
+        feed_specs=tuple((name, slots[name]) for name in graph.inputs),
+        state_bindings=tuple(
+            (slots[name], name) for name in sorted(state_names)
+            if name in slots),
+        instructions=tuple(instructions),
+        output_slots=tuple((name, slots[name]) for name in program.outputs),
+        clear_slots=clear_slots,
+        arena_caps=arena_caps,
+        peak_transient_bytes=peak,
+        final_transient_bytes=transient,
+    )

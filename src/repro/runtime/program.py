@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - circular-import guard for hints
+    from .plan import ExecutionPlan
 
 import numpy as np
 
@@ -54,6 +57,24 @@ class Program:
             outputs=list(graph.outputs),
             consumer_counts=counts,
         )
+
+    def plan(self) -> "ExecutionPlan":
+        """The compiled :class:`~repro.runtime.plan.ExecutionPlan`.
+
+        Built once and cached in ``meta`` — which :meth:`with_state` shares
+        across overlays, so every tenant session executing one compiled
+        program reuses a single plan. The plan depends on state *names*
+        only, never values, which is what makes that sharing sound.
+        """
+        plan = self.meta.get("__plan__")
+        if plan is None:
+            from .plan import build_plan
+
+            # setdefault resolves the benign race when two sessions lower
+            # the same program concurrently: both plans are identical, one
+            # wins, the other is dropped.
+            plan = self.meta.setdefault("__plan__", build_plan(self))
+        return plan
 
     def validate_schedule(self) -> None:
         """Check the schedule is a permutation of the graph in topo order."""

@@ -9,6 +9,12 @@ it a once-per-configuration cost under concurrent traffic:
   exactly one thread compiles while the rest wait on a per-key latch and
   then read the finished entry. No duplicate compile work, no lock held
   across compilation.
+
+Cached programs carry their lowered
+:class:`~repro.runtime.plan.ExecutionPlan` (built at compile time and
+stored in ``program.meta``), so caching a program caches its plan: every
+tenant session over a variant shares one instruction stream through
+``Program.with_state`` and only per-session registers/arenas differ.
 """
 
 from __future__ import annotations
@@ -31,6 +37,11 @@ class CacheEntry:
     compile_seconds: float
     hits: int = 0
     meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def plan(self):
+        """The variant's compiled execution plan (shared by its tenants)."""
+        return self.program.plan()
 
 
 @dataclass

@@ -127,6 +127,11 @@ class ProgramFamily:
             forward, loss=self.loss, logits=self.logits,
             optimizer=self.optimizer, scheme=self.scheme,
             options=self.options)
+        # Lowering happens here with compilation (compile_training prebuilds
+        # it; this keeps the invariant even for custom options) so cached
+        # variants always ship an ExecutionPlan and no tenant's first step
+        # pays for plan construction.
+        program.plan()
         self._service._record_compile(self, key, program,
                                       (perf_counter() - began) * 1e3)
         return program
@@ -161,6 +166,9 @@ class FineTuneService:
             "serve.examples_total", "training examples consumed")
         self._step_latency = self.metrics.histogram(
             "serve.step_latency_ms", "executor wall time per micro-batch")
+        self._step_allocs = self.metrics.histogram(
+            "serve.step_fresh_allocs",
+            "fresh output buffers per step (0-ish once arenas are warm)")
         self._compile_latency = self.metrics.histogram(
             "serve.compile_ms", "compile wall time per cache miss")
         self._live_sessions = self.metrics.gauge(
@@ -390,6 +398,7 @@ class FineTuneService:
         self._steps_total.inc()
         self._examples_total.inc(len(batch))
         self._step_latency.observe(elapsed_ms)
+        self._step_allocs.observe(float(executor.last_step_fresh_allocs))
         # High-water mark travels with the cache entry (and dies with it on
         # eviction); _sync_cache_metrics publishes only live entries, so
         # per-program gauge cardinality stays bounded by the cache.

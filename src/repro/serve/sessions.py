@@ -58,7 +58,11 @@ class TenantSession:
 
         Executors are created once per (session, compiled program) and
         reused for every subsequent step — the steady-state step path
-        allocates no new engine objects.
+        allocates no new engine objects. Each executor runs the variant's
+        shared :class:`~repro.runtime.plan.ExecutionPlan` (the state
+        overlay shares ``meta``, where the plan is cached) over its own
+        registers and buffer arena, so recycled buffers never cross
+        sessions.
         """
         executor = self._executors.get(key)
         if executor is None:

@@ -1,0 +1,190 @@
+"""Arena safety: recycled/donated buffers must never alias live values.
+
+The plan's recycling rules are static, so the property to defend is
+dynamic: across many randomized graphs and repeated steps, a buffer sitting
+in the arena free-list can never share memory with (a) any array the last
+run returned, (b) any mutable state entry, or (c) any buffer also in the
+free-list. And because recycling overwrites buffers, every randomized
+program is also cross-checked value-for-value against the interpreter —
+an aliasing hole would surface as silent corruption there.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AutodiffError
+from repro.ir import GraphBuilder
+from repro.runtime import Executor, Program
+from repro.runtime.compiler import compile_training
+from repro.sparse import UpdateScheme
+from repro.train import SGD
+
+
+def random_forward(rng):
+    """A random DAG mixing fresh elementwise ops, view ops, and params."""
+    b = GraphBuilder("g")
+    rows = int(rng.integers(2, 6))
+    values = [b.input("x", (rows, 4))]
+    w = b.initializer("w", rng.standard_normal((4, 4)).astype(np.float32),
+                      trainable=True)
+    values.append(b.matmul(values[0], w))
+    for i in range(int(rng.integers(3, 12))):
+        src = values[int(rng.integers(0, len(values)))]
+        roll = rng.random()
+        if roll < 0.25:
+            values.append(b.emit("relu", [src]))
+        elif roll < 0.45:
+            other = values[int(rng.integers(0, len(values)))]
+            if b.shape(src) == b.shape(other):
+                values.append(b.add(src, other))
+            else:
+                values.append(b.emit("tanh", [src]))
+        elif roll < 0.6:
+            shape = b.shape(src)
+            values.append(b.emit("transpose", [src],
+                                 {"perm": tuple(reversed(
+                                     range(len(shape))))}))
+        elif roll < 0.75:
+            shape = b.shape(src)
+            values.append(b.emit(
+                "reshape", [src],
+                {"shape": (int(np.prod(shape)),)}))
+        else:
+            values.append(b.emit("mul", [src, src]))
+    b.mark_output(values[-1])
+    return b
+
+
+def assert_arena_disjoint(executor, outputs):
+    live = list(outputs.values()) + list(executor.program.state.values())
+    for buf in executor.arena.buffers():
+        for arr in live:
+            assert not np.shares_memory(buf, arr), \
+                "arena buffer aliases a live value"
+    pooled = executor.arena.buffers()
+    for i, a in enumerate(pooled):
+        for other in pooled[i + 1:]:
+            assert not np.shares_memory(a, other), \
+                "arena holds two views of one buffer"
+
+
+class TestRandomizedGraphs:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_recycling_never_corrupts_or_aliases(self, seed):
+        rng = np.random.default_rng(seed)
+        b = random_forward(rng)
+        program = Program.from_graph(b.graph)
+        mirror = Program.from_graph(b.graph)
+        ex_plan = Executor(program)
+        ex_int = Executor(mirror, backend="interpreter")
+        rows = b.graph.spec("x").shape[0]
+        for step in range(4):
+            feeds = {"x": rng.standard_normal((rows, 4))
+                     .astype(np.float32)}
+            out_plan = ex_plan.run(feeds)
+            out_int = ex_int.run(feeds)
+            for name in out_int:
+                np.testing.assert_array_equal(
+                    out_plan[name], out_int[name],
+                    err_msg=f"seed {seed} step {step} output {name}")
+            assert_arena_disjoint(ex_plan, out_plan)
+            # feeds are caller-owned and must never enter the pool
+            for buf in ex_plan.arena.buffers():
+                assert not np.shares_memory(buf, feeds["x"])
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_training_state_never_aliases_arena(self, seed):
+        rng = np.random.default_rng(seed)
+        b = random_forward(rng)
+        try:
+            program = compile_training(
+                b.graph, loss="mse", optimizer=SGD(0.1, momentum=0.9),
+                scheme=UpdateScheme("w", {"w": 1.0}))
+        except AutodiffError:
+            # The random DAG routed the output around w — nothing to train.
+            assume(False)
+        mirror = program.with_state(
+            {n: a.copy() for n, a in program.state.items()})
+        ex_plan = Executor(program)
+        ex_int = Executor(mirror, backend="interpreter")
+        labels = program.meta["labels"]
+        label_shape = program.graph.spec(labels).shape
+        rows = b.graph.spec("x").shape[0]
+        for step in range(3):
+            feeds = {
+                "x": rng.standard_normal((rows, 4)).astype(np.float32),
+                labels: rng.standard_normal(label_shape).astype(np.float32),
+            }
+            out_plan = ex_plan.run(feeds)
+            out_int = ex_int.run(feeds)
+            for name in out_int:
+                np.testing.assert_array_equal(
+                    out_plan[name], out_int[name],
+                    err_msg=f"seed {seed} step {step} output {name}")
+            for name in mirror.state:
+                np.testing.assert_array_equal(
+                    program.state[name], mirror.state[name],
+                    err_msg=f"seed {seed} step {step} state {name}")
+            assert_arena_disjoint(ex_plan, out_plan)
+
+
+class TestDonationSafety:
+    def test_donated_buffer_becomes_output_not_pool_entry(self, rng):
+        """When an instruction donates a dying input as its output buffer,
+        that buffer is live again — it must not simultaneously sit in the
+        free-list."""
+        b = GraphBuilder("chain")
+        x = b.input("x", (32, 32))
+        h = b.emit("relu", [x])
+        h = b.emit("tanh", [h])     # donates relu's buffer
+        h = b.emit("relu", [h])     # donates tanh's buffer
+        h = b.emit("mul", [h, h])
+        y = b.emit("reduce_sum", [h])  # frees mul's buffer into the pool
+        b.mark_output(y)
+        ex = Executor(Program.from_graph(b.graph))
+        feeds = {"x": rng.standard_normal((32, 32)).astype(np.float32)}
+        for _ in range(3):
+            out = ex.run(feeds)
+            assert_arena_disjoint(ex, out)
+        # Steady state: the whole elementwise chain runs on recycled +
+        # donated buffers (the buffer freed at the reduce feeds the next
+        # step's relu); only reduce_sum (no out= variant) allocates.
+        assert ex.last_step_fresh_allocs == 1
+
+    def test_view_consumers_block_recycling(self, rng):
+        """A value consumed by reshape stays unpooled: the view must remain
+        valid after the producer's slot is freed."""
+        b = GraphBuilder("views")
+        x = b.input("x", (8, 8))
+        h = b.emit("relu", [x])
+        v = b.emit("reshape", [h], {"shape": (64,)})
+        y = b.emit("tanh", [v])
+        b.mark_output(y)
+        ex = Executor(Program.from_graph(b.graph))
+        feeds = {"x": rng.standard_normal((8, 8)).astype(np.float32)}
+        out1 = ex.run(feeds)
+        for buf in ex.arena.buffers():
+            for arr in out1.values():
+                assert not np.shares_memory(buf, arr)
+
+    def test_multi_step_stability_under_recycling(self, rng):
+        """Recycled buffers carry garbage from prior steps; results must
+        still be bit-stable run over run for identical feeds."""
+        b = GraphBuilder("stable")
+        x = b.input("x", (16, 16))
+        h = b.emit("relu", [x])
+        h = b.emit("mul", [h, h])
+        h = b.emit("tanh", [h])
+        b.mark_output(h)
+        ex = Executor(Program.from_graph(b.graph))
+        feeds = {"x": rng.standard_normal((16, 16)).astype(np.float32)}
+        first = ex.run(feeds)
+        snap = {k: v.copy() for k, v in first.items()}
+        for _ in range(5):
+            again = ex.run(feeds)
+            for k in snap:
+                np.testing.assert_array_equal(again[k], snap[k])

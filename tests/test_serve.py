@@ -598,3 +598,38 @@ class TestMetrics:
         assert stats["serve.cache.misses"] >= 1
         assert stats["serve.step_latency_ms"]["count"] == 4
         assert any(k.startswith("serve.peak_transient_bytes") for k in stats)
+
+
+class TestCompiledPlans:
+    """Serving executes compiled execution plans, shared per variant."""
+
+    def test_sessions_share_one_plan_per_variant(self):
+        with FineTuneService(max_batch=1, workers=1) as service:
+            a = service.create_session(build_mlp, model_id="mlp",
+                                       scheme="full")
+            b = service.create_session(build_mlp, model_id="mlp",
+                                       scheme="full")
+            entry = a.family.bucket(1)
+            assert entry.plan is not None
+            # the plan was lowered at compile time, before any step ran
+            assert "__plan__" in entry.program.meta
+            ex_a = a.executor_for(entry.key, entry.program)
+            ex_b = b.executor_for(entry.key, entry.program)
+            assert ex_a.plan is ex_b.plan is entry.plan
+            # ...but buffers never cross sessions
+            assert ex_a.arena is not ex_b.arena
+
+    def test_steady_state_alloc_metric_published(self):
+        rng = np.random.default_rng(11)
+        with FineTuneService(max_batch=1, workers=1) as service:
+            session = service.create_session(build_mlp, model_id="mlp",
+                                             scheme="full")
+            for _ in range(6):
+                x, y = mlp_example(rng)
+                service.step(session.id, x, y)
+            stats = service.stats()
+        hist = stats["serve.step_fresh_allocs"]
+        assert hist["count"] == 6
+        # arenas warm up: the median step allocates less than the mean
+        # (the first, cold step drags the mean up)
+        assert hist["p50"] < hist["mean"]
