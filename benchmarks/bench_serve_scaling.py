@@ -1,0 +1,260 @@
+"""Serve scaling benchmark: thread backend vs process-pool backend, plus a
+cold-start-with-warm-cache check for the cross-process program cache.
+
+Workload: 16 tenants fine-tuning ``mcunet_micro`` under the paper's sparse
+scheme (the standard serve bench), interleaved single-example requests.
+Three measured configurations:
+
+* ``threads-1`` — single-process, one worker thread (the pre-scaling
+  baseline);
+* ``threads-4`` — the thread-pool backend at 4 workers (GIL-bound: numpy
+  releases the GIL inside kernels, Python dispatch does not);
+* ``process-4`` — the process-pool backend at 4 workers fed from persisted
+  plan artifacts (``--cache-dir``); every step ships the session's mutable
+  state overlay both ways, so the IPC cost is measured honestly, not
+  hidden.
+
+Cold start: a child process compiles against a fresh ``--cache-dir`` and
+exits; a second child process serves the same configuration from the same
+directory and must report **zero compilations** (it binds the persisted
+plans instead). The script exits non-zero if it recompiles — this is the
+CI gate for the cross-process program cache.
+
+Keep heavy imports inside functions: the process backend spawns workers
+that re-import this file as ``__mp_main__``, and a worker that imports the
+compiler would defeat the point (the JSON records a live worker probe).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve_scaling.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from _helpers import banner, fast_mode
+
+MODEL = "mcunet_micro"
+TENANTS = 16
+
+
+def _traffic(service, sessions, steps_per_tenant: int, rng) -> int:
+    """Interleaved single-example traffic; returns the request count."""
+    family = sessions[0].family
+    futures = []
+    for _ in range(steps_per_tenant):
+        for session in sessions:
+            x = rng.standard_normal(family.example_shape).astype(np.float32)
+            y = np.int64(rng.integers(0, family.num_classes))
+            futures.append(service.submit(session.id, x, y))
+    for future in futures:
+        future.result()
+    return len(futures)
+
+
+def run_backend(backend: str, workers: int, steps_per_tenant: int,
+                warmup_per_tenant: int, seed: int = 0,
+                cache_dir=None) -> dict:
+    from repro.serve import FineTuneService
+
+    rng = np.random.default_rng(seed)
+    with FineTuneService(max_batch=8, workers=workers, backend=backend,
+                         cache_dir=cache_dir) as service:
+        sessions = [
+            service.create_session(MODEL, scheme="paper",
+                                   tenant=f"tenant-{i:02d}")
+            for i in range(TENANTS)
+        ]
+        service.warm(sessions[0].id)
+        _traffic(service, sessions, warmup_per_tenant, rng)
+
+        began = perf_counter()
+        requests = _traffic(service, sessions, steps_per_tenant, rng)
+        elapsed = perf_counter() - began
+
+        stats = service.stats()
+        cache = service.cache.stats
+        result = {
+            "backend": backend,
+            "workers": workers,
+            "requests": requests,
+            "seconds": elapsed,
+            "throughput": requests / elapsed,
+            "step_p50_ms": stats["serve.step_latency_ms"]["p50"],
+            "step_p95_ms": stats["serve.step_latency_ms"]["p95"],
+            "request_p95_ms": stats["serve.request_latency_ms"]["p95"],
+            "compiles": cache.compiles,
+            "disk_hits": cache.disk_hits,
+            "session_state_bytes": sessions[0].state_bytes(),
+        }
+        if service.engine is not None:
+            # Honesty probe: a live worker reports what it imported.
+            result["worker_probe"] = service.engine.probe()
+        return result
+
+
+def serve_once(cache_dir: str, steps_per_tenant: int, tenants: int,
+               seed: int = 0) -> dict:
+    """One service lifetime against ``cache_dir`` (cold-start child)."""
+    from repro.serve import FineTuneService
+
+    rng = np.random.default_rng(seed)
+    began = perf_counter()
+    with FineTuneService(max_batch=8, workers=2,
+                         cache_dir=cache_dir) as service:
+        sessions = [service.create_session(MODEL, scheme="paper")
+                    for _ in range(tenants)]
+        service.warm(sessions[0].id)
+        ready_seconds = perf_counter() - began
+        requests = _traffic(service, sessions, steps_per_tenant, rng)
+        cache = service.cache.stats
+        return {
+            "requests": requests,
+            "time_to_ready_s": ready_seconds,
+            "compiles": cache.compiles,
+            "disk_hits": cache.disk_hits,
+            "disk_writes": cache.disk_writes,
+        }
+
+
+def run_cold_start(steps_per_tenant: int) -> dict:
+    """Compile in one process, kill it, reload from cache in a fresh one."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache:
+        runs = []
+        for attempt in range(2):
+            child = subprocess.run(
+                [sys.executable, __file__, "--serve-once", cache,
+                 "--steps", str(steps_per_tenant), "--tenants", "4"],
+                capture_output=True, text=True, timeout=600)
+            if child.returncode != 0:
+                raise RuntimeError(
+                    f"cold-start child failed:\n{child.stderr[-2000:]}")
+            runs.append(json.loads(child.stdout.splitlines()[-1]))
+        return {"first_run": runs[0], "second_run": runs[1]}
+
+
+def run(steps_per_tenant: int, warmup_per_tenant: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="repro-bench-plans-") as cache:
+        single = run_backend("thread", 1, steps_per_tenant,
+                             warmup_per_tenant)
+        threads = run_backend("thread", 4, steps_per_tenant,
+                              warmup_per_tenant)
+        process = run_backend("process", 4, steps_per_tenant,
+                              warmup_per_tenant, cache_dir=cache)
+    cold = run_cold_start(max(2, steps_per_tenant // 4))
+    import os
+
+    return {
+        "workload": {
+            "model": MODEL,
+            "scheme": "paper sparse-update",
+            "tenants": TENANTS,
+            "steps_per_tenant": steps_per_tenant,
+            "warmup_per_tenant": warmup_per_tenant,
+            "max_batch": 8,
+            # Scaling numbers are meaningless without this: on a 1-core
+            # box *any* parallel backend loses to the single worker (which
+            # also coalesces the largest micro-batches); the structural
+            # signal is process-vs-thread at equal worker count.
+            "cpu_count": os.cpu_count(),
+        },
+        "single_process": single,
+        "threads_4": threads,
+        "process_4": process,
+        "scaling_vs_single": {
+            "threads_4": threads["throughput"] / single["throughput"],
+            "process_4": process["throughput"] / single["throughput"],
+        },
+        "cold_start": cold,
+    }
+
+
+def _report(result: dict) -> None:
+    banner(f"repro.serve scaling — {TENANTS}-tenant {MODEL}, sparse scheme "
+           f"(thread vs process backends)")
+    for key, label in (("single_process", "threads x1"),
+                       ("threads_4", "threads x4"),
+                       ("process_4", "process x4")):
+        r = result[key]
+        print(f"{label:>12}: {r['throughput']:7.1f} steps/s   "
+              f"step p50 {r['step_p50_ms']:7.2f} ms   "
+              f"request p95 {r['request_p95_ms']:8.1f} ms   "
+              f"compiles {r['compiles']}")
+    scaling = result["scaling_vs_single"]
+    cores = result["workload"]["cpu_count"]
+    print(f"{'scaling':>12}: threads x4 = {scaling['threads_4']:.2f}x, "
+          f"process x4 = {scaling['process_4']:.2f}x vs single on "
+          f"{cores} core(s) (per-step state shipped: "
+          f"{result['process_4']['session_state_bytes'] / 1024:.0f}KB); "
+          f"process/thread at equal workers = "
+          f"{result['process_4']['throughput'] / result['threads_4']['throughput']:.2f}x")
+    probe = result["process_4"].get("worker_probe", {})
+    print(f"{'workers':>12}: compiler_imported="
+          f"{probe.get('compiler_imported')} "
+          f"autodiff_imported={probe.get('autodiff_imported')}")
+    cold = result["cold_start"]
+    print(f"{'cold start':>12}: run1 compiles={cold['first_run']['compiles']}"
+          f" (ready {cold['first_run']['time_to_ready_s']:.2f}s), "
+          f"run2 compiles={cold['second_run']['compiles']} "
+          f"disk_hits={cold['second_run']['disk_hits']} "
+          f"(ready {cold['second_run']['time_to_ready_s']:.2f}s)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: fewer steps")
+    parser.add_argument("--steps", type=int, default=None,
+                        help="step requests per tenant")
+    parser.add_argument("--warmup", type=int, default=None)
+    parser.add_argument("--tenants", type=int, default=TENANTS,
+                        help="(--serve-once only) tenant count")
+    parser.add_argument("--serve-once", metavar="CACHE_DIR",
+                        help="internal: one service lifetime against "
+                             "CACHE_DIR, stats as JSON on stdout")
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_serve_scaling.json"))
+    args = parser.parse_args(argv)
+
+    if args.serve_once:
+        stats = serve_once(args.serve_once, args.steps or 2, args.tenants)
+        print(json.dumps(stats))
+        return 0
+
+    quick = args.quick or fast_mode()
+    steps = args.steps or (6 if quick else 24)
+    warmup = args.warmup if args.warmup is not None else (2 if quick else 4)
+
+    result = run(steps, warmup)
+    _report(result)
+    args.out.write_text(json.dumps(result, indent=1))
+    print(f"\nwrote {args.out}")
+
+    failures = []
+    # The cross-process cache gate: a restart against a warm cache dir must
+    # never compile (it binds persisted plans).
+    if result["cold_start"]["second_run"]["compiles"] != 0:
+        failures.append("cold start with a warm cache recompiled "
+                        f"{result['cold_start']['second_run']['compiles']} "
+                        "programs (expected 0)")
+    if result["cold_start"]["second_run"]["disk_hits"] < 1:
+        failures.append("warm restart never touched the persistent cache")
+    probe = result["process_4"].get("worker_probe", {})
+    if probe.get("compiler_imported") or probe.get("autodiff_imported"):
+        failures.append("a step worker imported the compiler/autodiff")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

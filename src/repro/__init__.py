@@ -31,28 +31,38 @@ from .frontend import (Conv2d, Embedding, InputSpec, LayerNorm, Linear,
                        TransformerBlock, trace)
 from .ir import DType, Graph, GraphBuilder, TensorSpec, validate_graph
 from .runtime import Executor, Program, interpret
-from .runtime.compiler import (CompileOptions, compile_inference,
-                               compile_training)
 from .sparse import UpdateScheme, bias_only, full_update, last_blocks
 from .train import SGD, Adam, Lion, Trainer
 
 __version__ = "1.0.0"
 
-#: serving-layer names resolved lazily (the subsystem pulls in the model
-#: registry; `import repro` stays light for users who never serve)
-_SERVE_EXPORTS = ("FineTuneService", "MetricsRegistry", "ProgramCache")
+#: names resolved lazily, mapped to their defining submodule. The serving
+#: layer pulls in the model registry, and the compiler pulls in autodiff
+#: plus the whole pass pipeline — deployment processes that only *load*
+#: artifacts (`repro.deploy`) must never pay for (or depend on) either, so
+#: `import repro` keeps both off the import graph until first use.
+_LAZY_EXPORTS = {
+    "FineTuneService": "serve",
+    "MetricsRegistry": "serve",
+    "ProgramCache": "serve",
+    "CompileOptions": "runtime.compiler",
+    "compile_inference": "runtime.compiler",
+    "compile_training": "runtime.compiler",
+}
 
 
 def __getattr__(name: str):
-    if name in _SERVE_EXPORTS:
-        from . import serve
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
 
-        return getattr(serve, name)
+        module = importlib.import_module(f".{module_name}", __name__)
+        return getattr(module, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
 def __dir__():
-    return sorted(set(globals()) | set(_SERVE_EXPORTS))
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))
 
 __all__ = [
     "Adam",

@@ -184,7 +184,11 @@ def cmd_serve(args) -> int:
     rng = np.random.default_rng(args.seed)
     with FineTuneService(cache_capacity=args.cache_capacity,
                          max_batch=args.max_batch,
-                         workers=args.workers) as service:
+                         workers=args.workers,
+                         backend=args.backend,
+                         cache_dir=args.cache_dir,
+                         max_sessions=args.max_sessions,
+                         session_ttl=args.session_ttl) as service:
         scheme = "paper" if args.sparse else "full"
         sessions = [
             service.create_session(args.model, scheme=scheme,
@@ -217,10 +221,16 @@ def cmd_serve(args) -> int:
         print(render_table(["tenant", "steps", "examples", "last loss"], [
             [s.tenant, s.steps, s.examples, f"{s.last_loss:.4f}"]
             for s in sessions
-        ], title=f"{args.model} ({scheme} scheme) — {args.tenants} tenants"))
+        ], title=f"{args.model} ({scheme} scheme) — {args.tenants} tenants, "
+                 f"{args.backend} backend"))
         print()
         print(service.render_metrics())
         print()
+        stats = service.cache.stats
+        if args.cache_dir:
+            print(f"program cache dir {args.cache_dir}: "
+                  f"{stats.compiles} compiled, {stats.disk_hits} reloaded "
+                  f"from disk, {stats.disk_writes} persisted")
         print(f"{requests} requests in {elapsed:.2f}s = "
               f"{requests / elapsed:.1f} steps/s")
     return 0
@@ -282,6 +292,19 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--max-batch", type=int, default=8,
                      help="largest micro-batch the scheduler coalesces")
     srv.add_argument("--workers", type=int, default=2)
+    srv.add_argument("--backend", default="thread",
+                     choices=["thread", "process"],
+                     help="step executors: in-process threads, or a "
+                          "process pool fed from persisted plan artifacts")
+    srv.add_argument("--cache-dir",
+                     help="persist compiled programs (graph + execution "
+                          "plan) here; restarts and worker processes "
+                          "reload instead of recompiling")
+    srv.add_argument("--max-sessions", type=int, default=None,
+                     help="session cap; beyond it idle-LRU tenants are "
+                          "evicted")
+    srv.add_argument("--session-ttl", type=float, default=None,
+                     help="evict tenant sessions idle this many seconds")
     srv.add_argument("--cache-capacity", type=int, default=32)
     srv.add_argument("--sparse", action="store_true", default=True,
                      help="use the paper's sparse scheme (default)")

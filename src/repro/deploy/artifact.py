@@ -3,32 +3,45 @@
 An artifact is a directory:
 
 * ``manifest.json`` — format version, model name, execution order, the
-  static arena plan, the list of kernels the binary must link, and the
-  program's meta entries (loss/label names for training artifacts),
+  static arena plan, the list of kernels the binary must link, the
+  program's meta entries (loss/label names for training artifacts), and —
+  since manifest v2 — the serialized execution plan
+  (:class:`~repro.runtime.plan.PlanSpec`),
 * ``graph.json`` / ``graph.npz`` — the ONNX-like graph-def plus weights
   (the existing :mod:`repro.ir.serialize` format).
 
 The loader needs only the kernel registry and the executor — none of the
 compiler passes — mirroring how the real engine ships a binary that knows
-nothing about autodiff or graph optimization.
+nothing about autodiff or graph optimization. With a v2 manifest the
+loader does not even lower the graph: the embedded plan spec is bound
+against the kernel registry (:func:`repro.runtime.plan.bind_plan`) and the
+reloaded program executes the exact instruction stream the compiling
+process produced. v1 artifacts (no embedded plan) still load; their plan
+is lowered locally on first run.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-from ..errors import GraphError
+from ..errors import ExecutionError, GraphError, ReproError
 from ..ir import Graph
-from ..ir.serialize import FORMAT_VERSION, load_graph, save_graph
+from ..ir.serialize import load_graph, save_graph
 from ..memory.planner import plan_arena
 from ..runtime.executor import Executor
+from ..runtime.plan import PlanSpec, bind_plan
 from ..runtime.program import Program
 
 MANIFEST = "manifest.json"
+
+#: v1: graph + schedule + kernels list. v2 adds the serialized plan spec.
+MANIFEST_VERSION = 2
+SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -66,21 +79,33 @@ def _meta_to_json(meta: dict) -> dict:
 
 
 def save_artifact(program: Program, path: str | Path) -> Path:
-    """Write ``program`` to ``path`` (a directory, created if missing)."""
+    """Write ``program`` to ``path`` (a directory, created if missing).
+
+    The manifest embeds the program's serialized execution plan
+    (:meth:`Program.plan_spec` — cached, so saving an already-lowered
+    program costs no extra lowering) alongside the graph, schedule, and
+    kernel list.
+    """
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
     graph = program.graph
     save_graph(graph, path / "graph")
     arena = plan_arena(graph, program.schedule)
+    plan_spec = program.plan_spec()
     manifest = {
-        "format_version": FORMAT_VERSION,
+        "format_version": MANIFEST_VERSION,
         "model": graph.name,
         "schedule": [node.name for node in program.schedule],
         "kernels": sorted({node.op_type for node in program.schedule}),
+        "kernel_variants": {
+            name: sorted(variants)
+            for name, variants in sorted(plan_spec.required_kernels().items())
+        },
         "arena": {
             "bytes": arena.arena_bytes,
             "offsets": arena.offsets,
         },
+        "plan": plan_spec.to_dict(),
         "meta": _meta_to_json(program.meta),
     }
     (path / MANIFEST).write_text(json.dumps(manifest, indent=1))
@@ -90,9 +115,15 @@ def save_artifact(program: Program, path: str | Path) -> Path:
 def load_artifact(path: str | Path) -> DeployedProgram:
     """Reload an artifact saved by :func:`save_artifact`.
 
+    For v2 manifests the embedded plan spec is deserialized and bound
+    against the live kernel registry, so the returned program executes the
+    compiling process's instruction stream without re-lowering — and
+    without importing anything from the compiler or autodiff.
+
     Raises:
-        GraphError: on a missing/garbled manifest, a schedule referencing
-            unknown nodes, or a kernel the runtime does not provide.
+        GraphError: on a missing/garbled manifest, an unsupported version,
+            a schedule referencing unknown nodes, a kernel the runtime does
+            not provide, or a corrupted embedded plan.
     """
     path = Path(path)
     try:
@@ -101,11 +132,21 @@ def load_artifact(path: str | Path) -> DeployedProgram:
         raise GraphError(f"no artifact manifest in {path}") from None
     except json.JSONDecodeError as exc:
         raise GraphError(f"garbled artifact manifest: {exc}") from None
-    if manifest.get("format_version") != FORMAT_VERSION:
-        raise GraphError(
-            f"unsupported artifact version {manifest.get('format_version')}")
+    version = manifest.get("format_version")
+    if version not in SUPPORTED_MANIFEST_VERSIONS:
+        raise GraphError(f"unsupported artifact version {version}")
 
-    graph = load_graph(path / "graph")
+    try:
+        graph = load_graph(path / "graph")
+    except ReproError:
+        raise
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        # Missing/truncated graph.json or graph.npz (json and zipfile
+        # errors are ValueError/OSError subclasses): honour the GraphError
+        # contract so callers like the persistent program cache can treat
+        # an unreadable artifact as a miss instead of crashing a request.
+        raise GraphError(f"unreadable artifact graph in {path}: {exc}") \
+            from None
     by_name = {node.name: node for node in graph.nodes}
     try:
         schedule = [by_name[name] for name in manifest["schedule"]]
@@ -117,10 +158,32 @@ def load_artifact(path: str | Path) -> DeployedProgram:
     if missing:
         raise GraphError(f"runtime lacks kernels for {missing}")
 
+    program = Program.from_graph(graph, schedule)
+    meta = dict(manifest.get("meta", {}))
+    # Loss/logits/labels names ride along so serving layers can drive the
+    # reloaded program exactly like a freshly compiled one.
+    program.meta.update(meta)
+
+    if version >= 2:
+        try:
+            spec = PlanSpec.from_dict(manifest["plan"])
+            program.attach_plan_spec(spec)
+            program.meta["__plan__"] = bind_plan(spec, by_name)
+        except KeyError:
+            raise GraphError(
+                "artifact manifest v2 lacks an embedded plan") from None
+        except ExecutionError as exc:
+            raise GraphError(f"corrupted artifact plan: {exc}") from None
+        produced = {name for name, _ in spec.output_slots}
+        if produced != set(program.outputs):
+            raise GraphError(
+                f"artifact plan outputs {sorted(produced)} disagree with "
+                f"graph outputs {sorted(program.outputs)}")
+
     return DeployedProgram(
         graph=graph,
-        program=Program.from_graph(graph, schedule),
+        program=program,
         required_kernels=tuple(manifest["kernels"]),
         arena_bytes=int(manifest["arena"]["bytes"]),
-        meta=dict(manifest.get("meta", {})),
+        meta=meta,
     )

@@ -1,0 +1,79 @@
+"""Worker-process entry points for the serve layer's process backend.
+
+This module is what actually runs inside a step worker, and it lives in
+:mod:`repro.deploy` — not :mod:`repro.serve` — deliberately: unpickling a
+submitted task imports the entry point's module *and its package inits*,
+and ``repro.serve`` pulls in the compiler (cache keys hash
+``CompileOptions``, the service compiles). The deployed engine must not.
+From here the worker's import closure is exactly the artifact loader, the
+executor, and the kernel registry — :func:`probe` reports whether that
+held in a live worker.
+
+One worker serves many (program, session) pairs: programs are bound once
+per key from their persisted artifact and cached in :data:`_BOUND`
+(module state is per-process, so each worker pays each artifact load
+once); sessions ship only their mutable state overlay per step.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from collections import OrderedDict
+
+import numpy as np
+
+#: per-process LRU: program key -> (base program, reusable executor).
+#: Bounded — a bound entry holds the full template state plus executor
+#: arenas, and a long-lived worker would otherwise retain every program
+#: configuration it ever served even after the parent's cache evicted it.
+_BOUND: OrderedDict = OrderedDict()
+MAX_BOUND_PROGRAMS = 8
+
+
+def bind(artifact_dir: str, key: str):
+    """Load + bind the artifact for ``key`` once per worker process.
+
+    Re-binding after an LRU eviction costs one artifact load — the same
+    price as the first touch, never a compile.
+    """
+    cached = _BOUND.get(key)
+    if cached is None:
+        from ..runtime.executor import Executor
+        from .artifact import load_artifact
+
+        program = load_artifact(artifact_dir).program
+        cached = _BOUND[key] = (program, Executor(program))
+        while len(_BOUND) > MAX_BOUND_PROGRAMS:
+            _BOUND.popitem(last=False)
+    else:
+        _BOUND.move_to_end(key)
+    return cached
+
+
+def run_step(artifact_dir: str, key: str,
+             state: dict[str, np.ndarray],
+             feeds: dict[str, np.ndarray],
+             fetch: tuple[str, ...]):
+    """Execute one plan step; returns ``(fetched_outputs, updated_state,
+    peak_transient_bytes, fresh_allocs)``."""
+    program, executor = bind(artifact_dir, key)
+    # Overlay this session's mutable state on the shared template; the
+    # in-place apply kernels mutate the overlay arrays we just unpickled,
+    # which are exactly what gets shipped back.
+    executor.program = program.with_state(state)
+    outputs = executor.run(feeds)
+    fetched = {name: outputs[name] for name in fetch}
+    return (fetched, state, executor.peak_transient_bytes,
+            executor.last_step_fresh_allocs)
+
+
+def probe():
+    """Report what this worker process actually imported (honesty check)."""
+    return {
+        "pid": os.getpid(),
+        "programs_bound": sorted(key[:12] for key in _BOUND),
+        "compiler_imported": "repro.runtime.compiler" in sys.modules,
+        "autodiff_imported": any(
+            name.startswith("repro.autodiff") for name in sys.modules),
+    }

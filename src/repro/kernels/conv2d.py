@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import kernel
+from . import kernel, workspace
 from .elementwise import apply_activation
 
 
@@ -39,27 +39,41 @@ def _pair(value) -> tuple[int, int]:
 
 def _pad2d(x: np.ndarray, ph: int, pw: int) -> np.ndarray:
     """Zero-pad H/W. np.pad's generic machinery costs tens of µs per call,
-    which dominates small-resolution convs; a zeros+assign is ~5x cheaper
-    and padding-free convs (every 1x1) skip the copy entirely."""
+    which dominates small-resolution convs; border-zero + interior-assign
+    is ~5x cheaper, writes every element exactly once (so the buffer can
+    come from the recycled workspace), and padding-free convs (every 1x1)
+    skip the copy entirely."""
     if ph == 0 and pw == 0:
         return x
     n, c, h, w = x.shape
-    xp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=x.dtype)
+    xp = workspace.take((n, c, h + 2 * ph, w + 2 * pw), x.dtype)
+    xp[:, :, :ph] = 0
+    xp[:, :, ph + h:] = 0
+    xp[:, :, ph:ph + h, :pw] = 0
+    xp[:, :, ph:ph + h, pw + w:] = 0
     xp[:, :, ph:ph + h, pw:pw + w] = x
     return xp
 
 
 def im2col(x: np.ndarray, kh: int, kw: int, sh: int, sw: int,
            ph: int, pw: int) -> tuple[np.ndarray, int, int]:
-    """Unfold ``x`` [N,C,H,W] into columns [N, C*kh*kw, Ho*Wo]."""
+    """Unfold ``x`` [N,C,H,W] into columns [N, C*kh*kw, Ho*Wo].
+
+    The column matrix is workspace scratch: callers that finish consuming
+    it (and every view of it) should hand it back via
+    :func:`repro.kernels.workspace.give` so the next step's unfold
+    recycles the buffer instead of allocating.
+    """
     n, c, h, w = x.shape
     ho = (h + 2 * ph - kh) // sh + 1
     wo = (w + 2 * pw - kw) // sw + 1
     xp = _pad2d(x, ph, pw)
-    cols = np.empty((n, c, kh, kw, ho, wo), dtype=x.dtype)
+    cols = workspace.take((n, c, kh, kw, ho, wo), x.dtype)
     for i in range(kh):
         for j in range(kw):
             cols[:, :, i, j] = xp[:, :, i:i + sh * ho:sh, j:j + sw * wo:sw]
+    if xp is not x:  # pad scratch dies here; the input is caller-owned
+        workspace.give(xp)
     return cols.reshape(n, c * kh * kw, ho * wo), ho, wo
 
 
@@ -101,6 +115,7 @@ def conv2d_forward(x: np.ndarray, w: np.ndarray, stride=1, padding=0,
         cols, ho, wo = im2col(x, kh, kw, sh, sw, ph, pw)
         # (cout, k) @ (n, k, l) broadcasts over the batch dim -> (n, cout, l)
         y = w.reshape(cout, -1) @ cols
+        workspace.give(cols)
         return y.reshape(n, cout, ho, wo)
     # Grouped path: batched matmul over (batch, group) chunks — im2col's
     # column layout is channel-major, so each group's rows are contiguous.
@@ -117,6 +132,7 @@ def conv2d_forward(x: np.ndarray, w: np.ndarray, stride=1, padding=0,
         cols, ho, wo = im2col(xg, kh, kw, sh, sw, ph, pw)
         colsg = cols.reshape(n, g1 - g0, k, ho * wo)
         yg = np.matmul(wg[None, g0:g1], colsg)  # (n, g1-g0, cg_out, l)
+        workspace.give(cols)  # next chunk's im2col recycles the buffer
         outs.append(yg.reshape(n, (g1 - g0) * cg_out, ho, wo))
     return outs[0] if len(outs) == 1 else np.concatenate(outs, axis=1)
 
@@ -189,6 +205,7 @@ def _conv2d_dw(inputs, attrs):
         cols, _, _ = im2col(x, kh, kw, sh, sw, ph, pw)
         g2 = grad.reshape(n, cout, -1)
         dw = np.tensordot(g2, cols, axes=([0, 2], [0, 2]))
+        workspace.give(cols)
         return [dw.reshape(cout, cin, kh, kw)]
     # Grouped path: batched grad @ cols^T per (batch, group) chunk,
     # reduced over the batch (scratch bounded by _GROUP_SCRATCH_CAP).
@@ -204,6 +221,7 @@ def _conv2d_dw(inputs, attrs):
         cols, _, _ = im2col(xg, kh, kw, sh, sw, ph, pw)
         colsg = cols.reshape(n, g1 - g0, k, l)
         dwg = np.matmul(g2[:, g0:g1], colsg.transpose(0, 1, 3, 2)).sum(axis=0)
+        workspace.give(cols)
         dw[g0 * cg_out:g1 * cg_out] = dwg.reshape(
             (g1 - g0) * cg_out, cin_g, kh, kw)
     return [dw]

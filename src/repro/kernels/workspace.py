@@ -1,0 +1,96 @@
+"""Kernel scratch workspaces: arena-recycled im2col/pad buffers.
+
+Kernels like conv2d allocate large internal scratch (the unfolded im2col
+column matrix, the padded input) that the graph-level accounting never
+sees: the buffers are born and die inside one kernel call. Under the plan
+executor those allocations repeat with identical shapes every step, so
+they are perfect arena fodder — this module lets kernels borrow scratch
+from the *executor's* :class:`~repro.runtime.plan.BufferArena` without
+changing the kernel calling convention.
+
+Mechanics:
+
+* the executor installs a workspace arena for the duration of a plan run
+  (:func:`set_arena`; thread-local, so concurrent sessions on scheduler
+  threads never share scratch);
+* kernels call :func:`take` for scratch and :func:`give` it back once the
+  consuming computation is done. With no arena installed (interpreter
+  backend, direct kernel calls in tests) both degrade to plain
+  ``np.empty`` / no-op, keeping the interpreter a pure oracle.
+
+Safety rules (the givers are audited, not the pool):
+
+* a taken buffer must be **fully overwritten** before use — recycled
+  memory carries the previous step's bytes;
+* :func:`give` only after the last read of the buffer *and* of every view
+  into it, and only for buffers that cannot have escaped the kernel;
+* pooled buffers are capped at :data:`POOL_MAX_BYTES` (the same 16MB
+  bound conv2d's grouped-chunking enforces for scratch), so the workspace
+  can never retain more than a step's bounded scratch footprint.
+
+Results stay bitwise identical: scratch content is fully determined
+before use and recycled buffers share shape/dtype/layout with the fresh
+allocation they replace, so every downstream BLAS call sees identical
+inputs in identical memory order.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+#: never pool a single scratch buffer larger than this (matches the
+#: grouped-conv scratch chunking bound in :mod:`repro.kernels.conv2d`)
+POOL_MAX_BYTES = 16 << 20
+
+_tls = threading.local()
+
+
+def set_arena(arena):
+    """Install ``arena`` as this thread's workspace; returns the previous
+    one so callers can restore it (executor run scopes nest safely)."""
+    previous = getattr(_tls, "arena", None)
+    _tls.arena = arena
+    return previous
+
+
+def current_arena():
+    return getattr(_tls, "arena", None)
+
+
+def take(shape, dtype) -> np.ndarray:
+    """Borrow an uninitialised scratch buffer of exactly ``shape``/``dtype``.
+
+    Recycles from the installed arena when possible; the caller MUST write
+    every element before reading any.
+    """
+    shape = tuple(shape)
+    arena = getattr(_tls, "arena", None)
+    if arena is None:
+        return np.empty(shape, dtype)
+    buffer = arena.take((shape, np.dtype(dtype)))
+    if buffer is None:
+        buffer = np.empty(shape, dtype)
+    return buffer
+
+
+def give(array: np.ndarray) -> None:
+    """Return a buffer taken via :func:`take` (or any view of it).
+
+    Resolves views back to their owning allocation so callers can hand
+    back the reshaped column matrix they actually used. No-op without an
+    arena, for foreign/non-contiguous memory, or past the size cap —
+    forgetting to give is always safe, it just skips recycling.
+    """
+    arena = getattr(_tls, "arena", None)
+    if arena is None:
+        return
+    base = array
+    while isinstance(base.base, np.ndarray):
+        base = base.base
+    if not base.flags.c_contiguous or not base.flags.owndata:
+        return
+    if base.nbytes > POOL_MAX_BYTES:
+        return
+    arena.give((base.shape, base.dtype), base)

@@ -6,7 +6,8 @@ pass pipeline is assembled.
 """
 
 from .executor import Executor, interpret
-from .plan import BufferArena, ExecutionPlan, build_plan
+from .plan import (BufferArena, ExecutionPlan, PlanSpec, bind_plan,
+                   build_plan, build_plan_spec)
 from .profiler import (NodeTiming, RuntimeProfile, analytical_profile,
                        profile_run)
 from .program import Program
@@ -16,10 +17,13 @@ __all__ = [
     "ExecutionPlan",
     "Executor",
     "NodeTiming",
+    "PlanSpec",
     "Program",
     "RuntimeProfile",
     "analytical_profile",
+    "bind_plan",
     "build_plan",
+    "build_plan_spec",
     "interpret",
     "profile_run",
 ]

@@ -29,7 +29,7 @@ import numpy as np
 from ..errors import ExecutionError
 from ..ir import Graph
 from ..ir.node import Node
-from ..kernels import run_op
+from ..kernels import run_op, workspace
 from ..ir.ops import get_schema
 from .plan import BufferArena, ExecutionPlan
 from .program import Program
@@ -59,6 +59,12 @@ class Executor:
         self.last_step_fresh_allocs = 0
         #: per-executor recycling pool — sessions never share buffers
         self.arena = BufferArena()
+        #: kernel-internal scratch pool (im2col columns, pad buffers);
+        #: installed thread-locally around plan runs so kernels recycle
+        #: their workspaces without a calling-convention change. Uncapped
+        #: (caps=None): pool size is bounded by the kernels' own
+        #: take/give discipline plus the per-buffer workspace size cap.
+        self.workspace = BufferArena()
         self._registers: list[np.ndarray | None] | None = None
 
     @property
@@ -114,11 +120,30 @@ class Executor:
         for name, slot in plan.feed_specs:
             regs[slot] = feeds[name]
 
+        # Kernels borrow internal scratch (im2col columns, pad buffers)
+        # from this executor's workspace pool for the duration of the run;
+        # the interpreter backend deliberately does not install one, so it
+        # stays the allocation-naive oracle.
+        previous_workspace = workspace.set_arena(self.workspace)
+        try:
+            fresh_allocs = self._execute_instructions(plan, regs)
+        finally:
+            workspace.set_arena(previous_workspace)
+
+        self.peak_transient_bytes = plan.peak_transient_bytes
+        self.last_transient_bytes = plan.final_transient_bytes
+        self.last_step_fresh_allocs = fresh_allocs
+        outputs = {name: regs[slot] for name, slot in plan.output_slots}
+        for slot in plan.clear_slots:  # don't pin feeds/outputs across steps
+            regs[slot] = None
+        return outputs
+
+    def _execute_instructions(self, plan: ExecutionPlan, regs: list) -> int:
+        """Run the instruction stream over ``regs``; returns fresh allocs."""
         arena = self.arena
         observer = self.observer
         fresh_allocs = 0
         perf_counter = time.perf_counter
-
         for instr in plan.instructions:
             inputs = [regs[slot] for slot in instr.input_slots]
             began = perf_counter() if observer is not None else 0.0
@@ -178,14 +203,7 @@ class Executor:
                     if value.flags.c_contiguous:
                         arena.give(key, value)
                 regs[slot] = None
-
-        self.peak_transient_bytes = plan.peak_transient_bytes
-        self.last_transient_bytes = plan.final_transient_bytes
-        self.last_step_fresh_allocs = fresh_allocs
-        outputs = {name: regs[slot] for name, slot in plan.output_slots}
-        for slot in plan.clear_slots:  # don't pin feeds/outputs across steps
-            regs[slot] = None
-        return outputs
+        return fresh_allocs
 
     # -- interpreter backend -------------------------------------------------
 

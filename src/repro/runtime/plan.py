@@ -3,13 +3,15 @@
 The legacy interpreter re-derives per-node facts on every step: name-keyed
 dict lookups, schema fetches, string kernel dispatch, ``np.shares_memory``
 aliasing scans, refcount bookkeeping, and a fresh allocation per
-intermediate. :func:`build_plan` lowers a :class:`~repro.runtime.program.
-Program` **once** into a flat instruction stream where all of that is
-precomputed:
+intermediate. :func:`build_plan_spec` lowers a :class:`~repro.runtime.
+program.Program` **once** into a flat instruction stream where all of that
+is precomputed:
 
 * every value name is resolved to an integer slot in one registers list
   (feeds, mutable state, and intermediates share the space);
-* kernel functions are pre-bound — no string dispatch, no schema lookups;
+* kernels are referenced by **registry name + variant** — no string
+  dispatch or schema lookups at run time, and no live function objects in
+  the plan data;
 * the state-aliasing materialisation check runs only for instructions that
   both touch mutable state and use a view-capable kernel
   (:data:`repro.kernels.VIEW_OPS`);
@@ -24,6 +26,17 @@ precomputed:
   recycled buffer can never alias a live value, a returned output, a feed,
   or mutable state.
 
+The lowering is split in two so plans are **portable**:
+
+* :class:`PlanSpec` is a pure, JSON-serializable data object — it names
+  kernels, it never holds them. ``to_dict``/``from_dict`` round-trip it
+  through deployment artifacts (:mod:`repro.deploy.artifact`), so a plan
+  compiled in one process executes in another that never imports the
+  compiler.
+* :func:`bind_plan` is the thin load-time step that resolves those names
+  against the live registries in :mod:`repro.kernels` and produces the
+  executable :class:`ExecutionPlan`.
+
 The plan depends only on the graph, schedule, outputs, and state *names* —
 never on state values — so one plan is shared by every
 :meth:`Program.with_state` tenant overlay (they share the ``meta`` dict the
@@ -33,7 +46,8 @@ sessions never share buffers.
 
 from __future__ import annotations
 
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -46,6 +60,13 @@ from ..kernels import (DONATED_INPUTS, DONATING_KERNELS, KERNELS,
 #: arena bucket key: exact (shape, dtype) — fixed-shape steps re-request
 #: identical buffers every step, so exact matching recycles everything.
 ArenaKey = tuple[tuple[int, ...], Any]
+
+#: bump when the serialized PlanSpec layout changes incompatibly
+PLAN_SPEC_VERSION = 1
+
+#: kernel variants an instruction may reference (resolved at bind time)
+VARIANT_BASE = "base"
+VARIANT_DONATING = "donating"
 
 
 class BufferArena:
@@ -102,8 +123,178 @@ class BufferArena:
         self._pools.clear()
 
 
+@dataclass(frozen=True)
+class InstructionSpec:
+    """One lowered node as pure data: slots, names, static decisions.
+
+    The kernel is referenced by registry name (``kernel`` — the op type)
+    plus ``variant`` (:data:`VARIANT_BASE` or :data:`VARIANT_DONATING`) and
+    ``use_out`` (whether the ``out=`` variant from
+    :data:`repro.kernels.OUT_KERNELS` drives this instruction when inputs
+    are contiguous). Attributes and input/output names live on the graph
+    node ``node`` refers to — the artifact ships the graph anyway, so the
+    spec never duplicates them.
+    """
+
+    node: str                       #: schedule node name
+    kernel: str                     #: kernel registry name (== op type)
+    variant: str                    #: base | donating
+    input_slots: tuple[int, ...]
+    output_slots: tuple[int, ...]
+    use_out: bool                   #: bind the out=-writing variant
+    out_shape: tuple[int, ...] | None
+    out_dtype: str | None
+    donate_slot: int                #: dying buffer the out= kernel reuses
+    check_state_slots: tuple[int, ...]
+    frees: tuple[tuple[int, ArenaKey | None], ...]
+    fresh_outputs: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "node": self.node,
+            "kernel": self.kernel,
+            "variant": self.variant,
+            "input_slots": list(self.input_slots),
+            "output_slots": list(self.output_slots),
+            "use_out": self.use_out,
+            "out_shape": list(self.out_shape)
+            if self.out_shape is not None else None,
+            "out_dtype": self.out_dtype,
+            "donate_slot": self.donate_slot,
+            "check_state_slots": list(self.check_state_slots),
+            "frees": [[slot, _key_to_json(key)] for slot, key in self.frees],
+            "fresh_outputs": self.fresh_outputs,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "InstructionSpec":
+        try:
+            return cls(
+                node=doc["node"],
+                kernel=doc["kernel"],
+                variant=doc["variant"],
+                input_slots=tuple(doc["input_slots"]),
+                output_slots=tuple(doc["output_slots"]),
+                use_out=bool(doc["use_out"]),
+                out_shape=tuple(doc["out_shape"])
+                if doc["out_shape"] is not None else None,
+                out_dtype=doc["out_dtype"],
+                donate_slot=int(doc["donate_slot"]),
+                check_state_slots=tuple(doc["check_state_slots"]),
+                frees=tuple((int(slot), _key_from_json(key))
+                            for slot, key in doc["frees"]),
+                fresh_outputs=int(doc["fresh_outputs"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExecutionError(
+                f"garbled plan instruction spec: {exc!r}") from None
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """A fully-lowered plan as a pure, serializable data object.
+
+    Everything the executor needs except the kernel functions themselves:
+    :func:`bind_plan` resolves those from the registry at load time. The
+    spec depends only on graph structure, schedule, outputs, and state
+    names, so it is identical whether built in the compiling process or
+    reloaded from an artifact.
+    """
+
+    num_slots: int
+    feed_specs: tuple[tuple[str, int], ...]
+    state_bindings: tuple[tuple[int, str], ...]
+    output_slots: tuple[tuple[str, int], ...]
+    clear_slots: tuple[int, ...]
+    arena_caps: tuple[tuple[ArenaKey, int], ...]
+    peak_transient_bytes: int
+    final_transient_bytes: int
+    instructions: tuple[InstructionSpec, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe encoding (embedded in artifact manifests)."""
+        return {
+            "plan_version": PLAN_SPEC_VERSION,
+            "num_slots": self.num_slots,
+            "feed_specs": [[name, slot] for name, slot in self.feed_specs],
+            "state_bindings": [[slot, name]
+                               for slot, name in self.state_bindings],
+            "output_slots": [[name, slot]
+                             for name, slot in self.output_slots],
+            "clear_slots": list(self.clear_slots),
+            "arena_caps": [[_key_to_json(key), count]
+                           for key, count in self.arena_caps],
+            "peak_transient_bytes": self.peak_transient_bytes,
+            "final_transient_bytes": self.final_transient_bytes,
+            "instructions": [instr.to_dict() for instr in self.instructions],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "PlanSpec":
+        """Inverse of :meth:`to_dict`.
+
+        Raises:
+            ExecutionError: on a version mismatch or structurally garbled
+                document.
+        """
+        version = doc.get("plan_version")
+        if version != PLAN_SPEC_VERSION:
+            raise ExecutionError(
+                f"unsupported plan spec version {version!r} "
+                f"(runtime speaks {PLAN_SPEC_VERSION})")
+        try:
+            return cls(
+                num_slots=int(doc["num_slots"]),
+                feed_specs=tuple((name, int(slot))
+                                 for name, slot in doc["feed_specs"]),
+                state_bindings=tuple((int(slot), name)
+                                     for slot, name in doc["state_bindings"]),
+                output_slots=tuple((name, int(slot))
+                                   for name, slot in doc["output_slots"]),
+                clear_slots=tuple(doc["clear_slots"]),
+                arena_caps=tuple((_key_from_json(key), int(count))
+                                 for key, count in doc["arena_caps"]),
+                peak_transient_bytes=int(doc["peak_transient_bytes"]),
+                final_transient_bytes=int(doc["final_transient_bytes"]),
+                instructions=tuple(InstructionSpec.from_dict(entry)
+                                   for entry in doc["instructions"]),
+            )
+        except ExecutionError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExecutionError(f"garbled plan spec: {exc!r}") from None
+
+    def required_kernels(self) -> dict[str, set[str]]:
+        """Kernel registry names -> the variants this plan binds.
+
+        Variants: ``base``, ``donating``, ``out``. What a runtime must
+        provide to execute the plan (the deployment manifest records it).
+        """
+        needed: dict[str, set[str]] = {}
+        for instr in self.instructions:
+            variants = needed.setdefault(instr.kernel, set())
+            variants.add(instr.variant)
+            if instr.use_out:
+                variants.add("out")
+        return needed
+
+
+def _key_to_json(key: ArenaKey | None) -> list | None:
+    if key is None:
+        return None
+    shape, dtype = key
+    return [list(shape), np.dtype(dtype).name]
+
+
+def _key_from_json(doc: list | None) -> ArenaKey | None:
+    if doc is None:
+        return None
+    shape, dtype = doc
+    return (tuple(int(d) for d in shape), np.dtype(dtype))
+
+
 class Instruction:
-    """One lowered node: slots in, slots out, everything else pre-resolved."""
+    """One bound node: slots in, slots out, everything else pre-resolved."""
 
     __slots__ = ("node", "kernel", "attrs", "input_slots", "output_slots",
                  "out_kernel", "out_key", "out_shape", "out_dtype",
@@ -136,15 +327,17 @@ class Instruction:
 
 
 class ExecutionPlan:
-    """A Program lowered to a slot-indexed instruction stream."""
+    """A :class:`PlanSpec` bound to live kernel functions and graph nodes."""
 
-    __slots__ = ("num_slots", "feed_specs", "state_bindings", "instructions",
-                 "output_slots", "clear_slots", "arena_caps",
+    __slots__ = ("spec", "num_slots", "feed_specs", "state_bindings",
+                 "instructions", "output_slots", "clear_slots", "arena_caps",
                  "peak_transient_bytes", "final_transient_bytes")
 
-    def __init__(self, num_slots, feed_specs, state_bindings, instructions,
-                 output_slots, clear_slots, arena_caps,
+    def __init__(self, spec, num_slots, feed_specs, state_bindings,
+                 instructions, output_slots, clear_slots, arena_caps,
                  peak_transient_bytes, final_transient_bytes) -> None:
+        #: the serializable half this plan was bound from
+        self.spec = spec
         self.num_slots = num_slots
         #: (name, slot) per graph input, in declaration order
         self.feed_specs = feed_specs
@@ -166,8 +359,8 @@ class ExecutionPlan:
         return len(self.instructions)
 
 
-def build_plan(program) -> ExecutionPlan:
-    """Lower ``program`` into an :class:`ExecutionPlan`.
+def build_plan_spec(program) -> PlanSpec:
+    """Lower ``program`` into a serializable :class:`PlanSpec`.
 
     Raises:
         ExecutionError: on an op without a registered kernel, or an output
@@ -221,19 +414,18 @@ def build_plan(program) -> ExecutionPlan:
 
     def arena_key(name: str) -> ArenaKey:
         s = spec(name)
-        return (tuple(s.shape), s.dtype.np)
+        return (tuple(s.shape), np.dtype(s.dtype.np))
 
     # --- lower nodes and simulate the interpreter's byte accounting ------
     counts = dict(program.consumer_counts)
     live = set(graph.inputs)
     transient = sum(spec(name).nbytes for name in graph.inputs)
     peak = transient
-    instructions: list[Instruction] = []
+    instructions: list[InstructionSpec] = []
 
     for node in schedule:
         op = node.op_type
-        base_kernel = KERNELS.get(op)
-        if base_kernel is None:
+        if op not in KERNELS:
             raise ExecutionError(f"no kernel registered for op {op!r}")
         schema = get_schema(op)
         inplace = schema.inplace
@@ -282,29 +474,29 @@ def build_plan(program) -> ExecutionPlan:
         # out= + donation: single-output ops with a registered out-variant
         # get a recycled arena buffer; alias-safe ones may instead write
         # straight into a same-shape input dying at this instruction.
-        out_kernel = out_key = out_shape = out_dtype = None
+        use_out = False
+        out_shape = out_dtype = None
         donate_slot = -1
-        if not inplace and len(node.outputs) == 1:
-            out_kernel = OUT_KERNELS.get(op)
-            if out_kernel is not None:
-                out_name = node.outputs[0]
-                out_spec = spec(out_name)
-                out_shape = tuple(out_spec.shape)
-                out_dtype = out_spec.dtype.np
-                out_key = (out_shape, out_dtype)
-                if op in OUT_ALIAS_SAFE:
-                    for name in dying_inputs:
-                        if recyclable(name) and arena_key(name) == out_key:
-                            donate_slot = slots[name]
-                            break
+        if not inplace and len(node.outputs) == 1 and op in OUT_KERNELS:
+            use_out = True
+            out_name = node.outputs[0]
+            out_spec = spec(out_name)
+            out_shape = tuple(out_spec.shape)
+            out_dtype = np.dtype(out_spec.dtype.np).name
+            out_key = (out_shape, np.dtype(out_dtype))
+            if op in OUT_ALIAS_SAFE:
+                for name in dying_inputs:
+                    if recyclable(name) and arena_key(name) == out_key:
+                        donate_slot = slots[name]
+                        break
 
-        kernel = base_kernel
+        variant = VARIANT_BASE
         if op in DONATING_KERNELS:
             clobbered = DONATED_INPUTS[op]
             if all(i < len(node.inputs)
                    and node.inputs[i] in dying_inputs
                    and recyclable(node.inputs[i]) for i in clobbered):
-                kernel = DONATING_KERNELS[op]
+                variant = VARIANT_DONATING
 
         for name in dying_inputs:
             slot = slots[name]
@@ -315,12 +507,12 @@ def build_plan(program) -> ExecutionPlan:
                 frees.append((slot,
                               arena_key(name) if recyclable(name) else None))
 
-        instructions.append(Instruction(
-            node=node, kernel=kernel, attrs=node.attrs,
+        instructions.append(InstructionSpec(
+            node=node.name, kernel=op, variant=variant,
             input_slots=input_slots, output_slots=output_slots,
-            out_kernel=out_kernel, out_key=out_key, out_shape=out_shape,
-            out_dtype=out_dtype, donate_slot=donate_slot,
-            check_state_slots=check_state_slots, frees=tuple(frees),
+            use_out=use_out, out_shape=out_shape, out_dtype=out_dtype,
+            donate_slot=donate_slot, check_state_slots=check_state_slots,
+            frees=tuple(frees),
             fresh_outputs=0 if inplace else len(node.outputs)))
 
     for name in program.outputs:
@@ -332,18 +524,95 @@ def build_plan(program) -> ExecutionPlan:
                         if slot not in state_slots)
     arena_caps: dict[ArenaKey, int] = {}
     for instr in instructions:
-        if instr.out_kernel is not None and instr.donate_slot < 0:
-            arena_caps[instr.out_key] = arena_caps.get(instr.out_key, 0) + 1
-    return ExecutionPlan(
+        if instr.use_out and instr.donate_slot < 0:
+            key = (instr.out_shape, np.dtype(instr.out_dtype))
+            arena_caps[key] = arena_caps.get(key, 0) + 1
+    return PlanSpec(
         num_slots=len(slots),
         feed_specs=tuple((name, slots[name]) for name in graph.inputs),
         state_bindings=tuple(
             (slots[name], name) for name in sorted(state_names)
             if name in slots),
-        instructions=tuple(instructions),
         output_slots=tuple((name, slots[name]) for name in program.outputs),
         clear_slots=clear_slots,
-        arena_caps=arena_caps,
+        arena_caps=tuple(sorted(arena_caps.items(),
+                                key=lambda item: repr(item[0]))),
         peak_transient_bytes=peak,
         final_transient_bytes=transient,
+        instructions=tuple(instructions),
     )
+
+
+def bind_plan(spec: PlanSpec, nodes: Mapping[str, Node]) -> ExecutionPlan:
+    """Resolve a :class:`PlanSpec` against the live kernel registry.
+
+    ``nodes`` maps schedule node names to their :class:`~repro.ir.node.
+    Node` objects (attributes and the observer identity come from there).
+    This is the *entire* load-time step — no graph analysis, no compiler.
+
+    Raises:
+        ExecutionError: when the spec references a node the schedule lacks,
+            a kernel the registry lacks, or a kernel whose op type
+            disagrees with the node's.
+    """
+    instructions: list[Instruction] = []
+    for ispec in spec.instructions:
+        node = nodes.get(ispec.node)
+        if node is None:
+            raise ExecutionError(
+                f"plan references unknown node {ispec.node!r}")
+        if node.op_type != ispec.kernel:
+            raise ExecutionError(
+                f"plan instruction {ispec.node!r} binds kernel "
+                f"{ispec.kernel!r} but the node is {node.op_type!r}")
+        if ispec.variant == VARIANT_DONATING:
+            kernel = DONATING_KERNELS.get(ispec.kernel)
+        elif ispec.variant == VARIANT_BASE:
+            kernel = KERNELS.get(ispec.kernel)
+        else:
+            raise ExecutionError(
+                f"unknown kernel variant {ispec.variant!r} for "
+                f"{ispec.kernel!r}")
+        if kernel is None:
+            raise ExecutionError(
+                f"runtime lacks {ispec.variant!r} kernel for "
+                f"{ispec.kernel!r}")
+        out_kernel = out_key = out_shape = out_dtype = None
+        if ispec.use_out:
+            out_kernel = OUT_KERNELS.get(ispec.kernel)
+            if out_kernel is None:
+                raise ExecutionError(
+                    f"runtime lacks out= kernel for {ispec.kernel!r}")
+            out_shape = ispec.out_shape
+            out_dtype = np.dtype(ispec.out_dtype)
+            out_key = (out_shape, out_dtype)
+        instructions.append(Instruction(
+            node=node, kernel=kernel, attrs=node.attrs,
+            input_slots=ispec.input_slots, output_slots=ispec.output_slots,
+            out_kernel=out_kernel, out_key=out_key, out_shape=out_shape,
+            out_dtype=out_dtype, donate_slot=ispec.donate_slot,
+            check_state_slots=ispec.check_state_slots, frees=ispec.frees,
+            fresh_outputs=ispec.fresh_outputs))
+    return ExecutionPlan(
+        spec=spec,
+        num_slots=spec.num_slots,
+        feed_specs=spec.feed_specs,
+        state_bindings=spec.state_bindings,
+        instructions=tuple(instructions),
+        output_slots=spec.output_slots,
+        clear_slots=spec.clear_slots,
+        arena_caps=dict(spec.arena_caps),
+        peak_transient_bytes=spec.peak_transient_bytes,
+        final_transient_bytes=spec.final_transient_bytes,
+    )
+
+
+def build_plan(program) -> ExecutionPlan:
+    """Lower ``program`` and bind the result in one step (in-process use).
+
+    Raises:
+        ExecutionError: on an op without a registered kernel, or an output
+            name nothing produces.
+    """
+    return bind_plan(build_plan_spec(program),
+                     {node.name: node for node in program.schedule})

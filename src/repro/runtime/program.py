@@ -13,7 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - circular-import guard for hints
-    from .plan import ExecutionPlan
+    from .plan import ExecutionPlan, PlanSpec
 
 import numpy as np
 
@@ -58,22 +58,49 @@ class Program:
             consumer_counts=counts,
         )
 
+    def plan_spec(self) -> "PlanSpec":
+        """The serializable half of the compiled plan.
+
+        Lowered once and cached in ``meta``; deployment artifacts embed
+        exactly this object (:mod:`repro.deploy.artifact`), so saving a
+        program never re-runs the lowering. A spec loaded from an artifact
+        is installed here by the loader instead of being rebuilt.
+        """
+        spec = self.meta.get("__plan_spec__")
+        if spec is None:
+            from .plan import build_plan_spec
+
+            spec = self.meta.setdefault("__plan_spec__",
+                                        build_plan_spec(self))
+        return spec
+
+    def attach_plan_spec(self, spec: "PlanSpec") -> None:
+        """Install a deserialized :class:`PlanSpec` (artifact load path).
+
+        The next :meth:`plan` call binds it against the kernel registry
+        instead of lowering the graph again.
+        """
+        self.meta["__plan_spec__"] = spec
+
     def plan(self) -> "ExecutionPlan":
         """The compiled :class:`~repro.runtime.plan.ExecutionPlan`.
 
-        Built once and cached in ``meta`` — which :meth:`with_state` shares
-        across overlays, so every tenant session executing one compiled
-        program reuses a single plan. The plan depends on state *names*
-        only, never values, which is what makes that sharing sound.
+        Bound once from :meth:`plan_spec` and cached in ``meta`` — which
+        :meth:`with_state` shares across overlays, so every tenant session
+        executing one compiled program reuses a single plan. The plan
+        depends on state *names* only, never values, which is what makes
+        that sharing sound.
         """
         plan = self.meta.get("__plan__")
         if plan is None:
-            from .plan import build_plan
+            from .plan import bind_plan
 
             # setdefault resolves the benign race when two sessions lower
             # the same program concurrently: both plans are identical, one
             # wins, the other is dropped.
-            plan = self.meta.setdefault("__plan__", build_plan(self))
+            plan = self.meta.setdefault("__plan__", bind_plan(
+                self.plan_spec(),
+                {node.name: node for node in self.schedule}))
         return plan
 
     def validate_schedule(self) -> None:

@@ -27,10 +27,12 @@ from .keys import key_document, program_key
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .scheduler import (BatchScheduler, StepRequest, StepResult,
                         bucket_sizes)
-from .service import FineTuneService, ProgramFamily
+from .service import BACKENDS, FineTuneService, ProgramFamily
 from .sessions import SessionManager, TenantSession
+from .workers import ProcessPoolEngine
 
 __all__ = [
+    "BACKENDS",
     "BatchScheduler",
     "CacheEntry",
     "CacheStats",
@@ -39,6 +41,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ProcessPoolEngine",
     "ProgramCache",
     "ProgramFamily",
     "SessionManager",

@@ -148,6 +148,15 @@ class BatchScheduler:
         with self._work:
             return session_id in self._queues or session_id in self._inflight
 
+    def queue_depth(self) -> int:
+        """Requests queued but not yet cut into an executing batch.
+
+        The backpressure signal for the serving layer: with the process
+        backend this is what grows when the worker pool saturates.
+        """
+        with self._work:
+            return sum(len(queue) for queue in self._queues.values())
+
     def close(self, wait: bool = True) -> None:
         """Stop accepting work; optionally wait for queued work to finish.
 

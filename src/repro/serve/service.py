@@ -21,8 +21,10 @@ needs the forward graph rebuilt at each bucket's batch size.
 from __future__ import annotations
 
 import json
+import tempfile
 import threading
 from concurrent.futures import Future
+from pathlib import Path
 from time import perf_counter
 from typing import Any, Callable
 
@@ -39,6 +41,11 @@ from .keys import program_key
 from .metrics import Gauge, MetricsRegistry
 from .scheduler import BatchScheduler, StepRequest, StepResult
 from .sessions import SessionManager, TenantSession
+from .workers import ProcessPoolEngine
+
+#: step-execution backends: in-process thread pool (shares the GIL) or a
+#: pool of plan-executing worker processes fed from the artifact cache
+BACKENDS = ("thread", "process")
 
 #: named scheme resolvers usable as ``scheme="paper"`` etc.
 SCHEME_RESOLVERS: dict[str, Callable[[Graph], UpdateScheme]] = {
@@ -148,11 +155,35 @@ class FineTuneService:
     """Long-lived, multi-tenant serving layer over the one-shot compiler."""
 
     def __init__(self, *, cache_capacity: int = 32, max_batch: int = 8,
-                 workers: int = 2,
+                 workers: int = 2, backend: str = "thread",
+                 cache_dir: str | Path | None = None,
+                 max_sessions: int | None = None,
+                 session_ttl: float | None = None,
                  metrics: MetricsRegistry | None = None) -> None:
+        if backend not in BACKENDS:
+            raise ServeError(
+                f"unknown serve backend {backend!r}; options: {BACKENDS}")
+        self.backend = backend
         self.metrics = metrics or MetricsRegistry()
-        self.cache = ProgramCache(capacity=cache_capacity)
-        self.sessions = SessionManager()
+        # The process backend feeds workers from persisted plan artifacts;
+        # without a caller-provided cache_dir it uses a service-lifetime
+        # temp dir (workers still skip compilation, persistence just does
+        # not outlive the service).
+        self._owned_cache_dir: tempfile.TemporaryDirectory | None = None
+        if backend == "process" and cache_dir is None:
+            self._owned_cache_dir = tempfile.TemporaryDirectory(
+                prefix="repro-serve-cache-")
+            cache_dir = self._owned_cache_dir.name
+        self.cache = ProgramCache(capacity=cache_capacity,
+                                  cache_dir=cache_dir)
+        self._sessions_evicted = self.metrics.counter(
+            "serve.sessions_evicted", "tenant sessions evicted (TTL/LRU)")
+        self.sessions = SessionManager(
+            max_sessions=max_sessions, ttl=session_ttl,
+            busy=lambda session_id: self.scheduler.pending(session_id),
+            on_evict=lambda session: self._sessions_evicted.inc())
+        self.engine = ProcessPoolEngine(workers=workers) \
+            if backend == "process" else None
         self.scheduler = BatchScheduler(
             self._run_batch, max_batch=max_batch, workers=workers,
             metrics=self.metrics)
@@ -245,6 +276,9 @@ class FineTuneService:
                y: np.ndarray) -> Future:
         """Enqueue one single-example step; returns a Future[StepResult]."""
         self._check_open()
+        # Opportunistic TTL sweep on the request path (self-throttled to
+        # ~1/s inside the manager; a no-op without a session TTL).
+        self.sessions.sweep()
         session = self.sessions.get(session_id)
         family = session.family
         x = np.asarray(x)
@@ -300,8 +334,26 @@ class FineTuneService:
         self.metrics.gauge("serve.cache.evictions").set(stats.evictions)
         self.metrics.gauge("serve.cache.hit_rate").set(stats.hit_rate)
         self.metrics.gauge(
+            "serve.cache.compiles",
+            "programs actually compiled in this process").set(stats.compiles)
+        self.metrics.gauge(
+            "serve.cache.disk_hits",
+            "misses served by binding a persisted artifact").set(
+                stats.disk_hits)
+        self.metrics.gauge(
+            "serve.cache.disk_writes").set(stats.disk_writes)
+        self.metrics.gauge(
+            "serve.cache.prebuilt_plans_dropped",
+            "evictions that discarded an already-lowered plan").set(
+                stats.prebuilt_plans_dropped)
+        self.metrics.gauge(
             "serve.cache.compile_seconds_total").set(
                 stats.compile_seconds_total)
+        self.metrics.gauge(
+            "serve.queue_depth",
+            "requests queued behind executing batches").set(
+                self.scheduler.queue_depth())
+        self._live_sessions.set(len(self.sessions))
         per_program: dict[str, float] = {}
         for entry in self.cache.entries():
             short = entry.key[:12]
@@ -381,30 +433,46 @@ class FineTuneService:
                    batch: list[StepRequest]) -> StepResult:
         family = session.family
         entry = family.bucket(len(batch))
-        executor = session.executor_for(entry.key, entry.program)
         if len(batch) == 1:
             x = batch[0].x[None, ...]
             y = batch[0].y[None, ...]
         else:
             x = np.stack([request.x for request in batch])
             y = np.stack([request.y for request in batch])
+        feeds = {family.input_name: x, family.labels_name: y}
         began = perf_counter()
-        with session.lock:
-            out = executor.run({family.input_name: x,
-                                family.labels_name: y})
+        if self.engine is not None:
+            # Data-plane step: ship the session's mutable overlay and the
+            # micro-batch to a worker holding the bound plan artifact; copy
+            # the updated overlay back *into* the session arrays (never
+            # rebind — snapshots and live views stay coherent).
+            with session.lock:
+                fetched, new_state, peak_bytes, fresh_allocs = \
+                    self.engine.run_step(
+                        entry.meta.get("artifact_path"), entry.key,
+                        session.state, feeds, fetch=(family.loss_name,))
+                for name, array in new_state.items():
+                    session.state[name][...] = array
+            loss = float(fetched[family.loss_name])
+        else:
+            executor = session.executor_for(entry.key, entry.program)
+            with session.lock:
+                out = executor.run(feeds)
+            loss = float(out[family.loss_name])
+            peak_bytes = executor.peak_transient_bytes
+            fresh_allocs = executor.last_step_fresh_allocs
         elapsed_ms = (perf_counter() - began) * 1e3
-        loss = float(out[family.loss_name])
         session.record(loss, len(batch))
         self._steps_total.inc()
         self._examples_total.inc(len(batch))
         self._step_latency.observe(elapsed_ms)
-        self._step_allocs.observe(float(executor.last_step_fresh_allocs))
+        self._step_allocs.observe(float(fresh_allocs))
         # High-water mark travels with the cache entry (and dies with it on
         # eviction); _sync_cache_metrics publishes only live entries, so
         # per-program gauge cardinality stays bounded by the cache.
         peak = entry.meta.setdefault(
             "peak_gauge", Gauge(f"peak[{entry.key[:12]}]"))
-        peak.max(executor.peak_transient_bytes)
+        peak.max(peak_bytes)
         return StepResult(
             session_id=session.id,
             loss=loss,
@@ -428,6 +496,11 @@ class FineTuneService:
             return
         self._closed = True
         self.scheduler.close(wait=wait)
+        if self.engine is not None:
+            self.engine.shutdown(wait=wait)
+        if self._owned_cache_dir is not None:
+            self._owned_cache_dir.cleanup()
+            self._owned_cache_dir = None
 
     def __enter__(self) -> "FineTuneService":
         return self

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from collections import deque
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 import numpy as np
 
@@ -51,6 +52,9 @@ class TenantSession:
         self.examples = 0
         self.last_loss = math.nan
         self.loss_history: deque[float] = deque(maxlen=512)
+        #: monotonic timestamp of the last request touching this session
+        #: (maintained by the SessionManager; drives TTL/idle-LRU eviction)
+        self.last_used = 0.0
         self._executors: dict[str, Executor] = {}
 
     def executor_for(self, key: str, program: Program) -> Executor:
@@ -113,12 +117,45 @@ class TenantSession:
 
 
 class SessionManager:
-    """Creates, resolves, and retires tenant sessions (thread-safe)."""
+    """Creates, resolves, evicts, and retires tenant sessions (thread-safe).
 
-    def __init__(self) -> None:
+    Two eviction policies bound the fleet's session-state footprint:
+
+    * **TTL** (``ttl`` seconds): :meth:`sweep` retires sessions idle longer
+      than the TTL. The serving layer calls it opportunistically on the
+      request path (throttled internally to at most ~1/s).
+    * **idle-LRU at the cap** (``max_sessions``): :meth:`create` evicts the
+      least-recently-used idle session to make room; if every session is
+      busy (queued or in-flight work, per the ``busy`` predicate), creation
+      fails instead of corrupting a live tenant.
+
+    Evicted sessions simply vanish — their mutable state is dropped, and a
+    later request for the id gets the usual unknown-session error. Tenants
+    that care checkpoint via ``snapshot()``/``close_session``. ``on_evict``
+    (e.g. a metrics hook) fires once per evicted session.
+    """
+
+    def __init__(self, max_sessions: int | None = None,
+                 ttl: float | None = None,
+                 busy: Callable[[str], bool] | None = None,
+                 on_evict: Callable[[TenantSession], None] | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if max_sessions is not None and max_sessions < 1:
+            raise ServeError(
+                f"max_sessions must be >= 1, got {max_sessions}")
+        if ttl is not None and ttl <= 0:
+            raise ServeError(f"ttl must be > 0, got {ttl}")
+        self.max_sessions = max_sessions
+        self.ttl = ttl
+        self._busy = busy or (lambda session_id: False)
+        self._on_evict = on_evict
+        self._clock = clock
         self._sessions: dict[str, TenantSession] = {}
         self._lock = threading.Lock()
         self._next_id = 0
+        self._last_sweep = clock()
+        #: lifetime count of TTL/LRU evictions
+        self.evicted = 0
 
     def create(self, family: "ProgramFamily", tenant: str | None = None,
                weights: dict[str, np.ndarray] | None = None) -> TenantSession:
@@ -130,8 +167,20 @@ class SessionManager:
                                 family.template_state())
         if weights:
             session.load(weights)
+        session.last_used = self._clock()
+        evicted: list[TenantSession] = []
         with self._lock:
+            if self.max_sessions is not None \
+                    and len(self._sessions) >= self.max_sessions:
+                evicted = self._evict_idle_locked(
+                    len(self._sessions) - self.max_sessions + 1)
+                if len(self._sessions) >= self.max_sessions:
+                    self._notify(evicted)
+                    raise ServeError(
+                        f"session limit {self.max_sessions} reached and "
+                        f"every session is busy; close or drain one first")
             self._sessions[session_id] = session
+        self._notify(evicted)
         return session
 
     def get(self, session_id: str) -> TenantSession:
@@ -139,7 +188,52 @@ class SessionManager:
             session = self._sessions.get(session_id)
         if session is None:
             raise ServeError(f"unknown session {session_id!r}")
+        session.last_used = self._clock()
         return session
+
+    def sweep(self, force: bool = False) -> list[TenantSession]:
+        """Retire sessions idle past the TTL; returns the evicted ones.
+
+        Cheap enough for the request path: without a TTL it is a no-op,
+        and with one it self-throttles to roughly one scan per second
+        unless ``force`` is set (tests, explicit maintenance).
+        """
+        if self.ttl is None:
+            return []
+        now = self._clock()
+        with self._lock:
+            if not force and now - self._last_sweep < 1.0:
+                return []
+            self._last_sweep = now
+            expired = [
+                session for session in self._sessions.values()
+                if now - session.last_used > self.ttl
+                and not self._busy(session.id)
+            ]
+            for session in expired:
+                del self._sessions[session.id]
+            self.evicted += len(expired)
+        self._notify(expired)
+        return expired
+
+    def _evict_idle_locked(self, need: int) -> list[TenantSession]:
+        """Evict up to ``need`` idle sessions, least-recently-used first.
+
+        Callers hold ``self._lock``. Busy sessions are never evicted.
+        """
+        idle = sorted(
+            (s for s in self._sessions.values() if not self._busy(s.id)),
+            key=lambda s: s.last_used)
+        victims = idle[:need]
+        for session in victims:
+            del self._sessions[session.id]
+        self.evicted += len(victims)
+        return victims
+
+    def _notify(self, evicted: list[TenantSession]) -> None:
+        if self._on_evict is not None:
+            for session in evicted:
+                self._on_evict(session)
 
     def close(self, session_id: str) -> TenantSession:
         with self._lock:

@@ -1,0 +1,75 @@
+"""Process-pool execution backend: step workers that never see the compiler.
+
+The GIL caps the thread-pool backend at roughly one core of numpy kernel
+work per Python process. This module escapes it the way the paper's
+deployment story says to: the *control plane* (compiler, cache, scheduler,
+sessions) stays in the parent, and the *data plane* is a pool of worker
+processes that only ever execute frozen plan artifacts.
+
+Protocol per (worker, program) pair — by design identical to a device
+receiving a deployed model:
+
+1. the worker receives the **artifact directory once** (first step for a
+   given program key), binds the persisted execution plan against its own
+   kernel registry (:func:`repro.deploy.artifact.load_artifact`), and
+   caches the bound executor for every later step;
+2. every step ships only the session's **mutable state overlay and the
+   micro-batch arrays**; the worker runs one plan step (mutating the
+   overlay in place, exactly like the in-process path) and ships back the
+   requested outputs plus the updated overlay.
+
+The worker-side code lives in :mod:`repro.deploy.stepworker` so a worker's
+import closure stays compiler-free (importing anything under
+``repro.serve`` would drag the compiler in); workers are spawned, not
+forked, so they genuinely demonstrate the compile-once/run-anywhere split.
+:meth:`ProcessPoolEngine.probe` verifies the claim against a live pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable
+
+import numpy as np
+
+from ..deploy import stepworker
+from ..errors import ServeError
+
+
+class ProcessPoolEngine:
+    """A pool of plan-executing worker processes (the data plane).
+
+    ``run_step`` blocks the calling scheduler thread until the worker
+    finishes — the scheduler's per-session FIFO and fairness invariants
+    carry over unchanged; only the compute escapes the GIL.
+    """
+
+    def __init__(self, workers: int, mp_context: str = "spawn") -> None:
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context(mp_context))
+
+    def run_step(self, artifact_dir, key: str,
+                 state: dict[str, np.ndarray],
+                 feeds: dict[str, np.ndarray],
+                 fetch: Iterable[str]):
+        """One plan step on some worker; see
+        :func:`repro.deploy.stepworker.run_step`."""
+        if artifact_dir is None:
+            raise ServeError(
+                f"program {key[:12]}… has no persisted artifact; the "
+                f"process backend needs a writable cache_dir")
+        return self._pool.submit(
+            stepworker.run_step, str(artifact_dir), key, state, feeds,
+            tuple(fetch)).result()
+
+    def probe(self) -> dict:
+        """Ask one live worker what it has imported and bound."""
+        return self._pool.submit(stepworker.probe).result()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)

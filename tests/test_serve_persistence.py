@@ -1,0 +1,223 @@
+"""Cross-process program cache, session eviction, process-pool backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.runtime.compiler import compile_training
+from repro.serve import FineTuneService, ProgramCache, SessionManager
+from repro.train import SGD
+
+from conftest import make_mlp_graph
+
+
+def _program(seed=0):
+    builder, _ = make_mlp_graph(seed=seed)
+    return compile_training(builder.graph, optimizer=SGD(0.05))
+
+
+def _fail_build():
+    raise AssertionError("builder must not run")
+
+
+class TestPersistentProgramCache:
+    def test_build_persists_artifact(self, tmp_path):
+        cache = ProgramCache(capacity=4, cache_dir=tmp_path)
+        entry = cache.get_or_build("k1", _program)
+        assert cache.stats.compiles == 1
+        assert cache.stats.disk_writes == 1
+        assert cache.artifact_path("k1") is not None
+        assert entry.program.meta.get("__plan__") is not None
+
+    def test_second_cache_loads_without_compiling(self, tmp_path, rng):
+        ProgramCache(capacity=4, cache_dir=tmp_path).get_or_build(
+            "k1", _program)
+        fresh = ProgramCache(capacity=4, cache_dir=tmp_path)
+        entry = fresh.get_or_build("k1", _fail_build)
+        assert entry.from_disk
+        assert fresh.stats.disk_hits == 1
+        assert fresh.stats.compiles == 0
+        # The persisted program is executable and carries a bound plan.
+        assert entry.program.meta.get("__plan__") is not None
+        program = entry.program
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        y = rng.integers(0, 3, 4).astype(np.int64)
+        from repro.runtime import Executor
+        out = Executor(program).run({"x": x, program.meta["labels"]: y})
+        assert np.isfinite(out[program.meta["loss"]])
+
+    def test_unreadable_artifact_recompiles_and_repairs(self, tmp_path):
+        cache = ProgramCache(capacity=4, cache_dir=tmp_path)
+        cache.get_or_build("k1", _program)
+        (tmp_path / "k1" / "manifest.json").write_text("{broken")
+        fresh = ProgramCache(capacity=4, cache_dir=tmp_path)
+        entry = fresh.get_or_build("k1", _program)
+        assert not entry.from_disk
+        assert fresh.stats.compiles == 1
+        # The rebuild overwrote the broken artifact: the next process
+        # loads from disk again instead of hitting it forever.
+        repaired = ProgramCache(capacity=4, cache_dir=tmp_path)
+        assert repaired.get_or_build("k1", _fail_build).from_disk
+
+    def test_missing_graph_file_recompiles_and_repairs(self, tmp_path):
+        cache = ProgramCache(capacity=4, cache_dir=tmp_path)
+        cache.get_or_build("k1", _program)
+        (tmp_path / "k1" / "graph.json").unlink()
+        fresh = ProgramCache(capacity=4, cache_dir=tmp_path)
+        entry = fresh.get_or_build("k1", _program)
+        assert not entry.from_disk
+        assert fresh.stats.compiles == 1
+        repaired = ProgramCache(capacity=4, cache_dir=tmp_path)
+        assert repaired.get_or_build("k1", _fail_build).from_disk
+
+    def test_memoryless_cache_unchanged(self):
+        cache = ProgramCache(capacity=4)
+        entry = cache.get_or_build("k1", _program)
+        assert not entry.from_disk
+        assert cache.artifact_path("k1") is None
+        assert cache.stats.disk_writes == 0
+
+    def test_eviction_counts_dropped_plans(self):
+        """Satellite: evicting a prebuilt plan is a metric, not silence."""
+        cache = ProgramCache(capacity=1)
+        cache.get_or_build("k1", _program)
+        cache.get_or_build("k2", lambda: _program(seed=1))  # evicts k1
+        assert cache.stats.evictions == 1
+        assert cache.stats.prebuilt_plans_dropped == 1
+        # Re-admission re-prebuilds eagerly: no tenant pays lowering.
+        entry = cache.get_or_build("k1", _program)
+        assert entry.program.meta.get("__plan__") is not None
+
+    def test_explicit_evict_and_clear_count_plans(self):
+        cache = ProgramCache(capacity=4)
+        cache.get_or_build("k1", _program)
+        cache.get_or_build("k2", lambda: _program(seed=1))
+        assert cache.evict("k1")
+        cache.clear()
+        assert cache.stats.prebuilt_plans_dropped == 2
+
+
+class _FakeFamily:
+    def __init__(self):
+        self._template = {"w": np.zeros(4, np.float32)}
+
+    def template_state(self):
+        return self._template
+
+
+class TestSessionEviction:
+    def _manager(self, **kwargs):
+        clock = {"now": 0.0}
+        evicted = []
+        manager = SessionManager(clock=lambda: clock["now"],
+                                 on_evict=evicted.append, **kwargs)
+        return manager, clock, evicted
+
+    def test_ttl_sweep_evicts_idle(self):
+        manager, clock, evicted = self._manager(ttl=10.0)
+        a = manager.create(_FakeFamily())
+        b = manager.create(_FakeFamily())
+        clock["now"] = 5.0
+        manager.get(b.id)  # touch b
+        clock["now"] = 12.0
+        gone = manager.sweep(force=True)
+        assert [s.id for s in gone] == [a.id]
+        assert manager.evicted == 1
+        assert evicted == [a]
+        assert manager.get(b.id) is b
+        with pytest.raises(ServeError, match="unknown session"):
+            manager.get(a.id)
+
+    def test_sweep_throttles_on_request_path(self):
+        manager, clock, _ = self._manager(ttl=1.0)
+        manager.create(_FakeFamily())
+        clock["now"] = 2.0
+        manager.sweep(force=True)
+        clock["now"] = 2.5
+        manager.create(_FakeFamily())
+        assert manager.sweep() == []  # < 1s since last sweep
+
+    def test_max_sessions_evicts_idle_lru(self):
+        manager, clock, evicted = self._manager(max_sessions=2)
+        a = manager.create(_FakeFamily())
+        clock["now"] = 1.0
+        b = manager.create(_FakeFamily())
+        clock["now"] = 2.0
+        manager.get(a.id)  # a is now more recently used than b
+        clock["now"] = 3.0
+        c = manager.create(_FakeFamily())  # evicts b (LRU)
+        assert evicted == [b]
+        assert len(manager) == 2
+        assert manager.get(a.id) is a
+        assert manager.get(c.id) is c
+
+    def test_busy_sessions_never_evicted(self):
+        clock = {"now": 0.0}
+        busy_ids = set()
+        manager = SessionManager(max_sessions=1, ttl=10.0,
+                                 busy=lambda sid: sid in busy_ids,
+                                 clock=lambda: clock["now"])
+        a = manager.create(_FakeFamily())
+        busy_ids.add(a.id)
+        clock["now"] = 100.0
+        assert manager.sweep(force=True) == []
+        with pytest.raises(ServeError, match="session limit"):
+            manager.create(_FakeFamily())
+        busy_ids.clear()
+        b = manager.create(_FakeFamily())  # a idle now -> evicted
+        assert manager.evicted == 1
+        assert manager.get(b.id) is b
+
+    def test_service_publishes_eviction_metric(self):
+        with FineTuneService(workers=1, max_batch=2,
+                             session_ttl=1e-9) as service:
+            session = service.create_session(
+                lambda batch: make_mlp_graph(batch=batch)[0].graph,
+                scheme="full", model_id="mlp")
+            service.sessions.sweep(force=True)
+            stats = service.stats()
+            assert stats["serve.sessions_evicted"] == 1
+            assert stats["serve.sessions_live"] == 0
+            with pytest.raises(ServeError, match="unknown session"):
+                service.snapshot(session.id)
+
+
+class TestProcessBackend:
+    @pytest.fixture(scope="class")
+    def proc_service(self, tmp_path_factory):
+        cache_dir = tmp_path_factory.mktemp("plans")
+        with FineTuneService(workers=2, max_batch=4, backend="process",
+                             cache_dir=cache_dir) as service:
+            yield service
+
+    def test_steps_train_and_workers_stay_compiler_free(self, proc_service,
+                                                        rng):
+        service = proc_service
+        sessions = [service.create_session("mcunet_micro", scheme="paper",
+                                           tenant=f"t{i}") for i in range(2)]
+        family = sessions[0].family
+        futures = []
+        for _ in range(3):
+            for session in sessions:
+                x = rng.standard_normal(family.example_shape) \
+                    .astype(np.float32)
+                y = np.int64(rng.integers(0, family.num_classes))
+                futures.append(service.submit(session.id, x, y))
+        results = [f.result() for f in futures]
+        assert all(np.isfinite(r.loss) for r in results)
+        assert sessions[0].steps >= 1
+        # Training state actually advanced and is isolated per tenant.
+        snap0 = service.snapshot(sessions[0].id)
+        assert any(array.any() for array in snap0.values())
+        probe = service.engine.probe()
+        assert probe["programs_bound"]
+        assert not probe["compiler_imported"]
+        assert not probe["autodiff_imported"]
+        # Every variant the workers ran came from a persisted artifact.
+        assert service.cache.stats.disk_writes >= 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ServeError, match="unknown serve backend"):
+            FineTuneService(backend="carrier-pigeon")
