@@ -1,0 +1,417 @@
+"""Gateway benchmark: end-to-end HTTP latency, shed behaviour, shutdown.
+
+Boots ``repro serve --http`` on an ephemeral port as a real subprocess
+(the exact artifact CI deploys) and drives it with the blocking client:
+
+* **closed loop** — 2 concurrent tenants, sessions created over HTTP,
+  steps submitted back-to-back: p50/p95 end-to-end latency and aggregate
+  throughput, with per-session FIFO verified from the returned step
+  counters;
+* **open loop** — every tenant fires on a fixed schedule at ~3x the
+  measured closed-loop capacity against a small ``--max-queue-depth``:
+  the gateway must shed with 429 + Retry-After rather than queue without
+  bound. Latency is measured from the *scheduled* send time, so queueing
+  delay is not hidden (no coordinated omission);
+* **rate limit** — a second server with ``--rate-limit``; a tenant
+  bursting past its budget collects 429s while a polite tenant is
+  untouched;
+* **shutdown** — SIGINT lands while requests are in flight; the process
+  must exit 0 within the deadline with every client answered (zero hung
+  futures).
+
+Writes ``BENCH_gateway.json`` and exits non-zero if any gate fails.
+Single-core honesty: numbers from CI containers measure protocol +
+scheduler behaviour, not hardware throughput.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _helpers import banner, fast_mode
+
+MODEL = "mcunet_micro"
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+class GatewayProcess:
+    """A ``repro serve --http`` subprocess on an ephemeral port.
+
+    A daemon thread pumps the child's stdout into a queue, so waiting for
+    the address line has a real deadline (a server that stalls *before*
+    printing anything fails this benchmark fast instead of hanging CI on
+    a blocked ``readline``).
+    """
+
+    def __init__(self, *extra_args: str) -> None:
+        import queue
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{SRC}{os.pathsep}" \
+            + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--http", "0",
+             "--model", MODEL, *extra_args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env)
+        self.output: list[str] = []
+        self._lines: "queue.Queue[str | None]" = queue.Queue()
+        self._reader = threading.Thread(target=self._pump, daemon=True)
+        self._reader.start()
+        self.url = self._await_listening()
+
+    def _pump(self) -> None:
+        for line in self.proc.stdout:
+            self.output.append(line)
+            self._lines.put(line)
+        self._lines.put(None)
+
+    def _await_listening(self, timeout: float = 120.0) -> str:
+        import queue
+
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.kill()
+                raise RuntimeError("server never reported its address")
+            try:
+                line = self._lines.get(timeout=remaining)
+            except queue.Empty:
+                continue
+            if line is None:
+                raise RuntimeError(
+                    f"server exited early (rc={self.proc.poll()})")
+            if "listening on http://" in line:
+                return line.split("listening on ")[1].split()[0]
+
+    def interrupt_and_wait(self, timeout: float = 60.0) -> dict:
+        """SIGINT; returns {exit_code, seconds, drained} or fails loudly."""
+        began = time.monotonic()
+        self.proc.send_signal(signal.SIGINT)
+        try:
+            self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+            raise RuntimeError(
+                f"server hung past {timeout}s after SIGINT "
+                f"(futures left unresolved?)")
+        self._reader.join(timeout=10)
+        return {
+            "exit_code": self.proc.returncode,
+            "seconds": time.monotonic() - began,
+            "drained": "drained cleanly" in "".join(self.output),
+        }
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+        self._reader.join(timeout=10)
+
+
+def _open_sessions(client, tenants: int) -> list[dict]:
+    return [client.create_session(MODEL, scheme="paper",
+                                  tenant=f"tenant-{i:02d}")
+            for i in range(tenants)]
+
+
+def _example(doc: dict, rng) -> tuple[list, int]:
+    x = rng.standard_normal(doc["input_shape"]).astype(np.float32)
+    return x, int(rng.integers(0, doc["num_classes"]))
+
+
+def closed_loop(client, docs: list[dict], steps_per_tenant: int) -> dict:
+    latencies: list[float] = []
+    fifo_ok = True
+    lock = threading.Lock()
+
+    def drive(doc, seed):
+        nonlocal fifo_ok
+        rng = np.random.default_rng(seed)
+        last_step = 0
+        for _ in range(steps_per_tenant):
+            x, y = _example(doc, rng)
+            began = time.perf_counter()
+            result = client.step(doc["session_id"], x, y)
+            elapsed = (time.perf_counter() - began) * 1e3
+            with lock:
+                latencies.append(elapsed)
+                if result["step"] <= last_step:
+                    fifo_ok = False
+            last_step = result["step"]
+
+    began = time.perf_counter()
+    threads = [threading.Thread(target=drive, args=(doc, i))
+               for i, doc in enumerate(docs)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - began
+    arr = np.asarray(latencies)
+    return {
+        "tenants": len(docs),
+        "requests": len(latencies),
+        "expected_requests": len(docs) * steps_per_tenant,
+        "seconds": elapsed,
+        "throughput_rps": len(latencies) / elapsed,
+        "p50_ms": float(np.quantile(arr, 0.5)),
+        "p95_ms": float(np.quantile(arr, 0.95)),
+        "fifo_ok": fifo_ok,
+    }
+
+
+def open_loop(client, docs: list[dict], offered_rps: float,
+              duration_s: float, senders_per_tenant: int = 8) -> dict:
+    """Fixed-schedule load: send at offered_rps regardless of responses.
+
+    A pool of sender threads per tenant approximates a true open loop with a
+    blocking client: up to ``tenants * senders_per_tenant`` requests are
+    outstanding at once, so offered load genuinely exceeds service
+    capacity instead of self-throttling to it. Latency is measured from
+    each request's *scheduled* time, so a backed-up sender cannot hide
+    queueing delay (no coordinated omission).
+    """
+    from repro.serve import GatewayError, RateLimited
+
+    ok_latencies: list[float] = []
+    counts = {"ok": 0, "shed": 0, "error": 0}
+    lock = threading.Lock()
+    per_sender_rps = offered_rps / (len(docs) * senders_per_tenant)
+    interval = 1.0 / per_sender_rps
+
+    def drive(doc, slot, seed):
+        rng = np.random.default_rng(seed)
+        start = time.perf_counter() + slot * interval / senders_per_tenant
+        n = int(duration_s * per_sender_rps)
+        for i in range(n):
+            scheduled = start + i * interval
+            now = time.perf_counter()
+            if scheduled > now:
+                time.sleep(scheduled - now)
+            x, y = _example(doc, rng)
+            try:
+                client.step(doc["session_id"], x, y, wait=False)
+                outcome = "ok"
+            except RateLimited:
+                outcome = "shed"
+            except GatewayError:
+                outcome = "error"
+            elapsed = (time.perf_counter() - scheduled) * 1e3
+            with lock:
+                counts[outcome] += 1
+                if outcome == "ok":
+                    ok_latencies.append(elapsed)
+
+    threads = [threading.Thread(target=drive,
+                                args=(doc, slot, 100 + 10 * t + slot))
+               for t, doc in enumerate(docs)
+               for slot in range(senders_per_tenant)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    total = sum(counts.values())
+    arr = np.asarray(ok_latencies) if ok_latencies else np.zeros(1)
+    return {
+        "offered_rps": offered_rps,
+        "duration_s": duration_s,
+        "sent": total,
+        **counts,
+        "shed_rate": counts["shed"] / total if total else 0.0,
+        "ok_p50_ms": float(np.quantile(arr, 0.5)),
+        "ok_p95_ms": float(np.quantile(arr, 0.95)),
+    }
+
+
+def rate_limit_phase(url: str, burst_requests: int) -> dict:
+    from repro.serve import RateLimited, ServeClient
+
+    with ServeClient(url) as client:
+        greedy, polite = _open_sessions(client, 2)
+        rng = np.random.default_rng(7)
+        limited = ok = 0
+        for _ in range(burst_requests):
+            try:
+                client.step(greedy["session_id"], *_example(greedy, rng),
+                            wait=False)
+                ok += 1
+            except RateLimited:
+                limited += 1
+        # The polite tenant has its own bucket: its first request sails.
+        polite_result = client.step(polite["session_id"],
+                                    *_example(polite, rng), wait=False)
+        return {
+            "burst_requests": burst_requests,
+            "ok": ok,
+            "limited": limited,
+            "other_tenant_unaffected":
+                bool(np.isfinite(polite_result["loss"])),
+        }
+
+
+def shutdown_phase(server: GatewayProcess, client, docs: list[dict],
+                   inflight: int) -> dict:
+    """SIGINT with requests in flight; every client must get an answer."""
+    from repro.serve import GatewayError
+
+    settled: list[str] = []
+    lock = threading.Lock()
+    # SIGINT must land while requests are genuinely on the wire, not
+    # before slow CI threads have connected: every sender passes the
+    # barrier immediately before its POST, and the main thread gives the
+    # sends a beat to reach the server.
+    barrier = threading.Barrier(inflight + 1)
+
+    def fire(doc, seed):
+        rng = np.random.default_rng(seed)
+        example = _example(doc, rng)
+        try:
+            barrier.wait(timeout=30)
+            client.step(doc["session_id"], *example, wait=False)
+            outcome = "ok"
+        except GatewayError as exc:
+            # 503 (cancelled by shutdown) or connection loss: answered,
+            # not hung.
+            outcome = f"refused-{exc.status}"
+        except threading.BrokenBarrierError:
+            outcome = "never-started"
+        with lock:
+            settled.append(outcome)
+
+    threads = [threading.Thread(target=fire, args=(docs[i % len(docs)], i))
+               for i in range(inflight)]
+    for t in threads:
+        t.start()
+    barrier.wait(timeout=30)
+    time.sleep(0.2)
+    result = server.interrupt_and_wait()
+    for t in threads:
+        t.join(timeout=30)
+    result["inflight_at_sigint"] = inflight
+    result["clients_settled"] = len(settled)
+    result["client_outcomes"] = sorted(set(settled))
+    result["zero_hung_futures"] = len(settled) == inflight \
+        and not any(t.is_alive() for t in threads)
+    return result
+
+
+def run(quick: bool) -> dict:
+    from repro.serve import ServeClient
+
+    steps = 8 if quick else 32
+    duration = 2.0 if quick else 6.0
+    result: dict = {"workload": {
+        "model": MODEL, "scheme": "paper sparse-update",
+        "backend": "thread", "max_batch": 8, "workers": 2,
+        "cpu_count": os.cpu_count(),
+    }}
+
+    # -- server A: watermark backpressure, no rate limit ---------------------
+    server = GatewayProcess("--max-queue-depth", "8", "--workers", "2",
+                            "--drain-timeout", "10")
+    try:
+        client = ServeClient(server.url)
+        docs = _open_sessions(client, 2)
+        banner(f"closed loop: 2 tenants x {steps} steps over HTTP")
+        result["closed_loop"] = closed_loop(client, docs, steps)
+        capacity = result["closed_loop"]["throughput_rps"]
+        offered = max(20.0, 3.0 * capacity)
+        banner(f"open loop: offering {offered:.0f} req/s "
+               f"(~3x measured capacity) for {duration:.0f}s")
+        result["open_loop"] = open_loop(client, docs, offered, duration)
+        result["shutdown"] = shutdown_phase(server, client, docs,
+                                            inflight=6)
+        client.close()
+    finally:
+        server.kill()
+
+    # -- server B: per-tenant rate limits ------------------------------------
+    banner("rate limit: greedy tenant bursts past 2 req/s (burst 2)")
+    server = GatewayProcess("--rate-limit", "2", "--rate-burst", "2",
+                            "--max-queue-depth", "64")
+    try:
+        result["rate_limit"] = rate_limit_phase(server.url,
+                                                burst_requests=8)
+        result["rate_limit_shutdown"] = server.interrupt_and_wait()
+    finally:
+        server.kill()
+    return result
+
+
+def _report(result: dict) -> None:
+    closed = result["closed_loop"]
+    print(f"{'closed loop':>12}: {closed['throughput_rps']:6.1f} req/s   "
+          f"p50 {closed['p50_ms']:7.2f} ms   p95 {closed['p95_ms']:7.2f} ms"
+          f"   fifo_ok={closed['fifo_ok']}")
+    over = result["open_loop"]
+    print(f"{'open loop':>12}: offered {over['offered_rps']:6.1f} req/s   "
+          f"ok {over['ok']}   shed {over['shed']} "
+          f"({over['shed_rate']:.0%})   ok p95 {over['ok_p95_ms']:7.2f} ms")
+    rate = result["rate_limit"]
+    print(f"{'rate limit':>12}: {rate['limited']}/{rate['burst_requests']} "
+          f"limited, other tenant unaffected="
+          f"{rate['other_tenant_unaffected']}")
+    down = result["shutdown"]
+    print(f"{'shutdown':>12}: SIGINT with {down['inflight_at_sigint']} in "
+          f"flight -> exit {down['exit_code']} in {down['seconds']:.1f}s, "
+          f"outcomes {down['client_outcomes']}, "
+          f"zero_hung={down['zero_hung_futures']}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: shorter phases")
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_gateway.json"))
+    args = parser.parse_args(argv)
+    sys.path.insert(0, str(SRC))
+
+    banner("repro.serve HTTP gateway benchmark")
+    result = run(args.quick or fast_mode())
+    _report(result)
+    args.out.write_text(json.dumps(result, indent=1))
+    print(f"\nwrote {args.out}")
+
+    failures = []
+    closed = result["closed_loop"]
+    if closed["requests"] != closed["expected_requests"] \
+            or not closed["fifo_ok"]:
+        failures.append("closed loop lost requests or broke FIFO")
+    if result["open_loop"]["shed_rate"] <= 0.0:
+        failures.append("overload never shed (queue grew unbounded?)")
+    if result["open_loop"]["error"] > 0:
+        failures.append(f"open loop saw {result['open_loop']['error']} "
+                        f"non-429 errors")
+    if result["rate_limit"]["limited"] < 1 \
+            or not result["rate_limit"]["other_tenant_unaffected"]:
+        failures.append("rate limiting did not behave per-tenant")
+    for phase in ("shutdown", "rate_limit_shutdown"):
+        if result[phase]["exit_code"] != 0:
+            failures.append(f"{phase}: exit {result[phase]['exit_code']}")
+    if not result["shutdown"]["zero_hung_futures"]:
+        failures.append("shutdown left a client hanging")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -165,6 +165,48 @@ def cmd_deploy(args) -> int:
     return 0
 
 
+def _serve_http(args) -> int:
+    """Run the HTTP front door until SIGINT; shut down with zero hangs."""
+    import time
+
+    from .serve import FineTuneService
+    from .serve.gateway import GatewayServer
+
+    with FineTuneService(cache_capacity=args.cache_capacity,
+                         max_batch=args.max_batch,
+                         workers=args.workers,
+                         backend=args.backend,
+                         cache_dir=args.cache_dir,
+                         max_sessions=args.max_sessions,
+                         session_ttl=args.session_ttl) as service:
+        gateway = GatewayServer(
+            service, host=args.host, port=args.http,
+            max_queue_depth=args.max_queue_depth,
+            rate_limit=args.rate_limit, rate_burst=args.rate_burst)
+        gateway.start()
+        limit = (f"{args.rate_limit:g}/s per tenant" if args.rate_limit
+                 else "off")
+        print(f"repro serve: listening on {gateway.url} "
+              f"(backend={args.backend}, "
+              f"max_queue_depth={args.max_queue_depth}, "
+              f"rate_limit={limit})", flush=True)
+        try:
+            while True:
+                time.sleep(1)
+        except KeyboardInterrupt:
+            print("\nrepro serve: SIGINT — draining in-flight work",
+                  flush=True)
+        finally:
+            drained = gateway.close(drain_timeout=args.drain_timeout)
+            print(service.render_metrics())
+            if drained:
+                print("shutdown: queue drained cleanly", flush=True)
+            else:
+                print(f"shutdown: drain exceeded {args.drain_timeout}s; "
+                      f"queued requests cancelled", flush=True)
+    return 0
+
+
 def cmd_serve(args) -> int:
     import time
 
@@ -180,6 +222,9 @@ def cmd_serve(args) -> int:
             print(f"error: --{name.replace('_', '-')} must be >= 1",
                   file=sys.stderr)
             return 2
+
+    if args.http is not None:
+        return _serve_http(args)
 
     rng = np.random.default_rng(args.seed)
     with FineTuneService(cache_capacity=args.cache_capacity,
@@ -306,6 +351,24 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--session-ttl", type=float, default=None,
                      help="evict tenant sessions idle this many seconds")
     srv.add_argument("--cache-capacity", type=int, default=32)
+    srv.add_argument("--http", type=int, default=None, metavar="PORT",
+                     help="serve the HTTP gateway on PORT (0 = ephemeral) "
+                          "instead of running the in-process demo; "
+                          "Ctrl-C shuts down cleanly")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="gateway bind address (with --http)")
+    srv.add_argument("--max-queue-depth", type=int, default=64,
+                     help="shed step requests with 429 once the live "
+                          "scheduler queue reaches this watermark")
+    srv.add_argument("--rate-limit", type=float, default=None,
+                     help="per-tenant step admission rate (requests/s); "
+                          "past it the gateway answers 429 + Retry-After")
+    srv.add_argument("--rate-burst", type=float, default=None,
+                     help="per-tenant burst size (default: one second of "
+                          "--rate-limit, floored at 1)")
+    srv.add_argument("--drain-timeout", type=float, default=10.0,
+                     help="on shutdown, wait this long for queued steps "
+                          "before cancelling them")
     srv.add_argument("--sparse", action="store_true", default=True,
                      help="use the paper's sparse scheme (default)")
     srv.add_argument("--full", dest="sparse", action="store_false",

@@ -23,8 +23,12 @@ Quickstart::
 """
 
 from .cache import CacheEntry, CacheStats, ProgramCache
+from .client import GatewayError, RateLimited, ServeClient
+from .gateway import GatewayServer
 from .keys import key_document, program_key
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (CallbackGauge, Counter, Gauge, Histogram,
+                      MetricsRegistry)
+from .ratelimit import RateLimiter, TokenBucket
 from .scheduler import (BatchScheduler, StepRequest, StepResult,
                         bucket_sizes)
 from .service import BACKENDS, FineTuneService, ProgramFamily
@@ -36,18 +40,25 @@ __all__ = [
     "BatchScheduler",
     "CacheEntry",
     "CacheStats",
+    "CallbackGauge",
     "Counter",
     "FineTuneService",
     "Gauge",
+    "GatewayError",
+    "GatewayServer",
     "Histogram",
     "MetricsRegistry",
     "ProcessPoolEngine",
     "ProgramCache",
     "ProgramFamily",
+    "RateLimited",
+    "RateLimiter",
+    "ServeClient",
     "SessionManager",
     "StepRequest",
     "StepResult",
     "TenantSession",
+    "TokenBucket",
     "bucket_sizes",
     "key_document",
     "program_key",

@@ -1,0 +1,207 @@
+"""Blocking Python client for the :mod:`repro.serve.gateway` HTTP API.
+
+Stdlib-only (``http.client``), one persistent keep-alive connection per
+calling thread — N client threads drive N concurrent handler threads on
+the gateway, which is exactly the concurrency model the benchmark and CI
+drive need.
+
+Backpressure is surfaced as typed exceptions: a ``429`` raises
+:class:`RateLimited` carrying the server's ``Retry-After`` hint, and
+:meth:`ServeClient.step` can optionally honour it (``wait=True``) by
+sleeping and retrying until ``max_wait`` is spent — the well-behaved
+client the gateway's shedding is designed for. Every other HTTP error
+raises :class:`GatewayError` with the status and the server's message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from typing import Any
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from ..errors import ServeError
+
+
+class GatewayError(ServeError):
+    """An HTTP-level failure reported by the gateway."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None) -> None:
+        super().__init__(f"HTTP {status}: {message}" if status
+                         else message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+class RateLimited(GatewayError):
+    """The gateway shed this request (rate limit or queue watermark)."""
+
+
+class ServeClient:
+    """Blocking client over one gateway; thread-safe via per-thread
+    connections."""
+
+    def __init__(self, url_or_host: str, port: int | None = None, *,
+                 timeout: float = 120.0) -> None:
+        if "://" in url_or_host:
+            parsed = urlsplit(url_or_host)
+            self.host = parsed.hostname or "127.0.0.1"
+            self.port = parsed.port or 80
+        else:
+            if port is None:
+                raise ServeError(
+                    "ServeClient needs a port (or a full http:// URL)")
+            self.host = url_or_host
+            self.port = port
+        self.timeout = timeout
+        self._local = threading.local()
+        self._conns_lock = threading.Lock()
+        self._conns: list[http.client.HTTPConnection] = []
+
+    # -- transport -----------------------------------------------------------
+
+    def _conn(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+            # Headers and body go out in separate writes; without
+            # TCP_NODELAY, Nagle holds the body until the header ACK
+            # (~40ms of delayed-ACK stall added to every step).
+            conn.connect()
+            conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._local.conn = conn
+            with self._conns_lock:
+                self._conns.append(conn)
+        return conn
+
+    def _drop_conn(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+            with self._conns_lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict[str, Any]:
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json"} if body else {}
+        response = data = None
+        for attempt in (0, 1):
+            try:
+                conn = self._conn()
+                conn.request(method, path, body, headers)
+            except (http.client.RemoteDisconnected, ConnectionError,
+                    BrokenPipeError) as exc:
+                # A stale keep-alive connection (server idled it out, or
+                # restarted) fails while *sending*; the server never saw
+                # the request, so one reconnect-and-retry is safe.
+                self._drop_conn()
+                if attempt:
+                    raise GatewayError(
+                        0, f"connection to {self.host}:{self.port} lost: "
+                           f"{exc}") from exc
+                continue
+            try:
+                response = conn.getresponse()
+                data = response.read()
+            except (http.client.HTTPException, ConnectionError,
+                    OSError) as exc:
+                # The request reached the server but the response was
+                # lost. Never retried: re-sending a non-idempotent step
+                # here would silently apply the same update twice.
+                self._drop_conn()
+                raise GatewayError(
+                    0, f"connection lost awaiting the response ({exc}); "
+                       f"the request may still have executed") from exc
+            break
+        parsed: dict[str, Any] = {}
+        if data:
+            try:
+                parsed = json.loads(data)
+            except json.JSONDecodeError as exc:
+                raise GatewayError(
+                    response.status,
+                    f"non-JSON response: {data[:200]!r}") from exc
+        if response.status >= 400:
+            message = parsed.get("error", response.reason)
+            retry_after = parsed.get("retry_after")
+            if retry_after is None:
+                header = response.headers.get("Retry-After")
+                retry_after = float(header) if header else None
+            if response.status == 429:
+                raise RateLimited(response.status, message, retry_after)
+            raise GatewayError(response.status, message, retry_after)
+        return parsed
+
+    # -- API -----------------------------------------------------------------
+
+    def create_session(self, model: str, *, scheme: str = "paper",
+                       tenant: str | None = None,
+                       model_kwargs: dict | None = None) -> dict:
+        """Open a tenant session; returns the session document (id,
+        input/label shapes and dtypes, num_classes)."""
+        payload: dict[str, Any] = {"model": model, "scheme": scheme}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        if model_kwargs:
+            payload["model_kwargs"] = model_kwargs
+        return self._request("POST", "/v1/sessions", payload)
+
+    def step(self, session_id: str, x, y, *, wait: bool = True,
+             max_wait: float = 30.0) -> dict:
+        """One training step; blocks until the result (or a refusal).
+
+        With ``wait=True`` a 429 is retried after the server's
+        ``Retry-After`` hint until ``max_wait`` seconds have been spent,
+        then the last :class:`RateLimited` propagates. ``wait=False``
+        raises immediately — benchmark loops measuring shed rate use it.
+        """
+        payload = {"x": np.asarray(x).tolist(), "y": np.asarray(y).tolist()}
+        path = f"/v1/sessions/{session_id}/step"
+        deadline = time.monotonic() + max_wait
+        while True:
+            try:
+                return self._request("POST", path, payload)
+            except RateLimited as exc:
+                if not wait:
+                    raise
+                pause = exc.retry_after if exc.retry_after else 0.05
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise
+                time.sleep(min(pause, remaining))
+
+    def session(self, session_id: str) -> dict:
+        return self._request("GET", f"/v1/sessions/{session_id}")
+
+    def close_session(self, session_id: str) -> dict:
+        """Retire the session; returns its final summary."""
+        return self._request("DELETE", f"/v1/sessions/{session_id}")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/v1/metrics")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/v1/healthz")
+
+    def close(self) -> None:
+        with self._conns_lock:
+            conns, self._conns = list(self._conns), []
+        for conn in conns:
+            conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

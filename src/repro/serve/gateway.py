@@ -1,0 +1,393 @@
+"""HTTP front door for :class:`~repro.serve.service.FineTuneService`.
+
+Stdlib-only (``http.server`` + ``json``): a threaded HTTP/1.1 server in
+the style of model-serving front ends (Clipper et al.) where admission
+control is first-class. Each connection gets a handler thread that blocks
+on the submitted step's future — the concurrency model of the service
+(scheduler coalesces, worker pool executes) is unchanged; the gateway
+only adds ingestion, shedding, and JSON.
+
+Protocol (all bodies JSON)::
+
+    POST   /v1/sessions            {"model", "scheme"?, "tenant"?,
+                                    "model_kwargs"?}        -> 201 session
+    POST   /v1/sessions/{id}/step  {"x": [...], "y": ...}   -> 200 result
+    GET    /v1/sessions/{id}                                -> 200 status
+    DELETE /v1/sessions/{id}                                -> 200 summary
+    GET    /v1/metrics                                      -> 200 stats
+    GET    /v1/healthz                                      -> 200 health
+
+Backpressure — enforced *before* enqueue, in order:
+
+1. **per-tenant token bucket** (:mod:`repro.serve.ratelimit`): a tenant
+   past its rate gets ``429`` with ``Retry-After`` set to when its next
+   token matures;
+2. **global queue watermark**: when the scheduler's *live* queue depth
+   (the ``serve.queue_depth`` callback gauge's source) is at or past
+   ``max_queue_depth``, the request is shed with ``429`` and a
+   ``Retry-After`` derived from recent request latency. The queue is
+   therefore bounded by the watermark plus in-flight handler threads —
+   load never accumulates without bound.
+
+Shutdown (:meth:`GatewayServer.close`) is ordered so no future is ever
+left hanging: stop accepting connections, settle every in-flight future
+(drain with a bound, then cancel stragglers), then release sockets.
+Handlers blocked on a cancelled future answer ``503``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from concurrent.futures import CancelledError
+from concurrent.futures import TimeoutError as FutureTimeout
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..errors import ReproError, ServeError
+from .ratelimit import RateLimiter
+from .service import FineTuneService
+from .sessions import TenantSession
+
+
+def _json_safe(value):
+    """NaN/Inf-free copy of ``value`` (strict JSON has no NaN literal)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    #: injected by GatewayServer after construction
+    gateway: "GatewayServer"
+
+    def handle_error(self, request, client_address):
+        # Clients dropping a connection mid-response (benchmark churn,
+        # Ctrl-C'd curl) is routine, not a server error worth a traceback.
+        import sys
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ConnectionError, BrokenPipeError, OSError)):
+            return
+        super().handle_error(request, client_address)
+
+
+class GatewayServer:
+    """Serve a :class:`FineTuneService` over HTTP with admission control."""
+
+    def __init__(self, service: FineTuneService, host: str = "127.0.0.1",
+                 port: int = 0, *, max_queue_depth: int = 64,
+                 rate_limit: float | None = None,
+                 rate_burst: float | None = None,
+                 step_timeout: float = 120.0) -> None:
+        if max_queue_depth < 0:
+            raise ServeError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}")
+        self.service = service
+        self.max_queue_depth = max_queue_depth
+        self.limiter = RateLimiter(rate_limit, burst=rate_burst)
+        self.step_timeout = step_timeout
+
+        metrics = service.metrics
+        self._requests_total = metrics.counter(
+            "serve.http_requests_total", "HTTP requests received")
+        self._shed_total = metrics.counter(
+            "serve.http_shed_total",
+            "step requests shed at the queue-depth watermark")
+        self._limited_total = metrics.counter(
+            "serve.http_rate_limited_total",
+            "step requests refused by per-tenant rate limits")
+        self._step_latency = metrics.histogram(
+            "serve.http_step_ms", "gateway-side step latency (admitted)")
+        # Sampled for Retry-After hints on shed responses.
+        self._request_latency = metrics.histogram(
+            "serve.request_latency_ms", "submit-to-result latency")
+
+        self._httpd = _GatewayHTTPServer((host, port), _Handler)
+        self._httpd.gateway = self
+        self.host = self._httpd.server_address[0]
+        self.port = int(self._httpd.server_address[1])
+        self._thread: threading.Thread | None = None
+        self._close_lock = threading.Lock()
+        self._closed = False
+        self._drained = True
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "GatewayServer":
+        """Begin serving on a background thread; returns self."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve-http",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def retry_after_hint(self, depth: int) -> float:
+        """Seconds a shed client should back off: roughly how long the
+        current backlog takes to clear at recent request latency."""
+        p50_ms = self._request_latency.quantile(0.5) or 50.0
+        return min(5.0, max(0.1, depth * p50_ms / 1000.0))
+
+    def close(self, drain_timeout: float | None = None) -> bool:
+        """Ordered shutdown; True when the queue drained fully.
+
+        1. stop accepting connections (in-flight handlers keep running);
+        2. settle every outstanding future via
+           :meth:`FineTuneService.shutdown` — drained, failed, or
+           cancelled, never hung; blocked handlers answer their clients;
+        3. release the listening socket.
+        """
+        with self._close_lock:
+            if self._closed:
+                return self._drained
+            self._closed = True
+        if self._thread is not None:
+            # shutdown() blocks on a flag only serve_forever() sets;
+            # calling it on a never-started server would hang forever.
+            self._httpd.shutdown()
+        self._drained = self.service.shutdown(drain_timeout)
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        return self._drained
+
+    def __enter__(self) -> "GatewayServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve"
+    # Small request/response pairs on a keep-alive connection hit the
+    # Nagle + delayed-ACK interaction (a fixed ~40ms stall per exchange)
+    # unless writes are batched and TCP_NODELAY is set.
+    disable_nagle_algorithm = True
+    wbufsize = -1
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging would swamp the benchmark loops
+
+    @property
+    def gateway(self) -> GatewayServer:
+        return self.server.gateway
+
+    def _read_body(self) -> bytes:
+        """Drain the request body off the wire.
+
+        The do_* dispatchers call this exactly once before routing — even
+        for refusals (404, shed) and bodiless verbs: with HTTP/1.1
+        keep-alive an unread body would be parsed as the next request
+        line and poison the connection.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    @staticmethod
+    def _parse_json(raw: bytes) -> dict:
+        if not raw:
+            return {}
+        payload = json.loads(raw)
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _send_json(self, status: int, payload: dict,
+                   headers: dict[str, str] | None = None) -> None:
+        body = json.dumps(_json_safe(payload)).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- routing -------------------------------------------------------------
+
+    def do_GET(self) -> None:
+        self.gateway._requests_total.inc()
+        self._read_body()  # drain even on bodiless verbs (see _read_body)
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["v1", "healthz"]:
+            return self._healthz()
+        if parts == ["v1", "metrics"]:
+            return self._metrics()
+        if len(parts) == 3 and parts[:2] == ["v1", "sessions"]:
+            return self._session_status(parts[2])
+        self._send_json(404, {"error": f"no route for GET {self.path}"})
+
+    def do_POST(self) -> None:
+        self.gateway._requests_total.inc()
+        # The body comes off the wire exactly once, before routing, so
+        # every refusal path (404 route miss, shed, unknown session)
+        # leaves the keep-alive stream clean.
+        raw = self._read_body()
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["v1", "sessions"]:
+            return self._create_session(raw)
+        if len(parts) == 4 and parts[:2] == ["v1", "sessions"] \
+                and parts[3] == "step":
+            return self._step(parts[2], raw)
+        self._send_json(404, {"error": f"no route for POST {self.path}"})
+
+    def do_DELETE(self) -> None:
+        self.gateway._requests_total.inc()
+        self._read_body()
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) == 3 and parts[:2] == ["v1", "sessions"]:
+            return self._close_session(parts[2])
+        self._send_json(404, {"error": f"no route for DELETE {self.path}"})
+
+    # -- endpoints -----------------------------------------------------------
+
+    def _healthz(self) -> None:
+        gw = self.gateway
+        closing = gw.service.closed
+        self._send_json(503 if closing else 200, {
+            "status": "closing" if closing else "ok",
+            "queue_depth": gw.service.scheduler.queue_depth(),
+            "max_queue_depth": gw.max_queue_depth,
+            "sessions": len(gw.service.sessions),
+        })
+
+    def _metrics(self) -> None:
+        self._send_json(200, self.gateway.service.stats())
+
+    def _create_session(self, raw: bytes) -> None:
+        gw = self.gateway
+        try:
+            payload = self._parse_json(raw)
+            model = payload["model"]
+            if not isinstance(model, str):
+                raise ValueError(
+                    "'model' must be a registry key string over HTTP")
+            session = gw.service.create_session(
+                model,
+                scheme=payload.get("scheme", "paper"),
+                tenant=payload.get("tenant"),
+                model_kwargs=payload.get("model_kwargs"),
+            )
+        except ServeError as exc:
+            status = 503 if "closed" in str(exc) else 400
+            return self._send_json(status, {"error": str(exc)})
+        except (ReproError, KeyError, ValueError, TypeError) as exc:
+            # unknown model, bad kwargs, malformed body: the client's fault
+            return self._send_json(400, {"error": f"bad request: {exc}"})
+        family = session.family
+        self._send_json(201, {
+            "session_id": session.id,
+            "tenant": session.tenant,
+            "model": family.model_id,
+            "input_shape": list(family.example_shape),
+            "input_dtype": np.dtype(family.example_dtype).name,
+            "label_shape": list(family.label_shape),
+            "label_dtype": np.dtype(family.label_dtype).name,
+            "num_classes": family.num_classes,
+        })
+
+    def _session_status(self, session_id: str) -> None:
+        try:
+            session = self.gateway.service.sessions.get(session_id)
+        except ServeError as exc:
+            return self._send_json(404, {"error": str(exc)})
+        self._send_json(200, self._summary(session))
+
+    def _close_session(self, session_id: str) -> None:
+        gw = self.gateway
+        try:
+            session = gw.service.sessions.get(session_id)
+            summary = self._summary(session)
+            gw.service.close_session(session_id)
+        except ServeError as exc:
+            status = 404 if "unknown session" in str(exc) else 409
+            return self._send_json(status, {"error": str(exc)})
+        self._send_json(200, summary)
+
+    def _summary(self, session: TenantSession) -> dict:
+        return {
+            "session_id": session.id,
+            "tenant": session.tenant,
+            "steps": session.steps,
+            "examples": session.examples,
+            "last_loss": session.last_loss,
+        }
+
+    def _step(self, session_id: str, raw: bytes) -> None:
+        gw = self.gateway
+        began = time.perf_counter()
+        try:
+            session = gw.service.sessions.get(session_id)
+        except ServeError as exc:
+            return self._send_json(404, {"error": str(exc)})
+
+        # Admission control before the request touches the scheduler:
+        # shed load costs the service one body read and nothing else.
+        retry = gw.limiter.try_acquire(session.tenant)
+        if retry > 0.0:
+            gw._limited_total.inc()
+            return self._send_json(
+                429,
+                {"error": f"tenant {session.tenant!r} is over its rate "
+                          f"limit", "retry_after": retry},
+                headers={"Retry-After": f"{retry:.3f}"})
+        depth = gw.service.scheduler.queue_depth()
+        if depth >= gw.max_queue_depth:
+            gw._shed_total.inc()
+            retry = gw.retry_after_hint(depth)
+            return self._send_json(
+                429,
+                {"error": f"queue depth {depth} at watermark "
+                          f"{gw.max_queue_depth}; shedding load",
+                 "queue_depth": depth, "retry_after": retry},
+                headers={"Retry-After": f"{retry:.3f}"})
+
+        try:
+            payload = self._parse_json(raw)
+            family = session.family
+            x = np.asarray(payload["x"], dtype=family.example_dtype)
+            y = np.asarray(payload["y"], dtype=family.label_dtype)
+        except (KeyError, ValueError, TypeError) as exc:
+            return self._send_json(400, {"error": f"bad step body: {exc}"})
+        try:
+            future = gw.service.submit(session_id, x, y)
+        except ServeError as exc:
+            status = 503 if "closed" in str(exc) else 400
+            return self._send_json(status, {"error": str(exc)})
+
+        try:
+            result = future.result(timeout=gw.step_timeout)
+        except CancelledError:
+            return self._send_json(
+                503, {"error": "step cancelled: service is shutting down"})
+        except FutureTimeout:
+            return self._send_json(
+                504, {"error": f"step did not complete within "
+                               f"{gw.step_timeout}s"})
+        except ServeError as exc:
+            return self._send_json(500, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - surface, don't hang
+            return self._send_json(
+                500, {"error": f"{type(exc).__name__}: {exc}"})
+        gw._step_latency.observe((time.perf_counter() - began) * 1e3)
+        self._send_json(200, {
+            "session_id": result.session_id,
+            "loss": result.loss,
+            "step": result.step,
+            "batch_size": result.batch_size,
+            "program_key": result.program_key,
+        })

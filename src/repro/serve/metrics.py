@@ -67,6 +67,25 @@ class Gauge:
         return self._value
 
 
+class CallbackGauge:
+    """Gauge whose value is read from a callback at *sample* time.
+
+    For signals that must never go stale — backpressure decisions read
+    ``serve.queue_depth`` between renders, so a set-on-render gauge would
+    lag exactly when it matters. The callback must be cheap and
+    thread-safe (e.g. a lock-guarded ``len``/``sum``).
+    """
+
+    def __init__(self, name: str, fn, help: str = "") -> None:
+        self.name = name
+        self.fn = fn
+        self.help = help
+
+    @property
+    def value(self) -> float:
+        return float(self.fn())
+
+
 class Histogram:
     """Quantile sketch over a ring buffer of recent observations."""
 
@@ -120,7 +139,8 @@ class MetricsRegistry:
     """Named metric store shared by the cache, scheduler, and sessions."""
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[
+            str, Counter | Gauge | CallbackGauge | Histogram] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str, help: str = "") -> Counter:
@@ -131,6 +151,28 @@ class MetricsRegistry:
 
     def histogram(self, name: str, help: str = "") -> Histogram:
         return self._get_or_create(name, Histogram, help)
+
+    def callback_gauge(self, name: str, fn,
+                       help: str = "") -> CallbackGauge:
+        """Register a live gauge backed by ``fn`` (re-registering rebinds).
+
+        Rebinding matters when a registry outlives the object it samples
+        (e.g. a shared registry across service restarts): the gauge must
+        follow the *live* scheduler, not a closed one.
+        """
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = CallbackGauge(name, fn, help)
+                self._metrics[name] = metric
+            elif isinstance(metric, CallbackGauge):
+                metric.fn = fn
+            else:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not CallbackGauge"
+                )
+            return metric
 
     def _get_or_create(self, name: str, kind, help: str):
         with self._lock:

@@ -1,0 +1,105 @@
+"""Per-tenant token-bucket rate limiting for the serve front door.
+
+Admission control at the gateway has two layers: a *global* watermark on
+the scheduler's live queue depth (protects the service as a whole) and
+these *per-tenant* token buckets (protect tenants from each other — one
+chatty client must not be able to fill the queue and starve the rest).
+Both are enforced **before** enqueue, so a shed request costs the service
+nothing but the JSON parse.
+
+Classic token bucket: a tenant accrues ``rate`` tokens per second up to a
+``burst`` cap, and each admitted request spends one. A denied request
+reports how long until the next token matures — the gateway forwards that
+as ``Retry-After`` so well-behaved clients back off by exactly the right
+amount instead of hammering.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..errors import ServeError
+
+#: buckets idle longer than this are pruned (a full bucket holds no state
+#: worth keeping — recreating it is equivalent)
+IDLE_PRUNE_SECONDS = 300.0
+
+
+class TokenBucket:
+    """One tenant's bucket: ``rate`` tokens/s, capacity ``burst``."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst  # a fresh tenant may spend its full burst
+        self.updated = now
+
+    def try_acquire(self, now: float) -> float:
+        """Spend one token; returns 0.0 on success, else seconds until
+        one matures (the ``Retry-After`` hint)."""
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Thread-safe map of per-key token buckets.
+
+    ``rate=None`` disables limiting entirely (every acquire succeeds) so
+    callers never need to special-case an unconfigured gateway. ``burst``
+    defaults to one second's worth of tokens, floored at 1 so a rate
+    below 1/s still admits single requests.
+    """
+
+    def __init__(self, rate: float | None, burst: float | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate is not None and rate <= 0:
+            raise ServeError(f"rate limit must be > 0 req/s, got {rate}")
+        if burst is not None and burst < 1:
+            raise ServeError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = float(burst) if burst is not None \
+            else (max(1.0, rate) if rate is not None else 1.0)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def try_acquire(self, key: str) -> float:
+        """Admit one request for ``key``; 0.0 = admitted, otherwise the
+        retry-after hint in seconds."""
+        if self.rate is None:
+            return 0.0
+        with self._lock:
+            now = self._clock()
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                self._prune(now)
+                bucket = self._buckets[key] = TokenBucket(
+                    self.rate, self.burst, now)
+            return bucket.try_acquire(now)
+
+    def _prune(self, now: float) -> None:
+        """Drop long-idle buckets (callers hold ``self._lock``).
+
+        Runs only when a new key arrives, so steady-state admission never
+        pays a scan; the map stays bounded by the *active* tenant set
+        rather than every tenant ever seen.
+        """
+        if len(self._buckets) < 1024:
+            return
+        idle = [key for key, bucket in self._buckets.items()
+                if now - bucket.updated > IDLE_PRUNE_SECONDS]
+        for key in idle:
+            del self._buckets[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buckets)

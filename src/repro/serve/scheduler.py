@@ -94,6 +94,12 @@ class BatchScheduler:
             "serve.request_latency_ms", "submit-to-result latency")
         self._batches_total = self._metrics.counter(
             "serve.batches_total", "micro-batches executed")
+        # Live, not set-on-render: the gateway's admission control and
+        # /v1/metrics read this between renders, so it samples the real
+        # queues on every read instead of whatever the last render saw.
+        self._metrics.callback_gauge(
+            "serve.queue_depth", self.queue_depth,
+            "requests queued behind executing batches (live)")
 
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
@@ -102,6 +108,7 @@ class BatchScheduler:
         self._ready: deque[str] = deque()   # sessions awaiting dispatch
         self._sessions: dict[str, TenantSession] = {}
         self._inflight: set[str] = set()
+        self._closing = False
         self._closed = False
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve")
@@ -117,7 +124,7 @@ class BatchScheduler:
         """Enqueue one single-example step; returns a Future[StepResult]."""
         request = StepRequest(session=session, x=x, y=y)
         with self._work:
-            if self._closed:
+            if self._closing:
                 raise ServeError("scheduler is closed")
             queue = self._queues.get(session.id)
             if queue is None:
@@ -157,13 +164,28 @@ class BatchScheduler:
         with self._work:
             return sum(len(queue) for queue in self._queues.values())
 
+    @property
+    def closing(self) -> bool:
+        """True once :meth:`close` has begun; submits are being refused."""
+        return self._closing
+
     def close(self, wait: bool = True) -> None:
         """Stop accepting work; optionally wait for queued work to finish.
+
+        Close-vs-submit ordering is deterministic: the *first* thing close
+        does is flip the scheduler into closing state, so any ``submit``
+        that races it either happened-before (its future is drained or
+        cancelled like every other queued request, never silently lost) or
+        happened-after (it raises ``ServeError``). Without this, a submit
+        landing between ``drain()`` returning and the closed flag being
+        set would be accepted and then cancelled despite ``wait=True``.
 
         With ``wait=False``, still-queued requests are cancelled (their
         futures report ``CancelledError``) instead of hanging forever;
         batches already on a worker run to completion in the background.
         """
+        with self._work:
+            self._closing = True
         if wait:
             self.drain()
         with self._work:

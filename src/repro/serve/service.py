@@ -182,7 +182,11 @@ class FineTuneService:
             max_sessions=max_sessions, ttl=session_ttl,
             busy=lambda session_id: self.scheduler.pending(session_id),
             on_evict=lambda session: self._sessions_evicted.inc())
-        self.engine = ProcessPoolEngine(workers=workers) \
+        self._worker_restarts = self.metrics.counter(
+            "serve.worker_restarts",
+            "process pools rebuilt after a worker crash")
+        self.engine = ProcessPoolEngine(
+            workers=workers, on_restart=self._worker_restarts.inc) \
             if backend == "process" else None
         self.scheduler = BatchScheduler(
             self._run_batch, max_batch=max_batch, workers=workers,
@@ -202,8 +206,13 @@ class FineTuneService:
             "fresh output buffers per step (0-ish once arenas are warm)")
         self._compile_latency = self.metrics.histogram(
             "serve.compile_ms", "compile wall time per cache miss")
-        self._live_sessions = self.metrics.gauge(
-            "serve.sessions_live", "open tenant sessions")
+        # Callback gauges so these can never go stale: TTL sweeps retire
+        # sessions without passing through create/close, and the gateway
+        # reads queue depth (registered by the scheduler, which owns the
+        # number) between metric renders for admission control.
+        self.metrics.callback_gauge(
+            "serve.sessions_live", lambda: float(len(self.sessions)),
+            "open tenant sessions (live)")
 
     # -- session lifecycle ---------------------------------------------------
 
@@ -233,10 +242,7 @@ class FineTuneService:
                                   options=options, loss=loss, logits=logits,
                                   model_kwargs=model_kwargs,
                                   model_id=model_id)
-        session = self.sessions.create(family, tenant=tenant,
-                                       weights=weights)
-        self._live_sessions.set(len(self.sessions))
-        return session
+        return self.sessions.create(family, tenant=tenant, weights=weights)
 
     def close_session(self, session_id: str) -> dict[str, np.ndarray]:
         """Retire a session; returns its final mutable state snapshot.
@@ -260,7 +266,6 @@ class FineTuneService:
             )
         snapshot = session.snapshot()
         self.sessions.close(session_id)
-        self._live_sessions.set(len(self.sessions))
         return snapshot
 
     def snapshot(self, session_id: str) -> dict[str, np.ndarray]:
@@ -349,11 +354,9 @@ class FineTuneService:
         self.metrics.gauge(
             "serve.cache.compile_seconds_total").set(
                 stats.compile_seconds_total)
-        self.metrics.gauge(
-            "serve.queue_depth",
-            "requests queued behind executing batches").set(
-                self.scheduler.queue_depth())
-        self._live_sessions.set(len(self.sessions))
+        # serve.queue_depth and serve.sessions_live are callback gauges
+        # registered at construction: they sample live state on every
+        # read and need no refresh here.
         per_program: dict[str, float] = {}
         for entry in self.cache.entries():
             short = entry.key[:12]
@@ -487,20 +490,46 @@ class FineTuneService:
 
     # -- lifecycle -----------------------------------------------------------
 
+    @property
+    def closed(self) -> bool:
+        """True once close/shutdown has begun; submits are refused."""
+        return self._closed
+
     def _check_open(self) -> None:
         if self._closed:
             raise ServeError("service is closed")
 
     def close(self, wait: bool = True) -> None:
+        self.shutdown(drain_timeout=None if wait else 0.0)
+
+    def shutdown(self, drain_timeout: float | None = None) -> bool:
+        """Close with a bound on how long queued work may hold us up.
+
+        ``drain_timeout=None`` waits for every queued request (exactly
+        ``close(wait=True)``); a finite timeout drains for at most that
+        long and then cancels whatever is still queued. Either way every
+        outstanding future is *settled* — resolved, failed, or cancelled,
+        never left hanging — which is what a front door needs on Ctrl-C.
+        Returns True when the queue drained fully.
+        """
         if self._closed:
-            return
+            return True
+        # Refuse new service-level submits first so the drain below races
+        # only work that was already accepted.
         self._closed = True
-        self.scheduler.close(wait=wait)
+        if drain_timeout is None:
+            self.scheduler.close(wait=True)
+            drained = True
+        else:
+            drained = drain_timeout > 0 \
+                and self.scheduler.drain(timeout=drain_timeout)
+            self.scheduler.close(wait=drained)
         if self.engine is not None:
-            self.engine.shutdown(wait=wait)
+            self.engine.shutdown(wait=drained)
         if self._owned_cache_dir is not None:
             self._owned_cache_dir.cleanup()
             self._owned_cache_dir = None
+        return drained
 
     def __enter__(self) -> "FineTuneService":
         return self

@@ -28,8 +28,10 @@ forked, so they genuinely demonstrate the compile-once/run-anywhere split.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -43,15 +45,33 @@ class ProcessPoolEngine:
     ``run_step`` blocks the calling scheduler thread until the worker
     finishes — the scheduler's per-session FIFO and fairness invariants
     carry over unchanged; only the compute escapes the GIL.
+
+    A crashed worker (OOM-killed, segfaulted numpy, ``os._exit``) marks
+    the whole ``ProcessPoolExecutor`` broken — without intervention every
+    later step on every session would fail with ``BrokenProcessPool``
+    forever. ``run_step`` converts that into one failed batch: the
+    affected call raises a clear :class:`ServeError`, the pool is rebuilt
+    exactly once (``restarts`` counts it, ``on_restart`` publishes it),
+    and the next step binds artifacts into fresh workers and proceeds.
     """
 
-    def __init__(self, workers: int, mp_context: str = "spawn") -> None:
+    def __init__(self, workers: int, mp_context: str = "spawn",
+                 on_restart: Callable[[], None] | None = None) -> None:
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
         self.workers = workers
-        self._pool = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=multiprocessing.get_context(mp_context))
+        self._mp_context = mp_context
+        self._on_restart = on_restart
+        self._lock = threading.Lock()
+        self._shutdown = False
+        #: lifetime count of pool rebuilds after a worker crash
+        self.restarts = 0
+        self._pool = self._make_pool()
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context(self._mp_context))
 
     def run_step(self, artifact_dir, key: str,
                  state: dict[str, np.ndarray],
@@ -63,13 +83,51 @@ class ProcessPoolEngine:
             raise ServeError(
                 f"program {key[:12]}… has no persisted artifact; the "
                 f"process backend needs a writable cache_dir")
-        return self._pool.submit(
-            stepworker.run_step, str(artifact_dir), key, state, feeds,
-            tuple(fetch)).result()
+        pool = self._pool
+        try:
+            return pool.submit(
+                stepworker.run_step, str(artifact_dir), key, state, feeds,
+                tuple(fetch)).result()
+        except BrokenProcessPool as exc:
+            self._rebuild(pool)
+            raise ServeError(
+                f"worker process died while executing program "
+                f"{key[:12]}…; this batch failed, the worker pool was "
+                f"rebuilt — retry the step"
+            ) from exc
+
+    def _rebuild(self, broken: ProcessPoolExecutor) -> None:
+        """Replace ``broken`` with a fresh pool (idempotent per pool).
+
+        Several scheduler threads can observe the same broken pool
+        concurrently; the identity check makes exactly one of them swap
+        in a replacement (and count the restart) while the rest reuse it.
+        """
+        with self._lock:
+            if self._pool is broken and not self._shutdown:
+                self._pool = self._make_pool()
+                self.restarts += 1
+                if self._on_restart is not None:
+                    self._on_restart()
+        broken.shutdown(wait=False)
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live worker processes (monitoring, crash tests)."""
+        return list(self._pool._processes or ())
 
     def probe(self) -> dict:
         """Ask one live worker what it has imported and bound."""
-        return self._pool.submit(stepworker.probe).result()
+        pool = self._pool
+        try:
+            return pool.submit(stepworker.probe).result()
+        except BrokenProcessPool as exc:
+            self._rebuild(pool)
+            raise ServeError(
+                "worker process died during probe; the worker pool was "
+                "rebuilt — retry") from exc
 
     def shutdown(self, wait: bool = True) -> None:
-        self._pool.shutdown(wait=wait)
+        with self._lock:
+            self._shutdown = True
+            pool = self._pool
+        pool.shutdown(wait=wait)

@@ -1,0 +1,419 @@
+"""Tests for the HTTP front door: gateway, client, and rate limiting.
+
+The heavyweight end-to-end path (real registry model over real sockets)
+runs once against a module-scoped gateway; backpressure, rate-limit, and
+shutdown semantics are tested against lightweight MLP-backed gateways
+whose scheduler can be stalled deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (FineTuneService, GatewayError, GatewayServer,
+                         RateLimited, RateLimiter, ServeClient)
+
+from conftest import make_mlp_graph
+
+
+def build_mlp(batch: int):
+    return make_mlp_graph(batch=batch, din=5, dhidden=6, dout=3,
+                          seed=0)[0].graph
+
+
+def wait_until(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition never became true")
+        time.sleep(interval)
+
+
+def mlp_example(rng):
+    return (rng.standard_normal(5).astype(np.float32),
+            int(rng.integers(0, 3)))
+
+
+@contextmanager
+def mlp_gateway(*, workers=1, max_batch=2, max_queue_depth=64,
+                rate_limit=None, rate_burst=None, sessions=1):
+    """A gateway over an MLP-backed service with pre-opened sessions."""
+    service = FineTuneService(max_batch=max_batch, workers=workers)
+    gateway = GatewayServer(service, max_queue_depth=max_queue_depth,
+                            rate_limit=rate_limit, rate_burst=rate_burst)
+    gateway.start()
+    opened = [service.create_session(build_mlp, model_id="mlp",
+                                     scheme="full", tenant=f"tenant-{i}")
+              for i in range(sessions)]
+    client = ServeClient(gateway.url)
+    try:
+        yield service, gateway, client, opened
+    finally:
+        client.close()
+        gateway.close(drain_timeout=10.0)
+
+
+def stall_scheduler(service):
+    """Wrap the scheduler's batch runner behind a release event."""
+    release = threading.Event()
+    original = service.scheduler._run_batch
+
+    def stalled(session, batch):
+        assert release.wait(timeout=30)
+        return original(session, batch)
+
+    service.scheduler._run_batch = stalled
+    return release
+
+
+# ---------------------------------------------------------------------------
+# rate limiter
+# ---------------------------------------------------------------------------
+
+class TestRateLimiter:
+
+    def _limiter(self, rate, burst=None):
+        clock = {"now": 0.0}
+        limiter = RateLimiter(rate, burst=burst,
+                              clock=lambda: clock["now"])
+        return limiter, clock
+
+    def test_disabled_always_admits(self):
+        limiter, _ = self._limiter(None)
+        assert all(limiter.try_acquire("t") == 0.0 for _ in range(100))
+        assert len(limiter) == 0  # no bucket state accrued
+
+    def test_burst_then_refusal_with_retry_hint(self):
+        limiter, _ = self._limiter(2.0, burst=3)
+        assert [limiter.try_acquire("t") for _ in range(3)] == [0.0] * 3
+        retry = limiter.try_acquire("t")
+        assert retry == pytest.approx(0.5)  # 1 token at 2/s
+
+    def test_refill_readmits(self):
+        limiter, clock = self._limiter(2.0, burst=1)
+        assert limiter.try_acquire("t") == 0.0
+        assert limiter.try_acquire("t") > 0.0
+        clock["now"] = 0.6  # > 0.5s -> one token matured
+        assert limiter.try_acquire("t") == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        limiter, clock = self._limiter(10.0, burst=2)
+        clock["now"] = 100.0  # long idle must not bank unbounded credit
+        grants = [limiter.try_acquire("t") for _ in range(3)]
+        assert grants[:2] == [0.0, 0.0] and grants[2] > 0.0
+
+    def test_keys_are_isolated(self):
+        limiter, _ = self._limiter(1.0, burst=1)
+        assert limiter.try_acquire("a") == 0.0
+        assert limiter.try_acquire("a") > 0.0
+        assert limiter.try_acquire("b") == 0.0  # b has its own bucket
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            RateLimiter(0.0)
+        with pytest.raises(ServeError):
+            RateLimiter(1.0, burst=0.5)
+
+
+# ---------------------------------------------------------------------------
+# HTTP protocol over a lightweight service
+# ---------------------------------------------------------------------------
+
+class TestGatewayProtocol:
+
+    def test_step_and_lifecycle_roundtrip(self):
+        rng = np.random.default_rng(0)
+        with mlp_gateway() as (service, gateway, client, (session,)):
+            results = [client.step(session.id, *mlp_example(rng))
+                       for _ in range(3)]
+            assert [r["step"] for r in results] == [1, 2, 3]
+            assert all(np.isfinite(r["loss"]) for r in results)
+
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["sessions"] == 1
+
+            metrics = client.metrics()
+            assert metrics["serve.steps_total"] == 3
+            assert metrics["serve.queue_depth"] == 0
+            assert metrics["serve.http_requests_total"] >= 3
+
+            summary = client.close_session(session.id)
+            assert summary["steps"] == 3
+            with pytest.raises(GatewayError) as excinfo:
+                client.session(session.id)
+            assert excinfo.value.status == 404
+
+    def test_error_statuses(self):
+        with mlp_gateway() as (service, gateway, client, (session,)):
+            with pytest.raises(GatewayError) as excinfo:
+                client.step("sess-9999", np.zeros(5, np.float32), 0)
+            assert excinfo.value.status == 404
+            # wrong payload shape -> service-level validation -> 400
+            with pytest.raises(GatewayError) as excinfo:
+                client.step(session.id, np.zeros(3, np.float32), 0)
+            assert excinfo.value.status == 400
+            # unroutable path -> 404
+            with pytest.raises(GatewayError) as excinfo:
+                client._request("GET", "/v2/nope")
+            assert excinfo.value.status == 404
+            # bad model over HTTP -> 400
+            with pytest.raises(GatewayError) as excinfo:
+                client.create_session("no_such_model")
+            assert excinfo.value.status == 400
+
+    def test_plain_urllib_speaks_the_protocol(self):
+        """The protocol is plain JSON-over-HTTP, not client-specific."""
+        rng = np.random.default_rng(1)
+        with mlp_gateway() as (service, gateway, client, (session,)):
+            x, y = mlp_example(rng)
+            request = urllib.request.Request(
+                f"{gateway.url}/v1/sessions/{session.id}/step",
+                data=json.dumps({"x": x.tolist(), "y": y}).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST")
+            with urllib.request.urlopen(request, timeout=30) as response:
+                body = json.loads(response.read())
+            assert response.status == 200
+            assert np.isfinite(body["loss"])
+
+
+# ---------------------------------------------------------------------------
+# backpressure
+# ---------------------------------------------------------------------------
+
+class TestBackpressure:
+
+    def test_zero_watermark_sheds_everything(self):
+        rng = np.random.default_rng(2)
+        with mlp_gateway(max_queue_depth=0) as (service, gateway, client,
+                                                (session,)):
+            with pytest.raises(RateLimited) as excinfo:
+                client.step(session.id, *mlp_example(rng), wait=False)
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after > 0
+            assert client.metrics()["serve.http_shed_total"] >= 1
+
+    def test_watermark_sheds_under_stalled_scheduler(self):
+        """Queue at the watermark -> 429 + Retry-After; drained -> 200."""
+        rng = np.random.default_rng(3)
+        with mlp_gateway(max_queue_depth=2,
+                         max_batch=1) as (service, gateway, client,
+                                          (session,)):
+            release = stall_scheduler(service)
+            try:
+                # One request occupies the worker; two more fill the queue
+                # to the watermark (all live depth, no render needed).
+                futures = [service.submit(session.id, *mlp_example(rng))
+                           for _ in range(3)]
+                with pytest.raises(RateLimited) as excinfo:
+                    client.step(session.id, *mlp_example(rng), wait=False)
+                assert excinfo.value.retry_after > 0
+            finally:
+                release.set()
+            for future in futures:
+                future.result(timeout=30)
+            # Backlog cleared: the same request is admitted now.
+            result = client.step(session.id, *mlp_example(rng))
+            assert np.isfinite(result["loss"])
+            metrics = client.metrics()
+            assert metrics["serve.http_shed_total"] == 1
+
+    def test_client_wait_retries_through_shed(self):
+        """A wait=True client rides out a transient watermark."""
+        rng = np.random.default_rng(4)
+        with mlp_gateway(max_queue_depth=1,
+                         max_batch=1) as (service, gateway, client,
+                                          (session,)):
+            release = stall_scheduler(service)
+            futures = [service.submit(session.id, *mlp_example(rng))
+                       for _ in range(2)]
+            done = threading.Event()
+            outcome = {}
+
+            def patient_step():
+                outcome["result"] = client.step(
+                    session.id, *mlp_example(rng), wait=True, max_wait=30)
+                done.set()
+
+            thread = threading.Thread(target=patient_step, daemon=True)
+            thread.start()
+            # The client is retrying against a full queue right now.
+            release.set()
+            assert done.wait(timeout=30)
+            thread.join(timeout=5)
+            assert np.isfinite(outcome["result"]["loss"])
+            for future in futures:
+                future.result(timeout=30)
+
+
+# ---------------------------------------------------------------------------
+# per-tenant rate limits
+# ---------------------------------------------------------------------------
+
+class TestRateLimitEnforcement:
+
+    def test_tenants_are_limited_independently(self):
+        rng = np.random.default_rng(5)
+        with mlp_gateway(rate_limit=1.0, rate_burst=1,
+                         sessions=2) as (service, gateway, client, opened):
+            greedy, polite = opened
+            assert np.isfinite(
+                client.step(greedy.id, *mlp_example(rng),
+                            wait=False)["loss"])
+            with pytest.raises(RateLimited) as excinfo:
+                client.step(greedy.id, *mlp_example(rng), wait=False)
+            assert excinfo.value.retry_after > 0
+            # The other tenant's bucket is untouched.
+            assert np.isfinite(
+                client.step(polite.id, *mlp_example(rng),
+                            wait=False)["loss"])
+            assert client.metrics()["serve.http_rate_limited_total"] >= 1
+
+    def test_wait_honours_retry_after(self):
+        rng = np.random.default_rng(6)
+        with mlp_gateway(rate_limit=5.0, rate_burst=1) as (
+                service, gateway, client, (session,)):
+            first = client.step(session.id, *mlp_example(rng))
+            # Burst spent: the next step must wait ~0.2s for a token, and
+            # wait=True absorbs that instead of surfacing the 429.
+            second = client.step(session.id, *mlp_example(rng),
+                                 wait=True, max_wait=10)
+            assert second["step"] == first["step"] + 1
+
+
+# ---------------------------------------------------------------------------
+# shutdown semantics
+# ---------------------------------------------------------------------------
+
+class TestShutdown:
+
+    def test_close_settles_every_future_and_refuses_new_work(self):
+        rng = np.random.default_rng(7)
+        service = FineTuneService(max_batch=1, workers=1)
+        gateway = GatewayServer(service, max_queue_depth=64).start()
+        session = service.create_session(build_mlp, model_id="mlp",
+                                         scheme="full")
+        client = ServeClient(gateway.url)
+        release = stall_scheduler(service)
+        outcomes: list[object] = []
+
+        def blocked_step():
+            try:
+                outcomes.append(client.step(session.id, *mlp_example(rng),
+                                            wait=False))
+            except GatewayError as exc:
+                outcomes.append(exc)
+
+        threads = [threading.Thread(target=blocked_step, daemon=True)
+                   for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        wait_until(lambda: service.scheduler.queue_depth() >= 2)
+
+        try:
+            # Bounded shutdown against a stalled worker: drain times out,
+            # queued futures are cancelled (503 to their clients), nothing
+            # hangs.
+            drained = gateway.close(drain_timeout=0.2)
+            assert not drained
+        finally:
+            release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive(), "a handler left a client hanging"
+        assert len(outcomes) == 3
+        statuses = [o.status if isinstance(o, GatewayError) else 200
+                    for o in outcomes]
+        # The in-flight batch finishes in the background (200); queued
+        # requests were cancelled (503). Nothing else is acceptable.
+        assert statuses.count(503) >= 1
+        assert set(statuses) <= {200, 503}
+
+        # The front door is genuinely down: new connections are refused
+        # and service-level submits raise.
+        with pytest.raises(GatewayError):
+            client.healthz()
+        with pytest.raises(ServeError):
+            service.submit(session.id, *map(np.asarray, mlp_example(rng)))
+        client.close()
+
+    def test_drained_close_resolves_everything(self):
+        rng = np.random.default_rng(8)
+        with mlp_gateway() as (service, gateway, client, (session,)):
+            results = [client.step(session.id, *mlp_example(rng))
+                       for _ in range(2)]
+            assert all(np.isfinite(r["loss"]) for r in results)
+        # context manager closed with no queued work -> full drain
+        assert gateway.close() is True  # idempotent, reports drained
+
+
+# ---------------------------------------------------------------------------
+# end-to-end over a real registry model (the acceptance-criteria path)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def real_gateway():
+    with FineTuneService(max_batch=2, workers=2) as service:
+        gateway = GatewayServer(service, max_queue_depth=256).start()
+        try:
+            yield gateway
+        finally:
+            gateway.close(drain_timeout=10.0)
+
+
+class TestEndToEnd:
+
+    def test_two_concurrent_tenants_over_http(self, real_gateway):
+        """Two tenants, created and driven entirely over HTTP, train
+        concurrently with per-session FIFO results."""
+        client = ServeClient(real_gateway.url)
+        docs = [client.create_session("mcunet_micro", scheme="paper",
+                                      tenant=f"t{i}") for i in range(2)]
+        assert docs[0]["session_id"] != docs[1]["session_id"]
+        assert docs[0]["num_classes"] >= 2
+
+        steps_per_tenant = 5
+        results: dict[str, list[dict]] = {d["session_id"]: [] for d in docs}
+        errors: list[Exception] = []
+
+        def drive(doc):
+            rng = np.random.default_rng(hash(doc["tenant"]) % 2**32)
+            shape = tuple(doc["input_shape"])
+            try:
+                for _ in range(steps_per_tenant):
+                    x = rng.standard_normal(shape).astype(np.float32)
+                    y = int(rng.integers(0, doc["num_classes"]))
+                    results[doc["session_id"]].append(
+                        client.step(doc["session_id"], x, y))
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=drive, args=(doc,), daemon=True)
+                   for doc in docs]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+            assert not thread.is_alive()
+        assert not errors
+
+        for doc in docs:
+            mine = results[doc["session_id"]]
+            assert len(mine) == steps_per_tenant
+            assert all(r["session_id"] == doc["session_id"] for r in mine)
+            assert [r["step"] for r in mine] == \
+                sorted(r["step"] for r in mine), "per-session FIFO violated"
+            assert all(np.isfinite(r["loss"]) for r in mine)
+
+        metrics = client.metrics()
+        assert metrics["serve.steps_total"] >= 2 * steps_per_tenant
+        client.close()

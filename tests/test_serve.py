@@ -9,6 +9,7 @@ sequential execution.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -555,6 +556,160 @@ class TestScheduler:
             for rs in by_session.values():
                 steps = [r.step for r in rs]
                 assert steps == sorted(steps), "per-session FIFO violated"
+
+
+class TestSchedulerLifecycle:
+    """Failure/shutdown semantics hardened for the HTTP front door."""
+
+    class StubSession:
+        def __init__(self, sid):
+            self.id = sid
+
+    def _stalled_scheduler(self, max_batch=1, workers=1, metrics=None):
+        """A scheduler whose runner blocks until ``release`` is set."""
+        from repro.serve import BatchScheduler, StepResult
+
+        release = threading.Event()
+
+        def runner(session, batch):
+            assert release.wait(timeout=30)
+            return StepResult(session_id=session.id, loss=0.0, step=0,
+                              batch_size=len(batch), program_key="k")
+
+        scheduler = BatchScheduler(runner, max_batch=max_batch,
+                                   workers=workers, metrics=metrics)
+        return scheduler, release
+
+    def test_queue_depth_gauge_is_live(self):
+        """Regression: the gauge must sample live queues on every read,
+        not the depth at the last metrics render."""
+        from repro.serve import MetricsRegistry
+
+        registry = MetricsRegistry()
+        scheduler, release = self._stalled_scheduler(metrics=registry)
+        try:
+            session = self.StubSession("s")
+            first = scheduler.submit(session, np.int64(0), np.int64(0))
+            # Wait for the worker to cut the first request into a batch,
+            # then pile three more behind it.
+            deadline = time.monotonic() + 10
+            while scheduler.queue_depth() > 0:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            futures = [scheduler.submit(session, np.int64(i), np.int64(0))
+                       for i in range(1, 4)]
+            # No render/sync in between: the registry read IS live.
+            assert registry.as_dict()["serve.queue_depth"] == 3
+            release.set()
+            for future in [first, *futures]:
+                future.result(timeout=30)
+            assert registry.as_dict()["serve.queue_depth"] == 0
+        finally:
+            release.set()
+            scheduler.close()
+
+    def test_service_queue_depth_live_without_stats_call(self):
+        """The service-level registry sees depth without stats()/render."""
+        with FineTuneService(max_batch=1, workers=1) as service:
+            assert service.metrics.as_dict()["serve.queue_depth"] == 0
+
+    def test_submit_racing_close_raises_instead_of_silent_cancel(self):
+        """Regression: once close begins, submits fail deterministically.
+
+        Previously a submit landing between ``drain()`` returning and the
+        closed flag being set was accepted and then silently cancelled —
+        with ``wait=True``, a future the caller reasonably expected to
+        resolve."""
+        scheduler, release = self._stalled_scheduler()
+        session = self.StubSession("s")
+        inflight = scheduler.submit(session, np.int64(0), np.int64(0))
+
+        closer_done = threading.Event()
+
+        def closer():
+            scheduler.close(wait=True)
+            closer_done.set()
+
+        thread = threading.Thread(target=closer, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10
+        while not scheduler.closing:
+            assert time.monotonic() < deadline
+            time.sleep(0.002)
+        # close() has begun (it is blocked draining the stalled batch):
+        # a racing submit must be refused, not accepted-then-cancelled.
+        with pytest.raises(ServeError, match="closed"):
+            scheduler.submit(session, np.int64(1), np.int64(0))
+        release.set()
+        assert closer_done.wait(timeout=30)
+        thread.join(timeout=10)
+        # The pre-close future resolved; nothing was left unsettled.
+        assert inflight.result(timeout=10).batch_size == 1
+
+    def test_drain_timeout_expires_then_succeeds(self):
+        scheduler, release = self._stalled_scheduler()
+        try:
+            session = self.StubSession("s")
+            future = scheduler.submit(session, np.int64(0), np.int64(0))
+            began = time.monotonic()
+            assert scheduler.drain(timeout=0.2) is False
+            assert time.monotonic() - began < 5
+            release.set()
+            assert scheduler.drain(timeout=30) is True
+            assert future.result(timeout=10).batch_size == 1
+        finally:
+            release.set()
+            scheduler.close()
+
+    def test_client_cancellation_storm_under_concurrent_load(self):
+        """Cancel a third of a deep backlog across sessions while the
+        worker is stalled: cancelled futures report CancelledError, the
+        rest resolve, and the executed examples are exactly the
+        survivors."""
+        from concurrent.futures import CancelledError
+
+        from repro.serve import BatchScheduler, StepResult
+
+        executed = []
+        started = threading.Event()
+        release = threading.Event()
+
+        def runner(session, batch):
+            if session.id == "blocker":
+                started.set()
+                assert release.wait(timeout=30)
+            executed.extend((session.id, int(r.x)) for r in batch)
+            return StepResult(session_id=session.id, loss=0.0, step=0,
+                              batch_size=len(batch), program_key="k")
+
+        scheduler = BatchScheduler(runner, max_batch=4, workers=1)
+        try:
+            scheduler.submit(self.StubSession("blocker"), np.int64(-1),
+                             np.int64(0))
+            assert started.wait(timeout=10)
+            sessions = [self.StubSession("a"), self.StubSession("b")]
+            futures = {}
+            for i in range(24):
+                session = sessions[i % 2]
+                futures[(session.id, i)] = scheduler.submit(
+                    session, np.int64(i), np.int64(0))
+            cancelled = {key for j, key in enumerate(futures)
+                         if j % 3 == 0 and futures[key].cancel()}
+            assert cancelled  # queued work must be cancellable
+            release.set()
+            for key, future in futures.items():
+                if key in cancelled:
+                    with pytest.raises(CancelledError):
+                        future.result(timeout=30)
+                else:
+                    assert future.result(timeout=30).batch_size >= 1
+            assert scheduler.drain(timeout=30)
+        finally:
+            release.set()
+            scheduler.close()
+        ran = {(sid, i) for sid, i in executed if sid != "blocker"}
+        assert ran == {(sid, i) for sid, i in futures if (sid, i)
+                       not in cancelled}
 
 
 # ---------------------------------------------------------------------------

@@ -221,3 +221,49 @@ class TestProcessBackend:
     def test_unknown_backend_rejected(self):
         with pytest.raises(ServeError, match="unknown serve backend"):
             FineTuneService(backend="carrier-pigeon")
+
+
+class TestWorkerCrashRecovery:
+    """Satellite: a crashed worker fails one batch, not the service.
+
+    Without recovery, ``BrokenProcessPool`` poisons the executor and every
+    later step on every session fails forever.
+    """
+
+    def test_killed_worker_fails_batch_rebuilds_pool(self, tmp_path, rng):
+        import os
+        import signal
+
+        def example(family):
+            x = rng.standard_normal(family.example_shape) \
+                .astype(np.float32)
+            y = np.int64(rng.integers(0, family.num_classes))
+            return x, y
+
+        with FineTuneService(workers=1, max_batch=2, backend="process",
+                             cache_dir=tmp_path) as service:
+            session = service.create_session(
+                lambda batch: make_mlp_graph(batch=batch)[0].graph,
+                scheme="full", model_id="mlp")
+            family = session.family
+            first = service.step(session.id, *example(family))
+            assert np.isfinite(first.loss)
+
+            # SIGKILL the live worker mid-run: the next batch lands on a
+            # dead pool.
+            pids = service.engine.worker_pids()
+            assert pids, "worker pool never spawned"
+            for pid in pids:
+                os.kill(pid, signal.SIGKILL)
+            with pytest.raises(ServeError, match="worker process died"):
+                service.step(session.id, *example(family))
+
+            # The pool was rebuilt exactly once; fresh workers rebind the
+            # persisted artifact and serving resumes for every session.
+            recovered = service.step(session.id, *example(family))
+            assert np.isfinite(recovered.loss)
+            assert recovered.step == first.step + 1  # failed batch: no step
+            assert service.engine.restarts == 1
+            assert service.stats()["serve.worker_restarts"] == 1
+            probe = service.engine.probe()
+            assert not probe["compiler_imported"]
