@@ -1,4 +1,4 @@
-"""Step-latency benchmark: compiled execution plan vs legacy interpreter.
+"""Step-latency benchmark: optimized plan vs unoptimized plan vs interpreter.
 
 Workload: MCUNet sparse fine-tuning (the paper's on-device scenario) — the
 ``mcunet_micro`` variant under the paper's sparse-update scheme with SGD,
@@ -6,11 +6,20 @@ which is exactly what every request in ``repro.serve`` funnels through.
 Small tensors make this overhead-dominated, i.e. the regime the compiled
 plan targets: the kernels themselves are identical between backends.
 
-Reports p50/p95 step latency, steady-state throughput, and steady-state
-fresh-buffer allocations per step, and writes ``BENCH_step_latency.json``
-so CI can track the repo's perf trajectory. Exits non-zero when the
-plan-backed executor fails to beat the interpreter (the CI perf-smoke
-gate).
+Three configurations run side by side: the legacy interpreter, the
+``passes="none"`` plan (zero-interpretation but unoptimized stream), and
+the default optimized plan (fused elementwise chains + precomputed
+frozen-weight Winograd transforms). Reports p50/p95 step latency,
+steady-state throughput, steady-state fresh-buffer allocations per step,
+and the pass pipeline's per-stage instruction counts, then writes
+``BENCH_step_latency.json`` so CI can track the repo's perf trajectory.
+
+CI gates (exit non-zero on violation):
+
+* the plan-backed executor must not lose to the interpreter (throughput
+  band + dispatch overhead, as before);
+* the optimized plan must emit strictly fewer instructions than
+  ``passes="none"`` and must not allocate more in steady state.
 
 Usage::
 
@@ -20,6 +29,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -30,6 +40,7 @@ import numpy as np
 from repro.models import build_model, paper_scheme
 from repro.runtime import Executor
 from repro.runtime.compiler import compile_training
+from repro.runtime.passes import run_pipeline
 from repro.train import SGD
 
 from _helpers import banner
@@ -40,6 +51,15 @@ def build_program(batch: int):
     scheme = paper_scheme(forward)
     program = compile_training(forward, optimizer=SGD(0.05), scheme=scheme)
     return forward, program
+
+
+def reconfigured(program, passes: str):
+    """An independent lowering of ``program`` under another pass config
+    (private meta so the cached plan is not shared, shared graph/state)."""
+    meta = {k: v for k, v in program.meta.items()
+            if k not in ("__plan__", "__plan_spec__")}
+    meta["plan_passes"] = passes
+    return dataclasses.replace(program, meta=meta)
 
 
 def make_feeds(forward, program, batch: int, seed: int = 0):
@@ -93,17 +113,26 @@ def measure(executor: Executor, feeds, steps: int, warmup: int):
 def run(batch: int, steps: int, warmup: int) -> dict:
     forward, program = build_program(batch)
     feeds = make_feeds(forward, program, batch)
+    plan_none_prog = reconfigured(program, "none")
 
-    def executor(backend):
-        prog = program.with_state(
-            {name: arr.copy() for name, arr in program.state.items()})
+    def executor(prog, backend="plan"):
+        prog = prog.with_state(
+            {name: arr.copy() for name, arr in prog.state.items()})
         return Executor(prog, backend=backend)
 
-    interp = measure(executor("interpreter"), feeds, steps, warmup)
-    plan = measure(executor("plan"), feeds, steps, warmup)
+    interp = measure(executor(program, "interpreter"), feeds, steps, warmup)
+    plan_none = measure(executor(plan_none_prog), feeds, steps, warmup)
+    plan = measure(executor(program), feeds, steps, warmup)
     overhead_speedup = (
         interp["dispatch_overhead_ms"] / plan["dispatch_overhead_ms"]
         if plan["dispatch_overhead_ms"] > 0 else float("inf"))
+
+    # Per-stage instruction counts from a fresh pipeline run (cheap: no
+    # execution, just lowering) — CI tracks where each pass bites.
+    pipeline_report: dict = {}
+    run_pipeline(program, passes="default", report=pipeline_report)
+    spec = program.plan_spec()
+    spec_none = plan_none_prog.plan_spec()
     return {
         "workload": {
             "model": "mcunet_micro",
@@ -111,13 +140,22 @@ def run(batch: int, steps: int, warmup: int) -> dict:
             "optimizer": "sgd",
             "batch": batch,
             "nodes": program.num_nodes,
-            "plan_instructions": program.plan().num_instructions,
+            "plan_instructions": len(spec.instructions),
+            "plan_instructions_unoptimized": len(spec_none.instructions),
+            "fused_instructions": sum(
+                1 for i in spec.instructions if i.fused is not None),
+            "precomputed_slots": len(spec.precomputed),
+            "precomputed_bytes": spec.precomputed_bytes,
             "steps": steps,
             "warmup": warmup,
         },
+        "pipeline": pipeline_report["stages"],
         "interpreter": interp,
+        "plan_unoptimized": plan_none,
         "plan": plan,
         "speedup": plan["steps_per_s"] / interp["steps_per_s"],
+        "speedup_vs_unoptimized_plan":
+            plan["steps_per_s"] / plan_none["steps_per_s"],
         "dispatch_overhead_speedup": overhead_speedup,
     }
 
@@ -135,26 +173,37 @@ def main(argv=None) -> int:
     steps = args.steps or (30 if args.quick else 150)
     warmup = args.warmup or (5 if args.quick else 20)
 
-    banner("Step latency — compiled plan vs legacy interpreter "
+    banner("Step latency — optimized plan vs passes=none vs interpreter "
            "(MCUNet sparse fine-tuning)")
     result = run(args.batch, steps, warmup)
-    for backend in ("interpreter", "plan"):
+    for backend in ("interpreter", "plan_unoptimized", "plan"):
         r = result[backend]
-        print(f"{backend:>12}: p50 {r['p50_ms']:7.3f} ms   "
+        print(f"{backend:>16}: p50 {r['p50_ms']:7.3f} ms   "
               f"p95 {r['p95_ms']:7.3f} ms   "
               f"{r['steps_per_s']:8.1f} steps/s   "
               f"overhead {r['dispatch_overhead_ms']:6.3f} ms   "
               f"{r['steady_state_allocs_per_step']:.2f} allocs/step")
-    print(f"{'speedup':>12}: {result['speedup']:.2f}x end-to-end, "
+    w = result["workload"]
+    print(f"{'pipeline':>16}: "
+          + " -> ".join(f"{s['stage']}:{s['instructions']}"
+                        for s in result["pipeline"]))
+    print(f"{'optimized':>16}: {w['fused_instructions']} fused chains, "
+          f"{w['precomputed_slots']} precomputed slot(s) "
+          f"({w['precomputed_bytes']} bytes), "
+          f"{w['plan_instructions_unoptimized'] - w['plan_instructions']} "
+          f"instructions eliminated")
+    print(f"{'speedup':>16}: {result['speedup']:.2f}x end-to-end, "
+          f"{result['speedup_vs_unoptimized_plan']:.2f}x vs passes=none, "
           f"{result['dispatch_overhead_speedup']:.2f}x on executor "
           f"dispatch overhead (kernels are shared)")
 
     args.out.write_text(json.dumps(result, indent=1))
     print(f"wrote {args.out}")
 
-    # Regression gate. End-to-end speedup is mostly shared kernel time and
-    # wobbles with machine load, so it gets a tolerance band; the dispatch
-    # overhead ratio is the structural win the plan must not lose.
+    # Regression gates. End-to-end speedup is mostly shared kernel time
+    # and wobbles with machine load, so it gets a tolerance band; the
+    # dispatch overhead ratio and the pass pipeline's structural wins are
+    # deterministic and must never regress.
     if result["speedup"] < 0.90:
         print("FAIL: plan-backed executor is >10% slower than the "
               "interpreter", file=sys.stderr)
@@ -162,6 +211,15 @@ def main(argv=None) -> int:
     if result["dispatch_overhead_speedup"] < 1.0:
         print("FAIL: plan-backed executor has higher dispatch overhead "
               "than the interpreter", file=sys.stderr)
+        return 1
+    if w["plan_instructions"] >= w["plan_instructions_unoptimized"]:
+        print("FAIL: optimized plan does not emit fewer instructions than "
+              "passes=none", file=sys.stderr)
+        return 1
+    if result["plan"]["steady_state_allocs_per_step"] \
+            > result["plan_unoptimized"]["steady_state_allocs_per_step"]:
+        print("FAIL: optimized plan allocates more per steady-state step "
+              "than passes=none", file=sys.stderr)
         return 1
     return 0
 

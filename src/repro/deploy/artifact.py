@@ -29,7 +29,8 @@ from pathlib import Path
 
 import numpy as np
 
-from ..errors import ExecutionError, GraphError, ReproError
+from ..errors import (ExecutionError, GraphError, PlanVersionError,
+                      ReproError)
 from ..ir import Graph
 from ..ir.serialize import load_graph, save_graph
 from ..memory.planner import plan_arena
@@ -101,6 +102,8 @@ def save_artifact(program: Program, path: str | Path) -> Path:
             name: sorted(variants)
             for name, variants in sorted(plan_spec.required_kernels().items())
         },
+        "plan_passes": list(plan_spec.passes),
+        "transforms": sorted(plan_spec.required_transforms()),
         "arena": {
             "bytes": arena.arena_bytes,
             "offsets": arena.offsets,
@@ -124,6 +127,10 @@ def load_artifact(path: str | Path) -> DeployedProgram:
         GraphError: on a missing/garbled manifest, an unsupported version,
             a schedule referencing unknown nodes, a kernel the runtime does
             not provide, or a corrupted embedded plan.
+        PlanVersionError: when the embedded plan speaks a spec version this
+            runtime does not — the artifact itself may be fine for another
+            build, so the error stays distinguishable (the program cache
+            catches it and recompiles instead of failing the request).
     """
     path = Path(path)
     try:
@@ -172,6 +179,8 @@ def load_artifact(path: str | Path) -> DeployedProgram:
         except KeyError:
             raise GraphError(
                 "artifact manifest v2 lacks an embedded plan") from None
+        except PlanVersionError:
+            raise  # version skew, not corruption: callers may recompile
         except ExecutionError as exc:
             raise GraphError(f"corrupted artifact plan: {exc}") from None
         produced = {name for name, _ in spec.output_slots}

@@ -69,10 +69,24 @@ def run_step(artifact_dir: str, key: str,
 
 
 def probe():
-    """Report what this worker process actually imported (honesty check)."""
+    """Report what this worker process actually imported (honesty check),
+    plus the lowering shape of every bound plan (fused instruction counts,
+    precomputed constant slots) so operators can see which optimizations
+    the data plane is actually running."""
+    plans = {}
+    for key, (program, _executor) in _BOUND.items():
+        spec = program.plan_spec()
+        plans[key[:12]] = {
+            "passes": list(spec.passes),
+            "instructions": len(spec.instructions),
+            "fused_instructions": sum(
+                1 for instr in spec.instructions if instr.fused is not None),
+            "precomputed_slots": len(spec.precomputed),
+        }
     return {
         "pid": os.getpid(),
         "programs_bound": sorted(key[:12] for key in _BOUND),
+        "plans": plans,
         "compiler_imported": "repro.runtime.compiler" in sys.modules,
         "autodiff_imported": any(
             name.startswith("repro.autodiff") for name in sys.modules),

@@ -37,6 +37,15 @@ class ExecutionError(ReproError):
     """The runtime executor failed while running a compiled program."""
 
 
+class PlanVersionError(ExecutionError):
+    """A serialized execution plan speaks a version this runtime does not.
+
+    Distinct from a garbled plan: the artifact may be perfectly valid for
+    another runtime build. Callers holding the graph (the program cache)
+    catch this and fall back to re-lowering/recompiling.
+    """
+
+
 class DeviceError(ReproError):
     """An unknown device was requested or a cost model query is invalid."""
 

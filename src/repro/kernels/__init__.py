@@ -56,6 +56,18 @@ DONATING_KERNELS: dict[str, Kernel] = {}
 #: op -> input indices the donating variant may clobber
 DONATED_INPUTS: dict[str, tuple[int, ...]] = {}
 
+#: (op, variant name) -> special kernel forms the plan's optimization
+#: passes select (e.g. ``("conv2d", "winograd_precomputed")`` takes the
+#: hoisted weight transform as an extra trailing input). Outputs must be
+#: bitwise identical to the base kernel's.
+VARIANT_KERNELS: dict[tuple[str, str], Kernel] = {}
+
+#: transform name -> fn(array) -> array, applied once to frozen state to
+#: fill a plan-owned precomputed slot (:mod:`repro.runtime.passes.
+#: precompute_frozen`). Must be deterministic: the hoist is bitwise-safe
+#: only because recomputing yields identical bytes.
+PRECOMPUTE_TRANSFORMS: dict[str, Callable[[np.ndarray], np.ndarray]] = {}
+
 
 def kernel(name: str, *, view: bool = False) -> Callable[[Kernel], Kernel]:
     """Decorator registering a kernel for operator ``name``.
@@ -99,6 +111,26 @@ def donating_kernel(name: str, clobbers: tuple[int, ...]
     return wrap
 
 
+def variant_kernel(name: str, variant: str) -> Callable[[Kernel], Kernel]:
+    """Decorator registering a special plan-selected variant of ``name``."""
+
+    def wrap(fn: Kernel) -> Kernel:
+        VARIANT_KERNELS[(name, variant)] = fn
+        return fn
+
+    return wrap
+
+
+def register_transform(name: str):
+    """Decorator registering a precompute transform under ``name``."""
+
+    def wrap(fn):
+        PRECOMPUTE_TRANSFORMS[name] = fn
+        return fn
+
+    return wrap
+
+
 def run_op(op_type: str, inputs: list[np.ndarray],
            attrs: dict[str, Any]) -> list[np.ndarray]:
     """Execute one operator; raises :class:`ExecutionError` on failure."""
@@ -122,15 +154,22 @@ from . import reduce  # noqa: E402,F401
 from . import shape  # noqa: E402,F401
 from . import winograd  # noqa: E402,F401
 
+from .elementwise import make_fused_kernel  # noqa: E402
+
 __all__ = [
     "DONATED_INPUTS",
     "DONATING_KERNELS",
     "KERNELS",
     "OUT_ALIAS_SAFE",
     "OUT_KERNELS",
+    "PRECOMPUTE_TRANSFORMS",
+    "VARIANT_KERNELS",
     "VIEW_OPS",
     "donating_kernel",
     "kernel",
+    "make_fused_kernel",
     "out_kernel",
+    "register_transform",
     "run_op",
+    "variant_kernel",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import kernel, workspace
+from . import kernel, variant_kernel, workspace
 from .elementwise import apply_activation
 
 
@@ -79,16 +79,33 @@ def im2col(x: np.ndarray, kh: int, kw: int, sh: int, sw: int,
 
 def col2im(cols: np.ndarray, x_shape: tuple[int, ...], kh: int, kw: int,
            sh: int, sw: int, ph: int, pw: int) -> np.ndarray:
-    """Fold columns [N, C*kh*kw, Ho*Wo] back, accumulating overlaps."""
+    """Fold columns [N, C*kh*kw, Ho*Wo] back, accumulating overlaps.
+
+    The padded fold target is workspace scratch (the last un-pooled conv
+    scratch path): for padded convs it is copied out and recycled, so each
+    step's fold reuses the previous step's buffer instead of allocating.
+    Padding-free folds return the buffer itself — it escapes the kernel as
+    the gradient, so it is deliberately never given back (take-without-
+    give is always safe; the plan's arena recycles it downstream instead).
+    """
     n, c, h, w = x_shape
     ho = (h + 2 * ph - kh) // sh + 1
     wo = (w + 2 * pw - kw) // sw + 1
     cols = cols.reshape(n, c, kh, kw, ho, wo)
-    xp = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=cols.dtype)
+    xp = workspace.take((n, c, h + 2 * ph, w + 2 * pw), cols.dtype)
+    xp[...] = 0
     for i in range(kh):
         for j in range(kw):
             xp[:, :, i:i + sh * ho:sh, j:j + sw * wo:sw] += cols[:, :, i, j]
-    return xp[:, :, ph:ph + h, pw:pw + w]
+    if ph == 0 and pw == 0:
+        return xp
+    # Copy the interior out instead of returning a strided view: values are
+    # identical, the scratch can be recycled, and the contiguous result is
+    # arena-poolable downstream (the view never was).
+    dx = np.empty((n, c, h, w), dtype=cols.dtype)
+    dx[...] = xp[:, :, ph:ph + h, pw:pw + w]
+    workspace.give(xp)
+    return dx
 
 
 #: im2col scratch bound for grouped convs: chunks of groups are unfolded
@@ -150,6 +167,24 @@ def _conv2d(inputs, attrs):
                            attrs.get("padding", 0),
                            int(attrs.get("groups", 1)))
     if len(inputs) == 3:  # fused bias
+        y = y + inputs[2].reshape(1, -1, 1, 1)
+    return [apply_activation(y, attrs.get("activation"))]
+
+
+@variant_kernel("conv2d", "winograd_precomputed")
+def _conv2d_winograd_precomputed(inputs, attrs):
+    """Winograd conv with the weight transform hoisted to a plan slot.
+
+    The precompute_frozen pass appends the plan-owned ``U`` as the trailing
+    input; everything else mirrors the ``algo == "winograd"`` branch of the
+    base kernel, so outputs are bitwise identical — the transform was
+    computed by the same function the base kernel would call inline.
+    """
+    from .winograd import winograd_conv2d
+
+    x, w, u = inputs[0], inputs[1], inputs[-1]
+    y = winograd_conv2d(x, w, padding=attrs.get("padding", 0), u=u)
+    if len(inputs) == 4:  # fused bias rides between the weights and U
         y = y + inputs[2].reshape(1, -1, 1, 1)
     return [apply_activation(y, attrs.get("activation"))]
 

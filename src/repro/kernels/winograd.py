@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import register_transform
+
 # Input transform Bᵀ (4x4), weight transform G (4x3), output transform Aᵀ (2x4).
 BT = np.array(
     [[1, 0, -1, 0],
@@ -33,6 +35,19 @@ AT = np.array(
 def transform_weights(w: np.ndarray) -> np.ndarray:
     """Precompute ``U = G g Gᵀ`` for every (cout, cin) filter: -> [O,I,4,4]."""
     return np.einsum("aj,oijk,bk->oiab", G, w, G, optimize=True)
+
+
+@register_transform("winograd_weight")
+def precompute_weight_transform(w: np.ndarray) -> np.ndarray:
+    """The plan-level precompute entry point for frozen conv weights.
+
+    Exactly the computation :func:`winograd_conv2d` performs inline when no
+    ``u`` is supplied — same cast, same einsum — so hoisting it to a
+    plan-owned slot is bitwise-safe as long as ``w`` never changes (which
+    is what "frozen under the sparse scheme" guarantees). The executor
+    caches the result per session, keyed on the source array's identity.
+    """
+    return transform_weights(np.asarray(w).astype(np.float32))
 
 
 def winograd_conv2d(x: np.ndarray, w: np.ndarray, padding=0,

@@ -57,6 +57,13 @@ class CompileOptions:
     #: False for simulation-only compiles of full-size models: program state
     #: keeps zero-stride placeholder views instead of copying real buffers
     materialize_state: bool = True
+    #: plan-lowering pass pipeline (:mod:`repro.runtime.passes`):
+    #: ``"default"`` fuses adjacent elementwise instructions and hoists
+    #: frozen-weight Winograd transforms; ``"none"`` is the unoptimized
+    #: oracle stream (byte-exact interpreter accounting); an explicit
+    #: tuple of pass names runs exactly those. Part of the program cache
+    #: key — differently-lowered plans never share a cached artifact.
+    plan_passes: Any = "default"
     device: Any = None
     debug_validate: bool = False
 
@@ -171,6 +178,7 @@ def compile_training(
 
     program = Program.from_graph(graph, schedule,
                                  copy_state=options.materialize_state)
+    program.meta["plan_passes"] = options.plan_passes
     if options.materialize_state:
         # Pay the lowering cost here, with compilation, so the first step a
         # tenant runs is already the zero-interpretation fast path.
@@ -223,5 +231,6 @@ def compile_inference(forward: Graph,
     schedule = memory_aware_schedule(graph) if options.reorder \
         else default_schedule(graph)
     program = Program.from_graph(graph, schedule)
+    program.meta["plan_passes"] = options.plan_passes
     program.plan()
     return program

@@ -66,6 +66,12 @@ class Executor:
         #: take/give discipline plus the per-buffer workspace size cap.
         self.workspace = BufferArena()
         self._registers: list[np.ndarray | None] | None = None
+        #: per-executor cache of plan-owned precomputed constants
+        #: (slot -> (source state array, transformed value)). Keyed by the
+        #: source array's *identity*: frozen state is never written by the
+        #: program, so the same array always yields the same bytes, and a
+        #: with_state overlay swapping the array in is recomputed.
+        self._precomputed: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     @property
     def plan(self) -> ExecutionPlan:
@@ -119,6 +125,16 @@ class Executor:
             regs[slot] = state[name]
         for name, slot in plan.feed_specs:
             regs[slot] = feeds[name]
+        # Plan-owned constants hoisted from frozen state (e.g. Winograd
+        # weight transforms): computed on this executor's first step,
+        # republished for free afterwards.
+        for slot, name, transform in plan.precomputed:
+            source = state[name]
+            cached = self._precomputed.get(slot)
+            if cached is None or cached[0] is not source:
+                cached = (source, transform(source))
+                self._precomputed[slot] = cached
+            regs[slot] = cached[1]
 
         # Kernels borrow internal scratch (im2col columns, pad buffers)
         # from this executor's workspace pool for the duration of the run;

@@ -1,0 +1,126 @@
+"""The plan-lowering pass pipeline: ``lower -> [passes] -> allocate``.
+
+This package is the optimizing half of plan construction
+(:func:`repro.runtime.plan.build_plan_spec` delegates here):
+
+* :mod:`lower` — scheduled graph -> linear instruction stream (names, no
+  slots yet);
+* optimization passes, each ``fn(stream, ctx) -> (stream, stats)``:
+
+  - :mod:`fuse_elementwise` — collapse adjacent producer->sole-consumer
+    elementwise runs into single fused instructions (the intermediate
+    slots vanish);
+  - :mod:`precompute_frozen` — hoist Winograd weight transforms for
+    frozen parameters into plan-owned constant slots bound once per
+    session;
+
+* :mod:`allocate` — slots, free-lists, arena caps, and the static
+  transient-byte accounting, computed *after* the passes so the numbers
+  describe the optimized stream.
+
+Adding a pass: write ``fn(stream, ctx) -> (stream, stats)`` in a new
+module, register it in :data:`PASSES`, and (if it should run by default)
+append its name to :data:`DEFAULT_PASSES`. The equivalence contract every
+pass must honour: byte-identical outputs and mutable state versus the
+unoptimized stream, for any program.
+
+Pass selection (``CompileOptions.plan_passes`` / the ``passes=`` argument
+throughout the runtime): ``"default"`` runs :data:`DEFAULT_PASSES`,
+``"none"`` runs only lower+allocate (the interpreter-oracle
+configuration), and an explicit sequence of names runs exactly those, in
+the given order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ...errors import ExecutionError
+from ..plan import PlanSpec
+from .allocate import allocate
+from .fuse_elementwise import fuse_elementwise
+from .lower import LoweredOp, LoweringContext, lower
+from .precompute_frozen import precompute_frozen
+
+#: name -> pass fn(stream, ctx) -> (stream, stats)
+PASSES = {
+    "fuse_elementwise": fuse_elementwise,
+    "precompute_frozen": precompute_frozen,
+}
+
+#: the pipeline ``passes="default"`` runs, in order
+DEFAULT_PASSES: tuple[str, ...] = ("fuse_elementwise", "precompute_frozen")
+
+
+def resolve_passes(passes: Any) -> tuple[str, ...]:
+    """Normalize a pass selection to a tuple of registered pass names.
+
+    Raises:
+        ExecutionError: on an unknown pass name or selection value.
+    """
+    if passes is None or passes == "default":
+        return DEFAULT_PASSES
+    if passes == "none":
+        return ()
+    if isinstance(passes, str):
+        raise ExecutionError(
+            f"unknown pass selection {passes!r}; use 'default', 'none', "
+            f"or a sequence of names from {sorted(PASSES)}")
+    if not isinstance(passes, Sequence):
+        raise ExecutionError(
+            f"pass selection must be a string or sequence, got "
+            f"{type(passes).__name__}")
+    names = tuple(passes)
+    for name in names:
+        if name not in PASSES:
+            raise ExecutionError(
+                f"unknown lowering pass {name!r}; registered: "
+                f"{sorted(PASSES)}")
+    return names
+
+
+def run_pipeline(program, passes: Any = None,
+                 report: dict | None = None) -> PlanSpec:
+    """Lower ``program`` through the configured pipeline into a PlanSpec.
+
+    ``passes=None`` defers to ``program.meta["plan_passes"]`` (set by the
+    compiler from ``CompileOptions.plan_passes``), falling back to the
+    default pipeline. Pass a dict as ``report`` to receive per-stage
+    instruction counts and pass statistics (the perf-smoke benchmark
+    publishes these).
+    """
+    if passes is None:
+        passes = program.meta.get("plan_passes")
+    names = resolve_passes(passes)
+    ctx = LoweringContext(program)
+    stream = lower(ctx)
+    if report is not None:
+        report["stages"] = [
+            {"stage": "lower", "instructions": len(stream)}]
+    for name in names:
+        stream, stats = PASSES[name](stream, ctx)
+        if report is not None:
+            report["stages"].append(
+                {"stage": name, "instructions": len(stream), **stats})
+    spec = allocate(stream, ctx, passes=names)
+    if report is not None:
+        report["stages"].append(
+            {"stage": "allocate", "instructions": len(spec.instructions),
+             "num_slots": spec.num_slots,
+             "peak_transient_bytes": spec.peak_transient_bytes,
+             "precomputed_bytes": spec.precomputed_bytes})
+    return spec
+
+
+__all__ = [
+    "DEFAULT_PASSES",
+    "LoweredOp",
+    "LoweringContext",
+    "PASSES",
+    "allocate",
+    "fuse_elementwise",
+    "lower",
+    "precompute_frozen",
+    "resolve_passes",
+    "run_pipeline",
+]

@@ -17,8 +17,8 @@ is precomputed:
   (:data:`repro.kernels.VIEW_OPS`);
 * per-instruction free-lists replace runtime refcounting, and the
   transient-byte timeline is simulated at build time (byte-exact against
-  the interpreter, hence against ``memory.profile_memory``) so the step
-  does zero accounting;
+  the interpreter for an unoptimized stream, and recomputed honestly for
+  an optimized one) so the step does zero accounting;
 * a :class:`BufferArena` recycles freed intermediate buffers across steps,
   feeding ``out=``-capable kernels so a fixed-shape training step reaches a
   (near-)zero-alloc steady state. Safety is static: only buffers produced
@@ -26,13 +26,26 @@ is precomputed:
   recycled buffer can never alias a live value, a returned output, a feed,
   or mutable state.
 
+Lowering itself is a staged **pass pipeline** (:mod:`repro.runtime.passes`):
+``lower`` turns the scheduled graph into a linear stream, optimization
+passes rewrite that stream (fusing adjacent elementwise instructions,
+hoisting Winograd weight transforms for frozen parameters into plan-owned
+precomputed slots), and ``allocate`` assigns slots, free-lists, arena caps
+and the static byte accounting *after* optimization so the numbers reflect
+the stream that actually runs. ``passes="none"`` skips every optimization
+pass and reproduces the interpreter's accounting byte-exactly — the oracle
+configuration the equivalence tests pin everything else against.
+
 The lowering is split in two so plans are **portable**:
 
 * :class:`PlanSpec` is a pure, JSON-serializable data object — it names
-  kernels, it never holds them. ``to_dict``/``from_dict`` round-trip it
-  through deployment artifacts (:mod:`repro.deploy.artifact`), so a plan
-  compiled in one process executes in another that never imports the
-  compiler.
+  kernels (and the passes that shaped it), it never holds them.
+  ``to_dict``/``from_dict`` round-trip it through deployment artifacts
+  (:mod:`repro.deploy.artifact`), so a plan compiled in one process
+  executes in another that never imports the compiler. Version-1 specs
+  (pre-pipeline) still load through a compat shim; versions this runtime
+  does not speak raise :class:`~repro.errors.PlanVersionError` so callers
+  like the program cache can fall back to recompilation.
 * :func:`bind_plan` is the thin load-time step that resolves those names
   against the live registries in :mod:`repro.kernels` and produces the
   executable :class:`ExecutionPlan`.
@@ -40,8 +53,9 @@ The lowering is split in two so plans are **portable**:
 The plan depends only on the graph, schedule, outputs, and state *names* —
 never on state values — so one plan is shared by every
 :meth:`Program.with_state` tenant overlay (they share the ``meta`` dict the
-plan is cached in). Registers and arena live on the executor: concurrent
-sessions never share buffers.
+plan is cached in). Registers, arena, and the precomputed-transform cache
+live on the executor: concurrent sessions never share buffers, and a
+session overlaying different frozen weights recomputes its transforms.
 """
 
 from __future__ import annotations
@@ -51,20 +65,27 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from ..errors import ExecutionError
+from ..errors import ExecutionError, PlanVersionError
 from ..ir.node import Node
-from ..ir.ops import get_schema
-from ..kernels import (DONATED_INPUTS, DONATING_KERNELS, KERNELS,
-                       OUT_ALIAS_SAFE, OUT_KERNELS, VIEW_OPS)
+from ..kernels import (DONATING_KERNELS, KERNELS, OUT_KERNELS,
+                       PRECOMPUTE_TRANSFORMS, VARIANT_KERNELS,
+                       make_fused_kernel)
 
 #: arena bucket key: exact (shape, dtype) — fixed-shape steps re-request
 #: identical buffers every step, so exact matching recycles everything.
 ArenaKey = tuple[tuple[int, ...], Any]
 
-#: bump when the serialized PlanSpec layout changes incompatibly
-PLAN_SPEC_VERSION = 1
+#: bump when the serialized PlanSpec layout changes incompatibly.
+#: v1: flat instruction stream, no pass pipeline. v2: records applied
+#: passes, fused instruction forms, and precomputed constant slots.
+PLAN_SPEC_VERSION = 2
 
-#: kernel variants an instruction may reference (resolved at bind time)
+#: versions :meth:`PlanSpec.from_dict` can still decode (v1 via the shim)
+SUPPORTED_PLAN_SPEC_VERSIONS = (1, 2)
+
+#: kernel variants an instruction may reference (resolved at bind time);
+#: anything else is looked up in :data:`repro.kernels.VARIANT_KERNELS`
+#: (e.g. ``winograd_precomputed``).
 VARIANT_BASE = "base"
 VARIANT_DONATING = "donating"
 
@@ -124,21 +145,85 @@ class BufferArena:
 
 
 @dataclass(frozen=True)
+class FusedLinkSpec:
+    """One constituent op of a fused elementwise instruction.
+
+    ``args`` maps the link's kernel inputs onto the fused instruction:
+    ``None`` means "the previous link's result" (held in the shared output
+    buffer on the ``out=`` path), an int indexes the instruction's
+    ``input_slots``.
+    """
+
+    node: str                       #: schedule node this link came from
+    kernel: str                     #: kernel registry name (== op type)
+    args: tuple[int | None, ...]
+
+    def to_dict(self) -> list:
+        return [self.node, self.kernel, list(self.args)]
+
+    @classmethod
+    def from_dict(cls, doc: list) -> "FusedLinkSpec":
+        node, op, args = doc
+        return cls(node=node, kernel=op,
+                   args=tuple(None if a is None else int(a) for a in args))
+
+
+@dataclass(frozen=True)
+class PrecomputedSpec:
+    """A plan-owned constant slot derived from frozen state at bind time.
+
+    ``transform`` names an entry in
+    :data:`repro.kernels.PRECOMPUTE_TRANSFORMS`; the executor applies it to
+    ``state[state_name]`` once (cached per executor, keyed by the source
+    array's identity — frozen inputs never change, which is what makes the
+    hoist bitwise-safe) and publishes the result in ``slot``.
+    """
+
+    slot: int
+    state: str
+    transform: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"slot": self.slot, "state": self.state,
+                "transform": self.transform, "shape": list(self.shape),
+                "dtype": self.dtype}
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "PrecomputedSpec":
+        return cls(slot=int(doc["slot"]), state=doc["state"],
+                   transform=doc["transform"],
+                   shape=tuple(int(d) for d in doc["shape"]),
+                   dtype=doc["dtype"])
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
 class InstructionSpec:
     """One lowered node as pure data: slots, names, static decisions.
 
     The kernel is referenced by registry name (``kernel`` — the op type)
-    plus ``variant`` (:data:`VARIANT_BASE` or :data:`VARIANT_DONATING`) and
-    ``use_out`` (whether the ``out=`` variant from
-    :data:`repro.kernels.OUT_KERNELS` drives this instruction when inputs
-    are contiguous). Attributes and input/output names live on the graph
-    node ``node`` refers to — the artifact ships the graph anyway, so the
-    spec never duplicates them.
+    plus ``variant`` (:data:`VARIANT_BASE`, :data:`VARIANT_DONATING`, or a
+    :data:`repro.kernels.VARIANT_KERNELS` name) and ``use_out`` (whether
+    the ``out=`` variant from :data:`repro.kernels.OUT_KERNELS` drives this
+    instruction when inputs are contiguous). ``fused`` (when set) lists the
+    elementwise links this instruction collapsed; the bound kernel then
+    runs the whole chain through one shared buffer and no intermediate
+    slot exists at all. Attributes and input/output names live on the
+    graph nodes the specs refer to — the artifact ships the graph anyway,
+    so the spec never duplicates them.
     """
 
     node: str                       #: schedule node name
     kernel: str                     #: kernel registry name (== op type)
-    variant: str                    #: base | donating
+    variant: str                    #: base | donating | registered variant
     input_slots: tuple[int, ...]
     output_slots: tuple[int, ...]
     use_out: bool                   #: bind the out=-writing variant
@@ -148,9 +233,10 @@ class InstructionSpec:
     check_state_slots: tuple[int, ...]
     frees: tuple[tuple[int, ArenaKey | None], ...]
     fresh_outputs: int
+    fused: tuple[FusedLinkSpec, ...] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "node": self.node,
             "kernel": self.kernel,
             "variant": self.variant,
@@ -165,10 +251,14 @@ class InstructionSpec:
             "frees": [[slot, _key_to_json(key)] for slot, key in self.frees],
             "fresh_outputs": self.fresh_outputs,
         }
+        if self.fused is not None:
+            doc["fused"] = [link.to_dict() for link in self.fused]
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict[str, Any]) -> "InstructionSpec":
         try:
+            fused_doc = doc.get("fused")
             return cls(
                 node=doc["node"],
                 kernel=doc["kernel"],
@@ -184,6 +274,9 @@ class InstructionSpec:
                 frees=tuple((int(slot), _key_from_json(key))
                             for slot, key in doc["frees"]),
                 fresh_outputs=int(doc["fresh_outputs"]),
+                fused=tuple(FusedLinkSpec.from_dict(entry)
+                            for entry in fused_doc)
+                if fused_doc is not None else None,
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ExecutionError(
@@ -196,9 +289,10 @@ class PlanSpec:
 
     Everything the executor needs except the kernel functions themselves:
     :func:`bind_plan` resolves those from the registry at load time. The
-    spec depends only on graph structure, schedule, outputs, and state
-    names, so it is identical whether built in the compiling process or
-    reloaded from an artifact.
+    spec depends only on graph structure, schedule, outputs, state names,
+    and the pass configuration (recorded in ``passes``), so it is
+    identical whether built in the compiling process or reloaded from an
+    artifact.
     """
 
     num_slots: int
@@ -210,6 +304,14 @@ class PlanSpec:
     peak_transient_bytes: int
     final_transient_bytes: int
     instructions: tuple[InstructionSpec, ...]
+    #: names of the optimization passes that shaped this stream, in order
+    passes: tuple[str, ...] = ()
+    #: plan-owned constant slots bound from frozen state (see
+    #: :class:`PrecomputedSpec`)
+    precomputed: tuple[PrecomputedSpec, ...] = ()
+    #: resident bytes the precomputed slots add (not transient — they live
+    #: for the plan's lifetime, like state)
+    precomputed_bytes: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe encoding (embedded in artifact manifests)."""
@@ -227,21 +329,29 @@ class PlanSpec:
             "peak_transient_bytes": self.peak_transient_bytes,
             "final_transient_bytes": self.final_transient_bytes,
             "instructions": [instr.to_dict() for instr in self.instructions],
+            "passes": list(self.passes),
+            "precomputed": [entry.to_dict() for entry in self.precomputed],
+            "precomputed_bytes": self.precomputed_bytes,
         }
 
     @classmethod
     def from_dict(cls, doc: dict[str, Any]) -> "PlanSpec":
-        """Inverse of :meth:`to_dict`.
+        """Inverse of :meth:`to_dict`, with a v1 compat shim.
+
+        Version-1 documents (written before the pass pipeline existed)
+        decode to a spec with no passes, no fused instructions, and no
+        precomputed slots — exactly the stream they always described.
 
         Raises:
-            ExecutionError: on a version mismatch or structurally garbled
-                document.
+            PlanVersionError: when the document speaks a plan version this
+                runtime does not (callers may fall back to re-lowering).
+            ExecutionError: on a structurally garbled document.
         """
         version = doc.get("plan_version")
-        if version != PLAN_SPEC_VERSION:
-            raise ExecutionError(
+        if version not in SUPPORTED_PLAN_SPEC_VERSIONS:
+            raise PlanVersionError(
                 f"unsupported plan spec version {version!r} "
-                f"(runtime speaks {PLAN_SPEC_VERSION})")
+                f"(runtime speaks {SUPPORTED_PLAN_SPEC_VERSIONS})")
         try:
             return cls(
                 num_slots=int(doc["num_slots"]),
@@ -258,6 +368,10 @@ class PlanSpec:
                 final_transient_bytes=int(doc["final_transient_bytes"]),
                 instructions=tuple(InstructionSpec.from_dict(entry)
                                    for entry in doc["instructions"]),
+                passes=tuple(doc.get("passes", ())),
+                precomputed=tuple(PrecomputedSpec.from_dict(entry)
+                                  for entry in doc.get("precomputed", ())),
+                precomputed_bytes=int(doc.get("precomputed_bytes", 0)),
             )
         except ExecutionError:
             raise
@@ -267,16 +381,28 @@ class PlanSpec:
     def required_kernels(self) -> dict[str, set[str]]:
         """Kernel registry names -> the variants this plan binds.
 
-        Variants: ``base``, ``donating``, ``out``. What a runtime must
-        provide to execute the plan (the deployment manifest records it).
+        Variants: ``base``, ``donating``, ``out``, plus any registered
+        special variant (``winograd_precomputed``). Fused instructions
+        contribute their constituent links (each needing ``base`` and
+        ``out``). What a runtime must provide to execute the plan (the
+        deployment manifest records it).
         """
         needed: dict[str, set[str]] = {}
         for instr in self.instructions:
+            if instr.fused is not None:
+                for link in instr.fused:
+                    variants = needed.setdefault(link.kernel, set())
+                    variants.update(("base", "out"))
+                continue
             variants = needed.setdefault(instr.kernel, set())
             variants.add(instr.variant)
             if instr.use_out:
                 variants.add("out")
         return needed
+
+    def required_transforms(self) -> set[str]:
+        """Precompute transforms the runtime must provide at bind time."""
+        return {entry.transform for entry in self.precomputed}
 
 
 def _key_to_json(key: ArenaKey | None) -> list | None:
@@ -309,7 +435,8 @@ class Instruction:
         self.attrs = attrs
         self.input_slots = input_slots
         self.output_slots = output_slots
-        #: out=-writing variant (single-output, non-inplace ops only)
+        #: out=-writing variant (single-output, non-inplace ops only; for
+        #: fused instructions this runs the whole chain through one buffer)
         self.out_kernel = out_kernel
         self.out_key = out_key
         self.out_shape = out_shape
@@ -331,11 +458,13 @@ class ExecutionPlan:
 
     __slots__ = ("spec", "num_slots", "feed_specs", "state_bindings",
                  "instructions", "output_slots", "clear_slots", "arena_caps",
-                 "peak_transient_bytes", "final_transient_bytes")
+                 "peak_transient_bytes", "final_transient_bytes",
+                 "precomputed", "passes")
 
     def __init__(self, spec, num_slots, feed_specs, state_bindings,
                  instructions, output_slots, clear_slots, arena_caps,
-                 peak_transient_bytes, final_transient_bytes) -> None:
+                 peak_transient_bytes, final_transient_bytes,
+                 precomputed=(), passes=()) -> None:
         #: the serializable half this plan was bound from
         self.spec = spec
         self.num_slots = num_slots
@@ -350,197 +479,37 @@ class ExecutionPlan:
         self.clear_slots = clear_slots
         #: per-key pool bounds for this plan's BufferArena instances
         self.arena_caps = arena_caps
-        #: static replica of the interpreter's measured transient peak
+        #: static replica of the optimized stream's transient peak (equals
+        #: the interpreter's measurement for an unoptimized stream)
         self.peak_transient_bytes = peak_transient_bytes
         self.final_transient_bytes = final_transient_bytes
+        #: (slot, state name, transform fn) constant slots the executor
+        #: computes once from frozen state and re-publishes every step
+        self.precomputed = precomputed
+        #: optimization passes applied at lowering, in order
+        self.passes = passes
 
     @property
     def num_instructions(self) -> int:
         return len(self.instructions)
 
 
-def build_plan_spec(program) -> PlanSpec:
-    """Lower ``program`` into a serializable :class:`PlanSpec`.
+def build_plan_spec(program, passes: Any = None) -> PlanSpec:
+    """Lower ``program`` through the pass pipeline into a :class:`PlanSpec`.
+
+    ``passes`` selects the optimization pipeline: ``"default"`` (or None
+    with no override in ``program.meta["plan_passes"]``) runs every
+    registered pass, ``"none"`` runs only lower+allocate (the interpreter
+    oracle configuration), and an explicit sequence of pass names runs
+    exactly those.
 
     Raises:
-        ExecutionError: on an op without a registered kernel, or an output
-            name nothing produces.
+        ExecutionError: on an op without a registered kernel, an output
+            name nothing produces, or an unknown pass name.
     """
-    graph = program.graph
-    schedule = program.schedule
-    state_names = set(program.state)
-    keep = set(program.outputs)
+    from .passes import run_pipeline
 
-    slots: dict[str, int] = {}
-
-    def slot_of(name: str) -> int:
-        slot = slots.get(name)
-        if slot is None:
-            slot = slots[name] = len(slots)
-        return slot
-
-    for name in graph.inputs:
-        slot_of(name)
-    for name in sorted(state_names):
-        slot_of(name)
-
-    producer_op: dict[str, str] = {}
-    consumer_ops: dict[str, list[str]] = {}
-    for node in schedule:
-        for out in node.outputs:
-            producer_op[out] = node.op_type
-        for inp in node.inputs:
-            consumer_ops.setdefault(inp, []).append(node.op_type)
-
-    spec_cache: dict[str, Any] = {}
-
-    def spec(name: str):
-        value = spec_cache.get(name)
-        if value is None:
-            value = spec_cache[name] = graph.spec(name)
-        return value
-
-    def recyclable(name: str) -> bool:
-        """True when the buffer behind ``name`` is provably unaliased at
-        the moment its last consumer retires."""
-        op = producer_op.get(name)
-        if op is None:
-            return False  # feeds and state are caller-owned
-        if op in VIEW_OPS or get_schema(op).inplace:
-            return False  # may alias another value / mutable state
-        if name in keep:
-            return False  # returned to the caller, who may hold it
-        return all(c not in VIEW_OPS for c in consumer_ops.get(name, ()))
-
-    def arena_key(name: str) -> ArenaKey:
-        s = spec(name)
-        return (tuple(s.shape), np.dtype(s.dtype.np))
-
-    # --- lower nodes and simulate the interpreter's byte accounting ------
-    counts = dict(program.consumer_counts)
-    live = set(graph.inputs)
-    transient = sum(spec(name).nbytes for name in graph.inputs)
-    peak = transient
-    instructions: list[InstructionSpec] = []
-
-    for node in schedule:
-        op = node.op_type
-        if op not in KERNELS:
-            raise ExecutionError(f"no kernel registered for op {op!r}")
-        schema = get_schema(op)
-        inplace = schema.inplace
-        try:
-            input_slots = tuple(slots[name] for name in node.inputs)
-        except KeyError as exc:
-            raise ExecutionError(
-                f"node {node.name!r} input {exc.args[0]!r} unavailable"
-            ) from None
-        output_slots = tuple(slot_of(name) for name in node.outputs)
-
-        # The interpreter materialises results aliasing mutable state; only
-        # view-capable kernels with state inputs can produce such results.
-        check_state_slots = ()
-        if not inplace and op in VIEW_OPS:
-            check_state_slots = tuple(
-                slot_of(name) for name in node.inputs if name in state_names)
-
-        # Accounting, mirroring Executor's interpreter loop exactly.
-        for out in node.outputs:
-            live.add(out)
-            if not inplace:
-                transient += spec(out).nbytes
-        if transient > peak:
-            peak = transient
-
-        frees: list[tuple[int, ArenaKey | None]] = []
-        if not inplace:  # dead outputs are released immediately
-            for out in node.outputs:
-                if counts.get(out, 0) == 0 and out not in keep \
-                        and out in live:
-                    transient -= spec(out).nbytes
-                    live.discard(out)
-                    frees.append((slots[out],
-                                  arena_key(out) if recyclable(out)
-                                  else None))
-        dying_inputs: list[str] = []
-        for name in node.inputs:
-            counts[name] -= 1
-            if counts[name] == 0 and name in live \
-                    and name not in state_names and name not in keep:
-                transient -= spec(name).nbytes
-                live.discard(name)
-                dying_inputs.append(name)
-
-        # out= + donation: single-output ops with a registered out-variant
-        # get a recycled arena buffer; alias-safe ones may instead write
-        # straight into a same-shape input dying at this instruction.
-        use_out = False
-        out_shape = out_dtype = None
-        donate_slot = -1
-        if not inplace and len(node.outputs) == 1 and op in OUT_KERNELS:
-            use_out = True
-            out_name = node.outputs[0]
-            out_spec = spec(out_name)
-            out_shape = tuple(out_spec.shape)
-            out_dtype = np.dtype(out_spec.dtype.np).name
-            out_key = (out_shape, np.dtype(out_dtype))
-            if op in OUT_ALIAS_SAFE:
-                for name in dying_inputs:
-                    if recyclable(name) and arena_key(name) == out_key:
-                        donate_slot = slots[name]
-                        break
-
-        variant = VARIANT_BASE
-        if op in DONATING_KERNELS:
-            clobbered = DONATED_INPUTS[op]
-            if all(i < len(node.inputs)
-                   and node.inputs[i] in dying_inputs
-                   and recyclable(node.inputs[i]) for i in clobbered):
-                variant = VARIANT_DONATING
-
-        for name in dying_inputs:
-            slot = slots[name]
-            if slot == donate_slot:
-                # The donated buffer lives on as this node's output.
-                frees.append((slot, None))
-            else:
-                frees.append((slot,
-                              arena_key(name) if recyclable(name) else None))
-
-        instructions.append(InstructionSpec(
-            node=node.name, kernel=op, variant=variant,
-            input_slots=input_slots, output_slots=output_slots,
-            use_out=use_out, out_shape=out_shape, out_dtype=out_dtype,
-            donate_slot=donate_slot, check_state_slots=check_state_slots,
-            frees=tuple(frees),
-            fresh_outputs=0 if inplace else len(node.outputs)))
-
-    for name in program.outputs:
-        if name not in slots:
-            raise ExecutionError(f"output {name!r} is never produced")
-
-    state_slots = {slots[name] for name in state_names if name in slots}
-    clear_slots = tuple(slot for name, slot in slots.items()
-                        if slot not in state_slots)
-    arena_caps: dict[ArenaKey, int] = {}
-    for instr in instructions:
-        if instr.use_out and instr.donate_slot < 0:
-            key = (instr.out_shape, np.dtype(instr.out_dtype))
-            arena_caps[key] = arena_caps.get(key, 0) + 1
-    return PlanSpec(
-        num_slots=len(slots),
-        feed_specs=tuple((name, slots[name]) for name in graph.inputs),
-        state_bindings=tuple(
-            (slots[name], name) for name in sorted(state_names)
-            if name in slots),
-        output_slots=tuple((name, slots[name]) for name in program.outputs),
-        clear_slots=clear_slots,
-        arena_caps=tuple(sorted(arena_caps.items(),
-                                key=lambda item: repr(item[0]))),
-        peak_transient_bytes=peak,
-        final_transient_bytes=transient,
-        instructions=tuple(instructions),
-    )
+    return run_pipeline(program, passes=passes)
 
 
 def bind_plan(spec: PlanSpec, nodes: Mapping[str, Node]) -> ExecutionPlan:
@@ -549,11 +518,15 @@ def bind_plan(spec: PlanSpec, nodes: Mapping[str, Node]) -> ExecutionPlan:
     ``nodes`` maps schedule node names to their :class:`~repro.ir.node.
     Node` objects (attributes and the observer identity come from there).
     This is the *entire* load-time step — no graph analysis, no compiler.
+    Fused instructions bind each constituent link's base and ``out=``
+    kernels into one chain executor; precomputed slots bind their
+    transform functions (the executor applies them lazily, once per
+    session).
 
     Raises:
         ExecutionError: when the spec references a node the schedule lacks,
-            a kernel the registry lacks, or a kernel whose op type
-            disagrees with the node's.
+            a kernel/variant/transform the registry lacks, or a kernel
+            whose op type disagrees with the node's.
     """
     instructions: list[Instruction] = []
     for ispec in spec.instructions:
@@ -565,34 +538,48 @@ def bind_plan(spec: PlanSpec, nodes: Mapping[str, Node]) -> ExecutionPlan:
             raise ExecutionError(
                 f"plan instruction {ispec.node!r} binds kernel "
                 f"{ispec.kernel!r} but the node is {node.op_type!r}")
-        if ispec.variant == VARIANT_DONATING:
+        out_kernel = out_key = out_shape = out_dtype = None
+        attrs = node.attrs
+        if ispec.fused is not None:
+            kernel, out_kernel = _bind_fused(ispec, nodes)
+            attrs = {}
+        elif ispec.variant == VARIANT_DONATING:
             kernel = DONATING_KERNELS.get(ispec.kernel)
         elif ispec.variant == VARIANT_BASE:
             kernel = KERNELS.get(ispec.kernel)
         else:
-            raise ExecutionError(
-                f"unknown kernel variant {ispec.variant!r} for "
-                f"{ispec.kernel!r}")
+            kernel = VARIANT_KERNELS.get((ispec.kernel, ispec.variant))
+            if kernel is None:
+                raise ExecutionError(
+                    f"unknown kernel variant {ispec.variant!r} for "
+                    f"{ispec.kernel!r}")
         if kernel is None:
             raise ExecutionError(
                 f"runtime lacks {ispec.variant!r} kernel for "
                 f"{ispec.kernel!r}")
-        out_kernel = out_key = out_shape = out_dtype = None
         if ispec.use_out:
-            out_kernel = OUT_KERNELS.get(ispec.kernel)
-            if out_kernel is None:
-                raise ExecutionError(
-                    f"runtime lacks out= kernel for {ispec.kernel!r}")
+            if out_kernel is None:  # fused chains bound theirs above
+                out_kernel = OUT_KERNELS.get(ispec.kernel)
+                if out_kernel is None:
+                    raise ExecutionError(
+                        f"runtime lacks out= kernel for {ispec.kernel!r}")
             out_shape = ispec.out_shape
             out_dtype = np.dtype(ispec.out_dtype)
             out_key = (out_shape, out_dtype)
         instructions.append(Instruction(
-            node=node, kernel=kernel, attrs=node.attrs,
+            node=node, kernel=kernel, attrs=attrs,
             input_slots=ispec.input_slots, output_slots=ispec.output_slots,
             out_kernel=out_kernel, out_key=out_key, out_shape=out_shape,
             out_dtype=out_dtype, donate_slot=ispec.donate_slot,
             check_state_slots=ispec.check_state_slots, frees=ispec.frees,
             fresh_outputs=ispec.fresh_outputs))
+    precomputed = []
+    for entry in spec.precomputed:
+        transform = PRECOMPUTE_TRANSFORMS.get(entry.transform)
+        if transform is None:
+            raise ExecutionError(
+                f"runtime lacks precompute transform {entry.transform!r}")
+        precomputed.append((entry.slot, entry.state, transform))
     return ExecutionPlan(
         spec=spec,
         num_slots=spec.num_slots,
@@ -604,15 +591,40 @@ def bind_plan(spec: PlanSpec, nodes: Mapping[str, Node]) -> ExecutionPlan:
         arena_caps=dict(spec.arena_caps),
         peak_transient_bytes=spec.peak_transient_bytes,
         final_transient_bytes=spec.final_transient_bytes,
+        precomputed=tuple(precomputed),
+        passes=spec.passes,
     )
 
 
-def build_plan(program) -> ExecutionPlan:
+def _bind_fused(ispec: InstructionSpec, nodes: Mapping[str, Node]):
+    """Bind one fused instruction's links into chain-executing callables."""
+    links = []
+    for link in ispec.fused:
+        node = nodes.get(link.node)
+        if node is None:
+            raise ExecutionError(
+                f"fused instruction {ispec.node!r} references unknown "
+                f"node {link.node!r}")
+        if node.op_type != link.kernel:
+            raise ExecutionError(
+                f"fused link {link.node!r} binds kernel {link.kernel!r} "
+                f"but the node is {node.op_type!r}")
+        base = KERNELS.get(link.kernel)
+        out = OUT_KERNELS.get(link.kernel)
+        if base is None or out is None:
+            raise ExecutionError(
+                f"runtime lacks base/out kernels for fused link "
+                f"{link.kernel!r}")
+        links.append((base, out, node.attrs, link.args))
+    return make_fused_kernel(tuple(links))
+
+
+def build_plan(program, passes: Any = None) -> ExecutionPlan:
     """Lower ``program`` and bind the result in one step (in-process use).
 
     Raises:
         ExecutionError: on an op without a registered kernel, or an output
             name nothing produces.
     """
-    return bind_plan(build_plan_spec(program),
+    return bind_plan(build_plan_spec(program, passes=passes),
                      {node.name: node for node in program.schedule})

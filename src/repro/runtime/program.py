@@ -61,10 +61,13 @@ class Program:
     def plan_spec(self) -> "PlanSpec":
         """The serializable half of the compiled plan.
 
-        Lowered once and cached in ``meta``; deployment artifacts embed
-        exactly this object (:mod:`repro.deploy.artifact`), so saving a
-        program never re-runs the lowering. A spec loaded from an artifact
-        is installed here by the loader instead of being rebuilt.
+        Lowered once — through the pass pipeline selected by
+        ``meta["plan_passes"]`` (:mod:`repro.runtime.passes`; the compiler
+        sets it from ``CompileOptions.plan_passes``) — and cached in
+        ``meta``; deployment artifacts embed exactly this object
+        (:mod:`repro.deploy.artifact`), so saving a program never re-runs
+        the lowering. A spec loaded from an artifact is installed here by
+        the loader instead of being rebuilt.
         """
         spec = self.meta.get("__plan_spec__")
         if spec is None:

@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
-from ..errors import ReproError
+from ..errors import PlanVersionError, ReproError
 from ..runtime import Program
 
 
@@ -79,6 +79,9 @@ class CacheStats:
     disk_writes: int = 0
     #: evictions that discarded an entry whose plan was already lowered
     prebuilt_plans_dropped: int = 0
+    #: persisted artifacts skipped because their embedded plan speaks a
+    #: spec version this runtime does not (recompiled + overwritten)
+    plan_version_miss: int = 0
     compile_seconds_total: float = 0.0
 
     @property
@@ -208,7 +211,10 @@ class ProgramCache:
         """Bind a persisted artifact for ``key``, or None on a disk miss.
 
         An unreadable artifact (version skew, partial historical write) is
-        treated as a miss: the caller recompiles and overwrites it.
+        treated as a miss: the caller recompiles and overwrites it. A plan
+        whose spec version this runtime does not speak is the same miss —
+        counted separately (``plan_version_miss``) because it signals a
+        runtime upgrade/downgrade against a warm cache dir, not corruption.
         """
         if self.cache_dir is None:
             return None
@@ -219,6 +225,9 @@ class ProgramCache:
 
         try:
             return load_artifact(path).program
+        except PlanVersionError:
+            self.stats.plan_version_miss += 1
+            return None
         except ReproError:
             return None
 

@@ -29,7 +29,9 @@ from ..runtime.compiler import CompileOptions
 from ..sparse import UpdateScheme
 from ..train.optim import OptimizerSpec
 
-KEY_VERSION = 1
+#: v2: CompileOptions grew ``plan_passes`` (the plan-lowering pipeline
+#: joins the key, so cached artifacts re-prebuild when lowering changes)
+KEY_VERSION = 2
 
 
 def scheme_token(scheme: UpdateScheme) -> dict[str, Any]:
@@ -55,6 +57,8 @@ def options_token(options: CompileOptions) -> dict[str, Any]:
             # Device objects carry float cost-model constants; their
             # registry key is the stable identity.
             value = getattr(value, "key", None) if value is not None else None
+        if isinstance(value, tuple):
+            value = list(value)  # JSON-canonical (plan_passes sequences)
         token[field.name] = value
     return token
 

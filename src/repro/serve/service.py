@@ -352,6 +352,10 @@ class FineTuneService:
             "evictions that discarded an already-lowered plan").set(
                 stats.prebuilt_plans_dropped)
         self.metrics.gauge(
+            "serve.cache.plan_version_miss",
+            "persisted artifacts recompiled due to plan version skew").set(
+                stats.plan_version_miss)
+        self.metrics.gauge(
             "serve.cache.compile_seconds_total").set(
                 stats.compile_seconds_total)
         # serve.queue_depth and serve.sessions_live are callback gauges

@@ -181,14 +181,18 @@ class TestArtifactPlanRoundTrip:
         with pytest.raises(GraphError, match="corrupted artifact plan"):
             load_artifact(tmp_path / "mlp")
 
-    def test_plan_version_mismatch_rejected(self, tmp_path):
+    def test_plan_version_mismatch_distinguishable(self, tmp_path):
+        """Version skew must stay distinguishable from corruption so the
+        program cache can recompile instead of failing the request."""
+        from repro.errors import PlanVersionError
+
         program = _mlp_program()
         save_artifact(program, tmp_path / "mlp")
         path = tmp_path / "mlp" / "manifest.json"
         manifest = json.loads(path.read_text())
         manifest["plan"]["plan_version"] = 999
         path.write_text(json.dumps(manifest))
-        with pytest.raises(GraphError, match="corrupted artifact plan"):
+        with pytest.raises(PlanVersionError, match="version"):
             load_artifact(tmp_path / "mlp")
 
     def test_v2_without_plan_rejected(self, tmp_path):

@@ -72,6 +72,32 @@ class TestPersistentProgramCache:
         repaired = ProgramCache(capacity=4, cache_dir=tmp_path)
         assert repaired.get_or_build("k1", _fail_build).from_disk
 
+    def test_plan_version_skew_recompiles_and_counts(self, tmp_path):
+        """A persisted artifact whose embedded plan speaks a newer (or
+        older-than-supported) spec version is a counted miss, never a
+        hard failure: the serve load path recompiles and overwrites."""
+        import json
+
+        cache = ProgramCache(capacity=4, cache_dir=tmp_path)
+        cache.get_or_build("k1", _program)
+        manifest_path = tmp_path / "k1" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["plan"]["plan_version"] = 999
+        manifest_path.write_text(json.dumps(manifest))
+        fresh = ProgramCache(capacity=4, cache_dir=tmp_path)
+        entry = fresh.get_or_build("k1", _program)
+        assert not entry.from_disk
+        assert fresh.stats.compiles == 1
+        assert fresh.stats.plan_version_miss == 1
+        assert entry.program.meta.get("__plan__") is not None
+        # The skewed artifact was overwritten with a current-version one.
+        current = json.loads(manifest_path.read_text())
+        from repro.runtime.plan import PLAN_SPEC_VERSION
+        assert current["plan"]["plan_version"] == PLAN_SPEC_VERSION
+        repaired = ProgramCache(capacity=4, cache_dir=tmp_path)
+        assert repaired.get_or_build("k1", _fail_build).from_disk
+        assert repaired.stats.plan_version_miss == 0
+
     def test_memoryless_cache_unchanged(self):
         cache = ProgramCache(capacity=4)
         entry = cache.get_or_build("k1", _program)
