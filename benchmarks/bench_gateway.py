@@ -17,7 +17,15 @@ Boots ``repro serve --http`` on an ephemeral port as a real subprocess
   untouched;
 * **shutdown** — SIGINT lands while requests are in flight; the process
   must exit 0 within the deadline with every client answered (zero hung
-  futures).
+  futures);
+* **tracing overhead** — the closed loop repeated against a server with
+  kernel sampling on (``--trace-sample 16``): per-stage latency means
+  from the ``Server-Timing`` breakdowns, span-sum coverage of the
+  measured totals, and a gate that tracing keeps >= 95% of the untraced
+  closed-loop throughput;
+* **trace propagation** — a ``--backend process`` server: the
+  ``/v1/trace`` export must contain gateway-process stage rows and
+  worker-process ``worker_execute`` rows correlated by request ID.
 
 Writes ``BENCH_gateway.json`` and exits non-zero if any gate fails.
 Single-core honesty: numbers from CI containers measure protocol +
@@ -138,6 +146,8 @@ def _example(doc: dict, rng) -> tuple[list, int]:
 
 def closed_loop(client, docs: list[dict], steps_per_tenant: int) -> dict:
     latencies: list[float] = []
+    stage_samples: dict[str, list[float]] = {}
+    coverages: list[float] = []
     fifo_ok = True
     lock = threading.Lock()
 
@@ -150,8 +160,16 @@ def closed_loop(client, docs: list[dict], steps_per_tenant: int) -> dict:
             began = time.perf_counter()
             result = client.step(doc["session_id"], x, y)
             elapsed = (time.perf_counter() - began) * 1e3
+            timings = result.get("timings") or {}
+            total = timings.get("total", 0.0)
+            span_sum = sum(ms for stage, ms in timings.items()
+                           if stage != "total")
             with lock:
                 latencies.append(elapsed)
+                for stage, ms in timings.items():
+                    stage_samples.setdefault(stage, []).append(ms)
+                if total > 0:
+                    coverages.append(span_sum / total)
                 if result["step"] <= last_step:
                     fifo_ok = False
             last_step = result["step"]
@@ -174,6 +192,16 @@ def closed_loop(client, docs: list[dict], steps_per_tenant: int) -> dict:
         "p50_ms": float(np.quantile(arr, 0.5)),
         "p95_ms": float(np.quantile(arr, 0.95)),
         "fifo_ok": fifo_ok,
+        # per-stage breakdown from the gateway's Server-Timing headers
+        "stages_ms": {
+            stage: {"mean": float(np.mean(vals)),
+                    "p50": float(np.quantile(vals, 0.5)),
+                    "p95": float(np.quantile(vals, 0.95))}
+            for stage, vals in sorted(stage_samples.items())
+        },
+        #: fraction of each request's span-derived total covered by the
+        #: sum of its stage spans (1.0 = no unaccounted time)
+        "span_coverage": float(np.mean(coverages)) if coverages else 0.0,
     }
 
 
@@ -312,6 +340,39 @@ def shutdown_phase(server: GatewayProcess, client, docs: list[dict],
     return result
 
 
+def trace_propagation_phase(url: str, steps: int) -> dict:
+    """Drive a process-backend server and check /v1/trace correlation."""
+    from repro.serve import ServeClient
+
+    with ServeClient(url) as client:
+        doc = _open_sessions(client, 1)[0]
+        rng = np.random.default_rng(11)
+        request_ids = [client.step(doc["session_id"],
+                                   *_example(doc, rng))["request_id"]
+                       for _ in range(steps)]
+        events = client.trace()["traceEvents"]
+    stage_pids = {e["pid"] for e in events if e["cat"] == "stage"
+                  and e["name"] != "worker_execute"}
+    worker_rows = [e for e in events if e["name"] == "worker_execute"]
+    worker_pids = {e["pid"] for e in worker_rows}
+    worker_rids: set[str] = set()
+    for event in worker_rows:
+        worker_rids.update(event["args"].get("request_id", ()))
+    return {
+        "steps": steps,
+        "events": len(events),
+        "gateway_pids": sorted(stage_pids),
+        "worker_pids": sorted(worker_pids),
+        "worker_execute_rows": len(worker_rows),
+        "kernel_rows": sum(1 for e in events if e["cat"] == "kernel"),
+        #: worker rows come from a different process than the gateway rows
+        "cross_process": bool(worker_pids) and worker_pids.isdisjoint(
+            stage_pids),
+        #: every request the client saw is echoed back by some worker row
+        "request_ids_correlated": set(request_ids) <= worker_rids,
+    }
+
+
 def run(quick: bool) -> dict:
     from repro.serve import ServeClient
 
@@ -352,6 +413,35 @@ def run(quick: bool) -> dict:
         result["rate_limit_shutdown"] = server.interrupt_and_wait()
     finally:
         server.kill()
+
+    # -- server C: kernel sampling on — what does tracing cost? --------------
+    banner("tracing overhead: closed loop with --trace-sample 16")
+    server = GatewayProcess("--max-queue-depth", "8", "--workers", "2",
+                            "--trace-sample", "16")
+    try:
+        client = ServeClient(server.url)
+        docs = _open_sessions(client, 2)
+        # Same closed loop as server A; the untraced run is the baseline.
+        traced = closed_loop(client, docs, steps)
+        baseline_rps = result["closed_loop"]["throughput_rps"]
+        result["tracing_overhead"] = {
+            "traced": traced,
+            "baseline_rps": baseline_rps,
+            "throughput_ratio": traced["throughput_rps"] / baseline_rps,
+        }
+        client.close()
+    finally:
+        server.kill()
+
+    # -- server D: process backend — spans must cross the pickle boundary ----
+    banner("trace propagation: process backend, /v1/trace correlation")
+    server = GatewayProcess("--backend", "process", "--workers", "1",
+                            "--max-batch", "2", "--trace-sample", "4")
+    try:
+        result["trace_propagation"] = trace_propagation_phase(
+            server.url, steps=4 if quick else 8)
+    finally:
+        server.kill()
     return result
 
 
@@ -373,6 +463,21 @@ def _report(result: dict) -> None:
           f"flight -> exit {down['exit_code']} in {down['seconds']:.1f}s, "
           f"outcomes {down['client_outcomes']}, "
           f"zero_hung={down['zero_hung_futures']}")
+    stages = closed["stages_ms"]
+    if stages:
+        breakdown = "  ".join(f"{stage} {stats['mean']:.2f}"
+                              for stage, stats in stages.items())
+        print(f"{'stages (ms)':>12}: {breakdown}   "
+              f"coverage {closed['span_coverage']:.0%}")
+    overhead = result["tracing_overhead"]
+    print(f"{'tracing':>12}: sampled closed loop "
+          f"{overhead['traced']['throughput_rps']:6.1f} req/s = "
+          f"{overhead['throughput_ratio']:.0%} of untraced")
+    prop = result["trace_propagation"]
+    print(f"{'propagation':>12}: {prop['worker_execute_rows']} worker rows "
+          f"(pids {prop['worker_pids']}), {prop['kernel_rows']} kernel "
+          f"rows, cross_process={prop['cross_process']}, "
+          f"correlated={prop['request_ids_correlated']}")
 
 
 def main(argv=None) -> int:
@@ -408,6 +513,18 @@ def main(argv=None) -> int:
             failures.append(f"{phase}: exit {result[phase]['exit_code']}")
     if not result["shutdown"]["zero_hung_futures"]:
         failures.append("shutdown left a client hanging")
+    if not 0.9 <= closed["span_coverage"] <= 1.1:
+        failures.append(f"stage spans cover {closed['span_coverage']:.0%} "
+                        f"of request totals (want within 10%)")
+    if result["tracing_overhead"]["throughput_ratio"] < 0.95:
+        failures.append(
+            f"tracing cost "
+            f"{1 - result['tracing_overhead']['throughput_ratio']:.0%} "
+            f"of closed-loop throughput (budget: 5%)")
+    prop = result["trace_propagation"]
+    if not (prop["cross_process"] and prop["request_ids_correlated"]):
+        failures.append("process-backend trace rows missing or "
+                        "uncorrelated with gateway request IDs")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

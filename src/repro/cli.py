@@ -172,13 +172,18 @@ def _serve_http(args) -> int:
     from .serve import FineTuneService
     from .serve.gateway import GatewayServer
 
+    if args.log_json:
+        from .obs import configure_json_logging
+        configure_json_logging()
     with FineTuneService(cache_capacity=args.cache_capacity,
                          max_batch=args.max_batch,
                          workers=args.workers,
                          backend=args.backend,
                          cache_dir=args.cache_dir,
                          max_sessions=args.max_sessions,
-                         session_ttl=args.session_ttl) as service:
+                         session_ttl=args.session_ttl,
+                         trace_sample=args.trace_sample,
+                         slow_ms=args.slow_ms) as service:
         gateway = GatewayServer(
             service, host=args.host, port=args.http,
             max_queue_depth=args.max_queue_depth,
@@ -226,6 +231,9 @@ def cmd_serve(args) -> int:
     if args.http is not None:
         return _serve_http(args)
 
+    if args.log_json:
+        from .obs import configure_json_logging
+        configure_json_logging()
     rng = np.random.default_rng(args.seed)
     with FineTuneService(cache_capacity=args.cache_capacity,
                          max_batch=args.max_batch,
@@ -233,7 +241,9 @@ def cmd_serve(args) -> int:
                          backend=args.backend,
                          cache_dir=args.cache_dir,
                          max_sessions=args.max_sessions,
-                         session_ttl=args.session_ttl) as service:
+                         session_ttl=args.session_ttl,
+                         trace_sample=args.trace_sample,
+                         slow_ms=args.slow_ms) as service:
         scheme = "paper" if args.sparse else "full"
         sessions = [
             service.create_session(args.model, scheme=scheme,
@@ -369,6 +379,16 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--drain-timeout", type=float, default=10.0,
                      help="on shutdown, wait this long for queued steps "
                           "before cancelling them")
+    srv.add_argument("--trace-sample", type=int, default=0, metavar="N",
+                     help="record per-instruction kernel timings for 1 in "
+                          "N executed batches (0 = off); aggregates show "
+                          "in metrics, events in GET /v1/trace")
+    srv.add_argument("--slow-ms", type=float, default=None,
+                     help="log a structured warning with the full span "
+                          "breakdown for requests slower than this")
+    srv.add_argument("--log-json", action="store_true",
+                     help="emit one JSON object per log line (request-ID "
+                          "correlated) instead of plain text")
     srv.add_argument("--sparse", action="store_true", default=True,
                      help="use the paper's sparse scheme (default)")
     srv.add_argument("--full", dest="sparse", action="store_false",

@@ -20,6 +20,7 @@ from __future__ import annotations
 import os
 import sys
 from collections import OrderedDict
+from time import perf_counter
 
 import numpy as np
 
@@ -29,6 +30,10 @@ import numpy as np
 #: configuration it ever served even after the parent's cache evicted it.
 _BOUND: OrderedDict = OrderedDict()
 MAX_BOUND_PROGRAMS = 8
+
+#: per-process kernel-time aggregate: (op_type, variant) -> [count, total
+#: seconds], fed by sampled steps and reported through :func:`probe`.
+_KERNEL_STATS: dict = {}
 
 
 def bind(artifact_dir: str, key: str):
@@ -54,18 +59,52 @@ def bind(artifact_dir: str, key: str):
 def run_step(artifact_dir: str, key: str,
              state: dict[str, np.ndarray],
              feeds: dict[str, np.ndarray],
-             fetch: tuple[str, ...]):
+             fetch: tuple[str, ...],
+             trace=None):
     """Execute one plan step; returns ``(fetched_outputs, updated_state,
-    peak_transient_bytes, fresh_allocs)``."""
+    peak_transient_bytes, fresh_allocs, obs_payload)``.
+
+    ``trace`` is an optional :class:`repro.obs.TraceCarrier` — the slim
+    picklable projection of the parent's trace contexts. When present the
+    worker echoes its request IDs back in ``obs_payload`` (with this
+    process's pid and the execute interval on the shared monotonic
+    clock), and when ``trace.sample`` is set it additionally records
+    per-instruction kernel timings. Observations travel in the return
+    value, never through shared state, so a crashed worker can't corrupt
+    the parent's trace ring. ``obs_payload`` is None for untraced steps.
+    """
     program, executor = bind(artifact_dir, key)
     # Overlay this session's mutable state on the shared template; the
     # in-place apply kernels mutate the overlay arrays we just unpickled,
     # which are exactly what gets shipped back.
     executor.program = program.with_state(state)
-    outputs = executor.run(feeds)
+    kernels: list[tuple[str, str, float, float]] = []
+    sample = trace is not None and trace.sample
+    if sample:
+        def _observe(instr, t0, t1):
+            kernels.append((instr.node.op_type, instr.variant, t0, t1))
+            stat = _KERNEL_STATS.setdefault(
+                (instr.node.op_type, instr.variant), [0, 0.0])
+            stat[0] += 1
+            stat[1] += t1 - t0
+        executor.instr_observer = _observe
+    began = perf_counter()
+    try:
+        outputs = executor.run(feeds)
+    finally:
+        executor.instr_observer = None
+    ended = perf_counter()
     fetched = {name: outputs[name] for name in fetch}
+    obs_payload = None
+    if trace is not None:
+        obs_payload = {
+            "pid": os.getpid(),
+            "request_ids": list(trace.request_ids),
+            "execute": (began, ended),
+            "kernels": kernels,
+        }
     return (fetched, state, executor.peak_transient_bytes,
-            executor.last_step_fresh_allocs)
+            executor.last_step_fresh_allocs, obs_payload)
 
 
 def probe():
@@ -87,6 +126,10 @@ def probe():
         "pid": os.getpid(),
         "programs_bound": sorted(key[:12] for key in _BOUND),
         "plans": plans,
+        "kernel_stats": {
+            f"{op}/{variant}": {"count": stat[0], "total_ms": stat[1] * 1e3}
+            for (op, variant), stat in sorted(_KERNEL_STATS.items())
+        },
         "compiler_imported": "repro.runtime.compiler" in sys.modules,
         "autodiff_imported": any(
             name.startswith("repro.autodiff") for name in sys.modules),

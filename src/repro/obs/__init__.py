@@ -1,0 +1,50 @@
+"""`repro.obs`: the serving stack's observability spine.
+
+Request tracing, per-stage latency spans, sampled kernel-level timing,
+Chrome-trace export, Prometheus text exposition, and structured JSON
+logging. Deliberately a leaf package: it imports nothing from the
+compiler, runtime, or serve layers, so every one of them can depend on it
+(the runtime profiler shares its Chrome-trace writer, the serve layer owns
+a :class:`Tracer`, and step workers ship :class:`TraceCarrier` payloads
+across the process boundary).
+
+The contract threaded through :mod:`repro.serve`:
+
+* a request ID is minted at the gateway (or accepted via ``X-Request-Id``)
+  and echoed back on every response;
+* each admitted step decomposes into named spans — ``admission``,
+  ``queue_wait``, ``batch_wait``, ``execute``, ``serialize`` — recorded
+  into labeled bucketed histograms (``serve.stage_ms[stage=...]``) and a
+  bounded span ring exported as Chrome-trace JSON at ``GET /v1/trace``;
+* opt-in sampled per-instruction kernel timing (``--trace-sample N``)
+  aggregates per kernel/variant into ``serve.kernel_ms[...]`` and, for the
+  process backend, into worker-local stats surfaced by the stepworker
+  probe;
+* slow requests (``--slow-ms``) log their full span breakdown as
+  request-ID-correlated JSON records.
+"""
+
+from .chrome import duration_event, trace_document
+from .jsonlog import JsonFormatter, configure_json_logging
+from .prometheus import render_prometheus, split_labels
+from .trace import (STAGES, Span, SpanRing, TraceCarrier, TraceContext,
+                    Tracer, mint_request_id, parse_server_timing,
+                    server_timing_header)
+
+__all__ = [
+    "STAGES",
+    "JsonFormatter",
+    "Span",
+    "SpanRing",
+    "TraceCarrier",
+    "TraceContext",
+    "Tracer",
+    "configure_json_logging",
+    "duration_event",
+    "mint_request_id",
+    "parse_server_timing",
+    "render_prometheus",
+    "server_timing_header",
+    "split_labels",
+    "trace_document",
+]

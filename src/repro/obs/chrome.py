@@ -1,0 +1,34 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) JSON helpers.
+
+One writer for every trace producer in the repo: the runtime profiler's
+per-node timings (:meth:`repro.runtime.profiler.RuntimeProfile.
+to_chrome_trace`) and the serving layer's request-span ring both emit
+complete-duration (``"ph": "X"``) events through :func:`duration_event`
+and wrap them with :func:`trace_document`, so a trace mixing gateway
+spans, worker spans, and kernel timings loads as one coherent timeline.
+"""
+
+from __future__ import annotations
+
+
+def duration_event(name: str, *, cat: str, ts_us: float, dur_us: float,
+                   pid: int = 0, tid: int = 0,
+                   args: dict | None = None) -> dict:
+    """One complete ("X" phase) trace event, JSON-ready."""
+    event = {
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "ts": float(ts_us),
+        "dur": float(dur_us),
+        "pid": int(pid),
+        "tid": int(tid),
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+def trace_document(events: list[dict]) -> dict:
+    """The top-level document ``chrome://tracing`` loads."""
+    return {"displayTimeUnit": "ms", "traceEvents": list(events)}

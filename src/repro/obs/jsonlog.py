@@ -1,0 +1,74 @@
+"""Structured JSON logging over stdlib ``logging``.
+
+One record per line, machine-parseable, request-ID-correlated: whatever a
+``log(...)`` call passes via ``extra=`` lands as top-level JSON fields
+next to the timestamp/level/message, so the slow-request log's span
+breakdown and the gateway's error records can be grepped and joined by
+``request_id`` without a log-parsing layer.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import sys
+import time
+
+#: LogRecord attributes that are plumbing, not payload
+_RESERVED = frozenset(vars(logging.makeLogRecord({})).keys()) \
+    | {"message", "asctime", "taskName"}
+
+
+def _json_safe(value):
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class JsonFormatter(logging.Formatter):
+    """Formats each record as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created))
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                doc[key] = _json_safe(value)
+        if record.exc_info and record.exc_info[0] is not None:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc)
+
+
+def configure_json_logging(level: int = logging.INFO, stream=None,
+                           logger_name: str = "repro"
+                           ) -> logging.Handler:
+    """Attach a JSON handler to the ``repro`` logger tree (idempotent).
+
+    Returns the handler so tests and callers can detach or retarget it.
+    Existing JSON handlers installed by a previous call are replaced, so
+    re-configuring (e.g. in tests) never double-logs.
+    """
+    logger = logging.getLogger(logger_name)
+    for handler in list(logger.handlers):
+        if isinstance(handler.formatter, JsonFormatter):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return handler

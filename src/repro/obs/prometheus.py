@@ -1,0 +1,125 @@
+"""Prometheus text exposition for the serve metrics registry.
+
+Renders a :class:`repro.serve.metrics.MetricsRegistry` in the text format
+scrapers speak (version 0.0.4): ``# TYPE`` comments, sanitized metric
+names, labels, and — for histograms — *real cumulative buckets* from the
+all-time bucket counters, not the windowed quantile ring the table
+renderer shows.
+
+Label convention: a registry name may carry a bracketed suffix,
+``serve.stage_ms[stage=admission]`` or
+``serve.peak_transient_bytes[program=ab12cd]``, which becomes
+``{stage="admission"}`` / ``{program="ab12cd"}``. A bare bracketed value
+with no ``=`` gets the label key ``id``. Dots become underscores.
+
+Duck-typed against the registry (``items()``) and its metric classes
+(``value`` / ``bucket_counts()``) so this module stays a leaf: the serve
+layer imports it, never the other way around.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def split_labels(name: str) -> tuple[str, dict[str, str]]:
+    """``"a.b[k=v,p=q]"`` -> ``("a.b", {"k": "v", "p": "q"})``."""
+    if not name.endswith("]") or "[" not in name:
+        return name, {}
+    base, _, suffix = name.partition("[")
+    labels: dict[str, str] = {}
+    for pair in suffix[:-1].split(","):
+        pair = pair.strip()
+        if not pair:
+            continue
+        key, eq, value = pair.partition("=")
+        if not eq:
+            key, value = "id", key
+        labels[key.strip()] = value.strip()
+    return base, labels
+
+
+def _sanitize_name(name: str) -> str:
+    name = _NAME_BAD.sub("_", name.replace(".", "_"))
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _format_labels(labels: dict[str, str], extra: dict[str, str]
+                   | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_BAD.sub("_", key)}="{_escape(value)}"'
+        for key, value in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def render_prometheus(registry) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    # Group label variants of one metric under a single # TYPE comment.
+    groups: dict[str, list] = {}
+    types: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    for name, metric in sorted(registry.items()):
+        base, labels = split_labels(name)
+        sanitized = _sanitize_name(base)
+        kind = type(metric).__name__
+        if kind == "Counter":
+            mtype = "counter"
+        elif kind == "Histogram":
+            mtype = "histogram"
+        else:
+            mtype = "gauge"
+        types.setdefault(sanitized, mtype)
+        if getattr(metric, "help", ""):
+            helps.setdefault(sanitized, metric.help)
+        groups.setdefault(sanitized, []).append((labels, metric))
+
+    lines: list[str] = []
+    for sanitized, members in groups.items():
+        if sanitized in helps:
+            lines.append(f"# HELP {sanitized} {helps[sanitized]}")
+        lines.append(f"# TYPE {sanitized} {types[sanitized]}")
+        for labels, metric in members:
+            if types[sanitized] == "histogram":
+                _render_histogram(lines, sanitized, labels, metric)
+            else:
+                lines.append(
+                    f"{sanitized}{_format_labels(labels)} "
+                    f"{_format_value(metric.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _render_histogram(lines: list[str], name: str,
+                      labels: dict[str, str], metric) -> None:
+    bounds, cumulative, total, count = metric.bucket_counts()
+    for le, cum in zip(list(bounds) + ["+Inf"], cumulative):
+        le_str = _format_value(le) if not isinstance(le, str) else le
+        lines.append(
+            f"{name}_bucket{_format_labels(labels, {'le': le_str})} {cum}")
+    lines.append(f"{name}_sum{_format_labels(labels)} "
+                 f"{_format_value(total)}")
+    lines.append(f"{name}_count{_format_labels(labels)} {count}")

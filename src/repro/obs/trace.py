@@ -1,0 +1,318 @@
+"""Request trace contexts, per-stage spans, and the bounded span ring.
+
+The serving stack's tracing model, in three pieces:
+
+* :class:`TraceContext` — one admitted request's identity (request ID,
+  session, tenant) plus its recorded spans. Created by
+  :meth:`Tracer.trace`; every :meth:`TraceContext.add` call both appends
+  the span and publishes it (stage histogram + span ring) through the
+  owning tracer, so a span is observed exactly once, by the component
+  that measured it: the gateway records ``admission``/``serialize``, the
+  scheduler ``queue_wait``, the service ``batch_wait``/``execute``.
+* :class:`TraceCarrier` — the slim, picklable projection of a batch's
+  trace that crosses the process-pool boundary (request IDs + the kernel
+  sampling decision). Workers echo the IDs back with their own timings so
+  gateway and worker events correlate in one trace.
+* :class:`Tracer` — service-wide: owns the :class:`SpanRing`, the
+  ``serve.stage_ms[stage=...]`` / ``serve.kernel_ms[...]`` histograms,
+  the sampling counter, and slow-request JSON logging.
+
+Timestamps are ``time.perf_counter()`` values. On Linux that clock is
+``CLOCK_MONOTONIC``, which is system-wide, so parent- and worker-process
+timestamps share a timeline; the tracer's construction time is the trace
+epoch (``ts`` 0 in the exported Chrome trace).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass
+
+from .chrome import duration_event, trace_document
+
+#: the per-request stage spans, in pipeline order
+STAGES = ("admission", "queue_wait", "batch_wait", "execute", "serialize")
+
+_slow_log = logging.getLogger("repro.serve.slow")
+
+
+def mint_request_id() -> str:
+    """A fresh request ID (gateway-minted when the client sends none)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval of a request's life (perf_counter seconds)."""
+
+    name: str
+    began: float
+    ended: float
+
+    @property
+    def duration_ms(self) -> float:
+        return (self.ended - self.began) * 1e3
+
+
+@dataclass(frozen=True)
+class TraceCarrier:
+    """What crosses the worker pickle boundary: IDs + sampling decision."""
+
+    request_ids: tuple[str, ...]
+    sample: bool = False
+
+
+class TraceContext:
+    """One request's identity and recorded spans (parent-process only)."""
+
+    __slots__ = ("request_id", "session_id", "tenant", "spans", "tid",
+                 "_tracer")
+
+    def __init__(self, request_id: str | None = None,
+                 session_id: str = "", tenant: str = "",
+                 tracer: "Tracer | None" = None) -> None:
+        self.request_id = request_id or mint_request_id()
+        self.session_id = session_id
+        self.tenant = tenant
+        self.spans: list[Span] = []
+        self.tid = threading.get_native_id()
+        self._tracer = tracer
+
+    def add(self, name: str, began: float, ended: float) -> Span:
+        """Record one span; publishes through the owning tracer if any."""
+        span = Span(name, began, ended)
+        self.spans.append(span)
+        if self._tracer is not None:
+            self._tracer.on_span(self, span)
+        return span
+
+    def timings_ms(self) -> dict[str, float]:
+        """Stage name -> milliseconds (summed when a name repeats)."""
+        out: dict[str, float] = {}
+        for span in self.spans:
+            out[span.name] = out.get(span.name, 0.0) + span.duration_ms
+        return out
+
+    def total_ms(self) -> float:
+        """Wall time from the earliest span start to the latest end."""
+        if not self.spans:
+            return 0.0
+        return (max(s.ended for s in self.spans)
+                - min(s.began for s in self.spans)) * 1e3
+
+    def __reduce__(self):
+        # Picklable across the spawn boundary (tests assert survival);
+        # the tracer stays behind — workers publish via TraceCarrier.
+        return (_rebuild_trace,
+                (self.request_id, self.session_id, self.tenant, self.spans))
+
+
+def _rebuild_trace(request_id, session_id, tenant, spans):
+    trace = TraceContext(request_id, session_id, tenant)
+    trace.spans = list(spans)
+    return trace
+
+
+class SpanRing:
+    """Bounded, thread-safe ring of Chrome-trace events.
+
+    Only the parent process writes it (workers ship their events home in
+    the step result), so a SIGKILL'd worker can never leave a torn entry:
+    either its payload arrived whole or not at all.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.pushed = 0
+
+    def push(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+            self.pushed += 1
+
+    def snapshot(self) -> list[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class Tracer:
+    """Service-wide trace sink: ring, stage/kernel histograms, slow log.
+
+    ``sample_every=N`` enables per-instruction kernel timing on one in
+    every N executed batches (0 disables it); ``slow_ms`` enables the
+    slow-request log: any step whose span total crosses the threshold
+    logs its full breakdown as a JSON-correlatable record.
+    """
+
+    def __init__(self, metrics=None, *, ring_capacity: int = 4096,
+                 sample_every: int = 0, slow_ms: float | None = None,
+                 logger: logging.Logger | None = None) -> None:
+        if sample_every < 0:
+            raise ValueError(
+                f"sample_every must be >= 0, got {sample_every}")
+        self.metrics = metrics
+        self.ring = SpanRing(ring_capacity)
+        self.sample_every = sample_every
+        self.slow_ms = slow_ms
+        self.log = logger or _slow_log
+        #: perf_counter origin: ts=0 in the exported trace
+        self.epoch = time.perf_counter()
+        self.pid = os.getpid()
+        self._sample_lock = threading.Lock()
+        self._batch_counter = 0
+        #: lifetime counts (exported as gauges by the serve layer)
+        self.spans_recorded = 0
+        self.kernel_samples = 0
+        self.slow_requests = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def trace(self, request_id: str | None = None, *, session_id: str = "",
+              tenant: str = "") -> TraceContext:
+        """A new trace context whose spans publish through this tracer."""
+        return TraceContext(request_id, session_id, tenant, tracer=self)
+
+    def should_sample(self) -> bool:
+        """Kernel-timing decision for the next batch (1 in sample_every)."""
+        if self.sample_every <= 0:
+            return False
+        with self._sample_lock:
+            self._batch_counter += 1
+            return self._batch_counter % self.sample_every == 0
+
+    def on_span(self, trace: TraceContext, span: Span) -> None:
+        """Publish one completed span: stage histogram + ring event."""
+        self.spans_recorded += 1
+        if self.metrics is not None:
+            self.metrics.histogram(
+                f"serve.stage_ms[stage={span.name}]",
+                "per-stage request latency").observe(span.duration_ms)
+        self.ring.push(duration_event(
+            span.name, cat="stage",
+            ts_us=(span.began - self.epoch) * 1e6,
+            dur_us=(span.ended - span.began) * 1e6,
+            pid=self.pid, tid=trace.tid,
+            args={"request_id": trace.request_id,
+                  "session_id": trace.session_id,
+                  "tenant": trace.tenant}))
+
+    def record_kernels(self, events, *, pid: int, request_ids=(),
+                       session_id: str = "") -> None:
+        """Publish sampled per-instruction timings from either backend.
+
+        ``events`` is a sequence of ``(op, variant, began, ended)`` tuples
+        in perf_counter seconds (worker events arrive in the same clock —
+        see the module docstring). Each feeds the per-kernel/variant
+        histogram and lands in the ring as a ``cat="kernel"`` event.
+        """
+        args = {"request_id": list(request_ids),
+                "session_id": session_id}
+        for op, variant, began, ended in events:
+            self.kernel_samples += 1
+            duration_ms = (ended - began) * 1e3
+            if self.metrics is not None:
+                self.metrics.histogram(
+                    f"serve.kernel_ms[op={op},variant={variant}]",
+                    "sampled per-instruction kernel time").observe(
+                        duration_ms)
+            self.ring.push(duration_event(
+                op, cat="kernel",
+                ts_us=(began - self.epoch) * 1e6,
+                dur_us=(ended - began) * 1e6,
+                pid=pid, tid=0,
+                args=dict(args, variant=variant)))
+
+    def record_worker_step(self, payload: dict,
+                           session_id: str = "") -> None:
+        """Ingest one worker's step-observability payload.
+
+        ``payload`` comes back with the step result (never via shared
+        state): ``{"pid", "request_ids", "execute": (began, ended),
+        "kernels": [(op, variant, began, ended), ...]}``. The echoed
+        request IDs are what correlates worker rows with gateway rows in
+        the exported trace.
+        """
+        pid = int(payload["pid"])
+        request_ids = list(payload.get("request_ids", ()))
+        began, ended = payload["execute"]
+        self.ring.push(duration_event(
+            "worker_execute", cat="stage",
+            ts_us=(began - self.epoch) * 1e6,
+            dur_us=(ended - began) * 1e6,
+            pid=pid, tid=0,
+            args={"request_id": request_ids, "session_id": session_id}))
+        kernels = payload.get("kernels") or ()
+        if kernels:
+            self.record_kernels(kernels, pid=pid, request_ids=request_ids,
+                                session_id=session_id)
+
+    def maybe_log_slow(self, trace: TraceContext, **payload) -> bool:
+        """Log the full span breakdown when the trace crossed slow_ms."""
+        if self.slow_ms is None:
+            return False
+        total = trace.total_ms()
+        if total < self.slow_ms:
+            return False
+        self.slow_requests += 1
+        self.log.warning(
+            "slow request %s: %.1fms > %.1fms", trace.request_id, total,
+            self.slow_ms,
+            extra={"request_id": trace.request_id,
+                   "session_id": trace.session_id,
+                   "tenant": trace.tenant,
+                   "total_ms": round(total, 3),
+                   "slow_ms": self.slow_ms,
+                   "spans": {k: round(v, 3)
+                             for k, v in trace.timings_ms().items()},
+                   **payload})
+        return True
+
+    # -- export --------------------------------------------------------------
+
+    def export(self) -> dict:
+        """The ring as a Chrome-trace document (``GET /v1/trace``)."""
+        return trace_document(self.ring.snapshot())
+
+
+def server_timing_header(timings_ms: dict[str, float],
+                         total_ms: float | None = None) -> str:
+    """RFC-style ``Server-Timing`` value from a stage->ms mapping."""
+    parts = [f"{name};dur={ms:.3f}" for name, ms in timings_ms.items()]
+    if total_ms is not None:
+        parts.append(f"total;dur={total_ms:.3f}")
+    return ", ".join(parts)
+
+
+def parse_server_timing(header: str) -> dict[str, float]:
+    """Inverse of :func:`server_timing_header` (ignores unknown params)."""
+    timings: dict[str, float] = {}
+    for part in header.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, params = part.partition(";")
+        for param in params.split(";"):
+            key, _, value = param.strip().partition("=")
+            if key == "dur":
+                try:
+                    timings[name.strip()] = float(value)
+                except ValueError:
+                    pass
+    return timings

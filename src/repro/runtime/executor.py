@@ -37,6 +37,11 @@ from .program import Program
 #: Per-node observer: (node, seconds) after each kernel completes.
 NodeObserver = Callable[[Node, float], None]
 
+#: Per-instruction observer (plan backend only): (instruction, began,
+#: ended) in perf_counter seconds — the kernel-level tracing hook, which
+#: unlike NodeObserver sees the bound variant actually dispatched.
+InstrObserver = Callable[[Any, float, float], None]
+
 BACKENDS = ("plan", "interpreter")
 
 
@@ -51,6 +56,9 @@ class Executor:
                 f"unknown executor backend {backend!r}; options: {BACKENDS}")
         self.program = program
         self.observer = observer
+        #: opt-in kernel-level tracing hook; None keeps the hot path free
+        #: of timing calls (see InstrObserver)
+        self.instr_observer: InstrObserver | None = None
         self.backend = backend
         self.peak_transient_bytes = 0
         self.last_transient_bytes = 0
@@ -158,11 +166,13 @@ class Executor:
         """Run the instruction stream over ``regs``; returns fresh allocs."""
         arena = self.arena
         observer = self.observer
+        instr_observer = self.instr_observer
+        timed = observer is not None or instr_observer is not None
         fresh_allocs = 0
         perf_counter = time.perf_counter
         for instr in plan.instructions:
             inputs = [regs[slot] for slot in instr.input_slots]
-            began = perf_counter() if observer is not None else 0.0
+            began = perf_counter() if timed else 0.0
             try:
                 out_fn = instr.out_kernel
                 # The out= path requires C-contiguous inputs: ufuncs follow
@@ -190,8 +200,12 @@ class Executor:
                     f"kernel {instr.node.op_type!r} failed at node "
                     f"{instr.node.name!r}: {exc}"
                 ) from exc
-            if observer is not None:
-                observer(instr.node, perf_counter() - began)
+            if timed:
+                ended = perf_counter()
+                if observer is not None:
+                    observer(instr.node, ended - began)
+                if instr_observer is not None:
+                    instr_observer(instr, began, ended)
 
             # View-capable kernels over mutable state: materialise results
             # aliasing a parameter (same semantics as the interpreter).

@@ -425,11 +425,12 @@ class Instruction:
     __slots__ = ("node", "kernel", "attrs", "input_slots", "output_slots",
                  "out_kernel", "out_key", "out_shape", "out_dtype",
                  "donate_slot", "check_state_slots", "frees",
-                 "fresh_outputs")
+                 "fresh_outputs", "variant")
 
     def __init__(self, node: Node, kernel, attrs, input_slots, output_slots,
                  out_kernel, out_key, out_shape, out_dtype, donate_slot,
-                 check_state_slots, frees, fresh_outputs) -> None:
+                 check_state_slots, frees, fresh_outputs,
+                 variant: str = VARIANT_BASE) -> None:
         self.node = node
         self.kernel = kernel
         self.attrs = attrs
@@ -451,6 +452,9 @@ class Instruction:
         #: non-inplace outputs allocated fresh when the out= path is not
         #: taken (feeds the steady-state allocation metric)
         self.fresh_outputs = fresh_outputs
+        #: kernel-variant label for profiling ("base", "donating",
+        #: "fused", or a registry variant like "winograd_precomputed")
+        self.variant = variant
 
 
 class ExecutionPlan:
@@ -572,7 +576,8 @@ def bind_plan(spec: PlanSpec, nodes: Mapping[str, Node]) -> ExecutionPlan:
             out_kernel=out_kernel, out_key=out_key, out_shape=out_shape,
             out_dtype=out_dtype, donate_slot=ispec.donate_slot,
             check_state_slots=ispec.check_state_slots, frees=ispec.frees,
-            fresh_outputs=ispec.fresh_outputs))
+            fresh_outputs=ispec.fresh_outputs,
+            variant="fused" if ispec.fused is not None else ispec.variant))
     precomputed = []
     for entry in spec.precomputed:
         transform = PRECOMPUTE_TRANSFORMS.get(entry.transform)

@@ -24,6 +24,7 @@ import numpy as np
 from ..devices import DeviceSpec, estimate_latency
 from ..ir import Graph
 from ..ir.node import Node
+from ..obs.chrome import duration_event, trace_document
 from .executor import Executor
 from .program import Program
 
@@ -66,23 +67,19 @@ class RuntimeProfile:
         return sorted(self.timings, key=lambda t: -t.duration_us)[:n]
 
     def to_chrome_trace(self) -> dict:
-        """Perfetto/chrome://tracing 'traceEvents' document."""
-        return {
-            "displayTimeUnit": "ms",
-            "traceEvents": [
-                {
-                    "name": t.name,
-                    "cat": t.op_type,
-                    "ph": "X",
-                    "ts": t.start_us,
-                    "dur": t.duration_us,
-                    "pid": 0,
-                    "tid": 0,
-                    "args": {"op_type": t.op_type, "source": self.source},
-                }
-                for t in self.timings
-            ],
-        }
+        """Perfetto/chrome://tracing 'traceEvents' document.
+
+        Shares the serving layer's writer (:mod:`repro.obs.chrome`), so a
+        profile saved here and a ``/v1/trace`` export are the same
+        dialect and can be diffed or merged event-for-event.
+        """
+        return trace_document([
+            duration_event(
+                t.name, cat=t.op_type, ts_us=t.start_us,
+                dur_us=t.duration_us,
+                args={"op_type": t.op_type, "source": self.source})
+            for t in self.timings
+        ])
 
     def save_chrome_trace(self, path: str | Path) -> Path:
         path = Path(path)

@@ -26,6 +26,7 @@ from urllib.parse import urlsplit
 import numpy as np
 
 from ..errors import ServeError
+from ..obs import parse_server_timing
 
 
 class GatewayError(ServeError):
@@ -141,6 +142,14 @@ class ServeClient:
             if response.status == 429:
                 raise RateLimited(response.status, message, retry_after)
             raise GatewayError(response.status, message, retry_after)
+        # The gateway's per-stage span breakdown rides in Server-Timing on
+        # step responses; surface it without another round trip.
+        timing = response.headers.get("Server-Timing")
+        if timing:
+            parsed["timings"] = parse_server_timing(timing)
+        request_id = response.headers.get("X-Request-Id")
+        if request_id and "request_id" not in parsed:
+            parsed["request_id"] = request_id
         return parsed
 
     # -- API -----------------------------------------------------------------
@@ -190,6 +199,24 @@ class ServeClient:
 
     def metrics(self) -> dict:
         return self._request("GET", "/v1/metrics")
+
+    def prometheus_metrics(self) -> str:
+        """The Prometheus text exposition (``/v1/metrics?format=prometheus``)."""
+        conn = self._conn()
+        try:
+            conn.request("GET", "/v1/metrics?format=prometheus")
+            response = conn.getresponse()
+            data = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError) as exc:
+            self._drop_conn()
+            raise GatewayError(0, f"connection lost: {exc}") from exc
+        if response.status >= 400:
+            raise GatewayError(response.status, data.decode(errors="replace"))
+        return data.decode()
+
+    def trace(self) -> dict:
+        """The server's span ring as a chrome://tracing document."""
+        return self._request("GET", "/v1/trace")
 
     def healthz(self) -> dict:
         return self._request("GET", "/v1/healthz")

@@ -15,7 +15,16 @@ Protocol (all bodies JSON)::
     GET    /v1/sessions/{id}                                -> 200 status
     DELETE /v1/sessions/{id}                                -> 200 summary
     GET    /v1/metrics                                      -> 200 stats
+    GET    /v1/metrics?format=prometheus                    -> 200 text
+    GET    /v1/trace                                        -> 200 chrome-trace
     GET    /v1/healthz                                      -> 200 health
+
+Tracing contract: every request gets a request ID — the caller's
+``X-Request-Id`` header when present (16-64 chars of [A-Za-z0-9._-]),
+minted otherwise — and every response echoes it back in
+``X-Request-Id``. Step responses additionally carry a ``Server-Timing``
+header with the request's per-stage span durations; the same spans land
+in the trace ring served at ``/v1/trace``.
 
 Backpressure — enforced *before* enqueue, in order:
 
@@ -39,18 +48,25 @@ from __future__ import annotations
 
 import json
 import math
+import re
 import threading
 import time
 from concurrent.futures import CancelledError
 from concurrent.futures import TimeoutError as FutureTimeout
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
 import numpy as np
 
 from ..errors import ReproError, ServeError
+from ..obs import mint_request_id, server_timing_header
 from .ratelimit import RateLimiter
 from .service import FineTuneService
 from .sessions import TenantSession
+
+#: accepted shape for caller-supplied X-Request-Id values; anything else
+#: (too long, header-injection attempts, empty) gets a minted ID instead
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
 
 def _json_safe(value):
@@ -206,33 +222,55 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
-    def _send_json(self, status: int, payload: dict,
+    def _begin_request(self) -> None:
+        """Adopt the caller's ``X-Request-Id`` or mint one.
+
+        Runs first in every do_* dispatcher so even refusals (404, shed,
+        429) echo a correlatable ID.
+        """
+        supplied = self.headers.get("X-Request-Id", "")
+        self._request_id = supplied if _REQUEST_ID_RE.match(supplied) \
+            else mint_request_id()
+
+    def _send_body(self, status: int, body: bytes, content_type: str,
                    headers: dict[str, str] | None = None) -> None:
-        body = json.dumps(_json_safe(payload)).encode()
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id",
+                         getattr(self, "_request_id", None)
+                         or mint_request_id())
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_json(self, status: int, payload: dict,
+                   headers: dict[str, str] | None = None) -> None:
+        self._send_body(status, json.dumps(_json_safe(payload)).encode(),
+                        "application/json", headers)
+
     # -- routing -------------------------------------------------------------
 
     def do_GET(self) -> None:
         self.gateway._requests_total.inc()
+        self._begin_request()
         self._read_body()  # drain even on bodiless verbs (see _read_body)
-        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        path, _, query = self.path.partition("?")
+        parts = [p for p in path.split("/") if p]
         if parts == ["v1", "healthz"]:
             return self._healthz()
         if parts == ["v1", "metrics"]:
-            return self._metrics()
+            return self._metrics(query)
+        if parts == ["v1", "trace"]:
+            return self._trace()
         if len(parts) == 3 and parts[:2] == ["v1", "sessions"]:
             return self._session_status(parts[2])
         self._send_json(404, {"error": f"no route for GET {self.path}"})
 
     def do_POST(self) -> None:
         self.gateway._requests_total.inc()
+        self._begin_request()
         # The body comes off the wire exactly once, before routing, so
         # every refusal path (404 route miss, shed, unknown session)
         # leaves the keep-alive stream clean.
@@ -247,6 +285,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_DELETE(self) -> None:
         self.gateway._requests_total.inc()
+        self._begin_request()
         self._read_body()
         parts = [p for p in self.path.split("?")[0].split("/") if p]
         if len(parts) == 3 and parts[:2] == ["v1", "sessions"]:
@@ -265,8 +304,22 @@ class _Handler(BaseHTTPRequestHandler):
             "sessions": len(gw.service.sessions),
         })
 
-    def _metrics(self) -> None:
+    def _metrics(self, query: str = "") -> None:
+        fmt = parse_qs(query).get("format", ["json"])[0]
+        if fmt == "prometheus":
+            return self._send_body(
+                200, self.gateway.service.prometheus_metrics().encode(),
+                "text/plain; version=0.0.4; charset=utf-8")
+        if fmt != "json":
+            return self._send_json(
+                400, {"error": f"unknown metrics format {fmt!r}; "
+                               f"options: json, prometheus"})
         self._send_json(200, self.gateway.service.stats())
+
+    def _trace(self) -> None:
+        # The span ring as one chrome://tracing / Perfetto document;
+        # request IDs live in each event's args for correlation.
+        self._send_json(200, self.gateway.service.tracer.export())
 
     def _create_session(self, raw: bytes) -> None:
         gw = self.gateway
@@ -363,8 +416,14 @@ class _Handler(BaseHTTPRequestHandler):
             y = np.asarray(payload["y"], dtype=family.label_dtype)
         except (KeyError, ValueError, TypeError) as exc:
             return self._send_json(400, {"error": f"bad step body: {exc}"})
+        # The trace context the whole request pipeline records into: the
+        # gateway owns admission and serialize, the scheduler queue_wait,
+        # the service batch_wait and execute.
+        trace = gw.service.tracer.trace(
+            self._request_id, session_id=session_id, tenant=session.tenant)
+        trace.add("admission", began, time.perf_counter())
         try:
-            future = gw.service.submit(session_id, x, y)
+            future = gw.service.submit(session_id, x, y, trace=trace)
         except ServeError as exc:
             status = 503 if "closed" in str(exc) else 400
             return self._send_json(status, {"error": str(exc)})
@@ -383,11 +442,21 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 - surface, don't hang
             return self._send_json(
                 500, {"error": f"{type(exc).__name__}: {exc}"})
-        gw._step_latency.observe((time.perf_counter() - began) * 1e3)
-        self._send_json(200, {
+        # Serialize opens the moment the result lands (covering response
+        # bookkeeping + json.dumps; socket write excluded: the span must
+        # be *in* the headers it is reported through).
+        serialize_began = time.perf_counter()
+        gw._step_latency.observe((serialize_began - began) * 1e3)
+        body = json.dumps(_json_safe({
             "session_id": result.session_id,
             "loss": result.loss,
             "step": result.step,
             "batch_size": result.batch_size,
             "program_key": result.program_key,
+            "request_id": trace.request_id,
+        })).encode()
+        trace.add("serialize", serialize_began, time.perf_counter())
+        self._send_body(200, body, "application/json", headers={
+            "Server-Timing": server_timing_header(
+                trace.timings_ms(), trace.total_ms()),
         })

@@ -11,6 +11,7 @@ every other report in the repo.
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from typing import Sequence
 
 import numpy as np
@@ -33,7 +34,11 @@ class Counter:
 
     @property
     def value(self) -> float:
-        return self._value
+        # Locked like the writes: float loads are GIL-atomic today, but a
+        # torn read would be silent data corruption in a metrics endpoint,
+        # and the lock documents the intended contract.
+        with self._lock:
+            return self._value
 
 
 class Gauge:
@@ -64,7 +69,8 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class CallbackGauge:
@@ -86,17 +92,33 @@ class CallbackGauge:
         return float(self.fn())
 
 
-class Histogram:
-    """Quantile sketch over a ring buffer of recent observations."""
+#: default cumulative-bucket bounds, tuned for millisecond latencies
+#: (they also resolve small counts like batch sizes well enough)
+DEFAULT_BUCKETS = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+                   500.0, 1000.0, 2500.0, 5000.0, 10000.0)
 
-    def __init__(self, name: str, help: str = "",
-                 window: int = 2048) -> None:
+
+class Histogram:
+    """Quantile sketch over a ring of recent observations, plus all-time
+    cumulative buckets for Prometheus exposition.
+
+    The ring answers "what is p95 right now" (steady-state, cold start
+    forgotten); the bucket counters answer a scraper's "how many
+    observations ever fell at or under each bound" — both fed by the same
+    :meth:`observe`.
+    """
+
+    def __init__(self, name: str, help: str = "", window: int = 2048,
+                 buckets: Sequence[float] | None = None) -> None:
         self.name = name
         self.help = help
         self._ring = np.zeros(window, dtype=np.float64)
         self._next = 0
         self._count = 0
         self._sum = 0.0
+        self._bounds = tuple(sorted(buckets or DEFAULT_BUCKETS))
+        #: per-bucket (non-cumulative) counts; last entry is +Inf
+        self._bucket_counts = [0] * (len(self._bounds) + 1)
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -105,18 +127,22 @@ class Histogram:
             self._next += 1
             self._count += 1
             self._sum += value
+            self._bucket_counts[bisect_left(self._bounds, value)] += 1
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def sum(self) -> float:
-        return self._sum
+        with self._lock:
+            return self._sum
 
     @property
     def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
 
     def quantile(self, q: float) -> float:
         """Empirical quantile over the retained window (0 when empty)."""
@@ -126,13 +152,36 @@ class Histogram:
                 return 0.0
             return float(np.quantile(self._ring[:n], q))
 
+    def bucket_counts(self) -> tuple[tuple[float, ...], list[int],
+                                     float, int]:
+        """``(bounds, cumulative_counts_incl_inf, sum, count)`` snapshot.
+
+        Cumulative per Prometheus semantics: entry i counts observations
+        ``<= bounds[i]``; the final entry (+Inf) equals ``count``.
+        """
+        with self._lock:
+            cumulative: list[int] = []
+            running = 0
+            for bucket in self._bucket_counts:
+                running += bucket
+                cumulative.append(running)
+            return self._bounds, cumulative, self._sum, self._count
+
     def summary(self) -> dict[str, float]:
-        return {
-            "count": self._count,
-            "mean": self.mean,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-        }
+        # One consistent snapshot: count/mean and the quantile window are
+        # read under the same lock acquisition, so a render racing
+        # observe() can't pair a new count with an old sum.
+        with self._lock:
+            count = self._count
+            mean = self._sum / count if count else 0.0
+            n = min(count, len(self._ring))
+            window = self._ring[:n].copy() if n else None
+        if window is None:
+            p50 = p95 = 0.0
+        else:
+            p50, p95 = (float(q) for q in
+                        np.quantile(window, (0.50, 0.95)))
+        return {"count": count, "mean": mean, "p50": p50, "p95": p95}
 
 
 class MetricsRegistry:
@@ -151,6 +200,11 @@ class MetricsRegistry:
 
     def histogram(self, name: str, help: str = "") -> Histogram:
         return self._get_or_create(name, Histogram, help)
+
+    def items(self) -> list[tuple[str, object]]:
+        """Stable snapshot of ``(name, metric)`` pairs (exposition)."""
+        with self._lock:
+            return sorted(self._metrics.items())
 
     def callback_gauge(self, name: str, fn,
                        help: str = "") -> CallbackGauge:

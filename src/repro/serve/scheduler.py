@@ -26,12 +26,13 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
 
 from ..errors import ServeError
+from ..obs import TraceContext
 from .metrics import MetricsRegistry
 from .sessions import TenantSession
 
@@ -45,6 +46,11 @@ class StepRequest:
     y: np.ndarray
     future: Future = field(default_factory=Future)
     submitted_at: float = field(default_factory=time.perf_counter)
+    #: request trace context (spans publish through the service tracer)
+    trace: TraceContext | None = None
+    #: perf_counter when the request was cut out of the queue into an
+    #: executing batch (end of queue_wait, start of batch_wait)
+    cut_at: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -56,6 +62,9 @@ class StepResult:
     step: int          #: session step counter after this update
     batch_size: int    #: examples coalesced into the update
     program_key: str
+    #: per-stage span durations in ms for *this* request (None when the
+    #: request carried no trace context)
+    timings: dict[str, float] | None = None
 
 
 def bucket_sizes(max_batch: int) -> list[int]:
@@ -120,9 +129,19 @@ class BatchScheduler:
     # -- producer side -------------------------------------------------------
 
     def submit(self, session: TenantSession, x: np.ndarray,
-               y: np.ndarray) -> Future:
-        """Enqueue one single-example step; returns a Future[StepResult]."""
-        request = StepRequest(session=session, x=x, y=y)
+               y: np.ndarray,
+               trace: TraceContext | None = None,
+               submitted_at: float | None = None) -> Future:
+        """Enqueue one single-example step; returns a Future[StepResult].
+
+        ``submitted_at`` backdates the queue_wait span to when the caller
+        accepted the request (the service passes its own entry time so
+        validation/copy overhead is attributed to queueing, not lost
+        between spans); default is now.
+        """
+        request = StepRequest(session=session, x=x, y=y, trace=trace)
+        if submitted_at is not None:
+            request.submitted_at = submitted_at
         with self._work:
             if self._closing:
                 raise ServeError("scheduler is closed")
@@ -248,6 +267,11 @@ class BatchScheduler:
         # optimizer step and the resolved results can't disagree.
         batch = [request for request in batch
                  if request.future.set_running_or_notify_cancel()]
+        cut = time.perf_counter()
+        for request in batch:
+            request.cut_at = cut
+            if request.trace is not None:
+                request.trace.add("queue_wait", request.submitted_at, cut)
         try:
             if batch:
                 result = self._run_batch(session, batch)
@@ -257,7 +281,12 @@ class BatchScheduler:
                 for request in batch:
                     self._request_latency.observe(
                         (done - request.submitted_at) * 1e3)
-                    request.future.set_result(result)
+                    if request.trace is not None:
+                        request.future.set_result(replace(
+                            result,
+                            timings=request.trace.timings_ms()))
+                    else:
+                        request.future.set_result(result)
         except BaseException as exc:  # noqa: BLE001 - futures carry it
             for request in batch:
                 if not request.future.done():

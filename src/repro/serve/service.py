@@ -21,6 +21,7 @@ needs the forward graph rebuilt at each bucket's batch size.
 from __future__ import annotations
 
 import json
+import os
 import tempfile
 import threading
 from concurrent.futures import Future
@@ -33,6 +34,7 @@ import numpy as np
 from ..errors import ServeError
 from ..ir import Graph
 from ..models import build_model, paper_scheme
+from ..obs import TraceCarrier, TraceContext, Tracer, render_prometheus
 from ..runtime.compiler import CompileOptions, compile_training
 from ..sparse import UpdateScheme, bias_only, full_update
 from ..train.optim import OptimizerSpec, SGD
@@ -159,12 +161,20 @@ class FineTuneService:
                  cache_dir: str | Path | None = None,
                  max_sessions: int | None = None,
                  session_ttl: float | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 trace_sample: int = 0,
+                 slow_ms: float | None = None,
+                 trace_ring: int = 4096) -> None:
         if backend not in BACKENDS:
             raise ServeError(
                 f"unknown serve backend {backend!r}; options: {BACKENDS}")
         self.backend = backend
         self.metrics = metrics or MetricsRegistry()
+        #: the observability spine: request spans, the /v1/trace ring,
+        #: sampled kernel timing (1 in trace_sample batches; 0 = off),
+        #: and slow-request logging past slow_ms
+        self.tracer = Tracer(self.metrics, ring_capacity=trace_ring,
+                             sample_every=trace_sample, slow_ms=slow_ms)
         # The process backend feeds workers from persisted plan artifacts;
         # without a caller-provided cache_dir it uses a service-lifetime
         # temp dir (workers still skip compilation, persistence just does
@@ -206,6 +216,24 @@ class FineTuneService:
             "fresh output buffers per step (0-ish once arenas are warm)")
         self._compile_latency = self.metrics.histogram(
             "serve.compile_ms", "compile wall time per cache miss")
+        # Satellite of the memory story: the runtime-measured peak
+        # transient bytes of the most recent step (the per-program
+        # high-water marks live on the cache entries).
+        self._step_peak_bytes = self.metrics.gauge(
+            "serve.step_peak_transient_bytes",
+            "peak transient bytes of the most recent executed step")
+        self.metrics.callback_gauge(
+            "serve.trace_spans_recorded",
+            lambda: float(self.tracer.spans_recorded),
+            "request spans published to the trace ring")
+        self.metrics.callback_gauge(
+            "serve.trace_kernel_samples",
+            lambda: float(self.tracer.kernel_samples),
+            "sampled per-instruction kernel timings recorded")
+        self.metrics.callback_gauge(
+            "serve.slow_requests",
+            lambda: float(self.tracer.slow_requests),
+            "requests logged for exceeding the slow-ms threshold")
         # Callback gauges so these can never go stale: TTL sweeps retire
         # sessions without passing through create/close, and the gateway
         # reads queue depth (registered by the scheduler, which owns the
@@ -278,8 +306,17 @@ class FineTuneService:
     # -- stepping ------------------------------------------------------------
 
     def submit(self, session_id: str, x: np.ndarray,
-               y: np.ndarray) -> Future:
-        """Enqueue one single-example step; returns a Future[StepResult]."""
+               y: np.ndarray,
+               trace: TraceContext | None = None) -> Future:
+        """Enqueue one single-example step; returns a Future[StepResult].
+
+        Every request carries a trace context: the gateway passes the one
+        it minted at ingress (so the request ID in the response headers
+        matches the spans), and direct library callers get one minted
+        here. The resolved StepResult's ``timings`` holds this request's
+        per-stage span durations.
+        """
+        entered = perf_counter()
         self._check_open()
         # Opportunistic TTL sweep on the request path (self-throttled to
         # ~1/s inside the manager; a no-op without a session TTL).
@@ -298,10 +335,18 @@ class FineTuneService:
             raise ServeError(
                 f"label must have shape {family.label_shape}, got {y.shape}"
             )
+        if trace is None:
+            trace = self.tracer.trace(session_id=session_id,
+                                      tenant=session.tenant)
+        # queue_wait is backdated to service entry so shape validation and
+        # dtype copies are attributed to a span instead of falling into
+        # the gap between admission and the scheduler queue.
         return self.scheduler.submit(
             session,
             x.astype(family.example_dtype, copy=False),
             y.astype(family.label_dtype, copy=False),
+            trace=trace,
+            submitted_at=entered,
         )
 
     def step(self, session_id: str, x: np.ndarray,
@@ -329,6 +374,15 @@ class FineTuneService:
     def render_metrics(self, title: str = "repro.serve metrics") -> str:
         self._sync_cache_metrics()
         return self.metrics.render(title=title)
+
+    def prometheus_metrics(self) -> str:
+        """Prometheus text exposition of the full registry.
+
+        Histograms publish real cumulative ``le`` buckets (all-time, not
+        the windowed quantile ring the human-readable render shows).
+        """
+        self._sync_cache_metrics()
+        return render_prometheus(self.metrics)
 
     def _sync_cache_metrics(self) -> None:
         stats = self.cache.stats
@@ -367,11 +421,12 @@ class FineTuneService:
             gauge = entry.meta.get("peak_gauge")
             if gauge is not None:
                 per_program[
-                    f"serve.peak_transient_bytes[{short}]"] = gauge.value
+                    f"serve.peak_transient_bytes[program={short}]"
+                ] = gauge.value
             report = entry.program.meta.get("report")
             if report is not None:
                 per_program[
-                    f"serve.compiled_peak_transient_bytes[{short}]"
+                    f"serve.compiled_peak_transient_bytes[program={short}]"
                 ] = report.peak_transient_bytes
         self.metrics.replace_prefixed(
             ("serve.peak_transient_bytes[",
@@ -447,39 +502,80 @@ class FineTuneService:
             x = np.stack([request.x for request in batch])
             y = np.stack([request.y for request in batch])
         feeds = {family.input_name: x, family.labels_name: y}
+        traces = [request.trace for request in batch
+                  if request.trace is not None]
+        trace_ids = tuple(t.request_id for t in traces)
+        sample = self.tracer.should_sample()
+        kernel_events: list[tuple[str, str, float, float]] = []
         began = perf_counter()
         if self.engine is not None:
             # Data-plane step: ship the session's mutable overlay and the
             # micro-batch to a worker holding the bound plan artifact; copy
             # the updated overlay back *into* the session arrays (never
-            # rebind — snapshots and live views stay coherent).
+            # rebind — snapshots and live views stay coherent). The trace
+            # carrier rides along so the worker can stamp its events with
+            # our request IDs; its observations come back *in the result*
+            # (workers never share trace state, so a killed worker can't
+            # tear the span ring).
+            carrier = TraceCarrier(request_ids=trace_ids, sample=sample) \
+                if trace_ids or sample else None
             with session.lock:
-                fetched, new_state, peak_bytes, fresh_allocs = \
+                fetched, new_state, peak_bytes, fresh_allocs, obs_payload = \
                     self.engine.run_step(
                         entry.meta.get("artifact_path"), entry.key,
-                        session.state, feeds, fetch=(family.loss_name,))
+                        session.state, feeds, fetch=(family.loss_name,),
+                        trace=carrier)
                 for name, array in new_state.items():
                     session.state[name][...] = array
             loss = float(fetched[family.loss_name])
+            if obs_payload is not None:
+                self.tracer.record_worker_step(obs_payload, session.id)
         else:
             executor = session.executor_for(entry.key, entry.program)
             with session.lock:
-                out = executor.run(feeds)
+                # instr_observer install/removal happens under the session
+                # lock that also serializes executor.run, so a sampled
+                # batch never records another batch's kernels.
+                if sample:
+                    executor.instr_observer = \
+                        lambda instr, t0, t1: kernel_events.append(
+                            (instr.node.op_type, instr.variant, t0, t1))
+                try:
+                    out = executor.run(feeds)
+                finally:
+                    executor.instr_observer = None
             loss = float(out[family.loss_name])
             peak_bytes = executor.peak_transient_bytes
             fresh_allocs = executor.last_step_fresh_allocs
-        elapsed_ms = (perf_counter() - began) * 1e3
+            if kernel_events:
+                self.tracer.record_kernels(
+                    kernel_events, pid=os.getpid(),
+                    request_ids=trace_ids, session_id=session.id)
+        ended = perf_counter()
+        elapsed_ms = (ended - began) * 1e3
         session.record(loss, len(batch))
         self._steps_total.inc()
         self._examples_total.inc(len(batch))
         self._step_latency.observe(elapsed_ms)
         self._step_allocs.observe(float(fresh_allocs))
+        self._step_peak_bytes.set(float(peak_bytes))
         # High-water mark travels with the cache entry (and dies with it on
         # eviction); _sync_cache_metrics publishes only live entries, so
         # per-program gauge cardinality stays bounded by the cache.
         peak = entry.meta.setdefault(
             "peak_gauge", Gauge(f"peak[{entry.key[:12]}]"))
         peak.max(peak_bytes)
+        for request in batch:
+            if request.trace is None:
+                continue
+            # batch_wait: cut from the queue until the batch hit the
+            # engine (bucket compile on a cold cache lands here too).
+            request.trace.add("batch_wait", request.cut_at, began)
+            request.trace.add("execute", began, ended)
+            self.tracer.maybe_log_slow(
+                request.trace, loss=loss, step=session.steps,
+                batch_size=len(batch), program_key=entry.key[:12],
+                peak_transient_bytes=int(peak_bytes))
         return StepResult(
             session_id=session.id,
             loss=loss,

@@ -76,9 +76,15 @@ class ProcessPoolEngine:
     def run_step(self, artifact_dir, key: str,
                  state: dict[str, np.ndarray],
                  feeds: dict[str, np.ndarray],
-                 fetch: Iterable[str]):
+                 fetch: Iterable[str],
+                 trace=None):
         """One plan step on some worker; see
-        :func:`repro.deploy.stepworker.run_step`."""
+        :func:`repro.deploy.stepworker.run_step`.
+
+        ``trace`` (a :class:`repro.obs.TraceCarrier` or None) crosses the
+        pickle boundary with the task; the worker's observations ride back
+        in the result tuple's ``obs_payload`` slot.
+        """
         if artifact_dir is None:
             raise ServeError(
                 f"program {key[:12]}… has no persisted artifact; the "
@@ -87,7 +93,7 @@ class ProcessPoolEngine:
         try:
             return pool.submit(
                 stepworker.run_step, str(artifact_dir), key, state, feeds,
-                tuple(fetch)).result()
+                tuple(fetch), trace).result()
         except BrokenProcessPool as exc:
             self._rebuild(pool)
             raise ServeError(
