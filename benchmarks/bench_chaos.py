@@ -1,0 +1,314 @@
+"""Chaos benchmark: durability gates under live worker kills.
+
+Runs an in-process ``FineTuneService`` on the **process backend** behind a
+real ``GatewayServer``, drives it with retrying ``ServeClient`` threads,
+and attacks it while traffic is live:
+
+* **kill loop** — a killer thread SIGKILLs a random step-worker process
+  every few hundred milliseconds while tenants submit keyed, retried
+  steps. Gate: *zero lost and zero double-applied acknowledged steps* —
+  every session's server-side ``examples`` counter must equal exactly the
+  number of acks its client collected, and the pool must actually have
+  been rebuilt (``worker_restarts >= 1``, kills >= 1);
+* **lost response** — the ``gateway.reset_after_send`` fault point drops
+  one response after the optimizer update applied. The client must
+  recover via its idempotency key and the server must answer from the
+  replay window (``serve.steps_replayed >= 1``) without a second update;
+* **restore after crash** — every session is checkpointed, the whole
+  service is torn down (the "crash"), and a fresh service restores each
+  session from the shared checkpoint directory. Gates: restore p95 within
+  the recorded bound, post-restore steps succeed, and the restored
+  ``step_seq`` continues from the checkpointed value;
+* **corrupt checkpoint fallback** — the newest checkpoint of one session
+  is bit-flipped on disk; restore must quarantine it (``*.corrupt``) and
+  fall back to the previous intact version.
+
+Writes ``BENCH_chaos.json`` and exits non-zero if any gate fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import signal
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _helpers import banner, fast_mode
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.serve import (FAULTS, FineTuneService, GatewayServer,  # noqa: E402
+                         ServeClient)
+
+MODEL = "mcunet_micro"
+
+
+def _percentile(values: list[float], pct: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), pct))
+
+
+def _example(doc: dict, rng) -> tuple[list, int]:
+    x = rng.standard_normal(doc["input_shape"]).astype(np.float32)
+    return x, int(rng.integers(0, doc["num_classes"]))
+
+
+def _service(root: Path, workers: int) -> FineTuneService:
+    """A process-backend service sharing one artifact cache + checkpoint
+    store across "crashes" (fresh services see the same directories)."""
+    return FineTuneService(
+        backend="process", workers=workers, max_batch=4,
+        cache_dir=root / "cache", checkpoint_dir=root / "ckpt",
+        checkpoint_every=5, keep_checkpoints=3)
+
+
+class Killer(threading.Thread):
+    """SIGKILLs one random live worker every ``interval`` seconds."""
+
+    def __init__(self, service: FineTuneService, interval: float) -> None:
+        super().__init__(daemon=True)
+        self.service = service
+        self.interval = interval
+        self.kills = 0
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        rng = random.Random(1234)
+        while not self._halt.wait(self.interval):
+            pids = self.service.engine.worker_pids()
+            if not pids:
+                continue
+            try:
+                os.kill(rng.choice(pids), signal.SIGKILL)
+                self.kills += 1
+            except ProcessLookupError:
+                pass
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=5.0)
+
+
+def _drive(client: ServeClient, doc: dict, steps: int, seed: int,
+           acks: dict, errors: list) -> None:
+    """One tenant: ``steps`` keyed, retried steps; counts each ack once."""
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        x, y = _example(doc, rng)
+        try:
+            client.step(doc["session_id"], x, y, max_wait=120.0)
+        except Exception as exc:  # noqa: BLE001 - gate input, not cleanup
+            errors.append(f"{doc['session_id']}: {type(exc).__name__}: {exc}")
+            return
+        acks[doc["session_id"]] += 1
+
+
+def run(quick: bool) -> dict:
+    sessions = 3 if quick else 4
+    steps = 10 if quick else 25
+    post_steps = 3 if quick else 6
+    workers = 2
+    kill_interval = 1.0 if quick else 0.7
+    restore_bound_s = 10.0  # CI-container generous; typical is <1s
+
+    result: dict = {
+        "benchmark": "chaos", "model": MODEL, "quick": quick,
+        "sessions": sessions, "steps_per_session": steps,
+        "gates": {},
+    }
+    failures: list[str] = []
+
+    def gate(name: str, ok: bool, detail: str) -> None:
+        result["gates"][name] = {"ok": bool(ok), "detail": detail}
+        print(f"  {'PASS' if ok else 'FAIL'}  {name}: {detail}")
+        if not ok:
+            failures.append(f"{name}: {detail}")
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        root = Path(tmp)
+
+        # -- phase 1+2: kill loop with one lost response -------------------
+        print("phase 1: kill loop under live keyed traffic")
+        service = _service(root, workers)
+        gateway = GatewayServer(service, port=0, max_queue_depth=256,
+                                step_timeout=120.0)
+        gateway.start()
+        client = ServeClient(gateway.host, gateway.port)
+        docs = [client.create_session(MODEL, scheme="paper",
+                                      tenant=f"tenant-{i}")
+                for i in range(sessions)]
+        # Drop exactly one response after the update applied: the client
+        # must re-send the same idempotency key and get the recorded
+        # result back instead of a second optimizer update.
+        FAULTS.arm("gateway.reset_after_send", times=1, skip=sessions + 2)
+
+        acks = {doc["session_id"]: 0 for doc in docs}
+        errors: list[str] = []
+        began = time.perf_counter()
+        killer = Killer(service, kill_interval)
+        killer.start()
+        threads = [threading.Thread(
+            target=_drive, args=(ServeClient(gateway.host, gateway.port),
+                                 doc, steps, 100 + i, acks, errors))
+            for i, doc in enumerate(docs)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        killer.stop()
+        FAULTS.disarm()
+        elapsed = time.perf_counter() - began
+
+        stats = service.metrics.as_dict()
+        examples = {doc["session_id"]:
+                    int(service.sessions.get(doc["session_id"]).examples)
+                    for doc in docs}
+        result["kill_loop"] = {
+            "elapsed_s": round(elapsed, 2),
+            "kills": killer.kills,
+            "worker_restarts": int(stats.get("serve.worker_restarts", 0)),
+            "steps_replayed": int(stats.get("serve.steps_replayed", 0)),
+            "acked": dict(acks),
+            "server_examples": examples,
+            "client_errors": errors,
+        }
+        gate("all_steps_acked",
+             not errors and all(n == steps for n in acks.values()),
+             f"acks={sum(acks.values())}/{sessions * steps}"
+             + (f" errors={errors[:2]}" if errors else ""))
+        gate("exactly_once",
+             all(examples[sid] == acks[sid] for sid in acks),
+             f"server examples {examples} vs acks {acks}")
+        gate("workers_killed_and_rebuilt",
+             killer.kills >= 1
+             and int(stats.get("serve.worker_restarts", 0)) >= 1,
+             f"kills={killer.kills} "
+             f"restarts={int(stats.get('serve.worker_restarts', 0))}")
+        gate("lost_response_replayed",
+             int(stats.get("serve.steps_replayed", 0)) >= 1,
+             f"steps_replayed={int(stats.get('serve.steps_replayed', 0))}")
+
+        # -- phase 3: checkpoint everything, crash, restore ---------------
+        print("phase 2: crash the service, restore from checkpoints")
+        meta = {}
+        for doc in docs:
+            meta[doc["session_id"]] = client.checkpoint(doc["session_id"])
+        gateway.close()
+        service.close()  # the "crash": all in-memory session state is gone
+
+        service = _service(root, workers)
+        gateway = GatewayServer(service, port=0, max_queue_depth=256,
+                                step_timeout=120.0)
+        gateway.start()
+        client = ServeClient(gateway.host, gateway.port)
+        restore_s: list[float] = []
+        restored = {}
+        for doc in docs:
+            t0 = time.perf_counter()
+            restored[doc["session_id"]] = client.restore(
+                session_id=doc["session_id"])
+            restore_s.append(time.perf_counter() - t0)
+        p95 = _percentile(restore_s, 95)
+        result["restore"] = {
+            "p50_s": round(_percentile(restore_s, 50), 3),
+            "p95_s": round(p95, 3),
+            "bound_s": restore_bound_s,
+            "step_seq": {sid: r.get("step_seq")
+                         for sid, r in restored.items()},
+        }
+        gate("restore_p95_bounded", p95 <= restore_bound_s,
+             f"p95={p95:.3f}s bound={restore_bound_s}s")
+        gate("restore_resumes_step_seq",
+             all(restored[sid].get("step_seq") == meta[sid]["step_seq"]
+                 for sid in restored),
+             f"restored step_seq {result['restore']['step_seq']}")
+
+        post_acks = {doc["session_id"]: 0 for doc in docs}
+        post_errors: list[str] = []
+        threads = [threading.Thread(
+            target=_drive, args=(ServeClient(gateway.host, gateway.port),
+                                 doc, post_steps, 200 + i, post_acks,
+                                 post_errors))
+            for i, doc in enumerate(docs)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        post_examples = {doc["session_id"]:
+                         int(service.sessions.get(doc["session_id"]).examples)
+                         for doc in docs}
+        result["post_restore"] = {"acked": dict(post_acks),
+                                  "server_examples": post_examples,
+                                  "client_errors": post_errors}
+        gate("post_restore_traffic",
+             not post_errors
+             and all(n == post_steps for n in post_acks.values())
+             and all(post_examples[sid] == examples[sid] + post_acks[sid]
+                     for sid in post_acks),
+             f"post acks={sum(post_acks.values())}/"
+             f"{sessions * post_steps}, examples continue from checkpoint")
+        gateway.close()
+        service.close()
+
+        # -- phase 4: corrupt the newest checkpoint, fall back -------------
+        print("phase 3: corrupt newest checkpoint, restore falls back")
+        victim = docs[0]["session_id"]
+        ckpts = sorted((root / "ckpt" / victim).glob("ckpt-*.ckpt"))
+        newest = ckpts[-1]
+        newest_seq = int(newest.stem.split("-")[1])
+        blob = bytearray(newest.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        newest.write_bytes(bytes(blob))
+
+        with _service(root, workers) as service:
+            session = service.restore_session(session_id=victim)
+            quarantined = list((root / "ckpt" / victim).glob("*.corrupt"))
+            result["corrupt_fallback"] = {
+                "versions_on_disk": len(ckpts),
+                "restored_step_seq": session.step_seq,
+                "quarantined": [p.name for p in quarantined],
+            }
+            gate("corrupt_checkpoint_quarantined_and_fell_back",
+                 len(ckpts) >= 2 and len(quarantined) == 1
+                 and session.step_seq < newest_seq,
+                 f"{len(ckpts)} versions, restored step_seq="
+                 f"{session.step_seq} < corrupted {newest_seq}, "
+                 f"quarantined={[p.name for p in quarantined]}")
+
+    result["failures"] = failures
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller kill loop for CI smoke")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_chaos.json"))
+    args = parser.parse_args(argv)
+
+    banner("chaos: durability under worker kills")
+    result = run(args.quick or fast_mode())
+    args.out.write_text(json.dumps(result, indent=1))
+    print(f"\nwrote {args.out}")
+
+    for failure in result["failures"]:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if result["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -183,7 +183,10 @@ def _serve_http(args) -> int:
                          max_sessions=args.max_sessions,
                          session_ttl=args.session_ttl,
                          trace_sample=args.trace_sample,
-                         slow_ms=args.slow_ms) as service:
+                         slow_ms=args.slow_ms,
+                         checkpoint_dir=args.checkpoint_dir,
+                         checkpoint_every=args.checkpoint_every,
+                         keep_checkpoints=args.keep_checkpoints) as service:
         gateway = GatewayServer(
             service, host=args.host, port=args.http,
             max_queue_depth=args.max_queue_depth,
@@ -243,7 +246,10 @@ def cmd_serve(args) -> int:
                          max_sessions=args.max_sessions,
                          session_ttl=args.session_ttl,
                          trace_sample=args.trace_sample,
-                         slow_ms=args.slow_ms) as service:
+                         slow_ms=args.slow_ms,
+                         checkpoint_dir=args.checkpoint_dir,
+                         checkpoint_every=args.checkpoint_every,
+                         keep_checkpoints=args.keep_checkpoints) as service:
         scheme = "paper" if args.sparse else "full"
         sessions = [
             service.create_session(args.model, scheme=scheme,
@@ -376,6 +382,17 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--rate-burst", type=float, default=None,
                      help="per-tenant burst size (default: one second of "
                           "--rate-limit, floored at 1)")
+    srv.add_argument("--checkpoint-dir", default=None,
+                     help="persist session checkpoints under this "
+                          "directory (enables the restore-from-store "
+                          "routes)")
+    srv.add_argument("--checkpoint-every", type=int, default=0,
+                     metavar="N",
+                     help="auto-checkpoint a session every N applied "
+                          "steps (0 = manual checkpoints only; needs "
+                          "--checkpoint-dir)")
+    srv.add_argument("--keep-checkpoints", type=int, default=3,
+                     help="checkpoint versions retained per session")
     srv.add_argument("--drain-timeout", type=float, default=10.0,
                      help="on shutdown, wait this long for queued steps "
                           "before cancelling them")

@@ -17,8 +17,11 @@ once); sessions ship only their mutable state overlay per step.
 
 from __future__ import annotations
 
+import json
 import os
+import signal
 import sys
+import time
 from collections import OrderedDict
 from time import perf_counter
 
@@ -34,6 +37,52 @@ MAX_BOUND_PROGRAMS = 8
 #: per-process kernel-time aggregate: (op_type, variant) -> [count, total
 #: seconds], fed by sampled steps and reported through :func:`probe`.
 _KERNEL_STATS: dict = {}
+
+
+def _load_fault_spec() -> dict | None:
+    """The ``worker.step`` entry of the ``REPRO_FAULTS`` env var, if any.
+
+    A deliberately minimal inline mirror of the arming half of
+    :mod:`repro.serve.faults` — this module must NOT import anything
+    under ``repro.serve`` (the package init drags in the compiler, which
+    :func:`probe` verifies never loads inside a worker). Spawned workers
+    inherit the parent's environment, so chaos tests arm worker kills by
+    exporting ``REPRO_FAULTS='{"worker.step": {"times": null, "skip": 5,
+    "action": "kill"}}'`` before the pool starts.
+    """
+    raw = os.environ.get("REPRO_FAULTS")
+    if not raw:
+        return None
+    try:
+        spec = json.loads(raw).get("worker.step")
+    except (ValueError, AttributeError):
+        return None
+    return spec if isinstance(spec, dict) else None
+
+
+_FAULT_SPEC = _load_fault_spec()
+_fault_calls = 0
+
+
+def _maybe_fault() -> None:
+    """Fire the armed ``worker.step`` fault per its spec (see above)."""
+    global _fault_calls
+    spec = _FAULT_SPEC
+    if not spec:
+        return
+    _fault_calls += 1
+    skip = int(spec.get("skip", 0) or 0)
+    if _fault_calls <= skip:
+        return
+    times = spec.get("times", 1)
+    if times is not None and _fault_calls - skip > int(times):
+        return
+    delay = float(spec.get("delay", 0) or 0)
+    if delay:
+        time.sleep(delay)
+    if spec.get("action") == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise RuntimeError("fault injected at worker.step")
 
 
 def bind(artifact_dir: str, key: str):
@@ -73,6 +122,7 @@ def run_step(artifact_dir: str, key: str,
     value, never through shared state, so a crashed worker can't corrupt
     the parent's trace ring. ``obs_payload`` is None for untraced steps.
     """
+    _maybe_fault()
     program, executor = bind(artifact_dir, key)
     # Overlay this session's mutable state on the shared template; the
     # in-place apply kernels mutate the overlay arrays we just unpickled,

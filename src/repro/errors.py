@@ -52,3 +52,31 @@ class DeviceError(ReproError):
 
 class ServeError(ReproError):
     """The fine-tuning service was misused (unknown session, closed, ...)."""
+
+
+class CheckpointError(ServeError):
+    """A session checkpoint is unreadable (corrupt, truncated, or a
+    version this runtime does not speak).
+
+    Distinct from ``ServeError`` so restore paths can quarantine the bad
+    file and fall back to an earlier checkpoint version instead of
+    failing the request outright.
+    """
+
+
+class DeadlineExpired(ServeError):
+    """A request's end-to-end deadline passed before the work ran.
+
+    Raised *instead of* doing the work: the serving layer sheds expired
+    requests at every stage (gateway admission, scheduler cut, service
+    submit) so a saturated queue stops burning workers on results nobody
+    is waiting for. Maps to HTTP 504 at the gateway.
+    """
+
+
+class FaultInjected(ReproError):
+    """An armed fault point fired (test/chaos harness only).
+
+    Never raised in production paths unless a fault was explicitly armed
+    through :mod:`repro.serve.faults`.
+    """

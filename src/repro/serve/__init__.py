@@ -23,7 +23,10 @@ Quickstart::
 """
 
 from .cache import CacheEntry, CacheStats, ProgramCache
-from .client import GatewayError, RateLimited, ServeClient
+from .checkpoint import (CheckpointStore, SessionCheckpoint, dump_checkpoint,
+                         load_checkpoint, read_checkpoint, write_checkpoint)
+from .client import GatewayError, RateLimited, ResponseLost, ServeClient
+from .faults import FAULT_POINTS, FAULTS, FaultRegistry
 from .gateway import GatewayServer
 from .keys import key_document, program_key
 from .metrics import (CallbackGauge, Counter, Gauge, Histogram,
@@ -32,7 +35,7 @@ from .ratelimit import RateLimiter, TokenBucket
 from .scheduler import (BatchScheduler, StepRequest, StepResult,
                         bucket_sizes)
 from .service import BACKENDS, FineTuneService, ProgramFamily
-from .sessions import SessionManager, TenantSession
+from .sessions import IDEMPOTENCY_WINDOW, SessionManager, TenantSession
 from .workers import ProcessPoolEngine
 
 __all__ = [
@@ -41,25 +44,36 @@ __all__ = [
     "CacheEntry",
     "CacheStats",
     "CallbackGauge",
+    "CheckpointStore",
     "Counter",
+    "FAULTS",
+    "FAULT_POINTS",
+    "FaultRegistry",
     "FineTuneService",
     "Gauge",
     "GatewayError",
     "GatewayServer",
     "Histogram",
+    "IDEMPOTENCY_WINDOW",
     "MetricsRegistry",
     "ProcessPoolEngine",
     "ProgramCache",
     "ProgramFamily",
     "RateLimited",
     "RateLimiter",
+    "ResponseLost",
     "ServeClient",
+    "SessionCheckpoint",
     "SessionManager",
     "StepRequest",
     "StepResult",
     "TenantSession",
     "TokenBucket",
     "bucket_sizes",
+    "dump_checkpoint",
     "key_document",
+    "load_checkpoint",
     "program_key",
+    "read_checkpoint",
+    "write_checkpoint",
 ]

@@ -45,6 +45,7 @@ from typing import Any, Callable
 
 from ..errors import PlanVersionError, ReproError
 from ..runtime import Program
+from .faults import FAULTS
 
 
 @dataclass
@@ -82,6 +83,9 @@ class CacheStats:
     #: persisted artifacts skipped because their embedded plan speaks a
     #: spec version this runtime does not (recompiled + overwritten)
     plan_version_miss: int = 0
+    #: persisted artifacts that failed to load (corrupt/truncated) and
+    #: were quarantined to ``<key>.corrupt`` before recompiling
+    corrupt_entries: int = 0
     compile_seconds_total: float = 0.0
 
     @property
@@ -210,11 +214,15 @@ class ProgramCache:
     def _load_persisted(self, key: str) -> Program | None:
         """Bind a persisted artifact for ``key``, or None on a disk miss.
 
-        An unreadable artifact (version skew, partial historical write) is
-        treated as a miss: the caller recompiles and overwrites it. A plan
-        whose spec version this runtime does not speak is the same miss —
-        counted separately (``plan_version_miss``) because it signals a
-        runtime upgrade/downgrade against a warm cache dir, not corruption.
+        An unreadable artifact (corrupt or truncated) is treated as a
+        miss: the broken directory is *quarantined* — renamed to
+        ``<key>.corrupt`` and counted (``corrupt_entries``) — so it stops
+        feeding worker processes, stays on disk for forensics, and the
+        caller recompiles a clean replacement. A plan whose spec version
+        this runtime does not speak is the same miss but is counted
+        separately (``plan_version_miss``) and not quarantined: it
+        signals a runtime upgrade/downgrade against a warm cache dir, not
+        corruption.
         """
         if self.cache_dir is None:
             return None
@@ -224,12 +232,25 @@ class ProgramCache:
         from ..deploy.artifact import load_artifact
 
         try:
+            FAULTS.fire("cache.artifact_read", key=key, path=str(path))
             return load_artifact(path).program
         except PlanVersionError:
             self.stats.plan_version_miss += 1
             return None
         except ReproError:
+            self._quarantine(key, path)
             return None
+
+    def _quarantine(self, key: str, path: Path) -> None:
+        """Move a corrupt artifact aside so it can never be read again."""
+        with self._lock:
+            self.stats.corrupt_entries += 1
+        try:
+            os.replace(path, path.with_name(f"{path.name}.corrupt"))
+        except OSError:
+            # Lost a race with a concurrent quarantine/repair, or the
+            # target exists from an earlier quarantine — drop it instead.
+            shutil.rmtree(path, ignore_errors=True)
 
     def _persist(self, key: str, program: Program,
                  overwrite: bool = False) -> None:

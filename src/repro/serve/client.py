@@ -11,15 +11,27 @@ Backpressure is surfaced as typed exceptions: a ``429`` raises
 sleeping and retrying until ``max_wait`` is spent — the well-behaved
 client the gateway's shedding is designed for. Every other HTTP error
 raises :class:`GatewayError` with the status and the server's message.
+
+Retry semantics: against a server that advertises the ``idempotency``
+feature (``/v1/healthz``), :meth:`ServeClient.step` mints one
+``Idempotency-Key`` per *logical* step and retries transient failures —
+a connection lost while awaiting the response (:class:`ResponseLost`),
+a 500, a 429 — under that key with decorrelated-jitter backoff; the
+server replays the recorded result instead of applying the update
+twice. Against an older server no key is sent and a lost response is
+**not** retried (re-sending a non-idempotent step would silently apply
+the same update twice).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import threading
 import time
+import uuid
 from typing import Any
 from urllib.parse import urlsplit
 
@@ -27,6 +39,10 @@ import numpy as np
 
 from ..errors import ServeError
 from ..obs import parse_server_timing
+
+#: decorrelated-jitter backoff bounds (seconds) for step retries
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 2.0
 
 
 class GatewayError(ServeError):
@@ -43,6 +59,12 @@ class GatewayError(ServeError):
 
 class RateLimited(GatewayError):
     """The gateway shed this request (rate limit or queue watermark)."""
+
+
+class ResponseLost(GatewayError):
+    """The request reached the server but its response was lost on the
+    wire — the step *may have executed*. Safe to retry only under an
+    idempotency key (the server then replays the recorded result)."""
 
 
 class ServeClient:
@@ -65,6 +87,9 @@ class ServeClient:
         self._local = threading.local()
         self._conns_lock = threading.Lock()
         self._conns: list[http.client.HTTPConnection] = []
+        #: lazily probed frozenset of /v1/healthz "features" (gates
+        #: whether step retries may carry an Idempotency-Key)
+        self._features_cache: frozenset[str] | None = None
 
     # -- transport -----------------------------------------------------------
 
@@ -93,14 +118,23 @@ class ServeClient:
                     self._conns.remove(conn)
 
     def _request(self, method: str, path: str,
-                 payload: dict | None = None) -> dict[str, Any]:
-        body = None if payload is None else json.dumps(payload).encode()
-        headers = {"Content-Type": "application/json"} if body else {}
+                 payload: dict | None = None, *,
+                 headers: dict[str, str] | None = None,
+                 raw: bytes | None = None) -> dict[str, Any]:
+        if raw is not None:
+            body: bytes | None = raw
+            send_headers = {"Content-Type": "application/octet-stream"}
+        else:
+            body = None if payload is None else json.dumps(payload).encode()
+            send_headers = {"Content-Type": "application/json"} \
+                if body else {}
+        if headers:
+            send_headers.update(headers)
         response = data = None
         for attempt in (0, 1):
             try:
                 conn = self._conn()
-                conn.request(method, path, body, headers)
+                conn.request(method, path, body, send_headers)
             except (http.client.RemoteDisconnected, ConnectionError,
                     BrokenPipeError) as exc:
                 # A stale keep-alive connection (server idled it out, or
@@ -118,10 +152,10 @@ class ServeClient:
             except (http.client.HTTPException, ConnectionError,
                     OSError) as exc:
                 # The request reached the server but the response was
-                # lost. Never retried: re-sending a non-idempotent step
-                # here would silently apply the same update twice.
+                # lost. Not retried *here*: only step() with an
+                # idempotency key knows the retry is safe.
                 self._drop_conn()
-                raise GatewayError(
+                raise ResponseLost(
                     0, f"connection lost awaiting the response ({exc}); "
                        f"the request may still have executed") from exc
             break
@@ -166,29 +200,82 @@ class ServeClient:
             payload["model_kwargs"] = model_kwargs
         return self._request("POST", "/v1/sessions", payload)
 
+    def _features(self) -> frozenset[str]:
+        """What the server speaks, probed from /v1/healthz once and
+        cached (an unreachable/legacy server probes as featureless)."""
+        features = self._features_cache
+        if features is None:
+            try:
+                features = frozenset(self.healthz().get("features") or ())
+            except (ServeError, ValueError):
+                features = frozenset()
+            self._features_cache = features
+        return features
+
     def step(self, session_id: str, x, y, *, wait: bool = True,
-             max_wait: float = 30.0) -> dict:
+             max_wait: float = 30.0, timeout: float | None = None) -> dict:
         """One training step; blocks until the result (or a refusal).
 
-        With ``wait=True`` a 429 is retried after the server's
-        ``Retry-After`` hint until ``max_wait`` seconds have been spent,
-        then the last :class:`RateLimited` propagates. ``wait=False``
-        raises immediately — benchmark loops measuring shed rate use it.
+        With ``wait=True`` transient failures are retried until
+        ``max_wait`` seconds have been spent, then the last error
+        propagates: a 429 waits the server's ``Retry-After`` hint; a
+        lost response (:class:`ResponseLost`) and a 500 are retried with
+        decorrelated-jitter backoff **only** when the server advertises
+        the ``idempotency`` feature — every attempt of one call carries
+        the same minted ``Idempotency-Key``, so the server applies the
+        update at most once and replays the recorded result to retries
+        (``"replayed": true``). Against an older server those failures
+        propagate immediately, exactly the pre-key behaviour.
+        ``wait=False`` raises on the first refusal — benchmark loops
+        measuring shed rate use it.
+
+        ``timeout`` is an *end-to-end deadline* in seconds, shipped to
+        the server as an absolute ``X-Deadline`` header: work still
+        queued when it expires is shed server-side (504) instead of
+        executed for nobody.
         """
         payload = {"x": np.asarray(x).tolist(), "y": np.asarray(y).tolist()}
         path = f"/v1/sessions/{session_id}/step"
-        deadline = time.monotonic() + max_wait
+        budget = time.monotonic() + max_wait
+        headers: dict[str, str] = {}
+        if timeout is not None:
+            headers["X-Deadline"] = f"{time.time() + timeout:.6f}"
+            budget = min(budget, time.monotonic() + timeout)
+        keyed = "idempotency" in self._features()
+        if keyed:
+            # One key per logical step: every retry below re-sends it, so
+            # the server can dedupe no matter which attempt(s) executed.
+            headers["Idempotency-Key"] = \
+                f"{session_id}:{uuid.uuid4().hex}"
+        retryable = wait and keyed
+        pause = _BACKOFF_BASE
         while True:
             try:
-                return self._request("POST", path, payload)
+                return self._request("POST", path, payload, headers=headers)
             except RateLimited as exc:
                 if not wait:
                     raise
-                pause = exc.retry_after if exc.retry_after else 0.05
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
+                error: GatewayError = exc
+                delay = exc.retry_after if exc.retry_after else pause
+            except ResponseLost as exc:
+                if not retryable:
                     raise
-                time.sleep(min(pause, remaining))
+                error, delay = exc, pause
+            except GatewayError as exc:
+                # 500 = the step itself failed (e.g. a worker crashed
+                # mid-batch); with a key the server released the claim,
+                # so re-execution is safe. 4xx/504 are not transient.
+                if not retryable or exc.status != 500:
+                    raise
+                error, delay = exc, pause
+            remaining = budget - time.monotonic()
+            if remaining <= 0:
+                raise error
+            # Decorrelated jitter: spreads synchronized retry storms
+            # without the unbounded growth of pure exponential backoff.
+            pause = min(_BACKOFF_CAP,
+                        random.uniform(_BACKOFF_BASE, pause * 3))
+            time.sleep(min(delay, remaining))
 
     def session(self, session_id: str) -> dict:
         return self._request("GET", f"/v1/sessions/{session_id}")
@@ -217,6 +304,49 @@ class ServeClient:
     def trace(self) -> dict:
         """The server's span ring as a chrome://tracing document."""
         return self._request("GET", "/v1/trace")
+
+    # -- durability ----------------------------------------------------------
+
+    def checkpoint(self, session_id: str) -> dict:
+        """Persist one checkpoint version server-side; returns its meta
+        (step_seq, path, retained versions)."""
+        return self._request(
+            "POST", f"/v1/sessions/{session_id}/checkpoint")
+
+    def download_checkpoint(self, session_id: str) -> bytes:
+        """The session's current checkpoint as raw bytes (feed them back
+        through :meth:`restore`, possibly against a different server)."""
+        conn = self._conn()
+        try:
+            conn.request("GET", f"/v1/sessions/{session_id}/checkpoint")
+            response = conn.getresponse()
+            data = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError) as exc:
+            self._drop_conn()
+            raise GatewayError(0, f"connection lost: {exc}") from exc
+        if response.status >= 400:
+            try:
+                message = json.loads(data).get("error", response.reason)
+            except (json.JSONDecodeError, AttributeError):
+                message = data.decode(errors="replace")
+            raise GatewayError(response.status, message)
+        return data
+
+    def restore(self, data: bytes | None = None, *,
+                session_id: str | None = None,
+                version: int | None = None) -> dict:
+        """Resurrect a session from checkpoint ``data`` bytes, or from
+        the server's store by ``session_id`` (newest intact version, or
+        exactly ``version``). Returns the restored session summary."""
+        if data is not None:
+            return self._request("POST", "/v1/sessions/restore", raw=data)
+        if session_id is None:
+            raise ServeError("restore needs checkpoint bytes or a "
+                             "session_id")
+        payload: dict[str, Any] = {"session_id": session_id}
+        if version is not None:
+            payload["version"] = version
+        return self._request("POST", "/v1/sessions/restore", payload)
 
     def healthz(self) -> dict:
         return self._request("GET", "/v1/healthz")

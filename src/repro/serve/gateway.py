@@ -14,6 +14,10 @@ Protocol (all bodies JSON)::
     POST   /v1/sessions/{id}/step  {"x": [...], "y": ...}   -> 200 result
     GET    /v1/sessions/{id}                                -> 200 status
     DELETE /v1/sessions/{id}                                -> 200 summary
+    POST   /v1/sessions/{id}/checkpoint                     -> 200 meta
+    GET    /v1/sessions/{id}/checkpoint       -> 200 octet-stream download
+    POST   /v1/sessions/restore    checkpoint bytes, or JSON
+                                   {"session_id", "version"?} -> 201 session
     GET    /v1/metrics                                      -> 200 stats
     GET    /v1/metrics?format=prometheus                    -> 200 text
     GET    /v1/trace                                        -> 200 chrome-trace
@@ -25,6 +29,16 @@ minted otherwise — and every response echoes it back in
 ``X-Request-Id``. Step responses additionally carry a ``Server-Timing``
 header with the request's per-stage span durations; the same spans land
 in the trace ring served at ``/v1/trace``.
+
+Durability contract (see the README's *Durability & fault tolerance*):
+
+* ``Idempotency-Key`` on a step marks it safely retryable — a retry
+  carrying the same key returns the recorded result (``"replayed":
+  true``) instead of applying a second optimizer update;
+* ``X-Deadline`` carries an absolute epoch-seconds deadline; work whose
+  deadline has passed is shed wherever it is first noticed — admission,
+  the scheduler's batch cut, or the blocked handler — with ``504`` and
+  the shared ``serve.deadline_expired`` counter.
 
 Backpressure — enforced *before* enqueue, in order:
 
@@ -58,8 +72,11 @@ from urllib.parse import parse_qs
 
 import numpy as np
 
-from ..errors import ReproError, ServeError
+from ..errors import (CheckpointError, DeadlineExpired, FaultInjected,
+                      ReproError, ServeError)
 from ..obs import mint_request_id, server_timing_header
+from .checkpoint import MAGIC as _CKPT_MAGIC
+from .faults import FAULTS
 from .ratelimit import RateLimiter
 from .service import FineTuneService
 from .sessions import TenantSession
@@ -67,6 +84,14 @@ from .sessions import TenantSession
 #: accepted shape for caller-supplied X-Request-Id values; anything else
 #: (too long, header-injection attempts, empty) gets a minted ID instead
 _REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+#: accepted shape for Idempotency-Key values (anything else is a 400: a
+#: silently dropped key would turn a retry into a double-apply)
+_IDEM_KEY_RE = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
+
+#: what this server speaks; clients feature-probe /v1/healthz before
+#: relying on retry-with-idempotency-key semantics
+_FEATURES = ("checkpoint", "deadline", "idempotency")
 
 
 def _json_safe(value):
@@ -123,6 +148,9 @@ class GatewayServer:
             "step requests refused by per-tenant rate limits")
         self._step_latency = metrics.histogram(
             "serve.http_step_ms", "gateway-side step latency (admitted)")
+        # Shared with the service/scheduler shedding stages (registry
+        # get-or-create returns the one counter).
+        self._deadline_expired = metrics.counter("serve.deadline_expired")
         # Sampled for Retry-After hints on shed responses.
         self._request_latency = metrics.histogram(
             "serve.request_latency_ms", "submit-to-result latency")
@@ -264,6 +292,9 @@ class _Handler(BaseHTTPRequestHandler):
             return self._metrics(query)
         if parts == ["v1", "trace"]:
             return self._trace()
+        if len(parts) == 4 and parts[:2] == ["v1", "sessions"] \
+                and parts[3] == "checkpoint":
+            return self._download_checkpoint(parts[2])
         if len(parts) == 3 and parts[:2] == ["v1", "sessions"]:
             return self._session_status(parts[2])
         self._send_json(404, {"error": f"no route for GET {self.path}"})
@@ -278,9 +309,14 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in self.path.split("?")[0].split("/") if p]
         if parts == ["v1", "sessions"]:
             return self._create_session(raw)
+        if parts == ["v1", "sessions", "restore"]:
+            return self._restore(raw)
         if len(parts) == 4 and parts[:2] == ["v1", "sessions"] \
                 and parts[3] == "step":
             return self._step(parts[2], raw)
+        if len(parts) == 4 and parts[:2] == ["v1", "sessions"] \
+                and parts[3] == "checkpoint":
+            return self._checkpoint(parts[2])
         self._send_json(404, {"error": f"no route for POST {self.path}"})
 
     def do_DELETE(self) -> None:
@@ -302,6 +338,7 @@ class _Handler(BaseHTTPRequestHandler):
             "queue_depth": gw.service.scheduler.queue_depth(),
             "max_queue_depth": gw.max_queue_depth,
             "sessions": len(gw.service.sessions),
+            "features": list(_FEATURES),
         })
 
     def _metrics(self, query: str = "") -> None:
@@ -380,6 +417,75 @@ class _Handler(BaseHTTPRequestHandler):
             "last_loss": session.last_loss,
         }
 
+    # -- durability endpoints ------------------------------------------------
+
+    def _checkpoint(self, session_id: str) -> None:
+        """POST: persist one checkpoint version to the server-side store."""
+        gw = self.gateway
+        try:
+            meta = gw.service.checkpoint_session(session_id)
+        except CheckpointError as exc:
+            return self._send_json(500, {"error": str(exc)})
+        except ServeError as exc:
+            msg = str(exc)
+            # no checkpoint_dir / no restore config: a conflict with how
+            # the server is configured, not a bad request
+            status = 404 if "unknown session" in msg else 409
+            return self._send_json(status, {"error": msg})
+        self._send_json(200, meta)
+
+    def _download_checkpoint(self, session_id: str) -> None:
+        """GET: the session's current checkpoint as one binary download."""
+        gw = self.gateway
+        try:
+            data = gw.service.checkpoint_bytes(session_id)
+        except ServeError as exc:
+            msg = str(exc)
+            status = 404 if "unknown session" in msg else 409
+            return self._send_json(status, {"error": msg})
+        self._send_body(200, data, "application/octet-stream", headers={
+            "Content-Disposition":
+                f'attachment; filename="{session_id}.ckpt"'})
+
+    def _restore(self, raw: bytes) -> None:
+        """POST: resurrect a session from uploaded bytes or the store."""
+        gw = self.gateway
+        ctype = (self.headers.get("Content-Type") or "") \
+            .split(";")[0].strip().lower()
+        try:
+            if ctype == "application/octet-stream" \
+                    or raw.startswith(_CKPT_MAGIC):
+                session = gw.service.restore_session(raw)
+            else:
+                payload = self._parse_json(raw)
+                session_id = payload.get("session_id")
+                if not isinstance(session_id, str) or not session_id:
+                    raise ValueError(
+                        "restore wants checkpoint bytes "
+                        "(application/octet-stream) or a JSON body with "
+                        "'session_id' (and optional 'version')")
+                version = payload.get("version")
+                if version is not None:
+                    version = int(version)
+                session = gw.service.restore_session(
+                    session_id=session_id, version=version)
+        except CheckpointError as exc:
+            # corrupt/unreadable/incompatible checkpoint: the *content*
+            # is the problem, not the request shape
+            return self._send_json(422, {"error": str(exc)})
+        except ServeError as exc:
+            msg = str(exc)
+            status = 503 if "closed" in msg \
+                else 409 if "already open" in msg else 400
+            return self._send_json(status, {"error": msg})
+        except (ValueError, TypeError) as exc:
+            return self._send_json(
+                400, {"error": f"bad restore request: {exc}"})
+        body = self._summary(session)
+        body["restored"] = True
+        body["step_seq"] = session.step_seq
+        self._send_json(201, body)
+
     def _step(self, session_id: str, raw: bytes) -> None:
         gw = self.gateway
         began = time.perf_counter()
@@ -409,6 +515,31 @@ class _Handler(BaseHTTPRequestHandler):
                  "queue_depth": depth, "retry_after": retry},
                 headers={"Retry-After": f"{retry:.3f}"})
 
+        # Durability headers. X-Deadline is absolute epoch seconds; it is
+        # converted onto time.monotonic() once here and propagated so
+        # every later shedding stage compares against the same clock.
+        raw_deadline = self.headers.get("X-Deadline")
+        deadline = None
+        if raw_deadline is not None:
+            try:
+                deadline = time.monotonic() + (float(raw_deadline)
+                                               - time.time())
+            except ValueError:
+                return self._send_json(
+                    400, {"error": f"bad X-Deadline header "
+                                   f"{raw_deadline!r}: want absolute "
+                                   f"epoch seconds"})
+            if time.monotonic() >= deadline:
+                gw._deadline_expired.inc()
+                return self._send_json(
+                    504, {"error": "deadline already passed at admission",
+                          "deadline_expired": True})
+        idem_key = self.headers.get("Idempotency-Key")
+        if idem_key is not None and not _IDEM_KEY_RE.match(idem_key):
+            return self._send_json(
+                400, {"error": "bad Idempotency-Key header: want 1-128 "
+                               "chars of [A-Za-z0-9._:-]"})
+
         try:
             payload = self._parse_json(raw)
             family = session.family
@@ -423,20 +554,38 @@ class _Handler(BaseHTTPRequestHandler):
             self._request_id, session_id=session_id, tenant=session.tenant)
         trace.add("admission", began, time.perf_counter())
         try:
-            future = gw.service.submit(session_id, x, y, trace=trace)
+            future = gw.service.submit(session_id, x, y, trace=trace,
+                                       deadline=deadline,
+                                       idempotency_key=idem_key)
+        except DeadlineExpired as exc:
+            return self._send_json(
+                504, {"error": str(exc), "deadline_expired": True})
         except ServeError as exc:
             status = 503 if "closed" in str(exc) else 400
             return self._send_json(status, {"error": str(exc)})
 
+        timeout = gw.step_timeout
+        if deadline is not None:
+            timeout = min(timeout, max(0.0, deadline - time.monotonic()))
         try:
-            result = future.result(timeout=gw.step_timeout)
+            result = future.result(timeout=timeout)
         except CancelledError:
             return self._send_json(
                 503, {"error": "step cancelled: service is shutting down"})
-        except FutureTimeout:
+        except DeadlineExpired as exc:
             return self._send_json(
-                504, {"error": f"step did not complete within "
-                               f"{gw.step_timeout}s"})
+                504, {"error": str(exc), "deadline_expired": True})
+        except FutureTimeout:
+            # Abandon the wait without leaking the request: cancel()
+            # succeeds only while it is still queued (the scheduler then
+            # drops it at batch-cut and releases any idempotency claim);
+            # once running it completes server-side and, if keyed, lands
+            # in the replay window for the client's retry.
+            future.cancel()
+            gw._deadline_expired.inc()
+            return self._send_json(
+                504, {"error": f"step did not complete within {timeout:.3f}s",
+                      "deadline_expired": True})
         except ServeError as exc:
             return self._send_json(500, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - surface, don't hang
@@ -454,8 +603,22 @@ class _Handler(BaseHTTPRequestHandler):
             "batch_size": result.batch_size,
             "program_key": result.program_key,
             "request_id": trace.request_id,
+            "replayed": result.replayed,
         })).encode()
         trace.add("serialize", serialize_began, time.perf_counter())
+        try:
+            FAULTS.fire("gateway.reset_after_send",
+                        request_id=trace.request_id, session_id=session_id)
+        except FaultInjected:
+            # Chaos/e2e-retry tests: the step executed and (if keyed) is
+            # in the replay window, but the client never hears — simulate
+            # the response lost on the wire by dropping the connection.
+            self.close_connection = True
+            try:
+                self.connection.shutdown(2)  # socket.SHUT_RDWR
+            except OSError:
+                pass
+            return
         self._send_body(200, body, "application/json", headers={
             "Server-Timing": server_timing_header(
                 trace.timings_ms(), trace.total_ms()),

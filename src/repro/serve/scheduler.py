@@ -31,7 +31,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..errors import ServeError
+from ..errors import DeadlineExpired, ServeError
 from ..obs import TraceContext
 from .metrics import MetricsRegistry
 from .sessions import TenantSession
@@ -51,6 +51,12 @@ class StepRequest:
     #: perf_counter when the request was cut out of the queue into an
     #: executing batch (end of queue_wait, start of batch_wait)
     cut_at: float = 0.0
+    #: absolute end-to-end deadline on time.monotonic(), or None; expired
+    #: requests are shed at batch-cut time instead of executed
+    deadline: float | None = None
+    #: client idempotency key; the executed result is recorded in the
+    #: session's dedupe window under this key before the future resolves
+    idem_key: str | None = None
 
 
 @dataclass(frozen=True)
@@ -65,6 +71,10 @@ class StepResult:
     #: per-stage span durations in ms for *this* request (None when the
     #: request carried no trace context)
     timings: dict[str, float] | None = None
+    #: True when this result was served from the session's idempotency
+    #: window instead of re-applying the step (a retry after a dropped
+    #: connection); the optimizer ran exactly once either way
+    replayed: bool = False
 
 
 def bucket_sizes(max_batch: int) -> list[int]:
@@ -103,6 +113,9 @@ class BatchScheduler:
             "serve.request_latency_ms", "submit-to-result latency")
         self._batches_total = self._metrics.counter(
             "serve.batches_total", "micro-batches executed")
+        self._deadline_expired = self._metrics.counter(
+            "serve.deadline_expired",
+            "requests shed because their end-to-end deadline passed")
         # Live, not set-on-render: the gateway's admission control and
         # /v1/metrics read this between renders, so it samples the real
         # queues on every read instead of whatever the last render saw.
@@ -131,15 +144,21 @@ class BatchScheduler:
     def submit(self, session: TenantSession, x: np.ndarray,
                y: np.ndarray,
                trace: TraceContext | None = None,
-               submitted_at: float | None = None) -> Future:
+               submitted_at: float | None = None,
+               deadline: float | None = None,
+               idem_key: str | None = None) -> Future:
         """Enqueue one single-example step; returns a Future[StepResult].
 
         ``submitted_at`` backdates the queue_wait span to when the caller
         accepted the request (the service passes its own entry time so
         validation/copy overhead is attributed to queueing, not lost
-        between spans); default is now.
+        between spans); default is now. ``deadline`` (absolute, on
+        ``time.monotonic()``) sheds the request at batch-cut time if it
+        has already expired — the future fails with
+        :class:`~repro.errors.DeadlineExpired` and no work runs.
         """
-        request = StepRequest(session=session, x=x, y=y, trace=trace)
+        request = StepRequest(session=session, x=x, y=y, trace=trace,
+                              deadline=deadline, idem_key=idem_key)
         if submitted_at is not None:
             request.submitted_at = submitted_at
         with self._work:
@@ -218,6 +237,8 @@ class BatchScheduler:
             self._ready.clear()
             self._work.notify_all()
         for request in stranded:
+            if request.idem_key is not None:
+                request.session.release(request.idem_key)
             request.future.cancel()
         self._dispatcher.join(timeout=5)
         self._pool.shutdown(wait=wait)
@@ -264,9 +285,35 @@ class BatchScheduler:
                 del self._sessions[session_id]
         # Client-cancelled requests drop out of the batch here; marking the
         # rest as running also makes their futures uncancellable, so the
-        # optimizer step and the resolved results can't disagree.
-        batch = [request for request in batch
-                 if request.future.set_running_or_notify_cancel()]
+        # optimizer step and the resolved results can't disagree. A
+        # cancelled request's idempotency claim is released so a later
+        # retry with the same key re-executes instead of attaching to a
+        # dead future.
+        live = []
+        for request in batch:
+            if request.future.set_running_or_notify_cancel():
+                live.append(request)
+            elif request.idem_key is not None:
+                request.session.release(request.idem_key)
+        batch = live
+        # Shed already-expired work *before* it costs an optimizer step:
+        # nobody is waiting for these results (the gateway answered 504,
+        # or will the moment the future fails), so executing them would
+        # only burn a worker a saturated queue needs elsewhere.
+        now = time.monotonic()
+        expired = [request for request in batch
+                   if request.deadline is not None
+                   and now > request.deadline]
+        if expired:
+            batch = [request for request in batch
+                     if request not in expired]
+            self._deadline_expired.inc(len(expired))
+            for request in expired:
+                if request.idem_key is not None:
+                    request.session.release(request.idem_key)
+                request.future.set_exception(DeadlineExpired(
+                    f"deadline passed {now - request.deadline:.3f}s before "
+                    f"the step was cut from the queue"))
         cut = time.perf_counter()
         for request in batch:
             request.cut_at = cut
@@ -281,14 +328,18 @@ class BatchScheduler:
                 for request in batch:
                     self._request_latency.observe(
                         (done - request.submitted_at) * 1e3)
-                    if request.trace is not None:
-                        request.future.set_result(replace(
-                            result,
-                            timings=request.trace.timings_ms()))
-                    else:
-                        request.future.set_result(result)
+                    final = result if request.trace is None else replace(
+                        result, timings=request.trace.timings_ms())
+                    if request.idem_key is not None:
+                        # Recorded before the future resolves: a client
+                        # that receives the ack and instantly retries the
+                        # same key must hit the window, never re-execute.
+                        session.remember(request.idem_key, final)
+                    request.future.set_result(final)
         except BaseException as exc:  # noqa: BLE001 - futures carry it
             for request in batch:
+                if request.idem_key is not None:
+                    request.session.release(request.idem_key)
                 if not request.future.done():
                     request.future.set_exception(exc)
         finally:

@@ -21,29 +21,38 @@ needs the forward graph rebuilt at each bucket's batch size.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 import threading
 from concurrent.futures import Future
+from dataclasses import asdict, replace
 from pathlib import Path
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Any, Callable
 
 import numpy as np
 
-from ..errors import ServeError
+from ..errors import CheckpointError, DeadlineExpired, ServeError
 from ..ir import Graph
 from ..models import build_model, paper_scheme
 from ..obs import TraceCarrier, TraceContext, Tracer, render_prometheus
 from ..runtime.compiler import CompileOptions, compile_training
 from ..sparse import UpdateScheme, bias_only, full_update
-from ..train.optim import OptimizerSpec, SGD
+from ..train.optim import SGD, Adam, Lion, OptimizerSpec
 from .cache import CacheEntry, ProgramCache
+from .checkpoint import (CheckpointStore, SessionCheckpoint, dump_checkpoint,
+                         load_checkpoint)
 from .keys import program_key
 from .metrics import Gauge, MetricsRegistry
 from .scheduler import BatchScheduler, StepRequest, StepResult
 from .sessions import SessionManager, TenantSession
 from .workers import ProcessPoolEngine
+
+logger = logging.getLogger("repro.serve")
+
+#: optimizer reconstruction table for checkpoint restore
+_OPTIMIZERS: dict[str, type] = {"sgd": SGD, "adam": Adam, "lion": Lion}
 
 #: step-execution backends: in-process thread pool (shares the GIL) or a
 #: pool of plan-executing worker processes fed from the artifact cache
@@ -77,6 +86,10 @@ class ProgramFamily:
         self.options = options
         self.loss = loss
         self.logits = logits
+        #: JSON description of how to rebuild this family in a fresh
+        #: process (set by the service right after construction; embedded
+        #: in session checkpoints)
+        self.restore_config: dict[str, Any] | None = None
         self._lock = threading.Lock()
         #: bucket batch size -> canonical program key (forward graphs are
         #: rebuilt and fingerprinted once per bucket, not per request)
@@ -164,7 +177,10 @@ class FineTuneService:
                  metrics: MetricsRegistry | None = None,
                  trace_sample: int = 0,
                  slow_ms: float | None = None,
-                 trace_ring: int = 4096) -> None:
+                 trace_ring: int = 4096,
+                 checkpoint_dir: str | Path | None = None,
+                 checkpoint_every: int = 0,
+                 keep_checkpoints: int = 3) -> None:
         if backend not in BACKENDS:
             raise ServeError(
                 f"unknown serve backend {backend!r}; options: {BACKENDS}")
@@ -195,12 +211,40 @@ class FineTuneService:
         self._worker_restarts = self.metrics.counter(
             "serve.worker_restarts",
             "process pools rebuilt after a worker crash")
+        # Durability: the versioned checkpoint store (None = checkpointing
+        # only through explicit checkpoint_bytes downloads), auto-
+        # checkpoint cadence, and the replay/deadline counters.
+        if checkpoint_every < 0:
+            raise ServeError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}")
+        self.checkpoint_every = checkpoint_every
+        self.checkpoints = CheckpointStore(
+            checkpoint_dir, keep=keep_checkpoints) \
+            if checkpoint_dir is not None else None
+        self._checkpoints_written = self.metrics.counter(
+            "serve.checkpoints_written",
+            "session checkpoints persisted (manual + auto)")
+        self._checkpoints_restored = self.metrics.counter(
+            "serve.checkpoints_restored",
+            "sessions restored from a checkpoint")
+        self._checkpoint_errors = self.metrics.counter(
+            "serve.checkpoint_errors",
+            "auto-checkpoint writes that failed (the step still succeeded)")
+        self._steps_replayed = self.metrics.counter(
+            "serve.steps_replayed",
+            "retried steps answered from the idempotency window "
+            "(no second optimizer update)")
         self.engine = ProcessPoolEngine(
             workers=workers, on_restart=self._worker_restarts.inc) \
             if backend == "process" else None
         self.scheduler = BatchScheduler(
             self._run_batch, max_batch=max_batch, workers=workers,
             metrics=self.metrics)
+        # One counter shared by every shedding stage (service submit,
+        # scheduler cut, gateway admission): the scheduler registered it,
+        # the registry hands back the same object.
+        self._deadline_expired = self.metrics.counter(
+            "serve.deadline_expired")
         self._families: dict[str, ProgramFamily] = {}
         self._family_lock = threading.Lock()
         self._closed = False
@@ -303,11 +347,164 @@ class FineTuneService:
                      weights: dict[str, np.ndarray]) -> None:
         self.sessions.get(session_id).load(weights)
 
+    # -- durability: checkpoint / restore ------------------------------------
+
+    def _checkpoint_payload(self, session: TenantSession) -> SessionCheckpoint:
+        """Assemble one consistent checkpoint of ``session``.
+
+        Taken under the session lock, so it never interleaves with a
+        step's in-place state mutation (the scheduler serializes steps
+        per session; the lock covers direct library callers too).
+        """
+        family = session.family
+        if family.restore_config is None:
+            raise ServeError(
+                f"session {session.id}: its program family predates "
+                f"checkpoint support and records no restore config")
+        with session.lock:
+            state = {name: array.copy()
+                     for name, array in session.state.items()}
+            meta = {
+                "id": session.id,
+                "tenant": session.tenant,
+                "step_seq": session.step_seq,
+                "steps": session.steps,
+                "examples": session.examples,
+                "last_loss": session.last_loss,
+            }
+        idempotency = {key: asdict(result)
+                       for key, result in
+                       session.idempotency_window().items()}
+        return SessionCheckpoint(session=meta,
+                                 family=dict(family.restore_config),
+                                 state=state, idempotency=idempotency)
+
+    def checkpoint_session(self, session_id: str) -> dict[str, Any]:
+        """Persist one checkpoint version to the store; returns its meta.
+
+        Requires a ``checkpoint_dir``; for a download without server-side
+        persistence use :meth:`checkpoint_bytes`.
+        """
+        if self.checkpoints is None:
+            raise ServeError(
+                "checkpointing to disk is disabled: the service was "
+                "built without a checkpoint_dir")
+        session = self.sessions.get(session_id)
+        ckpt = self._checkpoint_payload(session)
+        path = self.checkpoints.save(ckpt)
+        with session.lock:
+            session.steps_since_checkpoint = 0
+        self._checkpoints_written.inc()
+        return {
+            "session_id": session.id,
+            "step_seq": ckpt.step_seq,
+            "state_bytes": ckpt.state_bytes(),
+            "path": str(path),
+            "versions": self.checkpoints.versions(session.id),
+        }
+
+    def checkpoint_bytes(self, session_id: str) -> bytes:
+        """The session's current checkpoint, serialized (download/export)."""
+        session = self.sessions.get(session_id)
+        return dump_checkpoint(self._checkpoint_payload(session))
+
+    def restore_session(self, data: bytes | None = None, *,
+                        session_id: str | None = None,
+                        version: int | None = None,
+                        model: Callable[[int], Graph] | None = None,
+                        options: CompileOptions | None = None
+                        ) -> TenantSession:
+        """Resurrect a session from a checkpoint, under its original id.
+
+        The checkpoint comes either as ``data`` (bytes produced by
+        :meth:`checkpoint_bytes` / the gateway download route) or by
+        ``session_id`` from the store (newest intact version, or exactly
+        ``version``). The restored overlay is byte-identical to the
+        checkpointed one; counters and the idempotency window carry over,
+        so a client retrying a step acked before the crash still gets the
+        recorded result instead of a double-apply.
+
+        ``model`` is only needed for families built from a callable (the
+        checkpoint cannot serialize those); registry-key families rebuild
+        themselves. ``options`` defaults to the family's compile options
+        at checkpoint time semantics (i.e. the service default).
+        """
+        self._check_open()
+        if data is not None:
+            ckpt = load_checkpoint(data)
+        else:
+            if self.checkpoints is None:
+                raise ServeError(
+                    "no checkpoint bytes given and the service has no "
+                    "checkpoint_dir to restore from")
+            if session_id is None:
+                raise ServeError(
+                    "restore needs checkpoint bytes or a session_id")
+            ckpt = self.checkpoints.load(session_id, version=version)
+        # Fail fast on the one conflict a caller can do nothing about by
+        # changing arguments — before paying for the family rebuild.
+        if any(live.id == ckpt.session_id for live in self.sessions):
+            raise ServeError(
+                f"session {ckpt.session_id!r} is already open; close it "
+                f"before restoring a checkpoint over it")
+        config = ckpt.family
+        model_arg: Any = config.get("model") or model
+        if model_arg is None:
+            raise ServeError(
+                f"checkpointed session {ckpt.session_id!r} was built from "
+                f"a callable model ({config.get('model_id')!r}); pass the "
+                f"builder via restore_session(model=...)")
+        optim_cfg = config.get("optimizer") or {}
+        optim_cls = _OPTIMIZERS.get(optim_cfg.get("family", ""))
+        if optim_cls is None:
+            raise CheckpointError(
+                f"checkpoint names unknown optimizer family "
+                f"{optim_cfg.get('family')!r}")
+        scheme_cfg = config.get("scheme") or {}
+        family = self._family_for(
+            model_arg,
+            scheme=UpdateScheme(name=scheme_cfg.get("name", "restored"),
+                                updates=dict(scheme_cfg.get("updates", {}))),
+            optimizer=optim_cls(**optim_cfg.get("params", {})),
+            options=options,
+            loss=config.get("loss", "softmax_ce"),
+            logits=config.get("logits"),
+            model_kwargs=config.get("model_kwargs"),
+            model_id=config.get("model_id"),
+        )
+        session = TenantSession(
+            ckpt.session_id, str(ckpt.session.get("tenant") or
+                                 ckpt.session_id),
+            family, family.template_state())
+        missing = set(session.state) - set(ckpt.state)
+        extra = set(ckpt.state) - set(session.state)
+        if missing or extra:
+            raise CheckpointError(
+                f"checkpoint state does not match the family's mutable "
+                f"state (missing {sorted(missing)}, unexpected "
+                f"{sorted(extra)}); was the model or scheme changed?")
+        session.load(ckpt.state)
+        session.restore_counters(
+            step_seq=ckpt.step_seq,
+            steps=int(ckpt.session.get("steps", ckpt.step_seq)),
+            examples=int(ckpt.session.get("examples", 0)),
+            last_loss=float(ckpt.session.get("last_loss", float("nan"))),
+        )
+        session.restore_idempotency({
+            key: StepResult(**fields)
+            for key, fields in ckpt.idempotency.items()
+        })
+        self.sessions.adopt(session)
+        self._checkpoints_restored.inc()
+        return session
+
     # -- stepping ------------------------------------------------------------
 
     def submit(self, session_id: str, x: np.ndarray,
                y: np.ndarray,
-               trace: TraceContext | None = None) -> Future:
+               trace: TraceContext | None = None,
+               deadline: float | None = None,
+               idempotency_key: str | None = None) -> Future:
         """Enqueue one single-example step; returns a Future[StepResult].
 
         Every request carries a trace context: the gateway passes the one
@@ -315,9 +512,24 @@ class FineTuneService:
         matches the spans), and direct library callers get one minted
         here. The resolved StepResult's ``timings`` holds this request's
         per-stage span durations.
+
+        ``deadline`` is absolute on ``time.monotonic()``: already-expired
+        requests raise :class:`~repro.errors.DeadlineExpired` here, and
+        ones that expire while queued are shed at batch-cut time.
+
+        ``idempotency_key`` makes the step safe to retry: a key already
+        in the session's dedupe window returns an immediately-resolved
+        future carrying the recorded result (``replayed=True``, no second
+        optimizer update); a key still in flight returns the in-flight
+        future; otherwise the step executes and its result is recorded
+        under the key before the future resolves.
         """
         entered = perf_counter()
         self._check_open()
+        if deadline is not None and monotonic() > deadline:
+            self._deadline_expired.inc()
+            raise DeadlineExpired(
+                "deadline passed before the step was enqueued")
         # Opportunistic TTL sweep on the request path (self-throttled to
         # ~1/s inside the manager; a no-op without a session TTL).
         self.sessions.sweep()
@@ -338,16 +550,36 @@ class FineTuneService:
         if trace is None:
             trace = self.tracer.trace(session_id=session_id,
                                       tenant=session.tenant)
-        # queue_wait is backdated to service entry so shape validation and
-        # dtype copies are attributed to a span instead of falling into
-        # the gap between admission and the scheduler queue.
-        return self.scheduler.submit(
-            session,
-            x.astype(family.example_dtype, copy=False),
-            y.astype(family.label_dtype, copy=False),
-            trace=trace,
-            submitted_at=entered,
-        )
+        x = x.astype(family.example_dtype, copy=False)
+        y = y.astype(family.label_dtype, copy=False)
+        if idempotency_key is None:
+            # queue_wait is backdated to service entry so shape validation
+            # and dtype copies are attributed to a span instead of falling
+            # into the gap between admission and the scheduler queue.
+            return self.scheduler.submit(session, x, y, trace=trace,
+                                         submitted_at=entered,
+                                         deadline=deadline)
+        # The window probe, the in-flight probe, and the enqueue must be
+        # one atomic step against a concurrent retry with the same key —
+        # otherwise two retries racing a miss both enqueue and the step
+        # applies twice. scheduler.submit is a lock + deque append, cheap
+        # enough to run under the session's idempotency lock.
+        with session.idem_lock:
+            recorded = session.recall(idempotency_key)
+            if recorded is not None:
+                self._steps_replayed.inc()
+                future: Future = Future()
+                future.set_result(replace(recorded, replayed=True))
+                return future
+            pending = session.pending_future(idempotency_key)
+            if pending is not None and not pending.cancelled():
+                return pending
+            future = self.scheduler.submit(session, x, y, trace=trace,
+                                           submitted_at=entered,
+                                           deadline=deadline,
+                                           idem_key=idempotency_key)
+            session.note_pending(idempotency_key, future)
+            return future
 
     def step(self, session_id: str, x: np.ndarray,
              y: np.ndarray) -> StepResult:
@@ -412,6 +644,19 @@ class FineTuneService:
         self.metrics.gauge(
             "serve.cache.compile_seconds_total").set(
                 stats.compile_seconds_total)
+        self.metrics.gauge(
+            "serve.cache.corrupt_entries",
+            "persisted artifacts quarantined as corrupt").set(
+                stats.corrupt_entries)
+        if self.checkpoints is not None:
+            self.metrics.gauge(
+                "serve.checkpoint.store_writes",
+                "checkpoint files written by the store").set(
+                    self.checkpoints.writes)
+            self.metrics.gauge(
+                "serve.checkpoint.store_corrupt",
+                "checkpoint files quarantined as corrupt").set(
+                    self.checkpoints.corrupt)
         # serve.queue_depth and serve.sessions_live are callback gauges
         # registered at construction: they sample live state on every
         # read and need no refresh here.
@@ -481,6 +726,20 @@ class FineTuneService:
             scheme = resolver(forward_1)
         family = ProgramFamily(self, build, model_id, scheme, optimizer,
                                options, loss, logits, forward_1=forward_1)
+        # What a checkpoint needs to rebuild this family in a fresh
+        # process. Registry-key models round-trip completely; callable
+        # builders record model=None, and restore then requires the
+        # caller to supply the callable again (checked against model_id).
+        family.restore_config = {
+            "model": model if isinstance(model, str) else None,
+            "model_id": model_id,
+            "model_kwargs": model_kwargs,
+            "scheme": {"name": scheme.name, "updates": dict(scheme.updates)},
+            "optimizer": {"family": optimizer.family,
+                          "params": asdict(optimizer)},
+            "loss": loss,
+            "logits": logits,
+        }
         with self._family_lock:
             # Two threads may have built the family concurrently; the
             # canonical program key decides the winner so both end up
@@ -554,6 +813,17 @@ class FineTuneService:
         ended = perf_counter()
         elapsed_ms = (ended - began) * 1e3
         session.record(loss, len(batch))
+        if self.checkpoints is not None and self.checkpoint_every \
+                and session.steps_since_checkpoint >= self.checkpoint_every:
+            # Auto-checkpoint rides the step that crossed the threshold;
+            # a failed write must not fail the step (the update is already
+            # applied) — count it and keep serving.
+            try:
+                self.checkpoint_session(session.id)
+            except Exception as exc:  # noqa: BLE001 - durability best-effort
+                self._checkpoint_errors.inc()
+                logger.warning("auto-checkpoint of %s failed: %s",
+                               session.id, exc)
         self._steps_total.inc()
         self._examples_total.inc(len(batch))
         self._step_latency.observe(elapsed_ms)

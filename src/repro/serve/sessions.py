@@ -18,10 +18,12 @@ is the updated tensors, not the model.)
 from __future__ import annotations
 
 import math
+import re
 import threading
 import time
-from collections import deque
-from typing import TYPE_CHECKING, Callable, Iterator
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 import numpy as np
 
@@ -30,6 +32,14 @@ from ..runtime import Executor, Program
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from .service import ProgramFamily
+
+#: recorded (idempotency key -> result) pairs retained per session; a
+#: retry older than this window re-executes, so the window must exceed a
+#: client's worst-case in-flight retries (it comfortably does: retries
+#: target the most recent step)
+IDEMPOTENCY_WINDOW = 128
+
+_SESSION_ID_RE = re.compile(r"^sess-(\d+)$")
 
 
 class TenantSession:
@@ -52,6 +62,22 @@ class TenantSession:
         self.examples = 0
         self.last_loss = math.nan
         self.loss_history: deque[float] = deque(maxlen=512)
+        #: monotonic count of optimizer updates ever applied to this
+        #: session's state, *including* applications before a restore —
+        #: the checkpoint version number and the dedupe anchor
+        self.step_seq = 0
+        #: optimizer updates applied since the last checkpoint write
+        #: (drives --checkpoint-every)
+        self.steps_since_checkpoint = 0
+        # Idempotent replay bookkeeping. Guarded by its own small RLock,
+        # NOT self.lock: the session lock is held across whole engine
+        # steps, and a dedupe probe must never block behind one. The
+        # lock is public (RLock) so the service can make its
+        # check-window -> enqueue -> register-pending sequence atomic
+        # against a concurrent retry carrying the same key.
+        self.idem_lock = threading.RLock()
+        self._idem_results: OrderedDict[str, Any] = OrderedDict()
+        self._idem_pending: dict[str, Future] = {}
         #: monotonic timestamp of the last request touching this session
         #: (maintained by the SessionManager; drives TTL/idle-LRU eviction)
         self.last_used = 0.0
@@ -77,9 +103,69 @@ class TenantSession:
     def record(self, loss: float, batch_size: int) -> None:
         with self.lock:
             self.steps += 1
+            self.step_seq += 1
+            self.steps_since_checkpoint += 1
             self.examples += batch_size
             self.last_loss = loss
             self.loss_history.append(loss)
+
+    # -- idempotent step replay ----------------------------------------------
+
+    def recall(self, key: str):
+        """The recorded result for ``key``, or None (window miss)."""
+        with self.idem_lock:
+            result = self._idem_results.get(key)
+            if result is not None:
+                self._idem_results.move_to_end(key)
+            return result
+
+    def pending_future(self, key: str) -> Future | None:
+        """The in-flight future already carrying ``key``, if any — a
+        concurrent retry attaches to it instead of enqueuing a duplicate
+        step."""
+        with self.idem_lock:
+            return self._idem_pending.get(key)
+
+    def note_pending(self, key: str, future: Future) -> None:
+        with self.idem_lock:
+            self._idem_pending[key] = future
+
+    def remember(self, key: str, result) -> None:
+        """Record ``key``'s result (called *before* the future resolves,
+        so a client that acks and instantly retries always hits the
+        window) and retire the pending claim."""
+        with self.idem_lock:
+            self._idem_pending.pop(key, None)
+            self._idem_results[key] = result
+            self._idem_results.move_to_end(key)
+            while len(self._idem_results) > IDEMPOTENCY_WINDOW:
+                self._idem_results.popitem(last=False)
+
+    def release(self, key: str) -> None:
+        """Drop a pending claim whose step failed — the retry re-executes."""
+        with self.idem_lock:
+            self._idem_pending.pop(key, None)
+
+    def idempotency_window(self) -> dict[str, Any]:
+        """Snapshot of the recorded (key -> result) window."""
+        with self.idem_lock:
+            return dict(self._idem_results)
+
+    def restore_idempotency(self, window: dict[str, Any]) -> None:
+        with self.idem_lock:
+            self._idem_results = OrderedDict(window)
+            while len(self._idem_results) > IDEMPOTENCY_WINDOW:
+                self._idem_results.popitem(last=False)
+
+    def restore_counters(self, *, step_seq: int, steps: int, examples: int,
+                         last_loss: float) -> None:
+        """Install counters from a checkpoint (restore path)."""
+        with self.lock:
+            self.step_seq = step_seq
+            self.steps = steps
+            self.examples = examples
+            self.last_loss = last_loss
+            self.steps_since_checkpoint = 0
 
     def snapshot(self) -> dict[str, np.ndarray]:
         """Copies of the session's mutable state (checkpointable)."""
@@ -180,6 +266,38 @@ class SessionManager:
                         f"session limit {self.max_sessions} reached and "
                         f"every session is busy; close or drain one first")
             self._sessions[session_id] = session
+        self._notify(evicted)
+        return session
+
+    def adopt(self, session: TenantSession) -> TenantSession:
+        """Install a pre-built session under its *existing* id (restore).
+
+        Refuses when the id is already live — restoring over a running
+        session would fork its state. Applies the same at-capacity
+        idle-LRU eviction as :meth:`create`, and bumps the id counter
+        past numeric ``sess-NNNN`` ids so later :meth:`create` calls can
+        never collide with a restored id.
+        """
+        session.last_used = self._clock()
+        evicted: list[TenantSession] = []
+        with self._lock:
+            if session.id in self._sessions:
+                raise ServeError(
+                    f"session {session.id!r} is already open; close it "
+                    f"before restoring a checkpoint over it")
+            if self.max_sessions is not None \
+                    and len(self._sessions) >= self.max_sessions:
+                evicted = self._evict_idle_locked(
+                    len(self._sessions) - self.max_sessions + 1)
+                if len(self._sessions) >= self.max_sessions:
+                    self._notify(evicted)
+                    raise ServeError(
+                        f"session limit {self.max_sessions} reached and "
+                        f"every session is busy; close or drain one first")
+            match = _SESSION_ID_RE.match(session.id)
+            if match is not None:
+                self._next_id = max(self._next_id, int(match.group(1)) + 1)
+            self._sessions[session.id] = session
         self._notify(evicted)
         return session
 
