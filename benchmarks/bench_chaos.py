@@ -88,7 +88,13 @@ class Killer(threading.Thread):
 
     def run(self) -> None:
         rng = random.Random(1234)
-        while not self._halt.wait(self.interval):
+        # First kill after half an interval: the binary-wire + shm stack
+        # drains the quick workload in under a second, and a killer that
+        # waits a full interval before its first strike can miss the
+        # traffic entirely (kills=0 -> gate failure with nothing broken).
+        wait = self.interval / 2
+        while not self._halt.wait(wait):
+            wait = self.interval
             pids = self.service.engine.worker_pids()
             if not pids:
                 continue
@@ -122,7 +128,7 @@ def run(quick: bool) -> dict:
     steps = 10 if quick else 25
     post_steps = 3 if quick else 6
     workers = 2
-    kill_interval = 1.0 if quick else 0.7
+    kill_interval = 0.8 if quick else 0.7
     restore_bound_s = 10.0  # CI-container generous; typical is <1s
 
     result: dict = {

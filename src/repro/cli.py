@@ -14,6 +14,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .baselines import FRAMEWORKS, TABLE1_COLUMNS, feature_row, \
@@ -175,10 +176,23 @@ def _serve_http(args) -> int:
     if args.log_json:
         from .obs import configure_json_logging
         configure_json_logging()
+    auth_tokens = None
+    if args.auth_token_file:
+        with open(args.auth_token_file, encoding="utf-8") as fh:
+            auth_tokens = json.load(fh)
+        if not isinstance(auth_tokens, dict) or not auth_tokens or not all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in auth_tokens.items()):
+            print("error: --auth-token-file must hold a non-empty JSON "
+                  "object mapping token strings to tenant-id strings",
+                  file=sys.stderr)
+            return 2
     with FineTuneService(cache_capacity=args.cache_capacity,
                          max_batch=args.max_batch,
                          workers=args.workers,
                          backend=args.backend,
+                         worker_channel=args.worker_channel,
+                         batch_hold_ms=args.batch_hold_ms,
                          cache_dir=args.cache_dir,
                          max_sessions=args.max_sessions,
                          session_ttl=args.session_ttl,
@@ -190,7 +204,8 @@ def _serve_http(args) -> int:
         gateway = GatewayServer(
             service, host=args.host, port=args.http,
             max_queue_depth=args.max_queue_depth,
-            rate_limit=args.rate_limit, rate_burst=args.rate_burst)
+            rate_limit=args.rate_limit, rate_burst=args.rate_burst,
+            auth_tokens=auth_tokens)
         gateway.start()
         limit = (f"{args.rate_limit:g}/s per tenant" if args.rate_limit
                  else "off")
@@ -242,6 +257,8 @@ def cmd_serve(args) -> int:
                          max_batch=args.max_batch,
                          workers=args.workers,
                          backend=args.backend,
+                         worker_channel=args.worker_channel,
+                         batch_hold_ms=args.batch_hold_ms,
                          cache_dir=args.cache_dir,
                          max_sessions=args.max_sessions,
                          session_ttl=args.session_ttl,
@@ -357,6 +374,17 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["thread", "process"],
                      help="step executors: in-process threads, or a "
                           "process pool fed from persisted plan artifacts")
+    srv.add_argument("--worker-channel", default="shm",
+                     choices=["shm", "pickle"],
+                     help="how batches reach process workers: a zero-copy "
+                          "shared-memory slab ring (updates applied in "
+                          "place), or the legacy per-step pickle pipe "
+                          "(process backend only)")
+    srv.add_argument("--batch-hold-ms", type=float, default=0.0,
+                     metavar="MS",
+                     help="let the scheduler hold an undersized batch up "
+                          "to MS for more same-program arrivals (0 = cut "
+                          "immediately); fill lands in serve.batch_fill")
     srv.add_argument("--cache-dir",
                      help="persist compiled programs (graph + execution "
                           "plan) here; restarts and worker processes "
@@ -382,6 +410,11 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--rate-burst", type=float, default=None,
                      help="per-tenant burst size (default: one second of "
                           "--rate-limit, floored at 1)")
+    srv.add_argument("--auth-token-file", default=None, metavar="PATH",
+                     help="JSON file mapping bearer tokens to tenant ids; "
+                          "when set, every route but /v1/healthz requires "
+                          "Authorization: Bearer and sessions are pinned "
+                          "to the token's tenant")
     srv.add_argument("--checkpoint-dir", default=None,
                      help="persist session checkpoints under this "
                           "directory (enables the restore-from-store "

@@ -13,6 +13,19 @@ One worker serves many (program, session) pairs: programs are bound once
 per key from their persisted artifact and cached in :data:`_BOUND`
 (module state is per-process, so each worker pays each artifact load
 once); sessions ship only their mutable state overlay per step.
+
+Two transports deliver that overlay + batch:
+
+* :func:`run_step` — the original pickle path: arrays cross the pool
+  pipe by value, the mutated overlay is pickled back;
+* :func:`run_step_shm` — the zero-copy path: the parent writes one wire
+  frame into a shared-memory slab slot (:mod:`repro.serve.shm`) and the
+  task carries only ``(ring name, slot index)``; the worker executes the
+  step on **writable views into shared memory**, so the in-place apply
+  kernels land the updated overlay directly in the parent's segment and
+  only a tiny stub (fetched scalars, observability payload) is pickled
+  back. ``repro.serve`` is import-lazy (PEP 562), so attaching the ring
+  pulls in exactly ``serve.shm`` + ``serve.wire`` — still no compiler.
 """
 
 from __future__ import annotations
@@ -123,10 +136,73 @@ def run_step(artifact_dir: str, key: str,
     the parent's trace ring. ``obs_payload`` is None for untraced steps.
     """
     _maybe_fault()
+    # The in-place apply kernels mutate the overlay arrays we just
+    # unpickled, which are exactly what gets shipped back.
+    fetched, peak, allocs, obs_payload = _execute(
+        artifact_dir, key, state, feeds, fetch, trace)
+    return fetched, state, peak, allocs, obs_payload
+
+
+#: per-process cache of attached shm ring segments, name -> SharedMemory;
+#: one attach per (worker, ring) for the pool's lifetime
+_SHM_SEGMENTS: dict = {}
+
+
+def _ring_segment(name: str):
+    seg = _SHM_SEGMENTS.get(name)
+    if seg is None:
+        from ..serve import shm as shm_mod  # lazy package init: no compiler
+
+        seg = _SHM_SEGMENTS[name] = shm_mod.attach(name)
+    return seg
+
+
+def run_step_shm(artifact_dir: str, key: str,
+                 ring_name: str, slot: int, slot_bytes: int,
+                 fetch: tuple[str, ...],
+                 trace=None):
+    """Zero-copy variant of :func:`run_step` (see the module docstring).
+
+    The slot's frame meta names which tensors are state overlay vs batch
+    feeds. State views are mutated in place in shared memory — there is
+    no state in the return value, only ``(fetched, peak_transient_bytes,
+    fresh_allocs, obs_payload)``. The slot's sequence counter is held odd
+    for the duration of the step so a parent inspecting the slot after a
+    worker crash sees "torn", never a half-applied overlay.
+    """
+    _maybe_fault()
+    from ..serve import shm as shm_mod
+
+    seg = _ring_segment(ring_name)
+    meta, tensors, _ = shm_mod.read_frame(seg.buf, slot, slot_bytes)
+    state = {name: tensors[name] for name in meta["state"]}
+    feeds = {name: tensors[name] for name in meta["feeds"]}
+    shm_mod.mark_busy(seg.buf, slot, slot_bytes)
+    try:
+        fetched, peak, allocs, obs_payload = _execute(
+            artifact_dir, key, state, feeds, fetch, trace)
+    finally:
+        shm_mod.mark_done(seg.buf, slot, slot_bytes)
+        # rebind the cached executor to its base program and drop its
+        # register bindings so no shm views linger between steps — a
+        # pinned view would block unmapping the (already released) slot
+        # buffer for the life of this worker
+        cached = _BOUND.get(key)
+        if cached is not None:
+            cached[1].program = cached[0]
+            cached[1].detach()
+    # fetched outputs are executor arena views; pickling copies them, so
+    # nothing here aliases the arena after return
+    return fetched, peak, allocs, obs_payload
+
+
+def _execute(artifact_dir: str, key: str,
+             state: dict[str, np.ndarray],
+             feeds: dict[str, np.ndarray],
+             fetch: tuple[str, ...],
+             trace=None):
+    """The shared step core: bind, overlay state, run, observe."""
     program, executor = bind(artifact_dir, key)
-    # Overlay this session's mutable state on the shared template; the
-    # in-place apply kernels mutate the overlay arrays we just unpickled,
-    # which are exactly what gets shipped back.
     executor.program = program.with_state(state)
     kernels: list[tuple[str, str, float, float]] = []
     sample = trace is not None and trace.sample
@@ -153,7 +229,7 @@ def run_step(artifact_dir: str, key: str,
             "execute": (began, ended),
             "kernels": kernels,
         }
-    return (fetched, state, executor.peak_transient_bytes,
+    return (fetched, executor.peak_transient_bytes,
             executor.last_step_fresh_allocs, obs_payload)
 
 
@@ -180,6 +256,7 @@ def probe():
             f"{op}/{variant}": {"count": stat[0], "total_ms": stat[1] * 1e3}
             for (op, variant), stat in sorted(_KERNEL_STATS.items())
         },
+        "shm_rings_attached": sorted(_SHM_SEGMENTS),
         "compiler_imported": "repro.runtime.compiler" in sys.modules,
         "autodiff_imported": any(
             name.startswith("repro.autodiff") for name in sys.modules),

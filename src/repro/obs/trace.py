@@ -35,8 +35,11 @@ from dataclasses import dataclass
 
 from .chrome import duration_event, trace_document
 
-#: the per-request stage spans, in pipeline order
-STAGES = ("admission", "queue_wait", "batch_wait", "execute", "serialize")
+#: the per-request stage spans, in pipeline order. ``resume`` is the
+#: scheduler-thread -> event-loop handoff after the step future resolves
+#: (the asyncio gateway's only cross-thread hop on the response path).
+STAGES = ("admission", "queue_wait", "batch_wait", "execute", "resume",
+          "serialize")
 
 _slow_log = logging.getLogger("repro.serve.slow")
 

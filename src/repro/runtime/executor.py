@@ -85,6 +85,17 @@ class Executor:
     def plan(self) -> ExecutionPlan:
         return self.program.plan()
 
+    def detach(self) -> None:
+        """Drop register bindings left over from the last run.
+
+        State slots stay bound in ``_registers`` between steps; callers
+        whose state arrays view borrowed memory (e.g. shared-memory slab
+        slots in :mod:`repro.deploy.stepworker`) call this after a step
+        so the executor does not pin the buffer once the slot is
+        released. Costs one list allocation on the next run.
+        """
+        self._registers = None
+
     def run(self, feeds: dict[str, np.ndarray] | None = None
             ) -> dict[str, np.ndarray]:
         """Execute one step; returns the graph outputs by name."""

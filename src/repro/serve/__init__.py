@@ -20,60 +20,69 @@ Quickstart::
                    for x, y in example_stream]
         losses = [f.result().loss for f in futures]
         print(service.render_metrics())
+
+Attribute access is lazy (PEP 562): importing :mod:`repro.serve` — or a
+light submodule like :mod:`repro.serve.wire` / :mod:`repro.serve.shm`
+from a process-pool step worker — must not drag in
+:mod:`repro.runtime.compiler` via :mod:`repro.serve.service`. The
+compiler-free-worker invariant is asserted by ``stepworker.probe()``.
 """
 
-from .cache import CacheEntry, CacheStats, ProgramCache
-from .checkpoint import (CheckpointStore, SessionCheckpoint, dump_checkpoint,
-                         load_checkpoint, read_checkpoint, write_checkpoint)
-from .client import GatewayError, RateLimited, ResponseLost, ServeClient
-from .faults import FAULT_POINTS, FAULTS, FaultRegistry
-from .gateway import GatewayServer
-from .keys import key_document, program_key
-from .metrics import (CallbackGauge, Counter, Gauge, Histogram,
-                      MetricsRegistry)
-from .ratelimit import RateLimiter, TokenBucket
-from .scheduler import (BatchScheduler, StepRequest, StepResult,
-                        bucket_sizes)
-from .service import BACKENDS, FineTuneService, ProgramFamily
-from .sessions import IDEMPOTENCY_WINDOW, SessionManager, TenantSession
-from .workers import ProcessPoolEngine
+from importlib import import_module
 
-__all__ = [
-    "BACKENDS",
-    "BatchScheduler",
-    "CacheEntry",
-    "CacheStats",
-    "CallbackGauge",
-    "CheckpointStore",
-    "Counter",
-    "FAULTS",
-    "FAULT_POINTS",
-    "FaultRegistry",
-    "FineTuneService",
-    "Gauge",
-    "GatewayError",
-    "GatewayServer",
-    "Histogram",
-    "IDEMPOTENCY_WINDOW",
-    "MetricsRegistry",
-    "ProcessPoolEngine",
-    "ProgramCache",
-    "ProgramFamily",
-    "RateLimited",
-    "RateLimiter",
-    "ResponseLost",
-    "ServeClient",
-    "SessionCheckpoint",
-    "SessionManager",
-    "StepRequest",
-    "StepResult",
-    "TenantSession",
-    "TokenBucket",
-    "bucket_sizes",
-    "dump_checkpoint",
-    "key_document",
-    "load_checkpoint",
-    "program_key",
-    "read_checkpoint",
-    "write_checkpoint",
-]
+_EXPORTS = {
+    "CacheEntry": "cache",
+    "CacheStats": "cache",
+    "ProgramCache": "cache",
+    "CheckpointStore": "checkpoint",
+    "SessionCheckpoint": "checkpoint",
+    "dump_checkpoint": "checkpoint",
+    "load_checkpoint": "checkpoint",
+    "read_checkpoint": "checkpoint",
+    "write_checkpoint": "checkpoint",
+    "GatewayError": "client",
+    "RateLimited": "client",
+    "ResponseLost": "client",
+    "ServeClient": "client",
+    "FAULT_POINTS": "faults",
+    "FAULTS": "faults",
+    "FaultRegistry": "faults",
+    "GatewayServer": "gateway",
+    "key_document": "keys",
+    "program_key": "keys",
+    "CallbackGauge": "metrics",
+    "Counter": "metrics",
+    "Gauge": "metrics",
+    "Histogram": "metrics",
+    "MetricsRegistry": "metrics",
+    "RateLimiter": "ratelimit",
+    "TokenBucket": "ratelimit",
+    "BatchScheduler": "scheduler",
+    "StepRequest": "scheduler",
+    "StepResult": "scheduler",
+    "bucket_sizes": "scheduler",
+    "BACKENDS": "service",
+    "FineTuneService": "service",
+    "ProgramFamily": "service",
+    "IDEMPOTENCY_WINDOW": "sessions",
+    "SessionManager": "sessions",
+    "TenantSession": "sessions",
+    "SlabRing": "shm",
+    "WireError": "wire",
+    "ProcessPoolEngine": "workers",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(f".{module}", __name__), name)
+    globals()[name] = value  # cache for the next lookup
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,13 +1,18 @@
 """HTTP front door for :class:`~repro.serve.service.FineTuneService`.
 
-Stdlib-only (``http.server`` + ``json``): a threaded HTTP/1.1 server in
-the style of model-serving front ends (Clipper et al.) where admission
-control is first-class. Each connection gets a handler thread that blocks
-on the submitted step's future — the concurrency model of the service
-(scheduler coalesces, worker pool executes) is unchanged; the gateway
-only adds ingestion, shedding, and JSON.
+Stdlib-only: an **asyncio** HTTP/1.1 server (``asyncio.start_server``)
+in the style of model-serving front ends (Clipper et al.) where
+admission control is first-class. Connections are coroutines on one
+event loop, so the number of held connections is bounded by file
+descriptors, not threads — thousands of keep-alive clients cost a few
+KB each, while the old thread-per-connection design topped out at the
+thread budget. The service behind the gateway is unchanged and still
+threaded: the scheduler coalesces, the worker pool executes, and each
+step's :class:`concurrent.futures.Future` is bridged onto the loop with
+``asyncio.wrap_future`` so an awaiting handler suspends instead of
+pinning a thread.
 
-Protocol (all bodies JSON)::
+Protocol (control bodies JSON; step bodies JSON or binary)::
 
     POST   /v1/sessions            {"model", "scheme"?, "tenant"?,
                                     "model_kwargs"?}        -> 201 session
@@ -23,12 +28,30 @@ Protocol (all bodies JSON)::
     GET    /v1/trace                                        -> 200 chrome-trace
     GET    /v1/healthz                                      -> 200 health
 
+**Binary step bodies** (:mod:`repro.serve.wire`): a step request whose
+``Content-Type`` is ``application/x-repro-step`` carries one wire frame
+with tensors ``x`` and ``y`` instead of JSON lists — raw dtype bytes,
+no base64/decimal round trip. A request whose ``Accept`` includes the
+same media type gets its result as a meta-only wire frame back. Both
+directions are negotiated independently; JSON remains the default and
+the only format for control routes, and a malformed frame is a clean
+``400`` (never a poisoned connection — the body is always drained by
+length first). Servers advertise ``binary_step`` in the ``/v1/healthz``
+feature list; :class:`~repro.serve.client.ServeClient` upgrades off
+that probe automatically.
+
+**Auth** (optional): constructed with ``auth_tokens`` (bearer token ->
+tenant id), every route except ``/v1/healthz`` requires a valid
+``Authorization: Bearer`` header (``401`` otherwise). A token acts for
+exactly its tenant: session creation is pinned to it, and touching
+another tenant's session is ``403``.
+
 Tracing contract: every request gets a request ID — the caller's
-``X-Request-Id`` header when present (16-64 chars of [A-Za-z0-9._-]),
-minted otherwise — and every response echoes it back in
-``X-Request-Id``. Step responses additionally carry a ``Server-Timing``
-header with the request's per-stage span durations; the same spans land
-in the trace ring served at ``/v1/trace``.
+``X-Request-Id`` header when present (up to 64 chars of
+[A-Za-z0-9._-]), minted otherwise — and every response echoes it back
+in ``X-Request-Id``. Step responses additionally carry a
+``Server-Timing`` header with the request's per-stage span durations;
+the same spans land in the trace ring served at ``/v1/trace``.
 
 Durability contract (see the README's *Durability & fault tolerance*):
 
@@ -49,25 +72,32 @@ Backpressure — enforced *before* enqueue, in order:
    (the ``serve.queue_depth`` callback gauge's source) is at or past
    ``max_queue_depth``, the request is shed with ``429`` and a
    ``Retry-After`` derived from recent request latency. The queue is
-   therefore bounded by the watermark plus in-flight handler threads —
-   load never accumulates without bound.
+   therefore bounded by the watermark plus in-flight awaiting handlers
+   — load never accumulates without bound.
 
 Shutdown (:meth:`GatewayServer.close`) is ordered so no future is ever
-left hanging: stop accepting connections, settle every in-flight future
-(drain with a bound, then cancel stragglers), then release sockets.
-Handlers blocked on a cancelled future answer ``503``.
+left hanging: stop accepting connections, settle every in-flight
+future via :meth:`FineTuneService.shutdown` (drain with a bound, then
+cancel stragglers), then let the loop retire — idle keep-alive
+connections are dropped immediately, while a handler still awaiting a
+running batch stays alive (on the daemon loop thread) until it can
+answer its client. Handlers whose future was cancelled answer ``503``.
 """
 
 from __future__ import annotations
 
+import asyncio
+import http.client
 import json
 import math
 import re
+import socket
+import sys
 import threading
 import time
-from concurrent.futures import CancelledError
-from concurrent.futures import TimeoutError as FutureTimeout
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from urllib.parse import parse_qs
 
 import numpy as np
@@ -75,11 +105,13 @@ import numpy as np
 from ..errors import (CheckpointError, DeadlineExpired, FaultInjected,
                       ReproError, ServeError)
 from ..obs import mint_request_id, server_timing_header
+from . import wire
 from .checkpoint import MAGIC as _CKPT_MAGIC
 from .faults import FAULTS
 from .ratelimit import RateLimiter
 from .service import FineTuneService
 from .sessions import TenantSession
+from .wire import WireError
 
 #: accepted shape for caller-supplied X-Request-Id values; anything else
 #: (too long, header-injection attempts, empty) gets a minted ID instead
@@ -90,8 +122,19 @@ _REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 _IDEM_KEY_RE = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
 
 #: what this server speaks; clients feature-probe /v1/healthz before
-#: relying on retry-with-idempotency-key semantics
-_FEATURES = ("checkpoint", "deadline", "idempotency")
+#: relying on retry-with-idempotency-key or binary-frame semantics
+_FEATURES = ("binary_step", "checkpoint", "deadline", "idempotency")
+
+#: request bodies past this are refused with 413 before allocation
+#: becomes hostile (an MCUNet batch-8 JSON step is ~12 MB)
+_MAX_BODY = 256 << 20
+
+#: header block bounds: enough for real clients, hostile ones get cut
+_MAX_HEADERS = 100
+
+#: threads for blocking control-plane calls (create compiles, restore /
+#: checkpoint do file IO); the step path never touches this pool
+_OFFLOAD_THREADS = 8
 
 
 def _json_safe(value):
@@ -105,20 +148,28 @@ def _json_safe(value):
     return value
 
 
-class _GatewayHTTPServer(ThreadingHTTPServer):
-    daemon_threads = True
-    allow_reuse_address = True
-    #: injected by GatewayServer after construction
-    gateway: "GatewayServer"
+@dataclass
+class _Request:
+    """One parsed HTTP request plus its response plumbing."""
 
-    def handle_error(self, request, client_address):
-        # Clients dropping a connection mid-response (benchmark churn,
-        # Ctrl-C'd curl) is routine, not a server error worth a traceback.
-        import sys
-        exc = sys.exc_info()[1]
-        if isinstance(exc, (ConnectionError, BrokenPipeError, OSError)):
-            return
-        super().handle_error(request, client_address)
+    method: str
+    path: str
+    query: str
+    headers: dict[str, str]
+    body: bytes
+    writer: asyncio.StreamWriter
+    request_id: str = ""
+    #: tenant the Authorization header maps to (None when auth is off)
+    auth_tenant: str | None = None
+    #: set False by a handler that killed the connection (fault drop)
+    alive: bool = field(default=True)
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def wants_close(self) -> bool:
+        return (self.headers.get("connection") or "").lower() == "close"
 
 
 class GatewayServer:
@@ -128,7 +179,8 @@ class GatewayServer:
                  port: int = 0, *, max_queue_depth: int = 64,
                  rate_limit: float | None = None,
                  rate_burst: float | None = None,
-                 step_timeout: float = 120.0) -> None:
+                 step_timeout: float = 120.0,
+                 auth_tokens: dict[str, str] | None = None) -> None:
         if max_queue_depth < 0:
             raise ServeError(
                 f"max_queue_depth must be >= 0, got {max_queue_depth}")
@@ -136,6 +188,7 @@ class GatewayServer:
         self.max_queue_depth = max_queue_depth
         self.limiter = RateLimiter(rate_limit, burst=rate_burst)
         self.step_timeout = step_timeout
+        self.auth_tokens = dict(auth_tokens) if auth_tokens else None
 
         metrics = service.metrics
         self._requests_total = metrics.counter(
@@ -146,8 +199,24 @@ class GatewayServer:
         self._limited_total = metrics.counter(
             "serve.http_rate_limited_total",
             "step requests refused by per-tenant rate limits")
+        self._unauthorized_total = metrics.counter(
+            "serve.http_unauthorized_total",
+            "requests refused for a missing or invalid bearer token")
         self._step_latency = metrics.histogram(
             "serve.http_step_ms", "gateway-side step latency (admitted)")
+        # Wire-format accounting: bytes on the HTTP wire per step, split
+        # by body format, so benches can compare JSON vs binary framing.
+        self._steps_json = metrics.counter(
+            "serve.http.steps_json", "steps served with JSON bodies")
+        self._steps_binary = metrics.counter(
+            "serve.http.steps_binary",
+            "steps served with binary wire-frame bodies")
+        self._step_bytes_json = metrics.counter(
+            "serve.http.step_bytes_json",
+            "request+response body bytes across JSON-format steps")
+        self._step_bytes_binary = metrics.counter(
+            "serve.http.step_bytes_binary",
+            "request+response body bytes across binary-format steps")
         # Shared with the service/scheduler shedding stages (registry
         # get-or-create returns the one counter).
         self._deadline_expired = metrics.counter("serve.deadline_expired")
@@ -155,26 +224,60 @@ class GatewayServer:
         self._request_latency = metrics.histogram(
             "serve.request_latency_ms", "submit-to-result latency")
 
-        self._httpd = _GatewayHTTPServer((host, port), _Handler)
-        self._httpd.gateway = self
-        self.host = self._httpd.server_address[0]
-        self.port = int(self._httpd.server_address[1])
+        # The socket is bound (and the ephemeral port known) at
+        # construction; start() only begins accepting.
+        self._sock = socket.create_server((host, port), backlog=512,
+                                          reuse_port=False)
+        self._sock.setblocking(False)
+        self.host, self.port = self._sock.getsockname()[:2]
+
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
         self._thread: threading.Thread | None = None
+        self._offload = ThreadPoolExecutor(
+            max_workers=_OFFLOAD_THREADS,
+            thread_name_prefix="repro-gw-offload")
+        #: writer -> currently-processing-a-request (loop thread only)
+        self._conn_busy: dict[asyncio.StreamWriter, bool] = {}
         self._close_lock = threading.Lock()
         self._closed = False
+        self._closing = False
         self._drained = True
 
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    # -- lifecycle -----------------------------------------------------------
+
     def start(self) -> "GatewayServer":
-        """Begin serving on a background thread; returns self."""
+        """Begin serving on a background event-loop thread; returns self."""
+        self._loop = asyncio.new_event_loop()
+        ready = threading.Event()
         self._thread = threading.Thread(
-            target=self._httpd.serve_forever, name="repro-serve-http",
+            target=self._run_loop, args=(ready,), name="repro-serve-http",
             daemon=True)
         self._thread.start()
+        ready.wait(timeout=10)
         return self
+
+    def _run_loop(self, ready: threading.Event) -> None:
+        loop = self._loop
+        asyncio.set_event_loop(loop)
+
+        async def boot():
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._sock)
+
+        loop.run_until_complete(boot())
+        ready.set()
+        loop.run_forever()
+        # stopped by the settle path: give just-finishing handler tasks a
+        # beat to unwind, then close the loop
+        pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+        if pending:
+            loop.run_until_complete(asyncio.wait(pending, timeout=1.0))
+        loop.close()
 
     def retry_after_hint(self, depth: int) -> float:
         """Seconds a shed client should back off: roughly how long the
@@ -188,22 +291,54 @@ class GatewayServer:
         1. stop accepting connections (in-flight handlers keep running);
         2. settle every outstanding future via
            :meth:`FineTuneService.shutdown` — drained, failed, or
-           cancelled, never hung; blocked handlers answer their clients;
-        3. release the listening socket.
+           cancelled, never hung; awaiting handlers answer their clients;
+        3. drop idle keep-alive connections and let the loop retire once
+           the last busy handler has answered. A handler still awaiting
+           a genuinely running batch keeps the (daemon) loop alive until
+           its client is answered — close() does not wait for that.
         """
         with self._close_lock:
             if self._closed:
                 return self._drained
             self._closed = True
+        self._closing = True
         if self._thread is not None:
-            # shutdown() blocks on a flag only serve_forever() sets;
-            # calling it on a never-started server would hang forever.
-            self._httpd.shutdown()
+            stop = asyncio.run_coroutine_threadsafe(
+                self._stop_accepting(), self._loop)
+            try:
+                stop.result(timeout=5)
+            except Exception:  # pragma: no cover - defensive
+                pass
         self._drained = self.service.shutdown(drain_timeout)
-        self._httpd.server_close()
         if self._thread is not None:
-            self._thread.join(timeout=5)
+            try:
+                self._loop.call_soon_threadsafe(self._begin_settling)
+            except RuntimeError:
+                pass  # the loop already settled itself (no connections)
+        else:
+            self._sock.close()
+        self._offload.shutdown(wait=False)
         return self._drained
+
+    async def _stop_accepting(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def _begin_settling(self) -> None:
+        """(loop thread) Drop idle connections; busy ones finish first."""
+        for writer, busy in list(self._conn_busy.items()):
+            if not busy:
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+        self._maybe_settle()
+
+    def _maybe_settle(self) -> None:
+        """(loop thread) Stop the loop once closing and fully idle."""
+        if self._closing and not self._conn_busy \
+                and self._loop is not None and self._loop.is_running():
+            self._loop.call_soon(self._loop.stop)
 
     def __enter__(self) -> "GatewayServer":
         return self.start()
@@ -211,35 +346,208 @@ class GatewayServer:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- connection plumbing -------------------------------------------------
 
-class _Handler(BaseHTTPRequestHandler):
-    protocol_version = "HTTP/1.1"
-    server_version = "repro-serve"
-    # Small request/response pairs on a keep-alive connection hit the
-    # Nagle + delayed-ACK interaction (a fixed ~40ms stall per exchange)
-    # unless writes are batched and TCP_NODELAY is set.
-    disable_nagle_algorithm = True
-    wbufsize = -1
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                # Small request/response pairs on a keep-alive connection
+                # hit the Nagle + delayed-ACK interaction (~40ms per
+                # exchange) unless responses go out immediately.
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - platform quirk
+                pass
+        self._conn_busy[writer] = False
+        try:
+            while not self._closing:
+                request = await self._read_request(reader, writer)
+                if request is None:
+                    break
+                self._requests_total.inc()
+                self._conn_busy[writer] = True
+                try:
+                    await self._dispatch(request)
+                    if request.alive:
+                        await writer.drain()
+                finally:
+                    self._conn_busy[writer] = False
+                if not request.alive or request.wants_close:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError, ValueError):
+            # clients dropping a connection mid-exchange (benchmark
+            # churn, Ctrl-C'd curl) is routine, not a server error
+            pass
+        except Exception:  # noqa: BLE001 - visible, never fatal
+            traceback.print_exc(file=sys.stderr)
+        finally:
+            self._conn_busy.pop(writer, None)
+            self._maybe_settle()
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - already torn down
+                pass
 
-    # -- plumbing ------------------------------------------------------------
+    async def _read_request(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter
+                            ) -> _Request | None:
+        """Parse one request off the stream; None ends the connection.
 
-    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        pass  # request logging would swamp the benchmark loops
-
-    @property
-    def gateway(self) -> GatewayServer:
-        return self.server.gateway
-
-    def _read_body(self) -> bytes:
-        """Drain the request body off the wire.
-
-        The do_* dispatchers call this exactly once before routing — even
-        for refusals (404, shed) and bodiless verbs: with HTTP/1.1
-        keep-alive an unread body would be parsed as the next request
-        line and poison the connection.
+        The body always comes off the wire in full before routing, so
+        every refusal path (404 route miss, shed, malformed frame)
+        leaves the keep-alive stream clean.
         """
-        length = int(self.headers.get("Content-Length") or 0)
-        return self.rfile.read(length) if length else b""
+        line = await reader.readline()
+        if not line:
+            return None  # clean EOF between requests
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            return None  # garbage request line: drop the connection
+        method, target = parts[0], parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(headers) >= _MAX_HEADERS:
+                return None
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        if "transfer-encoding" in headers:
+            self._write_response(writer, 413, json.dumps(
+                {"error": "chunked bodies are not supported; send "
+                          "Content-Length"}).encode(),
+                "application/json", request_id=mint_request_id(),
+                close=True)
+            return None
+        try:
+            length = int(headers.get("content-length") or 0)
+        except ValueError:
+            return None
+        if length < 0 or length > _MAX_BODY:
+            self._write_response(writer, 413, json.dumps(
+                {"error": f"request body of {length} bytes exceeds the "
+                          f"{_MAX_BODY}-byte cap"}).encode(),
+                "application/json", request_id=mint_request_id(),
+                close=True)
+            return None
+        body = bytearray()
+        while len(body) < length:
+            chunk = await reader.read(min(length - len(body), 1 << 16))
+            if not chunk:
+                return None  # connection died mid-body
+            body += chunk
+        path, _, query = target.partition("?")
+        request = _Request(method=method, path=path, query=query,
+                           headers=headers, body=bytes(body), writer=writer)
+        supplied = request.header("x-request-id", "")
+        request.request_id = supplied if _REQUEST_ID_RE.match(supplied) \
+            else mint_request_id()
+        return request
+
+    def _write_response(self, writer: asyncio.StreamWriter, status: int,
+                        body: bytes, content_type: str,
+                        headers: dict[str, str] | None = None,
+                        request_id: str | None = None,
+                        close: bool = False) -> None:
+        reason = http.client.responses.get(status, "")
+        lines = [f"HTTP/1.1 {status} {reason}",
+                 f"Content-Type: {content_type}",
+                 f"Content-Length: {len(body)}",
+                 f"X-Request-Id: {request_id or mint_request_id()}"]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        if close:
+            lines.append("Connection: close")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+                     + body)
+
+    def _send_body(self, request: _Request, status: int, body: bytes,
+                   content_type: str,
+                   headers: dict[str, str] | None = None) -> int:
+        self._write_response(request.writer, status, body, content_type,
+                             headers, request_id=request.request_id,
+                             close=request.wants_close)
+        return len(body)
+
+    def _send_json(self, request: _Request, status: int, payload: dict,
+                   headers: dict[str, str] | None = None) -> int:
+        return self._send_body(
+            request, status, json.dumps(_json_safe(payload)).encode(),
+            "application/json", headers)
+
+    async def _offloaded(self, fn, *args):
+        """Run a blocking control-plane call off the event loop."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._offload, fn, *args)
+
+    # -- routing -------------------------------------------------------------
+
+    async def _dispatch(self, request: _Request) -> None:
+        parts = [p for p in request.path.split("/") if p]
+        if parts == ["v1", "healthz"] and request.method == "GET":
+            return self._healthz(request)
+        if not self._authorize(request):
+            return None
+        method = request.method
+        if method == "GET":
+            if parts == ["v1", "metrics"]:
+                return self._metrics(request)
+            if parts == ["v1", "trace"]:
+                return self._trace(request)
+            if len(parts) == 4 and parts[:2] == ["v1", "sessions"] \
+                    and parts[3] == "checkpoint":
+                return await self._download_checkpoint(request, parts[2])
+            if len(parts) == 3 and parts[:2] == ["v1", "sessions"]:
+                return self._session_status(request, parts[2])
+        elif method == "POST":
+            if parts == ["v1", "sessions"]:
+                return await self._create_session(request)
+            if parts == ["v1", "sessions", "restore"]:
+                return await self._restore(request)
+            if len(parts) == 4 and parts[:2] == ["v1", "sessions"]:
+                if parts[3] == "step":
+                    return await self._step(request, parts[2])
+                if parts[3] == "checkpoint":
+                    return await self._checkpoint(request, parts[2])
+        elif method == "DELETE":
+            if len(parts) == 3 and parts[:2] == ["v1", "sessions"]:
+                return await self._close_session(request, parts[2])
+        self._send_json(request, 404, {
+            "error": f"no route for {method} {request.path}"})
+        return None
+
+    def _authorize(self, request: _Request) -> bool:
+        """Resolve the bearer token to a tenant; False = 401 already sent."""
+        if self.auth_tokens is None:
+            return True
+        header = request.header("authorization", "") or ""
+        tenant = None
+        if header[:7].lower() == "bearer ":
+            tenant = self.auth_tokens.get(header[7:].strip())
+        if tenant is None:
+            self._unauthorized_total.inc()
+            self._send_json(
+                request, 401,
+                {"error": "missing or invalid bearer token"},
+                headers={"WWW-Authenticate": "Bearer"})
+            return False
+        request.auth_tenant = tenant
+        return True
+
+    def _tenant_mismatch(self, request: _Request,
+                         session: TenantSession) -> bool:
+        """True (and a 403 sent) when the token may not touch ``session``."""
+        if request.auth_tenant is None \
+                or session.tenant == request.auth_tenant:
+            return False
+        self._send_json(request, 403, {
+            "error": f"token for tenant {request.auth_tenant!r} cannot "
+                     f"access a session owned by {session.tenant!r}"})
+        return True
 
     @staticmethod
     def _parse_json(raw: bytes) -> dict:
@@ -250,136 +558,72 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
-    def _begin_request(self) -> None:
-        """Adopt the caller's ``X-Request-Id`` or mint one.
-
-        Runs first in every do_* dispatcher so even refusals (404, shed,
-        429) echo a correlatable ID.
-        """
-        supplied = self.headers.get("X-Request-Id", "")
-        self._request_id = supplied if _REQUEST_ID_RE.match(supplied) \
-            else mint_request_id()
-
-    def _send_body(self, status: int, body: bytes, content_type: str,
-                   headers: dict[str, str] | None = None) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.send_header("X-Request-Id",
-                         getattr(self, "_request_id", None)
-                         or mint_request_id())
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_json(self, status: int, payload: dict,
-                   headers: dict[str, str] | None = None) -> None:
-        self._send_body(status, json.dumps(_json_safe(payload)).encode(),
-                        "application/json", headers)
-
-    # -- routing -------------------------------------------------------------
-
-    def do_GET(self) -> None:
-        self.gateway._requests_total.inc()
-        self._begin_request()
-        self._read_body()  # drain even on bodiless verbs (see _read_body)
-        path, _, query = self.path.partition("?")
-        parts = [p for p in path.split("/") if p]
-        if parts == ["v1", "healthz"]:
-            return self._healthz()
-        if parts == ["v1", "metrics"]:
-            return self._metrics(query)
-        if parts == ["v1", "trace"]:
-            return self._trace()
-        if len(parts) == 4 and parts[:2] == ["v1", "sessions"] \
-                and parts[3] == "checkpoint":
-            return self._download_checkpoint(parts[2])
-        if len(parts) == 3 and parts[:2] == ["v1", "sessions"]:
-            return self._session_status(parts[2])
-        self._send_json(404, {"error": f"no route for GET {self.path}"})
-
-    def do_POST(self) -> None:
-        self.gateway._requests_total.inc()
-        self._begin_request()
-        # The body comes off the wire exactly once, before routing, so
-        # every refusal path (404 route miss, shed, unknown session)
-        # leaves the keep-alive stream clean.
-        raw = self._read_body()
-        parts = [p for p in self.path.split("?")[0].split("/") if p]
-        if parts == ["v1", "sessions"]:
-            return self._create_session(raw)
-        if parts == ["v1", "sessions", "restore"]:
-            return self._restore(raw)
-        if len(parts) == 4 and parts[:2] == ["v1", "sessions"] \
-                and parts[3] == "step":
-            return self._step(parts[2], raw)
-        if len(parts) == 4 and parts[:2] == ["v1", "sessions"] \
-                and parts[3] == "checkpoint":
-            return self._checkpoint(parts[2])
-        self._send_json(404, {"error": f"no route for POST {self.path}"})
-
-    def do_DELETE(self) -> None:
-        self.gateway._requests_total.inc()
-        self._begin_request()
-        self._read_body()
-        parts = [p for p in self.path.split("?")[0].split("/") if p]
-        if len(parts) == 3 and parts[:2] == ["v1", "sessions"]:
-            return self._close_session(parts[2])
-        self._send_json(404, {"error": f"no route for DELETE {self.path}"})
-
     # -- endpoints -----------------------------------------------------------
 
-    def _healthz(self) -> None:
-        gw = self.gateway
-        closing = gw.service.closed
-        self._send_json(503 if closing else 200, {
+    def _healthz(self, request: _Request) -> None:
+        closing = self.service.closed
+        self._send_json(request, 503 if closing else 200, {
             "status": "closing" if closing else "ok",
-            "queue_depth": gw.service.scheduler.queue_depth(),
-            "max_queue_depth": gw.max_queue_depth,
-            "sessions": len(gw.service.sessions),
+            "queue_depth": self.service.scheduler.queue_depth(),
+            "max_queue_depth": self.max_queue_depth,
+            "sessions": len(self.service.sessions),
             "features": list(_FEATURES),
         })
 
-    def _metrics(self, query: str = "") -> None:
-        fmt = parse_qs(query).get("format", ["json"])[0]
+    def _metrics(self, request: _Request) -> None:
+        fmt = parse_qs(request.query).get("format", ["json"])[0]
         if fmt == "prometheus":
-            return self._send_body(
-                200, self.gateway.service.prometheus_metrics().encode(),
+            self._send_body(
+                request, 200, self.service.prometheus_metrics().encode(),
                 "text/plain; version=0.0.4; charset=utf-8")
+            return
         if fmt != "json":
-            return self._send_json(
-                400, {"error": f"unknown metrics format {fmt!r}; "
-                               f"options: json, prometheus"})
-        self._send_json(200, self.gateway.service.stats())
+            self._send_json(
+                request, 400,
+                {"error": f"unknown metrics format {fmt!r}; "
+                          f"options: json, prometheus"})
+            return
+        self._send_json(request, 200, self.service.stats())
 
-    def _trace(self) -> None:
+    def _trace(self, request: _Request) -> None:
         # The span ring as one chrome://tracing / Perfetto document;
         # request IDs live in each event's args for correlation.
-        self._send_json(200, self.gateway.service.tracer.export())
+        self._send_json(request, 200, self.service.tracer.export())
 
-    def _create_session(self, raw: bytes) -> None:
-        gw = self.gateway
+    async def _create_session(self, request: _Request) -> None:
         try:
-            payload = self._parse_json(raw)
+            payload = self._parse_json(request.body)
             model = payload["model"]
             if not isinstance(model, str):
                 raise ValueError(
                     "'model' must be a registry key string over HTTP")
-            session = gw.service.create_session(
-                model,
-                scheme=payload.get("scheme", "paper"),
-                tenant=payload.get("tenant"),
-                model_kwargs=payload.get("model_kwargs"),
-            )
+            tenant = payload.get("tenant")
+            if request.auth_tenant is not None:
+                if tenant is not None and tenant != request.auth_tenant:
+                    self._send_json(request, 403, {
+                        "error": f"token for tenant "
+                                 f"{request.auth_tenant!r} cannot create "
+                                 f"a session for {tenant!r}"})
+                    return
+                tenant = request.auth_tenant
+            # compiling a new program family blocks; keep it off the loop
+            session = await self._offloaded(
+                lambda: self.service.create_session(
+                    model,
+                    scheme=payload.get("scheme", "paper"),
+                    tenant=tenant,
+                    model_kwargs=payload.get("model_kwargs"),
+                ))
         except ServeError as exc:
             status = 503 if "closed" in str(exc) else 400
-            return self._send_json(status, {"error": str(exc)})
+            self._send_json(request, status, {"error": str(exc)})
+            return
         except (ReproError, KeyError, ValueError, TypeError) as exc:
             # unknown model, bad kwargs, malformed body: the client's fault
-            return self._send_json(400, {"error": f"bad request: {exc}"})
+            self._send_json(request, 400, {"error": f"bad request: {exc}"})
+            return
         family = session.family
-        self._send_json(201, {
+        self._send_json(request, 201, {
             "session_id": session.id,
             "tenant": session.tenant,
             "model": family.model_id,
@@ -390,25 +634,32 @@ class _Handler(BaseHTTPRequestHandler):
             "num_classes": family.num_classes,
         })
 
-    def _session_status(self, session_id: str) -> None:
+    def _session_status(self, request: _Request, session_id: str) -> None:
         try:
-            session = self.gateway.service.sessions.get(session_id)
+            session = self.service.sessions.get(session_id)
         except ServeError as exc:
-            return self._send_json(404, {"error": str(exc)})
-        self._send_json(200, self._summary(session))
+            self._send_json(request, 404, {"error": str(exc)})
+            return
+        if self._tenant_mismatch(request, session):
+            return
+        self._send_json(request, 200, self._summary(session))
 
-    def _close_session(self, session_id: str) -> None:
-        gw = self.gateway
+    async def _close_session(self, request: _Request,
+                             session_id: str) -> None:
         try:
-            session = gw.service.sessions.get(session_id)
+            session = self.service.sessions.get(session_id)
+            if self._tenant_mismatch(request, session):
+                return
             summary = self._summary(session)
-            gw.service.close_session(session_id)
+            await self._offloaded(self.service.close_session, session_id)
         except ServeError as exc:
             status = 404 if "unknown session" in str(exc) else 409
-            return self._send_json(status, {"error": str(exc)})
-        self._send_json(200, summary)
+            self._send_json(request, status, {"error": str(exc)})
+            return
+        self._send_json(request, 200, summary)
 
-    def _summary(self, session: TenantSession) -> dict:
+    @staticmethod
+    def _summary(session: TenantSession) -> dict:
         return {
             "session_id": session.id,
             "tenant": session.tenant,
@@ -419,43 +670,54 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- durability endpoints ------------------------------------------------
 
-    def _checkpoint(self, session_id: str) -> None:
+    async def _checkpoint(self, request: _Request, session_id: str) -> None:
         """POST: persist one checkpoint version to the server-side store."""
-        gw = self.gateway
         try:
-            meta = gw.service.checkpoint_session(session_id)
+            session = self.service.sessions.get(session_id)
+            if self._tenant_mismatch(request, session):
+                return
+            meta = await self._offloaded(
+                self.service.checkpoint_session, session_id)
         except CheckpointError as exc:
-            return self._send_json(500, {"error": str(exc)})
+            self._send_json(request, 500, {"error": str(exc)})
+            return
         except ServeError as exc:
             msg = str(exc)
             # no checkpoint_dir / no restore config: a conflict with how
             # the server is configured, not a bad request
             status = 404 if "unknown session" in msg else 409
-            return self._send_json(status, {"error": msg})
-        self._send_json(200, meta)
+            self._send_json(request, status, {"error": msg})
+            return
+        self._send_json(request, 200, meta)
 
-    def _download_checkpoint(self, session_id: str) -> None:
+    async def _download_checkpoint(self, request: _Request,
+                                   session_id: str) -> None:
         """GET: the session's current checkpoint as one binary download."""
-        gw = self.gateway
         try:
-            data = gw.service.checkpoint_bytes(session_id)
+            session = self.service.sessions.get(session_id)
+            if self._tenant_mismatch(request, session):
+                return
+            data = await self._offloaded(
+                self.service.checkpoint_bytes, session_id)
         except ServeError as exc:
             msg = str(exc)
             status = 404 if "unknown session" in msg else 409
-            return self._send_json(status, {"error": msg})
-        self._send_body(200, data, "application/octet-stream", headers={
-            "Content-Disposition":
-                f'attachment; filename="{session_id}.ckpt"'})
+            self._send_json(request, status, {"error": msg})
+            return
+        self._send_body(request, 200, data, "application/octet-stream",
+                        headers={"Content-Disposition":
+                                 f'attachment; filename="{session_id}.ckpt"'})
 
-    def _restore(self, raw: bytes) -> None:
+    async def _restore(self, request: _Request) -> None:
         """POST: resurrect a session from uploaded bytes or the store."""
-        gw = self.gateway
-        ctype = (self.headers.get("Content-Type") or "") \
+        raw = request.body
+        ctype = (request.header("content-type") or "") \
             .split(";")[0].strip().lower()
         try:
             if ctype == "application/octet-stream" \
                     or raw.startswith(_CKPT_MAGIC):
-                session = gw.service.restore_session(raw)
+                session = await self._offloaded(
+                    self.service.restore_session, raw)
             else:
                 payload = self._parse_json(raw)
                 session_id = payload.get("session_id")
@@ -467,136 +729,206 @@ class _Handler(BaseHTTPRequestHandler):
                 version = payload.get("version")
                 if version is not None:
                     version = int(version)
-                session = gw.service.restore_session(
-                    session_id=session_id, version=version)
+                session = await self._offloaded(
+                    lambda: self.service.restore_session(
+                        session_id=session_id, version=version))
         except CheckpointError as exc:
             # corrupt/unreadable/incompatible checkpoint: the *content*
             # is the problem, not the request shape
-            return self._send_json(422, {"error": str(exc)})
+            self._send_json(request, 422, {"error": str(exc)})
+            return
         except ServeError as exc:
             msg = str(exc)
             status = 503 if "closed" in msg \
                 else 409 if "already open" in msg else 400
-            return self._send_json(status, {"error": msg})
+            self._send_json(request, status, {"error": msg})
+            return
         except (ValueError, TypeError) as exc:
-            return self._send_json(
-                400, {"error": f"bad restore request: {exc}"})
+            self._send_json(request, 400,
+                            {"error": f"bad restore request: {exc}"})
+            return
         body = self._summary(session)
         body["restored"] = True
         body["step_seq"] = session.step_seq
-        self._send_json(201, body)
+        self._send_json(request, 201, body)
 
-    def _step(self, session_id: str, raw: bytes) -> None:
-        gw = self.gateway
+    # -- the step path -------------------------------------------------------
+
+    def _parse_step_body(self, request: _Request, family
+                         ) -> tuple[np.ndarray, np.ndarray, bool]:
+        """Decode the step example from JSON or a binary wire frame.
+
+        Returns ``(x, y, binary)``; raises ``ValueError``/``WireError``
+        (mapped to 400 by the caller) on malformed bodies. Binary
+        tensors are decoded with ``copy=True`` so downstream kernels see
+        ordinary aligned arrays — byte-for-byte the same results as the
+        JSON path.
+        """
+        ctype = (request.header("content-type") or "") \
+            .split(";")[0].strip().lower()
+        if ctype == wire.CONTENT_TYPE:
+            _, tensors = wire.decode_frame(request.body, copy=True)
+            if "x" not in tensors or "y" not in tensors:
+                raise ValueError(
+                    "binary step frame must carry tensors 'x' and 'y'")
+            x = np.asarray(tensors["x"], dtype=family.example_dtype)
+            y = np.asarray(tensors["y"], dtype=family.label_dtype)
+            return x, y, True
+        payload = self._parse_json(request.body)
+        x = np.asarray(payload["x"], dtype=family.example_dtype)
+        y = np.asarray(payload["y"], dtype=family.label_dtype)
+        return x, y, False
+
+    async def _step(self, request: _Request, session_id: str) -> None:
         began = time.perf_counter()
         try:
-            session = gw.service.sessions.get(session_id)
+            session = self.service.sessions.get(session_id)
         except ServeError as exc:
-            return self._send_json(404, {"error": str(exc)})
+            self._send_json(request, 404, {"error": str(exc)})
+            return
+        if self._tenant_mismatch(request, session):
+            return
 
         # Admission control before the request touches the scheduler:
         # shed load costs the service one body read and nothing else.
-        retry = gw.limiter.try_acquire(session.tenant)
+        retry = self.limiter.try_acquire(session.tenant)
         if retry > 0.0:
-            gw._limited_total.inc()
-            return self._send_json(
-                429,
+            self._limited_total.inc()
+            self._send_json(
+                request, 429,
                 {"error": f"tenant {session.tenant!r} is over its rate "
                           f"limit", "retry_after": retry},
                 headers={"Retry-After": f"{retry:.3f}"})
-        depth = gw.service.scheduler.queue_depth()
-        if depth >= gw.max_queue_depth:
-            gw._shed_total.inc()
-            retry = gw.retry_after_hint(depth)
-            return self._send_json(
-                429,
+            return
+        depth = self.service.scheduler.queue_depth()
+        if depth >= self.max_queue_depth:
+            self._shed_total.inc()
+            retry = self.retry_after_hint(depth)
+            self._send_json(
+                request, 429,
                 {"error": f"queue depth {depth} at watermark "
-                          f"{gw.max_queue_depth}; shedding load",
+                          f"{self.max_queue_depth}; shedding load",
                  "queue_depth": depth, "retry_after": retry},
                 headers={"Retry-After": f"{retry:.3f}"})
+            return
 
         # Durability headers. X-Deadline is absolute epoch seconds; it is
         # converted onto time.monotonic() once here and propagated so
         # every later shedding stage compares against the same clock.
-        raw_deadline = self.headers.get("X-Deadline")
+        raw_deadline = request.header("x-deadline")
         deadline = None
         if raw_deadline is not None:
             try:
                 deadline = time.monotonic() + (float(raw_deadline)
                                                - time.time())
             except ValueError:
-                return self._send_json(
-                    400, {"error": f"bad X-Deadline header "
-                                   f"{raw_deadline!r}: want absolute "
-                                   f"epoch seconds"})
+                self._send_json(
+                    request, 400,
+                    {"error": f"bad X-Deadline header {raw_deadline!r}: "
+                              f"want absolute epoch seconds"})
+                return
             if time.monotonic() >= deadline:
-                gw._deadline_expired.inc()
-                return self._send_json(
-                    504, {"error": "deadline already passed at admission",
-                          "deadline_expired": True})
-        idem_key = self.headers.get("Idempotency-Key")
+                self._deadline_expired.inc()
+                self._send_json(
+                    request, 504,
+                    {"error": "deadline already passed at admission",
+                     "deadline_expired": True})
+                return
+        idem_key = request.header("idempotency-key")
         if idem_key is not None and not _IDEM_KEY_RE.match(idem_key):
-            return self._send_json(
-                400, {"error": "bad Idempotency-Key header: want 1-128 "
-                               "chars of [A-Za-z0-9._:-]"})
+            self._send_json(
+                request, 400,
+                {"error": "bad Idempotency-Key header: want 1-128 chars "
+                          "of [A-Za-z0-9._:-]"})
+            return
 
         try:
-            payload = self._parse_json(raw)
-            family = session.family
-            x = np.asarray(payload["x"], dtype=family.example_dtype)
-            y = np.asarray(payload["y"], dtype=family.label_dtype)
-        except (KeyError, ValueError, TypeError) as exc:
-            return self._send_json(400, {"error": f"bad step body: {exc}"})
+            x, y, binary = self._parse_step_body(request, session.family)
+        except WireError as exc:
+            self._send_json(request, 400,
+                            {"error": f"bad step frame: {exc}"})
+            return
+        except (KeyError, ValueError, TypeError,
+                json.JSONDecodeError) as exc:
+            self._send_json(request, 400,
+                            {"error": f"bad step body: {exc}"})
+            return
+        respond_binary = wire.CONTENT_TYPE in (
+            request.header("accept") or "")
+
         # The trace context the whole request pipeline records into: the
         # gateway owns admission and serialize, the scheduler queue_wait,
         # the service batch_wait and execute.
-        trace = gw.service.tracer.trace(
-            self._request_id, session_id=session_id, tenant=session.tenant)
+        trace = self.service.tracer.trace(
+            request.request_id, session_id=session_id,
+            tenant=session.tenant)
         trace.add("admission", began, time.perf_counter())
         try:
-            future = gw.service.submit(session_id, x, y, trace=trace,
-                                       deadline=deadline,
-                                       idempotency_key=idem_key)
+            future = self.service.submit(session_id, x, y, trace=trace,
+                                         deadline=deadline,
+                                         idempotency_key=idem_key)
         except DeadlineExpired as exc:
-            return self._send_json(
-                504, {"error": str(exc), "deadline_expired": True})
+            self._send_json(request, 504, {"error": str(exc),
+                                           "deadline_expired": True})
+            return
         except ServeError as exc:
             status = 503 if "closed" in str(exc) else 400
-            return self._send_json(status, {"error": str(exc)})
+            self._send_json(request, status, {"error": str(exc)})
+            return
 
-        timeout = gw.step_timeout
+        timeout = self.step_timeout
         if deadline is not None:
             timeout = min(timeout, max(0.0, deadline - time.monotonic()))
         try:
-            result = future.result(timeout=timeout)
-        except CancelledError:
-            return self._send_json(
-                503, {"error": "step cancelled: service is shutting down"})
-        except DeadlineExpired as exc:
-            return self._send_json(
-                504, {"error": str(exc), "deadline_expired": True})
-        except FutureTimeout:
+            # Bridge the scheduler's concurrent future onto the loop: the
+            # handler suspends here without pinning a thread, which is
+            # what lets held connections outnumber the thread budget.
+            result = await asyncio.wait_for(asyncio.wrap_future(future),
+                                            timeout=timeout)
+        except asyncio.CancelledError:
+            if future.cancelled():
+                # service shutdown cancelled the queued step
+                self._send_json(request, 503, {
+                    "error": "step cancelled: service is shutting down"})
+                return
+            raise  # the connection task itself was cancelled
+        except asyncio.TimeoutError:
             # Abandon the wait without leaking the request: cancel()
             # succeeds only while it is still queued (the scheduler then
             # drops it at batch-cut and releases any idempotency claim);
             # once running it completes server-side and, if keyed, lands
             # in the replay window for the client's retry.
             future.cancel()
-            gw._deadline_expired.inc()
-            return self._send_json(
-                504, {"error": f"step did not complete within {timeout:.3f}s",
-                      "deadline_expired": True})
+            self._deadline_expired.inc()
+            self._send_json(
+                request, 504,
+                {"error": f"step did not complete within {timeout:.3f}s",
+                 "deadline_expired": True})
+            return
+        except DeadlineExpired as exc:
+            self._send_json(request, 504, {"error": str(exc),
+                                           "deadline_expired": True})
+            return
         except ServeError as exc:
-            return self._send_json(500, {"error": str(exc)})
+            self._send_json(request, 500, {"error": str(exc)})
+            return
         except Exception as exc:  # noqa: BLE001 - surface, don't hang
-            return self._send_json(
-                500, {"error": f"{type(exc).__name__}: {exc}"})
+            self._send_json(request, 500,
+                            {"error": f"{type(exc).__name__}: {exc}"})
+            return
+
         # Serialize opens the moment the result lands (covering response
-        # bookkeeping + json.dumps; socket write excluded: the span must
-        # be *in* the headers it is reported through).
+        # bookkeeping + encode; socket write excluded: the span must be
+        # *in* the headers it is reported through).
         serialize_began = time.perf_counter()
-        gw._step_latency.observe((serialize_began - began) * 1e3)
-        body = json.dumps(_json_safe({
+        self._step_latency.observe((serialize_began - began) * 1e3)
+        if trace.spans:
+            # resume: the scheduler thread resolved the future at the end
+            # of its last span; the loop woke this coroutine here. Without
+            # it the handoff is unaccounted time and span coverage lies.
+            trace.add("resume", max(s.ended for s in trace.spans),
+                      serialize_began)
+        doc = _json_safe({
             "session_id": result.session_id,
             "loss": result.loss,
             "step": result.step,
@@ -604,7 +936,11 @@ class _Handler(BaseHTTPRequestHandler):
             "program_key": result.program_key,
             "request_id": trace.request_id,
             "replayed": result.replayed,
-        })).encode()
+        })
+        if respond_binary:
+            body, content_type = wire.encode_frame(doc), wire.CONTENT_TYPE
+        else:
+            body, content_type = json.dumps(doc).encode(), "application/json"
         trace.add("serialize", serialize_began, time.perf_counter())
         try:
             FAULTS.fire("gateway.reset_after_send",
@@ -613,13 +949,18 @@ class _Handler(BaseHTTPRequestHandler):
             # Chaos/e2e-retry tests: the step executed and (if keyed) is
             # in the replay window, but the client never hears — simulate
             # the response lost on the wire by dropping the connection.
-            self.close_connection = True
-            try:
-                self.connection.shutdown(2)  # socket.SHUT_RDWR
-            except OSError:
-                pass
+            request.alive = False
+            transport = request.writer.transport
+            if transport is not None:
+                transport.abort()
             return
-        self._send_body(200, body, "application/json", headers={
+        sent = self._send_body(request, 200, body, content_type, headers={
             "Server-Timing": server_timing_header(
                 trace.timings_ms(), trace.total_ms()),
         })
+        if binary:
+            self._steps_binary.inc()
+            self._step_bytes_binary.inc(len(request.body) + sent)
+        else:
+            self._steps_json.inc()
+            self._step_bytes_json.inc(len(request.body) + sent)

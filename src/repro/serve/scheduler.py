@@ -100,15 +100,29 @@ class BatchScheduler:
 
     def __init__(self, run_batch: BatchRunner, *, max_batch: int = 8,
                  workers: int = 2,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 batch_hold_ms: float = 0.0) -> None:
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
+        if batch_hold_ms < 0:
+            raise ServeError(
+                f"batch_hold_ms must be >= 0, got {batch_hold_ms}")
         self.max_batch = max_batch
         self._buckets = bucket_sizes(max_batch)
         self._run_batch = run_batch
+        self._workers_n = workers
+        #: batch-aware dispatch: with every worker busy, an executing
+        #: session may linger this long before cutting its batch so the
+        #: queue refills a larger micro-batch bucket (0 = off, the
+        #: work-conserving default). The hold is additionally bounded by
+        #: the tightest deadline slack among the queued requests.
+        self._hold_s = batch_hold_ms / 1e3
         self._metrics = metrics or MetricsRegistry()
         self._batch_hist = self._metrics.histogram(
             "serve.batch_size", "examples coalesced per executed step")
+        self._batch_fill = self._metrics.histogram(
+            "serve.batch_fill",
+            "executed batch size as a fraction of max_batch")
         self._request_latency = self._metrics.histogram(
             "serve.request_latency_ms", "submit-to-result latency")
         self._batches_total = self._metrics.counter(
@@ -172,7 +186,10 @@ class BatchScheduler:
             if session.id not in self._inflight \
                     and session.id not in self._ready:
                 self._ready.append(session.id)
-            self._work.notify()
+            # notify_all: the dispatcher and any batch-hold waiters share
+            # this condition; a single notify could wake only a holder and
+            # strand the dispatcher until the next submit
+            self._work.notify_all()
         return request.future
 
     def drain(self, timeout: float | None = None) -> bool:
@@ -253,6 +270,37 @@ class BatchScheduler:
                 size = bucket
         return [queue.popleft() for _ in range(size)]
 
+    def _hold_for_fill(self, queue: deque[StepRequest]) -> None:
+        """Batch-aware dispatch: linger briefly while workers are saturated.
+
+        Called with the scheduler lock held, on the worker thread about to
+        cut ``queue`` into a batch. When every pool worker is busy (this
+        one included), latency is queue-bound anyway — waiting up to the
+        hold budget for the queue to refill a larger micro-batch bucket
+        costs little and buys coalescing. The wait is bounded by the
+        tightest deadline slack among the already-queued requests, so a
+        hold can never push a request past its deadline. Work conservation
+        is preserved in the only case it matters: with a free worker
+        available, no hold happens at all.
+        """
+        if len(queue) >= self.max_batch \
+                or len(self._inflight) < self._workers_n:
+            return
+        cap = self._hold_s
+        now = time.monotonic()
+        for request in queue:
+            if request.deadline is not None:
+                cap = min(cap, request.deadline - now - 0.002)
+        if cap <= 0:
+            return
+        hold_until = time.monotonic() + cap
+        while len(queue) < self.max_batch and not self._closed \
+                and len(self._inflight) >= self._workers_n:
+            remaining = hold_until - time.monotonic()
+            if remaining <= 0:
+                break
+            self._work.wait(remaining)
+
     def _dispatch_loop(self) -> None:
         # The dispatcher only marks a session in-flight and hands it to the
         # pool; the worker cuts the actual micro-batch when it *starts*
@@ -278,11 +326,17 @@ class BatchScheduler:
                 self._inflight.discard(session_id)
                 self._idle.notify_all()
                 return
-            queue = self._queues[session_id]
+            queue = self._queues.get(session_id)
+            if queue is None:
+                self._inflight.discard(session_id)
+                self._idle.notify_all()
+                return
+            if self._hold_s > 0.0:
+                self._hold_for_fill(queue)
             batch = self._cut_batch(queue)
             if not queue:
-                del self._queues[session_id]
-                del self._sessions[session_id]
+                self._queues.pop(session_id, None)
+                self._sessions.pop(session_id, None)
         # Client-cancelled requests drop out of the batch here; marking the
         # rest as running also makes their futures uncancellable, so the
         # optimizer step and the resolved results can't disagree. A
@@ -325,6 +379,7 @@ class BatchScheduler:
                 done = time.perf_counter()
                 self._batches_total.inc()
                 self._batch_hist.observe(len(batch))
+                self._batch_fill.observe(len(batch) / self.max_batch)
                 for request in batch:
                     self._request_latency.observe(
                         (done - request.submitted_at) * 1e3)
@@ -348,5 +403,5 @@ class BatchScheduler:
                 if session_id in self._queues \
                         and session_id not in self._ready:
                     self._ready.append(session_id)
-                    self._work.notify()
+                    self._work.notify_all()
                 self._idle.notify_all()

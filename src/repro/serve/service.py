@@ -180,7 +180,10 @@ class FineTuneService:
                  trace_ring: int = 4096,
                  checkpoint_dir: str | Path | None = None,
                  checkpoint_every: int = 0,
-                 keep_checkpoints: int = 3) -> None:
+                 keep_checkpoints: int = 3,
+                 worker_channel: str = "shm",
+                 shm_slot_bytes: int | None = None,
+                 batch_hold_ms: float = 0.0) -> None:
         if backend not in BACKENDS:
             raise ServeError(
                 f"unknown serve backend {backend!r}; options: {BACKENDS}")
@@ -234,12 +237,16 @@ class FineTuneService:
             "serve.steps_replayed",
             "retried steps answered from the idempotency window "
             "(no second optimizer update)")
+        engine_kwargs = {} if shm_slot_bytes is None \
+            else {"slot_bytes": shm_slot_bytes}
         self.engine = ProcessPoolEngine(
-            workers=workers, on_restart=self._worker_restarts.inc) \
+            workers=workers, on_restart=self._worker_restarts.inc,
+            channel=worker_channel, metrics=self.metrics,
+            **engine_kwargs) \
             if backend == "process" else None
         self.scheduler = BatchScheduler(
             self._run_batch, max_batch=max_batch, workers=workers,
-            metrics=self.metrics)
+            metrics=self.metrics, batch_hold_ms=batch_hold_ms)
         # One counter shared by every shedding stage (service submit,
         # scheduler cut, gateway admission): the scheduler registered it,
         # the registry hands back the same object.
@@ -784,8 +791,13 @@ class FineTuneService:
                         entry.meta.get("artifact_path"), entry.key,
                         session.state, feeds, fetch=(family.loss_name,),
                         trace=carrier)
-                for name, array in new_state.items():
-                    session.state[name][...] = array
+                if new_state is not session.state:
+                    # pickle channel: the worker mutated its own unpickled
+                    # copies; land them back in the session arrays. The shm
+                    # channel returns the session dict itself (the engine
+                    # already copied the shared-memory views back).
+                    for name, array in new_state.items():
+                        session.state[name][...] = array
             loss = float(fetched[family.loss_name])
             if obs_payload is not None:
                 self.tracer.record_worker_step(obs_payload, session.id)

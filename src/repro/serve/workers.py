@@ -19,10 +19,23 @@ receiving a deployed model:
    requested outputs plus the updated overlay.
 
 The worker-side code lives in :mod:`repro.deploy.stepworker` so a worker's
-import closure stays compiler-free (importing anything under
-``repro.serve`` would drag the compiler in); workers are spawned, not
-forked, so they genuinely demonstrate the compile-once/run-anywhere split.
-:meth:`ProcessPoolEngine.probe` verifies the claim against a live pool.
+import closure stays compiler-free (``repro.serve`` is import-lazy, so the
+worker can still reach :mod:`repro.serve.shm` without the compiler);
+workers are spawned, not forked, so they genuinely demonstrate the
+compile-once/run-anywhere split. :meth:`ProcessPoolEngine.probe` verifies
+the claim against a live pool.
+
+Step 2 above has two transports, selected by ``channel``:
+
+* ``"shm"`` (default) — the overlay + batch travel through a
+  :class:`~repro.serve.shm.SlabRing` slot as one wire frame; the task
+  pickles only the slot coordinates, the worker mutates the overlay in
+  place in shared memory, and only fetched scalars come back by value.
+  Payloads that cannot be framed (bigger than a slot, non-contiguous,
+  name collisions) fall back to pickle per step, counted in
+  ``serve.worker.shm_fallbacks``.
+* ``"pickle"`` — the original full-pickle path, kept as the
+  byte-exactness oracle and for hosts without POSIX shared memory.
 """
 
 from __future__ import annotations
@@ -37,6 +50,20 @@ import numpy as np
 
 from ..deploy import stepworker
 from ..errors import ServeError
+from . import shm as shm_mod
+from .wire import WireError
+
+#: valid values for ``ProcessPoolEngine(channel=...)``
+CHANNELS = ("shm", "pickle")
+
+#: rough pickle overhead per step result stub (protocol framing, the
+#: obs payload dict, scalar boxes) — keeps the serialized-bytes counter
+#: honest without re-pickling just to measure
+_STUB_OVERHEAD = 512
+
+
+def _nbytes(arrays: dict[str, np.ndarray]) -> int:
+    return sum(int(np.asarray(a).nbytes) for a in arrays.values())
 
 
 class ProcessPoolEngine:
@@ -56,17 +83,53 @@ class ProcessPoolEngine:
     """
 
     def __init__(self, workers: int, mp_context: str = "spawn",
-                 on_restart: Callable[[], None] | None = None) -> None:
+                 on_restart: Callable[[], None] | None = None, *,
+                 channel: str = "shm",
+                 slot_bytes: int = shm_mod.DEFAULT_SLOT_BYTES,
+                 metrics=None) -> None:
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
+        if channel not in CHANNELS:
+            raise ServeError(
+                f"unknown worker channel {channel!r}; expected one of "
+                f"{CHANNELS}")
         self.workers = workers
+        self.channel = channel
         self._mp_context = mp_context
         self._on_restart = on_restart
         self._lock = threading.Lock()
         self._shutdown = False
         #: lifetime count of pool rebuilds after a worker crash
         self.restarts = 0
+        # 2 slots per worker: one in flight per scheduler thread plus one
+        # being written/read, so acquire() never blocks in steady state
+        self._ring = (shm_mod.SlabRing(max(2, 2 * workers), slot_bytes)
+                      if channel == "shm" else None)
+        if metrics is not None:
+            self._serialized_bytes = metrics.counter(
+                "serve.worker.serialized_bytes",
+                "bytes pickled across the worker pool boundary")
+            self._shm_bytes = metrics.counter(
+                "serve.worker.shm_bytes",
+                "bytes carried via shared-memory slabs instead of pickle")
+            self._steps_shm = metrics.counter(
+                "serve.worker.steps_shm", "steps run over the shm channel")
+            self._steps_pickle = metrics.counter(
+                "serve.worker.steps_pickle",
+                "steps run over the pickle channel")
+            self._shm_fallbacks = metrics.counter(
+                "serve.worker.shm_fallbacks",
+                "steps that fell back from shm to pickle "
+                "(oversized / non-contiguous payloads)")
+        else:
+            self._serialized_bytes = self._shm_bytes = None
+            self._steps_shm = self._steps_pickle = self._shm_fallbacks = None
         self._pool = self._make_pool()
+
+    @staticmethod
+    def _count(counter, n: int = 1) -> None:
+        if counter is not None:
+            counter.inc(n)
 
     def _make_pool(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
@@ -89,11 +152,25 @@ class ProcessPoolEngine:
             raise ServeError(
                 f"program {key[:12]}… has no persisted artifact; the "
                 f"process backend needs a writable cache_dir")
+        if self._ring is not None:
+            try:
+                return self._run_step_shm(
+                    artifact_dir, key, state, feeds, tuple(fetch), trace)
+            except WireError:
+                # payload can't be framed (oversized for a slot,
+                # non-contiguous, or state/feed name collision): this
+                # step takes the pickle path, the channel stays shm
+                self._count(self._shm_fallbacks)
+        return self._run_step_pickle(
+            artifact_dir, key, state, feeds, tuple(fetch), trace)
+
+    def _run_step_pickle(self, artifact_dir, key, state, feeds, fetch,
+                         trace):
         pool = self._pool
         try:
-            return pool.submit(
+            result = pool.submit(
                 stepworker.run_step, str(artifact_dir), key, state, feeds,
-                tuple(fetch), trace).result()
+                fetch, trace).result()
         except BrokenProcessPool as exc:
             self._rebuild(pool)
             raise ServeError(
@@ -101,6 +178,56 @@ class ProcessPoolEngine:
                 f"{key[:12]}…; this batch failed, the worker pool was "
                 f"rebuilt — retry the step"
             ) from exc
+        self._count(self._steps_pickle)
+        if self._serialized_bytes is not None:
+            # task: state + feeds by value; result: state + fetched back
+            fetched = result[0]
+            self._serialized_bytes.inc(
+                2 * _nbytes(state) + _nbytes(feeds) + _nbytes(fetched)
+                + _STUB_OVERHEAD)
+        return result
+
+    def _run_step_shm(self, artifact_dir, key, state, feeds, fetch, trace):
+        """One step over the slab ring; ``WireError`` means "use pickle".
+
+        The returned state dict **is** the caller's ``state``: the worker
+        mutated the shared-memory views in place and this method copied
+        them back into the caller's arrays, so there is no second dict to
+        reconcile (the service skips its copy-back when it sees identity).
+        """
+        if set(state) & set(feeds):
+            raise WireError(
+                f"state/feed name collision: "
+                f"{sorted(set(state) & set(feeds))}")
+        ring = self._ring
+        meta = {"state": sorted(state), "feeds": sorted(feeds)}
+        slot = ring.acquire(timeout=60.0)
+        try:
+            frame_len = ring.write_frame(slot, meta, {**state, **feeds})
+            pool = self._pool
+            try:
+                fetched, peak, allocs, obs = pool.submit(
+                    stepworker.run_step_shm, str(artifact_dir), key,
+                    ring.name, slot, ring.slot_bytes, fetch,
+                    trace).result()
+            except BrokenProcessPool as exc:
+                self._rebuild(pool)
+                raise ServeError(
+                    f"worker process died while executing program "
+                    f"{key[:12]}…; this batch failed, the worker pool was "
+                    f"rebuilt — retry the step"
+                ) from exc
+            _, updated = ring.read_frame(slot)
+            for name, array in state.items():
+                np.copyto(array, updated[name], casting="no")
+            del updated
+        finally:
+            ring.release(slot)
+        self._count(self._steps_shm)
+        if self._serialized_bytes is not None:
+            self._serialized_bytes.inc(_nbytes(fetched) + _STUB_OVERHEAD)
+            self._shm_bytes.inc(frame_len)
+        return fetched, state, peak, allocs, obs
 
     def _rebuild(self, broken: ProcessPoolExecutor) -> None:
         """Replace ``broken`` with a fresh pool (idempotent per pool).
@@ -137,3 +264,5 @@ class ProcessPoolEngine:
             self._shutdown = True
             pool = self._pool
         pool.shutdown(wait=wait)
+        if self._ring is not None:
+            self._ring.close()

@@ -417,3 +417,200 @@ class TestEndToEnd:
         metrics = client.metrics()
         assert metrics["serve.steps_total"] >= 2 * steps_per_tenant
         client.close()
+
+
+# ---------------------------------------------------------------------------
+# the binary step wire format over real sockets
+# ---------------------------------------------------------------------------
+
+class TestBinaryStepProtocol:
+
+    def test_healthz_advertises_binary_step(self):
+        with mlp_gateway() as (_service, _gateway, client, _sessions):
+            assert "binary_step" in client.healthz()["features"]
+
+    def test_binary_and_json_steps_are_byte_identical(self):
+        """Two sessions with identical initial state, one driven binary
+        and one JSON, must see exactly the same losses — the formats
+        carry the same bits into the same kernels."""
+        rng = np.random.default_rng(11)
+        examples = [mlp_example(rng) for _ in range(6)]
+        with mlp_gateway(sessions=2) as (_service, gateway, _c, sessions):
+            json_client = ServeClient(gateway.url, binary=False)
+            bin_client = ServeClient(gateway.url, binary=True)
+            try:
+                json_losses = [
+                    json_client.step(sessions[0].id, x, y)["loss"]
+                    for x, y in examples]
+                bin_losses = [
+                    bin_client.step(sessions[1].id, x, y)["loss"]
+                    for x, y in examples]
+            finally:
+                json_client.close()
+                bin_client.close()
+            assert json_losses == bin_losses
+
+    def test_binary_response_negotiated_by_accept(self):
+        from repro.serve import wire
+        rng = np.random.default_rng(3)
+        x, y = mlp_example(rng)
+        with mlp_gateway() as (_service, gateway, _client, (session,)):
+            import http.client as hc
+            conn = hc.HTTPConnection(gateway.host, gateway.port, timeout=30)
+            frame = wire.encode_frame(None, {
+                "x": np.asarray(x), "y": np.asarray(y)})
+            conn.request("POST", f"/v1/sessions/{session.id}/step", frame,
+                         {"Content-Type": wire.CONTENT_TYPE,
+                          "Accept": wire.CONTENT_TYPE})
+            response = conn.getresponse()
+            body = response.read()
+            assert response.status == 200
+            assert response.headers["Content-Type"] == wire.CONTENT_TYPE
+            meta, tensors = wire.decode_frame(body)
+            assert tensors == {}
+            assert np.isfinite(meta["loss"])
+            assert meta["session_id"] == session.id
+            conn.close()
+
+    def test_malformed_frames_get_400_and_connection_survives(self):
+        """Truncated / oversized / bad-magic frames are each a clean 400
+        on a keep-alive connection that remains usable — never a hang,
+        never a poisoned stream."""
+        from repro.serve import wire
+        rng = np.random.default_rng(5)
+        x, y = mlp_example(rng)
+        good = wire.encode_frame(None, {"x": np.asarray(x),
+                                        "y": np.asarray(y)})
+        bad_magic = b"EVIL" + good[4:]
+        bad_bodies = [
+            b"",                           # empty
+            good[:7],                      # shorter than the magic
+            good[: len(good) // 2],        # truncated mid-tensor
+            bad_magic,                     # wrong magic
+            bytes(rng.integers(0, 256, 512, dtype=np.uint8)),  # noise
+            wire.encode_frame(None, {"x": np.asarray(x)}),     # missing y
+        ]
+        with mlp_gateway() as (_service, gateway, _client, (session,)):
+            import http.client as hc
+            conn = hc.HTTPConnection(gateway.host, gateway.port, timeout=30)
+            path = f"/v1/sessions/{session.id}/step"
+            for raw in bad_bodies:
+                conn.request("POST", path, raw,
+                             {"Content-Type": wire.CONTENT_TYPE})
+                response = conn.getresponse()
+                body = json.loads(response.read())
+                assert response.status == 400, (raw[:16], body)
+                assert "error" in body
+            # same connection, valid frame: still fully serviceable
+            conn.request("POST", path, good,
+                         {"Content-Type": wire.CONTENT_TYPE})
+            response = conn.getresponse()
+            result = json.loads(response.read())
+            assert response.status == 200
+            assert np.isfinite(result["loss"])
+            conn.close()
+
+
+# ---------------------------------------------------------------------------
+# bearer-token tenant auth
+# ---------------------------------------------------------------------------
+
+@contextmanager
+def authed_gateway():
+    service = FineTuneService(max_batch=2, workers=1)
+    gateway = GatewayServer(service, auth_tokens={
+        "token-a": "tenant-a", "token-b": "tenant-b"}).start()
+    try:
+        yield service, gateway
+    finally:
+        gateway.close(drain_timeout=10.0)
+
+
+class TestTenantAuth:
+
+    def test_healthz_is_open_everything_else_is_401(self):
+        with authed_gateway() as (_service, gateway):
+            anon = ServeClient(gateway.url)
+            assert anon.healthz()["status"] == "ok"
+            for call in (anon.metrics, anon.trace,
+                         lambda: anon.session("nope"),
+                         lambda: anon.step("nope", [0.0] * 5, 0,
+                                           wait=False)):
+                with pytest.raises(GatewayError) as excinfo:
+                    call()
+                assert excinfo.value.status == 401
+            anon.close()
+
+    def test_bad_token_is_401(self):
+        with authed_gateway() as (_service, gateway):
+            client = ServeClient(gateway.url, token="wrong")
+            with pytest.raises(GatewayError) as excinfo:
+                client.metrics()
+            assert excinfo.value.status == 401
+            client.close()
+
+    def test_sessions_are_pinned_to_the_token_tenant(self):
+        rng = np.random.default_rng(2)
+        with authed_gateway() as (service, gateway):
+            session = service.create_session(
+                build_mlp, model_id="mlp", scheme="full", tenant="tenant-a")
+            owner = ServeClient(gateway.url, token="token-a")
+            other = ServeClient(gateway.url, token="token-b")
+            try:
+                x, y = mlp_example(rng)
+                assert np.isfinite(owner.step(session.id, x, y)["loss"])
+                assert owner.session(session.id)["tenant"] == "tenant-a"
+                for call in (lambda: other.session(session.id),
+                             lambda: other.step(session.id, x, y,
+                                                wait=False),
+                             lambda: other.close_session(session.id)):
+                    with pytest.raises(GatewayError) as excinfo:
+                        call()
+                    assert excinfo.value.status == 403
+            finally:
+                owner.close()
+                other.close()
+
+    def test_create_session_ignores_cross_tenant_claims(self):
+        with authed_gateway() as (_service, gateway):
+            client = ServeClient(gateway.url, token="token-a")
+            try:
+                with pytest.raises(GatewayError) as excinfo:
+                    client.create_session("mcunet_micro", scheme="paper",
+                                          tenant="tenant-b")
+                assert excinfo.value.status == 403
+            finally:
+                client.close()
+
+
+# ---------------------------------------------------------------------------
+# batch-aware dispatch (hold for fill)
+# ---------------------------------------------------------------------------
+
+class TestBatchHold:
+
+    def test_hold_improves_fill_and_records_histogram(self):
+        """With a hold window, staggered single submits coalesce into
+        fuller batches; serve.batch_fill records the fill either way."""
+        rng = np.random.default_rng(9)
+        examples = [mlp_example(rng) for _ in range(8)]
+
+        def drive(hold_ms):
+            with FineTuneService(max_batch=4, workers=1,
+                                 batch_hold_ms=hold_ms) as service:
+                session = service.create_session(
+                    build_mlp, model_id="mlp", scheme="full")
+                futures = []
+                for x, y in examples:
+                    futures.append(service.submit(session.id, x, y))
+                    time.sleep(0.002)
+                for future in futures:
+                    future.result(60)
+                stats = service.metrics.as_dict()
+            summary = stats.get("serve.batch_fill") or {}
+            return summary.get("mean"), summary.get("count")
+
+        fill_hold, count_hold = drive(hold_ms=50.0)
+        assert count_hold and count_hold >= 1
+        assert fill_hold is not None and fill_hold > 0.25, \
+            "held dispatch should beat one-request batches"

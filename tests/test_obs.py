@@ -4,7 +4,7 @@ Covers the `repro.obs` package itself (trace contexts, span ring,
 Server-Timing codec, Prometheus renderer, JSON formatter), the metric
 primitives it renders (locked reads, cumulative buckets), and the
 end-to-end contract through the serving stack: request IDs minted at the
-gateway and echoed on every response, the five-stage span breakdown in
+gateway and echoed on every response, the six-stage span breakdown in
 ``Server-Timing`` and ``/v1/trace``, trace carriers surviving the pickle
 boundary into spawn-based workers, and a SIGKILL'd worker leaving the
 span ring intact.
@@ -435,7 +435,7 @@ class TestGatewayTracing:
         assert echoed != "x" * 65
         assert re.fullmatch(r"[0-9a-f]{16}", echoed)
 
-    def test_step_carries_all_five_stages(self, obs_gateway):
+    def test_step_carries_all_six_stages(self, obs_gateway):
         _, client, session = obs_gateway
         rng = np.random.default_rng(1)
         result = client.step(session.id, *mlp_example(rng))

@@ -1,0 +1,283 @@
+"""Tests for the binary step wire format and the shared-memory slab ring.
+
+Correctness oracle throughout: the binary/shm fast paths must be
+*byte-identical* to the JSON/pickle paths they replace — same losses,
+same final state bytes — because they feed the same kernels; any drift
+means the transport changed alignment or dtype somewhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import FineTuneService, shm, wire
+from repro.serve.shm import SlabRing
+from repro.serve.wire import WireError
+
+from conftest import make_mlp_graph
+
+
+def build_mlp(batch: int):
+    return make_mlp_graph(batch=batch, din=5, dhidden=6, dout=3,
+                          seed=0)[0].graph
+
+
+# ---------------------------------------------------------------------------
+# frame round trips
+# ---------------------------------------------------------------------------
+
+
+class TestFrameRoundTrip:
+    DTYPES = ["float32", "float64", "float16", "int64", "int32", "int8",
+              "uint8", "bool"]
+    SHAPES = [(), (1,), (7,), (3, 4), (2, 3, 5), (0,), (4, 0, 2)]
+
+    def test_every_dtype_and_shape_round_trips(self):
+        rng = np.random.default_rng(0)
+        tensors = {}
+        for i, dtype in enumerate(self.DTYPES):
+            for j, shape in enumerate(self.SHAPES):
+                arr = (rng.standard_normal(shape) * 10).astype(dtype)
+                tensors[f"t{i}_{j}"] = arr
+        meta = {"kind": "test", "nested": {"a": [1, 2.5, None, "s"]}}
+        frame = wire.encode_frame(meta, tensors)
+        got_meta, got = wire.decode_frame(frame)
+        assert got_meta == meta
+        assert set(got) == set(tensors)
+        for name, arr in tensors.items():
+            assert got[name].dtype == arr.dtype, name
+            assert got[name].shape == arr.shape, name
+            assert got[name].tobytes() == arr.tobytes(), name
+
+    def test_big_endian_round_trips(self):
+        arr = np.arange(6, dtype=">f4").reshape(2, 3)
+        _, got = wire.decode_frame(wire.encode_frame(None, {"x": arr}))
+        assert got["x"].dtype == arr.dtype
+        assert got["x"].tobytes() == arr.tobytes()
+        assert np.array_equal(got["x"].astype("<f4"), arr.astype("<f4"))
+
+    def test_meta_only_frame(self):
+        frame = wire.encode_frame({"loss": 0.5, "step": 3})
+        meta, tensors = wire.decode_frame(frame)
+        assert meta == {"loss": 0.5, "step": 3}
+        assert tensors == {}
+
+    def test_frame_nbytes_matches_encode(self):
+        tensors = {"a": np.ones((3, 5), np.float32),
+                   "b": np.arange(4, dtype=np.int64)}
+        meta = {"k": "v" * 100}
+        assert wire.frame_nbytes(meta, tensors) == \
+            len(wire.encode_frame(meta, tensors))
+
+    def test_zero_copy_views_then_copy_owns(self):
+        frame = wire.encode_frame(None,
+                                  {"x": np.arange(8, dtype=np.float32)})
+        _, views = wire.decode_frame(frame)
+        assert views["x"].base is not None  # a view into the frame
+        _, copies = wire.decode_frame(frame, copy=True)
+        assert copies["x"].flags.owndata or copies["x"].base is None \
+            or copies["x"].flags.writeable
+        copies["x"][0] = 99.0  # writable, detached from the frame
+        _, again = wire.decode_frame(frame)
+        assert again["x"][0] == 0.0
+
+    def test_tensor_segments_are_64_byte_aligned(self):
+        # alignment is load-bearing: numpy's ALIGNED flag steers kernel
+        # selection, and byte-exactness vs the JSON path depends on it
+        # (relative to the frame start: the shm ring places each frame on
+        # a 64-byte boundary of a page-aligned segment, so frame-relative
+        # 64-alignment is absolute alignment where it matters)
+        frame = wire.encode_frame({"pad": "x" * 37}, {
+            "a": np.ones(3, np.int8), "b": np.ones((2, 2), np.float64)})
+        base = np.frombuffer(frame, dtype=np.uint8).ctypes.data
+        _, tensors = wire.decode_frame(frame)
+        for name, arr in tensors.items():
+            assert (arr.ctypes.data - base) % 64 == 0, name
+
+    def test_non_contiguous_tensor_is_refused(self):
+        arr = np.ones((4, 4), np.float32).T[::2]
+        with pytest.raises(WireError):
+            wire.encode_frame(None, {"x": arr})
+
+    def test_encode_into_overflow_is_clean(self):
+        tensors = {"x": np.ones(1024, np.float64)}
+        need = wire.frame_nbytes(None, tensors)
+        buf = memoryview(bytearray(need // 2))
+        with pytest.raises(WireError):
+            wire.encode_into(buf, None, tensors)
+        # exact-size buffer succeeds
+        buf = memoryview(bytearray(need))
+        assert wire.encode_into(buf, None, tensors) == need
+
+
+# ---------------------------------------------------------------------------
+# malformed frames
+# ---------------------------------------------------------------------------
+
+
+class TestMalformedFrames:
+    def _good(self):
+        return wire.encode_frame({"m": 1}, {"x": np.ones(4, np.float32)})
+
+    def test_bad_magic(self):
+        frame = bytearray(self._good())
+        frame[:4] = b"EVIL"
+        with pytest.raises(WireError):
+            wire.decode_frame(bytes(frame))
+
+    def test_truncations_never_crash(self):
+        good = self._good()
+        for cut in range(len(good)):
+            with pytest.raises(WireError):
+                wire.decode_frame(good[:cut])
+
+    def test_oversized_header_claim(self):
+        import struct
+        frame = bytearray(self._good())
+        hlen_at = len(wire.MAGIC)
+        struct.pack_into(">I", frame, hlen_at, wire.MAX_HEADER_BYTES + 1)
+        with pytest.raises(WireError):
+            wire.decode_frame(bytes(frame))
+
+    def test_header_is_not_json(self):
+        good = self._good()
+        prefix = len(wire.MAGIC) + 4
+        frame = good[:prefix] + b"{not json!" + good[prefix + 10:]
+        with pytest.raises(WireError):
+            wire.decode_frame(frame)
+
+    def test_random_garbage_fuzz(self):
+        rng = np.random.default_rng(7)
+        for size in (0, 1, 7, 8, 64, 4096):
+            blob = rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+            if blob[:len(wire.MAGIC)] == wire.MAGIC:  # pragma: no cover
+                blob = b"\x00" + blob[1:]
+            with pytest.raises(WireError):
+                wire.decode_frame(blob)
+
+
+# ---------------------------------------------------------------------------
+# the slab ring
+# ---------------------------------------------------------------------------
+
+
+class TestSlabRing:
+    def test_lease_cycle_and_exhaustion(self):
+        with SlabRing(2, 1 << 12) as ring:
+            a = ring.acquire()
+            b = ring.acquire()
+            assert {a, b} == {0, 1}
+            assert ring.free_slots() == 0
+            with pytest.raises(ServeError):
+                ring.acquire(timeout=0.05)
+            ring.release(a)
+            assert ring.acquire() == a
+
+    def test_frame_round_trip_through_shared_memory(self):
+        with SlabRing(1, 1 << 16) as ring:
+            slot = ring.acquire()
+            x = np.arange(12, dtype=np.float32).reshape(3, 4)
+            ring.write_frame(slot, {"state": [], "feeds": ["x"]}, {"x": x})
+            meta, tensors = ring.read_frame(slot)
+            assert meta == {"state": [], "feeds": ["x"]}
+            assert tensors["x"].tobytes() == x.tobytes()
+            # zero-copy: a write through the view lands in the segment
+            tensors["x"][0, 0] = 42.0
+            _, again = ring.read_frame(slot)
+            assert again["x"][0, 0] == 42.0
+            del meta, tensors, again
+            ring.release(slot)
+
+    def test_torn_write_is_detected(self):
+        with SlabRing(1, 1 << 12) as ring:
+            slot = ring.acquire()
+            ring.write_frame(slot, {"ok": True}, {})
+            # a writer that died after begin_write leaves an odd seq
+            shm.begin_write(ring._shm.buf, slot, ring.slot_bytes)
+            with pytest.raises(ServeError, match="mid-write"):
+                ring.read_frame(slot)
+
+    def test_worker_busy_marker_is_torn_to_readers(self):
+        with SlabRing(1, 1 << 12) as ring:
+            slot = ring.acquire()
+            ring.write_frame(slot, {"ok": True}, {})
+            shm.mark_busy(ring._shm.buf, slot, ring.slot_bytes)
+            with pytest.raises(ServeError, match="mid-write"):
+                ring.read_frame(slot)
+            shm.mark_done(ring._shm.buf, slot, ring.slot_bytes)
+            meta, _ = ring.read_frame(slot)
+            assert meta == {"ok": True}  # length survived the markers
+
+    def test_oversized_payload_leaves_slot_committed(self):
+        with SlabRing(1, 1 << 12) as ring:
+            slot = ring.acquire()
+            with pytest.raises(WireError):
+                ring.write_frame(slot, None,
+                                 {"x": np.ones(1 << 14, np.float64)})
+            # the slot is committed-empty, not torn: reusable immediately
+            ring.write_frame(slot, {"after": 1}, {})
+            meta, _ = ring.read_frame(slot)
+            assert meta == {"after": 1}
+
+    def test_closed_ring_refuses_leases(self):
+        ring = SlabRing(1, 1 << 12)
+        ring.close()
+        with pytest.raises(ServeError, match="closed"):
+            ring.acquire(timeout=0.05)
+        ring.close()  # idempotent
+
+
+# ---------------------------------------------------------------------------
+# channel parity: shm vs pickle vs thread — the byte-exactness oracle
+# ---------------------------------------------------------------------------
+
+
+def _run_losses_and_state(backend: str, channel: str = "shm"):
+    rng = np.random.default_rng(7)
+    examples = [(rng.standard_normal(5).astype(np.float32),
+                 np.int64(rng.integers(0, 3))) for _ in range(10)]
+    with FineTuneService(workers=2, max_batch=4, backend=backend,
+                         worker_channel=channel) as service:
+        session = service.create_session(build_mlp, model_id="mlp",
+                                         scheme="full")
+        losses = [service.submit(session.id, x, y).result(60).loss
+                  for x, y in examples]
+        snapshot = service.snapshot(session.id)
+        metrics = service.metrics.as_dict()
+    return losses, snapshot, metrics
+
+
+class TestChannelParity:
+    def test_shm_channel_is_byte_identical_to_pickle_and_thread(self):
+        l_thread, s_thread, _ = _run_losses_and_state("thread")
+        l_shm, s_shm, m_shm = _run_losses_and_state("process", "shm")
+        l_pkl, s_pkl, m_pkl = _run_losses_and_state("process", "pickle")
+        assert l_shm == l_pkl == l_thread
+        assert set(s_shm) == set(s_pkl) == set(s_thread)
+        for key in s_shm:
+            assert s_shm[key].tobytes() == s_pkl[key].tobytes() \
+                == s_thread[key].tobytes(), key
+        # and the steps really took the channels they claim
+        assert m_shm.get("serve.worker.steps_shm", 0) == 10
+        assert m_shm.get("serve.worker.steps_pickle", 0) == 0
+        assert m_pkl.get("serve.worker.steps_pickle", 0) == 10
+        # the whole point: the shm channel pickles far fewer bytes
+        assert m_shm["serve.worker.serialized_bytes"] \
+            < m_pkl["serve.worker.serialized_bytes"]
+
+    def test_oversized_payload_falls_back_to_pickle(self):
+        # a ring too small for the frame must degrade, not fail
+        rng = np.random.default_rng(3)
+        with FineTuneService(workers=1, max_batch=2, backend="process",
+                             worker_channel="shm",
+                             shm_slot_bytes=256) as service:
+            session = service.create_session(build_mlp, model_id="mlp",
+                                             scheme="full")
+            x = rng.standard_normal(5).astype(np.float32)
+            result = service.submit(session.id, x, np.int64(1)).result(60)
+            assert np.isfinite(result.loss)
+            metrics = service.metrics.as_dict()
+            assert metrics.get("serve.worker.shm_fallbacks", 0) >= 1
+            assert metrics.get("serve.worker.steps_pickle", 0) >= 1
