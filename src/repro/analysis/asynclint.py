@@ -1,0 +1,394 @@
+"""Concurrency lint for the serving stack: keep the event loop unblocked.
+
+The gateway (:mod:`repro.serve.gateway`) runs every connection on one
+asyncio event loop; a single synchronous ``time.sleep``, file read, or
+``Future.result()`` inside an ``async def`` stalls *every* in-flight
+request, not just the offending one. Nothing in the runtime catches this
+— the loop just gets slow. This module makes the rule static:
+
+* **blocking-call** — an AST pass over each module finds calls that
+  block the calling thread (``time.sleep``, ``subprocess``/``os`` spawns,
+  file I/O, ``socket`` syscalls, ``Lock.acquire``/``Future.result``-style
+  methods that are not awaited) lexically inside an ``async def`` body or
+  inside a same-module synchronous helper reachable from one. Nested
+  ``def``/``lambda`` bodies are skipped — they are the standard way to
+  hand blocking work to ``run_in_executor``.
+* **worker-import** — the deployed step worker
+  (:mod:`repro.deploy.stepworker`) guarantees a compiler-free import
+  closure; today that is only probed at runtime inside a live worker.
+  :func:`lint_worker_imports` proves it statically by walking the
+  module-level import graph (plus the entry module's deliberate lazy
+  function-level imports, which *do* execute in the worker) and failing
+  if :mod:`repro.runtime.compiler` or :mod:`repro.autodiff` is reachable.
+
+False positives are waived inline, next to the code they describe::
+
+    time.sleep(0.2)  # repro-lint: allow[blocking-call] startup probe, not on the loop
+
+A waiver names the rule it silences and must carry a reason; waived
+findings still appear in reports but do not fail lint runs.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from .report import Finding, Report, parse_waivers
+
+#: fully-dotted calls that always block the calling thread
+BLOCKING_CALLS = {
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "os.waitpid",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "shutil.rmtree",
+    "shutil.copytree",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "urllib.request.urlopen",
+}
+
+#: bare builtins that hit the filesystem / terminal synchronously
+BLOCKING_BUILTINS = {"open", "input"}
+
+#: method names that block unless awaited: scheduler/concurrent futures
+#: (``.result()``), lock/thread/process joins, raw socket syscalls, and
+#: pathlib's whole-file I/O helpers
+BLOCKING_METHODS = {
+    "result", "acquire", "join", "wait",
+    "recv", "recv_into", "sendall", "accept", "connect",
+    "read_text", "write_text", "read_bytes", "write_bytes",
+}
+
+RULE_BLOCKING = "blocking-call"
+RULE_IMPORT = "worker-import"
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_str_receiver(node: ast.AST) -> bool:
+    """True when a method's receiver is statically a string.
+
+    ``"\\r\\n".join(lines)`` shares a method name with ``Thread.join`` but
+    never blocks; treating literal/f-string receivers (and their
+    ``.format``/``.strip``-style chains) as strings keeps those out of
+    the blocking-method net.
+    """
+    while isinstance(node, ast.Call) \
+            and isinstance(node.func, ast.Attribute):
+        node = node.func.value  # "{}".format(x).join(...) etc.
+    return (isinstance(node, ast.Constant) and isinstance(node.value, str)) \
+        or isinstance(node, ast.JoinedStr)
+
+
+class _FunctionFacts:
+    """Per-function facts: blocking candidates + same-module callees."""
+
+    def __init__(self, node: ast.AST, cls: str | None) -> None:
+        self.node = node
+        self.cls = cls
+        self.is_async = isinstance(node, ast.AsyncFunctionDef)
+        #: (lineno, description) per potentially blocking call
+        self.blocking: list[tuple[int, str]] = []
+        #: bare function names called (module-level resolution)
+        self.calls_bare: set[str] = set()
+        #: method names called on self/cls (same-class resolution)
+        self.calls_self: set[str] = set()
+
+
+def _scan_function(fn: ast.AST, cls: str | None,
+                   awaited: set[int]) -> _FunctionFacts:
+    """Collect facts from one function body, skipping nested defs."""
+    facts = _FunctionFacts(fn, cls)
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue  # executor thunks / nested scopes: not this body
+            if isinstance(child, ast.Call):
+                _scan_call(child)
+            visit(child)
+
+    def _scan_call(call: ast.Call) -> None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in BLOCKING_BUILTINS:
+                facts.blocking.append(
+                    (call.lineno, f"builtin `{func.id}()` does blocking "
+                                  f"file/terminal I/O"))
+            else:
+                facts.calls_bare.add(func.id)
+            return
+        dotted = _dotted(func)
+        if dotted is not None:
+            if dotted in BLOCKING_CALLS:
+                facts.blocking.append(
+                    (call.lineno, f"`{dotted}()` blocks the calling "
+                                  f"thread"))
+                return
+            head, _, method = dotted.rpartition(".")
+            if head in ("self", "cls") and dotted.count(".") == 1:
+                facts.calls_self.add(method)
+        if isinstance(func, ast.Attribute) \
+                and func.attr in BLOCKING_METHODS \
+                and id(call) not in awaited \
+                and not _is_str_receiver(func.value):
+            facts.blocking.append(
+                (call.lineno, f"`.{func.attr}()` is a blocking "
+                              f"primitive and is not awaited"))
+
+    visit(fn)
+    return facts
+
+
+def lint_module(source: str, filename: str = "<module>") -> list[Finding]:
+    """Blocking-call findings for one module's source text."""
+    tree = ast.parse(source, filename=filename)
+    waivers = parse_waivers(source)
+
+    awaited = {id(node.value) for node in ast.walk(tree)
+               if isinstance(node, ast.Await)
+               and isinstance(node.value, ast.Call)}
+
+    # Index every function (module-level and methods) with its facts.
+    facts_by_node: dict[ast.AST, _FunctionFacts] = {}
+    module_fns: dict[str, _FunctionFacts] = {}
+    class_fns: dict[tuple[str, str], _FunctionFacts] = {}
+
+    def index(body, cls: str | None) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                facts = _scan_function(stmt, cls, awaited)
+                facts_by_node[stmt] = facts
+                if cls is None:
+                    module_fns[stmt.name] = facts
+                else:
+                    class_fns[(cls, stmt.name)] = facts
+                index(stmt.body, cls)  # nested defs indexed, not inlined
+            elif isinstance(stmt, ast.ClassDef):
+                index(stmt.body, stmt.name)
+
+    index(tree.body, None)
+
+    def callees(facts: _FunctionFacts) -> list[_FunctionFacts]:
+        out = []
+        for name in facts.calls_bare:
+            target = module_fns.get(name)
+            if target is not None and not target.is_async:
+                out.append(target)
+        for name in facts.calls_self:
+            target = class_fns.get((facts.cls, name)) if facts.cls else None
+            if target is not None and not target.is_async:
+                out.append(target)
+        return out
+
+    findings: list[Finding] = []
+    reported: set[tuple[int, str]] = set()
+    for facts in facts_by_node.values():
+        if not facts.is_async:
+            continue
+        root = facts.node.name if facts.cls is None \
+            else f"{facts.cls}.{facts.node.name}"
+        # DFS through same-module sync helpers: their bodies run on the
+        # event loop when called from this coroutine.
+        stack, seen = [(facts, ())], {id(facts.node)}
+        while stack:
+            current, via = stack.pop()
+            for lineno, description in current.blocking:
+                key = (lineno, root)
+                if key in reported:
+                    continue
+                reported.add(key)
+                path = f" (via {' -> '.join(via)})" if via else ""
+                waiver = waivers.get(lineno) or waivers.get(lineno - 1)
+                waived = waiver is not None and waiver[0] == RULE_BLOCKING
+                findings.append(Finding(
+                    rule=RULE_BLOCKING,
+                    where=f"{filename}:{lineno}",
+                    message=f"{description}; reachable from "
+                            f"async `{root}`{path}",
+                    waived=waived,
+                    waive_reason=waiver[1] if waived else ""))
+            for target in callees(current):
+                if id(target.node) not in seen:
+                    seen.add(id(target.node))
+                    name = target.node.name if target.cls is None \
+                        else f"{target.cls}.{target.node.name}"
+                    stack.append((target, via + (name,)))
+    findings.sort(key=lambda f: f.where)
+    return findings
+
+
+def lint_paths(paths, root: str | None = None) -> Report:
+    """Run the blocking-call lint over source files on disk."""
+    findings: list[Finding] = []
+    for path in paths:
+        shown = os.path.relpath(path, root) if root else path
+        with open(path, encoding="utf-8") as handle:
+            findings.extend(lint_module(handle.read(), filename=shown))
+    return Report(analyzer="asynclint",
+                  target=root or ",".join(map(str, paths)),
+                  findings=findings)
+
+
+def lint_tree(root: str) -> Report:
+    """Run the blocking-call lint over every ``.py`` file under ``root``."""
+    paths = []
+    for dirpath, _, filenames in os.walk(root):
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                paths.append(os.path.join(dirpath, name))
+    return lint_paths(sorted(paths), root=root)
+
+
+# --- import-graph analysis: the step worker's compiler-free guarantee ----
+
+
+def _module_map(src_root: str) -> dict[str, str]:
+    """Importable module name -> file path, for everything under src_root."""
+    modules: dict[str, str] = {}
+    for dirpath, _, filenames in os.walk(src_root):
+        for name in filenames:
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, src_root)
+            parts = rel[:-3].split(os.sep)
+            if parts[-1] == "__init__":
+                parts = parts[:-1]
+            if parts:
+                modules[".".join(parts)] = path
+    return modules
+
+
+def _is_package(modules: dict[str, str], name: str) -> bool:
+    return modules.get(name, "").endswith("__init__.py")
+
+
+def _module_edges(source: str, modname: str, is_pkg: bool,
+                  modules: dict[str, str],
+                  include_lazy: bool) -> set[str]:
+    """Internal modules ``modname`` imports.
+
+    Module-level statements only, unless ``include_lazy`` — then imports
+    inside function bodies count too (the step worker's lazy imports run
+    in the worker, so they are real runtime edges; every *other* module's
+    function-level imports stay lazy and are excluded, which is exactly
+    what makes the serve package's PEP 562 init compiler-free).
+    """
+    tree = ast.parse(source, filename=modname)
+    package = modname.split(".") if is_pkg else modname.split(".")[:-1]
+    edges: set[str] = set()
+
+    def add(name: str) -> None:
+        if name in modules:
+            edges.add(name)
+
+    def resolve_from(node: ast.ImportFrom) -> None:
+        if node.level == 0:
+            base = node.module or ""
+        else:
+            prefix = package[:len(package) - (node.level - 1)]
+            base = ".".join(prefix + ([node.module] if node.module else []))
+        if base:
+            add(base)
+        for alias in node.names:
+            if base:
+                add(f"{base}.{alias.name}")
+            else:
+                add(alias.name)
+
+    def visit(node: ast.AST, in_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            nested = in_function or isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if isinstance(child, ast.Import):
+                if not in_function or include_lazy:
+                    for alias in child.names:
+                        add(alias.name)
+                        # `import a.b` binds a but imports a.b too
+                        parts = alias.name.split(".")
+                        for i in range(1, len(parts)):
+                            add(".".join(parts[:i]))
+            elif isinstance(child, ast.ImportFrom):
+                if not in_function or include_lazy:
+                    resolve_from(child)
+            else:
+                visit(child, nested)
+
+    visit(tree, in_function=False)
+    # importing a submodule executes its package inits
+    for name in set(edges):
+        parts = name.split(".")
+        for i in range(1, len(parts)):
+            add(".".join(parts[:i]))
+    return edges
+
+
+def lint_worker_imports(
+        src_root: str,
+        entry: str = "repro.deploy.stepworker",
+        forbidden: tuple[str, ...] = ("repro.runtime.compiler",
+                                      "repro.autodiff"),
+) -> list[Finding]:
+    """Prove the step worker's import closure never reaches the compiler.
+
+    Walks module-level imports transitively from ``entry`` (including the
+    entry module's own function-level imports — those execute inside the
+    worker) and reports a finding per forbidden module reached, with the
+    full import chain in the message.
+    """
+    modules = _module_map(src_root)
+    if entry not in modules:
+        return [Finding(rule=RULE_IMPORT, where=entry,
+                        message="entry module not found under "
+                                + src_root)]
+    parent: dict[str, str | None] = {entry: None}
+    queue = [entry]
+    while queue:
+        name = queue.pop(0)
+        with open(modules[name], encoding="utf-8") as handle:
+            source = handle.read()
+        edges = _module_edges(source, name, _is_package(modules, name),
+                              modules, include_lazy=(name == entry))
+        for edge in sorted(edges):
+            if edge not in parent:
+                parent[edge] = name
+                queue.append(edge)
+
+    findings: list[Finding] = []
+    for target in sorted(parent):
+        if not any(target == bad or target.startswith(bad + ".")
+                   for bad in forbidden):
+            continue
+        chain, cursor = [], target
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = parent[cursor]
+        findings.append(Finding(
+            rule=RULE_IMPORT, where=target,
+            message="step worker import closure reaches "
+                    f"{target}: {' <- '.join(chain)}"))
+    return findings
+
+
+def worker_import_report(src_root: str) -> Report:
+    return Report(analyzer="asynclint", target="repro.deploy.stepworker",
+                  findings=lint_worker_imports(src_root))

@@ -1,0 +1,87 @@
+"""Shared findings model for the static analyzers.
+
+Both analyzers (:mod:`repro.analysis.planlint`,
+:mod:`repro.analysis.asynclint`) report through one :class:`Finding`
+shape so the CLI, the CI lint job, and the tests render/serialize them
+uniformly. A finding is *unwaived* unless an explicit inline waiver
+(``# repro-lint: allow[rule] reason``) covered it — only unwaived
+findings fail a lint run.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer verdict: a rule violated at a specific place."""
+
+    rule: str           #: stable rule id, e.g. "use-after-free"
+    where: str          #: instruction / file:line the finding anchors to
+    message: str        #: human-readable statement of the defect
+    waived: bool = False
+    waive_reason: str = ""
+
+    def __str__(self) -> str:
+        tag = " (waived: %s)" % self.waive_reason if self.waived else ""
+        return f"[{self.rule}] {self.where}: {self.message}{tag}"
+
+
+@dataclass
+class Report:
+    """A full analyzer run: findings plus what was analyzed."""
+
+    analyzer: str
+    target: str
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def unwaived(self) -> list[Finding]:
+        return [f for f in self.findings if not f.waived]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unwaived
+
+    def to_dict(self) -> dict:
+        return {
+            "analyzer": self.analyzer,
+            "target": self.target,
+            "ok": self.ok,
+            "findings": [asdict(f) for f in self.findings],
+        }
+
+    def render(self) -> str:
+        lines = [f"{self.analyzer}: {self.target} — "
+                 f"{len(self.unwaived)} finding(s)"
+                 + (f", {len(self.findings) - len(self.unwaived)} waived"
+                    if len(self.findings) != len(self.unwaived) else "")]
+        lines.extend(f"  {finding}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+#: inline waiver syntax: ``# repro-lint: allow[<rule>] <reason>``
+WAIVER_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<rule>[\w-]+)\]\s*(?P<reason>.*)")
+
+
+def parse_waivers(source: str) -> dict[int, tuple[str, str]]:
+    """Line number (1-based) -> (rule, reason) for every inline waiver."""
+    waivers: dict[int, tuple[str, str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = WAIVER_RE.search(line)
+        if match:
+            waivers[lineno] = (match.group("rule"),
+                               match.group("reason").strip())
+    return waivers
+
+
+def format_findings(findings: list[Finding], limit: int = 8) -> str:
+    """Compact multi-finding summary for exception messages."""
+    shown = [str(f) for f in findings[:limit]]
+    extra = len(findings) - len(shown)
+    if extra > 0:
+        shown.append(f"... and {extra} more")
+    return "; ".join(shown)

@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli scheme --model bert
     python -m repro.cli profile --model mcunet --device stm32f746 --sparse
     python -m repro.cli deploy --model mcunet_micro --out ./artifact
+    python -m repro.cli lint-plan ./artifact
+    python -m repro.cli lint-async
     python -m repro.cli devices
 """
 
@@ -164,6 +166,46 @@ def cmd_deploy(args) -> int:
         ["arena", f"{deployed.arena_bytes / 1024:.1f}KB"],
     ], title=f"deployable training artifact for {args.model}"))
     return 0
+
+
+def cmd_lint_plan(args) -> int:
+    from pathlib import Path
+
+    from .analysis import report_for
+    from .deploy import load_artifact
+    from .errors import ReproError
+
+    # verify=False: collect every finding into one report instead of
+    # stopping at the first PlanVerifyError like a normal load would.
+    try:
+        deployed = load_artifact(args.artifact, verify=False)
+    except ReproError as exc:
+        print(f"lint-plan: cannot load {args.artifact}: {exc}",
+              file=sys.stderr)
+        return 2
+    report = report_for(deployed.program.plan_spec(), deployed.program,
+                        target=str(args.artifact))
+    print(report.render())
+    if args.json:
+        Path(args.json).write_text(json.dumps(report.to_dict(), indent=1))
+    return 0 if report.ok else 1
+
+
+def cmd_lint_async(args) -> int:
+    from pathlib import Path
+
+    from .analysis import lint_tree, worker_import_report
+
+    src_root = Path(__file__).resolve().parents[1]
+    target = Path(args.path) if args.path else src_root / "repro" / "serve"
+    reports = [lint_tree(str(target)), worker_import_report(str(src_root))]
+    for report in reports:
+        print(report.render())
+        print()
+    if args.json:
+        Path(args.json).write_text(json.dumps(
+            [report.to_dict() for report in reports], indent=1))
+    return 0 if all(report.ok for report in reports) else 1
 
 
 def _serve_http(args) -> int:
@@ -359,6 +401,23 @@ def build_parser() -> argparse.ArgumentParser:
     dep.add_argument("--batch", type=int, default=1)
     dep.add_argument("--sparse", action="store_true")
 
+    lint_plan = sub.add_parser(
+        "lint-plan",
+        help="statically verify an artifact's execution plan")
+    lint_plan.add_argument("artifact", help="artifact directory to check")
+    lint_plan.add_argument("--json", metavar="PATH",
+                           help="also write the report as JSON here")
+
+    lint_async = sub.add_parser(
+        "lint-async",
+        help="flag event-loop blockers in the serving stack and verify "
+             "the step worker's import closure stays compiler-free")
+    lint_async.add_argument("--path", default=None,
+                            help="directory to lint (default: the "
+                                 "installed repro.serve package)")
+    lint_async.add_argument("--json", metavar="PATH",
+                            help="also write the reports as JSON here")
+
     srv = sub.add_parser(
         "serve", help="run a multi-tenant fine-tuning service demo")
     srv.add_argument("--model", default="mcunet_micro",
@@ -457,6 +516,8 @@ def main(argv: list[str] | None = None) -> int:
         "scheme": cmd_scheme,
         "profile": cmd_profile,
         "deploy": cmd_deploy,
+        "lint-plan": cmd_lint_plan,
+        "lint-async": cmd_lint_async,
         "serve": cmd_serve,
     }
     return handlers[args.command](args)

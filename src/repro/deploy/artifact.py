@@ -29,6 +29,10 @@ from pathlib import Path
 
 import numpy as np
 
+# planlint is deliberately compiler-free, so importing it here keeps the
+# step worker's import closure clean (asynclint's worker-import check
+# walks module-level imports and would flag anything heavier).
+from ..analysis.planlint import check_plan, verify_enabled
 from ..errors import (ExecutionError, GraphError, PlanVersionError,
                       ReproError)
 from ..ir import Graph
@@ -115,7 +119,8 @@ def save_artifact(program: Program, path: str | Path) -> Path:
     return path
 
 
-def load_artifact(path: str | Path) -> DeployedProgram:
+def load_artifact(path: str | Path, *,
+                  verify: bool | None = None) -> DeployedProgram:
     """Reload an artifact saved by :func:`save_artifact`.
 
     For v2 manifests the embedded plan spec is deserialized and bound
@@ -131,6 +136,14 @@ def load_artifact(path: str | Path) -> DeployedProgram:
             runtime does not — the artifact itself may be fine for another
             build, so the error stays distinguishable (the program cache
             catches it and recompiles instead of failing the request).
+        PlanVerifyError: when the embedded plan decodes but fails static
+            verification (:mod:`repro.analysis.planlint`) — executing it
+            could corrupt state, so it is rejected before binding. On by
+            default; ``REPRO_VERIFY_PLANS=0`` (or ``verify=False``) opts
+            out. The program cache quarantines such artifacts like
+            corrupt ones. ``verify=None`` defers to the environment;
+            ``repro lint-plan`` passes ``verify=False`` so it can collect
+            every finding into a report instead of stopping at the first.
     """
     path = Path(path)
     try:
@@ -174,8 +187,6 @@ def load_artifact(path: str | Path) -> DeployedProgram:
     if version >= 2:
         try:
             spec = PlanSpec.from_dict(manifest["plan"])
-            program.attach_plan_spec(spec)
-            program.meta["__plan__"] = bind_plan(spec, by_name)
         except KeyError:
             raise GraphError(
                 "artifact manifest v2 lacks an embedded plan") from None
@@ -188,6 +199,20 @@ def load_artifact(path: str | Path) -> DeployedProgram:
             raise GraphError(
                 f"artifact plan outputs {sorted(produced)} disagree with "
                 f"graph outputs {sorted(program.outputs)}")
+        # Static verification before binding: a structurally-decodable
+        # plan can still be a miscompile (tampered slots, lying byte
+        # accounting). PlanVerifyError propagates as itself — it is not
+        # "corruption we can shrug at" but a plan that would silently
+        # trash state; the program cache quarantines the artifact.
+        run_verify = verify if verify is not None \
+            else verify_enabled(default=True)  # REPRO_VERIFY_PLANS=0 opts out
+        if run_verify:
+            check_plan(spec, program, stage=f"artifact load ({path})")
+        try:
+            program.attach_plan_spec(spec)
+            program.meta["__plan__"] = bind_plan(spec, by_name)
+        except ExecutionError as exc:
+            raise GraphError(f"corrupted artifact plan: {exc}") from None
 
     return DeployedProgram(
         graph=graph,

@@ -46,6 +46,18 @@ class PlanVersionError(ExecutionError):
     """
 
 
+class PlanVerifyError(ExecutionError):
+    """The static plan verifier rejected an execution plan.
+
+    Raised by :mod:`repro.analysis.planlint` when a :class:`~repro.runtime.
+    plan.PlanSpec` fails a structural proof (def-before-use, free-list
+    safety, donation aliasing, byte accounting, ...). Distinct from
+    :class:`PlanVersionError`: the plan speaks our version but describes a
+    stream that would corrupt state if executed. The program cache
+    quarantines artifacts that raise this, exactly like corrupt ones.
+    """
+
+
 class DeviceError(ReproError):
     """An unknown device was requested or a cost model query is invalid."""
 

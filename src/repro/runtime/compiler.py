@@ -64,6 +64,12 @@ class CompileOptions:
     #: tuple of pass names runs exactly those. Part of the program cache
     #: key — differently-lowered plans never share a cached artifact.
     plan_passes: Any = "default"
+    #: run the static plan verifier (:mod:`repro.analysis.planlint`) after
+    #: every pass stage of plan lowering. ``None`` defers to the
+    #: ``REPRO_VERIFY_PLANS`` environment switch (on in CI); True/False
+    #: force it for this compile. Not part of the cache key — verification
+    #: never changes the plan, only whether a bad one is allowed to exist.
+    verify_plans: bool | None = None
     device: Any = None
     debug_validate: bool = False
 
@@ -179,6 +185,8 @@ def compile_training(
     program = Program.from_graph(graph, schedule,
                                  copy_state=options.materialize_state)
     program.meta["plan_passes"] = options.plan_passes
+    if options.verify_plans is not None:
+        program.meta["verify_plans"] = options.verify_plans
     if options.materialize_state:
         # Pay the lowering cost here, with compilation, so the first step a
         # tenant runs is already the zero-interpretation fast path.
@@ -232,5 +240,7 @@ def compile_inference(forward: Graph,
         else default_schedule(graph)
     program = Program.from_graph(graph, schedule)
     program.meta["plan_passes"] = options.plan_passes
+    if options.verify_plans is not None:
+        program.meta["verify_plans"] = options.verify_plans
     program.plan()
     return program

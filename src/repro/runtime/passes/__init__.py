@@ -80,7 +80,8 @@ def resolve_passes(passes: Any) -> tuple[str, ...]:
 
 
 def run_pipeline(program, passes: Any = None,
-                 report: dict | None = None) -> PlanSpec:
+                 report: dict | None = None,
+                 verify: bool | None = None) -> PlanSpec:
     """Lower ``program`` through the configured pipeline into a PlanSpec.
 
     ``passes=None`` defers to ``program.meta["plan_passes"]`` (set by the
@@ -88,21 +89,52 @@ def run_pipeline(program, passes: Any = None,
     default pipeline. Pass a dict as ``report`` to receive per-stage
     instruction counts and pass statistics (the perf-smoke benchmark
     publishes these).
+
+    ``verify=None`` defers to ``program.meta["verify_plans"]`` (set from
+    ``CompileOptions.verify_plans``) and then the ``REPRO_VERIFY_PLANS``
+    environment switch. When on, every pass stage's intermediate stream
+    is allocated and checked by the static plan verifier
+    (:mod:`repro.analysis.planlint`), so a miscompiling pass is blamed by
+    name at compile time instead of corrupting state at run time.
+
+    Raises:
+        PlanVerifyError: when verification is on and any stage's plan
+            fails a static proof.
     """
     if passes is None:
         passes = program.meta.get("plan_passes")
     names = resolve_passes(passes)
+    if verify is None:
+        verify = program.meta.get("verify_plans")
+    if verify is None:
+        from ...analysis.planlint import verify_enabled
+        verify = verify_enabled()
     ctx = LoweringContext(program)
     stream = lower(ctx)
     if report is not None:
         report["stages"] = [
             {"stage": "lower", "instructions": len(stream)}]
+    if verify:
+        from ...analysis.planlint import check_plan
+        # allocate() is pure w.r.t. the stream, so checking an
+        # intermediate stage is just: allocate it, verify the spec.
+        check_plan(allocate(stream, ctx, passes=()), program,
+                   stage="lower")
+    applied: list[str] = []
     for name in names:
         stream, stats = PASSES[name](stream, ctx)
+        applied.append(name)
         if report is not None:
             report["stages"].append(
                 {"stage": name, "instructions": len(stream), **stats})
+        if verify and name != names[-1]:
+            from ...analysis.planlint import check_plan
+            check_plan(allocate(stream, ctx, passes=tuple(applied)),
+                       program, stage=name)
     spec = allocate(stream, ctx, passes=names)
+    if verify:
+        from ...analysis.planlint import check_plan
+        check_plan(spec, program, stage="allocate")
     if report is not None:
         report["stages"].append(
             {"stage": "allocate", "instructions": len(spec.instructions),

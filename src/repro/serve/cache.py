@@ -43,7 +43,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
-from ..errors import PlanVersionError, ReproError
+from ..errors import PlanVerifyError, PlanVersionError, ReproError
 from ..runtime import Program
 from .faults import FAULTS
 
@@ -86,6 +86,11 @@ class CacheStats:
     #: persisted artifacts that failed to load (corrupt/truncated) and
     #: were quarantined to ``<key>.corrupt`` before recompiling
     corrupt_entries: int = 0
+    #: persisted artifacts rejected by the static plan verifier
+    #: (:mod:`repro.analysis.planlint`) — quarantined like corrupt ones,
+    #: but counted separately: a decodable-but-unsafe plan points at a
+    #: miscompile or tampering, not bit rot
+    verify_rejects: int = 0
     compile_seconds_total: float = 0.0
 
     @property
@@ -172,6 +177,14 @@ class ProgramCache:
             # the plan dropped when a previous eviction discarded the entry.
             program.plan()
             if not from_disk:
+                # Verify before persisting/publishing (on by default here;
+                # REPRO_VERIFY_PLANS=0 opts out): a miscompiled plan must
+                # never land in the shared cache dir where every worker
+                # process would bind it.
+                from ..analysis.planlint import check_plan, verify_enabled
+                if verify_enabled(default=True):
+                    check_plan(program.plan_spec(), program,
+                               stage="program cache build")
                 self._persist(key, program, overwrite=repair)
         except BaseException:
             # Release waiters; with no entry present they retry the build.
@@ -236,6 +249,15 @@ class ProgramCache:
             return load_artifact(path).program
         except PlanVersionError:
             self.stats.plan_version_miss += 1
+            return None
+        except PlanVerifyError:
+            # The plan decoded but the verifier proved it unsafe to run.
+            # Same quarantine as corruption (never read it again, keep it
+            # for forensics), separate counter: this is a miscompile or
+            # tampering signal, not bit rot.
+            with self._lock:
+                self.stats.verify_rejects += 1
+            self._quarantine(key, path)
             return None
         except ReproError:
             self._quarantine(key, path)

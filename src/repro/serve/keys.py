@@ -52,6 +52,10 @@ def optimizer_token(spec: OptimizerSpec) -> dict[str, Any]:
 def options_token(options: CompileOptions) -> dict[str, Any]:
     token: dict[str, Any] = {}
     for field in dataclasses.fields(options):
+        if field.name == "verify_plans":
+            # Verification proves a plan; it never shapes one. Keying on
+            # it would split otherwise-identical cached artifacts.
+            continue
         value = getattr(options, field.name)
         if field.name == "device":
             # Device objects carry float cost-model constants; their

@@ -237,12 +237,13 @@ class FineTuneService:
             "serve.steps_replayed",
             "retried steps answered from the idempotency window "
             "(no second optimizer update)")
-        engine_kwargs = {} if shm_slot_bytes is None \
-            else {"slot_bytes": shm_slot_bytes}
+        # shm_slot_bytes=None lets the engine size ring slots from each
+        # model's actual state+feeds frame (growing on demand); an explicit
+        # value pins the slot size (oversized payloads fall back to pickle).
         self.engine = ProcessPoolEngine(
             workers=workers, on_restart=self._worker_restarts.inc,
             channel=worker_channel, metrics=self.metrics,
-            **engine_kwargs) \
+            slot_bytes=shm_slot_bytes) \
             if backend == "process" else None
         self.scheduler = BatchScheduler(
             self._run_batch, max_batch=max_batch, workers=workers,
@@ -655,6 +656,10 @@ class FineTuneService:
             "serve.cache.corrupt_entries",
             "persisted artifacts quarantined as corrupt").set(
                 stats.corrupt_entries)
+        self.metrics.gauge(
+            "serve.cache.verify_rejects",
+            "persisted artifacts quarantined by the plan verifier").set(
+                stats.verify_rejects)
         if self.checkpoints is not None:
             self.metrics.gauge(
                 "serve.checkpoint.store_writes",

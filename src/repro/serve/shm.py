@@ -48,9 +48,12 @@ from multiprocessing import resource_tracker, shared_memory
 from ..errors import ServeError
 from . import wire
 
-#: default slot size — a full MCUNet batch-8 frame (state overlay +
-#: stacked feeds) is ~150 KB, so 4 MiB leaves generous headroom for
-#: bigger models before the pickle fallback kicks in
+#: fallback slot size for rings created without a measured frame — a full
+#: MCUNet batch-8 frame (state overlay + stacked feeds) is ~150 KB, so
+#: 4 MiB leaves generous headroom. :class:`~repro.serve.workers.
+#: ProcessPoolEngine` normally sizes its ring from the model's actual
+#: state+feeds footprint instead (``slot_bytes=None``) and only uses a
+#: fixed size when one is pinned explicitly.
 DEFAULT_SLOT_BYTES = 4 << 20
 
 _SLOT_HEADER = struct.Struct("<QQ")  # (sequence counter, frame length)

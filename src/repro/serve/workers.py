@@ -51,6 +51,7 @@ import numpy as np
 from ..deploy import stepworker
 from ..errors import ServeError
 from . import shm as shm_mod
+from . import wire
 from .wire import WireError
 
 #: valid values for ``ProcessPoolEngine(channel=...)``
@@ -85,7 +86,7 @@ class ProcessPoolEngine:
     def __init__(self, workers: int, mp_context: str = "spawn",
                  on_restart: Callable[[], None] | None = None, *,
                  channel: str = "shm",
-                 slot_bytes: int = shm_mod.DEFAULT_SLOT_BYTES,
+                 slot_bytes: int | None = None,
                  metrics=None) -> None:
         if workers < 1:
             raise ServeError(f"workers must be >= 1, got {workers}")
@@ -101,10 +102,24 @@ class ProcessPoolEngine:
         self._shutdown = False
         #: lifetime count of pool rebuilds after a worker crash
         self.restarts = 0
+        # slot sizing: an explicit slot_bytes pins the ring (payloads that
+        # do not fit take the pickle fallback — tests rely on this); None
+        # defers creation to the first step, sizing slots from the actual
+        # state + feeds frame (see _ensure_ring) instead of a fixed slab.
+        self._slot_bytes = slot_bytes
+        self._ring_lock = threading.Lock()
+        #: ring name -> steps currently using that ring's slots
+        self._ring_inflight: dict[str, int] = {}
+        #: rings replaced by a bigger one, kept open until they drain
+        self._ring_retired: dict[str, shm_mod.SlabRing] = {}
+        #: lifetime count of ring re-sizes (a growing workload signal)
+        self.ring_resizes = 0
         # 2 slots per worker: one in flight per scheduler thread plus one
         # being written/read, so acquire() never blocks in steady state
         self._ring = (shm_mod.SlabRing(max(2, 2 * workers), slot_bytes)
-                      if channel == "shm" else None)
+                      if channel == "shm" and slot_bytes is not None
+                      else None)
+        self._use_shm = channel == "shm"
         if metrics is not None:
             self._serialized_bytes = metrics.counter(
                 "serve.worker.serialized_bytes",
@@ -121,9 +136,13 @@ class ProcessPoolEngine:
                 "serve.worker.shm_fallbacks",
                 "steps that fell back from shm to pickle "
                 "(oversized / non-contiguous payloads)")
+            self._ring_resizes = metrics.counter(
+                "serve.worker.ring_resizes",
+                "shm slab rings re-created for a larger model frame")
         else:
             self._serialized_bytes = self._shm_bytes = None
             self._steps_shm = self._steps_pickle = self._shm_fallbacks = None
+            self._ring_resizes = None
         self._pool = self._make_pool()
 
     @staticmethod
@@ -152,12 +171,12 @@ class ProcessPoolEngine:
             raise ServeError(
                 f"program {key[:12]}… has no persisted artifact; the "
                 f"process backend needs a writable cache_dir")
-        if self._ring is not None:
+        if self._use_shm:
             try:
                 return self._run_step_shm(
                     artifact_dir, key, state, feeds, tuple(fetch), trace)
             except WireError:
-                # payload can't be framed (oversized for a slot,
+                # payload can't be framed (oversized for a pinned slot,
                 # non-contiguous, or state/feed name collision): this
                 # step takes the pickle path, the channel stays shm
                 self._count(self._shm_fallbacks)
@@ -187,6 +206,71 @@ class ProcessPoolEngine:
                 + _STUB_OVERHEAD)
         return result
 
+    # -- slab-ring sizing ----------------------------------------------------
+
+    @staticmethod
+    def _auto_slot_bytes(need: int) -> int:
+        """Slot size for a model whose frame needs ``need`` bytes.
+
+        12.5% headroom (meta name lists vary a little across programs
+        sharing the engine) rounded up to 64 KiB, so a small MLP's ring
+        costs kilobytes, not the 4 MiB fixed slab — and a model bigger
+        than the old slab gets zero-copy steps instead of silently
+        falling back to pickle forever.
+        """
+        granule = 64 << 10
+        sized = need + need // 8 + 4096
+        return max(granule, -(-sized // granule) * granule)
+
+    def _ensure_ring(self, meta, tensors) -> shm_mod.SlabRing:
+        """The ring this step's frame fits in, creating/growing if auto.
+
+        Raises :class:`WireError` (→ pickle fallback) for unframeable
+        payloads, and for oversized payloads when ``slot_bytes`` was
+        pinned explicitly.
+        """
+        need = wire.frame_nbytes(meta, tensors)
+        if self._slot_bytes is not None and need > self._slot_bytes:
+            raise WireError(
+                f"frame needs {need} bytes but slot_bytes is pinned at "
+                f"{self._slot_bytes}")
+        to_close = None
+        with self._ring_lock:
+            if self._shutdown:
+                raise ServeError("worker engine is shut down")
+            ring = self._ring
+            if ring is None or (self._slot_bytes is None
+                                and ring.slot_bytes < need):
+                new = shm_mod.SlabRing(max(2, 2 * self.workers),
+                                       self._auto_slot_bytes(need))
+                if ring is not None:
+                    self.ring_resizes += 1
+                    self._count(self._ring_resizes)
+                    if self._ring_inflight.get(ring.name):
+                        # steps still lease its slots; drained in
+                        # _ring_unref once the last one releases
+                        self._ring_retired[ring.name] = ring
+                    else:
+                        to_close = ring
+                self._ring = ring = new
+            self._ring_inflight[ring.name] = \
+                self._ring_inflight.get(ring.name, 0) + 1
+        if to_close is not None:
+            to_close.close()
+        return ring
+
+    def _ring_unref(self, ring: shm_mod.SlabRing) -> None:
+        to_close = None
+        with self._ring_lock:
+            count = self._ring_inflight.get(ring.name, 1) - 1
+            if count <= 0:
+                self._ring_inflight.pop(ring.name, None)
+                to_close = self._ring_retired.pop(ring.name, None)
+            else:
+                self._ring_inflight[ring.name] = count
+        if to_close is not None:
+            to_close.close()
+
     def _run_step_shm(self, artifact_dir, key, state, feeds, fetch, trace):
         """One step over the slab ring; ``WireError`` means "use pickle".
 
@@ -199,8 +283,16 @@ class ProcessPoolEngine:
             raise WireError(
                 f"state/feed name collision: "
                 f"{sorted(set(state) & set(feeds))}")
-        ring = self._ring
         meta = {"state": sorted(state), "feeds": sorted(feeds)}
+        ring = self._ensure_ring(meta, {**state, **feeds})
+        try:
+            return self._run_step_shm_on(
+                ring, artifact_dir, key, state, feeds, fetch, trace, meta)
+        finally:
+            self._ring_unref(ring)
+
+    def _run_step_shm_on(self, ring, artifact_dir, key, state, feeds,
+                         fetch, trace, meta):
         slot = ring.acquire(timeout=60.0)
         try:
             frame_len = ring.write_frame(slot, meta, {**state, **feeds})
@@ -264,5 +356,10 @@ class ProcessPoolEngine:
             self._shutdown = True
             pool = self._pool
         pool.shutdown(wait=wait)
-        if self._ring is not None:
-            self._ring.close()
+        with self._ring_lock:
+            rings = [self._ring, *self._ring_retired.values()]
+            self._ring = None
+            self._ring_retired.clear()
+        for ring in rings:
+            if ring is not None:
+                ring.close()

@@ -2,6 +2,13 @@
 
 from __future__ import annotations
 
+import os
+
+# Every plan the suite compiles is also a plan-verifier subject: the
+# whole tier-1 run doubles as the verifier's zero-false-positive gate.
+# Explicitly exported values (e.g. REPRO_VERIFY_PLANS=0) still win.
+os.environ.setdefault("REPRO_VERIFY_PLANS", "1")
+
 import numpy as np
 import pytest
 

@@ -172,13 +172,21 @@ class TestArtifactPlanRoundTrip:
         assert want[loss].tobytes() == got[loss].tobytes()
 
     def test_corrupted_plan_rejected(self, tmp_path):
+        """A tampered plan is caught by the static verifier before binding.
+
+        PlanVerifyError (not a generic GraphError) so callers can tell
+        "decodable but unsafe to execute" apart from bit rot; the program
+        cache quarantines both.
+        """
+        from repro.errors import PlanVerifyError
+
         program = _mlp_program()
         save_artifact(program, tmp_path / "mlp")
         path = tmp_path / "mlp" / "manifest.json"
         manifest = json.loads(path.read_text())
         manifest["plan"]["instructions"][0]["node"] = "no_such_node"
         path.write_text(json.dumps(manifest))
-        with pytest.raises(GraphError, match="corrupted artifact plan"):
+        with pytest.raises(PlanVerifyError, match="unknown-node"):
             load_artifact(tmp_path / "mlp")
 
     def test_plan_version_mismatch_distinguishable(self, tmp_path):

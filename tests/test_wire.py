@@ -281,3 +281,86 @@ class TestChannelParity:
             metrics = service.metrics.as_dict()
             assert metrics.get("serve.worker.shm_fallbacks", 0) >= 1
             assert metrics.get("serve.worker.steps_pickle", 0) >= 1
+
+
+# ---------------------------------------------------------------------------
+# slab-ring auto-sizing: slots sized from the model's frame, not a fixed slab
+# ---------------------------------------------------------------------------
+
+
+class TestRingAutoSizing:
+    def test_auto_slot_bytes_rounds_to_granule_with_headroom(self):
+        from repro.serve.workers import ProcessPoolEngine
+
+        granule = 64 << 10
+        # tiny frames get the floor, not the old 4 MiB slab
+        assert ProcessPoolEngine._auto_slot_bytes(100) == granule
+        # headroom: the sized slot always fits more than the measured need
+        for need in (granule, granule + 1, 1 << 20, (4 << 20) + 17):
+            sized = ProcessPoolEngine._auto_slot_bytes(need)
+            assert sized >= need + need // 8
+            assert sized % granule == 0
+
+    def test_ring_created_lazily_and_grows_for_bigger_frames(self):
+        from repro.serve.workers import ProcessPoolEngine
+
+        engine = ProcessPoolEngine(1, channel="shm")
+        try:
+            assert engine._ring is None  # no frame measured yet
+            small = {"x": np.zeros(8, np.float32)}
+            ring1 = engine._ensure_ring({"state": [], "feeds": ["x"]}, small)
+            assert engine.ring_resizes == 0
+            assert ring1.slot_bytes == 64 << 10
+            engine._ring_unref(ring1)
+
+            big = {"x": np.zeros(1 << 18, np.float32)}  # 1 MiB frame
+            ring2 = engine._ensure_ring({"state": [], "feeds": ["x"]}, big)
+            assert ring2 is not ring1
+            assert engine.ring_resizes == 1
+            assert ring2.slot_bytes >= (1 << 20) + (1 << 17)
+            # the small frame reuses the grown ring — no shrink churn
+            ring3 = engine._ensure_ring({"state": [], "feeds": ["x"]}, small)
+            assert ring3 is ring2
+            engine._ring_unref(ring2)
+            engine._ring_unref(ring3)
+        finally:
+            engine.shutdown()
+
+    def test_retired_ring_stays_open_until_inflight_steps_drain(self):
+        from repro.serve.workers import ProcessPoolEngine
+
+        engine = ProcessPoolEngine(1, channel="shm")
+        try:
+            small = {"x": np.zeros(8, np.float32)}
+            ring1 = engine._ensure_ring({"state": [], "feeds": ["x"]}, small)
+            slot = ring1.acquire()  # a step holds a lease on the old ring
+
+            big = {"x": np.zeros(1 << 18, np.float32)}
+            ring2 = engine._ensure_ring({"state": [], "feeds": ["x"]}, big)
+            assert ring2 is not ring1
+            # the in-flight step's ring is retired, not closed under it
+            ring1.write_frame(slot, {"still": "alive"}, {})
+            meta, _ = ring1.read_frame(slot)
+            assert meta == {"still": "alive"}
+            ring1.release(slot)
+            engine._ring_unref(ring1)  # last lease drains → now closed
+            with pytest.raises(ServeError, match="closed"):
+                ring1.acquire(timeout=0.05)
+            engine._ring_unref(ring2)
+        finally:
+            engine.shutdown()
+
+    def test_pinned_slot_bytes_still_creates_eagerly(self):
+        from repro.serve.workers import ProcessPoolEngine
+
+        engine = ProcessPoolEngine(1, channel="shm", slot_bytes=1 << 12)
+        try:
+            assert engine._ring is not None
+            assert engine._ring.slot_bytes == 1 << 12
+            # pinned rings never grow: oversized frames raise WireError
+            # (run_step turns that into the per-step pickle fallback)
+            big = {"x": np.zeros(1 << 14, np.float64)}
+            with pytest.raises(WireError):
+                engine._ensure_ring({"state": [], "feeds": ["x"]}, big)
+        finally:
+            engine.shutdown()
