@@ -1,8 +1,9 @@
 """Static plan verifier: prove a PlanSpec safe before anything executes it.
 
-The pass pipeline (``lower -> fuse_elementwise -> precompute_frozen ->
-allocate``) rewrites slot tables, free-lists, donation decisions, and
-arena caps on every compile. Until now the only safety net was the
+The pass pipeline (``lower -> fuse_elementwise -> fold_scalars ->
+precompute_frozen [-> autotune] -> allocate``) rewrites slot tables,
+free-lists, donation decisions, kernel variants, and arena caps on
+every compile. Until now the only safety net was the
 byte-exactness oracle — which *runs* the plan, so a bad free-list or an
 alias-unsafe donation shows up as silent corruption of a tenant's
 optimizer state rather than a compile-time error. This module closes
@@ -33,6 +34,14 @@ proves:
   are shape/dtype-stable, every link is a fusable single-output
   elementwise op, the first link reads no "previous value", and later
   links do;
+* **const-arg splices** — a folded scalar names frozen shape-``()``
+  state, its assembled position is in range, and the folded name owns
+  no slot anywhere in the plan;
+* **honest tuning decisions** (``tuned-*`` rules) — every
+  ``tuned_variants`` row names a real instruction, a registered
+  variant of the right kernel, the variant the instruction actually
+  binds, a known source (``cost``/``measure``), finite non-negative
+  costs, and no instruction is tuned twice;
 * **independent byte accounting** — the transient-byte timeline, peak,
   arena caps, precomputed bytes, and clear-slot set are recomputed from
   scratch and must equal the numbers ``allocate`` recorded. A plan that
@@ -58,7 +67,7 @@ from ..kernels import (DONATED_INPUTS, DONATING_KERNELS, OUT_ALIAS_SAFE,
                        OUT_KERNELS, PRECOMPUTE_TRANSFORMS, VARIANT_KERNELS,
                        VIEW_OPS)
 from ..runtime.plan import (InstructionSpec, PlanSpec, VARIANT_BASE,
-                            VARIANT_DONATING)
+                            VARIANT_DONATING, arena_key_for)
 from .report import Finding, Report, format_findings
 
 #: environment flag that turns per-stage verification on in the compile
@@ -154,7 +163,7 @@ class _PlanChecker:
         spec = self.value_spec(name, where)
         if spec is None:
             return None
-        return (tuple(spec.shape), np.dtype(spec.dtype.np))
+        return arena_key_for(tuple(spec.shape), np.dtype(spec.dtype.np))
 
     @staticmethod
     def _is_view(instr: InstructionSpec) -> bool:
@@ -200,9 +209,12 @@ class _PlanChecker:
             self.bind(slot, name, "feed_specs")
             self.status[slot] = _LIVE
         bound_state = {name for _, name in spec.state_bindings}
-        if bound_state != self.state_names:
+        const_state = {name for instr in spec.instructions
+                       for _, name in instr.const_args}
+        if bound_state | const_state != self.state_names:
             self.flag("state-binding-mismatch", "state_bindings",
-                      f"plan binds state {sorted(bound_state)} but the "
+                      f"plan binds state {sorted(bound_state)} (+ "
+                      f"{sorted(const_state)} const-folded) but the "
                       f"program owns {sorted(self.state_names)}")
         state_slots = set()
         for slot, name in spec.state_bindings:
@@ -285,6 +297,9 @@ class _PlanChecker:
                 elif state == _FREED:
                     self.flag("use-after-free", where,
                               f"reads slot {slot} after it was freed")
+
+            if instr.const_args:
+                self._check_const_args(instr, where, inplace, view)
 
             if instr.fused is not None:
                 self._check_fused(idx, instr, node, where, interior_names)
@@ -381,7 +396,7 @@ class _PlanChecker:
                     elif name is not None:
                         expect = self.arena_key(name, where)
                         if expect is not None \
-                                and (tuple(key[0]), np.dtype(key[1])) \
+                                and (int(key[0]), np.dtype(key[1])) \
                                 != expect:
                             self.flag("arena-key-mismatch", where,
                                       f"free of {name!r} recycles under "
@@ -409,8 +424,8 @@ class _PlanChecker:
             if instr.use_out and instr.donate_slot < 0 \
                     and instr.out_shape is not None \
                     and instr.out_dtype is not None:
-                cap_key = (tuple(instr.out_shape),
-                           np.dtype(instr.out_dtype))
+                cap_key = arena_key_for(tuple(instr.out_shape),
+                                        np.dtype(instr.out_dtype))
                 arena_caps[cap_key] = arena_caps.get(cap_key, 0) + 1
 
         self._check_end_state(arena_caps, peak, transient, written_state,
@@ -420,9 +435,53 @@ class _PlanChecker:
 
     # -- per-instruction helpers ----------------------------------------------
 
+    def _check_const_args(self, instr, where: str, inplace: bool,
+                          view: bool) -> None:
+        """Folded-scalar splices: frozen shape-() state at valid positions."""
+        if inplace or view:
+            self.flag("const-arg-context", where,
+                      "const-folded inputs on an in-place/view instruction")
+        total = len(instr.input_slots) + len(instr.const_args)
+        seen: set[int] = set()
+        for pos, name in instr.const_args:
+            cwhere = f"{where} const_arg {pos}"
+            if not 0 <= pos < total:
+                self.flag("const-arg-range", cwhere,
+                          f"position {pos} outside the assembled input "
+                          f"list of {total}")
+            if pos in seen:
+                self.flag("const-arg-duplicate", cwhere,
+                          "position spliced twice")
+            seen.add(pos)
+            if name not in self.state_names:
+                self.flag("const-arg-source", cwhere,
+                          f"{name!r} is not program state")
+                continue
+            if name in self.mutable:
+                self.flag("const-arg-mutable", cwhere,
+                          f"{name!r} is mutated in place; only frozen "
+                          f"state may fold")
+            cspec = self.value_spec(name, cwhere)
+            if cspec is not None and tuple(cspec.shape) != ():
+                self.flag("const-arg-shape", cwhere,
+                          f"{name!r} has shape {tuple(cspec.shape)}; "
+                          f"only scalars fold")
+
     def _check_plain(self, instr, node, where: str, inplace: bool):
         """Non-fused: arity, slot->name mapping, schema inference."""
         expected_inputs = list(node.inputs)
+        if instr.const_args:
+            consts = dict(instr.const_args)
+            kept = []
+            for pos, name in enumerate(expected_inputs):
+                want = consts.pop(pos, None)
+                if want is None:
+                    kept.append(name)
+                elif want != name:
+                    self.flag("const-arg-mismatch", where,
+                              f"const position {pos} splices {want!r}, "
+                              f"node reads {name!r}")
+            expected_inputs = kept
         if instr.fused is None \
                 and instr.variant not in (VARIANT_BASE, VARIANT_DONATING):
             if (instr.kernel, instr.variant) not in VARIANT_KERNELS:
@@ -506,6 +565,16 @@ class _PlanChecker:
         final_spec = None
         if node.outputs:
             final_spec = self.value_spec(node.outputs[0], where)
+        # Link args index the *assembled* input list: slots in order, with
+        # const-folded state spliced back at its recorded positions.
+        const_at = dict(instr.const_args)
+        total = len(instr.input_slots) + len(const_at)
+        slot_of: dict[int, int] = {}
+        nxt = 0
+        for pos in range(total):
+            if pos not in const_at:
+                slot_of[pos] = nxt
+                nxt += 1
         external: dict[int, str] = {}
         prev_value: str | None = None
         for pos, link in enumerate(links):
@@ -550,10 +619,10 @@ class _PlanChecker:
                                       f"arg None stands for {prev_value!r} "
                                       f"but node reads {name!r}")
                         continue
-                    if not 0 <= arg < len(instr.input_slots):
+                    if not 0 <= arg < total:
                         self.flag("fused-arg-range", lwhere,
-                                  f"arg index {arg} outside the "
-                                  f"{len(instr.input_slots)} input slots")
+                                  f"arg index {arg} outside the assembled "
+                                  f"input list of {total}")
                         continue
                     known = external.get(arg)
                     if known is None:
@@ -577,18 +646,26 @@ class _PlanChecker:
                     interior_names.append((lnode.outputs[0], where))
             self._check_schema(lnode, lwhere)
             prev_value = lnode.outputs[0] if lnode.outputs else None
-        # every input slot must be some link's external arg, and the
-        # slot->name mapping must agree with the link args
-        if set(external) != set(range(len(instr.input_slots))):
+        # every assembled position (slot or const splice) must be some
+        # link's external arg, and the position->name mapping must agree
+        if set(external) != set(range(total)):
             self.flag("fused-input-mismatch", where,
                       f"external args {sorted(external)} do not cover "
-                      f"input slots 0..{len(instr.input_slots) - 1}")
+                      f"assembled positions 0..{total - 1}")
         else:
             for arg, name in external.items():
-                bound = self.names.get(instr.input_slots[arg])
+                cname = const_at.get(arg)
+                if cname is not None:
+                    if cname != name:
+                        self.flag("const-arg-mismatch", where,
+                                  f"assembled position {arg} splices "
+                                  f"{cname!r}, link arg reads {name!r}")
+                    continue
+                bound = self.names.get(instr.input_slots[slot_of[arg]])
                 if bound is not None and bound != name:
                     self.flag("input-slot-mismatch", where,
-                              f"input slot {instr.input_slots[arg]} holds "
+                              f"input slot "
+                              f"{instr.input_slots[slot_of[arg]]} holds "
                               f"{bound!r}, link arg {arg} reads {name!r}")
 
     def _check_out_and_donation(self, instr, node, where: str,
@@ -644,11 +721,17 @@ class _PlanChecker:
         name = self.names.get(slot)
         if name is not None and instr.out_shape is not None \
                 and instr.out_dtype is not None:
-            key = self.arena_key(name, where)
-            if key is not None and key != (tuple(instr.out_shape),
-                                           np.dtype(instr.out_dtype)):
+            # Donation requires the *exact* (shape, dtype) — an out= kernel
+            # writes element-for-element, so a same-byte-bucket buffer of
+            # another shape is not good enough.
+            dspec = self.value_spec(name, where)
+            if dspec is not None and (
+                    tuple(dspec.shape) != tuple(instr.out_shape)
+                    or np.dtype(dspec.dtype.np)
+                    != np.dtype(instr.out_dtype)):
                 self.flag("donation-shape-mismatch", where,
-                          f"donated buffer {name!r} is {key}, output "
+                          f"donated buffer {name!r} is "
+                          f"{(tuple(dspec.shape), dspec.dtype)}, output "
                           f"wants {(tuple(instr.out_shape), instr.out_dtype)}")
         if instr.fused is not None:
             first = {a for a in instr.fused[0].args if a is not None}
@@ -659,6 +742,19 @@ class _PlanChecker:
                 arg = instr.input_slots.index(slot)
             except ValueError:
                 return
+            if instr.const_args:
+                # link args index the assembled list: shift the slot
+                # position past the const splices before it
+                const_positions = {pos for pos, _ in instr.const_args}
+                total = len(instr.input_slots) + len(const_positions)
+                k = -1
+                for pos in range(total):
+                    if pos in const_positions:
+                        continue
+                    k += 1
+                    if k == arg:
+                        arg = pos
+                        break
             if arg not in safe:
                 self.flag("donation-alias-unsafe", where,
                           f"donated input {arg} is read by a later fused "
@@ -688,6 +784,54 @@ class _PlanChecker:
                           f"({self.names.get(slot)!r}) is not a dying "
                           f"unaliased buffer")
 
+    def _check_tuned(self) -> None:
+        """Tuned-variant table: every decision names a real instruction,
+        a registered (or base) variant, and matches what the instruction
+        actually runs — a table that lies about tuning is rejected."""
+        by_node = {instr.node: instr for instr in self.spec.instructions}
+        seen: set[str] = set()
+        for entry in self.spec.tuned_variants:
+            where = f"tuned_variants {entry.node!r}"
+            if entry.node in seen:
+                self.flag("tuned-duplicate", where,
+                          "two tuning decisions for one instruction")
+            seen.add(entry.node)
+            if entry.source not in ("cost", "measure"):
+                self.flag("tuned-source", where,
+                          f"unknown tuning source {entry.source!r}")
+            for label, value in (("predicted_us", entry.predicted_us),
+                                 ("measured_us", entry.measured_us)):
+                if value is None:
+                    continue
+                if not isinstance(value, (int, float)) or value != value \
+                        or value < 0:
+                    self.flag("tuned-cost-invalid", where,
+                              f"{label} {value!r} is not a non-negative "
+                              f"number")
+            instr = by_node.get(entry.node)
+            if instr is None:
+                self.flag("tuned-unknown-node", where,
+                          "no instruction with this node in the stream")
+                continue
+            if instr.kernel != entry.kernel:
+                self.flag("tuned-kernel-mismatch", where,
+                          f"table says {entry.kernel!r}, instruction runs "
+                          f"{instr.kernel!r}")
+            if entry.variant == VARIANT_BASE:
+                if instr.variant not in (VARIANT_BASE, VARIANT_DONATING):
+                    self.flag("tuned-variant-mismatch", where,
+                              f"table says base but instruction runs "
+                              f"{instr.variant!r}")
+                continue
+            if (entry.kernel, entry.variant) not in VARIANT_KERNELS:
+                self.flag("tuned-unregistered-variant", where,
+                          f"variant {entry.variant!r} is not registered "
+                          f"for {entry.kernel!r}")
+            if instr.variant != entry.variant:
+                self.flag("tuned-variant-mismatch", where,
+                          f"table says {entry.variant!r}, instruction "
+                          f"runs {instr.variant!r}")
+
     # -- end-of-stream checks -------------------------------------------------
 
     def _check_end_state(self, arena_caps, peak, transient, written_state,
@@ -695,6 +839,7 @@ class _PlanChecker:
                          pre_slots) -> None:
         spec = self.spec
         where = "plan"
+        self._check_tuned()
 
         for name in sorted(self.mutable - written_state):
             self.flag("state-not-written", where,
@@ -747,8 +892,8 @@ class _PlanChecker:
                       f"{len(expected_clear)})")
 
         if self.accounting_ok:
-            declared = {(tuple(shape), np.dtype(dtype)): count
-                        for (shape, dtype), count in spec.arena_caps}
+            declared = {(int(nbytes), np.dtype(dtype)): count
+                        for (nbytes, dtype), count in spec.arena_caps}
             if declared != arena_caps:
                 self.flag("arena-caps-mismatch", where,
                           f"declared arena caps {declared} != recomputed "

@@ -108,6 +108,10 @@ def save_artifact(program: Program, path: str | Path) -> Path:
         },
         "plan_passes": list(plan_spec.passes),
         "transforms": sorted(plan_spec.required_transforms()),
+        "tuned_variants": {
+            entry.node: entry.variant
+            for entry in plan_spec.tuned_variants
+        },
         "arena": {
             "bytes": arena.arena_bytes,
             "offsets": arena.offsets,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import kernel, variant_kernel, workspace
+from . import kernel, register_transform, variant_kernel, workspace
 from .elementwise import apply_activation
 
 
@@ -185,6 +185,46 @@ def _conv2d_winograd_precomputed(inputs, attrs):
     x, w, u = inputs[0], inputs[1], inputs[-1]
     y = winograd_conv2d(x, w, padding=attrs.get("padding", 0), u=u)
     if len(inputs) == 4:  # fused bias rides between the weights and U
+        y = y + inputs[2].reshape(1, -1, 1, 1)
+    return [apply_activation(y, attrs.get("activation"))]
+
+
+@register_transform("im2col_weight")
+def _im2col_weight(w: np.ndarray) -> np.ndarray:
+    """Flatten a 1x1 OIHW weight to the (cout, cin) GEMM operand.
+
+    Exactly the ``w.reshape(cout, -1)`` the base kernel performs inline
+    for a 1x1/pad-0/groups-1 conv, made contiguous once (for contiguous
+    state this is a free view of the same buffer).
+    """
+    return np.ascontiguousarray(w.reshape(w.shape[0], -1))
+
+
+@variant_kernel("conv2d", "im2col_precomputed")
+def _conv2d_im2col_precomputed(inputs, attrs):
+    """1x1/pad-0/groups-1 conv with the weight pre-flattened to 2-D.
+
+    For these convs im2col is a pure copy: every "column" is just the
+    (strided) activation itself. The variant feeds the activation straight
+    into the GEMM as a reshape view — skipping the whole-activation
+    workspace copy the base kernel pays — with the plan-owned flattened
+    weight as the trailing input. Bitwise identity with the base kernel
+    holds because both GEMM operands keep the exact layout (C-contiguous)
+    and values the base path produces.
+    """
+    x, w2 = inputs[0], inputs[-1]
+    sh, sw = _pair(attrs.get("stride", 1))
+    n, cin, h, wdim = x.shape
+    cout = w2.shape[0]
+    if sh == 1 and sw == 1:
+        cols = np.ascontiguousarray(x).reshape(n, cin, h * wdim)
+        ho, wo = h, wdim
+    else:
+        sub = x[:, :, ::sh, ::sw]
+        ho, wo = sub.shape[2], sub.shape[3]
+        cols = np.ascontiguousarray(sub).reshape(n, cin, ho * wo)
+    y = (w2 @ cols).reshape(n, cout, ho, wo)
+    if len(inputs) == 4:  # fused bias rides between the weights and w2
         y = y + inputs[2].reshape(1, -1, 1, 1)
     return [apply_activation(y, attrs.get("activation"))]
 

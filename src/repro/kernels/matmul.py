@@ -9,8 +9,35 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import kernel, out_kernel
+from . import kernel, out_kernel, register_transform, variant_kernel
 from .elementwise import apply_activation
+
+
+@register_transform("transpose_last2")
+def _transpose_last2(w: np.ndarray) -> np.ndarray:
+    """Materialise a frozen matmul operand's transpose once, contiguously."""
+    return np.ascontiguousarray(np.swapaxes(w, -1, -2))
+
+
+@variant_kernel("matmul", "pretransposed_b")
+def _matmul_pretransposed_b(inputs, attrs):
+    """``trans_b`` matmul with the frozen B operand pre-transposed.
+
+    The plan-owned trailing input is B's contiguous transpose, so the GEMM
+    runs on a plain (non-strided) operand instead of a transposed view.
+    BLAS may pick a *different* code path for the two layouts, with
+    results a ulp apart at some shapes — so the precompute pass only
+    selects this variant after a compile-time bitwise probe on the real
+    frozen operand proved both layouts identical at this op's shapes
+    (GEMM dispatch depends on shapes/strides, never on values).
+    """
+    a, bt = inputs[0], inputs[-1]
+    if attrs.get("trans_a"):
+        a = np.swapaxes(a, -1, -2)
+    y = a @ bt
+    if len(inputs) == 4:  # fused bias rides between B and the transpose
+        y = y + inputs[2]
+    return [apply_activation(y, attrs.get("activation"))]
 
 
 @kernel("matmul")

@@ -70,6 +70,15 @@ class CompileOptions:
     #: force it for this compile. Not part of the cache key — verification
     #: never changes the plan, only whether a bad one is allowed to exist.
     verify_plans: bool | None = None
+    #: per-instruction kernel-variant selection (:mod:`repro.runtime.
+    #: passes.autotune`): ``None`` disables, ``"cost"`` ranks proposed
+    #: variants with the device latency model, ``"measure"`` confirms the
+    #: ranking with cached on-host microbenchmarks. Decisions land in the
+    #: PlanSpec's ``tuned_variants`` table; part of the cache key.
+    autotune: Any = None
+    #: device key (:mod:`repro.devices.catalog`) the autotune pass ranks
+    #: against; ``None`` uses the pass's default edge CPU.
+    autotune_device: str | None = None
     device: Any = None
     debug_validate: bool = False
 
@@ -187,6 +196,10 @@ def compile_training(
     program.meta["plan_passes"] = options.plan_passes
     if options.verify_plans is not None:
         program.meta["verify_plans"] = options.verify_plans
+    if options.autotune:
+        program.meta["autotune"] = options.autotune
+        if options.autotune_device:
+            program.meta["autotune_device"] = options.autotune_device
     if options.materialize_state:
         # Pay the lowering cost here, with compilation, so the first step a
         # tenant runs is already the zero-interpretation fast path.
@@ -242,5 +255,9 @@ def compile_inference(forward: Graph,
     program.meta["plan_passes"] = options.plan_passes
     if options.verify_plans is not None:
         program.meta["verify_plans"] = options.verify_plans
+    if options.autotune:
+        program.meta["autotune"] = options.autotune
+        if options.autotune_device:
+            program.meta["autotune_device"] = options.autotune_device
     program.plan()
     return program

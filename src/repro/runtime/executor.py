@@ -181,8 +181,14 @@ class Executor:
         timed = observer is not None or instr_observer is not None
         fresh_allocs = 0
         perf_counter = time.perf_counter
+        state = self.program.state
         for instr in plan.instructions:
             inputs = [regs[slot] for slot in instr.input_slots]
+            # Scalar-constant folded inputs: spliced from live state (the
+            # overlay's value, not a baked copy) at their original
+            # positions, so the kernel sees the exact pre-fold input list.
+            for pos, name in instr.const_args:
+                inputs.insert(pos, state[name])
             began = perf_counter() if timed else 0.0
             try:
                 out_fn = instr.out_kernel
@@ -200,6 +206,12 @@ class Executor:
                     if buf is None:
                         buf = np.empty(instr.out_shape, instr.out_dtype)
                         fresh_allocs += 1
+                    elif buf.shape != instr.out_shape:
+                        # Byte-bucketed arena: a pooled buffer of another
+                        # shape with the same byte count is reshaped into
+                        # place — a free view, since only C-contiguous
+                        # buffers ever enter the pool.
+                        buf = buf.reshape(instr.out_shape)
                     results = (out_fn(inputs, instr.attrs, buf),)
                 else:
                     results = instr.kernel(inputs, instr.attrs)

@@ -7,12 +7,19 @@ This package is the optimizing half of plan construction
   slots yet);
 * optimization passes, each ``fn(stream, ctx) -> (stream, stats)``:
 
-  - :mod:`fuse_elementwise` — collapse adjacent producer->sole-consumer
-    elementwise runs into single fused instructions (the intermediate
-    slots vanish);
-  - :mod:`precompute_frozen` — hoist Winograd weight transforms for
-    frozen parameters into plan-owned constant slots bound once per
-    session;
+  - :mod:`fuse_elementwise` — collapse producer->sole-consumer
+    elementwise runs (adjacent chains, then effect-analysis-proven
+    non-adjacent merges) into single fused instructions (the
+    intermediate slots vanish);
+  - :mod:`fold_scalars` — bake frozen shape-() state out of the
+    register/slot machinery into per-instruction const splices;
+  - :mod:`precompute_frozen` — hoist frozen-weight computation
+    (Winograd transforms, 1x1 im2col operands, pre-transposed matmul
+    operands) into plan-owned constant slots bound once per session;
+  - :mod:`autotune` — per-instruction kernel-variant selection against
+    the device cost model (optionally confirmed by cached on-host
+    microbenchmarks); runs when ``CompileOptions.autotune`` is set, not
+    in :data:`DEFAULT_PASSES`;
 
 * :mod:`allocate` — slots, free-lists, arena caps, and the static
   transient-byte accounting, computed *after* the passes so the numbers
@@ -38,6 +45,8 @@ from typing import Any, Sequence
 from ...errors import ExecutionError
 from ..plan import PlanSpec
 from .allocate import allocate
+from .autotune import autotune
+from .fold_scalars import fold_scalars
 from .fuse_elementwise import fuse_elementwise
 from .lower import LoweredOp, LoweringContext, lower
 from .precompute_frozen import precompute_frozen
@@ -45,11 +54,17 @@ from .precompute_frozen import precompute_frozen
 #: name -> pass fn(stream, ctx) -> (stream, stats)
 PASSES = {
     "fuse_elementwise": fuse_elementwise,
+    "fold_scalars": fold_scalars,
     "precompute_frozen": precompute_frozen,
+    "autotune": autotune,
 }
 
-#: the pipeline ``passes="default"`` runs, in order
-DEFAULT_PASSES: tuple[str, ...] = ("fuse_elementwise", "precompute_frozen")
+#: the pipeline ``passes="default"`` runs, in order. ``fold_scalars``
+#: runs after fusion so folded positions splice into assembled (fused)
+#: input lists; ``autotune`` is opt-in via ``CompileOptions.autotune``
+#: (run_pipeline appends it), never part of the default set.
+DEFAULT_PASSES: tuple[str, ...] = (
+    "fuse_elementwise", "fold_scalars", "precompute_frozen")
 
 
 def resolve_passes(passes: Any) -> tuple[str, ...]:
@@ -104,6 +119,11 @@ def run_pipeline(program, passes: Any = None,
     if passes is None:
         passes = program.meta.get("plan_passes")
     names = resolve_passes(passes)
+    # CompileOptions.autotune opts the compile into variant selection:
+    # append the pass unless already requested explicitly. passes="none"
+    # stays untouched — that configuration is the byte-exactness oracle.
+    if program.meta.get("autotune") and names and "autotune" not in names:
+        names = names + ("autotune",)
     if verify is None:
         verify = program.meta.get("verify_plans")
     if verify is None:
@@ -150,6 +170,8 @@ __all__ = [
     "LoweringContext",
     "PASSES",
     "allocate",
+    "autotune",
+    "fold_scalars",
     "fuse_elementwise",
     "lower",
     "precompute_frozen",

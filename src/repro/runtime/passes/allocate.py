@@ -16,7 +16,7 @@ import numpy as np
 from ...kernels import (DONATED_INPUTS, DONATING_KERNELS, OUT_ALIAS_SAFE,
                         OUT_KERNELS)
 from ..plan import (ArenaKey, InstructionSpec, PlanSpec, PrecomputedSpec,
-                    VARIANT_BASE, VARIANT_DONATING)
+                    VARIANT_BASE, VARIANT_DONATING, arena_key_for)
 from .fuse_elementwise import donatable_inputs
 from .lower import LoweredOp, LoweringContext
 
@@ -36,10 +36,23 @@ def allocate(stream: list[LoweredOp], ctx: LoweringContext,
             slot = slots[name] = len(slots)
         return slot
 
+    # State whose every use was scalar-constant folded needs no register
+    # slot (and no per-step rebind): the executor splices the live state
+    # value straight into the kernel's inputs. Anything still referenced
+    # by an instruction or returned to the caller keeps its slot.
+    folded_states = {name for op in stream for _, name in op.const_inputs}
+    if folded_states:
+        referenced = set(keep)
+        for op in stream:
+            referenced.update(op.inputs)
+            referenced.update(op.outputs)
+        folded_states -= referenced
+
     for name in graph.inputs:
         slot_of(name)
     for name in sorted(state_names):
-        slot_of(name)
+        if name not in folded_states:
+            slot_of(name)
 
     # Producer/consumer facts over the *optimized* stream (fused chains
     # consume their deduplicated external inputs once each).
@@ -127,17 +140,25 @@ def allocate(stream: list[LoweredOp], ctx: LoweringContext,
             out_spec = ctx.spec(out_name)
             out_shape = tuple(out_spec.shape)
             out_dtype = np.dtype(out_spec.dtype.np).name
-            out_key = (out_shape, np.dtype(out_dtype))
+            # Donation demands an *exact* shape/dtype match (the out=
+            # kernel writes element-for-element into the donated buffer);
+            # the arena's byte-bucketing never applies here.
+            out_form = (out_shape, np.dtype(out_dtype))
             if op.fused is not None:
+                # Fused link args index the assembled input list (folded
+                # scalar constants spliced back in), not ``op.inputs``.
+                assembled = list(op.inputs)
+                for pos, const_name in op.const_inputs:
+                    assembled.insert(pos, const_name)
                 safe_idx = donatable_inputs(op)
-                donate_ok = {op.inputs[i] for i in safe_idx}
+                donate_ok = {assembled[i] for i in safe_idx}
             elif op.kernel in OUT_ALIAS_SAFE:
                 donate_ok = set(op.inputs)
             else:
                 donate_ok = set()
             for name in dying_inputs:
                 if name in donate_ok and recyclable(name) \
-                        and ctx.arena_key(name) == out_key:
+                        and ctx.shape_dtype(name) == out_form:
                     donate_slot = slots[name]
                     break
 
@@ -183,7 +204,8 @@ def allocate(stream: list[LoweredOp], ctx: LoweringContext,
             input_slots=input_slots, output_slots=output_slots,
             use_out=use_out, out_shape=out_shape, out_dtype=out_dtype,
             donate_slot=donate_slot, check_state_slots=check_state_slots,
-            frees=tuple(frees), fresh_outputs=fresh, fused=op.fused))
+            frees=tuple(frees), fresh_outputs=fresh, fused=op.fused,
+            const_args=tuple(sorted(op.const_inputs))))
 
     state_slots = {slots[name] for name in state_names if name in slots}
     pre_slots = {entry.slot for entry in precomputed.values()}
@@ -192,7 +214,7 @@ def allocate(stream: list[LoweredOp], ctx: LoweringContext,
     arena_caps: dict[ArenaKey, int] = {}
     for instr in instructions:
         if instr.use_out and instr.donate_slot < 0:
-            key = (instr.out_shape, np.dtype(instr.out_dtype))
+            key = arena_key_for(instr.out_shape, instr.out_dtype)
             arena_caps[key] = arena_caps.get(key, 0) + 1
     entries = tuple(sorted(precomputed.values(), key=lambda e: e.slot))
     return PlanSpec(
@@ -212,4 +234,5 @@ def allocate(stream: list[LoweredOp], ctx: LoweringContext,
         passes=passes,
         precomputed=entries,
         precomputed_bytes=sum(entry.nbytes for entry in entries),
+        tuned_variants=tuple(ctx.tuned),
     )

@@ -1,0 +1,174 @@
+"""Per-instruction kernel-variant selection (the autotune pass).
+
+Earlier passes *propose* variants: ``precompute_frozen`` attaches a
+:class:`~repro.runtime.passes.lower.PrecomputeRequest` wherever a frozen
+weight makes a hoisted variant legal. This pass *decides*: for every
+instruction with a proposal it ranks ``{base, proposed variant}`` with
+the plan-level cost model (:class:`repro.devices.PlanCostModel`,
+memoized per compile) and keeps the winner — a losing proposal is
+removed, so the instruction runs its base kernel and pays no precompute
+slot. Every decision (including "keep base") is recorded as a
+:class:`~repro.runtime.plan.TunedVariantSpec`; ``allocate`` embeds the
+table into the PlanSpec, where it flows through artifacts, the program
+cache key, worker probes, and ``planlint``.
+
+Two modes, selected by ``CompileOptions(autotune=...)``:
+
+* ``"cost"`` (default) — rank by the analytical model alone. Fully
+  deterministic: the same program and device always produce the same
+  PlanSpec.
+* ``"measure"`` — confirm the ranking with on-host microbenchmarks of
+  the actual kernels over fixed-seed synthetic activations (real frozen
+  weights). Timings are cached process-wide, keyed by (kernel, variant,
+  shapes, dtype, attrs), so repeat compiles never re-measure; within a
+  process, repeat compiles are therefore deterministic too.
+
+Correctness is never at stake — every registered variant is bitwise
+identical to its base kernel (the registry contract), so autotune only
+moves latency, and ``passes="none"`` remains the byte-exactness oracle.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ...devices import PlanCostModel, get_device
+from ...kernels import KERNELS, PRECOMPUTE_TRANSFORMS, VARIANT_KERNELS
+from ..plan import TunedVariantSpec
+from .lower import LoweredOp, LoweringContext
+
+#: device key used to rank candidates when the compile names none
+DEFAULT_TUNING_DEVICE = "raspberry_pi_4"
+
+#: fixed seed for microbenchmark activations — measure-mode inputs must
+#: not vary run to run
+_BENCH_SEED = 0xA117
+
+#: single-call repetitions per candidate; best-of defeats scheduler noise
+_MEASURE_REPEATS = 5
+
+#: process-wide microbenchmark cache: key -> measured microseconds.
+#: Keyed by everything that changes the kernel's work so repeat compiles
+#: (and shape-identical sibling programs) never re-measure.
+_MEASURE_CACHE: dict[tuple, float] = {}
+
+
+def measure_cache_stats() -> dict[str, int]:
+    """Size of the process-wide microbenchmark cache (for probes/tests)."""
+    return {"entries": len(_MEASURE_CACHE)}
+
+
+def clear_measure_cache() -> None:
+    """Drop all cached microbenchmark timings (test isolation)."""
+    _MEASURE_CACHE.clear()
+
+
+def _attrs_sig(attrs: dict) -> tuple:
+    return tuple(sorted((k, repr(v)) for k, v in attrs.items()))
+
+
+def _measure_key(op: LoweredOp, ctx: LoweringContext, variant: str,
+                 extra: np.ndarray | None) -> tuple:
+    shapes = [ctx.shape_dtype(name) for name in op.inputs]
+    if extra is not None:
+        shapes.append((tuple(extra.shape), extra.dtype))
+    return (op.kernel, variant,
+            tuple((shape, dtype.name) for shape, dtype in shapes),
+            _attrs_sig(ctx.attrs(op.node)))
+
+
+def _bench_inputs(op: LoweredOp, ctx: LoweringContext) -> list[np.ndarray]:
+    """Kernel inputs for a microbenchmark: real values for state (the
+    actual frozen weights), fixed-seed synthetics for activations."""
+    rng = np.random.default_rng(_BENCH_SEED)
+    inputs: list[np.ndarray] = []
+    for name in op.inputs:
+        value = ctx.program.state.get(name)
+        if value is None:
+            spec = ctx.spec(name)
+            dtype = np.dtype(spec.dtype.np)
+            value = rng.standard_normal(tuple(spec.shape))
+            value = value.astype(dtype, copy=False)
+            if not value.flags.writeable:
+                value = np.array(value)
+        inputs.append(value)
+    return inputs
+
+
+def _measure(op: LoweredOp, ctx: LoweringContext, variant: str,
+             extra: np.ndarray | None) -> tuple[float, bool]:
+    """Best-of-N wall time (us) for one candidate; (us, was_cached)."""
+    key = _measure_key(op, ctx, variant, extra)
+    cached = _MEASURE_CACHE.get(key)
+    if cached is not None:
+        return cached, True
+    fn = KERNELS[op.kernel] if variant == "base" \
+        else VARIANT_KERNELS[(op.kernel, variant)]
+    inputs = _bench_inputs(op, ctx)
+    if extra is not None:
+        inputs = inputs + [extra]
+    attrs = ctx.attrs(op.node)
+    fn(inputs, attrs)  # warm caches / lazy BLAS init outside the timing
+    best = float("inf")
+    for _ in range(_MEASURE_REPEATS):
+        start = time.perf_counter()
+        fn(inputs, attrs)
+        best = min(best, (time.perf_counter() - start) * 1e6)
+    _MEASURE_CACHE[key] = best
+    return best, False
+
+
+def autotune(stream: list[LoweredOp], ctx: LoweringContext
+             ) -> tuple[list[LoweredOp], dict]:
+    """Decide proposed kernel variants; returns (stream, stats)."""
+    meta = ctx.program.meta
+    mode = meta.get("autotune") or "cost"
+    device = get_device(meta.get("autotune_device")
+                        or DEFAULT_TUNING_DEVICE)
+    model = PlanCostModel(device)
+    kept = reverted = measured = cache_hits = 0
+    for op in stream:
+        if op.fused is not None or op.precompute is None:
+            continue
+        node = ctx.nodes[op.node]
+        in_specs = [ctx.spec(name) for name in op.inputs]
+        out_specs = [ctx.spec(name) for name in op.outputs]
+        variant = op.precompute.variant
+        predicted = {
+            cand: model.estimate_us(op.node, node.op_type, in_specs,
+                                    out_specs, node.attrs, cand)
+            for cand in ("base", variant)
+        }
+        measured_us: dict[str, float] = {}
+        if mode == "measure":
+            transform = PRECOMPUTE_TRANSFORMS[op.precompute.transform]
+            extra = transform(ctx.program.state[op.precompute.state])
+            for cand, arg in (("base", None), (variant, extra)):
+                us, hit = _measure(op, ctx, cand, arg)
+                measured_us[cand] = us
+                measured += 0 if hit else 1
+                cache_hits += 1 if hit else 0
+            ranking = measured_us
+        else:
+            ranking = predicted
+        # Strict '<' for base: on a tie the proposed variant wins (it
+        # also saves the per-step work the model cannot see, and ties are
+        # common for tiny ops dominated by launch cost).
+        winner = "base" if ranking["base"] < ranking[variant] else variant
+        if winner == "base":
+            op.precompute = None
+            reverted += 1
+        else:
+            kept += 1
+        ctx.tuned.append(TunedVariantSpec(
+            node=op.node, kernel=op.kernel, variant=winner,
+            predicted_us=round(predicted[winner], 4),
+            measured_us=(round(measured_us[winner], 4)
+                         if measured_us else None),
+            source=mode))
+    return stream, {"tuned": kept + reverted, "kept_variant": kept,
+                    "reverted_to_base": reverted,
+                    "kernels_measured": measured,
+                    "measure_cache_hits": cache_hits}

@@ -1,0 +1,63 @@
+"""Fold frozen scalar state out of the register/slot machinery.
+
+Training graphs carry a surprising number of shape-``()`` constants as
+state — STE clip thresholds, loss scales, LoRA alpha/rank scalars (a
+LoRA-BERT step re-binds ~90 of them every step). Each one costs a
+register slot, a per-step rebind, and a slot lookup at every consuming
+instruction, for a value that never changes.
+
+This pass removes those inputs from the stream: a consuming instruction
+records ``(position, state name)`` pairs instead, and the executor
+splices the **live** state value back into the kernel's input list at
+exactly its original position. Because the positions index the assembled
+list, fused link args stay valid untouched, the kernel sees a
+byte-identical input list, and a ``with_state`` overlay swapping the
+scalar in still takes effect on the very next step — the fold bakes the
+*binding*, never the value. State with no remaining slot reference loses
+its register slot and its per-step rebind entirely.
+
+Eligibility is strict: only frozen (never in-place-written) state of
+shape ``()``, consumed by non-view, non-inplace instructions whose
+kernel has no donating variant (donated-input indices are positional
+over the raw input list).
+"""
+
+from __future__ import annotations
+
+from ...kernels import DONATING_KERNELS
+from .lower import LoweredOp, LoweringContext
+
+
+def fold_scalars(stream: list[LoweredOp], ctx: LoweringContext
+                 ) -> tuple[list[LoweredOp], dict]:
+    """Fold frozen scalar-state inputs; returns (stream, stats)."""
+    foldable_cache: dict[str, bool] = {}
+
+    def foldable(name: str) -> bool:
+        flag = foldable_cache.get(name)
+        if flag is None:
+            flag = (ctx.frozen_state(name)
+                    and tuple(ctx.spec(name).shape) == ())
+            foldable_cache[name] = flag
+        return flag
+
+    folded = 0
+    for op in stream:
+        if op.is_view or op.is_inplace or op.const_inputs:
+            continue
+        if op.fused is None and op.kernel in DONATING_KERNELS:
+            continue
+        if not any(foldable(name) for name in op.inputs):
+            continue
+        kept: list[str] = []
+        consts: list[tuple[int, str]] = []
+        for pos, name in enumerate(op.inputs):
+            if foldable(name):
+                consts.append((pos, name))
+            else:
+                kept.append(name)
+        op.inputs = tuple(kept)
+        op.const_inputs = tuple(consts)
+        folded += len(consts)
+    states = {name for op in stream for _, name in op.const_inputs}
+    return stream, {"folded_args": folded, "folded_states": len(states)}

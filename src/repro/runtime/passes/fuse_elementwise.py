@@ -26,6 +26,18 @@ unfused form, never to wrong answers):
   scalar operand) but the carried value never changes shape, which is
   what makes the single shared buffer sound.
 
+A second, **non-adjacent** phase then relaxes the adjacency rule for
+sole-consumer values: a pure elementwise producer (or already-formed
+chain) may be *deferred* down the stream to run immediately before its
+single consumer and merge into it, provided the effect analysis
+(:mod:`repro.analysis.effects`) proves no instruction in between may
+mutate anything the moved computation reads. This catches the
+forward-computed STE masks a sparse backward re-reads much later — the
+mask chain moves next to its backward consumer and the intermediate
+stops occupying memory across the whole forward. The producer's result
+must feed the consumer's *first* link only (later links cannot see the
+carried value), and the carried-form rule above still applies.
+
 Donation interplay: an external input may be donated as the chain's
 output buffer only when the *first* link is its sole reader — a dying
 input consumed by a later link would be clobbered by the first link's
@@ -35,6 +47,7 @@ write. ``allocate`` enforces this via the per-instruction
 
 from __future__ import annotations
 
+from ...analysis.effects import safe_to_defer, stream_effects
 from ...ir.ops import get_schema
 from ...kernels import OUT_ALIAS_SAFE, OUT_KERNELS, VIEW_OPS
 from ..plan import FusedLinkSpec
@@ -93,7 +106,10 @@ def fuse_elementwise(stream: list[LoweredOp], ctx: LoweringContext
         chains += 1
         removed += len(members) - 1
         i = j + 1
-    return fused_stream, {"chains": chains, "instructions_removed": removed}
+    fused_stream, deferred = _merge_sole_consumers(fused_stream, ctx)
+    return fused_stream, {"chains": chains,
+                          "instructions_removed": removed + deferred,
+                          "deferred_merges": deferred}
 
 
 def _build_chain(members: list[LoweredOp]) -> LoweredOp:
@@ -119,6 +135,150 @@ def _build_chain(members: list[LoweredOp]) -> LoweredOp:
         node=last.node, kernel=last.kernel,
         inputs=tuple(external), outputs=last.outputs,
         fused=tuple(links))
+
+
+def _chain_candidate(op: LoweredOp) -> bool:
+    """Ops the non-adjacent phase may move/merge: pure elementwise chains
+    (already fused) or single ops the adjacent phase would accept."""
+    return not op.const_inputs and (op.fused is not None or _fusable(op))
+
+
+def _first_link_only(cons: LoweredOp, value: str) -> bool:
+    """True when ``value`` feeds only the consumer's first link — the one
+    position a merged producer's carried result can reach."""
+    if cons.fused is None:
+        return True
+    idx = cons.inputs.index(value)
+    return all(idx not in link.args for link in cons.fused[1:])
+
+
+def _named_links(op: LoweredOp) -> list[tuple[str, str, list]]:
+    """The op as (node, kernel, args) links with externals named (args are
+    value names; None means the previous link's carried result)."""
+    if op.fused is None:
+        return [(op.node, op.kernel, list(op.inputs))]
+    return [(link.node, link.kernel,
+             [None if a is None else op.inputs[a] for a in link.args])
+            for link in op.fused]
+
+
+def _merge_ops(producer: LoweredOp, consumer: LoweredOp) -> LoweredOp:
+    """One chain from ``producer`` feeding ``consumer``'s first link."""
+    value = producer.outputs[0]
+    links = _named_links(producer)
+    for node, kern, args in _named_links(consumer):
+        links.append((node, kern,
+                      [None if a == value else a for a in args]))
+    external: dict[str, int] = {}
+    specs = []
+    for node, kern, args in links:
+        specs.append(FusedLinkSpec(node=node, kernel=kern, args=tuple(
+            None if a is None else external.setdefault(a, len(external))
+            for a in args)))
+    return LoweredOp(
+        node=consumer.node, kernel=consumer.kernel,
+        inputs=tuple(external), outputs=consumer.outputs,
+        fused=tuple(specs))
+
+
+def _companion_ok(prod: LoweredOp) -> bool:
+    """Ops that may *move* (not merge) alongside a deferred producer:
+    pure, single-output, no pass-state attached."""
+    return (prod.fused is None and prod.precompute is None
+            and not prod.const_inputs and len(prod.outputs) == 1
+            and not prod.is_view and not prod.is_inplace)
+
+
+def _merge_sole_consumers(stream: list[LoweredOp], ctx: LoweringContext
+                          ) -> tuple[list[LoweredOp], int]:
+    """Defer pure producers down to their sole consumer and merge.
+
+    Repeats to a fixpoint so a merged chain can itself be deferred into a
+    yet-later consumer. Each move is proven by the effect analysis: no
+    instruction jumped over may mutate anything the moved group reads.
+
+    **Byte neutrality.** Deferring pins the producer's transient inputs
+    until the consumer, so an unconditional merge could peak above the
+    oracle stream. A merge is taken only when the eliminated intermediate
+    frees at least as many bytes as the move pins. To make the common STE
+    shape (``step(x)`` feeding a *later* link of the mask chain, so it
+    cannot itself join the chain) pass the gate, a pinned input whose
+    producer is pure and sole-consumed by the deferred op travels as a
+    **companion**: it moves (unmerged) to just before the merge point,
+    stops pinning, and only its own inputs enter the ledger.
+    """
+    merged = 0
+    changed = True
+    while changed:
+        changed = False
+        effects = stream_effects(stream)
+        consumers: dict[str, list[int]] = {}
+        producer_of: dict[str, int] = {}
+        for idx, op in enumerate(stream):
+            for name in op.inputs:
+                consumers.setdefault(name, []).append(idx)
+            for name in op.outputs:
+                producer_of[name] = idx
+        for i, op in enumerate(stream):
+            if not _chain_candidate(op):
+                continue
+            value = op.outputs[0]
+            if value in ctx.keep:
+                continue
+            uses = consumers.get(value)
+            if not uses or any(u != uses[0] for u in uses):
+                continue
+            j = uses[0]
+            if j <= i:
+                continue
+            cons = stream[j]
+            if not _chain_candidate(cons):
+                continue
+            if not _first_link_only(cons, value):
+                continue
+            if ctx.shape_dtype(value) != ctx.shape_dtype(cons.outputs[0]):
+                continue  # carried value would change form mid-chain
+            if not safe_to_defer(effects, i, j):
+                continue
+            # Recruit companions for inputs the move would otherwise pin.
+            companions: list[int] = []
+            for name in dict.fromkeys(op.inputs):
+                if name in ctx.state_names or name in ctx.keep:
+                    continue
+                if max(consumers.get(name, (i,))) >= j:
+                    continue  # alive past j regardless
+                p = producer_of.get(name)
+                if (p is not None and p < i and _companion_ok(stream[p])
+                        and set(consumers.get(name, ())) == {i}
+                        and safe_to_defer(effects, p, j)):
+                    companions.append(p)
+            group = set(companions) | {i}
+            group_outs = {out for k in group for out in stream[k].outputs}
+            externals = {name for k in group for name in stream[k].inputs
+                         if name not in group_outs}
+            pinned = 0
+            for name in externals:
+                if name in ctx.state_names or name in ctx.keep:
+                    continue
+                if max(consumers.get(name, (i,))) < j:
+                    pinned += ctx.nbytes(name)
+            if pinned > ctx.nbytes(value):
+                continue
+            moved = [stream[p] for p in sorted(companions)]
+            new_stream: list[LoweredOp] = []
+            for k, cur in enumerate(stream):
+                if k in group:
+                    continue
+                if k == j:
+                    new_stream.extend(moved)
+                    new_stream.append(_merge_ops(op, cons))
+                else:
+                    new_stream.append(cur)
+            stream = new_stream
+            merged += 1
+            changed = True
+            break
+    return stream, merged
 
 
 def donatable_inputs(op: LoweredOp) -> set[int]:

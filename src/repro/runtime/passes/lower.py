@@ -21,7 +21,7 @@ import numpy as np
 from ...errors import ExecutionError
 from ...ir.ops import get_schema
 from ...kernels import KERNELS, VIEW_OPS
-from ..plan import ArenaKey, FusedLinkSpec
+from ..plan import ArenaKey, FusedLinkSpec, TunedVariantSpec, arena_key_for
 
 
 @dataclass(frozen=True)
@@ -46,9 +46,14 @@ class LoweredOp:
     """One pre-allocation instruction: names in, names out.
 
     ``fused`` (set by fuse_elementwise) lists the constituent elementwise
-    links; ``precompute`` (set by precompute_frozen) requests a hoisted
-    constant input. At most one of the two is ever set — fusable ops are
-    elementwise, precomputable ones are convolutions.
+    links; ``precompute`` (set by precompute_frozen, possibly vetoed by
+    autotune) requests a hoisted constant input. At most one of the two is
+    ever set — fusable ops are elementwise, precomputable ones are
+    convolutions/matmuls. ``const_inputs`` (set by fold_scalars) lists
+    (position, state name) pairs folded out of ``inputs``: the positions
+    index the *assembled* input list the kernel sees, so splicing the
+    state values back in reconstructs the pre-fold list exactly (fused
+    link args therefore stay valid unchanged).
     """
 
     node: str
@@ -57,6 +62,7 @@ class LoweredOp:
     outputs: tuple[str, ...]
     fused: tuple[FusedLinkSpec, ...] | None = None
     precompute: PrecomputeRequest | None = None
+    const_inputs: tuple[tuple[int, str], ...] = ()
 
     @property
     def is_view(self) -> bool:
@@ -81,6 +87,9 @@ class LoweringContext:
         self.keep = set(program.outputs)
         self.mutable_state = program.mutable_state_names()
         self.nodes = {node.name: node for node in program.schedule}
+        #: autotune decisions accumulated by the autotune pass; allocate
+        #: embeds them into the PlanSpec's ``tuned_variants`` table
+        self.tuned: list[TunedVariantSpec] = []
 
     def spec(self, name: str):
         value = self._specs.get(name)
@@ -93,7 +102,11 @@ class LoweringContext:
 
     def arena_key(self, name: str) -> ArenaKey:
         s = self.spec(name)
-        return (tuple(s.shape), np.dtype(s.dtype.np))
+        return arena_key_for(tuple(s.shape), np.dtype(s.dtype.np))
+
+    def shape_dtype(self, name: str) -> tuple[tuple[int, ...], Any]:
+        s = self.spec(name)
+        return tuple(s.shape), np.dtype(s.dtype.np)
 
     def nbytes(self, name: str) -> int:
         return self.spec(name).nbytes

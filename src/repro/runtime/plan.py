@@ -71,17 +71,22 @@ from ..kernels import (DONATING_KERNELS, KERNELS, OUT_KERNELS,
                        PRECOMPUTE_TRANSFORMS, VARIANT_KERNELS,
                        make_fused_kernel)
 
-#: arena bucket key: exact (shape, dtype) — fixed-shape steps re-request
-#: identical buffers every step, so exact matching recycles everything.
-ArenaKey = tuple[tuple[int, ...], Any]
+#: arena bucket key: (nbytes, dtype). Byte-bucketing (spec v3) lets a
+#: freed buffer of one shape satisfy a later request of another shape with
+#: the same byte count — the executor reshapes the (always C-contiguous)
+#: pooled buffer, a free view. Exact-shape matching (spec v2) recycled
+#: nothing across shape boundaries even when the bytes lined up.
+ArenaKey = tuple[int, Any]
 
 #: bump when the serialized PlanSpec layout changes incompatibly.
 #: v1: flat instruction stream, no pass pipeline. v2: records applied
 #: passes, fused instruction forms, and precomputed constant slots.
-PLAN_SPEC_VERSION = 2
+#: v3: byte-bucketed arena keys, scalar-constant folded inputs
+#: (``const_args``), and the autotune decision table (``tuned_variants``).
+PLAN_SPEC_VERSION = 3
 
-#: versions :meth:`PlanSpec.from_dict` can still decode (v1 via the shim)
-SUPPORTED_PLAN_SPEC_VERSIONS = (1, 2)
+#: versions :meth:`PlanSpec.from_dict` can still decode (v1/v2 via shims)
+SUPPORTED_PLAN_SPEC_VERSIONS = (1, 2, 3)
 
 #: kernel variants an instruction may reference (resolved at bind time);
 #: anything else is looked up in :data:`repro.kernels.VARIANT_KERNELS`
@@ -169,6 +174,44 @@ class FusedLinkSpec:
 
 
 @dataclass(frozen=True)
+class TunedVariantSpec:
+    """One autotune decision: which kernel variant an instruction runs.
+
+    Emitted by the ``autotune`` pass for every instruction that had more
+    than one applicable variant. ``variant`` is what the plan actually
+    binds (it may be ``base`` — keeping the default *is* a decision).
+    ``predicted_us`` comes from the :mod:`repro.devices.cost` model;
+    ``measured_us`` is filled in only under
+    ``CompileOptions(autotune="measure")``.
+    """
+
+    node: str                       #: instruction this decision applies to
+    kernel: str                     #: kernel registry name (== op type)
+    variant: str                    #: the chosen variant
+    predicted_us: float
+    measured_us: float | None = None
+    #: how the winner was picked: ``cost`` (model only) or ``measure``
+    source: str = "cost"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"node": self.node, "kernel": self.kernel,
+                "variant": self.variant,
+                "predicted_us": self.predicted_us,
+                "measured_us": self.measured_us,
+                "source": self.source}
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "TunedVariantSpec":
+        measured = doc.get("measured_us")
+        return cls(node=doc["node"], kernel=doc["kernel"],
+                   variant=doc["variant"],
+                   predicted_us=float(doc["predicted_us"]),
+                   measured_us=float(measured)
+                   if measured is not None else None,
+                   source=doc.get("source", "cost"))
+
+
+@dataclass(frozen=True)
 class PrecomputedSpec:
     """A plan-owned constant slot derived from frozen state at bind time.
 
@@ -234,6 +277,12 @@ class InstructionSpec:
     frees: tuple[tuple[int, ArenaKey | None], ...]
     fresh_outputs: int
     fused: tuple[FusedLinkSpec, ...] | None = None
+    #: scalar-constant folded inputs: (position, state name) pairs. The
+    #: executor assembles the kernel's input list by inserting
+    #: ``program.state[name]`` (a live lookup — overlay-safe by
+    #: construction) at ``position``; ``input_slots`` covers the remaining
+    #: positions in order. Folded states need no register slot at all.
+    const_args: tuple[tuple[int, str], ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         doc = {
@@ -253,6 +302,9 @@ class InstructionSpec:
         }
         if self.fused is not None:
             doc["fused"] = [link.to_dict() for link in self.fused]
+        if self.const_args:
+            doc["const_args"] = [[pos, name]
+                                 for pos, name in self.const_args]
         return doc
 
     @classmethod
@@ -277,6 +329,8 @@ class InstructionSpec:
                 fused=tuple(FusedLinkSpec.from_dict(entry)
                             for entry in fused_doc)
                 if fused_doc is not None else None,
+                const_args=tuple((int(pos), name) for pos, name
+                                 in doc.get("const_args", ())),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ExecutionError(
@@ -312,6 +366,9 @@ class PlanSpec:
     #: resident bytes the precomputed slots add (not transient — they live
     #: for the plan's lifetime, like state)
     precomputed_bytes: int = 0
+    #: autotune decision table (empty unless the ``autotune`` pass ran):
+    #: one entry per instruction that had more than one applicable variant
+    tuned_variants: tuple[TunedVariantSpec, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe encoding (embedded in artifact manifests)."""
@@ -332,6 +389,8 @@ class PlanSpec:
             "passes": list(self.passes),
             "precomputed": [entry.to_dict() for entry in self.precomputed],
             "precomputed_bytes": self.precomputed_bytes,
+            "tuned_variants": [entry.to_dict()
+                               for entry in self.tuned_variants],
         }
 
     @classmethod
@@ -341,6 +400,9 @@ class PlanSpec:
         Version-1 documents (written before the pass pipeline existed)
         decode to a spec with no passes, no fused instructions, and no
         precomputed slots — exactly the stream they always described.
+        Version-2 documents keyed their arena on exact shapes; the shim
+        converts every key to its byte bucket and merges pool caps that
+        collapse onto the same bucket, which only ever widens reuse.
 
         Raises:
             PlanVersionError: when the document speaks a plan version this
@@ -353,6 +415,12 @@ class PlanSpec:
                 f"unsupported plan spec version {version!r} "
                 f"(runtime speaks {SUPPORTED_PLAN_SPEC_VERSIONS})")
         try:
+            # Legacy shape-keyed caps can collide once byte-bucketed; sum
+            # the counts (first-seen order) so no pool shrinks.
+            caps: dict[ArenaKey, int] = {}
+            for key_doc, count in doc["arena_caps"]:
+                key = _key_from_json(key_doc)
+                caps[key] = caps.get(key, 0) + int(count)
             return cls(
                 num_slots=int(doc["num_slots"]),
                 feed_specs=tuple((name, int(slot))
@@ -362,8 +430,7 @@ class PlanSpec:
                 output_slots=tuple((name, int(slot))
                                    for name, slot in doc["output_slots"]),
                 clear_slots=tuple(doc["clear_slots"]),
-                arena_caps=tuple((_key_from_json(key), int(count))
-                                 for key, count in doc["arena_caps"]),
+                arena_caps=tuple(caps.items()),
                 peak_transient_bytes=int(doc["peak_transient_bytes"]),
                 final_transient_bytes=int(doc["final_transient_bytes"]),
                 instructions=tuple(InstructionSpec.from_dict(entry)
@@ -372,6 +439,9 @@ class PlanSpec:
                 precomputed=tuple(PrecomputedSpec.from_dict(entry)
                                   for entry in doc.get("precomputed", ())),
                 precomputed_bytes=int(doc.get("precomputed_bytes", 0)),
+                tuned_variants=tuple(
+                    TunedVariantSpec.from_dict(entry)
+                    for entry in doc.get("tuned_variants", ())),
             )
         except ExecutionError:
             raise
@@ -405,18 +475,29 @@ class PlanSpec:
         return {entry.transform for entry in self.precomputed}
 
 
+def arena_key_for(shape: tuple[int, ...], dtype: Any) -> ArenaKey:
+    """The byte bucket a buffer of ``(shape, dtype)`` pools under."""
+    dtype = np.dtype(dtype)
+    count = 1
+    for dim in shape:
+        count *= int(dim)
+    return (count * dtype.itemsize, dtype)
+
+
 def _key_to_json(key: ArenaKey | None) -> list | None:
     if key is None:
         return None
-    shape, dtype = key
-    return [list(shape), np.dtype(dtype).name]
+    nbytes, dtype = key
+    return [int(nbytes), np.dtype(dtype).name]
 
 
 def _key_from_json(doc: list | None) -> ArenaKey | None:
     if doc is None:
         return None
-    shape, dtype = doc
-    return (tuple(int(d) for d in shape), np.dtype(dtype))
+    head, dtype = doc
+    if isinstance(head, (list, tuple)):  # v1/v2: exact-shape key
+        return arena_key_for(tuple(int(d) for d in head), dtype)
+    return (int(head), np.dtype(dtype))
 
 
 class Instruction:
@@ -425,12 +506,12 @@ class Instruction:
     __slots__ = ("node", "kernel", "attrs", "input_slots", "output_slots",
                  "out_kernel", "out_key", "out_shape", "out_dtype",
                  "donate_slot", "check_state_slots", "frees",
-                 "fresh_outputs", "variant")
+                 "fresh_outputs", "variant", "const_args")
 
     def __init__(self, node: Node, kernel, attrs, input_slots, output_slots,
                  out_kernel, out_key, out_shape, out_dtype, donate_slot,
                  check_state_slots, frees, fresh_outputs,
-                 variant: str = VARIANT_BASE) -> None:
+                 variant: str = VARIANT_BASE, const_args=()) -> None:
         self.node = node
         self.kernel = kernel
         self.attrs = attrs
@@ -455,6 +536,10 @@ class Instruction:
         #: kernel-variant label for profiling ("base", "donating",
         #: "fused", or a registry variant like "winograd_precomputed")
         self.variant = variant
+        #: (position, state name) scalar constants folded out of the slot
+        #: space — the executor splices live state values in at these
+        #: positions when assembling the kernel's inputs
+        self.const_args = const_args
 
 
 class ExecutionPlan:
@@ -569,7 +654,7 @@ def bind_plan(spec: PlanSpec, nodes: Mapping[str, Node]) -> ExecutionPlan:
                         f"runtime lacks out= kernel for {ispec.kernel!r}")
             out_shape = ispec.out_shape
             out_dtype = np.dtype(ispec.out_dtype)
-            out_key = (out_shape, out_dtype)
+            out_key = arena_key_for(out_shape, out_dtype)
         instructions.append(Instruction(
             node=node, kernel=kernel, attrs=attrs,
             input_slots=ispec.input_slots, output_slots=ispec.output_slots,
@@ -577,7 +662,8 @@ def bind_plan(spec: PlanSpec, nodes: Mapping[str, Node]) -> ExecutionPlan:
             out_dtype=out_dtype, donate_slot=ispec.donate_slot,
             check_state_slots=ispec.check_state_slots, frees=ispec.frees,
             fresh_outputs=ispec.fresh_outputs,
-            variant="fused" if ispec.fused is not None else ispec.variant))
+            variant="fused" if ispec.fused is not None else ispec.variant,
+            const_args=ispec.const_args))
     precomputed = []
     for entry in spec.precomputed:
         transform = PRECOMPUTE_TRANSFORMS.get(entry.transform)

@@ -28,6 +28,9 @@ ships ``x``/``y`` as one :mod:`repro.serve.wire` frame (raw dtype
 bytes) and asks for the result as a frame too — no float->decimal->
 float round trip, ~3x fewer bytes per step. Against a legacy server it
 speaks JSON, and ``binary=False``/``binary=True`` pins either way.
+Checkpoint downloads negotiate the same framing against servers that
+advertise ``binary_checkpoint`` (see :meth:`ServeClient.
+download_checkpoint`); :meth:`ServeClient.restore` uploads either form.
 A ``token`` adds ``Authorization: Bearer`` to every request for
 gateways started with an auth token map.
 """
@@ -370,13 +373,26 @@ class ServeClient:
         return self._request(
             "POST", f"/v1/sessions/{session_id}/checkpoint")
 
-    def download_checkpoint(self, session_id: str) -> bytes:
+    def download_checkpoint(self, session_id: str, *,
+                            binary: bool | None = None) -> bytes:
         """The session's current checkpoint as raw bytes (feed them back
-        through :meth:`restore`, possibly against a different server)."""
+        through :meth:`restore`, possibly against a different server).
+
+        Against a server advertising ``binary_checkpoint`` the download
+        is negotiated as a wire frame (``Accept``) — same values, no
+        sha256 trailer, tensor segments ready for zero-copy decode.
+        ``binary`` pins either way; :meth:`restore` accepts both forms.
+        """
+        if binary is None:
+            binary = self._binary if self._binary is not None \
+                else "binary_checkpoint" in self._features()
+        headers = self._auth_headers()
+        if binary:
+            headers["Accept"] = wire.CONTENT_TYPE
         conn = self._conn()
         try:
             conn.request("GET", f"/v1/sessions/{session_id}/checkpoint",
-                         headers=self._auth_headers())
+                         headers=headers)
             response = conn.getresponse()
             data = response.read()
         except (http.client.HTTPException, ConnectionError, OSError) as exc:
@@ -395,9 +411,15 @@ class ServeClient:
                 version: int | None = None) -> dict:
         """Resurrect a session from checkpoint ``data`` bytes, or from
         the server's store by ``session_id`` (newest intact version, or
-        exactly ``version``). Returns the restored session summary."""
+        exactly ``version``). Returns the restored session summary.
+        ``data`` may be either checkpoint form (``.ckpt`` bytes or a wire
+        frame from a binary download) — the content type is set from the
+        leading magic."""
         if data is not None:
-            return self._request("POST", "/v1/sessions/restore", raw=data)
+            headers = {"Content-Type": wire.CONTENT_TYPE} \
+                if data.startswith(wire.MAGIC) else None
+            return self._request("POST", "/v1/sessions/restore", raw=data,
+                                 headers=headers)
         if session_id is None:
             raise ServeError("restore needs checkpoint bytes or a "
                              "session_id")

@@ -21,7 +21,9 @@ Protocol (control bodies JSON; step bodies JSON or binary)::
     DELETE /v1/sessions/{id}                                -> 200 summary
     POST   /v1/sessions/{id}/checkpoint                     -> 200 meta
     GET    /v1/sessions/{id}/checkpoint       -> 200 octet-stream download
-    POST   /v1/sessions/restore    checkpoint bytes, or JSON
+                                   (Accept: x-repro-step -> wire frame)
+    POST   /v1/sessions/restore    checkpoint bytes (.ckpt or wire frame),
+                                   or JSON
                                    {"session_id", "version"?} -> 201 session
     GET    /v1/metrics                                      -> 200 stats
     GET    /v1/metrics?format=prometheus                    -> 200 text
@@ -107,6 +109,7 @@ from ..errors import (CheckpointError, DeadlineExpired, FaultInjected,
 from ..obs import mint_request_id, server_timing_header
 from . import wire
 from .checkpoint import MAGIC as _CKPT_MAGIC
+from .checkpoint import checkpoint_from_wire
 from .faults import FAULTS
 from .ratelimit import RateLimiter
 from .service import FineTuneService
@@ -123,7 +126,8 @@ _IDEM_KEY_RE = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
 
 #: what this server speaks; clients feature-probe /v1/healthz before
 #: relying on retry-with-idempotency-key or binary-frame semantics
-_FEATURES = ("binary_step", "checkpoint", "deadline", "idempotency")
+_FEATURES = ("binary_checkpoint", "binary_step", "checkpoint", "deadline",
+             "idempotency")
 
 #: request bodies past this are refused with 413 before allocation
 #: becomes hostile (an MCUNet batch-8 JSON step is ~12 MB)
@@ -692,29 +696,51 @@ class GatewayServer:
 
     async def _download_checkpoint(self, request: _Request,
                                    session_id: str) -> None:
-        """GET: the session's current checkpoint as one binary download."""
+        """GET: the session's current checkpoint as one binary download.
+
+        ``Accept: application/x-repro-step`` negotiates the wire-frame
+        form (meta + raw aligned tensor segments, the same framing the
+        binary step path uses); the default stays the self-verifying
+        ``.ckpt`` byte format. Both feed back through the restore route.
+        """
+        accept = (request.header("accept") or "").lower()
+        framed = wire.CONTENT_TYPE in accept
         try:
             session = self.service.sessions.get(session_id)
             if self._tenant_mismatch(request, session):
                 return
             data = await self._offloaded(
-                self.service.checkpoint_bytes, session_id)
+                self.service.checkpoint_frame if framed
+                else self.service.checkpoint_bytes, session_id)
         except ServeError as exc:
             msg = str(exc)
             status = 404 if "unknown session" in msg else 409
             self._send_json(request, status, {"error": msg})
             return
-        self._send_body(request, 200, data, "application/octet-stream",
+        ctype = wire.CONTENT_TYPE if framed else "application/octet-stream"
+        self._send_body(request, 200, data, ctype,
                         headers={"Content-Disposition":
                                  f'attachment; filename="{session_id}.ckpt"'})
 
     async def _restore(self, request: _Request) -> None:
-        """POST: resurrect a session from uploaded bytes or the store."""
+        """POST: resurrect a session from uploaded bytes or the store.
+
+        Uploads speak three content types: a wire-framed checkpoint
+        (``application/x-repro-step``), the self-verifying ``.ckpt``
+        bytes (``application/octet-stream``), or a JSON body naming a
+        server-side stored checkpoint. Magic sniffing backs the header
+        up, so a mislabelled binary body still restores.
+        """
         raw = request.body
         ctype = (request.header("content-type") or "") \
             .split(";")[0].strip().lower()
         try:
-            if ctype == "application/octet-stream" \
+            if ctype == wire.CONTENT_TYPE or raw.startswith(wire.MAGIC):
+                # decode (tensor copies) off the loop, like the restore
+                ckpt = await self._offloaded(checkpoint_from_wire, raw)
+                session = await self._offloaded(
+                    self.service.restore_session, ckpt)
+            elif ctype == "application/octet-stream" \
                     or raw.startswith(_CKPT_MAGIC):
                 session = await self._offloaded(
                     self.service.restore_session, raw)

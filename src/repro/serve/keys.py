@@ -30,8 +30,11 @@ from ..sparse import UpdateScheme
 from ..train.optim import OptimizerSpec
 
 #: v2: CompileOptions grew ``plan_passes`` (the plan-lowering pipeline
-#: joins the key, so cached artifacts re-prebuild when lowering changes)
-KEY_VERSION = 2
+#: joins the key, so cached artifacts re-prebuild when lowering changes).
+#: v3: plan-spec v3 — autotuned variant tables, const-folded scalars, and
+#: byte-bucketed arena keys change what lowering produces for the *same*
+#: options, so every cached artifact must re-prebuild once.
+KEY_VERSION = 3
 
 
 def scheme_token(scheme: UpdateScheme) -> dict[str, Any]:

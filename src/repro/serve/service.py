@@ -41,7 +41,8 @@ from ..runtime.compiler import CompileOptions, compile_training
 from ..sparse import UpdateScheme, bias_only, full_update
 from ..train.optim import SGD, Adam, Lion, OptimizerSpec
 from .cache import CacheEntry, ProgramCache
-from .checkpoint import (CheckpointStore, SessionCheckpoint, dump_checkpoint,
+from .checkpoint import (CheckpointStore, SessionCheckpoint,
+                         checkpoint_to_wire, dump_checkpoint,
                          load_checkpoint)
 from .keys import program_key
 from .metrics import Gauge, MetricsRegistry
@@ -416,7 +417,14 @@ class FineTuneService:
         session = self.sessions.get(session_id)
         return dump_checkpoint(self._checkpoint_payload(session))
 
-    def restore_session(self, data: bytes | None = None, *,
+    def checkpoint_frame(self, session_id: str) -> bytes:
+        """The current checkpoint as one wire frame (binary download for
+        clients that negotiated :data:`repro.serve.wire.CONTENT_TYPE`)."""
+        session = self.sessions.get(session_id)
+        return checkpoint_to_wire(self._checkpoint_payload(session))
+
+    def restore_session(self,
+                        data: bytes | SessionCheckpoint | None = None, *,
                         session_id: str | None = None,
                         version: int | None = None,
                         model: Callable[[int], Graph] | None = None,
@@ -425,7 +433,9 @@ class FineTuneService:
         """Resurrect a session from a checkpoint, under its original id.
 
         The checkpoint comes either as ``data`` (bytes produced by
-        :meth:`checkpoint_bytes` / the gateway download route) or by
+        :meth:`checkpoint_bytes` / the gateway download route, or an
+        already-decoded :class:`SessionCheckpoint` — the gateway's
+        wire-frame upload path decodes before calling in) or by
         ``session_id`` from the store (newest intact version, or exactly
         ``version``). The restored overlay is byte-identical to the
         checkpointed one; counters and the idempotency window carry over,
@@ -438,7 +448,9 @@ class FineTuneService:
         at checkpoint time semantics (i.e. the service default).
         """
         self._check_open()
-        if data is not None:
+        if isinstance(data, SessionCheckpoint):
+            ckpt = data
+        elif data is not None:
             ckpt = load_checkpoint(data)
         else:
             if self.checkpoints is None:

@@ -135,6 +135,72 @@ class TestCheckpointFormat:
             read_checkpoint(tmp_path / "missing.ckpt")
 
 
+class TestCheckpointWireForm:
+    """The transport form: a checkpoint as one serve.wire frame."""
+
+    def test_wire_roundtrip_is_exact(self):
+        from repro.serve import wire
+        from repro.serve.checkpoint import (checkpoint_from_wire,
+                                            checkpoint_to_wire)
+
+        ckpt = sample_ckpt()
+        frame = checkpoint_to_wire(ckpt)
+        assert frame.startswith(wire.MAGIC)
+        back = checkpoint_from_wire(frame)
+        assert back.session == ckpt.session
+        assert back.family == ckpt.family
+        assert back.idempotency == ckpt.idempotency
+        assert set(back.state) == set(ckpt.state)
+        for name in ckpt.state:
+            assert back.state[name].dtype == ckpt.state[name].dtype
+            assert np.array_equal(back.state[name], ckpt.state[name])
+            # copy=True decode: the checkpoint outlives the request body
+            assert back.state[name].flags.writeable
+
+    def test_wire_form_matches_ckpt_form_values(self):
+        from repro.serve.checkpoint import checkpoint_from_wire, \
+            checkpoint_to_wire
+
+        ckpt = sample_ckpt()
+        via_wire = checkpoint_from_wire(checkpoint_to_wire(ckpt))
+        via_ckpt = load_checkpoint(dump_checkpoint(ckpt))
+        assert via_wire.session == via_ckpt.session
+        for name in via_ckpt.state:
+            assert via_wire.state[name].tobytes() \
+                == via_ckpt.state[name].tobytes()
+
+    def test_damaged_wire_frame_is_checkpoint_error(self):
+        from repro.serve.checkpoint import checkpoint_from_wire, \
+            checkpoint_to_wire
+
+        frame = checkpoint_to_wire(sample_ckpt())
+        with pytest.raises(CheckpointError):
+            checkpoint_from_wire(frame[: len(frame) // 2])
+        with pytest.raises(CheckpointError, match="magic|wire"):
+            checkpoint_from_wire(b"x" * 64)
+
+    def test_step_frame_is_not_a_checkpoint(self):
+        """A valid wire frame that is not a checkpoint must be refused —
+        the restore route dispatches on the same magic."""
+        from repro.serve import wire
+        from repro.serve.checkpoint import checkpoint_from_wire
+
+        frame = wire.encode_frame(
+            {"kind": "step"}, {"x": np.zeros(3, np.float32)})
+        with pytest.raises(CheckpointError, match="kind"):
+            checkpoint_from_wire(frame)
+
+    def test_wrong_version_is_refused(self):
+        from repro.serve import wire
+        from repro.serve.checkpoint import checkpoint_from_wire
+
+        frame = wire.encode_frame(
+            {"kind": "checkpoint", "checkpoint_version": 99,
+             "session": {}, "family": {}}, {})
+        with pytest.raises(CheckpointError, match="version"):
+            checkpoint_from_wire(frame)
+
+
 # ---------------------------------------------------------------------------
 # checkpoint store: versioning, pruning, quarantine, atomicity
 # ---------------------------------------------------------------------------
@@ -583,8 +649,8 @@ class TestGatewayDurability:
     def test_healthz_advertises_features(self):
         with mlp_gateway() as (_service, _gw, client, _session):
             features = client.healthz()["features"]
-            assert set(features) >= {"checkpoint", "deadline",
-                                     "idempotency"}
+            assert set(features) >= {"binary_checkpoint", "checkpoint",
+                                     "deadline", "idempotency"}
 
     def test_lost_response_is_retried_exactly_once_applied(self):
         """The e2e retry satellite: the response to an applied step is
@@ -657,7 +723,7 @@ class TestGatewayDurability:
             meta = client.checkpoint(sid)
             assert meta["step_seq"] == 1
             assert meta["versions"] == [1]
-            blob = client.download_checkpoint(sid)
+            blob = client.download_checkpoint(sid, binary=False)
             assert blob[:8] == b"RPCKPT1\n"
             frozen = {k: v.copy() for k, v in session.state.items()}
 
@@ -677,6 +743,50 @@ class TestGatewayDurability:
             # restore from the downloaded bytes too
             client.close_session(sid)
             assert client.restore(blob)["step_seq"] == 1
+
+    def test_binary_checkpoint_download_and_restore(self, tmp_path):
+        """Negotiated wire-frame checkpoint transport: the default
+        download against a ``binary_checkpoint`` server is a frame, both
+        forms decode to identical state, and both restore."""
+        from repro.serve import wire
+        from repro.serve.checkpoint import checkpoint_from_wire
+
+        with mlp_gateway(tmp_path) as (service, _gw, client, _mlp):
+            doc = client.create_session("mcunet_micro")
+            sid = doc["session_id"]
+            rng = np.random.default_rng(5)
+            x = rng.standard_normal(doc["input_shape"])
+            y = int(rng.integers(0, doc["num_classes"]))
+            client.step(sid, x, y)
+
+            framed = client.download_checkpoint(sid)   # negotiated
+            legacy = client.download_checkpoint(sid, binary=False)
+            assert framed.startswith(wire.MAGIC)
+            assert legacy.startswith(b"RPCKPT1\n")
+            via_wire = checkpoint_from_wire(framed)
+            via_ckpt = load_checkpoint(legacy)
+            assert via_wire.session == via_ckpt.session
+            assert set(via_wire.state) == set(via_ckpt.state)
+            for name in via_ckpt.state:
+                assert via_wire.state[name].tobytes() \
+                    == via_ckpt.state[name].tobytes()
+
+            # a wire-framed upload restores bit-for-bit
+            frozen = {k: v.copy()
+                      for k, v in service.sessions.get(sid).state.items()}
+            client.close_session(sid)
+            restored_doc = client.restore(framed)
+            assert restored_doc["restored"]
+            assert restored_doc["session_id"] == sid
+            restored = service.sessions.get(sid)
+            for name, array in frozen.items():
+                assert np.array_equal(restored.state[name], array)
+
+            # garbled frame uploads are 422 (content, not request shape)
+            client.close_session(sid)
+            with pytest.raises(GatewayError) as info:
+                client.restore(framed[: len(framed) // 2])
+            assert info.value.status == 422
 
     def test_checkpoint_route_conflicts(self, tmp_path):
         with mlp_gateway() as (_service, _gw, client, session):

@@ -2,11 +2,13 @@
 
 Every optimization pass must be a pure lowering decision: byte-identical
 outputs and mutable state against the interpreter (and against
-``passes="none"``) for any program, under any on/off combination. On top
-of that, the structural claims: fused chains really remove instructions
-and slots, precomputed Winograd transforms really bind once per session,
-donation never hands a fused chain a buffer a later link still reads, and
-version-1 plan specs still load through the compat shim.
+``passes="none"``) for any program, under any on/off combination —
+including scalar-constant folding and the autotune variant-selection
+pass. On top of that, the structural claims: fused chains really remove
+instructions and slots, precomputed transforms really bind once per
+session, donation never hands a fused chain a buffer a later link still
+reads, autotuning is deterministic, and version-1/2 plan specs still
+load through the compat shims.
 """
 
 from __future__ import annotations
@@ -30,7 +32,10 @@ from repro.train import SGD
 from conftest import make_mlp_graph
 
 PASS_CONFIGS = ["none", "default",
-                ("fuse_elementwise",), ("precompute_frozen",)]
+                ("fuse_elementwise",), ("precompute_frozen",),
+                ("fuse_elementwise", "fold_scalars"),
+                ("fuse_elementwise", "fold_scalars", "precompute_frozen",
+                 "autotune")]
 
 
 def with_passes(program, passes):
@@ -387,6 +392,189 @@ class TestPrecomputeFrozen:
         assert spec.required_transforms() == {"winograd_weight"}
 
 
+def _mcunet_sparse_program(**option_kwargs):
+    from repro.models import build_model, paper_scheme
+
+    forward = build_model("mcunet_micro", batch=2)
+    options = CompileOptions(**option_kwargs) if option_kwargs else None
+    return compile_training(forward, optimizer=SGD(0.05),
+                            scheme=paper_scheme(forward), options=options)
+
+
+class TestFoldScalarsStructure:
+    def test_mcunet_folds_scalars_and_meets_instruction_budget(self):
+        """The second-wave pipeline target: non-adjacent fusion plus
+        constant folding push the MCUNet sparse step under 99
+        instructions, with scalar hyperparameters spliced as const args
+        instead of occupying slots."""
+        spec = _mcunet_sparse_program().plan_spec()
+        assert len(spec.instructions) < 99
+        folded = sum(len(i.const_args) for i in spec.instructions)
+        assert folded > 0
+        const_names = {name for i in spec.instructions
+                       for _, name in i.const_args}
+        bound_names = {name for _, name in spec.state_bindings}
+        # A folded-only scalar holds no slot; nothing is double-bound.
+        assert not (const_names & bound_names)
+
+    def test_non_adjacent_fusion_keeps_oracle_peak(self):
+        """Deferred-consumer merges must stay byte-neutral: the default
+        pipeline's peak transient never exceeds the unoptimized plan's."""
+        tuned = _mcunet_sparse_program().plan_spec()
+        oracle = build_plan_spec(_mcunet_sparse_program(), passes="none")
+        assert tuned.peak_transient_bytes <= oracle.peak_transient_bytes
+
+
+class TestAutotune:
+    def test_cost_mode_is_deterministic(self):
+        """Same program, same options -> byte-identical PlanSpec JSON,
+        compile after compile (no wall-clock in the ranking)."""
+        docs = []
+        for _ in range(2):
+            spec = _mcunet_sparse_program(autotune="cost").plan_spec()
+            docs.append(json.dumps(spec.to_dict(), sort_keys=True))
+        assert docs[0] == docs[1]
+        spec = PlanSpec.from_dict(json.loads(docs[0]))
+        assert spec.tuned_variants
+        assert all(t.source == "cost" for t in spec.tuned_variants)
+        assert all(t.predicted_us >= 0 for t in spec.tuned_variants)
+        assert "autotune" in spec.passes
+
+    def test_cost_mode_byte_exact_vs_oracle(self, rng):
+        program = _mcunet_sparse_program(autotune="cost")
+        oracle = _mcunet_sparse_program()
+        name = [n for n in program.graph.inputs
+                if n != program.meta["labels"]][0]
+        feeds = {name: rng.standard_normal(
+            program.graph.spec(name).shape).astype(np.float32),
+                 program.meta["labels"]: np.array([1, 2], np.int64)}
+        ex = Executor(program)
+        ex_int = Executor(with_passes(oracle, "none"),
+                          backend="interpreter")
+        for _ in range(3):
+            got = ex.run(feeds)
+            want = ex_int.run(feeds)
+            for key in want:
+                assert got[key].tobytes() == want[key].tobytes()
+        for key in ex_int.program.state:
+            assert ex.program.state[key].tobytes() \
+                == ex_int.program.state[key].tobytes()
+
+    def test_measure_mode_byte_exact_and_caches_benchmarks(self, rng):
+        from repro.runtime.passes.autotune import (clear_measure_cache,
+                                                   measure_cache_stats)
+
+        clear_measure_cache()
+        program = _mcunet_sparse_program(autotune="measure")
+        spec = program.plan_spec()
+        assert spec.tuned_variants
+        assert all(t.source == "measure" for t in spec.tuned_variants)
+        assert all(t.measured_us is not None and t.measured_us >= 0
+                   for t in spec.tuned_variants)
+        entries = measure_cache_stats()["entries"]
+        assert entries > 0
+        # Repeat compile: every (op, variant, shapes, dtype) timing is
+        # served from the cache — no new microbenchmarks run.
+        _mcunet_sparse_program(autotune="measure").plan_spec()
+        assert measure_cache_stats()["entries"] == entries
+
+        name = [n for n in program.graph.inputs
+                if n != program.meta["labels"]][0]
+        feeds = {name: rng.standard_normal(
+            program.graph.spec(name).shape).astype(np.float32),
+                 program.meta["labels"]: np.array([0, 1], np.int64)}
+        got = Executor(program).run(feeds)
+        want = Executor(with_passes(_mcunet_sparse_program(), "none"),
+                        backend="interpreter").run(feeds)
+        for key in want:
+            assert got[key].tobytes() == want[key].tobytes()
+
+    def test_none_pipeline_is_never_tuned(self):
+        """``passes="none"`` stays the untouched byte-exactness oracle
+        even when the compile asks for autotuning."""
+        program = _mcunet_sparse_program(autotune="cost",
+                                         plan_passes="none")
+        spec = program.plan_spec()
+        assert spec.passes == ()
+        assert spec.tuned_variants == ()
+        assert spec.precomputed == ()
+        assert all(i.fused is None and not i.const_args
+                   for i in spec.instructions)
+
+    def test_autotune_separates_program_keys(self):
+        from repro.serve.keys import program_key
+        from repro.models import build_model, paper_scheme
+
+        forward = build_model("mcunet_micro", batch=2)
+        base = dict(scheme=paper_scheme(forward), optimizer=SGD(0.05))
+        k_plain = program_key(forward, options=CompileOptions(), **base)
+        k_tuned = program_key(
+            forward, options=CompileOptions(autotune="cost"), **base)
+        k_device = program_key(
+            forward, options=CompileOptions(autotune="cost",
+                                            autotune_device="jetson_nano"),
+            **base)
+        assert len({k_plain, k_tuned, k_device}) == 3
+
+    def test_tuned_variants_reach_manifest_and_probe(self, tmp_path):
+        from repro.deploy import load_artifact, save_artifact
+
+        program = _mcunet_sparse_program(autotune="cost")
+        spec = program.plan_spec()
+        save_artifact(program, tmp_path / "tuned")
+        manifest = json.loads(
+            (tmp_path / "tuned" / "manifest.json").read_text())
+        assert manifest["tuned_variants"] \
+            == {t.node: t.variant for t in spec.tuned_variants}
+        deployed = load_artifact(tmp_path / "tuned")
+        assert deployed.program.plan_spec().tuned_variants \
+            == spec.tuned_variants
+
+
+class TestPretransposedMatmul:
+    def _trans_b_program(self, rng):
+        b = GraphBuilder("transb")
+        x = b.input("x", (4, 8))
+        b.initializer("w", rng.standard_normal((16, 8)).astype(np.float32),
+                      trainable=False)
+        h = b.emit("matmul", ["x", "w"], {"trans_b": True})
+        y = b.emit("reduce_sum", [h])
+        b.mark_output(y)
+        return Program.from_graph(b.graph)
+
+    def test_frozen_trans_b_operand_is_pretransposed(self, rng):
+        program = self._trans_b_program(rng)
+        spec = build_plan_spec(program, passes=("precompute_frozen",))
+        assert len(spec.precomputed) == 1
+        assert spec.precomputed[0].transform == "transpose_last2"
+        assert spec.precomputed[0].shape == (8, 16)
+        assert "pretransposed_b" in spec.required_kernels()["matmul"]
+
+    def test_pretransposed_runs_byte_identically(self, rng):
+        program = self._trans_b_program(rng)
+        feeds = {"x": rng.standard_normal((4, 8)).astype(np.float32)}
+        ex = Executor(with_passes(program, ("precompute_frozen",)))
+        ex_int = Executor(with_passes(program, "none"),
+                          backend="interpreter")
+        for _ in range(3):
+            got = ex.run(feeds)
+            want = ex_int.run(feeds)
+            for name in want:
+                assert got[name].tobytes() == want[name].tobytes()
+
+    def test_cost_model_keeps_the_variant(self, rng):
+        """The strided-GEMM penalty on base trans_b matmuls makes the
+        pretransposed variant win the cost ranking."""
+        program = self._trans_b_program(rng)
+        spec = build_plan_spec(
+            program, passes=("precompute_frozen", "autotune"))
+        tuned = {t.node: t for t in spec.tuned_variants}
+        assert len(tuned) == 1
+        (entry,) = tuned.values()
+        assert entry.kernel == "matmul"
+        assert entry.variant == "pretransposed_b"
+
+
 class TestSpecCompatAndConfig:
     def test_v1_spec_loads_through_shim(self, rng):
         b, _ = make_mlp_graph(seed=29)
@@ -413,6 +601,70 @@ class TestSpecCompatAndConfig:
                         backend="interpreter").run(feeds)
         for name in want:
             assert got[name].tobytes() == want[name].tobytes()
+
+    def test_v2_spec_loads_through_shim(self, rng):
+        """A v2 writer keyed the arena on exact shapes and knew nothing
+        of const_args or tuned_variants; the shim byte-buckets every key
+        (merging caps that collapse onto one bucket) and the spec runs."""
+        b, _ = make_mlp_graph(seed=31)
+        program = compile_training(
+            b.graph, optimizer=SGD(0.1),
+            options=CompileOptions(
+                plan_passes=("fuse_elementwise", "precompute_frozen")))
+        v3 = program.plan_spec()
+        doc = v3.to_dict()
+        doc["plan_version"] = 2
+        del doc["tuned_variants"]
+        for instr in doc["instructions"]:
+            assert "const_args" not in instr  # v2 pipeline: none folded
+
+        def as_shape_key(key_doc):
+            if key_doc is None:
+                return None
+            nbytes, dtype = key_doc
+            itemsize = np.dtype(dtype).itemsize
+            return [[nbytes // itemsize], dtype]  # flat exact-shape key
+
+        doc["arena_caps"] = [[as_shape_key(key), count]
+                             for key, count in doc["arena_caps"]]
+        for instr in doc["instructions"]:
+            instr["frees"] = [[slot, as_shape_key(key)]
+                              for slot, key in instr["frees"]]
+        spec = PlanSpec.from_dict(json.loads(json.dumps(doc)))
+        assert spec.arena_caps == v3.arena_caps
+        assert spec.instructions == v3.instructions
+        assert spec.tuned_variants == ()
+
+        clone = with_passes(program, "none")
+        clone.attach_plan_spec(spec)
+        clone.meta["__plan__"] = bind_plan(
+            spec, {n.name: n for n in program.schedule})
+        feeds = {"x": rng.standard_normal((4, 5)).astype(np.float32),
+                 program.meta["labels"]: np.array([0, 1, 2, 0], np.int64)}
+        got = Executor(clone).run(feeds)
+        want = Executor(with_passes(program, "none"),
+                        backend="interpreter").run(feeds)
+        for name in want:
+            assert got[name].tobytes() == want[name].tobytes()
+
+    def test_v2_colliding_shape_keys_merge_caps(self):
+        """Two exact-shape caps that bucket to the same byte size must
+        merge by summing counts — reuse only ever widens."""
+        b, _ = make_mlp_graph()
+        program = compile_training(b.graph, optimizer=SGD(0.1))
+        doc = build_plan_spec(program, passes="none").to_dict()
+        doc["plan_version"] = 2
+        doc.pop("tuned_variants", None)
+        for instr in doc["instructions"]:
+            instr["frees"] = [
+                [slot, None if key is None
+                 else [[key[0] // np.dtype(key[1]).itemsize], key[1]]]
+                for slot, key in instr["frees"]]
+        # (8, 2) float32 and (4, 4) float32 are both 64-byte buckets.
+        doc["arena_caps"] = [[[[8, 2], "float32"], 2],
+                             [[[4, 4], "float32"], 3]]
+        spec = PlanSpec.from_dict(json.loads(json.dumps(doc)))
+        assert dict(spec.arena_caps)[(64, np.dtype("float32"))] == 5
 
     def test_unsupported_version_raises_plan_version_error(self):
         b, _ = make_mlp_graph()
@@ -449,7 +701,7 @@ class TestSpecCompatAndConfig:
         report: dict = {}
         run_pipeline(program, passes="default", report=report)
         stages = [s["stage"] for s in report["stages"]]
-        assert stages == ["lower", "fuse_elementwise",
+        assert stages == ["lower", "fuse_elementwise", "fold_scalars",
                           "precompute_frozen", "allocate"]
         counts = [s["instructions"] for s in report["stages"]]
         assert counts[-1] <= counts[0]
@@ -486,7 +738,8 @@ class TestArtifactRoundTripOptimized:
         manifest = json.loads(
             (tmp_path / "model" / "manifest.json").read_text())
         assert manifest["plan_passes"] == list(DEFAULT_PASSES)
-        assert manifest["transforms"] == ["winograd_weight"]
+        assert manifest["transforms"] == ["im2col_weight",
+                                          "winograd_weight"]
         deployed = load_artifact(tmp_path / "model")
         assert deployed.program.plan_spec() == spec
         name = [n for n in program.graph.inputs
